@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary accepts an optional "--small" flag that switches to the
+// scaled-down study configuration (seconds instead of minutes) - useful for
+// smoke-testing the harness; the full configuration reproduces the paper.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/study.hpp"
+
+namespace tauw::bench {
+
+inline core::StudyConfig parse_config(int argc, char** argv) {
+  core::StudyConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      cfg = core::StudyConfig::small();
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      cfg.verbose = true;
+    }
+  }
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_reference);
+  std::printf("==============================================================\n");
+}
+
+inline void print_study_context(const core::Study& study) {
+  const auto& d = study.config().data;
+  std::printf(
+      "context: %zu series (%zu train / %zu calib / %zu test), "
+      "window length %zu, %zu replicas, DDM test accuracy %.1f%%\n\n",
+      d.num_series, d.train_series, d.calib_series, d.test_series,
+      d.subsample_length, d.eval_replicas,
+      study.ddm_test_accuracy() * 100.0);
+}
+
+}  // namespace tauw::bench

@@ -1,0 +1,44 @@
+// Fig. 4 reproduction: misclassification rate over timesteps for isolated
+// DDM predictions vs information fusion (majority voting).
+//
+// Paper reference values (GTSRB + CNN): isolated avg 7.89%, fused avg 5.57%,
+// fused rate at timestep 10: 3.69%; curves coincide in the first two steps
+// and fused beats isolated from step 3 on.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tauw;
+  bench::print_header(
+      "Fig. 4 - misclassification rate per timestep, isolated vs IF",
+      "Gross et al., DSN-W 2023, Fig. 4 / RQ1");
+
+  core::Study study(bench::parse_config(argc, argv));
+  study.run();
+  bench::print_study_context(study);
+
+  const core::Fig4Result fig4 = study.fig4();
+  std::printf("%-10s %-12s %-12s %-10s\n", "timestep", "isolated", "fused(IF)",
+              "cases");
+  for (const core::Fig4Row& row : fig4.rows) {
+    std::printf("%-10zu %-12s %-12s %-10zu\n", row.timestep,
+                core::format_percent(row.isolated_rate).c_str(),
+                core::format_percent(row.fused_rate).c_str(), row.count);
+  }
+  std::printf("\naverage    %-12s %-12s\n",
+              core::format_percent(fig4.isolated_avg).c_str(),
+              core::format_percent(fig4.fused_avg).c_str());
+  std::printf("paper      7.89%%        5.57%%        (3.69%% at step 10)\n");
+  std::printf("measured final fused rate: %s\n",
+              core::format_percent(fig4.fused_final).c_str());
+
+  // Shape checks mirrored from the paper's discussion.
+  const bool coincide_first_step =
+      fig4.rows.front().isolated_rate == fig4.rows.front().fused_rate;
+  const bool fused_wins_late =
+      fig4.rows.back().fused_rate <= fig4.rows.back().isolated_rate;
+  std::printf("\nshape: first-step curves coincide: %s; fused <= isolated at "
+              "final step: %s\n",
+              coincide_first_step ? "yes" : "no",
+              fused_wins_late ? "yes" : "no");
+  return coincide_first_step && fused_wins_late ? 0 : 1;
+}

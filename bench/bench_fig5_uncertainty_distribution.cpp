@@ -1,0 +1,83 @@
+// Fig. 5 reproduction: distribution of predicted uncertainty across cases for
+// the classical stateless UW (top) vs the taUW + IF (bottom).
+//
+// Paper reference: with the taUW, the lowest uncertainty of u = 0.0072 can be
+// guaranteed for 65.9% of cases (99.9% confidence); compared to the stateless
+// wrapper, the share of lowest-uncertainty cases almost doubles.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void print_distribution(const char* name,
+                        const std::vector<tauw::stats::ValueCount>& dist) {
+  std::printf("%s (%zu distinct uncertainty levels):\n", name, dist.size());
+  std::printf("  %-12s %-10s %-9s  %s\n", "u", "cases", "share", "");
+  // Print the largest bins first (the figure's visual focus), cap the list.
+  auto sorted = dist;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.count > b.count; });
+  const std::size_t shown = std::min<std::size_t>(sorted.size(), 12);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& vc = sorted[i];
+    const auto bar = static_cast<std::size_t>(vc.fraction * 50.0);
+    std::printf("  %-12.4f %-10zu %-9s %s\n", vc.value, vc.count,
+                tauw::core::format_percent(vc.fraction, 1).c_str(),
+                std::string(bar, '#').c_str());
+  }
+  if (sorted.size() > shown) {
+    std::printf("  ... %zu smaller levels omitted\n", sorted.size() - shown);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tauw;
+  bench::print_header(
+      "Fig. 5 - distribution of uncertainty across cases",
+      "Gross et al., DSN-W 2023, Fig. 5 / RQ2(a)");
+
+  core::Study study(bench::parse_config(argc, argv));
+  study.run();
+  bench::print_study_context(study);
+
+  const core::Fig5Result fig5 = study.fig5();
+  print_distribution("stateless UW (isolated predictions)",
+                     fig5.stateless_distribution);
+  print_distribution("taUW + information fusion", fig5.tauw_distribution);
+
+  std::printf("lowest guaranteed uncertainty (99.9%% confidence):\n");
+  std::printf("  stateless UW: u=%.4f for %s of cases\n", fig5.stateless_min_u,
+              core::format_percent(fig5.stateless_min_u_fraction, 1).c_str());
+  std::printf("  taUW + IF:    u=%.4f for %s of cases\n", fig5.tauw_min_u,
+              core::format_percent(fig5.tauw_min_u_fraction, 1).c_str());
+  std::printf("  paper:        u=0.0072 for 65.9%% of cases (taUW + IF)\n");
+
+  // Paper discussion: under the taUW "the number of cases for which the
+  // lowest uncertainty can be guaranteed almost doubles while the amount of
+  // uncertainty that needs to be tolerated is reduced by more than half".
+  // Comparable check: the taUW's strongest guarantee must be materially
+  // lower than the stateless one, and the share of cases that receive a
+  // guarantee at least as strong as the stateless optimum must not shrink.
+  double tauw_share_at_stateless_level = 0.0;
+  for (const auto& vc : fig5.tauw_distribution) {
+    if (vc.value <= fig5.stateless_min_u + 1e-12) {
+      tauw_share_at_stateless_level += vc.fraction;
+    }
+  }
+  std::printf("  taUW share with u <= stateless optimum (%.4f): %s\n",
+              fig5.stateless_min_u,
+              core::format_percent(tauw_share_at_stateless_level, 1).c_str());
+  const bool lower_level = fig5.tauw_min_u < 0.5 * fig5.stateless_min_u;
+  const bool share_holds =
+      tauw_share_at_stateless_level >= fig5.stateless_min_u_fraction - 0.05;
+  std::printf("\nshape: taUW tolerated uncertainty at least halves: %s; "
+              "share at stateless-optimum level maintained: %s\n",
+              lower_level ? "yes" : "no", share_holds ? "yes" : "no");
+  return lower_level && share_holds ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Fig. 6 reproduction: calibration plot of predicted certainty quantiles vs
+// actual correctness for the naive, worst-case, and opportune UF models and
+// the taUW.
+//
+// Paper reference: naive UF is overconfident in almost all quantiles (points
+// below the diagonal); worst-case is the most conservative (above the
+// diagonal); opportune and taUW lie close to the diagonal, with the taUW
+// spanning the widest range of predicted uncertainties.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tauw;
+  bench::print_header(
+      "Fig. 6 - calibration of uncertainty fusion approaches",
+      "Gross et al., DSN-W 2023, Fig. 6 / RQ2(b)");
+
+  core::Study study(bench::parse_config(argc, argv));
+  study.run();
+  bench::print_study_context(study);
+
+  const core::Fig6Result fig6 = study.fig6(10);
+  for (const core::Fig6Curve& curve : fig6.curves) {
+    std::printf("%s:\n", curve.name.c_str());
+    std::printf("  %-10s %-22s %-22s %s\n", "decile", "predicted certainty",
+                "observed correctness", "verdict");
+    double min_pred = 1.0;
+    double max_pred = 0.0;
+    std::size_t overconfident = 0;
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const auto& pt = curve.points[i];
+      const double gap = pt.mean_predicted_certainty - pt.observed_correctness;
+      const char* verdict = gap > 0.005   ? "overconfident"
+                            : gap < -0.005 ? "underconfident"
+                                           : "calibrated";
+      if (gap > 0.005) ++overconfident;
+      min_pred = std::min(min_pred, pt.mean_predicted_certainty);
+      max_pred = std::max(max_pred, pt.mean_predicted_certainty);
+      std::printf("  %-10zu %-22.4f %-22.4f %s\n", i + 1,
+                  pt.mean_predicted_certainty, pt.observed_correctness,
+                  verdict);
+    }
+    std::printf("  range of predicted certainty: [%.4f, %.4f]; "
+                "overconfident deciles: %zu/10\n\n",
+                min_pred, max_pred, overconfident);
+  }
+
+  // Shape checks: naive has more overconfident deciles than taUW; the taUW
+  // spans the widest range of predictions among the fused approaches.
+  const auto count_over = [](const core::Fig6Curve& c) {
+    std::size_t n = 0;
+    for (const auto& pt : c.points) {
+      if (pt.mean_predicted_certainty > pt.observed_correctness + 0.005) ++n;
+    }
+    return n;
+  };
+  const auto range_of = [](const core::Fig6Curve& c) {
+    double lo = 1.0, hi = 0.0;
+    for (const auto& pt : c.points) {
+      lo = std::min(lo, pt.mean_predicted_certainty);
+      hi = std::max(hi, pt.mean_predicted_certainty);
+    }
+    return hi - lo;
+  };
+  const auto& naive = fig6.curves[0];
+  const auto& worst = fig6.curves[1];
+  const auto& opportune = fig6.curves[2];
+  const auto& tauw_curve = fig6.curves[3];
+  const bool naive_overconfident = count_over(naive) > count_over(tauw_curve);
+  const bool tauw_widest = range_of(tauw_curve) >= range_of(naive) &&
+                           range_of(tauw_curve) >= range_of(worst) &&
+                           range_of(tauw_curve) >= range_of(opportune);
+  std::printf("shape: naive more overconfident than taUW: %s; taUW widest "
+              "prediction range: %s\n",
+              naive_overconfident ? "yes" : "no", tauw_widest ? "yes" : "no");
+  return naive_overconfident ? 0 : 1;
+}

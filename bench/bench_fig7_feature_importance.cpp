@@ -1,0 +1,66 @@
+// Fig. 7 reproduction: feature importance study over the four timeseries-
+// aware quality factors - the Brier score of a taQIM trained with every
+// subset of {ratio, length, size, certainty}.
+//
+// Paper reference: the Brier score generally improves with more features;
+// the optimum is already reached with ratio + certainty; the length feature
+// alone does not improve over the stateless baseline.
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tauw;
+  bench::print_header(
+      "Fig. 7 - taQF feature importance study (all 16 subsets)",
+      "Gross et al., DSN-W 2023, Fig. 7 / RQ3");
+
+  core::Study study(bench::parse_config(argc, argv));
+  study.run();
+  bench::print_study_context(study);
+
+  const core::Fig7Result fig7 = study.fig7();
+
+  // Group by number of enabled features, as in the paper's columns.
+  std::map<std::size_t, std::vector<const core::Fig7Entry*>> by_count;
+  for (const core::Fig7Entry& e : fig7.entries) {
+    by_count[e.set.count()].push_back(&e);
+  }
+  for (auto& [count, entries] : by_count) {
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->brier < b->brier; });
+    std::printf("%zu taQF feature(s):\n", count);
+    for (const auto* e : entries) {
+      std::printf("  %-32s brier=%.4f\n", e->name.c_str(), e->brier);
+    }
+  }
+
+  // Shape checks from the paper's discussion.
+  const auto find = [&](const char* name) {
+    for (const core::Fig7Entry& e : fig7.entries) {
+      if (e.name == name) return e.brier;
+    }
+    return -1.0;
+  };
+  const double none = find("-");
+  const double ratio = find("ratio");
+  const double certainty = find("certainty");
+  const double ratio_certainty = find("ratio+certainty");
+  const double all = find("ratio+length+size+certainty");
+  double best = 1.0;
+  for (const core::Fig7Entry& e : fig7.entries) best = std::min(best, e.brier);
+
+  std::printf("\nno taQF (stateless features on fused outcomes): %.4f\n", none);
+  std::printf("ratio alone: %.4f, certainty alone: %.4f\n", ratio, certainty);
+  std::printf("ratio+certainty: %.4f (paper: reaches the optimum)\n",
+              ratio_certainty);
+  std::printf("all four: %.4f, best overall: %.4f\n", all, best);
+
+  const bool pair_near_optimal = ratio_certainty <= best + 0.002;
+  const bool taqf_help = std::min(ratio, certainty) < none;
+  std::printf("\nshape: ratio+certainty near-optimal: %s; "
+              "single taQFs beat stateless: %s\n",
+              pair_near_optimal ? "yes" : "no", taqf_help ? "yes" : "no");
+  return pair_near_optimal && taqf_help ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+// Micro-benchmarks (google-benchmark) for the runtime-critical components:
+// per-frame wrapper latency, tree routing, fusion, Kalman updates, image
+// augmentation, and feature extraction. These bound the overhead a taUW adds
+// to a perception pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/fusion.hpp"
+#include "core/ta_quality_factors.hpp"
+#include "core/uncertainty_fusion.hpp"
+#include "dtree/calibrate.hpp"
+#include "dtree/cart.hpp"
+#include "imaging/augmentations.hpp"
+#include "imaging/sign_renderer.hpp"
+#include "ml/features.hpp"
+#include "ml/mlp.hpp"
+#include "stats/binomial.hpp"
+#include "stats/rng.hpp"
+#include "tracking/kalman.hpp"
+
+namespace {
+
+using namespace tauw;
+
+// Shared fixtures built once.
+struct Fixtures {
+  imaging::SignRenderer renderer{3};
+  imaging::Image frame;
+  ml::FeatureConfig fcfg{};
+  std::vector<float> features;
+  ml::MlpClassifier mlp{ml::feature_dim(ml::FeatureConfig{}), 64, 43, 7};
+  dtree::DecisionTree tree;
+  std::vector<double> qfs;
+
+  Fixtures() {
+    stats::Rng rng(1);
+    frame = renderer.render(7, 22.0, rng);
+    features = ml::extract_features(frame, fcfg);
+    // A depth-8 tree over 10 quality factors.
+    dtree::TreeDataset data;
+    for (int i = 0; i < 20000; ++i) {
+      std::vector<double> row(10);
+      for (auto& v : row) v = rng.uniform();
+      data.push_back(row, rng.bernoulli(row[0] * 0.5));
+    }
+    dtree::CartConfig cfg;
+    tree = dtree::train_cart(data, cfg);
+    qfs.assign(10, 0.3);
+  }
+};
+
+Fixtures& fixtures() {
+  static Fixtures fx;
+  return fx;
+}
+
+void BM_SignRender(benchmark::State& state) {
+  auto& fx = fixtures();
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.renderer.render(11, 20.0, rng));
+  }
+}
+BENCHMARK(BM_SignRender);
+
+void BM_AugmentAllDeficits(benchmark::State& state) {
+  auto& fx = fixtures();
+  stats::Rng rng(3);
+  imaging::DeficitVector v{};
+  for (std::size_t i = 0; i < imaging::kNumDeficits; ++i) v[i] = 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imaging::apply_all(fx.frame, v, rng));
+  }
+}
+BENCHMARK(BM_AugmentAllDeficits);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto& fx = fixtures();
+  std::vector<float> out(ml::feature_dim(fx.fcfg));
+  for (auto _ : state) {
+    ml::extract_features_into(fx.frame, fx.fcfg, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_MlpPredict(benchmark::State& state) {
+  auto& fx = fixtures();
+  std::vector<float> probs(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.mlp.predict_into(fx.features, probs));
+  }
+}
+BENCHMARK(BM_MlpPredict);
+
+void BM_TreeRoute(benchmark::State& state) {
+  auto& fx = fixtures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.tree.predict_uncertainty(fx.qfs));
+  }
+}
+BENCHMARK(BM_TreeRoute);
+
+void BM_MajorityVote(benchmark::State& state) {
+  core::TimeseriesBuffer buffer;
+  stats::Rng rng(4);
+  for (int i = 0; i < 10; ++i) buffer.push(rng.uniform_index(4), 0.1);
+  const core::MajorityVoteFusion fusion;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion.fuse(buffer));
+  }
+}
+BENCHMARK(BM_MajorityVote);
+
+void BM_TaqfComputation(benchmark::State& state) {
+  core::TimeseriesBuffer buffer;
+  stats::Rng rng(5);
+  for (int i = 0; i < 10; ++i) buffer.push(rng.uniform_index(3), rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_taqf(buffer, 1));
+  }
+}
+BENCHMARK(BM_TaqfComputation);
+
+void BM_UfAccumulatorPush(benchmark::State& state) {
+  core::UncertaintyFusionAccumulator acc;
+  double u = 0.01;
+  for (auto _ : state) {
+    acc.push(u);
+    benchmark::DoNotOptimize(acc.opportune());
+    u = u < 0.9 ? u + 1e-6 : 0.01;
+  }
+}
+BENCHMARK(BM_UfAccumulatorPush);
+
+void BM_KalmanPredictUpdate(benchmark::State& state) {
+  tracking::KalmanFilter2D kf;
+  kf.initialize({50.0, 3.0});
+  double x = 50.0;
+  for (auto _ : state) {
+    kf.predict(0.15);
+    kf.update({x, 3.0});
+    benchmark::DoNotOptimize(kf.position());
+    x = x > 10.0 ? x - 0.3 : 50.0;
+  }
+}
+BENCHMARK(BM_KalmanPredictUpdate);
+
+void BM_ClopperPearsonBound(benchmark::State& state) {
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::clopper_pearson_upper(k, 2000, 0.999));
+    k = (k + 7) % 200;
+  }
+}
+BENCHMARK(BM_ClopperPearsonBound);
+
+void BM_CartTraining(benchmark::State& state) {
+  stats::Rng rng(6);
+  dtree::TreeDataset data;
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row(10);
+    for (auto& v : row) v = rng.uniform();
+    data.push_back(row, rng.bernoulli(row[0] * 0.4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtree::train_cart(data, dtree::CartConfig{}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CartTraining)->Arg(1000)->Arg(4000)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// TABLE I reproduction: Brier score and its components (variance,
+// unspecificity, unreliability) plus overconfidence for the six evaluated
+// uncertainty models.
+//
+// Paper reference values:
+//   stateless UW (no IF+no UF): bs=0.0661 var=0.0726 unspec=0.0651
+//   IF + no UF:                 bs=0.0498 var=0.0526 unspec=0.0487
+//   IF + naive UF:              bs=0.0490 ... overconf=5.6e-03
+//   IF + worst-case UF:         bs=0.0588 ... unrel=0.01002 overconf=5.1e-07
+//   IF + opportune UF:          bs=0.0481 ... overconf=1.8e-04
+//   IF + taUW:                  bs=0.0356 var=0.0526 unspec=0.0346 (best)
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tauw;
+  bench::print_header(
+      "TABLE I - evaluation of different uncertainty models",
+      "Gross et al., DSN-W 2023, Table I / RQ2(a)");
+
+  core::Study study(bench::parse_config(argc, argv));
+  study.run();
+  bench::print_study_context(study);
+
+  const core::Table1Result table = study.table1();
+  std::printf("%-30s %-9s %-9s %-9s %-10s %-10s\n", "approach", "brier",
+              "variance", "unspec.", "unreliab.", "overconf.");
+  for (const core::ApproachScore& row : table.rows) {
+    const auto& d = row.decomposition;
+    std::printf("%-30s %-9.4f %-9.4f %-9.4f %-10.5f %-10.2e\n",
+                row.name.c_str(), d.brier, d.variance, d.unspecificity,
+                d.unreliability, d.overconfidence);
+  }
+
+  // Shape checks from the paper: the taUW achieves the best Brier score and
+  // zero-ish overconfidence; naive UF is the most overconfident fused model;
+  // worst-case has the highest unreliability among fused models.
+  const auto& rows = table.rows;
+  const double tauw_brier = rows.back().decomposition.brier;
+  bool tauw_best = true;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (rows[i].decomposition.brier < tauw_brier) tauw_best = false;
+  }
+  double max_overconf = 0.0;
+  std::size_t most_overconfident = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].decomposition.overconfidence > max_overconf) {
+      max_overconf = rows[i].decomposition.overconfidence;
+      most_overconfident = i;
+    }
+  }
+  const bool naive_most_overconfident =
+      rows[most_overconfident].name.find("naive") != std::string::npos;
+  std::printf("\nshape: taUW best Brier: %s; naive UF most overconfident: %s\n",
+              tauw_best ? "yes" : "no",
+              naive_most_overconfident ? "yes" : "no");
+  return tauw_best ? 0 : 1;
+}

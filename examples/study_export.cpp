@@ -1,0 +1,67 @@
+// Study exporter: runs the evaluation pipeline at a chosen scale and writes
+// every figure/table as CSV plus a markdown summary - the entry point for
+// regenerating the paper's plots with external tooling.
+//
+// Usage:  ./examples/study_export [--small|--medium|--full] [outdir]
+// Default: --medium into ./tauw_results
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/study.hpp"
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  out << text;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), text.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tauw;
+  core::StudyConfig config = core::StudyConfig::medium();
+  std::filesystem::path outdir = "tauw_results";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      config = core::StudyConfig::small();
+    } else if (std::strcmp(argv[i], "--medium") == 0) {
+      config = core::StudyConfig::medium();
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      config = core::StudyConfig{};
+    } else {
+      outdir = argv[i];
+    }
+  }
+  std::filesystem::create_directories(outdir);
+
+  std::printf("running study...\n");
+  core::Study study(config);
+  study.run();
+  std::printf("DDM test accuracy: %.1f%%\n", study.ddm_test_accuracy() * 100);
+
+  write_file(outdir / "fig4_misclassification.csv",
+             core::fig4_csv(study.fig4()));
+  write_file(outdir / "table1_uncertainty_models.csv",
+             core::table1_csv(study.table1()));
+  write_file(outdir / "fig5_uncertainty_distribution.csv",
+             core::fig5_csv(study.fig5()));
+  write_file(outdir / "fig6_calibration.csv", core::fig6_csv(study.fig6()));
+  write_file(outdir / "fig7_feature_importance.csv",
+             core::fig7_csv(study.fig7()));
+  write_file(outdir / "eval_rows.csv", core::rows_csv(study.rows()));
+  write_file(outdir / "summary.md", core::markdown_summary(study));
+  // The transparent models themselves, for expert review.
+  write_file(outdir / "qim_tree.txt", study.qim().to_text());
+  write_file(outdir / "taqim_tree.txt", study.taqim().to_text());
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "core/ds_fusion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace tauw::core {
+
+namespace {
+// Floor on per-step ignorance: keeps the closed-form products non-degenerate
+// when a source claims certainty 1.0.
+constexpr double kIgnoranceFloor = 1e-6;
+}  // namespace
+
+DsCombination combine_dempster_shafer(const TimeseriesBuffer& buffer) {
+  if (buffer.empty()) {
+    throw std::invalid_argument("combine_dempster_shafer: empty buffer");
+  }
+  // prod_j u_j and, per singleton A, prod_j (m_j({A}) + u_j).
+  double ignorance_product = 1.0;
+  std::unordered_map<std::size_t, double> singleton_products;
+  // First pass: collect outcomes so every singleton's product includes the
+  // u_j factors of non-supporting steps.
+  for (const BufferEntry& e : buffer.entries()) {
+    singleton_products.emplace(e.outcome, 1.0);
+  }
+  for (const BufferEntry& e : buffer.entries()) {
+    const double u = std::max(e.uncertainty, kIgnoranceFloor);
+    const double c = 1.0 - u;
+    ignorance_product *= u;
+    for (auto& [label, product] : singleton_products) {
+      product *= (label == e.outcome ? c : 0.0) + u;
+    }
+  }
+
+  double total = ignorance_product;
+  std::vector<std::pair<std::size_t, double>> masses;
+  masses.reserve(singleton_products.size());
+  for (const auto& [label, product] : singleton_products) {
+    const double mass = product - ignorance_product;
+    masses.emplace_back(label, mass);
+    total += mass;
+  }
+  // All unnormalized masses are intersections of compatible focal elements;
+  // the remainder up to 1 is conflict.
+  DsCombination result;
+  result.conflict = std::max(0.0, 1.0 - total);
+  if (total <= 0.0) {
+    // Degenerate: fall back to the most recent outcome with full ignorance.
+    result.best_outcome = buffer.latest().outcome;
+    result.ignorance = 1.0;
+    return result;
+  }
+  result.ignorance = ignorance_product / total;
+  // Argmax with the paper's tie-break flavor: most recent among ties.
+  double best = -1.0;
+  for (const auto& [label, mass] : masses) {
+    if (mass > best) best = mass;
+  }
+  constexpr double kTieEps = 1e-12;
+  for (std::size_t j = buffer.length(); j-- > 0;) {
+    const std::size_t label = buffer.entry(j).outcome;
+    const double mass = singleton_products[label] - ignorance_product;
+    if (mass >= best - kTieEps) {
+      result.best_outcome = label;
+      result.best_belief = mass / total;
+      break;
+    }
+  }
+  return result;
+}
+
+std::size_t DempsterShaferFusion::fuse(const TimeseriesBuffer& buffer) const {
+  return combine_dempster_shafer(buffer).best_outcome;
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,47 @@
+#pragma once
+// Dempster-Shafer evidence combination over successive DDM outcomes.
+//
+// An extension beyond the paper's majority vote (the paper cites Rogova's
+// classifier-combination work, which is rooted in Dempster-Shafer theory).
+// Each buffered timestep j contributes a basic belief assignment with two
+// focal elements: the predicted singleton {o_j} with mass c_j = 1 - u_j and
+// the frame of discernment (ignorance) with mass u_j. Because every source
+// is singleton-or-ignorance, Dempster's rule has a closed form:
+//
+//   m(Theta)  prop.  prod_j u_j
+//   m({A})    prop.  prod_j (m_j({A}) + u_j) - prod_j u_j
+//
+// normalized over all singletons plus Theta (conflict mass removed).
+//
+// The fused outcome is the singleton with maximal combined belief; its
+// Dempster-Shafer uncertainty is 1 - belief(winner). NOTE: unlike the taUW
+// estimate, this uncertainty inherits the per-step estimates' independence
+// assumptions and is NOT a dependable bound - it is provided as a research
+// baseline, not as a guarantee.
+
+#include "core/fusion.hpp"
+#include "core/timeseries_buffer.hpp"
+
+namespace tauw::core {
+
+/// Result of combining all buffered evidence.
+struct DsCombination {
+  std::size_t best_outcome = 0;  ///< singleton with maximal belief
+  double best_belief = 0.0;      ///< normalized mass of that singleton
+  double ignorance = 0.0;        ///< normalized mass of Theta
+  double conflict = 0.0;         ///< mass removed by normalization
+};
+
+/// Combines the buffer's evidence with Dempster's rule. Requires a non-empty
+/// buffer; per-step uncertainties of exactly 0 are clamped to a small floor
+/// so that a single overconfident source cannot veto all later evidence.
+DsCombination combine_dempster_shafer(const TimeseriesBuffer& buffer);
+
+/// InformationFusion adapter: fused outcome = argmax combined belief.
+class DempsterShaferFusion final : public InformationFusion {
+ public:
+  std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::string name() const override { return "dempster_shafer"; }
+};
+
+}  // namespace tauw::core

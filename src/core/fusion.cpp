@@ -1,0 +1,74 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace tauw::core {
+
+namespace {
+
+void require_non_empty(const TimeseriesBuffer& buffer) {
+  if (buffer.empty()) {
+    throw std::invalid_argument("fusion requires a non-empty buffer");
+  }
+}
+
+// Shared weighted-vote core: accumulates `weight(j)` per outcome and applies
+// the paper's tie-break (most recent among argmax classes).
+template <typename WeightFn>
+std::size_t weighted_vote(const TimeseriesBuffer& buffer, WeightFn weight) {
+  std::unordered_map<std::size_t, double> votes;
+  for (std::size_t j = 0; j < buffer.length(); ++j) {
+    votes[buffer.entry(j).outcome] += weight(j);
+  }
+  double best = -1.0;
+  for (const auto& [label, v] : votes) best = std::max(best, v);
+  // Most recent momentaneous prediction among the tied classes.
+  constexpr double kTieEps = 1e-12;
+  for (std::size_t j = buffer.length(); j-- > 0;) {
+    const std::size_t label = buffer.entry(j).outcome;
+    if (votes[label] >= best - kTieEps) return label;
+  }
+  return buffer.latest().outcome;  // unreachable for non-empty buffers
+}
+
+}  // namespace
+
+std::size_t MajorityVoteFusion::fuse(const TimeseriesBuffer& buffer) const {
+  require_non_empty(buffer);
+  return weighted_vote(buffer, [](std::size_t) { return 1.0; });
+}
+
+std::size_t CertaintyWeightedFusion::fuse(
+    const TimeseriesBuffer& buffer) const {
+  require_non_empty(buffer);
+  return weighted_vote(buffer, [&buffer](std::size_t j) {
+    return 1.0 - buffer.entry(j).uncertainty;
+  });
+}
+
+RecencyWeightedFusion::RecencyWeightedFusion(double lambda) : lambda_(lambda) {
+  if (!(lambda > 0.0) || !(lambda <= 1.0)) {
+    throw std::invalid_argument("lambda must be in (0,1]");
+  }
+}
+
+std::size_t RecencyWeightedFusion::fuse(const TimeseriesBuffer& buffer) const {
+  require_non_empty(buffer);
+  const std::size_t last = buffer.length() - 1;
+  double w = 1.0;
+  std::vector<double> weights(buffer.length());
+  for (std::size_t age = 0; age <= last; ++age) {
+    weights[last - age] = w;
+    w *= lambda_;
+  }
+  return weighted_vote(buffer, [&weights](std::size_t j) { return weights[j]; });
+}
+
+std::size_t LatestOutcomeFusion::fuse(const TimeseriesBuffer& buffer) const {
+  require_non_empty(buffer);
+  return buffer.latest().outcome;
+}
+
+}  // namespace tauw::core

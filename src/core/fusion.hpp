@@ -1,0 +1,60 @@
+#pragma once
+// Information fusion (infFuse) over successive DDM outcomes.
+//
+// The paper fuses the outcomes o_0..o_i of one timeseries with majority
+// voting; ties are resolved toward the most recent momentaneous prediction
+// (Section IV.C.3). Additional transparent rules are provided for ablation
+// benches: certainty-weighted voting and recency-weighted voting.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/timeseries_buffer.hpp"
+
+namespace tauw::core {
+
+/// Strategy interface: fuse all outcomes currently in the buffer.
+/// Requires a non-empty buffer.
+class InformationFusion {
+ public:
+  virtual ~InformationFusion() = default;
+  virtual std::size_t fuse(const TimeseriesBuffer& buffer) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Majority voting; ties go to the most recent prediction among the tied
+/// classes (the paper's rule).
+class MajorityVoteFusion final : public InformationFusion {
+ public:
+  std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::string name() const override { return "majority_vote"; }
+};
+
+/// Votes weighted by the per-step certainty 1 - u_j; ties to most recent.
+class CertaintyWeightedFusion final : public InformationFusion {
+ public:
+  std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::string name() const override { return "certainty_weighted"; }
+};
+
+/// Votes with exponential recency decay: weight lambda^(age); ties to most
+/// recent. lambda in (0, 1]; lambda = 1 reduces to majority voting.
+class RecencyWeightedFusion final : public InformationFusion {
+ public:
+  explicit RecencyWeightedFusion(double lambda = 0.85);
+  std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::string name() const override { return "recency_weighted"; }
+
+ private:
+  double lambda_;
+};
+
+/// Always returns the latest outcome (no fusion) - the isolated baseline.
+class LatestOutcomeFusion final : public InformationFusion {
+ public:
+  std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::string name() const override { return "latest_outcome"; }
+};
+
+}  // namespace tauw::core

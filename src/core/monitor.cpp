@@ -1,0 +1,49 @@
+#include "core/monitor.hpp"
+
+#include <stdexcept>
+
+namespace tauw::core {
+
+RuntimeMonitor::RuntimeMonitor(const MonitorConfig& config) : config_(config) {
+  if (!(config.uncertainty_threshold >= 0.0) ||
+      !(config.uncertainty_threshold <= 1.0)) {
+    throw std::invalid_argument("monitor threshold must be in [0,1]");
+  }
+  if (!(config.reacceptance_factor > 0.0) ||
+      config.reacceptance_factor > 1.0) {
+    throw std::invalid_argument("reacceptance factor must be in (0,1]");
+  }
+}
+
+MonitorDecision RuntimeMonitor::decide(double uncertainty) {
+  if (!(uncertainty >= 0.0) || !(uncertainty <= 1.0)) {
+    throw std::invalid_argument("uncertainty must be in [0,1]");
+  }
+  const double bound = in_fallback_
+                           ? config_.uncertainty_threshold *
+                                 config_.reacceptance_factor
+                           : config_.uncertainty_threshold;
+  ++stats_.decisions;
+  if (uncertainty < bound) {
+    ++stats_.accepted;
+    in_fallback_ = false;
+    return MonitorDecision::kAccept;
+  }
+  ++stats_.fallbacks;
+  in_fallback_ = true;
+  return MonitorDecision::kFallback;
+}
+
+void RuntimeMonitor::report_outcome(MonitorDecision decision,
+                                    bool failure) noexcept {
+  if (decision == MonitorDecision::kAccept && failure) {
+    ++stats_.accepted_failures;
+  }
+}
+
+void RuntimeMonitor::reset() noexcept {
+  stats_ = MonitorStats{};
+  in_fallback_ = false;
+}
+
+}  // namespace tauw::core

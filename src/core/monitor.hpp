@@ -1,0 +1,74 @@
+#pragma once
+// Runtime monitor: turns dependable uncertainty estimates into accept /
+// fallback decisions (simplex pattern, paper Section I).
+//
+// The monitor accepts an outcome when its uncertainty is below a threshold
+// and otherwise triggers the configured countermeasure (e.g. degrade to a
+// safe driving profile). Optional hysteresis avoids mode flapping: after a
+// fallback, the uncertainty must drop below `threshold * reacceptance_factor`
+// before outcomes are accepted again. The monitor also keeps the statistics
+// a safety case needs: coverage, fallback rate, and the observed failure
+// rate among accepted outcomes (when ground truth is fed back).
+
+#include <cstddef>
+
+namespace tauw::core {
+
+enum class MonitorDecision { kAccept, kFallback };
+
+struct MonitorConfig {
+  /// Accept outcomes with uncertainty strictly below this bound.
+  double uncertainty_threshold = 0.01;
+  /// After a fallback, require u < threshold * reacceptance_factor to
+  /// re-accept (<= 1; 1 disables hysteresis).
+  double reacceptance_factor = 1.0;
+};
+
+struct MonitorStats {
+  std::size_t decisions = 0;
+  std::size_t accepted = 0;
+  std::size_t fallbacks = 0;
+  std::size_t accepted_failures = 0;  ///< only counted when truth was fed back
+
+  double coverage() const noexcept {
+    return decisions == 0 ? 0.0
+                          : static_cast<double>(accepted) /
+                                static_cast<double>(decisions);
+  }
+  double fallback_rate() const noexcept {
+    return decisions == 0 ? 0.0
+                          : static_cast<double>(fallbacks) /
+                                static_cast<double>(decisions);
+  }
+  double accepted_failure_rate() const noexcept {
+    return accepted == 0 ? 0.0
+                         : static_cast<double>(accepted_failures) /
+                               static_cast<double>(accepted);
+  }
+};
+
+class RuntimeMonitor {
+ public:
+  RuntimeMonitor() : RuntimeMonitor(MonitorConfig{}) {}
+  explicit RuntimeMonitor(const MonitorConfig& config);
+
+  /// Decides on one outcome given its dependable uncertainty estimate.
+  MonitorDecision decide(double uncertainty);
+
+  /// Optional ground-truth feedback for the previous accepted decision -
+  /// updates the accepted-failure statistics (testing/shadow operation).
+  void report_outcome(MonitorDecision decision, bool failure) noexcept;
+
+  const MonitorStats& stats() const noexcept { return stats_; }
+  bool in_fallback() const noexcept { return in_fallback_; }
+
+  /// Clears statistics and hysteresis state.
+  void reset() noexcept;
+
+ private:
+  MonitorConfig config_;
+  MonitorStats stats_;
+  bool in_fallback_ = false;
+};
+
+}  // namespace tauw::core

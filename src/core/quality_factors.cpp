@@ -1,0 +1,43 @@
+#include "core/quality_factors.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tauw::core {
+
+QualityFactorExtractor::QualityFactorExtractor(double frame_edge_px)
+    : frame_edge_px_(frame_edge_px) {
+  if (!(frame_edge_px > 0.0)) {
+    throw std::invalid_argument("frame_edge_px must be positive");
+  }
+  names_.reserve(imaging::kNumDeficits + 1);
+  for (const imaging::Deficit d : imaging::all_deficits()) {
+    names_.emplace_back(imaging::deficit_name(d));
+  }
+  names_.emplace_back("apparent_size");
+}
+
+std::size_t QualityFactorExtractor::num_factors() const noexcept {
+  return names_.size();
+}
+
+void QualityFactorExtractor::extract_into(const data::FrameRecord& frame,
+                                          std::span<double> out) const {
+  if (out.size() != num_factors()) {
+    throw std::invalid_argument("QF buffer size mismatch");
+  }
+  for (std::size_t d = 0; d < imaging::kNumDeficits; ++d) {
+    out[d] = frame.observed_intensities[d];
+  }
+  out[imaging::kNumDeficits] =
+      std::clamp(frame.observed_apparent_px / frame_edge_px_, 0.0, 1.5);
+}
+
+std::vector<double> QualityFactorExtractor::extract(
+    const data::FrameRecord& frame) const {
+  std::vector<double> out(num_factors());
+  extract_into(frame, out);
+  return out;
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,45 @@
+#pragma once
+// Stateless input-quality factors (QF).
+//
+// The quality model of the uncertainty wrapper (Fig. 1 of the paper) turns
+// raw runtime inputs - sensor readings such as a rain gauge, and properties
+// of the camera frame such as the apparent sign size - into a quality-factor
+// vector consumed by the quality impact model. These factors are *stateless*:
+// they depend only on the current timestep.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/timeseries.hpp"
+
+namespace tauw::core {
+
+/// Extracts the stateless quality-factor vector from one frame record.
+///
+/// Layout: the nine observed deficit intensities in canonical order followed
+/// by the observed apparent sign size normalized by the frame edge. The
+/// extractor is a value type so wrappers can be copied freely.
+class QualityFactorExtractor {
+ public:
+  /// `frame_edge_px` normalizes the apparent-size factor (default matches
+  /// the renderer's frame size).
+  explicit QualityFactorExtractor(double frame_edge_px = 28.0);
+
+  std::size_t num_factors() const noexcept;
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  /// Extracts the QF vector of `frame`.
+  std::vector<double> extract(const data::FrameRecord& frame) const;
+
+  /// Extraction into a preallocated buffer of size num_factors().
+  void extract_into(const data::FrameRecord& frame,
+                    std::span<double> out) const;
+
+ private:
+  double frame_edge_px_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace tauw::core

@@ -1,0 +1,42 @@
+#include "core/quality_impact_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tauw::core {
+
+void QualityImpactModel::fit(const dtree::TreeDataset& train,
+                             const dtree::TreeDataset& calibration,
+                             const QimConfig& config,
+                             std::vector<std::string> feature_names) {
+  if (train.num_features != calibration.num_features) {
+    throw std::invalid_argument("QIM: train/calibration feature mismatch");
+  }
+  tree_ = dtree::train_cart(train, config.cart);
+  calibration_result_ =
+      dtree::prune_and_calibrate(tree_, calibration, config.calibration);
+  importances_ = dtree::feature_importance(tree_, train);
+  feature_names_ = std::move(feature_names);
+}
+
+double QualityImpactModel::predict(
+    std::span<const double> quality_factors) const {
+  if (!fitted()) throw std::logic_error("QIM::predict before fit");
+  return tree_.predict_uncertainty(quality_factors);
+}
+
+double QualityImpactModel::min_leaf_uncertainty() const {
+  if (!fitted()) throw std::logic_error("QIM::min_leaf_uncertainty before fit");
+  double best = 1.0;
+  for (const std::size_t leaf : tree_.leaf_indices()) {
+    best = std::min(best, tree_.node(leaf).uncertainty);
+  }
+  return best;
+}
+
+std::string QualityImpactModel::to_text() const {
+  if (!fitted()) return "<unfitted QIM>";
+  return tree_.to_text(feature_names_);
+}
+
+}  // namespace tauw::core

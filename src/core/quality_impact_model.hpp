@@ -1,0 +1,66 @@
+#pragma once
+// Quality impact model (QIM): the transparent decision-tree component of the
+// uncertainty wrapper that maps quality factors to a dependable uncertainty.
+//
+// Training follows the paper (Section IV.C.2): CART with Gini impurity up to
+// depth 8 without pruning, then pruning so each leaf keeps at least 200
+// calibration samples, then per-leaf uncertainty guarantees at confidence
+// 0.999 via one-sided Clopper-Pearson bounds.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dtree/calibrate.hpp"
+#include "dtree/cart.hpp"
+#include "dtree/tree.hpp"
+
+namespace tauw::core {
+
+struct QimConfig {
+  dtree::CartConfig cart{};                ///< growth parameters (depth 8)
+  dtree::CalibrationConfig calibration{};  ///< >=200 samples, 0.999 confidence
+};
+
+class QualityImpactModel {
+ public:
+  QualityImpactModel() = default;
+
+  /// Grows the tree on `train`, prunes and calibrates on `calibration`.
+  /// `feature_names` (optional) are retained for transparency output.
+  void fit(const dtree::TreeDataset& train,
+           const dtree::TreeDataset& calibration, const QimConfig& config,
+           std::vector<std::string> feature_names = {});
+
+  bool fitted() const noexcept { return !tree_.empty(); }
+  std::size_t num_features() const noexcept { return tree_.num_features(); }
+
+  /// Dependable uncertainty for a quality-factor vector.
+  double predict(std::span<const double> quality_factors) const;
+
+  /// The smallest uncertainty any leaf guarantees (Fig. 5's "lowest
+  /// uncertainty" level).
+  double min_leaf_uncertainty() const;
+
+  /// Split-based feature importances over the training data (sums to 1).
+  const std::vector<double>& importances() const noexcept {
+    return importances_;
+  }
+
+  const dtree::DecisionTree& tree() const noexcept { return tree_; }
+  const dtree::CalibrationResult& calibration() const noexcept {
+    return calibration_result_;
+  }
+
+  /// Transparent rendering of the tree for expert review.
+  std::string to_text() const;
+
+ private:
+  dtree::DecisionTree tree_;
+  dtree::CalibrationResult calibration_result_;
+  std::vector<std::string> feature_names_;
+  std::vector<double> importances_;
+};
+
+}  // namespace tauw::core

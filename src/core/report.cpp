@@ -1,0 +1,143 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace tauw::core {
+
+namespace {
+
+std::ostringstream make_stream() {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  return os;
+}
+
+}  // namespace
+
+std::string fig4_csv(const Fig4Result& result) {
+  auto os = make_stream();
+  os << "timestep,isolated_rate,fused_rate,cases\n";
+  for (const Fig4Row& row : result.rows) {
+    os << row.timestep << ',' << row.isolated_rate << ',' << row.fused_rate
+       << ',' << row.count << '\n';
+  }
+  return os.str();
+}
+
+std::string table1_csv(const Table1Result& result) {
+  auto os = make_stream();
+  os << "approach,brier,variance,unspecificity,resolution,unreliability,"
+        "overconfidence,underconfidence,base_rate\n";
+  for (const ApproachScore& row : result.rows) {
+    std::string name = row.name;
+    for (char& c : name) {
+      if (c == ',') c = ';';
+    }
+    const auto& d = row.decomposition;
+    os << name << ',' << d.brier << ',' << d.variance << ','
+       << d.unspecificity << ',' << d.resolution << ',' << d.unreliability
+       << ',' << d.overconfidence << ',' << d.underconfidence << ','
+       << d.base_rate << '\n';
+  }
+  return os.str();
+}
+
+std::string fig5_csv(const Fig5Result& result) {
+  auto os = make_stream();
+  os << "model,uncertainty,cases,fraction\n";
+  for (const stats::ValueCount& vc : result.stateless_distribution) {
+    os << "stateless_uw," << vc.value << ',' << vc.count << ',' << vc.fraction
+       << '\n';
+  }
+  for (const stats::ValueCount& vc : result.tauw_distribution) {
+    os << "tauw_if," << vc.value << ',' << vc.count << ',' << vc.fraction
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string fig6_csv(const Fig6Result& result) {
+  auto os = make_stream();
+  os << "model,decile,predicted_certainty,observed_correctness,cases\n";
+  for (const Fig6Curve& curve : result.curves) {
+    std::string name = curve.name;
+    for (char& c : name) {
+      if (c == ' ' || c == ',') c = '_';
+    }
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const auto& pt = curve.points[i];
+      os << name << ',' << (i + 1) << ',' << pt.mean_predicted_certainty
+         << ',' << pt.observed_correctness << ',' << pt.count << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string fig7_csv(const Fig7Result& result) {
+  auto os = make_stream();
+  os << "subset,num_features,brier\n";
+  for (const Fig7Entry& entry : result.entries) {
+    os << entry.name << ',' << entry.set.count() << ',' << entry.brier
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string rows_csv(const std::vector<EvalRow>& rows) {
+  auto os = make_stream();
+  os << "series,timestep,isolated_failure,fused_failure,u_stateless,u_naive,"
+        "u_opportune,u_worst_case,u_tauw\n";
+  for (const EvalRow& row : rows) {
+    os << row.series << ',' << row.timestep << ','
+       << (row.isolated_failure ? 1 : 0) << ',' << (row.fused_failure ? 1 : 0)
+       << ',' << row.u_stateless << ',' << row.u_naive << ','
+       << row.u_opportune << ',' << row.u_worst_case << ',' << row.u_tauw
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string markdown_summary(const Study& study) {
+  auto os = make_stream();
+  os.precision(4);
+  const auto& d = study.config().data;
+  os << "# taUW study summary\n\n";
+  os << "- series: " << d.num_series << " (train " << d.train_series
+     << " / calib " << d.calib_series << " / test " << d.test_series << ")\n";
+  os << "- window length: " << d.subsample_length << ", replicas: "
+     << d.eval_replicas << "\n";
+  os << "- DDM test accuracy: " << study.ddm_test_accuracy() * 100.0
+     << "%\n\n";
+
+  const Fig4Result fig4 = study.fig4();
+  os << "## Fig. 4 (misclassification per timestep)\n\n";
+  os << "| timestep | isolated | fused |\n|---|---|---|\n";
+  for (const Fig4Row& row : fig4.rows) {
+    os << "| " << row.timestep << " | " << row.isolated_rate * 100.0
+       << "% | " << row.fused_rate * 100.0 << "% |\n";
+  }
+  os << "\naverages: isolated " << fig4.isolated_avg * 100.0 << "%, fused "
+     << fig4.fused_avg * 100.0 << "%\n\n";
+
+  const Table1Result table = study.table1();
+  os << "## TABLE I (Brier decomposition)\n\n";
+  os << "| approach | brier | variance | unspecificity | unreliability | "
+        "overconfidence |\n|---|---|---|---|---|---|\n";
+  for (const ApproachScore& row : table.rows) {
+    const auto& dec = row.decomposition;
+    os << "| " << row.name << " | " << dec.brier << " | " << dec.variance
+       << " | " << dec.unspecificity << " | " << dec.unreliability << " | "
+       << dec.overconfidence << " |\n";
+  }
+
+  const Fig5Result fig5 = study.fig5();
+  os << "\n## Fig. 5 (lowest guaranteed uncertainty)\n\n";
+  os << "- stateless UW: u=" << fig5.stateless_min_u << " for "
+     << fig5.stateless_min_u_fraction * 100.0 << "% of cases\n";
+  os << "- taUW + IF: u=" << fig5.tauw_min_u << " for "
+     << fig5.tauw_min_u_fraction * 100.0 << "% of cases\n";
+  return os.str();
+}
+
+}  // namespace tauw::core

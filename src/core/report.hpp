@@ -1,0 +1,40 @@
+#pragma once
+// Machine-readable exports of the study's figures and tables.
+//
+// The bench binaries print human-oriented tables; downstream analysis
+// (plotting the paper's figures, regression-tracking results in CI) wants
+// CSV. All exporters produce RFC-4180-ish CSV with a header row, one record
+// per line, '.' decimal separator, no quoting (no field contains commas).
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace tauw::core {
+
+/// Fig. 4 data: timestep, isolated_rate, fused_rate, cases.
+std::string fig4_csv(const Fig4Result& result);
+
+/// TABLE I data: approach, brier, variance, unspecificity, resolution,
+/// unreliability, overconfidence, underconfidence, base_rate.
+std::string table1_csv(const Table1Result& result);
+
+/// Fig. 5 data: model, uncertainty, cases, fraction.
+std::string fig5_csv(const Fig5Result& result);
+
+/// Fig. 6 data: model, decile, predicted_certainty, observed_correctness,
+/// cases.
+std::string fig6_csv(const Fig6Result& result);
+
+/// Fig. 7 data: subset, num_features, brier.
+std::string fig7_csv(const Fig7Result& result);
+
+/// Per-case evaluation rows: series, timestep, failures and all five
+/// uncertainty estimates - the raw material for custom analyses.
+std::string rows_csv(const std::vector<EvalRow>& rows);
+
+/// One markdown document summarizing a completed study (context, Fig. 4,
+/// TABLE I, Fig. 5 extremes) - suitable for pasting into an issue/report.
+std::string markdown_summary(const Study& study);
+
+}  // namespace tauw::core

@@ -1,0 +1,38 @@
+#include "core/scope_model.hpp"
+
+#include <algorithm>
+
+namespace tauw::core {
+
+double ScopeComplianceModel::incompliance_probability(
+    const ScopeFactors& factors) const noexcept {
+  if (!config_.region.contains(factors.latitude, factors.longitude)) {
+    return config_.violation_probability;
+  }
+  if (factors.apparent_px < config_.min_apparent_px ||
+      factors.apparent_px > config_.max_apparent_px) {
+    return config_.violation_probability;
+  }
+  return 0.0;
+}
+
+double ScopeComplianceModel::incompliance_probability(
+    const data::FrameRecord& frame,
+    const sim::SignLocation& location) const noexcept {
+  ScopeFactors f;
+  f.latitude = location.latitude;
+  f.longitude = location.longitude;
+  f.apparent_px = frame.observed_apparent_px;
+  return incompliance_probability(f);
+}
+
+double combine_uncertainties(double quality_uncertainty,
+                             double scope_incompliance) noexcept {
+  const double q = std::clamp(quality_uncertainty, 0.0, 1.0);
+  const double s = std::clamp(scope_incompliance, 0.0, 1.0);
+  // Certainties multiply: the outcome is dependable only if in scope and
+  // correct given input quality.
+  return 1.0 - (1.0 - q) * (1.0 - s);
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,56 @@
+#pragma once
+// Scope compliance model: boundary checks on scope factors.
+//
+// The uncertainty wrapper estimates the probability that the DDM is applied
+// outside its target application scope (TAS). The paper's study keeps all
+// data in scope and omits this component; the library still provides it so
+// downstream systems (and the quickstart example) can exercise the full
+// wrapper pattern. This implementation performs fixed boundary checks on the
+// GPS position plus a data-similarity check on the apparent sign size.
+
+#include <optional>
+
+#include "data/timeseries.hpp"
+#include "sim/road_network.hpp"
+
+namespace tauw::core {
+
+struct ScopeFactors {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double apparent_px = 0.0;
+};
+
+class ScopeComplianceModel {
+ public:
+  struct Config {
+    sim::BoundingBox region{};       ///< TAS region (Germany-like by default)
+    double min_apparent_px = 4.0;    ///< below: outside the trained regime
+    double max_apparent_px = 40.0;
+    /// Scope incompliance probability assigned when a check fails.
+    double violation_probability = 1.0;
+  };
+
+  ScopeComplianceModel() : ScopeComplianceModel(Config{}) {}
+  explicit ScopeComplianceModel(const Config& config) : config_(config) {}
+
+  /// Probability that the current situation lies outside the TAS.
+  double incompliance_probability(const ScopeFactors& factors) const noexcept;
+
+  /// Convenience: derives the scope factors of a frame recorded at a known
+  /// location.
+  double incompliance_probability(const data::FrameRecord& frame,
+                                  const sim::SignLocation& location) const
+      noexcept;
+
+ private:
+  Config config_;
+};
+
+/// Combines quality-related and scope-related uncertainty into the overall
+/// dependable uncertainty: the outcome is valid only if the DDM is both
+/// in scope AND not wrong given input quality.
+double combine_uncertainties(double quality_uncertainty,
+                             double scope_incompliance) noexcept;
+
+}  // namespace tauw::core

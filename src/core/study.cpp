@@ -1,0 +1,447 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tauw::core {
+
+namespace {
+
+// Salts deriving independent data-generation sub-streams per dataset role.
+constexpr std::uint64_t kSaltCalib = 0x00c0ffee;
+constexpr std::uint64_t kSaltTest = 0x7e57da7a;
+constexpr std::uint64_t kSaltTaTrain = 0x7a7a1111;
+
+}  // namespace
+
+StudyConfig StudyConfig::small() {
+  StudyConfig cfg;
+  cfg.data.num_series = 72;
+  cfg.data.frames_per_series = 12;
+  cfg.data.train_series = 36;
+  cfg.data.calib_series = 18;
+  cfg.data.test_series = 18;
+  cfg.data.train_frame_stride = 5;
+  cfg.data.eval_replicas = 2;
+  cfg.data.subsample_length = 6;
+  cfg.data.feature_config.pixel_grid = 10;
+  cfg.data.feature_config.edge_grid = 5;
+  cfg.mlp_hidden = 32;
+  cfg.trainer.epochs = 5;
+  cfg.qim.calibration.min_leaf_samples = 40;
+  cfg.qim.cart.max_depth = 6;
+  return cfg;
+}
+
+StudyConfig StudyConfig::medium() {
+  StudyConfig cfg;
+  cfg.data.num_series = 300;
+  cfg.data.frames_per_series = 20;
+  cfg.data.train_series = 150;
+  cfg.data.calib_series = 75;
+  cfg.data.test_series = 75;
+  cfg.data.train_frame_stride = 5;
+  cfg.data.eval_replicas = 3;
+  cfg.data.subsample_length = 8;
+  cfg.data.feature_config.pixel_grid = 12;
+  cfg.data.feature_config.edge_grid = 6;
+  cfg.mlp_hidden = 48;
+  cfg.trainer.epochs = 8;
+  cfg.qim.calibration.min_leaf_samples = 100;
+  cfg.qim.cart.max_depth = 7;
+  return cfg;
+}
+
+Study::Study(StudyConfig config) : config_(std::move(config)) {}
+Study::~Study() = default;
+
+void Study::log(const std::string& message) const {
+  if (config_.verbose) std::printf("[study] %s\n", message.c_str());
+}
+
+void Study::run() {
+  renderer_ = std::make_unique<imaging::SignRenderer>(config_.seed ^ 0x5157);
+  weather_ = std::make_unique<sim::WeatherModel>(config_.seed ^ 0x3311);
+  roads_ = std::make_unique<sim::RoadNetwork>(512, config_.seed ^ 0x77aa);
+  generator_ = std::make_unique<data::GtsrbLikeGenerator>(
+      config_.data, *renderer_, *weather_, *roads_);
+  qf_extractor_ =
+      QualityFactorExtractor(static_cast<double>(imaging::kFrameSize));
+
+  const data::SplitIndices split = generator_->split();
+
+  // ---- 1. DDM training -------------------------------------------------
+  log("generating training frames");
+  dtree::TreeDataset qim_train;
+  {
+    const data::FrameDataset train_frames =
+        generator_->make_training_frames(split.train);
+    log("training frames: " + std::to_string(train_frames.size()));
+
+    ml::TrainingSet train_set;
+    train_set.feature_dim = config_.data.feature_config.pixel_grid *
+                                config_.data.feature_config.pixel_grid +
+                            config_.data.feature_config.edge_grid *
+                                config_.data.feature_config.edge_grid +
+                            (config_.data.feature_config.include_mean_std ? 2 : 0);
+    for (const data::FrameRecord& rec : train_frames.records) {
+      train_set.push_back(rec.features, rec.label);
+    }
+    ddm_ = std::make_unique<ml::MlpClassifier>(
+        train_set.feature_dim, config_.mlp_hidden,
+        renderer_->num_classes(), config_.seed ^ 0xdd1);
+    log("training DDM");
+    ml::TrainerConfig trainer = config_.trainer;
+    trainer.verbose = config_.verbose;
+    ml::train(*ddm_, train_set, trainer);
+    ddm_train_accuracy_ = ml::evaluate_accuracy(*ddm_, train_set);
+    log("DDM train accuracy: " + std::to_string(ddm_train_accuracy_));
+
+    // Stateless QIM training rows from the same augmented training frames:
+    // quality factors -> did the DDM misclassify?
+    for (const data::FrameRecord& rec : train_frames.records) {
+      const ml::Prediction pred = ddm_->predict(rec.features);
+      qim_train.push_back(qf_extractor_.extract(rec), pred.label != rec.label);
+    }
+    qim_train.feature_names = qf_extractor_.names();
+  }
+
+  // ---- 2. Stateless UW calibration --------------------------------------
+  log("generating calibration series");
+  const data::SeriesDataset calib_series =
+      generator_->make_eval_series(split.calib, kSaltCalib);
+  const dtree::TreeDataset qim_calib = stateless_dataset(calib_series);
+  log("fitting stateless QIM");
+  qim_.fit(qim_train, qim_calib, config_.qim, qf_extractor_.names());
+  wrapper_ = std::make_unique<UncertaintyWrapper>(*ddm_, qf_extractor_, qim_);
+
+  // ---- 3. Traces ---------------------------------------------------------
+  log("generating taQIM training series");
+  {
+    const data::SeriesDataset ta_train_series =
+        generator_->make_eval_series(split.train, kSaltTaTrain);
+    train_ta_traces_ = make_traces(ta_train_series);
+  }
+  calib_traces_ = make_traces(calib_series);
+  log("generating test series");
+  {
+    const data::SeriesDataset test_series =
+        generator_->make_eval_series(split.test, kSaltTest);
+    test_traces_ = make_traces(test_series);
+  }
+
+  // ---- 4. taQIM ----------------------------------------------------------
+  log("fitting taQIM");
+  taqim_ = fit_taqim(config_.taqfs);
+
+  // ---- 5. Test-set evaluation --------------------------------------------
+  const TaFeatureBuilder builder(qf_extractor_.num_factors(), config_.taqfs);
+  rows_.clear();
+  std::size_t isolated_failures = 0;
+  std::size_t frames = 0;
+  std::vector<double> features(builder.dim());
+  for (std::size_t s = 0; s < test_traces_.size(); ++s) {
+    const SeriesTrace& trace = test_traces_[s];
+    TimeseriesBuffer buffer;
+    UncertaintyFusionAccumulator uf;
+    for (std::size_t t = 0; t < trace.steps.size(); ++t) {
+      const StepTrace& step = trace.steps[t];
+      buffer.push(step.outcome, step.uncertainty);
+      uf.push(step.uncertainty);
+      builder.build_into(step.stateless_qfs, buffer, step.fused, features);
+      EvalRow row;
+      row.series = s;
+      row.timestep = t;
+      row.isolated_failure = step.outcome != trace.truth;
+      row.fused_failure = step.fused != trace.truth;
+      row.u_stateless = step.uncertainty;
+      row.u_naive = uf.naive();
+      row.u_opportune = uf.opportune();
+      row.u_worst_case = uf.worst_case();
+      row.u_tauw = taqim_.predict(features);
+      rows_.push_back(row);
+      isolated_failures += row.isolated_failure ? 1 : 0;
+      ++frames;
+    }
+  }
+  ddm_test_accuracy_ =
+      frames == 0 ? 0.0
+                  : 1.0 - static_cast<double>(isolated_failures) /
+                              static_cast<double>(frames);
+  log("DDM test accuracy: " + std::to_string(ddm_test_accuracy_));
+  ran_ = true;
+}
+
+std::vector<SeriesTrace> Study::make_traces(
+    const data::SeriesDataset& dataset) const {
+  std::vector<SeriesTrace> traces;
+  traces.reserve(dataset.series.size());
+  for (const data::RecordSeries& rs : dataset.series) {
+    SeriesTrace trace;
+    trace.truth = rs.label;
+    trace.steps.reserve(rs.frames.size());
+    TimeseriesBuffer buffer;
+    for (const data::FrameRecord& frame : rs.frames) {
+      const UncertainOutcome outcome = wrapper_->evaluate(frame);
+      buffer.push(outcome.label, outcome.uncertainty);
+      StepTrace step;
+      step.stateless_qfs = qf_extractor_.extract(frame);
+      step.outcome = outcome.label;
+      step.uncertainty = outcome.uncertainty;
+      step.fused = fusion_.fuse(buffer);
+      trace.steps.push_back(std::move(step));
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+dtree::TreeDataset Study::stateless_dataset(
+    const data::SeriesDataset& dataset) const {
+  dtree::TreeDataset out;
+  out.feature_names = qf_extractor_.names();
+  for (const data::RecordSeries& rs : dataset.series) {
+    for (const data::FrameRecord& frame : rs.frames) {
+      const ml::Prediction pred = ddm_->predict(frame.features);
+      out.push_back(qf_extractor_.extract(frame), pred.label != rs.label);
+    }
+  }
+  return out;
+}
+
+dtree::TreeDataset Study::ta_dataset(const std::vector<SeriesTrace>& traces,
+                                     const TaFeatureBuilder& builder) const {
+  dtree::TreeDataset out;
+  std::vector<double> features(builder.dim());
+  for (const SeriesTrace& trace : traces) {
+    TimeseriesBuffer buffer;
+    for (const StepTrace& step : trace.steps) {
+      buffer.push(step.outcome, step.uncertainty);
+      builder.build_into(step.stateless_qfs, buffer, step.fused, features);
+      out.push_back(features, step.fused != trace.truth);
+    }
+  }
+  out.feature_names = builder.names(qf_extractor_.names());
+  return out;
+}
+
+QualityImpactModel Study::fit_taqim(TaqfSet set) const {
+  const TaFeatureBuilder builder(qf_extractor_.num_factors(), set);
+  const dtree::TreeDataset train = ta_dataset(train_ta_traces_, builder);
+  const dtree::TreeDataset calib = ta_dataset(calib_traces_, builder);
+  QualityImpactModel model;
+  model.fit(train, calib, config_.qim, builder.names(qf_extractor_.names()));
+  return model;
+}
+
+namespace {
+
+void require_ran(bool ran) {
+  if (!ran) throw std::logic_error("Study::run() has not been called");
+}
+
+}  // namespace
+
+double Study::ddm_test_accuracy() const {
+  require_ran(ran_);
+  return ddm_test_accuracy_;
+}
+
+double Study::ddm_train_accuracy() const {
+  require_ran(ran_);
+  return ddm_train_accuracy_;
+}
+
+const std::vector<EvalRow>& Study::rows() const {
+  require_ran(ran_);
+  return rows_;
+}
+
+Fig4Result Study::fig4() const {
+  require_ran(ran_);
+  const std::size_t window = config_.data.subsample_length;
+  std::vector<std::size_t> isolated(window, 0);
+  std::vector<std::size_t> fused(window, 0);
+  std::vector<std::size_t> counts(window, 0);
+  for (const EvalRow& row : rows_) {
+    isolated[row.timestep] += row.isolated_failure ? 1 : 0;
+    fused[row.timestep] += row.fused_failure ? 1 : 0;
+    ++counts[row.timestep];
+  }
+  Fig4Result result;
+  double iso_sum = 0.0;
+  double fus_sum = 0.0;
+  for (std::size_t t = 0; t < window; ++t) {
+    Fig4Row row;
+    row.timestep = t + 1;
+    row.count = counts[t];
+    row.isolated_rate = counts[t] == 0 ? 0.0
+                                       : static_cast<double>(isolated[t]) /
+                                             static_cast<double>(counts[t]);
+    row.fused_rate = counts[t] == 0 ? 0.0
+                                    : static_cast<double>(fused[t]) /
+                                          static_cast<double>(counts[t]);
+    iso_sum += row.isolated_rate;
+    fus_sum += row.fused_rate;
+    result.rows.push_back(row);
+  }
+  result.isolated_avg = iso_sum / static_cast<double>(window);
+  result.fused_avg = fus_sum / static_cast<double>(window);
+  result.fused_final = result.rows.empty() ? 0.0 : result.rows.back().fused_rate;
+  return result;
+}
+
+Table1Result Study::table1() const {
+  require_ran(ran_);
+  const std::size_t n = rows_.size();
+  std::vector<double> forecast(n);
+  std::vector<std::uint8_t> isolated_failure(n);
+  std::vector<std::uint8_t> fused_failure(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    isolated_failure[i] = rows_[i].isolated_failure;
+    fused_failure[i] = rows_[i].fused_failure;
+  }
+
+  Table1Result result;
+  const auto add = [&](const std::string& name, auto u_of,
+                       const std::vector<std::uint8_t>& failures) {
+    for (std::size_t i = 0; i < n; ++i) forecast[i] = u_of(rows_[i]);
+    ApproachScore score;
+    score.name = name;
+    score.decomposition = stats::brier_decomposition(forecast, failures);
+    result.rows.push_back(std::move(score));
+  };
+
+  add("stateless UW (no IF + no UF)",
+      [](const EvalRow& r) { return r.u_stateless; }, isolated_failure);
+  add("IF + no UF", [](const EvalRow& r) { return r.u_stateless; },
+      fused_failure);
+  add("IF + naive UF", [](const EvalRow& r) { return r.u_naive; },
+      fused_failure);
+  add("IF + worst-case UF", [](const EvalRow& r) { return r.u_worst_case; },
+      fused_failure);
+  add("IF + opportune UF", [](const EvalRow& r) { return r.u_opportune; },
+      fused_failure);
+  add("IF + taUW", [](const EvalRow& r) { return r.u_tauw; }, fused_failure);
+  return result;
+}
+
+Fig5Result Study::fig5() const {
+  require_ran(ran_);
+  std::vector<double> u_stateless;
+  std::vector<double> u_tauw;
+  u_stateless.reserve(rows_.size());
+  u_tauw.reserve(rows_.size());
+  for (const EvalRow& row : rows_) {
+    u_stateless.push_back(row.u_stateless);
+    u_tauw.push_back(row.u_tauw);
+  }
+  Fig5Result result;
+  result.stateless_distribution = stats::distinct_value_distribution(u_stateless);
+  result.tauw_distribution = stats::distinct_value_distribution(u_tauw);
+  if (!result.stateless_distribution.empty()) {
+    result.stateless_min_u = result.stateless_distribution.front().value;
+    result.stateless_min_u_fraction =
+        result.stateless_distribution.front().fraction;
+  }
+  if (!result.tauw_distribution.empty()) {
+    result.tauw_min_u = result.tauw_distribution.front().value;
+    result.tauw_min_u_fraction = result.tauw_distribution.front().fraction;
+  }
+  return result;
+}
+
+Fig6Result Study::fig6(std::size_t num_bins) const {
+  require_ran(ran_);
+  const std::size_t n = rows_.size();
+  std::vector<double> forecast(n);
+  std::vector<std::uint8_t> fused_failure(n);
+  for (std::size_t i = 0; i < n; ++i) fused_failure[i] = rows_[i].fused_failure;
+
+  Fig6Result result;
+  const auto add = [&](const std::string& name, auto u_of) {
+    for (std::size_t i = 0; i < n; ++i) forecast[i] = u_of(rows_[i]);
+    Fig6Curve curve;
+    curve.name = name;
+    curve.points = stats::calibration_curve(forecast, fused_failure, num_bins);
+    result.curves.push_back(std::move(curve));
+  };
+  add("naive UF", [](const EvalRow& r) { return r.u_naive; });
+  add("worst-case UF", [](const EvalRow& r) { return r.u_worst_case; });
+  add("opportune UF", [](const EvalRow& r) { return r.u_opportune; });
+  add("taUW", [](const EvalRow& r) { return r.u_tauw; });
+  return result;
+}
+
+double Study::taqf_subset_brier(TaqfSet set) const {
+  require_ran(ran_);
+  const QualityImpactModel model = fit_taqim(set);
+  const TaFeatureBuilder builder(qf_extractor_.num_factors(), set);
+  std::vector<double> features(builder.dim());
+  std::vector<double> forecast;
+  std::vector<std::uint8_t> failures;
+  forecast.reserve(rows_.size());
+  failures.reserve(rows_.size());
+  for (const SeriesTrace& trace : test_traces_) {
+    TimeseriesBuffer buffer;
+    for (const StepTrace& step : trace.steps) {
+      buffer.push(step.outcome, step.uncertainty);
+      builder.build_into(step.stateless_qfs, buffer, step.fused, features);
+      forecast.push_back(model.predict(features));
+      failures.push_back(step.fused != trace.truth);
+    }
+  }
+  return stats::brier_score(forecast, failures);
+}
+
+Fig7Result Study::fig7() const {
+  require_ran(ran_);
+  Fig7Result result;
+  for (const TaqfSet& set : all_taqf_subsets()) {
+    Fig7Entry entry;
+    entry.set = set;
+    entry.name = taqf_set_name(set);
+    entry.brier = taqf_subset_brier(set);
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+const ml::MlpClassifier& Study::ddm() const {
+  require_ran(ran_);
+  return *ddm_;
+}
+const QualityImpactModel& Study::qim() const {
+  require_ran(ran_);
+  return qim_;
+}
+const QualityImpactModel& Study::taqim() const {
+  require_ran(ran_);
+  return taqim_;
+}
+const UncertaintyWrapper& Study::wrapper() const {
+  require_ran(ran_);
+  return *wrapper_;
+}
+const QualityFactorExtractor& Study::qf_extractor() const {
+  require_ran(ran_);
+  return qf_extractor_;
+}
+const imaging::SignRenderer& Study::renderer() const {
+  require_ran(ran_);
+  return *renderer_;
+}
+const std::vector<SeriesTrace>& Study::test_traces() const {
+  require_ran(ran_);
+  return test_traces_;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,205 @@
+#pragma once
+// End-to-end reproduction of the paper's study (Sections IV-V).
+//
+// The Study builds the full pipeline once - synthetic GTSRB-like data, DDM
+// training, stateless UW calibration, taQIM training/calibration, test-set
+// evaluation - and then answers each research question from cached traces:
+//
+//   fig4()   misclassification per timestep, isolated vs information fusion
+//   table1() Brier decomposition of all six uncertainty approaches
+//   fig5()   distribution of predicted uncertainties, stateless UW vs taUW
+//   fig6()   quantile calibration curves of the UF approaches and the taUW
+//   fig7()   Brier score for every subset of the four taQFs
+//
+// Everything is deterministic under StudyConfig::seed.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "core/ta_quality_factors.hpp"
+#include "core/ta_wrapper.hpp"
+#include "core/wrapper.hpp"
+#include "data/gtsrb_like.hpp"
+#include "imaging/sign_renderer.hpp"
+#include "ml/mlp.hpp"
+#include "ml/trainer.hpp"
+#include "sim/road_network.hpp"
+#include "sim/weather.hpp"
+#include "stats/brier.hpp"
+#include "stats/calibration.hpp"
+#include "stats/histogram.hpp"
+
+namespace tauw::core {
+
+struct StudyConfig {
+  data::DataConfig data{};
+  QimConfig qim{};
+  std::size_t mlp_hidden = 64;
+  ml::TrainerConfig trainer{.epochs = 8,
+                            .learning_rate = 0.002F,
+                            .lr_decay = 0.9F,
+                            .momentum = 0.9F,
+                            .shuffle_seed = 99,
+                            .verbose = false,
+                            .track_accuracy = false};
+  TaqfSet taqfs{};  ///< taQFs used by the main taUW (all four by default)
+  std::uint64_t seed = 42;
+  bool verbose = false;  ///< progress output on stdout
+
+  /// Returns a configuration scaled down for unit/integration tests.
+  static StudyConfig small();
+
+  /// Returns a mid-sized configuration: runs in tens of seconds and reaches
+  /// a usefully accurate DDM - the default for the example applications.
+  static StudyConfig medium();
+};
+
+/// One evaluated (series, timestep) pair of the test set.
+struct EvalRow {
+  std::size_t series = 0;
+  std::size_t timestep = 0;  ///< 0-based position within the length-10 window
+  bool isolated_failure = false;  ///< o_i != ground truth
+  bool fused_failure = false;     ///< o_i^(if) != ground truth
+  double u_stateless = 0.0;
+  double u_naive = 0.0;
+  double u_opportune = 0.0;
+  double u_worst_case = 0.0;
+  double u_tauw = 0.0;
+};
+
+struct Fig4Row {
+  std::size_t timestep = 0;  ///< 1-based, as in the paper's figure
+  double isolated_rate = 0.0;
+  double fused_rate = 0.0;
+  std::size_t count = 0;
+};
+struct Fig4Result {
+  std::vector<Fig4Row> rows;
+  double isolated_avg = 0.0;  ///< paper: 7.89 %
+  double fused_avg = 0.0;     ///< paper: 5.57 %
+  double fused_final = 0.0;   ///< paper: 3.69 % at timestep 10
+};
+
+struct ApproachScore {
+  std::string name;
+  stats::BrierDecomposition decomposition;
+};
+struct Table1Result {
+  std::vector<ApproachScore> rows;  ///< same order as the paper's TABLE I
+};
+
+struct Fig5Result {
+  std::vector<stats::ValueCount> stateless_distribution;
+  std::vector<stats::ValueCount> tauw_distribution;
+  double stateless_min_u = 1.0;
+  double stateless_min_u_fraction = 0.0;
+  double tauw_min_u = 1.0;       ///< paper: 0.0072
+  double tauw_min_u_fraction = 0.0;  ///< paper: 65.9 %
+};
+
+struct Fig6Curve {
+  std::string name;
+  std::vector<stats::CalibrationPoint> points;
+};
+struct Fig6Result {
+  std::vector<Fig6Curve> curves;
+};
+
+struct Fig7Entry {
+  TaqfSet set;
+  std::string name;
+  double brier = 0.0;
+};
+struct Fig7Result {
+  std::vector<Fig7Entry> entries;  ///< all 16 subsets incl. the empty one
+};
+
+/// Per-step trace kept for replaying wrappers without re-rendering frames.
+struct StepTrace {
+  std::vector<double> stateless_qfs;
+  std::size_t outcome = 0;
+  double uncertainty = 0.0;   ///< stateless wrapper estimate
+  std::size_t fused = 0;      ///< fused outcome after this step
+};
+struct SeriesTrace {
+  std::size_t truth = 0;
+  std::vector<StepTrace> steps;
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config = {});
+  ~Study();
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
+
+  /// Builds the full pipeline. Must be called before any accessor below.
+  void run();
+
+  bool has_run() const noexcept { return ran_; }
+
+  // -- study-level quantities -------------------------------------------
+  double ddm_test_accuracy() const;      ///< paper: ~92.1 % on the windows
+  double ddm_train_accuracy() const;
+  const std::vector<EvalRow>& rows() const;
+
+  // -- figure / table reproductions -------------------------------------
+  Fig4Result fig4() const;
+  Table1Result table1() const;
+  Fig5Result fig5() const;
+  Fig6Result fig6(std::size_t num_bins = 10) const;
+  Fig7Result fig7() const;  ///< retrains one taQIM per subset (slow path)
+
+  /// Brier score on the test set for a taQIM restricted to `set`.
+  double taqf_subset_brier(TaqfSet set) const;
+
+  // -- component access (examples, ablations, tests) --------------------
+  const StudyConfig& config() const noexcept { return config_; }
+  const ml::MlpClassifier& ddm() const;
+  const QualityImpactModel& qim() const;
+  const QualityImpactModel& taqim() const;
+  const UncertaintyWrapper& wrapper() const;
+  const QualityFactorExtractor& qf_extractor() const;
+  const imaging::SignRenderer& renderer() const;
+  const std::vector<SeriesTrace>& test_traces() const;
+
+ private:
+  std::vector<SeriesTrace> make_traces(const data::SeriesDataset& dataset) const;
+  dtree::TreeDataset stateless_dataset(const data::SeriesDataset& dataset) const;
+  dtree::TreeDataset ta_dataset(const std::vector<SeriesTrace>& traces,
+                                const TaFeatureBuilder& builder) const;
+  QualityImpactModel fit_taqim(TaqfSet set) const;
+  void log(const std::string& message) const;
+
+  StudyConfig config_;
+  bool ran_ = false;
+
+  // Substrates (stable addresses; wrappers borrow them).
+  std::unique_ptr<imaging::SignRenderer> renderer_;
+  std::unique_ptr<sim::WeatherModel> weather_;
+  std::unique_ptr<sim::RoadNetwork> roads_;
+  std::unique_ptr<data::GtsrbLikeGenerator> generator_;
+  std::unique_ptr<ml::MlpClassifier> ddm_;
+  QualityFactorExtractor qf_extractor_;
+  QualityImpactModel qim_;
+  QualityImpactModel taqim_;
+  std::unique_ptr<UncertaintyWrapper> wrapper_;
+  MajorityVoteFusion fusion_;
+
+  double ddm_train_accuracy_ = 0.0;
+  double ddm_test_accuracy_ = 0.0;
+  std::vector<SeriesTrace> train_ta_traces_;
+  std::vector<SeriesTrace> calib_traces_;
+  std::vector<SeriesTrace> test_traces_;
+  std::vector<EvalRow> rows_;
+};
+
+/// Formats a TaqfSet/Brier table or other study output consistently.
+std::string format_percent(double fraction, int decimals = 2);
+
+}  // namespace tauw::core

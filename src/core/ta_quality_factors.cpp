@@ -1,0 +1,109 @@
+#include "core/ta_quality_factors.hpp"
+
+#include <stdexcept>
+
+namespace tauw::core {
+
+std::vector<TaqfSet> all_taqf_subsets() {
+  std::vector<TaqfSet> out;
+  out.reserve(16);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    TaqfSet s;
+    s.ratio = (mask & 1U) != 0;
+    s.length = (mask & 2U) != 0;
+    s.size = (mask & 4U) != 0;
+    s.certainty = (mask & 8U) != 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string taqf_set_name(const TaqfSet& set) {
+  std::string name;
+  const auto append = [&name](const char* part) {
+    if (!name.empty()) name += "+";
+    name += part;
+  };
+  if (set.ratio) append("ratio");
+  if (set.length) append("length");
+  if (set.size) append("size");
+  if (set.certainty) append("certainty");
+  return name.empty() ? "-" : name;
+}
+
+TaqfValues compute_taqf(const TimeseriesBuffer& buffer,
+                        std::size_t fused_outcome) {
+  if (buffer.empty()) {
+    throw std::invalid_argument("compute_taqf requires a non-empty buffer");
+  }
+  TaqfValues v;
+  const auto n = static_cast<double>(buffer.length());
+  std::size_t agreeing = 0;
+  double cum_certainty = 0.0;
+  for (const BufferEntry& e : buffer.entries()) {
+    if (e.outcome == fused_outcome) {
+      ++agreeing;
+      // Outcomes disagreeing with the fused outcome contribute certainty 0.
+      cum_certainty += 1.0 - e.uncertainty;
+    }
+  }
+  v.ratio = static_cast<double>(agreeing) / n;
+  v.length = n;
+  v.size = static_cast<double>(buffer.unique_outcomes());
+  v.certainty = cum_certainty;
+  return v;
+}
+
+TaFeatureBuilder::TaFeatureBuilder(std::size_t num_stateless_factors,
+                                   TaqfSet set)
+    : num_stateless_(num_stateless_factors), set_(set) {}
+
+std::size_t TaFeatureBuilder::dim() const noexcept {
+  return num_stateless_ + set_.count();
+}
+
+std::vector<std::string> TaFeatureBuilder::names(
+    std::span<const std::string> stateless_names) const {
+  std::vector<std::string> out;
+  out.reserve(dim());
+  for (std::size_t i = 0; i < num_stateless_; ++i) {
+    out.push_back(i < stateless_names.size() ? stateless_names[i]
+                                             : "qf" + std::to_string(i));
+  }
+  if (set_.ratio) out.emplace_back("taqf1_ratio");
+  if (set_.length) out.emplace_back("taqf2_length");
+  if (set_.size) out.emplace_back("taqf3_size");
+  if (set_.certainty) out.emplace_back("taqf4_certainty");
+  return out;
+}
+
+void TaFeatureBuilder::build_into(std::span<const double> stateless_factors,
+                                  const TimeseriesBuffer& buffer,
+                                  std::size_t fused_outcome,
+                                  std::span<double> out) const {
+  if (stateless_factors.size() != num_stateless_) {
+    throw std::invalid_argument("stateless factor count mismatch");
+  }
+  if (out.size() != dim()) {
+    throw std::invalid_argument("ta feature buffer size mismatch");
+  }
+  std::size_t k = 0;
+  for (const double f : stateless_factors) out[k++] = f;
+  if (set_.count() > 0) {
+    const TaqfValues v = compute_taqf(buffer, fused_outcome);
+    if (set_.ratio) out[k++] = v.ratio;
+    if (set_.length) out[k++] = v.length;
+    if (set_.size) out[k++] = v.size;
+    if (set_.certainty) out[k++] = v.certainty;
+  }
+}
+
+std::vector<double> TaFeatureBuilder::build(
+    std::span<const double> stateless_factors, const TimeseriesBuffer& buffer,
+    std::size_t fused_outcome) const {
+  std::vector<double> out(dim());
+  build_into(stateless_factors, buffer, fused_outcome, out);
+  return out;
+}
+
+}  // namespace tauw::core

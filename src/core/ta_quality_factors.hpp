@@ -1,0 +1,90 @@
+#pragma once
+// Timeseries-aware quality factors (taQF), Section III of the paper.
+//
+// Derived from the timeseries buffer (series of DDM outcomes o_j and
+// stateless uncertainty estimates u_j up to the current timestep i) and the
+// current fused outcome o_i^(if):
+//
+//   taQF1 (ratio):     |{j : o_j == o_i^(if)}| / (i + 1)
+//   taQF2 (length):    i + 1
+//   taQF3 (size):      |{o_j}|  - number of unique outcomes so far
+//   taQF4 (certainty): sum of c_j = 1 - u_j over steps with o_j == o_i^(if)
+//
+// The factors are use-case independent: they only read semantic properties
+// of the timeseries, never TSR-specific data.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/timeseries_buffer.hpp"
+
+namespace tauw::core {
+
+/// Which taQFs a timeseries-aware QIM consumes (the Fig. 7 study toggles
+/// every subset).
+struct TaqfSet {
+  bool ratio = true;
+  bool length = true;
+  bool size = true;
+  bool certainty = true;
+
+  static TaqfSet all() { return {}; }
+  static TaqfSet none() { return {false, false, false, false}; }
+  std::size_t count() const noexcept {
+    return static_cast<std::size_t>(ratio) + static_cast<std::size_t>(length) +
+           static_cast<std::size_t>(size) +
+           static_cast<std::size_t>(certainty);
+  }
+  bool operator==(const TaqfSet&) const = default;
+};
+
+/// All 16 subsets in a stable order (none first, all last).
+std::vector<TaqfSet> all_taqf_subsets();
+
+/// Short display name, e.g. "ratio+certainty" ("-" for the empty set).
+std::string taqf_set_name(const TaqfSet& set);
+
+/// Raw values of all four factors for a buffer and fused outcome.
+/// Requires a non-empty buffer.
+struct TaqfValues {
+  double ratio = 0.0;
+  double length = 0.0;
+  double size = 0.0;
+  double certainty = 0.0;
+};
+TaqfValues compute_taqf(const TimeseriesBuffer& buffer,
+                        std::size_t fused_outcome);
+
+/// Assembles the taQIM feature vector: the stateless quality factors of the
+/// current input followed by the enabled taQFs (in ratio/length/size/
+/// certainty order).
+class TaFeatureBuilder {
+ public:
+  TaFeatureBuilder(std::size_t num_stateless_factors, TaqfSet set);
+
+  std::size_t dim() const noexcept;
+  const TaqfSet& set() const noexcept { return set_; }
+
+  /// Feature names: stateless names (padded with "qf<i>" when absent)
+  /// followed by the enabled taQF names.
+  std::vector<std::string> names(
+      std::span<const std::string> stateless_names) const;
+
+  /// Writes the feature vector into `out` (size dim()).
+  void build_into(std::span<const double> stateless_factors,
+                  const TimeseriesBuffer& buffer, std::size_t fused_outcome,
+                  std::span<double> out) const;
+
+  std::vector<double> build(std::span<const double> stateless_factors,
+                            const TimeseriesBuffer& buffer,
+                            std::size_t fused_outcome) const;
+
+ private:
+  std::size_t num_stateless_;
+  TaqfSet set_;
+};
+
+}  // namespace tauw::core

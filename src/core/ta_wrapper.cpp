@@ -1,0 +1,51 @@
+#include "core/ta_wrapper.hpp"
+
+#include <stdexcept>
+
+namespace tauw::core {
+
+TimeseriesAwareWrapper::TimeseriesAwareWrapper(const UncertaintyWrapper& base,
+                                               const QualityImpactModel& taqim,
+                                               const InformationFusion& fusion,
+                                               TaqfSet taqfs)
+    : base_(&base),
+      taqim_(&taqim),
+      fusion_(&fusion),
+      features_(base.qf_extractor().num_factors(), taqfs),
+      stateless_scratch_(base.qf_extractor().num_factors()),
+      feature_scratch_(features_.dim()) {
+  if (!taqim.fitted()) {
+    throw std::invalid_argument("taUW requires a fitted taQIM");
+  }
+  if (taqim.num_features() != features_.dim()) {
+    throw std::invalid_argument(
+        "taQIM feature count does not match the taQF feature builder");
+  }
+}
+
+void TimeseriesAwareWrapper::start_series() {
+  buffer_.clear();
+  uf_.reset();
+}
+
+TaStepResult TimeseriesAwareWrapper::step(const data::FrameRecord& frame) {
+  TaStepResult result;
+  result.isolated = base_->evaluate(frame);
+
+  buffer_.push(result.isolated.label, result.isolated.uncertainty);
+  uf_.push(result.isolated.uncertainty);
+  result.series_length = buffer_.length();
+
+  result.fused_label = fusion_->fuse(buffer_);
+  result.naive_uncertainty = uf_.naive();
+  result.opportune_uncertainty = uf_.opportune();
+  result.worst_case_uncertainty = uf_.worst_case();
+
+  base_->qf_extractor().extract_into(frame, stateless_scratch_);
+  features_.build_into(stateless_scratch_, buffer_, result.fused_label,
+                       feature_scratch_);
+  result.fused_uncertainty = taqim_->predict(feature_scratch_);
+  return result;
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,66 @@
+#pragma once
+// The timeseries-aware uncertainty wrapper (taUW) - the paper's contribution.
+//
+// Architecture (paper Fig. 2): at each timestep the classical stateless
+// wrapper produces an outcome o_i and uncertainty u_i, which are pushed into
+// the timeseries buffer. The information-fusion component fuses o_0..o_i
+// into o_i^(if); the timeseries-aware quality model derives the taQFs from
+// the buffer; and the timeseries-aware quality impact model (taQIM) maps
+// [stateless QFs of the current input, taQFs] to a dependable uncertainty
+// for the fused outcome. The three UF baselines are maintained alongside for
+// comparison.
+
+#include "core/fusion.hpp"
+#include "core/ta_quality_factors.hpp"
+#include "core/uncertainty_fusion.hpp"
+#include "core/wrapper.hpp"
+
+namespace tauw::core {
+
+/// Everything the taUW produces for one timestep.
+struct TaStepResult {
+  UncertainOutcome isolated;      ///< o_i and stateless u_i
+  std::size_t fused_label = 0;    ///< o_i^(if)
+  double fused_uncertainty = 0;   ///< taUW dependable estimate for the fusion
+  double naive_uncertainty = 0;   ///< UF baseline, Eq. (1)
+  double opportune_uncertainty = 0;   ///< UF baseline, Eq. (2)
+  double worst_case_uncertainty = 0;  ///< UF baseline, Eq. (3)
+  std::size_t series_length = 0;  ///< i + 1
+};
+
+class TimeseriesAwareWrapper {
+ public:
+  /// `base` supplies per-step outcomes and stateless uncertainties; `taqim`
+  /// must be fitted on features produced by a TaFeatureBuilder with the same
+  /// stateless-factor count and `taqfs` set; `fusion` is the infFuse rule.
+  /// All referenced components are borrowed and must outlive the wrapper.
+  TimeseriesAwareWrapper(const UncertaintyWrapper& base,
+                         const QualityImpactModel& taqim,
+                         const InformationFusion& fusion,
+                         TaqfSet taqfs = TaqfSet::all());
+
+  /// Clears the timeseries buffer at the onset of a new series (e.g. when
+  /// the tracking component reports a new physical sign).
+  void start_series();
+
+  /// Processes one frame of the current series.
+  TaStepResult step(const data::FrameRecord& frame);
+
+  const TimeseriesBuffer& buffer() const noexcept { return buffer_; }
+  const TaFeatureBuilder& feature_builder() const noexcept {
+    return features_;
+  }
+
+ private:
+  const UncertaintyWrapper* base_;
+  const QualityImpactModel* taqim_;
+  const InformationFusion* fusion_;
+  TaFeatureBuilder features_;
+  TimeseriesBuffer buffer_;
+  UncertaintyFusionAccumulator uf_;
+  // Preallocated scratch to keep step() allocation-light.
+  std::vector<double> stateless_scratch_;
+  std::vector<double> feature_scratch_;
+};
+
+}  // namespace tauw::core

@@ -1,0 +1,40 @@
+#include "core/timeseries_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tauw::core {
+
+void TimeseriesBuffer::push(std::size_t outcome, double uncertainty) {
+  if (!(uncertainty >= 0.0) || !(uncertainty <= 1.0)) {
+    throw std::invalid_argument("uncertainty must be in [0,1]");
+  }
+  if (capacity_ > 0 && entries_.size() == capacity_) {
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(BufferEntry{outcome, uncertainty});
+}
+
+const BufferEntry& TimeseriesBuffer::latest() const {
+  if (entries_.empty()) throw std::logic_error("latest() on empty buffer");
+  return entries_.back();
+}
+
+std::size_t TimeseriesBuffer::count_outcome(std::size_t label) const noexcept {
+  std::size_t n = 0;
+  for (const BufferEntry& e : entries_) n += e.outcome == label ? 1 : 0;
+  return n;
+}
+
+std::size_t TimeseriesBuffer::unique_outcomes() const noexcept {
+  std::vector<std::size_t> seen;
+  seen.reserve(entries_.size());
+  for (const BufferEntry& e : entries_) {
+    if (std::find(seen.begin(), seen.end(), e.outcome) == seen.end()) {
+      seen.push_back(e.outcome);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace tauw::core

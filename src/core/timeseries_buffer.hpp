@@ -1,0 +1,60 @@
+#pragma once
+// The timeseries buffer of the taUW architecture (paper Fig. 2).
+//
+// Temporarily stores interim results (DDM outcome and stateless uncertainty
+// per timestep) for the current timeseries; cleared at the onset of a new
+// series. The information-fusion component and the timeseries-aware quality
+// model both read from this buffer.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tauw::core {
+
+/// One buffered timestep.
+struct BufferEntry {
+  std::size_t outcome = 0;    ///< DDM outcome o_j
+  double uncertainty = 0.0;   ///< stateless wrapper estimate u_j
+};
+
+class TimeseriesBuffer {
+ public:
+  /// Unbounded buffer (the paper's setting: series end via the tracker).
+  TimeseriesBuffer() = default;
+
+  /// Bounded buffer keeping only the most recent `capacity` timesteps -
+  /// a deployment option for very long series (paper's future work discusses
+  /// longer timeseries; memory must stay bounded at runtime). capacity == 0
+  /// means unbounded.
+  explicit TimeseriesBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Clears the buffer at the onset of a new timeseries.
+  void clear() noexcept { entries_.clear(); }
+
+  /// Appends the current timestep's interim results; evicts the oldest
+  /// entry when a capacity is set and reached.
+  void push(std::size_t outcome, double uncertainty);
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t length() const noexcept { return entries_.size(); }
+
+  const BufferEntry& entry(std::size_t j) const { return entries_.at(j); }
+  std::span<const BufferEntry> entries() const noexcept { return entries_; }
+
+  const BufferEntry& latest() const;
+
+  /// Number of buffered outcomes equal to `label`.
+  std::size_t count_outcome(std::size_t label) const noexcept;
+
+  /// Number of distinct outcomes in the buffer.
+  std::size_t unique_outcomes() const noexcept;
+
+ private:
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::vector<BufferEntry> entries_;
+};
+
+}  // namespace tauw::core

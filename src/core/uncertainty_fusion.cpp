@@ -1,0 +1,81 @@
+#include "core/uncertainty_fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tauw::core {
+
+namespace {
+
+void check_u(double u) {
+  if (!(u >= 0.0) || !(u <= 1.0)) {
+    throw std::invalid_argument("uncertainty must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+double fuse_uncertainties(std::span<const double> uncertainties,
+                          UncertaintyFusionRule rule) {
+  if (uncertainties.empty()) {
+    throw std::invalid_argument("fuse_uncertainties: empty input");
+  }
+  UncertaintyFusionAccumulator acc;
+  for (const double u : uncertainties) acc.push(u);
+  return acc.get(rule);
+}
+
+double fuse_uncertainties(const TimeseriesBuffer& buffer,
+                          UncertaintyFusionRule rule) {
+  if (buffer.empty()) {
+    throw std::invalid_argument("fuse_uncertainties: empty buffer");
+  }
+  UncertaintyFusionAccumulator acc;
+  for (const BufferEntry& e : buffer.entries()) acc.push(e.uncertainty);
+  return acc.get(rule);
+}
+
+void UncertaintyFusionAccumulator::reset() noexcept {
+  count_ = 0;
+  log_product_ = 0.0;
+  min_ = 1.0;
+  max_ = 0.0;
+}
+
+void UncertaintyFusionAccumulator::push(double uncertainty) {
+  check_u(uncertainty);
+  ++count_;
+  log_product_ += uncertainty > 0.0
+                      ? std::log(uncertainty)
+                      : -std::numeric_limits<double>::infinity();
+  min_ = std::min(min_, uncertainty);
+  max_ = std::max(max_, uncertainty);
+}
+
+double UncertaintyFusionAccumulator::naive() const {
+  if (count_ == 0) throw std::logic_error("empty accumulator");
+  return std::exp(log_product_);
+}
+
+double UncertaintyFusionAccumulator::opportune() const {
+  if (count_ == 0) throw std::logic_error("empty accumulator");
+  return min_;
+}
+
+double UncertaintyFusionAccumulator::worst_case() const {
+  if (count_ == 0) throw std::logic_error("empty accumulator");
+  return max_;
+}
+
+double UncertaintyFusionAccumulator::get(UncertaintyFusionRule rule) const {
+  switch (rule) {
+    case UncertaintyFusionRule::kNaive: return naive();
+    case UncertaintyFusionRule::kOpportune: return opportune();
+    case UncertaintyFusionRule::kWorstCase: return worst_case();
+  }
+  throw std::invalid_argument("unknown UF rule");
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,60 @@
+#pragma once
+// Uncertainty fusion (UF) baselines from the paper's Section II.
+//
+// Given the per-step stateless uncertainty estimates u_0..u_i of one series,
+// these rules produce a joint uncertainty for the fused outcome:
+//   naive:      u = prod u_j    (independence assumption, Eq. 1)
+//   opportune:  u = min  u_j    (Eq. 2)
+//   worst-case: u = max  u_j    (Eq. 3)
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "core/timeseries_buffer.hpp"
+
+namespace tauw::core {
+
+enum class UncertaintyFusionRule { kNaive, kOpportune, kWorstCase };
+
+constexpr const char* uf_rule_name(UncertaintyFusionRule rule) {
+  switch (rule) {
+    case UncertaintyFusionRule::kNaive: return "naive";
+    case UncertaintyFusionRule::kOpportune: return "opportune";
+    case UncertaintyFusionRule::kWorstCase: return "worst_case";
+  }
+  return "unknown";
+}
+
+/// Applies `rule` to a span of per-step uncertainties. Requires a non-empty
+/// span; every element must lie in [0, 1].
+double fuse_uncertainties(std::span<const double> uncertainties,
+                          UncertaintyFusionRule rule);
+
+/// Convenience overload reading the uncertainties from a timeseries buffer.
+double fuse_uncertainties(const TimeseriesBuffer& buffer,
+                          UncertaintyFusionRule rule);
+
+/// Incremental aggregator maintaining all three fused values in O(1) per
+/// step - what a runtime monitor would actually deploy.
+class UncertaintyFusionAccumulator {
+ public:
+  void reset() noexcept;
+  void push(double uncertainty);
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t count() const noexcept { return count_; }
+
+  double naive() const;
+  double opportune() const;
+  double worst_case() const;
+  double get(UncertaintyFusionRule rule) const;
+
+ private:
+  std::size_t count_ = 0;
+  double log_product_ = 0.0;  // sum of log(u_j); -inf once any u_j == 0
+  double min_ = 1.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tauw::core

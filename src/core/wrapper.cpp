@@ -1,0 +1,44 @@
+#include "core/wrapper.hpp"
+
+#include <stdexcept>
+
+namespace tauw::core {
+
+UncertaintyWrapper::UncertaintyWrapper(
+    const ml::Classifier& ddm, QualityFactorExtractor qf_extractor,
+    const QualityImpactModel& qim, std::optional<ScopeComplianceModel> scope)
+    : ddm_(&ddm),
+      qf_extractor_(std::move(qf_extractor)),
+      qim_(&qim),
+      scope_(std::move(scope)) {
+  if (!qim.fitted()) {
+    throw std::invalid_argument("UncertaintyWrapper requires a fitted QIM");
+  }
+  if (qim.num_features() != qf_extractor_.num_factors()) {
+    throw std::invalid_argument(
+        "QIM feature count does not match the QF extractor");
+  }
+}
+
+UncertainOutcome UncertaintyWrapper::evaluate(
+    const data::FrameRecord& frame, const sim::SignLocation* location) const {
+  const ml::Prediction pred = ddm_->predict(frame.features);
+  UncertainOutcome out;
+  out.label = pred.label;
+  out.ddm_confidence = pred.confidence;
+  const std::vector<double> qfs = qf_extractor_.extract(frame);
+  double u = qim_->predict(qfs);
+  if (scope_.has_value() && location != nullptr) {
+    u = combine_uncertainties(u,
+                              scope_->incompliance_probability(frame, *location));
+  }
+  out.uncertainty = u;
+  return out;
+}
+
+double UncertaintyWrapper::uncertainty_for(
+    std::span<const double> quality_factors) const {
+  return qim_->predict(quality_factors);
+}
+
+}  // namespace tauw::core

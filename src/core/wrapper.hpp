@@ -1,0 +1,53 @@
+#pragma once
+// The stateless uncertainty wrapper (UW): DDM + quality model + quality
+// impact model (+ optional scope compliance model), per Klaes & Sembach 2019
+// and the paper's Fig. 1.
+
+#include <optional>
+
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "core/scope_model.hpp"
+#include "ml/classifier.hpp"
+
+namespace tauw::core {
+
+/// A DDM outcome enriched with a dependable uncertainty estimate.
+struct UncertainOutcome {
+  std::size_t label = 0;       ///< DDM outcome
+  double uncertainty = 0.0;    ///< dependable failure-probability bound
+  double ddm_confidence = 0.0; ///< the model's own (untrusted) softmax score
+};
+
+class UncertaintyWrapper {
+ public:
+  /// Wraps `ddm` with the given quality-factor extractor and fitted QIM.
+  /// The DDM and QIM are borrowed; they must outlive the wrapper.
+  UncertaintyWrapper(const ml::Classifier& ddm,
+                     QualityFactorExtractor qf_extractor,
+                     const QualityImpactModel& qim,
+                     std::optional<ScopeComplianceModel> scope = std::nullopt);
+
+  /// Runs the DDM on the frame's features and attaches the quality-related
+  /// uncertainty (combined with scope incompliance when a scope model and a
+  /// location are provided).
+  UncertainOutcome evaluate(const data::FrameRecord& frame,
+                            const sim::SignLocation* location = nullptr) const;
+
+  /// Uncertainty only, for a precomputed quality-factor vector.
+  double uncertainty_for(std::span<const double> quality_factors) const;
+
+  const QualityFactorExtractor& qf_extractor() const noexcept {
+    return qf_extractor_;
+  }
+  const QualityImpactModel& qim() const noexcept { return *qim_; }
+  const ml::Classifier& ddm() const noexcept { return *ddm_; }
+
+ private:
+  const ml::Classifier* ddm_;
+  QualityFactorExtractor qf_extractor_;
+  const QualityImpactModel* qim_;
+  std::optional<ScopeComplianceModel> scope_;
+};
+
+}  // namespace tauw::core

@@ -1,0 +1,128 @@
+#include "data/gtsrb_like.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "imaging/augmentations.hpp"
+
+namespace tauw::data {
+
+GtsrbLikeGenerator::GtsrbLikeGenerator(const DataConfig& config,
+                                       const imaging::SignRenderer& renderer,
+                                       const sim::WeatherModel& weather,
+                                       const sim::RoadNetwork& roads)
+    : config_(config), renderer_(&renderer), sampler_(weather, roads) {
+  if (config.train_series + config.calib_series + config.test_series >
+      config.num_series) {
+    throw std::invalid_argument("split sizes exceed number of series");
+  }
+  if (config.subsample_length == 0 ||
+      config.subsample_length > config.frames_per_series) {
+    throw std::invalid_argument("invalid subsample length");
+  }
+  stats::Rng rng(config.seed);
+  specs_.reserve(config.num_series);
+  const sim::ApproachParams base;
+  for (std::size_t i = 0; i < config.num_series; ++i) {
+    SeriesSpec spec;
+    spec.label = rng.uniform_index(renderer.num_classes());
+    spec.approach = sim::ApproachTrajectory::randomized(base, rng);
+    spec.approach.num_frames = config.frames_per_series;
+    spec.seed = rng();
+    specs_.push_back(spec);
+  }
+}
+
+SplitIndices GtsrbLikeGenerator::split() const {
+  stats::Rng rng(config_.seed ^ 0xabcdef1234567890ULL);
+  auto perm = rng.permutation(specs_.size());
+  SplitIndices idx;
+  std::size_t k = 0;
+  idx.train.assign(perm.begin() + k, perm.begin() + k + config_.train_series);
+  k += config_.train_series;
+  idx.calib.assign(perm.begin() + k, perm.begin() + k + config_.calib_series);
+  k += config_.calib_series;
+  idx.test.assign(perm.begin() + k, perm.begin() + k + config_.test_series);
+  return idx;
+}
+
+FrameRecord GtsrbLikeGenerator::make_record(
+    const SeriesSpec& spec, std::size_t frame_index,
+    const imaging::DeficitVector& intensities, stats::Rng& rng) const {
+  const sim::ApproachTrajectory trajectory(spec.approach);
+  FrameRecord rec;
+  rec.label = spec.label;
+  rec.apparent_px = trajectory.apparent_px(frame_index);
+  rec.true_intensities = intensities;
+
+  imaging::Image frame = renderer_->render(spec.label, rec.apparent_px, rng);
+  frame = imaging::apply_all(frame, intensities, rng);
+  rec.features = ml::extract_features(frame, config_.feature_config);
+
+  // Runtime (sensor) view of the quality factors.
+  for (std::size_t d = 0; d < imaging::kNumDeficits; ++d) {
+    rec.observed_intensities[d] = std::clamp(
+        intensities[d] + rng.normal(0.0, config_.qf_observation_noise), 0.0,
+        1.0);
+  }
+  rec.observed_apparent_px =
+      std::max(1.0, rec.apparent_px * (1.0 + rng.normal(0.0, 0.05)));
+  return rec;
+}
+
+FrameDataset GtsrbLikeGenerator::make_training_frames(
+    const std::vector<std::size_t>& series) const {
+  FrameDataset out;
+  for (const std::size_t s : series) {
+    const SeriesSpec& spec = specs_.at(s);
+    stats::Rng rng(spec.seed ^ 0x51ed270b1ULL);
+    for (std::size_t f = 0; f < config_.frames_per_series;
+         f += config_.train_frame_stride) {
+      // Clean frame.
+      out.records.push_back(make_record(spec, f, imaging::DeficitVector{}, rng));
+      // Single-deficit augmentations at the three intensity levels.
+      for (const imaging::Deficit d : imaging::all_deficits()) {
+        for (const auto level :
+             {imaging::IntensityLevel::kLow, imaging::IntensityLevel::kMedium,
+              imaging::IntensityLevel::kHigh}) {
+          imaging::DeficitVector v{};
+          v[static_cast<std::size_t>(d)] = imaging::intensity_value(level);
+          out.records.push_back(make_record(spec, f, v, rng));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SeriesDataset GtsrbLikeGenerator::make_eval_series(
+    const std::vector<std::size_t>& series, std::uint64_t salt) const {
+  SeriesDataset out;
+  out.series.reserve(series.size() * config_.eval_replicas);
+  for (const std::size_t s : series) {
+    const SeriesSpec& spec = specs_.at(s);
+    for (std::size_t rep = 0; rep < config_.eval_replicas; ++rep) {
+      stats::Rng rng(spec.seed ^ (salt + 0x9e3779b97f4a7c15ULL * (rep + 1)));
+      RecordSeries rs;
+      rs.label = spec.label;
+      rs.setting = sampler_.sample(rng);
+
+      // Uniformly random length-10 window within the full approach, to avoid
+      // distance bias (paper, Section IV.B.2).
+      const std::size_t max_start =
+          config_.frames_per_series - config_.subsample_length;
+      const std::size_t start = rng.uniform_index(max_start + 1);
+      rs.frames.reserve(config_.subsample_length);
+      for (std::size_t k = 0; k < config_.subsample_length; ++k) {
+        const imaging::DeficitVector frame_intensities =
+            sim::SituationSampler::frame_intensities(rs.setting, rng);
+        rs.frames.push_back(
+            make_record(spec, start + k, frame_intensities, rng));
+      }
+      out.series.push_back(std::move(rs));
+    }
+  }
+  return out;
+}
+
+}  // namespace tauw::data

@@ -1,0 +1,94 @@
+#pragma once
+// GTSRB-like dataset generation: series specs, splits, and the augmentation
+// pipeline producing DDM training data and evaluation series.
+//
+// Mirrors the paper's data preparation (Section IV.B.2):
+//  * 1307 series of a car approaching a physical sign (29-30 frames there;
+//    frame count configurable here), 43 classes;
+//  * random split into 522 training / 392 calibration / 392 test series;
+//  * training frames augmented per deficit at low/medium/high intensity
+//    (single-deficit augmentation), plus the clean frame;
+//  * calibration/test series augmented with random realistic situation
+//    settings (multi-deficit, propagated through the series; motion blur and
+//    artificial backlight vary frame-by-frame), several replicas per series;
+//  * evaluation series subsampled to length-10 windows with uniformly random
+//    start, to avoid distance bias.
+
+#include <cstdint>
+
+#include "data/timeseries.hpp"
+#include "imaging/sign_renderer.hpp"
+#include "ml/features.hpp"
+#include "sim/road_network.hpp"
+#include "sim/situation.hpp"
+#include "sim/weather.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::data {
+
+struct DataConfig {
+  std::size_t num_series = 1307;
+  std::size_t frames_per_series = 30;
+  std::size_t train_series = 522;
+  std::size_t calib_series = 392;
+  std::size_t test_series = 392;
+
+  /// Use every n-th frame of a training series for DDM training (scale knob;
+  /// 1 reproduces the paper's full per-frame augmentation).
+  std::size_t train_frame_stride = 6;
+  /// Augmentation replicas per evaluation series (paper: 28).
+  std::size_t eval_replicas = 4;
+  /// Subsampled evaluation window length (paper: 10).
+  std::size_t subsample_length = 10;
+
+  ml::FeatureConfig feature_config{};
+  /// Observation noise applied to intensities when deriving the runtime
+  /// quality-factor view.
+  double qf_observation_noise = 0.05;
+
+  std::uint64_t seed = 42;
+};
+
+/// The three series-index sets of the random split.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> calib;
+  std::vector<std::size_t> test;
+};
+
+class GtsrbLikeGenerator {
+ public:
+  GtsrbLikeGenerator(const DataConfig& config,
+                     const imaging::SignRenderer& renderer,
+                     const sim::WeatherModel& weather,
+                     const sim::RoadNetwork& roads);
+
+  const DataConfig& config() const noexcept { return config_; }
+
+  /// All series specs (deterministic given config.seed).
+  const std::vector<SeriesSpec>& specs() const noexcept { return specs_; }
+
+  /// Random train/calibration/test split of the spec indices.
+  SplitIndices split() const;
+
+  /// DDM training frames: clean + single-deficit augmentations at the three
+  /// intensity levels for each selected frame of each training series.
+  FrameDataset make_training_frames(const std::vector<std::size_t>& series) const;
+
+  /// Evaluation series with random situation settings, `eval_replicas`
+  /// replicas per spec, subsampled to `subsample_length`.
+  SeriesDataset make_eval_series(const std::vector<std::size_t>& series,
+                                 std::uint64_t salt) const;
+
+ private:
+  FrameRecord make_record(const SeriesSpec& spec, std::size_t frame_index,
+                          const imaging::DeficitVector& intensities,
+                          stats::Rng& rng) const;
+
+  DataConfig config_;
+  const imaging::SignRenderer* renderer_;
+  sim::SituationSampler sampler_;
+  std::vector<SeriesSpec> specs_;
+};
+
+}  // namespace tauw::data

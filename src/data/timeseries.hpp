@@ -1,0 +1,62 @@
+#pragma once
+// Dataset containers for the TSR study.
+//
+// The pipeline renders each frame, extracts the DDM feature vector and the
+// quality-factor metadata, then discards the pixels - records keep what the
+// DDM and the wrappers need. `observed_intensities` model the runtime view
+// of the situation (e.g. a rain sensor): the true augmentation intensities
+// perturbed with observation noise at generation time, so quality factors
+// are realistic sensor readings rather than oracle values.
+
+#include <cstddef>
+#include <vector>
+
+#include "imaging/deficit.hpp"
+#include "sim/scenario.hpp"
+#include "sim/situation.hpp"
+
+namespace tauw::data {
+
+/// One rendered, augmented frame reduced to features + metadata.
+struct FrameRecord {
+  std::size_t label = 0;  ///< ground-truth sign class
+  double apparent_px = 0.0;
+  imaging::DeficitVector true_intensities{};
+  imaging::DeficitVector observed_intensities{};
+  double observed_apparent_px = 0.0;
+  std::vector<float> features;  ///< DDM input features
+};
+
+/// A flat set of frames (DDM / stateless-QIM training).
+struct FrameDataset {
+  std::vector<FrameRecord> records;
+  std::size_t size() const noexcept { return records.size(); }
+};
+
+/// One evaluation series: consecutive frames of the same physical sign under
+/// one situation setting.
+struct RecordSeries {
+  std::size_t label = 0;
+  sim::SituationSetting setting;
+  std::vector<FrameRecord> frames;
+};
+
+/// A set of evaluation series (calibration / test).
+struct SeriesDataset {
+  std::vector<RecordSeries> series;
+  std::size_t num_series() const noexcept { return series.size(); }
+  std::size_t num_frames() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : series) n += s.frames.size();
+    return n;
+  }
+};
+
+/// Static description of one physical sign and its approach geometry.
+struct SeriesSpec {
+  std::size_t label = 0;
+  sim::ApproachParams approach;
+  std::uint64_t seed = 0;  ///< per-series deterministic sub-stream
+};
+
+}  // namespace tauw::data

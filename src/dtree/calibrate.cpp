@@ -1,0 +1,98 @@
+#include "dtree/calibrate.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "stats/binomial.hpp"
+
+namespace tauw::dtree {
+
+NodeCounts route_counts(const DecisionTree& tree, const TreeDataset& data) {
+  if (data.num_features != tree.num_features()) {
+    throw std::invalid_argument("route_counts: feature count mismatch");
+  }
+  NodeCounts counts;
+  counts.samples.assign(tree.num_nodes(), 0);
+  counts.failures.assign(tree.num_nodes(), 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.row(i);
+    std::size_t node = 0;
+    for (;;) {
+      ++counts.samples[node];
+      counts.failures[node] += data.failures[i];
+      const Node& n = tree.node(node);
+      if (n.is_leaf()) break;
+      node = x[n.feature] <= n.threshold ? n.left : n.right;
+    }
+  }
+  return counts;
+}
+
+CalibrationResult prune_and_calibrate(DecisionTree& tree,
+                                      const TreeDataset& calibration_data,
+                                      const CalibrationConfig& config) {
+  if (calibration_data.size() == 0) {
+    throw std::invalid_argument("prune_and_calibrate: empty calibration set");
+  }
+  const NodeCounts counts = route_counts(tree, calibration_data);
+
+  CalibrationResult result;
+
+  // Bottom-up pruning: a subtree is collapsed into a leaf if ANY of its
+  // descendant leaves would end up with fewer than min_leaf_samples
+  // calibration rows. Computed recursively: keep a split only if both
+  // children can keep all their leaves populated.
+  std::function<bool(std::size_t)> ensure = [&](std::size_t i) -> bool {
+    Node& n = tree.node(i);
+    if (n.is_leaf()) {
+      return counts.samples[i] >= config.min_leaf_samples;
+    }
+    const bool left_ok = ensure(n.left);
+    const bool right_ok = ensure(n.right);
+    if (left_ok && right_ok) return true;
+    // Collapse this subtree into a leaf. Children become unreachable (the
+    // node vector is not compacted; routing never visits orphans).
+    std::size_t removed = 0;
+    std::function<void(std::size_t)> count_subtree = [&](std::size_t j) {
+      const Node& m = tree.node(j);
+      if (!m.is_leaf()) {
+        count_subtree(m.left);
+        count_subtree(m.right);
+      }
+      ++removed;
+    };
+    count_subtree(n.left);
+    count_subtree(n.right);
+    result.pruned_nodes += removed;
+    n.left = Node::kNoChild;
+    n.right = Node::kNoChild;
+    return counts.samples[i] >= config.min_leaf_samples;
+  };
+  ensure(0);
+  tree.compact();  // drop the orphaned subtrees pruning left behind
+
+  // Re-route the calibration data through the pruned tree and compute the
+  // per-leaf Clopper-Pearson upper bounds.
+  const NodeCounts final_counts = route_counts(tree, calibration_data);
+  for (const std::size_t leaf : tree.leaf_indices()) {
+    Node& n = tree.node(leaf);
+    const std::size_t samples = final_counts.samples[leaf];
+    const std::size_t failures = final_counts.failures[leaf];
+    if (samples == 0) {
+      // Unreachable on the calibration distribution: maximally uncertain.
+      n.uncertainty = 1.0;
+    } else {
+      n.uncertainty =
+          stats::clopper_pearson_upper(failures, samples, config.confidence);
+    }
+    LeafCalibration lc;
+    lc.node_index = leaf;
+    lc.samples = samples;
+    lc.failures = failures;
+    lc.uncertainty_bound = n.uncertainty;
+    result.leaves.push_back(lc);
+  }
+  return result;
+}
+
+}  // namespace tauw::dtree

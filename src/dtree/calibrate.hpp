@@ -1,0 +1,52 @@
+#pragma once
+// Pruning and statistical calibration of a grown CART tree.
+//
+// Paper, Section IV.C.2: after growing to depth 8, "all leaves were pruned so
+// that each leaf in the decision tree was left with at least 200 samples.
+// Then statistical uncertainty guarantees were calculated for each leaf at a
+// confidence level of 0.999." We reproduce both steps: bottom-up collapse of
+// leaves that receive fewer than `min_leaf_samples` calibration samples, then
+// a one-sided Clopper-Pearson upper bound per remaining leaf.
+
+#include <cstddef>
+#include <vector>
+
+#include "dtree/tree.hpp"
+
+namespace tauw::dtree {
+
+struct CalibrationConfig {
+  std::size_t min_leaf_samples = 200;  ///< calibration samples per leaf
+  double confidence = 0.999;           ///< level of the per-leaf guarantee
+};
+
+/// Per-leaf calibration outcome (reported for inspection/EXPERIMENTS.md).
+struct LeafCalibration {
+  std::size_t node_index = 0;
+  std::size_t samples = 0;
+  std::size_t failures = 0;
+  double uncertainty_bound = 0.0;
+};
+
+struct CalibrationResult {
+  std::vector<LeafCalibration> leaves;
+  std::size_t pruned_nodes = 0;   ///< nodes removed by the pruning pass
+};
+
+/// Counts how many rows of `data` reach each node of `tree`.
+/// Returns per-node (samples, failures) aligned with tree.nodes().
+struct NodeCounts {
+  std::vector<std::size_t> samples;
+  std::vector<std::size_t> failures;
+};
+NodeCounts route_counts(const DecisionTree& tree, const TreeDataset& data);
+
+/// Prunes `tree` in place: repeatedly collapses split nodes whose children
+/// would receive fewer than `min_leaf_samples` calibration rows, then sets
+/// each remaining leaf's `uncertainty` to the Clopper-Pearson upper bound of
+/// its calibration failure rate at `confidence`.
+CalibrationResult prune_and_calibrate(DecisionTree& tree,
+                                      const TreeDataset& calibration_data,
+                                      const CalibrationConfig& config);
+
+}  // namespace tauw::dtree

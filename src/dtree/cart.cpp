@@ -1,0 +1,162 @@
+#include "dtree/cart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tauw::dtree {
+
+double gini_impurity(std::size_t failures, std::size_t count) {
+  if (count == 0) return 0.0;
+  const double p = static_cast<double>(failures) / static_cast<double>(count);
+  return 2.0 * p * (1.0 - p);
+}
+
+namespace {
+
+struct SplitChoice {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double impurity_decrease = 0.0;
+};
+
+// Finds the best Gini split of `indices` over all features.
+SplitChoice best_split(const TreeDataset& data,
+                       std::vector<std::size_t>& indices,
+                       const CartConfig& config) {
+  SplitChoice best;
+  const std::size_t n = indices.size();
+  std::size_t total_failures = 0;
+  for (const std::size_t i : indices) total_failures += data.failures[i];
+  const double parent_impurity = gini_impurity(total_failures, n);
+  if (parent_impurity == 0.0) return best;  // already pure
+
+  std::vector<std::pair<double, std::uint8_t>> column(n);
+  for (std::size_t f = 0; f < data.num_features; ++f) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = indices[k];
+      column[k] = {data.row(i)[f], data.failures[i]};
+    }
+    std::sort(column.begin(), column.end());
+    // Sweep split positions between distinct consecutive values.
+    std::size_t left_failures = 0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      left_failures += column[k].second;
+      if (column[k].first == column[k + 1].first) continue;
+      const std::size_t left_n = k + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < config.min_samples_leaf ||
+          right_n < config.min_samples_leaf) {
+        continue;
+      }
+      const std::size_t right_failures = total_failures - left_failures;
+      const double wl = static_cast<double>(left_n) / static_cast<double>(n);
+      const double wr = static_cast<double>(right_n) / static_cast<double>(n);
+      const double child_impurity =
+          wl * gini_impurity(left_failures, left_n) +
+          wr * gini_impurity(right_failures, right_n);
+      const double decrease = parent_impurity - child_impurity;
+      if (decrease > best.impurity_decrease + 1e-15) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = 0.5 * (column[k].first + column[k + 1].first);
+        best.impurity_decrease = decrease;
+      }
+    }
+  }
+  if (best.found && best.impurity_decrease < config.min_impurity_decrease) {
+    best.found = false;
+  }
+  return best;
+}
+
+struct Builder {
+  const TreeDataset& data;
+  const CartConfig& config;
+  std::vector<Node> nodes;
+
+  std::size_t build(std::vector<std::size_t> indices, std::size_t depth) {
+    const std::size_t node_index = nodes.size();
+    nodes.emplace_back();
+    std::size_t failures = 0;
+    for (const std::size_t i : indices) failures += data.failures[i];
+    nodes[node_index].train_count = indices.size();
+    nodes[node_index].train_failures = failures;
+    nodes[node_index].uncertainty =
+        indices.empty() ? 0.0
+                        : static_cast<double>(failures) /
+                              static_cast<double>(indices.size());
+
+    if (depth >= config.max_depth ||
+        indices.size() < config.min_samples_split) {
+      return node_index;
+    }
+    const SplitChoice split = best_split(data, indices, config);
+    if (!split.found) return node_index;
+
+    std::vector<std::size_t> left_idx;
+    std::vector<std::size_t> right_idx;
+    left_idx.reserve(indices.size());
+    right_idx.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      if (data.row(i)[split.feature] <= split.threshold) {
+        left_idx.push_back(i);
+      } else {
+        right_idx.push_back(i);
+      }
+    }
+    indices.clear();
+    indices.shrink_to_fit();
+
+    const std::size_t left = build(std::move(left_idx), depth + 1);
+    const std::size_t right = build(std::move(right_idx), depth + 1);
+    nodes[node_index].feature = split.feature;
+    nodes[node_index].threshold = split.threshold;
+    nodes[node_index].left = left;
+    nodes[node_index].right = right;
+    return node_index;
+  }
+};
+
+}  // namespace
+
+DecisionTree train_cart(const TreeDataset& data, const CartConfig& config) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("train_cart: empty dataset");
+  }
+  Builder builder{data, config, {}};
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  builder.build(std::move(all), 0);
+  return DecisionTree(std::move(builder.nodes), data.num_features);
+}
+
+std::vector<double> feature_importance(const DecisionTree& tree,
+                                       const TreeDataset& train_data) {
+  std::vector<double> importance(tree.num_features(), 0.0);
+  const auto total = static_cast<double>(train_data.size());
+  for (const Node& n : tree.nodes()) {
+    if (n.is_leaf()) continue;
+    const Node& l = tree.node(n.left);
+    const Node& r = tree.node(n.right);
+    const double parent = gini_impurity(n.train_failures, n.train_count);
+    const double wl = static_cast<double>(l.train_count) /
+                      std::max<double>(1.0, static_cast<double>(n.train_count));
+    const double wr = static_cast<double>(r.train_count) /
+                      std::max<double>(1.0, static_cast<double>(n.train_count));
+    const double child = wl * gini_impurity(l.train_failures, l.train_count) +
+                         wr * gini_impurity(r.train_failures, r.train_count);
+    const double node_weight =
+        static_cast<double>(n.train_count) / std::max(total, 1.0);
+    importance[n.feature] += node_weight * std::max(parent - child, 0.0);
+  }
+  const double sum = std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (sum > 0.0) {
+    for (double& v : importance) v /= sum;
+  }
+  return importance;
+}
+
+}  // namespace tauw::dtree

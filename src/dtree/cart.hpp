@@ -1,0 +1,33 @@
+#pragma once
+// CART learning for the quality impact model's decision tree.
+//
+// Matches the paper's setup (Section IV.C.2): Gini impurity as the split
+// criterion, growth up to a maximum depth of 8 without pruning; pruning and
+// calibration happen in a separate pass (see calibrate.hpp).
+
+#include <cstddef>
+
+#include "dtree/tree.hpp"
+
+namespace tauw::dtree {
+
+struct CartConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_split = 16;  ///< do not split smaller nodes
+  std::size_t min_samples_leaf = 8;    ///< reject splits creating tiny leaves
+  double min_impurity_decrease = 1e-7;
+};
+
+/// Grows a CART tree on `data`. The resulting leaves carry training counts
+/// and a raw (uncalibrated) failure-rate estimate in `uncertainty`.
+DecisionTree train_cart(const TreeDataset& data, const CartConfig& config);
+
+/// Gini impurity of a binary sample with `failures` positives among `count`.
+double gini_impurity(std::size_t failures, std::size_t count);
+
+/// Split-based feature importance: total impurity decrease contributed by
+/// each feature, normalized to sum to 1 (all zeros for a stump).
+std::vector<double> feature_importance(const DecisionTree& tree,
+                                       const TreeDataset& train_data);
+
+}  // namespace tauw::dtree

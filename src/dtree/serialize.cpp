@@ -1,0 +1,91 @@
+#include "dtree/serialize.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tauw::dtree {
+
+namespace {
+constexpr char kMagic[] = "tauw-dtree";
+constexpr char kVersion[] = "v1";
+}  // namespace
+
+void write_tree(std::ostream& out, const DecisionTree& tree) {
+  if (tree.empty()) {
+    throw std::invalid_argument("write_tree: empty tree");
+  }
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kMagic << ' ' << kVersion << ' ' << tree.num_nodes() << ' '
+      << tree.num_features() << '\n';
+  for (const Node& n : tree.nodes()) {
+    if (n.is_leaf()) {
+      out << "leaf " << n.uncertainty << ' ' << n.train_count << ' '
+          << n.train_failures << '\n';
+    } else {
+      out << "split " << n.feature << ' ' << n.threshold << ' ' << n.left
+          << ' ' << n.right << ' ' << n.train_count << ' ' << n.train_failures
+          << '\n';
+    }
+  }
+}
+
+std::string to_string(const DecisionTree& tree) {
+  std::ostringstream os;
+  write_tree(os, tree);
+  return os.str();
+}
+
+DecisionTree read_tree(std::istream& in) {
+  std::string magic;
+  std::string version;
+  std::size_t num_nodes = 0;
+  std::size_t num_features = 0;
+  if (!(in >> magic >> version >> num_nodes >> num_features)) {
+    throw std::runtime_error("read_tree: truncated header");
+  }
+  if (magic != kMagic || version != kVersion) {
+    throw std::runtime_error("read_tree: bad magic/version '" + magic + " " +
+                             version + "'");
+  }
+  if (num_nodes == 0) {
+    throw std::runtime_error("read_tree: zero nodes");
+  }
+  std::vector<Node> nodes;
+  nodes.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    std::string kind;
+    if (!(in >> kind)) {
+      throw std::runtime_error("read_tree: truncated at node " +
+                               std::to_string(i));
+    }
+    Node n;
+    if (kind == "leaf") {
+      if (!(in >> n.uncertainty >> n.train_count >> n.train_failures)) {
+        throw std::runtime_error("read_tree: malformed leaf node");
+      }
+    } else if (kind == "split") {
+      if (!(in >> n.feature >> n.threshold >> n.left >> n.right >>
+            n.train_count >> n.train_failures)) {
+        throw std::runtime_error("read_tree: malformed split node");
+      }
+      if (n.left >= num_nodes || n.right >= num_nodes) {
+        throw std::runtime_error("read_tree: child index out of range");
+      }
+    } else {
+      throw std::runtime_error("read_tree: unknown node kind '" + kind + "'");
+    }
+    nodes.push_back(n);
+  }
+  // DecisionTree's constructor re-validates the structure.
+  return DecisionTree(std::move(nodes), num_features);
+}
+
+DecisionTree from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_tree(is);
+}
+
+}  // namespace tauw::dtree

@@ -1,0 +1,35 @@
+#pragma once
+// Serialization of decision trees to a line-based text format.
+//
+// Deployment of a calibrated quality impact model requires moving the frozen
+// tree from the calibration environment into the runtime monitor. The format
+// is stable, human-auditable (a certification concern for the transparent
+// QIM), and round-trips exactly: doubles are emitted with max_digits10.
+//
+// Format (one node per line, preorder, indices implicit):
+//   tauw-dtree v1 <num_nodes> <num_features>
+//   split <feature> <threshold> <left> <right> <train_count> <train_failures>
+//   leaf <uncertainty> <train_count> <train_failures>
+
+#include <iosfwd>
+#include <string>
+
+#include "dtree/tree.hpp"
+
+namespace tauw::dtree {
+
+/// Writes `tree` to `out`. Throws std::invalid_argument for an empty tree.
+void write_tree(std::ostream& out, const DecisionTree& tree);
+
+/// Serializes to a string.
+std::string to_string(const DecisionTree& tree);
+
+/// Parses a tree previously produced by write_tree. Throws
+/// std::runtime_error on malformed input (bad header, dangling child
+/// indices, trailing garbage).
+DecisionTree read_tree(std::istream& in);
+
+/// Parses from a string.
+DecisionTree from_string(const std::string& text);
+
+}  // namespace tauw::dtree

@@ -1,0 +1,131 @@
+#include "dtree/tree.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace tauw::dtree {
+
+void TreeDataset::push_back(std::span<const double> row, bool failure) {
+  if (num_features == 0) num_features = row.size();
+  if (row.size() != num_features) {
+    throw std::invalid_argument("TreeDataset: inconsistent feature count");
+  }
+  features.insert(features.end(), row.begin(), row.end());
+  failures.push_back(failure ? 1 : 0);
+}
+
+DecisionTree::DecisionTree(std::vector<Node> nodes, std::size_t num_features)
+    : nodes_(std::move(nodes)), num_features_(num_features) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("DecisionTree requires at least a root");
+  }
+  for (const Node& n : nodes_) {
+    const bool both = n.left != Node::kNoChild && n.right != Node::kNoChild;
+    const bool none = n.left == Node::kNoChild && n.right == Node::kNoChild;
+    if (!both && !none) {
+      throw std::invalid_argument("DecisionTree: half-open node");
+    }
+    if (both && (n.left >= nodes_.size() || n.right >= nodes_.size())) {
+      throw std::invalid_argument("DecisionTree: child index out of range");
+    }
+    if (both && n.feature >= num_features_) {
+      throw std::invalid_argument("DecisionTree: split feature out of range");
+    }
+  }
+}
+
+std::size_t DecisionTree::num_leaves() const noexcept {
+  std::size_t count = 0;
+  for (const Node& n : nodes_) count += n.is_leaf() ? 1 : 0;
+  return count;
+}
+
+std::size_t DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  std::function<std::size_t(std::size_t)> walk =
+      [&](std::size_t i) -> std::size_t {
+    const Node& n = nodes_[i];
+    if (n.is_leaf()) return 0;
+    return 1 + std::max(walk(n.left), walk(n.right));
+  };
+  return walk(0);
+}
+
+std::size_t DecisionTree::route(std::span<const double> x) const {
+  if (nodes_.empty()) throw std::logic_error("route on empty tree");
+  if (x.size() != num_features_) {
+    throw std::invalid_argument("route: feature count mismatch");
+  }
+  std::size_t i = 0;
+  while (!nodes_[i].is_leaf()) {
+    const Node& n = nodes_[i];
+    i = x[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return i;
+}
+
+double DecisionTree::predict_uncertainty(std::span<const double> x) const {
+  return nodes_[route(x)].uncertainty;
+}
+
+std::vector<std::size_t> DecisionTree::leaf_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_leaf()) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t DecisionTree::compact() {
+  if (nodes_.empty()) return 0;
+  // Copy reachable nodes to new indices in preorder.
+  std::vector<Node> compacted;
+  compacted.reserve(nodes_.size());
+  std::function<std::size_t(std::size_t)> copy = [&](std::size_t i) {
+    const std::size_t ni = compacted.size();
+    compacted.push_back(nodes_[i]);
+    if (!nodes_[i].is_leaf()) {
+      const std::size_t left = copy(nodes_[i].left);
+      const std::size_t right = copy(nodes_[i].right);
+      compacted[ni].left = left;
+      compacted[ni].right = right;
+    }
+    return ni;
+  };
+  copy(0);
+  const std::size_t removed = nodes_.size() - compacted.size();
+  nodes_ = std::move(compacted);
+  return removed;
+}
+
+std::string DecisionTree::to_text(
+    std::span<const std::string> feature_names) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  std::function<void(std::size_t, std::size_t)> walk = [&](std::size_t i,
+                                                           std::size_t depth) {
+    const Node& n = nodes_[i];
+    os << std::string(depth * 2, ' ');
+    if (n.is_leaf()) {
+      os << "leaf: u=" << n.uncertainty << " (train " << n.train_failures
+         << "/" << n.train_count << ")\n";
+      return;
+    }
+    if (n.feature < feature_names.size()) {
+      os << feature_names[n.feature];
+    } else {
+      os << "f" << n.feature;
+    }
+    os << " <= " << n.threshold << "\n";
+    walk(n.left, depth + 1);
+    os << std::string(depth * 2, ' ') << "else\n";
+    walk(n.right, depth + 1);
+  };
+  if (!nodes_.empty()) walk(0, 0);
+  return os.str();
+}
+
+}  // namespace tauw::dtree

@@ -1,0 +1,89 @@
+#pragma once
+// Binary-classification decision tree: the representation behind the
+// (timeseries-aware) quality impact model.
+//
+// The tree predicts the probability of the wrapper's failure mode (here:
+// misclassification by the wrapped DDM) from quality-factor vectors. Its
+// transparency is a core property of the uncertainty-wrapper approach, so
+// the structure is plain data and can be serialized to human-readable text.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tauw::dtree {
+
+/// Training/calibration data for the tree: row-major feature matrix plus a
+/// Boolean failure indicator per row.
+struct TreeDataset {
+  std::size_t num_features = 0;
+  std::vector<double> features;     ///< num_features * failures.size()
+  std::vector<std::uint8_t> failures;
+  std::vector<std::string> feature_names;  ///< optional, for serialization
+
+  std::size_t size() const noexcept { return failures.size(); }
+  std::span<const double> row(std::size_t i) const noexcept {
+    return {features.data() + i * num_features, num_features};
+  }
+  void push_back(std::span<const double> row, bool failure);
+};
+
+/// One tree node. Children are indices into the node vector; leaves have
+/// kNoChild in both slots.
+struct Node {
+  static constexpr std::size_t kNoChild = static_cast<std::size_t>(-1);
+
+  std::size_t feature = 0;        ///< split feature (internal nodes)
+  double threshold = 0.0;         ///< go left if x[feature] <= threshold
+  std::size_t left = kNoChild;
+  std::size_t right = kNoChild;
+
+  // Leaf payload (valid for leaves; kept for internal nodes as fallback
+  // values used when pruning collapses a subtree).
+  std::size_t train_count = 0;     ///< training samples that reached the node
+  std::size_t train_failures = 0;  ///< failures among them
+  double uncertainty = 0.0;        ///< calibrated failure-probability bound
+
+  bool is_leaf() const noexcept { return left == kNoChild; }
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(std::vector<Node> nodes, std::size_t num_features);
+
+  bool empty() const noexcept { return nodes_.empty(); }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  std::size_t num_features() const noexcept { return num_features_; }
+  std::size_t num_leaves() const noexcept;
+  std::size_t depth() const noexcept;
+
+  const Node& node(std::size_t i) const { return nodes_.at(i); }
+  Node& node(std::size_t i) { return nodes_.at(i); }
+  std::span<const Node> nodes() const noexcept { return nodes_; }
+
+  /// Index of the leaf reached by `x` (size num_features()).
+  std::size_t route(std::span<const double> x) const;
+
+  /// Calibrated uncertainty of the leaf reached by `x`.
+  double predict_uncertainty(std::span<const double> x) const;
+
+  /// Indices of all leaf nodes in routing order.
+  std::vector<std::size_t> leaf_indices() const;
+
+  /// Human-readable rendering (one line per node, indented by depth), using
+  /// `feature_names` when provided.
+  std::string to_text(std::span<const std::string> feature_names = {}) const;
+
+  /// Drops nodes unreachable from the root (orphans left behind by pruning)
+  /// and renumbers children. Returns the number of removed nodes.
+  std::size_t compact();
+
+ private:
+  std::vector<Node> nodes_;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace tauw::dtree

@@ -1,0 +1,208 @@
+#include "imaging/augmentations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::imaging {
+
+namespace {
+
+double clamp_intensity(double intensity) {
+  if (!(intensity >= 0.0)) return 0.0;
+  return std::min(intensity, 1.0);
+}
+
+void stamp_blob(Image& img, double cx, double cy, double radius, float value,
+                float opacity) {
+  const auto x0 = static_cast<std::ptrdiff_t>(std::floor(cx - radius));
+  const auto x1 = static_cast<std::ptrdiff_t>(std::ceil(cx + radius));
+  const auto y0 = static_cast<std::ptrdiff_t>(std::floor(cy - radius));
+  const auto y1 = static_cast<std::ptrdiff_t>(std::ceil(cy + radius));
+  for (std::ptrdiff_t y = y0; y <= y1; ++y) {
+    if (y < 0 || y >= static_cast<std::ptrdiff_t>(img.height())) continue;
+    for (std::ptrdiff_t x = x0; x <= x1; ++x) {
+      if (x < 0 || x >= static_cast<std::ptrdiff_t>(img.width())) continue;
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      if (dx * dx + dy * dy > radius * radius) continue;
+      float& p = img(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+      p = std::clamp((1.0F - opacity) * p + opacity * value, 0.0F, 1.0F);
+    }
+  }
+}
+
+}  // namespace
+
+Image apply_rain(const Image& src, double intensity, stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  Image out = src;
+  const auto streaks = static_cast<std::size_t>(
+      std::lround(t * 0.45 * static_cast<double>(src.width())));
+  for (std::size_t s = 0; s < streaks; ++s) {
+    const std::size_t x = rng.uniform_index(src.width());
+    const std::size_t y0 = rng.uniform_index(src.height());
+    const std::size_t len =
+        2 + rng.uniform_index(std::max<std::size_t>(src.height() / 2, 1));
+    const auto opacity = static_cast<float>(0.25 + 0.45 * t);
+    for (std::size_t k = 0; k < len && y0 + k < src.height(); ++k) {
+      float& p = out(x, y0 + k);
+      p = std::clamp((1.0F - opacity) * p + opacity * 0.9F, 0.0F, 1.0F);
+    }
+  }
+  // Wet-air wash-out.
+  return affine_intensity(out, static_cast<float>(1.0 - 0.25 * t),
+                          static_cast<float>(0.12 * t));
+}
+
+Image apply_darkness(const Image& src, double intensity, stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  (void)rng;  // deterministic deficit
+  const auto gain = static_cast<float>(1.0 - 0.7 * t);
+  const auto bias = static_cast<float>(-0.04 * t);
+  return affine_intensity(src, gain, bias);
+}
+
+Image apply_haze(const Image& src, double intensity, stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  (void)rng;
+  const Image veil(src.width(), src.height(), 0.85F);
+  Image out = blend(src, veil, static_cast<float>(0.65 * t));
+  if (t > 0.5) out = box_blur(out, 1);
+  return out;
+}
+
+Image apply_natural_backlight(const Image& src, double intensity,
+                              stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  // Low sun from a random upper corner: diagonal additive glare.
+  const bool from_left = rng.bernoulli(0.5);
+  Image out = src;
+  const double w = static_cast<double>(src.width());
+  const double h = static_cast<double>(src.height());
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      const double fx = from_left ? (w - static_cast<double>(x)) / w
+                                  : static_cast<double>(x) / w;
+      const double fy = (h - static_cast<double>(y)) / h;
+      const double glare = 0.85 * t * std::pow(0.5 * (fx + fy), 2.0);
+      float& p = out(x, y);
+      p = std::clamp(p + static_cast<float>(glare), 0.0F, 1.0F);
+    }
+  }
+  // Strong backlight also flattens contrast.
+  return affine_intensity(out, static_cast<float>(1.0 - 0.3 * t),
+                          static_cast<float>(0.2 * t));
+}
+
+Image apply_artificial_backlight(const Image& src, double intensity,
+                                 stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  Image out = src;
+  const double cx = rng.uniform(0.2, 0.8) * static_cast<double>(src.width());
+  const double cy = rng.uniform(0.2, 0.8) * static_cast<double>(src.height());
+  const double sigma = (0.15 + 0.3 * t) * static_cast<double>(src.width());
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double bloom =
+          1.1 * t * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+      float& p = out(x, y);
+      p = std::clamp(p + static_cast<float>(bloom), 0.0F, 1.0F);
+    }
+  }
+  return out;
+}
+
+Image apply_dirt_on_sign(const Image& src, double intensity, stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  Image out = src;
+  // Blobs restricted to the central region where the sign is pasted.
+  const auto blobs = static_cast<std::size_t>(std::lround(1.0 + 6.0 * t));
+  const double w = static_cast<double>(src.width());
+  const double h = static_cast<double>(src.height());
+  for (std::size_t b = 0; b < blobs; ++b) {
+    const double cx = rng.uniform(0.3, 0.7) * w;
+    const double cy = rng.uniform(0.3, 0.7) * h;
+    const double radius = rng.uniform(0.03, 0.05 + 0.09 * t) * w;
+    stamp_blob(out, cx, cy, radius, 0.22F,
+               static_cast<float>(0.5 + 0.5 * t));
+  }
+  return out;
+}
+
+Image apply_dirt_on_lens(const Image& src, double intensity, stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  Image out = src;
+  const auto blobs = static_cast<std::size_t>(std::lround(1.0 + 5.0 * t));
+  const double w = static_cast<double>(src.width());
+  const double h = static_cast<double>(src.height());
+  for (std::size_t b = 0; b < blobs; ++b) {
+    const double cx = rng.uniform(0.0, 1.0) * w;
+    const double cy = rng.uniform(0.0, 1.0) * h;
+    const double radius = rng.uniform(0.05, 0.08 + 0.12 * t) * w;
+    // Out-of-focus dirt: darker but soft.
+    stamp_blob(out, cx, cy, radius, 0.3F, static_cast<float>(0.35 + 0.4 * t));
+  }
+  return box_blur(out, t > 0.6 ? 1 : 0);
+}
+
+Image apply_steamed_up_lens(const Image& src, double intensity,
+                            stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  (void)rng;
+  const auto radius = static_cast<std::size_t>(std::lround(1.0 + 2.0 * t));
+  Image out = box_blur(src, radius);
+  return affine_intensity(out, static_cast<float>(1.0 - 0.2 * t),
+                          static_cast<float>(0.18 * t));
+}
+
+Image apply_motion_blur(const Image& src, double intensity, stats::Rng& rng) {
+  const double t = clamp_intensity(intensity);
+  if (t == 0.0) return src;
+  const auto length = static_cast<std::size_t>(std::lround(
+      1.0 + t * 0.33 * static_cast<double>(src.width())));
+  // Mostly horizontal (vehicle motion) with a small random vertical component.
+  const double dy = rng.uniform(-0.25, 0.25);
+  return directional_blur(src, 1.0, dy, length);
+}
+
+Image apply_deficit(const Image& src, Deficit deficit, double intensity,
+                    stats::Rng& rng) {
+  switch (deficit) {
+    case Deficit::kRain: return apply_rain(src, intensity, rng);
+    case Deficit::kDarkness: return apply_darkness(src, intensity, rng);
+    case Deficit::kHaze: return apply_haze(src, intensity, rng);
+    case Deficit::kNaturalBacklight:
+      return apply_natural_backlight(src, intensity, rng);
+    case Deficit::kArtificialBacklight:
+      return apply_artificial_backlight(src, intensity, rng);
+    case Deficit::kDirtOnSign: return apply_dirt_on_sign(src, intensity, rng);
+    case Deficit::kDirtOnLens: return apply_dirt_on_lens(src, intensity, rng);
+    case Deficit::kSteamedUpLens:
+      return apply_steamed_up_lens(src, intensity, rng);
+    case Deficit::kMotionBlur: return apply_motion_blur(src, intensity, rng);
+  }
+  throw std::invalid_argument("unknown deficit");
+}
+
+Image apply_all(const Image& src, const DeficitVector& intensities,
+                stats::Rng& rng) {
+  Image out = src;
+  for (const Deficit d : all_deficits()) {
+    const double t = intensities[static_cast<std::size_t>(d)];
+    if (t > 0.0) out = apply_deficit(out, d, t, rng);
+  }
+  return out;
+}
+
+}  // namespace tauw::imaging

@@ -1,0 +1,53 @@
+#pragma once
+// Pixel-level implementations of the nine quality deficits (Section IV.B.2).
+//
+// Every augmentation takes an intensity in [0, 1] (0 = absent, 1 = extreme)
+// and an Rng for stochastic placement; intensity 0 must return the input
+// unchanged. The operators are pure functions of (image, intensity, rng)
+// so the augmentation pipeline stays deterministic under a fixed seed.
+
+#include "imaging/deficit.hpp"
+#include "imaging/image.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::imaging {
+
+/// Rain: semi-transparent bright streaks plus a slight wash-out.
+Image apply_rain(const Image& src, double intensity, stats::Rng& rng);
+
+/// Darkness: global luminance reduction with mild contrast loss.
+Image apply_darkness(const Image& src, double intensity, stats::Rng& rng);
+
+/// Haze/fog: blend toward a bright veil, reducing contrast.
+Image apply_haze(const Image& src, double intensity, stats::Rng& rng);
+
+/// Natural backlight: wide diagonal glare gradient (low sun).
+Image apply_natural_backlight(const Image& src, double intensity,
+                              stats::Rng& rng);
+
+/// Artificial backlight: localized bright bloom (head/street lights).
+Image apply_artificial_backlight(const Image& src, double intensity,
+                                 stats::Rng& rng);
+
+/// Dirt on the traffic sign: dark blobs over the central sign area.
+Image apply_dirt_on_sign(const Image& src, double intensity, stats::Rng& rng);
+
+/// Dirt on the sensor lens: dark blobs anywhere in the frame.
+Image apply_dirt_on_lens(const Image& src, double intensity, stats::Rng& rng);
+
+/// Steamed-up lens: strong blur plus brightening (condensation).
+Image apply_steamed_up_lens(const Image& src, double intensity,
+                            stats::Rng& rng);
+
+/// Motion blur: directional blur with random direction near horizontal.
+Image apply_motion_blur(const Image& src, double intensity, stats::Rng& rng);
+
+/// Dispatches to the operator for `deficit`.
+Image apply_deficit(const Image& src, Deficit deficit, double intensity,
+                    stats::Rng& rng);
+
+/// Applies all nine deficits in canonical order with the given intensities.
+Image apply_all(const Image& src, const DeficitVector& intensities,
+                stats::Rng& rng);
+
+}  // namespace tauw::imaging

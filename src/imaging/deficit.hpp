@@ -1,0 +1,77 @@
+#pragma once
+// The nine quality deficits of the paper's augmentation framework
+// (Joeckel & Klaes, SafeComp 2019), Section IV.B.2.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tauw::imaging {
+
+/// Quality deficit kinds. The order defines the layout of quality-factor
+/// vectors throughout the library; do not reorder.
+enum class Deficit : std::uint8_t {
+  kRain = 0,
+  kDarkness,
+  kHaze,
+  kNaturalBacklight,
+  kArtificialBacklight,
+  kDirtOnSign,
+  kDirtOnLens,
+  kSteamedUpLens,
+  kMotionBlur,
+};
+
+inline constexpr std::size_t kNumDeficits = 9;
+
+inline constexpr std::array<Deficit, kNumDeficits> all_deficits() {
+  return {Deficit::kRain,
+          Deficit::kDarkness,
+          Deficit::kHaze,
+          Deficit::kNaturalBacklight,
+          Deficit::kArtificialBacklight,
+          Deficit::kDirtOnSign,
+          Deficit::kDirtOnLens,
+          Deficit::kSteamedUpLens,
+          Deficit::kMotionBlur};
+}
+
+constexpr std::string_view deficit_name(Deficit d) {
+  switch (d) {
+    case Deficit::kRain: return "rain";
+    case Deficit::kDarkness: return "darkness";
+    case Deficit::kHaze: return "haze";
+    case Deficit::kNaturalBacklight: return "natural_backlight";
+    case Deficit::kArtificialBacklight: return "artificial_backlight";
+    case Deficit::kDirtOnSign: return "dirt_on_sign";
+    case Deficit::kDirtOnLens: return "dirt_on_lens";
+    case Deficit::kSteamedUpLens: return "steamed_up_lens";
+    case Deficit::kMotionBlur: return "motion_blur";
+  }
+  return "unknown";
+}
+
+/// True for deficits the paper allows to vary frame-by-frame within one
+/// series (Section IV.B.2: motion blur and artificial backlight).
+constexpr bool varies_within_series(Deficit d) {
+  return d == Deficit::kMotionBlur || d == Deficit::kArtificialBacklight;
+}
+
+/// Discrete intensity levels used to augment the *training* data
+/// ("low, medium, and high intensity", Section IV.B.2).
+enum class IntensityLevel : std::uint8_t { kNone = 0, kLow, kMedium, kHigh };
+
+constexpr double intensity_value(IntensityLevel level) {
+  switch (level) {
+    case IntensityLevel::kNone: return 0.0;
+    case IntensityLevel::kLow: return 0.25;
+    case IntensityLevel::kMedium: return 0.55;
+    case IntensityLevel::kHigh: return 0.9;
+  }
+  return 0.0;
+}
+
+/// Per-frame deficit intensities, each in [0, 1].
+using DeficitVector = std::array<double, kNumDeficits>;
+
+}  // namespace tauw::imaging

@@ -1,0 +1,170 @@
+#include "imaging/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::imaging {
+
+Image::Image(std::size_t width, std::size_t height, float fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {}
+
+float& Image::at(std::size_t x, std::size_t y) {
+  if (x >= width_ || y >= height_) throw std::out_of_range("Image::at");
+  return pixels_[y * width_ + x];
+}
+
+float Image::at(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) throw std::out_of_range("Image::at");
+  return pixels_[y * width_ + x];
+}
+
+void Image::clamp() noexcept {
+  for (float& p : pixels_) p = std::clamp(p, 0.0F, 1.0F);
+}
+
+float Image::mean() const noexcept {
+  if (pixels_.empty()) return 0.0F;
+  double acc = 0.0;
+  for (const float p : pixels_) acc += p;
+  return static_cast<float>(acc / static_cast<double>(pixels_.size()));
+}
+
+Image resize_bilinear(const Image& src, std::size_t width,
+                      std::size_t height) {
+  if (src.empty() || width == 0 || height == 0) {
+    throw std::invalid_argument("resize_bilinear requires non-empty images");
+  }
+  Image dst(width, height);
+  const double sx =
+      static_cast<double>(src.width()) / static_cast<double>(width);
+  const double sy =
+      static_cast<double>(src.height()) / static_cast<double>(height);
+  for (std::size_t y = 0; y < height; ++y) {
+    const double fy = (static_cast<double>(y) + 0.5) * sy - 0.5;
+    const double cy = std::clamp(fy, 0.0, static_cast<double>(src.height() - 1));
+    const auto y0 = static_cast<std::size_t>(cy);
+    const std::size_t y1 = std::min(y0 + 1, src.height() - 1);
+    const double wy = cy - static_cast<double>(y0);
+    for (std::size_t x = 0; x < width; ++x) {
+      const double fx = (static_cast<double>(x) + 0.5) * sx - 0.5;
+      const double cx =
+          std::clamp(fx, 0.0, static_cast<double>(src.width() - 1));
+      const auto x0 = static_cast<std::size_t>(cx);
+      const std::size_t x1 = std::min(x0 + 1, src.width() - 1);
+      const double wx = cx - static_cast<double>(x0);
+      const double top = (1.0 - wx) * src(x0, y0) + wx * src(x1, y0);
+      const double bot = (1.0 - wx) * src(x0, y1) + wx * src(x1, y1);
+      dst(x, y) = static_cast<float>((1.0 - wy) * top + wy * bot);
+    }
+  }
+  return dst;
+}
+
+Image box_blur(const Image& src, std::size_t radius) {
+  if (radius == 0) return src;
+  const std::size_t w = src.width();
+  const std::size_t h = src.height();
+  Image tmp(w, h);
+  Image dst(w, h);
+  const auto r = static_cast<std::ptrdiff_t>(radius);
+  // Horizontal pass.
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      std::size_t cnt = 0;
+      for (std::ptrdiff_t k = -r; k <= r; ++k) {
+        const std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x) + k;
+        if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(w)) continue;
+        acc += src(static_cast<std::size_t>(xx), y);
+        ++cnt;
+      }
+      tmp(x, y) = static_cast<float>(acc / static_cast<double>(cnt));
+    }
+  }
+  // Vertical pass.
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      std::size_t cnt = 0;
+      for (std::ptrdiff_t k = -r; k <= r; ++k) {
+        const std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y) + k;
+        if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h)) continue;
+        acc += tmp(x, static_cast<std::size_t>(yy));
+        ++cnt;
+      }
+      dst(x, y) = static_cast<float>(acc / static_cast<double>(cnt));
+    }
+  }
+  return dst;
+}
+
+Image directional_blur(const Image& src, double dx, double dy,
+                       std::size_t length) {
+  if (length <= 1) return src;
+  const double norm = std::hypot(dx, dy);
+  if (norm == 0.0) return src;
+  const double ux = dx / norm;
+  const double uy = dy / norm;
+  const std::size_t w = src.width();
+  const std::size_t h = src.height();
+  Image dst(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      std::size_t cnt = 0;
+      const double half = static_cast<double>(length - 1) / 2.0;
+      for (std::size_t t = 0; t < length; ++t) {
+        const double off = static_cast<double>(t) - half;
+        const auto xx = static_cast<std::ptrdiff_t>(
+            std::lround(static_cast<double>(x) + ux * off));
+        const auto yy = static_cast<std::ptrdiff_t>(
+            std::lround(static_cast<double>(y) + uy * off));
+        if (xx < 0 || yy < 0 || xx >= static_cast<std::ptrdiff_t>(w) ||
+            yy >= static_cast<std::ptrdiff_t>(h)) {
+          continue;
+        }
+        acc += src(static_cast<std::size_t>(xx), static_cast<std::size_t>(yy));
+        ++cnt;
+      }
+      dst(x, y) = cnt == 0 ? src(x, y)
+                           : static_cast<float>(acc / static_cast<double>(cnt));
+    }
+  }
+  return dst;
+}
+
+Image affine_intensity(const Image& src, float a, float b) {
+  Image dst = src;
+  for (float& p : dst.pixels()) p = std::clamp(a * p + b, 0.0F, 1.0F);
+  return dst;
+}
+
+Image blend(const Image& a, const Image& b, float t) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("blend requires equal dimensions");
+  }
+  Image dst = a;
+  auto pa = dst.pixels();
+  auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    pa[i] = (1.0F - t) * pa[i] + t * pb[i];
+  }
+  return dst;
+}
+
+float mean_abs_diff(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("mean_abs_diff requires equal dimensions");
+  }
+  if (a.empty()) return 0.0F;
+  double acc = 0.0;
+  auto pa = a.pixels();
+  auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    acc += std::fabs(static_cast<double>(pa[i]) - static_cast<double>(pb[i]));
+  }
+  return static_cast<float>(acc / static_cast<double>(pa.size()));
+}
+
+}  // namespace tauw::imaging

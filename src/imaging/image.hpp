@@ -1,0 +1,74 @@
+#pragma once
+// Minimal grayscale image type and pixel operations used by the synthetic
+// traffic-sign rendering and augmentation pipeline.
+//
+// Pixels are floats in [0, 1] stored row-major. The type is a regular value
+// type (copyable, movable, equality-comparable) per the Core Guidelines.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tauw::imaging {
+
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width x height image filled with `fill`.
+  Image(std::size_t width, std::size_t height, float fill = 0.0F);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+  std::size_t size() const noexcept { return pixels_.size(); }
+  bool empty() const noexcept { return pixels_.empty(); }
+
+  float& at(std::size_t x, std::size_t y);
+  float at(std::size_t x, std::size_t y) const;
+
+  /// Unchecked access for hot loops.
+  float& operator()(std::size_t x, std::size_t y) noexcept {
+    return pixels_[y * width_ + x];
+  }
+  float operator()(std::size_t x, std::size_t y) const noexcept {
+    return pixels_[y * width_ + x];
+  }
+
+  std::span<float> pixels() noexcept { return pixels_; }
+  std::span<const float> pixels() const noexcept { return pixels_; }
+
+  /// Clamps every pixel into [0, 1].
+  void clamp() noexcept;
+
+  /// Mean pixel intensity (0 for an empty image).
+  float mean() const noexcept;
+
+  bool operator==(const Image&) const = default;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<float> pixels_;
+};
+
+/// Bilinear resize to the given dimensions. Requires a non-empty source.
+Image resize_bilinear(const Image& src, std::size_t width, std::size_t height);
+
+/// Separable box blur with the given radius (0 returns a copy).
+Image box_blur(const Image& src, std::size_t radius);
+
+/// One-dimensional directional blur along (dx, dy) with `length` taps -
+/// used for the motion-blur deficit.
+Image directional_blur(const Image& src, double dx, double dy,
+                       std::size_t length);
+
+/// Per-pixel linear transform a*p + b, clamped to [0, 1].
+Image affine_intensity(const Image& src, float a, float b);
+
+/// Blends a toward b: (1 - t) * a + t * b. Requires equal dimensions.
+Image blend(const Image& a, const Image& b, float t);
+
+/// Mean absolute per-pixel difference; requires equal dimensions.
+float mean_abs_diff(const Image& a, const Image& b);
+
+}  // namespace tauw::imaging

@@ -1,0 +1,105 @@
+#include "imaging/pgm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace tauw::imaging {
+
+void write_pgm(std::ostream& out, const Image& image) {
+  if (image.empty()) {
+    throw std::invalid_argument("write_pgm: empty image");
+  }
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  std::vector<unsigned char> row(image.width());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      const float clamped = std::clamp(image(x, y), 0.0F, 1.0F);
+      row[x] = static_cast<unsigned char>(std::lround(clamped * 255.0F));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+}
+
+void save_pgm(const std::string& path, const Image& image) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("save_pgm: cannot open " + path);
+  }
+  write_pgm(file, image);
+  if (!file) {
+    throw std::runtime_error("save_pgm: write failed for " + path);
+  }
+}
+
+namespace {
+
+// Reads the next whitespace/comment-delimited token of a PGM header.
+std::string next_token(std::istream& in) {
+  std::string token;
+  for (;;) {
+    const int c = in.get();
+    if (c == EOF) break;
+    if (c == '#') {  // comment until end of line
+      std::string dummy;
+      std::getline(in, dummy);
+      continue;
+    }
+    if (std::isspace(c) != 0) {
+      if (!token.empty()) break;
+      continue;
+    }
+    token.push_back(static_cast<char>(c));
+  }
+  return token;
+}
+
+}  // namespace
+
+Image read_pgm(std::istream& in) {
+  if (next_token(in) != "P5") {
+    throw std::runtime_error("read_pgm: not a binary PGM (P5)");
+  }
+  std::size_t width = 0;
+  std::size_t height = 0;
+  int maxval = 0;
+  try {
+    width = std::stoul(next_token(in));
+    height = std::stoul(next_token(in));
+    maxval = std::stoi(next_token(in));
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_pgm: malformed header");
+  }
+  if (width == 0 || height == 0 || maxval <= 0 || maxval > 255) {
+    throw std::runtime_error("read_pgm: unsupported dimensions/maxval");
+  }
+  Image image(width, height);
+  std::vector<unsigned char> row(width);
+  for (std::size_t y = 0; y < height; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    if (in.gcount() != static_cast<std::streamsize>(row.size())) {
+      throw std::runtime_error("read_pgm: truncated pixel data");
+    }
+    for (std::size_t x = 0; x < width; ++x) {
+      image(x, y) = static_cast<float>(row[x]) / static_cast<float>(maxval);
+    }
+  }
+  return image;
+}
+
+Image load_pgm(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("load_pgm: cannot open " + path);
+  }
+  return read_pgm(file);
+}
+
+}  // namespace tauw::imaging

@@ -1,0 +1,29 @@
+#pragma once
+// Binary PGM (P5) reading/writing for grayscale images.
+//
+// Used for debugging the renderer and augmentations (inspecting what the
+// DDM actually sees) and by downstream users to feed real camera crops into
+// the pipeline. Pixels quantize to 8 bits on write; values round-trip within
+// 1/255.
+
+#include <iosfwd>
+#include <string>
+
+#include "imaging/image.hpp"
+
+namespace tauw::imaging {
+
+/// Writes `image` as binary PGM (P5, maxval 255).
+void write_pgm(std::ostream& out, const Image& image);
+
+/// Writes to a file; throws std::runtime_error when the file cannot be
+/// opened.
+void save_pgm(const std::string& path, const Image& image);
+
+/// Reads a binary PGM (P5). Supports comment lines and any maxval <= 255.
+Image read_pgm(std::istream& in);
+
+/// Reads from a file; throws std::runtime_error on open/parse failure.
+Image load_pgm(const std::string& path);
+
+}  // namespace tauw::imaging

@@ -1,0 +1,148 @@
+#include "imaging/sign_renderer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::imaging {
+
+namespace {
+
+// Shape families mirroring real sign silhouettes.
+enum class Shape { kCircle, kTriangle, kDiamond, kOctagon };
+
+bool inside_shape(Shape shape, double nx, double ny) {
+  // nx, ny in [-1, 1] relative to the template center.
+  switch (shape) {
+    case Shape::kCircle:
+      return nx * nx + ny * ny <= 1.0;
+    case Shape::kTriangle:
+      // Upward triangle: y from -1 (top) to 1 (bottom).
+      return ny >= -1.0 && ny <= 1.0 && std::fabs(nx) <= (ny + 1.0) / 2.0;
+    case Shape::kDiamond:
+      return std::fabs(nx) + std::fabs(ny) <= 1.0;
+    case Shape::kOctagon: {
+      const double ax = std::fabs(nx);
+      const double ay = std::fabs(ny);
+      return ax <= 1.0 && ay <= 1.0 && ax + ay <= 1.45;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SignRenderer::SignRenderer(std::uint64_t seed) {
+  templates_.reserve(kNumClasses);
+  for (std::size_t label = 0; label < kNumClasses; ++label) {
+    templates_.push_back(make_template(label, seed));
+  }
+}
+
+const Image& SignRenderer::sign_template(std::size_t label) const {
+  if (label >= templates_.size()) {
+    throw std::out_of_range("SignRenderer: label out of range");
+  }
+  return templates_[label];
+}
+
+Image SignRenderer::make_template(std::size_t label,
+                                  std::uint64_t seed) const {
+  // One deterministic sub-stream per class.
+  stats::Rng rng(seed * 0x9e3779b9ULL + label * 0x85ebca6bULL + 1);
+  const auto shape = static_cast<Shape>(label % 4);
+  // Base tone of the sign face alternates to add a coarse color-like cue.
+  const float face = (label % 2 == 0) ? 0.85F : 0.7F;
+  const float border = (label % 3 == 0) ? 0.15F : 0.3F;
+
+  Image tmpl(kTemplateSize, kTemplateSize, 0.0F);
+  const double c = (static_cast<double>(kTemplateSize) - 1.0) / 2.0;
+
+  // 5x5 glyph bitmap: the class's distinguishing interior pattern. Coarse
+  // cells stay resolvable after downscaling to distant apparent sizes.
+  constexpr std::size_t kGlyph = 5;
+  std::array<bool, kGlyph * kGlyph> glyph{};
+  for (auto& bit : glyph) bit = rng.bernoulli(0.5);
+  // Guarantee at least 1/3 on-bits so no glyph is blank.
+  std::size_t on = 0;
+  for (const bool bit : glyph) on += bit ? 1 : 0;
+  while (on < kGlyph * kGlyph / 3) {
+    const std::size_t i = rng.uniform_index(glyph.size());
+    if (!glyph[i]) {
+      glyph[i] = true;
+      ++on;
+    }
+  }
+
+  for (std::size_t y = 0; y < kTemplateSize; ++y) {
+    for (std::size_t x = 0; x < kTemplateSize; ++x) {
+      const double nx = (static_cast<double>(x) - c) / c;
+      const double ny = (static_cast<double>(y) - c) / c;
+      if (!inside_shape(shape, nx, ny)) continue;  // transparent outside
+      // Border ring: points near the silhouette boundary.
+      const bool in_border = !inside_shape(shape, nx * 1.18, ny * 1.18);
+      if (in_border) {
+        tmpl(x, y) = border;
+        continue;
+      }
+      // Map the interior into glyph cells.
+      const double gx = (nx * 0.62 + 0.5) * static_cast<double>(kGlyph);
+      const double gy = (ny * 0.62 + 0.5) * static_cast<double>(kGlyph);
+      const auto cx = static_cast<std::size_t>(
+          std::clamp(gx, 0.0, static_cast<double>(kGlyph) - 1.0));
+      const auto cy = static_cast<std::size_t>(
+          std::clamp(gy, 0.0, static_cast<double>(kGlyph) - 1.0));
+      tmpl(x, y) = glyph[cy * kGlyph + cx] ? 0.1F : face;
+    }
+  }
+  return tmpl;
+}
+
+Image SignRenderer::render(std::size_t label, double apparent_px,
+                           stats::Rng& rng) const {
+  if (label >= templates_.size()) {
+    throw std::out_of_range("SignRenderer: label out of range");
+  }
+  const double size =
+      std::clamp(apparent_px, 6.0, static_cast<double>(kFrameSize));
+  const auto px = static_cast<std::size_t>(std::lround(size));
+
+  // Road-scene background: vertical luminance gradient plus clutter noise.
+  Image frame(kFrameSize, kFrameSize);
+  for (std::size_t y = 0; y < kFrameSize; ++y) {
+    const float base =
+        0.55F - 0.25F * static_cast<float>(y) / static_cast<float>(kFrameSize);
+    for (std::size_t x = 0; x < kFrameSize; ++x) {
+      frame(x, y) = std::clamp(
+          base + static_cast<float>(rng.normal(0.0, 0.06)), 0.0F, 1.0F);
+    }
+  }
+
+  // Downscale the template to the apparent size (information loss with
+  // distance) and paste it near the frame center with jitter.
+  const Image scaled = resize_bilinear(templates_[label], px, px);
+  const auto max_off = static_cast<std::ptrdiff_t>(kFrameSize - px);
+  const auto jitter = [&](std::ptrdiff_t center) {
+    const std::ptrdiff_t j = rng.uniform_int(-1, 1);
+    return std::clamp<std::ptrdiff_t>(center + j, 0, max_off);
+  };
+  const std::ptrdiff_t ox = jitter(max_off / 2);
+  const std::ptrdiff_t oy = jitter(max_off / 2);
+  for (std::size_t y = 0; y < px; ++y) {
+    for (std::size_t x = 0; x < px; ++x) {
+      const float v = scaled(x, y);
+      if (v <= 0.0F) continue;  // transparent background of the template
+      frame(static_cast<std::size_t>(ox) + x,
+            static_cast<std::size_t>(oy) + y) = v;
+    }
+  }
+
+  // Sensor noise.
+  for (float& p : frame.pixels()) {
+    p = std::clamp(p + static_cast<float>(rng.normal(0.0, 0.02)), 0.0F, 1.0F);
+  }
+  return frame;
+}
+
+}  // namespace tauw::imaging

@@ -1,0 +1,47 @@
+#pragma once
+// Procedural renderer for GTSRB-like traffic-sign images.
+//
+// The GTSRB dataset has 43 sign classes photographed while a car approaches,
+// so the apparent sign size grows along each series. We substitute photos
+// with procedurally generated sign faces: each class gets a deterministic
+// template (shape family + high-contrast interior glyph) that stays fixed for
+// the lifetime of the renderer, and frames render the template at a given
+// apparent pixel size into a cluttered background. Class confusability
+// therefore comes from downscaling (distance) and the quality-deficit
+// augmentations - the same difficulty axes the paper's study manipulates.
+
+#include <cstddef>
+
+#include "imaging/image.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::imaging {
+
+inline constexpr std::size_t kNumClasses = 43;   ///< GTSRB class count
+inline constexpr std::size_t kFrameSize = 28;    ///< rendered frame edge (px)
+inline constexpr std::size_t kTemplateSize = 40; ///< template edge (px)
+
+class SignRenderer {
+ public:
+  /// Builds all 43 class templates deterministically from `seed`.
+  explicit SignRenderer(std::uint64_t seed = 7);
+
+  /// Number of classes (always kNumClasses; exposed for API symmetry).
+  std::size_t num_classes() const noexcept { return kNumClasses; }
+
+  /// Full-resolution template of a class. Requires label < num_classes().
+  const Image& sign_template(std::size_t label) const;
+
+  /// Renders one frame: the sign of class `label` at apparent size
+  /// `apparent_px` (clamped to [6, kFrameSize]) over a noisy road background,
+  /// with sub-pixel position jitter and pixel sensor noise drawn from `rng`.
+  Image render(std::size_t label, double apparent_px,
+               stats::Rng& rng) const;
+
+ private:
+  Image make_template(std::size_t label, std::uint64_t seed) const;
+
+  std::vector<Image> templates_;
+};
+
+}  // namespace tauw::imaging

@@ -1,0 +1,36 @@
+#pragma once
+// The data-driven-model (DDM) abstraction.
+//
+// The uncertainty wrapper treats the wrapped model as a black box: it only
+// sees the model's outcome (and, optionally, the model's own confidence,
+// which the wrapper deliberately does NOT trust for its guarantees). Any
+// classifier implementing this interface can be wrapped.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tauw::ml {
+
+/// One classification outcome.
+struct Prediction {
+  std::size_t label = 0;          ///< predicted class
+  float confidence = 0.0F;        ///< model's own softmax score (untrusted)
+  std::vector<float> class_probs; ///< full distribution, may be empty
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Number of input features expected by the model.
+  virtual std::size_t input_dim() const noexcept = 0;
+
+  /// Number of classes.
+  virtual std::size_t num_classes() const noexcept = 0;
+
+  /// Classifies a feature vector of length input_dim().
+  virtual Prediction predict(std::span<const float> features) const = 0;
+};
+
+}  // namespace tauw::ml

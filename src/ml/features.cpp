@@ -1,0 +1,74 @@
+#include "ml/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::ml {
+
+std::size_t feature_dim(const FeatureConfig& config) {
+  return config.pixel_grid * config.pixel_grid +
+         config.edge_grid * config.edge_grid +
+         (config.include_mean_std ? 2 : 0);
+}
+
+void extract_features_into(const imaging::Image& image,
+                           const FeatureConfig& config, std::span<float> out) {
+  if (image.empty()) {
+    throw std::invalid_argument("extract_features on empty image");
+  }
+  if (out.size() != feature_dim(config)) {
+    throw std::invalid_argument("feature buffer size mismatch");
+  }
+  std::size_t k = 0;
+
+  // Downsampled intensity grid.
+  const imaging::Image small =
+      imaging::resize_bilinear(image, config.pixel_grid, config.pixel_grid);
+  for (const float p : small.pixels()) out[k++] = p;
+
+  // Gradient-energy cells over the full-resolution image.
+  const std::size_t g = config.edge_grid;
+  std::vector<double> energy(g * g, 0.0);
+  std::vector<std::size_t> counts(g * g, 0);
+  for (std::size_t y = 0; y + 1 < image.height(); ++y) {
+    for (std::size_t x = 0; x + 1 < image.width(); ++x) {
+      const double gx = image(x + 1, y) - image(x, y);
+      const double gy = image(x, y + 1) - image(x, y);
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      const std::size_t cx = x * g / image.width();
+      const std::size_t cy = y * g / image.height();
+      energy[cy * g + cx] += mag;
+      ++counts[cy * g + cx];
+    }
+  }
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    const double avg =
+        counts[i] == 0 ? 0.0 : energy[i] / static_cast<double>(counts[i]);
+    // Typical magnitudes are << 1; scale into a usable range.
+    out[k++] = static_cast<float>(std::min(avg * 4.0, 1.0));
+  }
+
+  if (config.include_mean_std) {
+    double mean = 0.0;
+    for (const float p : image.pixels()) mean += p;
+    mean /= static_cast<double>(image.size());
+    double var = 0.0;
+    for (const float p : image.pixels()) {
+      const double d = p - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(image.size());
+    out[k++] = static_cast<float>(mean);
+    out[k++] = static_cast<float>(std::min(std::sqrt(var) * 2.0, 1.0));
+  }
+}
+
+std::vector<float> extract_features(const imaging::Image& image,
+                                    const FeatureConfig& config) {
+  std::vector<float> out(feature_dim(config));
+  extract_features_into(image, config, out);
+  return out;
+}
+
+}  // namespace tauw::ml

@@ -1,0 +1,35 @@
+#pragma once
+// Image -> feature-vector extraction for the TSR classifier.
+//
+// Features: the image downsampled to a coarse pixel grid, plus a grid of
+// local gradient-energy cells (a HOG-like cue that survives brightness
+// shifts). All features are roughly in [0, 1].
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace tauw::ml {
+
+struct FeatureConfig {
+  std::size_t pixel_grid = 14;  ///< downsampled intensity grid edge
+  std::size_t edge_grid = 7;    ///< gradient-energy grid edge
+  bool include_mean_std = true; ///< append global intensity mean and spread
+};
+
+/// Total feature dimensionality under `config`.
+std::size_t feature_dim(const FeatureConfig& config);
+
+/// Extracts the feature vector of `image` (any size, non-empty).
+std::vector<float> extract_features(const imaging::Image& image,
+                                    const FeatureConfig& config);
+
+/// Extracts into a preallocated buffer of size feature_dim(config) to keep
+/// hot loops allocation-free.
+void extract_features_into(const imaging::Image& image,
+                           const FeatureConfig& config,
+                           std::span<float> out);
+
+}  // namespace tauw::ml

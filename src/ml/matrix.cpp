@@ -1,0 +1,106 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+void Matrix::randomize(stats::Rng& rng, float stddev) {
+  for (float& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Matrix::multiply(std::span<const float> x, std::span<float> y) const {
+  if (x.size() != cols_ || y.size() != rows_) {
+    throw std::invalid_argument("Matrix::multiply dimension mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* row_ptr = data_.data() + r * cols_;
+    float acc = 0.0F;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void Matrix::multiply_transposed(std::span<const float> x,
+                                 std::span<float> y) const {
+  if (x.size() != rows_ || y.size() != cols_) {
+    throw std::invalid_argument("Matrix::multiply_transposed mismatch");
+  }
+  std::fill(y.begin(), y.end(), 0.0F);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float xr = x[r];
+    if (xr == 0.0F) continue;
+    const float* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+  }
+}
+
+void Matrix::add_outer(std::span<const float> a, std::span<const float> b,
+                       float scale) {
+  if (a.size() != rows_ || b.size() != cols_) {
+    throw std::invalid_argument("Matrix::add_outer dimension mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float ar = scale * a[r];
+    if (ar == 0.0F) continue;
+    float* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) row_ptr[c] += ar * b[c];
+  }
+}
+
+void Matrix::add_scaled(const Matrix& other, float scale) {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("Matrix::add_scaled shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot length mismatch");
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void softmax_inplace(std::span<float> logits) {
+  if (logits.empty()) return;
+  float max_logit = logits[0];
+  for (const float v : logits) max_logit = std::max(max_logit, v);
+  float sum = 0.0F;
+  for (float& v : logits) {
+    v = std::exp(v - max_logit);
+    sum += v;
+  }
+  for (float& v : logits) v /= sum;
+}
+
+std::size_t argmax(std::span<const float> v) {
+  if (v.empty()) throw std::invalid_argument("argmax of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace tauw::ml

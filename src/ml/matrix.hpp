@@ -1,0 +1,79 @@
+#pragma once
+// Small dense row-major float matrix used by the ML substrate.
+//
+// This is deliberately minimal: the classifiers below need matrix-vector
+// products, rank-1 updates, and elementwise transforms, nothing more. The
+// layout is row-major so that per-row dot products vectorize well.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tauw::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  float& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  /// Fills with i.i.d. normal values scaled by `stddev`.
+  void randomize(stats::Rng& rng, float stddev);
+
+  /// y = this * x (rows x cols times cols) appended into `y` (size rows).
+  void multiply(std::span<const float> x, std::span<float> y) const;
+
+  /// y = this^T * x (size cols), for backpropagation.
+  void multiply_transposed(std::span<const float> x, std::span<float> y) const;
+
+  /// this += scale * a * b^T (rank-1 update; a size rows, b size cols).
+  void add_outer(std::span<const float> a, std::span<const float> b,
+                 float scale);
+
+  /// this += scale * other (same shape).
+  void add_scaled(const Matrix& other, float scale);
+
+  void fill(float value) noexcept;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Dot product of equal-length spans.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// In-place numerically stable softmax.
+void softmax_inplace(std::span<float> logits);
+
+/// Index of the maximum element (first on ties); requires non-empty input.
+std::size_t argmax(std::span<const float> v);
+
+}  // namespace tauw::ml

@@ -1,0 +1,69 @@
+#include "ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace tauw::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix needs classes > 0");
+  }
+}
+
+void ConfusionMatrix::add(std::size_t true_label,
+                          std::size_t predicted_label) {
+  if (true_label >= n_ || predicted_label >= n_) {
+    throw std::out_of_range("ConfusionMatrix::add label out of range");
+  }
+  ++counts_[true_label * n_ + predicted_label];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t true_label,
+                                   std::size_t predicted_label) const {
+  if (true_label >= n_ || predicted_label >= n_) {
+    throw std::out_of_range("ConfusionMatrix::count label out of range");
+  }
+  return counts_[true_label * n_ + predicted_label];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < n_; ++i) diag += counts_[i * n_ + i];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t label) const {
+  if (label >= n_) throw std::out_of_range("ConfusionMatrix::recall");
+  std::size_t row_total = 0;
+  for (std::size_t c = 0; c < n_; ++c) row_total += counts_[label * n_ + c];
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(counts_[label * n_ + label]) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(std::size_t label) const {
+  if (label >= n_) throw std::out_of_range("ConfusionMatrix::precision");
+  std::size_t col_total = 0;
+  for (std::size_t r = 0; r < n_; ++r) col_total += counts_[r * n_ + label];
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(counts_[label * n_ + label]) /
+         static_cast<double>(col_total);
+}
+
+double accuracy(std::span<const std::size_t> truth,
+                std::span<const std::size_t> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("accuracy: length mismatch");
+  }
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace tauw::ml

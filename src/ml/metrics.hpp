@@ -1,0 +1,36 @@
+#pragma once
+// Classification metrics: accuracy and confusion matrix.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tauw::ml {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t true_label, std::size_t predicted_label);
+
+  std::size_t count(std::size_t true_label, std::size_t predicted_label) const;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t num_classes() const noexcept { return n_; }
+
+  double accuracy() const noexcept;
+  /// Per-class recall (0 when the class has no samples).
+  double recall(std::size_t label) const;
+  /// Per-class precision (0 when the class was never predicted).
+  double precision(std::size_t label) const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+double accuracy(std::span<const std::size_t> truth,
+                std::span<const std::size_t> predicted);
+
+}  // namespace tauw::ml

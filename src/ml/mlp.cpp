@@ -1,0 +1,204 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::ml {
+
+MlpClassifier::MlpClassifier(std::size_t input_dim, std::size_t hidden_dim,
+                             std::size_t num_classes, std::uint64_t seed)
+    : w1_(hidden_dim, input_dim),
+      b1_(hidden_dim, 0.0F),
+      w2_(num_classes, hidden_dim),
+      b2_(num_classes, 0.0F),
+      v_w1_(hidden_dim, input_dim),
+      v_b1_(hidden_dim, 0.0F),
+      v_w2_(num_classes, hidden_dim),
+      v_b2_(num_classes, 0.0F) {
+  if (input_dim == 0 || hidden_dim == 0 || num_classes < 2) {
+    throw std::invalid_argument("MlpClassifier: invalid dimensions");
+  }
+  stats::Rng rng(seed);
+  w1_.randomize(rng, std::sqrt(2.0F / static_cast<float>(input_dim)));
+  w2_.randomize(rng, std::sqrt(2.0F / static_cast<float>(hidden_dim)));
+}
+
+void MlpClassifier::forward(std::span<const float> features,
+                            std::span<float> hidden,
+                            std::span<float> probs) const {
+  w1_.multiply(features, hidden);
+  for (std::size_t h = 0; h < hidden.size(); ++h) {
+    hidden[h] = std::max(hidden[h] + b1_[h], 0.0F);  // ReLU
+  }
+  w2_.multiply(hidden, probs);
+  for (std::size_t c = 0; c < probs.size(); ++c) probs[c] += b2_[c];
+  softmax_inplace(probs);
+}
+
+std::size_t MlpClassifier::predict_into(std::span<const float> features,
+                                        std::span<float> probs) const {
+  if (features.size() != input_dim() || probs.size() != num_classes()) {
+    throw std::invalid_argument("MlpClassifier::predict_into size mismatch");
+  }
+  std::vector<float> hidden(hidden_dim());
+  forward(features, hidden, probs);
+  return argmax(probs);
+}
+
+Prediction MlpClassifier::predict(std::span<const float> features) const {
+  Prediction p;
+  p.class_probs.resize(num_classes());
+  p.label = predict_into(features, p.class_probs);
+  p.confidence = p.class_probs[p.label];
+  return p;
+}
+
+MlpClassifier::Workspace MlpClassifier::make_workspace() const {
+  Workspace ws;
+  ws.hidden.resize(hidden_dim());
+  ws.probs.resize(num_classes());
+  ws.hidden_grad.resize(hidden_dim());
+  return ws;
+}
+
+float MlpClassifier::train_step(std::span<const float> features,
+                                std::size_t label, float learning_rate,
+                                float momentum, Workspace& ws) {
+  if (features.size() != input_dim() || label >= num_classes()) {
+    throw std::invalid_argument("MlpClassifier::train_step invalid input");
+  }
+  forward(features, ws.hidden, ws.probs);
+  const float loss = -std::log(std::max(ws.probs[label], 1e-12F));
+
+  // Output-layer error: dL/dlogits = probs - onehot(label).
+  ws.probs[label] -= 1.0F;
+
+  // Backprop into the hidden layer before touching w2.
+  w2_.multiply_transposed(ws.probs, ws.hidden_grad);
+  for (std::size_t h = 0; h < ws.hidden.size(); ++h) {
+    if (ws.hidden[h] <= 0.0F) ws.hidden_grad[h] = 0.0F;  // ReLU gate
+  }
+
+  // Momentum SGD: v = momentum*v - lr*grad; w += v.
+  const float lr = learning_rate;
+  // w2 update (grad = dlogits * hidden^T).
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    const float g = ws.probs[c];
+    float* vrow = &v_w2_(c, 0);
+    const float* hvec = ws.hidden.data();
+    float* wrow = &w2_(c, 0);
+    for (std::size_t h = 0; h < hidden_dim(); ++h) {
+      vrow[h] = momentum * vrow[h] - lr * g * hvec[h];
+      wrow[h] += vrow[h];
+    }
+    v_b2_[c] = momentum * v_b2_[c] - lr * g;
+    b2_[c] += v_b2_[c];
+  }
+  // w1 update (grad = hidden_grad * features^T).
+  for (std::size_t h = 0; h < hidden_dim(); ++h) {
+    const float g = ws.hidden_grad[h];
+    if (g == 0.0F) {
+      // Still decay the momentum buffer so it does not go stale.
+      float* vrow = &v_w1_(h, 0);
+      float* wrow = &w1_(h, 0);
+      for (std::size_t i = 0; i < input_dim(); ++i) {
+        vrow[i] *= momentum;
+        wrow[i] += vrow[i];
+      }
+      v_b1_[h] *= momentum;
+      b1_[h] += v_b1_[h];
+      continue;
+    }
+    float* vrow = &v_w1_(h, 0);
+    float* wrow = &w1_(h, 0);
+    const float* x = features.data();
+    for (std::size_t i = 0; i < input_dim(); ++i) {
+      vrow[i] = momentum * vrow[i] - lr * g * x[i];
+      wrow[i] += vrow[i];
+    }
+    v_b1_[h] = momentum * v_b1_[h] - lr * g;
+    b1_[h] += v_b1_[h];
+  }
+  return loss;
+}
+
+MlpClassifier MlpClassifier::from_weights(Matrix w1, std::vector<float> b1,
+                                          Matrix w2, std::vector<float> b2) {
+  if (w1.rows() != b1.size() || w2.rows() != b2.size() ||
+      w2.cols() != w1.rows()) {
+    throw std::invalid_argument("from_weights: inconsistent shapes");
+  }
+  MlpClassifier model(w1.cols(), w1.rows(), w2.rows(), 0);
+  model.w1_ = std::move(w1);
+  model.b1_ = std::move(b1);
+  model.w2_ = std::move(w2);
+  model.b2_ = std::move(b2);
+  model.v_w1_.fill(0.0F);
+  model.v_w2_.fill(0.0F);
+  std::fill(model.v_b1_.begin(), model.v_b1_.end(), 0.0F);
+  std::fill(model.v_b2_.begin(), model.v_b2_.end(), 0.0F);
+  return model;
+}
+
+double MlpClassifier::weight_norm() const {
+  double acc = 0.0;
+  for (const float v : w1_.data()) acc += static_cast<double>(v) * v;
+  for (const float v : w2_.data()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+SoftmaxRegression::SoftmaxRegression(std::size_t input_dim,
+                                     std::size_t num_classes,
+                                     std::uint64_t seed)
+    : w_(num_classes, input_dim), b_(num_classes, 0.0F) {
+  if (input_dim == 0 || num_classes < 2) {
+    throw std::invalid_argument("SoftmaxRegression: invalid dimensions");
+  }
+  stats::Rng rng(seed);
+  w_.randomize(rng, 0.01F);
+}
+
+std::size_t SoftmaxRegression::predict_into(std::span<const float> features,
+                                            std::span<float> probs) const {
+  if (features.size() != input_dim() || probs.size() != num_classes()) {
+    throw std::invalid_argument("SoftmaxRegression size mismatch");
+  }
+  w_.multiply(features, probs);
+  for (std::size_t c = 0; c < probs.size(); ++c) probs[c] += b_[c];
+  softmax_inplace(probs);
+  return argmax(probs);
+}
+
+Prediction SoftmaxRegression::predict(std::span<const float> features) const {
+  Prediction p;
+  p.class_probs.resize(num_classes());
+  p.label = predict_into(features, p.class_probs);
+  p.confidence = p.class_probs[p.label];
+  return p;
+}
+
+float SoftmaxRegression::train_step(std::span<const float> features,
+                                    std::size_t label, float learning_rate) {
+  if (features.size() != input_dim() || label >= num_classes()) {
+    throw std::invalid_argument("SoftmaxRegression::train_step invalid input");
+  }
+  std::vector<float> probs(num_classes());
+  w_.multiply(features, probs);
+  for (std::size_t c = 0; c < probs.size(); ++c) probs[c] += b_[c];
+  softmax_inplace(probs);
+  const float loss = -std::log(std::max(probs[label], 1e-12F));
+  probs[label] -= 1.0F;
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    const float g = probs[c];
+    if (g == 0.0F) continue;
+    float* wrow = &w_(c, 0);
+    for (std::size_t i = 0; i < input_dim(); ++i) {
+      wrow[i] -= learning_rate * g * features[i];
+    }
+    b_[c] -= learning_rate * g;
+  }
+  return loss;
+}
+
+}  // namespace tauw::ml

@@ -1,0 +1,97 @@
+#pragma once
+// One-hidden-layer multilayer perceptron with softmax output.
+//
+// This is the study's DDM substitute for the paper's CNN: a black-box
+// classifier whose errors depend on input quality. ReLU hidden layer,
+// softmax cross-entropy loss, trained by mini-batch SGD with momentum
+// (see trainer.hpp).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::ml {
+
+class MlpClassifier final : public Classifier {
+ public:
+  /// He-initialized network with the given layer sizes.
+  MlpClassifier(std::size_t input_dim, std::size_t hidden_dim,
+                std::size_t num_classes, std::uint64_t seed = 1);
+
+  std::size_t input_dim() const noexcept override { return w1_.cols(); }
+  std::size_t hidden_dim() const noexcept { return w1_.rows(); }
+  std::size_t num_classes() const noexcept override { return w2_.rows(); }
+
+  Prediction predict(std::span<const float> features) const override;
+
+  /// Forward pass writing class probabilities into `probs` (size
+  /// num_classes()); returns the predicted label.
+  std::size_t predict_into(std::span<const float> features,
+                           std::span<float> probs) const;
+
+  /// One SGD step on a single example; returns the cross-entropy loss.
+  /// `workspace` must come from make_workspace().
+  struct Workspace {
+    std::vector<float> hidden;
+    std::vector<float> probs;
+    std::vector<float> hidden_grad;
+  };
+  Workspace make_workspace() const;
+  float train_step(std::span<const float> features, std::size_t label,
+                   float learning_rate, float momentum, Workspace& ws);
+
+  /// L2 norm of all weights - used by tests to check training moves weights.
+  double weight_norm() const;
+
+  // -- weight access (serialization / inspection) ------------------------
+  const Matrix& w1() const noexcept { return w1_; }
+  const Matrix& w2() const noexcept { return w2_; }
+  std::span<const float> b1() const noexcept { return b1_; }
+  std::span<const float> b2() const noexcept { return b2_; }
+
+  /// Reconstructs a classifier from explicit weights (e.g. deserialization).
+  /// Shapes: w1 hidden x input, b1 hidden, w2 classes x hidden, b2 classes.
+  static MlpClassifier from_weights(Matrix w1, std::vector<float> b1,
+                                    Matrix w2, std::vector<float> b2);
+
+ private:
+  void forward(std::span<const float> features, std::span<float> hidden,
+               std::span<float> probs) const;
+
+  Matrix w1_;               // hidden x input
+  std::vector<float> b1_;   // hidden
+  Matrix w2_;               // classes x hidden
+  std::vector<float> b2_;   // classes
+  // Momentum buffers.
+  Matrix v_w1_;
+  std::vector<float> v_b1_;
+  Matrix v_w2_;
+  std::vector<float> v_b2_;
+};
+
+/// Multinomial logistic regression - the simpler baseline DDM used by the
+/// ablation benches (linear decision boundaries, same interface).
+class SoftmaxRegression final : public Classifier {
+ public:
+  SoftmaxRegression(std::size_t input_dim, std::size_t num_classes,
+                    std::uint64_t seed = 1);
+
+  std::size_t input_dim() const noexcept override { return w_.cols(); }
+  std::size_t num_classes() const noexcept override { return w_.rows(); }
+
+  Prediction predict(std::span<const float> features) const override;
+  std::size_t predict_into(std::span<const float> features,
+                           std::span<float> probs) const;
+
+  float train_step(std::span<const float> features, std::size_t label,
+                   float learning_rate);
+
+ private:
+  Matrix w_;              // classes x input
+  std::vector<float> b_;  // classes
+};
+
+}  // namespace tauw::ml

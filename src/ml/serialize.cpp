@@ -1,0 +1,79 @@
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tauw::ml {
+
+namespace {
+constexpr char kMagic[] = "tauw-mlp";
+constexpr char kVersion[] = "v1";
+
+void write_floats(std::ostream& out, std::span<const float> values) {
+  for (const float v : values) out << v << ' ';
+  out << '\n';
+}
+
+void read_floats(std::istream& in, std::span<float> values,
+                 const char* what) {
+  for (float& v : values) {
+    if (!(in >> v)) {
+      throw std::runtime_error(std::string("read_mlp: truncated ") + what);
+    }
+  }
+}
+
+}  // namespace
+
+void write_mlp(std::ostream& out, const MlpClassifier& model) {
+  out.precision(std::numeric_limits<float>::max_digits10);
+  out << kMagic << ' ' << kVersion << ' ' << model.input_dim() << ' '
+      << model.hidden_dim() << ' ' << model.num_classes() << '\n';
+  write_floats(out, model.w1().data());
+  write_floats(out, model.b1());
+  write_floats(out, model.w2().data());
+  write_floats(out, model.b2());
+}
+
+std::string to_string(const MlpClassifier& model) {
+  std::ostringstream os;
+  write_mlp(os, model);
+  return os.str();
+}
+
+MlpClassifier read_mlp(std::istream& in) {
+  std::string magic;
+  std::string version;
+  std::size_t input_dim = 0;
+  std::size_t hidden_dim = 0;
+  std::size_t num_classes = 0;
+  if (!(in >> magic >> version >> input_dim >> hidden_dim >> num_classes)) {
+    throw std::runtime_error("read_mlp: truncated header");
+  }
+  if (magic != kMagic || version != kVersion) {
+    throw std::runtime_error("read_mlp: bad magic/version");
+  }
+  if (input_dim == 0 || hidden_dim == 0 || num_classes < 2) {
+    throw std::runtime_error("read_mlp: invalid dimensions");
+  }
+  Matrix w1(hidden_dim, input_dim);
+  std::vector<float> b1(hidden_dim);
+  Matrix w2(num_classes, hidden_dim);
+  std::vector<float> b2(num_classes);
+  read_floats(in, w1.data(), "w1");
+  read_floats(in, b1, "b1");
+  read_floats(in, w2.data(), "w2");
+  read_floats(in, b2, "b2");
+  return MlpClassifier::from_weights(std::move(w1), std::move(b1),
+                                     std::move(w2), std::move(b2));
+}
+
+MlpClassifier from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_mlp(is);
+}
+
+}  // namespace tauw::ml

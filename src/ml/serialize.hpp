@@ -1,0 +1,28 @@
+#pragma once
+// Serialization of trained classifiers to a line-based text format.
+//
+// A trained DDM must move from the training environment into the runtime
+// monitor together with its calibrated wrapper. Weights round-trip exactly
+// (max_digits10 floats).
+//
+// Format:
+//   tauw-mlp v1 <input_dim> <hidden_dim> <num_classes>
+//   <w1 row-major floats> <b1> <w2 row-major> <b2>   (whitespace separated)
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/mlp.hpp"
+
+namespace tauw::ml {
+
+/// Writes the MLP's architecture and weights.
+void write_mlp(std::ostream& out, const MlpClassifier& model);
+std::string to_string(const MlpClassifier& model);
+
+/// Reads an MLP previously produced by write_mlp. Throws std::runtime_error
+/// on malformed input.
+MlpClassifier read_mlp(std::istream& in);
+MlpClassifier from_string(const std::string& text);
+
+}  // namespace tauw::ml

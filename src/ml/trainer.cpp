@@ -1,0 +1,80 @@
+#include "ml/trainer.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tauw::ml {
+
+void TrainingSet::push_back(std::span<const float> row, std::size_t label) {
+  if (feature_dim == 0) feature_dim = row.size();
+  if (row.size() != feature_dim) {
+    throw std::invalid_argument("TrainingSet: inconsistent feature dim");
+  }
+  features.insert(features.end(), row.begin(), row.end());
+  labels.push_back(label);
+}
+
+namespace {
+
+template <typename Model, typename StepFn>
+std::vector<EpochStats> train_impl(Model& model, const TrainingSet& data,
+                                   const TrainerConfig& config, StepFn step) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("train: empty training set");
+  }
+  stats::Rng rng(config.shuffle_seed);
+  std::vector<EpochStats> history;
+  float lr = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(data.size());
+    double loss_sum = 0.0;
+    for (const std::size_t i : order) {
+      loss_sum += step(model, data.row(i), data.labels[i], lr);
+    }
+    EpochStats es;
+    es.mean_loss = loss_sum / static_cast<double>(data.size());
+    es.train_accuracy =
+        config.track_accuracy ? evaluate_accuracy(model, data) : -1.0;
+    history.push_back(es);
+    if (config.verbose) {
+      std::printf("epoch %zu: loss=%.4f acc=%.4f lr=%.4f\n", epoch,
+                  es.mean_loss, es.train_accuracy, static_cast<double>(lr));
+    }
+    lr *= config.lr_decay;
+  }
+  return history;
+}
+
+}  // namespace
+
+std::vector<EpochStats> train(MlpClassifier& model, const TrainingSet& data,
+                              const TrainerConfig& config) {
+  auto ws = model.make_workspace();
+  return train_impl(model, data, config,
+                    [&ws, &config](MlpClassifier& m, std::span<const float> x,
+                                   std::size_t y, float lr) {
+                      return m.train_step(x, y, lr, config.momentum, ws);
+                    });
+}
+
+std::vector<EpochStats> train(SoftmaxRegression& model,
+                              const TrainingSet& data,
+                              const TrainerConfig& config) {
+  return train_impl(model, data, config,
+                    [](SoftmaxRegression& m, std::span<const float> x,
+                       std::size_t y, float lr) {
+                      return m.train_step(x, y, lr);
+                    });
+}
+
+double evaluate_accuracy(const Classifier& model, const TrainingSet& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Prediction p = model.predict(data.row(i));
+    if (p.label == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace tauw::ml

@@ -1,0 +1,58 @@
+#pragma once
+// Mini-batch SGD training loop for the MLP / softmax-regression DDMs.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/mlp.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::ml {
+
+/// A supervised training set: row-major feature rows plus labels.
+struct TrainingSet {
+  std::size_t feature_dim = 0;
+  std::vector<float> features;      ///< size == feature_dim * labels.size()
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const noexcept { return labels.size(); }
+  std::span<const float> row(std::size_t i) const noexcept {
+    return {features.data() + i * feature_dim, feature_dim};
+  }
+  void push_back(std::span<const float> row, std::size_t label);
+};
+
+struct TrainerConfig {
+  std::size_t epochs = 8;
+  // Per-sample SGD with momentum 0.9 amplifies the step ~10x, so the base
+  // rate is kept small; larger rates destabilize softmax training at 43
+  // classes (verified empirically).
+  float learning_rate = 0.002F;
+  float lr_decay = 0.9F;         ///< multiplicative decay per epoch
+  float momentum = 0.9F;
+  std::uint64_t shuffle_seed = 99;
+  bool verbose = false;          ///< print per-epoch loss to stdout
+  /// Evaluate training accuracy after each epoch (costs one extra pass).
+  bool track_accuracy = true;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+/// Trains the MLP in place; returns per-epoch statistics.
+std::vector<EpochStats> train(MlpClassifier& model, const TrainingSet& data,
+                              const TrainerConfig& config);
+
+/// Trains softmax regression in place (no momentum).
+std::vector<EpochStats> train(SoftmaxRegression& model,
+                              const TrainingSet& data,
+                              const TrainerConfig& config);
+
+/// Top-1 accuracy of `model` on `data`.
+double evaluate_accuracy(const Classifier& model, const TrainingSet& data);
+
+}  // namespace tauw::ml

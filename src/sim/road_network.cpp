@@ -1,0 +1,50 @@
+#include "sim/road_network.hpp"
+
+#include <stdexcept>
+
+namespace tauw::sim {
+
+RoadNetwork::RoadNetwork(std::size_t num_locations, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  locations_.reserve(num_locations);
+  const BoundingBox& box = scope_bounds();
+  for (std::size_t i = 0; i < num_locations; ++i) {
+    SignLocation loc;
+    loc.latitude = rng.uniform(box.lat_min, box.lat_max);
+    loc.longitude = rng.uniform(box.lon_min, box.lon_max);
+    // Mix roughly matching where speed-relevant signage stands.
+    const double r = rng.uniform();
+    if (r < 0.45) {
+      loc.road_class = RoadClass::kUrban;
+      loc.speed_limit_kmh = rng.bernoulli(0.3) ? 30.0 : 50.0;
+      loc.street_lighting = true;
+    } else if (r < 0.85) {
+      loc.road_class = RoadClass::kRural;
+      loc.speed_limit_kmh = rng.bernoulli(0.4) ? 70.0 : 100.0;
+      loc.street_lighting = rng.bernoulli(0.15);
+    } else {
+      loc.road_class = RoadClass::kHighway;
+      loc.speed_limit_kmh = rng.bernoulli(0.5) ? 120.0 : 130.0;
+      loc.street_lighting = rng.bernoulli(0.25);
+    }
+    locations_.push_back(loc);
+  }
+}
+
+const SignLocation& RoadNetwork::location(std::size_t i) const {
+  if (i >= locations_.size()) {
+    throw std::out_of_range("RoadNetwork::location");
+  }
+  return locations_[i];
+}
+
+std::size_t RoadNetwork::sample_index(stats::Rng& rng) const noexcept {
+  return rng.uniform_index(locations_.empty() ? 1 : locations_.size());
+}
+
+const BoundingBox& RoadNetwork::scope_bounds() noexcept {
+  static const BoundingBox box{};
+  return box;
+}
+
+}  // namespace tauw::sim

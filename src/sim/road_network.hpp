@@ -1,0 +1,67 @@
+#pragma once
+// Synthetic road network - substitute for the OpenStreetMap street locations
+// the paper uses to anchor situation settings within the target application
+// scope (Germany). Generates a deterministic set of sign locations with the
+// attributes that influence quality deficits: road class (drives speed and
+// motion blur), street lighting (drives darkness at night), and urbanity.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tauw::sim {
+
+enum class RoadClass : std::uint8_t { kUrban = 0, kRural, kHighway };
+
+constexpr const char* road_class_name(RoadClass rc) {
+  switch (rc) {
+    case RoadClass::kUrban: return "urban";
+    case RoadClass::kRural: return "rural";
+    case RoadClass::kHighway: return "highway";
+  }
+  return "unknown";
+}
+
+/// One sign location within the target application scope.
+struct SignLocation {
+  double latitude = 0.0;    ///< within a Germany-like bounding box
+  double longitude = 0.0;
+  RoadClass road_class = RoadClass::kUrban;
+  double speed_limit_kmh = 50.0;
+  bool street_lighting = true;
+};
+
+/// Germany-like bounding box used for scope-compliance checks.
+struct BoundingBox {
+  double lat_min = 47.3;
+  double lat_max = 55.0;
+  double lon_min = 5.9;
+  double lon_max = 15.0;
+  bool contains(double lat, double lon) const noexcept {
+    return lat >= lat_min && lat <= lat_max && lon >= lon_min &&
+           lon <= lon_max;
+  }
+};
+
+class RoadNetwork {
+ public:
+  /// Generates `num_locations` sign locations deterministically from `seed`.
+  RoadNetwork(std::size_t num_locations, std::uint64_t seed = 23);
+
+  std::size_t size() const noexcept { return locations_.size(); }
+  const SignLocation& location(std::size_t i) const;
+  const std::vector<SignLocation>& locations() const noexcept {
+    return locations_;
+  }
+
+  /// Draws a random location index.
+  std::size_t sample_index(stats::Rng& rng) const noexcept;
+
+  static const BoundingBox& scope_bounds() noexcept;
+
+ private:
+  std::vector<SignLocation> locations_;
+};
+
+}  // namespace tauw::sim

@@ -1,0 +1,74 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::sim {
+
+ApproachTrajectory::ApproachTrajectory(const ApproachParams& params)
+    : params_(params) {
+  if (params.num_frames == 0) {
+    throw std::invalid_argument("ApproachTrajectory requires frames > 0");
+  }
+  if (!(params.start_distance_m > params.end_distance_m) ||
+      !(params.end_distance_m > 0.0)) {
+    throw std::invalid_argument(
+        "ApproachTrajectory requires start > end > 0 distances");
+  }
+  distances_.reserve(params.num_frames);
+  // Constant speed: distance decreases linearly with time; clamp at the end
+  // distance if the nominal speed would overshoot.
+  const double step_m =
+      params.speed_kmh / 3.6 * params.frame_interval_s;
+  double d = params.start_distance_m;
+  for (std::size_t i = 0; i < params.num_frames; ++i) {
+    distances_.push_back(std::max(d, params.end_distance_m));
+    d -= step_m;
+  }
+  // If the nominal speed undershoots, rescale so the final frame reaches the
+  // requested end distance - keeps series geometry comparable across speeds.
+  if (distances_.back() > params.end_distance_m) {
+    const double span_have = params.start_distance_m - distances_.back();
+    const double span_want = params.start_distance_m - params.end_distance_m;
+    if (span_have > 0.0) {
+      for (double& dist : distances_) {
+        dist = params.start_distance_m -
+               (params.start_distance_m - dist) * span_want / span_have;
+      }
+    } else {
+      // Degenerate single-frame case.
+      distances_.back() = params.end_distance_m;
+    }
+  }
+}
+
+double ApproachTrajectory::distance_m(std::size_t frame) const {
+  if (frame >= distances_.size()) {
+    throw std::out_of_range("ApproachTrajectory::distance_m");
+  }
+  return distances_[frame];
+}
+
+double ApproachTrajectory::apparent_px(std::size_t frame) const {
+  return params_.focal_px * params_.sign_size_m / distance_m(frame);
+}
+
+Position2D ApproachTrajectory::sign_position(std::size_t frame) const {
+  return Position2D{distance_m(frame), params_.lateral_offset_m};
+}
+
+ApproachParams ApproachTrajectory::randomized(const ApproachParams& base,
+                                              stats::Rng& rng) {
+  ApproachParams p = base;
+  p.start_distance_m = base.start_distance_m * rng.uniform(0.8, 1.25);
+  p.end_distance_m = base.end_distance_m * rng.uniform(0.85, 1.2);
+  if (p.end_distance_m >= p.start_distance_m) {
+    p.end_distance_m = p.start_distance_m * 0.2;
+  }
+  p.speed_kmh = std::max(10.0, base.speed_kmh * rng.uniform(0.7, 1.2));
+  p.lateral_offset_m = base.lateral_offset_m + rng.normal(0.0, 0.5);
+  return p;
+}
+
+}  // namespace tauw::sim

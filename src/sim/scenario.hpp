@@ -1,0 +1,64 @@
+#pragma once
+// Approach scenarios: geometry of a car driving toward a traffic sign.
+//
+// GTSRB series contain 29-30 frames recorded while approaching a sign, so
+// the apparent sign size grows along the series. The trajectory model maps
+// a timestep to a camera-sign distance and on to an apparent pixel size, and
+// also yields 2-D positions consumed by the tracking substrate.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tauw::sim {
+
+/// 2-D position in a road-aligned frame (x along the road, y lateral).
+struct Position2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct ApproachParams {
+  std::size_t num_frames = 30;
+  // GTSRB frames are sign-bounding-box crops: the sign dominates the image
+  // even in the first frames, so the modeled distance range is short.
+  double start_distance_m = 32.0;  ///< camera-sign distance at frame 0
+  double end_distance_m = 12.0;    ///< distance at the final frame
+  double speed_kmh = 50.0;         ///< nominal vehicle speed
+  double lateral_offset_m = 3.0;   ///< sign offset from the lane center
+  double frame_interval_s = 0.15;  ///< camera frame spacing
+  /// Sign edge length in meters and camera focal scale used by the pinhole
+  /// size model: apparent_px = focal_px * sign_size_m / distance_m.
+  double sign_size_m = 0.7;
+  double focal_px = 600.0;
+};
+
+class ApproachTrajectory {
+ public:
+  explicit ApproachTrajectory(const ApproachParams& params);
+
+  std::size_t num_frames() const noexcept { return distances_.size(); }
+
+  /// Camera-sign distance at a frame.
+  double distance_m(std::size_t frame) const;
+
+  /// Apparent sign size in pixels (pinhole model, not clamped to the frame).
+  double apparent_px(std::size_t frame) const;
+
+  /// Sign position in the camera-relative road frame at `frame`.
+  Position2D sign_position(std::size_t frame) const;
+
+  const ApproachParams& params() const noexcept { return params_; }
+
+  /// Draws per-series variation of the approach (start/end distances and
+  /// speed jitter) around `base`.
+  static ApproachParams randomized(const ApproachParams& base,
+                                   stats::Rng& rng);
+
+ private:
+  ApproachParams params_;
+  std::vector<double> distances_;
+};
+
+}  // namespace tauw::sim

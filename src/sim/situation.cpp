@@ -1,0 +1,109 @@
+#include "sim/situation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tauw::sim {
+
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+std::size_t idx(imaging::Deficit d) { return static_cast<std::size_t>(d); }
+
+}  // namespace
+
+imaging::DeficitVector SituationSampler::derive_intensities(
+    const TimePoint& time, const WeatherSample& weather,
+    const SignLocation& location, stats::Rng& rng) {
+  using imaging::Deficit;
+  imaging::DeficitVector v{};
+
+  // Rain intensity saturates around 10 mm/h (heavy shower).
+  v[idx(Deficit::kRain)] = clamp01(weather.rain_mm_h / 10.0);
+
+  // Darkness from solar elevation, mitigated by street lighting.
+  double darkness = 0.0;
+  if (weather.sun_elevation_deg < 8.0) {
+    darkness = clamp01((8.0 - weather.sun_elevation_deg) / 20.0);
+  }
+  if (location.street_lighting) darkness *= 0.55;
+  v[idx(Deficit::kDarkness)] = clamp01(darkness);
+
+  // Haze directly from fog density.
+  v[idx(Deficit::kHaze)] = clamp01(weather.fog_density);
+
+  // Natural backlight: low sun above the horizon on a fairly clear day.
+  double natural = 0.0;
+  if (weather.sun_elevation_deg > 0.0 && weather.sun_elevation_deg < 20.0 &&
+      weather.cloud_cover < 0.5) {
+    natural = (1.0 - weather.sun_elevation_deg / 20.0) *
+              (1.0 - weather.cloud_cover);
+  }
+  v[idx(Deficit::kNaturalBacklight)] = clamp01(natural);
+
+  // Artificial backlight base: night traffic, strongest in lit urban areas.
+  double artificial = 0.0;
+  if (weather.sun_elevation_deg < 0.0) {
+    artificial = location.road_class == RoadClass::kUrban ? 0.35 : 0.2;
+  }
+  v[idx(Deficit::kArtificialBacklight)] = clamp01(artificial);
+
+  // Dirt on the sign accumulates; rural/highway signs are washed less often.
+  const double dirt_sign_base =
+      location.road_class == RoadClass::kUrban ? 0.08 : 0.16;
+  v[idx(Deficit::kDirtOnSign)] =
+      rng.bernoulli(0.25) ? clamp01(dirt_sign_base + rng.uniform(0.0, 0.5))
+                          : 0.0;
+
+  // Dirt on the lens is a per-drive property.
+  v[idx(Deficit::kDirtOnLens)] =
+      rng.bernoulli(0.15) ? clamp01(rng.uniform(0.1, 0.6)) : 0.0;
+
+  // Steamed-up lens: cold, humid conditions (condensation on optics).
+  double steam = 0.0;
+  if (weather.temperature_c < 8.0 && weather.humidity > 0.8) {
+    steam = rng.bernoulli(0.5) ? rng.uniform(0.2, 0.8) : 0.0;
+  }
+  v[idx(Deficit::kSteamedUpLens)] = clamp01(steam);
+
+  // Motion blur base scales with travel speed; darkness lengthens exposure.
+  const double speed_factor = location.speed_limit_kmh / 130.0;
+  v[idx(Deficit::kMotionBlur)] =
+      clamp01(0.5 * speed_factor + 0.35 * v[idx(Deficit::kDarkness)]);
+
+  return v;
+}
+
+SituationSetting SituationSampler::sample(stats::Rng& rng) const {
+  SituationSetting s;
+  s.time = WeatherModel::random_time(rng);
+  s.location = roads_->location(roads_->sample_index(rng));
+  s.weather = weather_->sample(s.time, rng);
+  s.base_intensities =
+      derive_intensities(s.time, s.weather, s.location, rng);
+  s.in_scope = RoadNetwork::scope_bounds().contains(s.location.latitude,
+                                                    s.location.longitude);
+  return s;
+}
+
+imaging::DeficitVector SituationSampler::frame_intensities(
+    const SituationSetting& setting, stats::Rng& rng) {
+  using imaging::Deficit;
+  imaging::DeficitVector v = setting.base_intensities;
+  for (const Deficit d : imaging::all_deficits()) {
+    if (!imaging::varies_within_series(d)) continue;
+    const double base = setting.base_intensities[idx(d)];
+    if (d == Deficit::kArtificialBacklight) {
+      // Oncoming lights appear and disappear between frames.
+      v[idx(d)] = rng.bernoulli(base > 0.0 ? 0.45 : 0.0)
+                      ? clamp01(base + rng.uniform(0.0, 0.5))
+                      : 0.0;
+    } else {  // motion blur jitters around the base exposure level
+      v[idx(d)] = clamp01(base + rng.normal(0.0, 0.12));
+    }
+  }
+  return v;
+}
+
+}  // namespace tauw::sim

@@ -1,0 +1,58 @@
+#pragma once
+// Situation settings: the bridge from (location, time, weather) to the nine
+// quality-deficit intensities of one image series.
+//
+// The paper assigns each series of images of the same physical traffic sign
+// ONE situation setting whose deficits are propagated through the series;
+// only motion blur and artificial backlight may vary frame-by-frame
+// (Section IV.B.2). `SituationSampler` reproduces that structure on top of
+// the synthetic weather and road-network substrates.
+
+#include <cstdint>
+
+#include "imaging/deficit.hpp"
+#include "sim/road_network.hpp"
+#include "sim/weather.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::sim {
+
+/// One situation setting shared by all frames of a series.
+struct SituationSetting {
+  TimePoint time;
+  WeatherSample weather;
+  SignLocation location;
+  /// Base intensities of all nine deficits for this series.
+  imaging::DeficitVector base_intensities{};
+  /// True if the setting lies within the target application scope.
+  bool in_scope = true;
+};
+
+class SituationSampler {
+ public:
+  SituationSampler(const WeatherModel& weather, const RoadNetwork& roads)
+      : weather_(&weather), roads_(&roads) {}
+
+  /// Draws one situation setting (time, location, weather realization) and
+  /// derives the base deficit intensities.
+  SituationSetting sample(stats::Rng& rng) const;
+
+  /// Derives base deficit intensities from an explicit context - exposed so
+  /// tests and examples can construct targeted situations.
+  static imaging::DeficitVector derive_intensities(const TimePoint& time,
+                                                   const WeatherSample& weather,
+                                                   const SignLocation& location,
+                                                   stats::Rng& rng);
+
+  /// Per-frame intensities: copies the base intensities and re-draws the two
+  /// frame-varying deficits (motion blur, artificial backlight) around their
+  /// series base value.
+  static imaging::DeficitVector frame_intensities(
+      const SituationSetting& setting, stats::Rng& rng);
+
+ private:
+  const WeatherModel* weather_;
+  const RoadNetwork* roads_;
+};
+
+}  // namespace tauw::sim

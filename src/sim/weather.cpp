@@ -1,0 +1,82 @@
+#include "sim/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace tauw::sim {
+
+namespace {
+constexpr double kLatitudeDeg = 50.0;  // roughly Kaiserslautern
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+double WeatherModel::sun_elevation_deg(TimePoint t) noexcept {
+  // Declination of the sun over the year.
+  const double decl =
+      -23.44 * std::cos(2.0 * std::numbers::pi *
+                        (static_cast<double>(t.day_of_year) + 10.0) / 365.0);
+  const double hour_angle = (t.hour - 12.0) * 15.0;  // degrees
+  const double sin_el =
+      std::sin(kLatitudeDeg * kDegToRad) * std::sin(decl * kDegToRad) +
+      std::cos(kLatitudeDeg * kDegToRad) * std::cos(decl * kDegToRad) *
+          std::cos(hour_angle * kDegToRad);
+  return std::asin(std::clamp(sin_el, -1.0, 1.0)) / kDegToRad;
+}
+
+WeatherSample WeatherModel::climatology(TimePoint t) const noexcept {
+  WeatherSample w;
+  const double season =
+      std::cos(2.0 * std::numbers::pi *
+               (static_cast<double>(t.day_of_year) - 196.0) / 365.0);
+  // Warmest mid-July (~19C mean), coldest mid-January (~1C mean).
+  const double diurnal = std::cos(2.0 * std::numbers::pi * (t.hour - 15.0) / 24.0);
+  w.temperature_c = 10.0 + 9.0 * season + 3.5 * diurnal;
+  w.sun_elevation_deg = sun_elevation_deg(t);
+  // Germany has slightly wetter summers but more persistent winter drizzle;
+  // keep a mild seasonal modulation.
+  w.rain_mm_h = 0.18 + 0.06 * season;
+  w.cloud_cover = 0.62 - 0.12 * season;
+  w.humidity = 0.72 - 0.10 * season;
+  // Radiation fog peaks on cold clear mornings in autumn/winter.
+  const bool morning = t.hour >= 4.0 && t.hour <= 9.0;
+  w.fog_density = (morning && season < 0.2) ? 0.12 : 0.02;
+  return w;
+}
+
+WeatherSample WeatherModel::sample(TimePoint t, stats::Rng& rng) const noexcept {
+  WeatherSample w = climatology(t);
+  // Frontal systems: with some probability the day is a "rain day" and the
+  // rate is drawn from an exponential tail; otherwise dry.
+  const double rain_day_p = std::clamp(0.28 + 0.1 * w.cloud_cover, 0.0, 1.0);
+  if (rng.bernoulli(rain_day_p)) {
+    w.rain_mm_h = rng.exponential(1.0 / std::max(w.rain_mm_h * 8.0, 0.4));
+    w.rain_mm_h = std::min(w.rain_mm_h, 25.0);
+  } else {
+    w.rain_mm_h = 0.0;
+  }
+  w.cloud_cover = std::clamp(w.cloud_cover + rng.normal(0.0, 0.25), 0.0, 1.0);
+  w.humidity = std::clamp(w.humidity + rng.normal(0.0, 0.12) +
+                              (w.rain_mm_h > 0.0 ? 0.15 : 0.0),
+                          0.05, 1.0);
+  w.temperature_c += rng.normal(0.0, 3.0);
+  // Fog realization: much more likely with high humidity, cold air, morning.
+  const bool fog_window = t.hour >= 3.0 && t.hour <= 10.0;
+  double fog_p = 0.01;
+  if (fog_window && w.humidity > 0.8 && w.temperature_c < 10.0) fog_p = 0.35;
+  if (rng.bernoulli(fog_p)) {
+    w.fog_density = std::clamp(rng.uniform(0.2, 1.0), 0.0, 1.0);
+  } else {
+    w.fog_density = std::clamp(rng.normal(0.02, 0.02), 0.0, 0.15);
+  }
+  return w;
+}
+
+TimePoint WeatherModel::random_time(stats::Rng& rng) noexcept {
+  TimePoint t;
+  t.day_of_year = static_cast<int>(rng.uniform_index(365));
+  t.hour = rng.uniform(0.0, 24.0);
+  return t;
+}
+
+}  // namespace tauw::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic climate model - substitute for the historical weather data from
+// Deutscher Wetterdienst (DWD) that the paper samples situation settings
+// from. The model produces season- and daytime-consistent weather samples
+// over a German-like temperate climate: seasonal temperature/daylight cycles,
+// frontal rain systems, radiation fog in cold mornings, etc.
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace tauw::sim {
+
+/// A point-in-time weather observation.
+struct WeatherSample {
+  double temperature_c = 10.0;   ///< 2m air temperature
+  double rain_mm_h = 0.0;        ///< precipitation rate
+  double fog_density = 0.0;      ///< [0,1], 1 = dense fog
+  double cloud_cover = 0.5;      ///< [0,1]
+  double humidity = 0.6;         ///< [0,1]
+  double sun_elevation_deg = 0;  ///< negative below horizon
+};
+
+/// Time of an observation within a synthetic year.
+struct TimePoint {
+  int day_of_year = 0;  ///< [0, 364]
+  double hour = 12.0;   ///< [0, 24)
+};
+
+class WeatherModel {
+ public:
+  explicit WeatherModel(std::uint64_t seed = 11) noexcept : seed_(seed) {}
+
+  /// Deterministic climatological expectation at a time point (no noise).
+  WeatherSample climatology(TimePoint t) const noexcept;
+
+  /// Draws a plausible weather realization around the climatology.
+  WeatherSample sample(TimePoint t, stats::Rng& rng) const noexcept;
+
+  /// Solar elevation above the horizon in degrees (simple solar geometry
+  /// for a latitude of ~50 degrees N).
+  static double sun_elevation_deg(TimePoint t) noexcept;
+
+  /// Draws a uniformly random time point.
+  static TimePoint random_time(stats::Rng& rng) noexcept;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace tauw::sim

@@ -1,0 +1,69 @@
+#include "stats/binomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.hpp"
+
+namespace tauw::stats {
+
+namespace {
+
+void check_args(std::size_t errors, std::size_t trials, double confidence) {
+  if (trials == 0) {
+    throw std::invalid_argument("binomial bound requires trials > 0");
+  }
+  if (errors > trials) {
+    throw std::invalid_argument("errors must not exceed trials");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("confidence must be in (0,1)");
+  }
+}
+
+}  // namespace
+
+double clopper_pearson_upper(std::size_t errors, std::size_t trials,
+                             double confidence) {
+  check_args(errors, trials, confidence);
+  if (errors == trials) return 1.0;
+  const auto k = static_cast<double>(errors);
+  const auto n = static_cast<double>(trials);
+  // Upper bound is the `confidence` quantile of Beta(k + 1, n - k).
+  return incomplete_beta_inv(k + 1.0, n - k, confidence);
+}
+
+double clopper_pearson_lower(std::size_t errors, std::size_t trials,
+                             double confidence) {
+  check_args(errors, trials, confidence);
+  if (errors == 0) return 0.0;
+  const auto k = static_cast<double>(errors);
+  const auto n = static_cast<double>(trials);
+  // Lower bound is the (1 - confidence) quantile of Beta(k, n - k + 1).
+  return incomplete_beta_inv(k, n - k + 1.0, 1.0 - confidence);
+}
+
+Interval clopper_pearson_interval(std::size_t errors, std::size_t trials,
+                                  double confidence) {
+  const double one_sided = 0.5 * (1.0 + confidence);
+  return Interval{clopper_pearson_lower(errors, trials, one_sided),
+                  clopper_pearson_upper(errors, trials, one_sided)};
+}
+
+double wilson_upper(std::size_t errors, std::size_t trials,
+                    double confidence) {
+  check_args(errors, trials, confidence);
+  const double z = normal_quantile(confidence);
+  const auto n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(errors) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p_hat + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n));
+  double upper = (center + margin) / denom;
+  if (upper > 1.0) upper = 1.0;
+  return upper;
+}
+
+}  // namespace tauw::stats

@@ -1,0 +1,39 @@
+#pragma once
+// Exact (Clopper-Pearson) binomial confidence bounds.
+//
+// The uncertainty wrapper framework [Klaes & Sembach 2019] attaches to each
+// leaf of the quality impact model a *dependable* uncertainty: an upper
+// confidence bound on the leaf's true error probability, computed from the
+// errors observed on calibration data routed to that leaf. The paper uses a
+// confidence level of 0.999.
+
+#include <cstddef>
+
+namespace tauw::stats {
+
+/// One-sided upper Clopper-Pearson bound on a binomial proportion.
+///
+/// Given `errors` failures in `trials` Bernoulli trials, returns the smallest
+/// p_hi such that P(X <= errors | p = p_hi) <= 1 - confidence; i.e. with the
+/// requested confidence the true failure probability does not exceed the
+/// returned value. For errors == trials the bound is 1.
+double clopper_pearson_upper(std::size_t errors, std::size_t trials,
+                             double confidence);
+
+/// One-sided lower Clopper-Pearson bound (symmetric counterpart).
+double clopper_pearson_lower(std::size_t errors, std::size_t trials,
+                             double confidence);
+
+/// Two-sided Clopper-Pearson interval at the given confidence level.
+struct Interval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+Interval clopper_pearson_interval(std::size_t errors, std::size_t trials,
+                                  double confidence);
+
+/// Wilson score upper bound - a cheaper, slightly less conservative
+/// alternative offered for ablation studies.
+double wilson_upper(std::size_t errors, std::size_t trials, double confidence);
+
+}  // namespace tauw::stats

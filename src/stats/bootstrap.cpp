@@ -1,0 +1,63 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace tauw::stats {
+
+namespace {
+
+BootstrapInterval percentile_interval(std::vector<double>& statistics,
+                                      double point, double confidence) {
+  std::sort(statistics.begin(), statistics.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  BootstrapInterval interval;
+  interval.point = point;
+  interval.lower = quantile(statistics, alpha);
+  interval.upper = quantile(statistics, 1.0 - alpha);
+  return interval;
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_mean_ci(std::span<const double> values,
+                                    double confidence,
+                                    std::size_t resamples,
+                                    std::uint64_t seed) {
+  if (values.empty()) {
+    throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0) || resamples == 0) {
+    throw std::invalid_argument("bootstrap_mean_ci: bad parameters");
+  }
+  Rng rng(seed);
+  const std::size_t n = values.size();
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += values[rng.uniform_index(n)];
+    }
+    stats.push_back(acc / static_cast<double>(n));
+  }
+  return percentile_interval(stats, mean(values), confidence);
+}
+
+BootstrapInterval bootstrap_paired_diff_ci(std::span<const double> a,
+                                           std::span<const double> b,
+                                           double confidence,
+                                           std::size_t resamples,
+                                           std::uint64_t seed) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("bootstrap_paired_diff_ci: length mismatch");
+  }
+  std::vector<double> diffs(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) diffs[i] = a[i] - b[i];
+  return bootstrap_mean_ci(diffs, confidence, resamples, seed);
+}
+
+}  // namespace tauw::stats

@@ -1,0 +1,38 @@
+#pragma once
+// Bootstrap confidence intervals for evaluation metrics.
+//
+// The paper reports point estimates; when comparing uncertainty models on
+// one test set it is good practice to quantify sampling noise. These helpers
+// resample cases with replacement and return percentile intervals, e.g. for
+// the Brier-score *difference* between two forecasters on the same cases
+// (paired, so the interval excludes shared-workload variance).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "stats/rng.hpp"
+
+namespace tauw::stats {
+
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the full sample
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Percentile bootstrap CI for the mean of `values`.
+BootstrapInterval bootstrap_mean_ci(std::span<const double> values,
+                                    double confidence = 0.95,
+                                    std::size_t resamples = 2000,
+                                    std::uint64_t seed = 1);
+
+/// Paired bootstrap CI for mean(a_i - b_i). `a` and `b` must be equal-length
+/// per-case losses of two models on the same cases.
+BootstrapInterval bootstrap_paired_diff_ci(std::span<const double> a,
+                                           std::span<const double> b,
+                                           double confidence = 0.95,
+                                           std::size_t resamples = 2000,
+                                           std::uint64_t seed = 1);
+
+}  // namespace tauw::stats

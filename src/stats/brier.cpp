@@ -1,0 +1,93 @@
+#include "stats/brier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tauw::stats {
+
+namespace {
+
+void check_inputs(std::span<const double> forecasts,
+                  std::span<const std::uint8_t> failures) {
+  if (forecasts.size() != failures.size()) {
+    throw std::invalid_argument("forecasts and failures must be equal length");
+  }
+  if (forecasts.empty()) {
+    throw std::invalid_argument("Brier score of an empty sample is undefined");
+  }
+}
+
+}  // namespace
+
+double brier_score(std::span<const double> forecasts,
+                   std::span<const std::uint8_t> failures) {
+  check_inputs(forecasts, failures);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < forecasts.size(); ++i) {
+    const double e = failures[i] ? 1.0 : 0.0;
+    const double d = forecasts[i] - e;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(forecasts.size());
+}
+
+BrierDecomposition brier_decomposition(std::span<const double> forecasts,
+                                       std::span<const std::uint8_t> failures,
+                                       double tolerance) {
+  check_inputs(forecasts, failures);
+  const std::size_t n = forecasts.size();
+
+  // Sort case indices by forecast value, then sweep to form bins of
+  // (near-)identical forecasts.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return forecasts[a] < forecasts[b];
+  });
+
+  BrierDecomposition out;
+  std::size_t i = 0;
+  while (i < n) {
+    const double bin_value = forecasts[order[i]];
+    std::size_t count = 0;
+    std::size_t fails = 0;
+    double forecast_sum = 0.0;
+    while (i < n && forecasts[order[i]] - bin_value <= tolerance) {
+      forecast_sum += forecasts[order[i]];
+      fails += failures[order[i]] ? 1 : 0;
+      ++count;
+      ++i;
+    }
+    ForecastBin bin;
+    bin.forecast = forecast_sum / static_cast<double>(count);
+    bin.count = count;
+    bin.observed_rate = static_cast<double>(fails) / static_cast<double>(count);
+    out.bins.push_back(bin);
+  }
+
+  std::size_t total_fails = 0;
+  for (std::size_t j = 0; j < n; ++j) total_fails += failures[j] ? 1 : 0;
+  const double ebar = static_cast<double>(total_fails) / static_cast<double>(n);
+
+  out.base_rate = ebar;
+  out.variance = ebar * (1.0 - ebar);
+  for (const ForecastBin& bin : out.bins) {
+    const double w = static_cast<double>(bin.count) / static_cast<double>(n);
+    const double res_term = bin.observed_rate - ebar;
+    const double rel_term = bin.forecast - bin.observed_rate;
+    out.resolution += w * res_term * res_term;
+    const double rel_contrib = w * rel_term * rel_term;
+    out.unreliability += rel_contrib;
+    if (bin.forecast < bin.observed_rate) {
+      out.overconfidence += rel_contrib;
+    }
+  }
+  out.underconfidence = out.unreliability - out.overconfidence;
+  out.unspecificity = out.variance - out.resolution;
+  out.brier = brier_score(forecasts, failures);
+  return out;
+}
+
+}  // namespace tauw::stats

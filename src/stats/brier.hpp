@@ -1,0 +1,65 @@
+#pragma once
+// Brier score and its Murphy (1973) vector partition.
+//
+// The paper evaluates uncertainty estimators with the Brier score
+//   bs = (1/N) sum_i (u_i - e_i)^2,
+// where u_i is the predicted uncertainty (probability of the failure mode)
+// and e_i in {0,1} indicates whether the failure actually occurred. Murphy's
+// decomposition splits it as
+//   bs = variance - resolution + unreliability
+// with
+//   variance      = ebar (1 - ebar)                      (DDM error rate only)
+//   resolution    = (1/N) sum_k n_k (ebar_k - ebar)^2    (between-bin spread)
+//   unreliability = (1/N) sum_k n_k (u_k - ebar_k)^2     (calibration error)
+// where cases are grouped into bins k of identical forecasts u_k (decision
+// trees emit finitely many distinct uncertainties, so exact grouping is
+// natural), ebar_k is the observed failure rate in bin k, and ebar the overall
+// failure rate.
+//
+// Following the paper we also report
+//   unspecificity  = variance - resolution
+//   overconfidence = the portion of unreliability contributed by bins whose
+//                    predicted uncertainty *underestimates* the observed
+//                    failure rate (u_k < ebar_k),
+//   underconfidence = unreliability - overconfidence.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tauw::stats {
+
+/// One forecast bin in the Murphy decomposition.
+struct ForecastBin {
+  double forecast = 0.0;       ///< predicted uncertainty shared by the bin
+  std::size_t count = 0;       ///< number of cases in the bin
+  double observed_rate = 0.0;  ///< observed failure frequency in the bin
+};
+
+/// Result of the Brier decomposition.
+struct BrierDecomposition {
+  double brier = 0.0;
+  double variance = 0.0;
+  double resolution = 0.0;
+  double unspecificity = 0.0;  ///< variance - resolution
+  double unreliability = 0.0;
+  double overconfidence = 0.0;   ///< unreliability from bins with u_k < ebar_k
+  double underconfidence = 0.0;  ///< unreliability - overconfidence
+  double base_rate = 0.0;        ///< overall observed failure rate ebar
+  std::vector<ForecastBin> bins;
+};
+
+/// Plain Brier score without decomposition.
+/// `forecasts[i]` is the predicted failure probability, `failures[i]` (0/1) whether
+/// the failure occurred. The spans must have equal, non-zero length.
+double brier_score(std::span<const double> forecasts,
+                   std::span<const std::uint8_t> failures);
+
+/// Full Murphy decomposition with exact grouping by forecast value.
+/// Forecast values closer than `tolerance` are merged into one bin.
+BrierDecomposition brier_decomposition(std::span<const double> forecasts,
+                                       std::span<const std::uint8_t> failures,
+                                       double tolerance = 1e-12);
+
+}  // namespace tauw::stats

@@ -1,0 +1,78 @@
+#include "stats/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tauw::stats {
+
+std::vector<CalibrationPoint> calibration_curve(
+    std::span<const double> uncertainties, std::span<const std::uint8_t> failures,
+    std::size_t num_bins) {
+  if (uncertainties.size() != failures.size()) {
+    throw std::invalid_argument("inputs must be equal length");
+  }
+  if (uncertainties.empty() || num_bins == 0) {
+    throw std::invalid_argument("calibration curve needs data and bins");
+  }
+  const std::size_t n = uncertainties.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    // Sort ascending by certainty = 1 - u, i.e. descending by u.
+    return uncertainties[a] > uncertainties[b];
+  });
+
+  std::vector<CalibrationPoint> curve;
+  curve.reserve(num_bins);
+  const std::size_t bins = std::min(num_bins, n);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::size_t lo = b * n / bins;
+    const std::size_t hi = (b + 1) * n / bins;
+    if (lo >= hi) continue;
+    CalibrationPoint pt;
+    double certainty_sum = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t i = order[k];
+      certainty_sum += 1.0 - uncertainties[i];
+      correct += failures[i] ? 0 : 1;
+    }
+    pt.count = hi - lo;
+    pt.mean_predicted_certainty =
+        certainty_sum / static_cast<double>(pt.count);
+    pt.observed_correctness =
+        static_cast<double>(correct) / static_cast<double>(pt.count);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+double expected_calibration_error(std::span<const double> uncertainties,
+                                  std::span<const std::uint8_t> failures,
+                                  std::size_t num_bins) {
+  const auto curve = calibration_curve(uncertainties, failures, num_bins);
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& pt : curve) {
+    total += static_cast<double>(pt.count) *
+             std::fabs(pt.mean_predicted_certainty - pt.observed_correctness);
+    n += pt.count;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double overconfident_bin_fraction(std::span<const double> uncertainties,
+                                  std::span<const std::uint8_t> failures,
+                                  std::size_t num_bins, double slack) {
+  const auto curve = calibration_curve(uncertainties, failures, num_bins);
+  if (curve.empty()) return 0.0;
+  std::size_t over = 0;
+  for (const auto& pt : curve) {
+    if (pt.mean_predicted_certainty > pt.observed_correctness + slack) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(curve.size());
+}
+
+}  // namespace tauw::stats

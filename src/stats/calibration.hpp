@@ -1,0 +1,44 @@
+#pragma once
+// Calibration diagnostics for probabilistic failure forecasts.
+//
+// Reproduces the quantile-based calibration plot of the paper's Fig. 6:
+// cases are sorted by predicted certainty (1 - u) and partitioned into
+// equal-population quantile bins (deciles in the paper); for each bin the
+// mean predicted certainty is plotted against the observed correctness rate.
+// Points below the diagonal are overconfident, points above underconfident.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tauw::stats {
+
+/// One point of a calibration curve.
+struct CalibrationPoint {
+  double mean_predicted_certainty = 0.0;  ///< average of 1 - u in the bin
+  double observed_correctness = 0.0;      ///< fraction of correct outcomes
+  std::size_t count = 0;
+};
+
+/// Quantile calibration curve over `num_bins` equal-population bins.
+/// `uncertainties[i]` is the predicted failure probability of case i and
+/// `failures[i]` whether the failure occurred.
+std::vector<CalibrationPoint> calibration_curve(
+    std::span<const double> uncertainties, std::span<const std::uint8_t> failures,
+    std::size_t num_bins = 10);
+
+/// Expected calibration error: population-weighted mean absolute gap between
+/// predicted certainty and observed correctness over the curve's bins.
+double expected_calibration_error(std::span<const double> uncertainties,
+                                  std::span<const std::uint8_t> failures,
+                                  std::size_t num_bins = 10);
+
+/// Fraction of quantile bins that are overconfident (predicted certainty
+/// exceeds observed correctness by more than `slack`).
+double overconfident_bin_fraction(std::span<const double> uncertainties,
+                                  std::span<const std::uint8_t> failures,
+                                  std::size_t num_bins = 10,
+                                  double slack = 0.0);
+
+}  // namespace tauw::stats

@@ -1,0 +1,99 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tauw::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram requires lo < hi and bins > 0");
+  }
+}
+
+void Histogram::add(double value) noexcept {
+  const double clamped = std::clamp(value, lo_, hi_);
+  const double rel = (clamped - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(rel * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (const double v : values) add(v);
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("bin index");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("bin index");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::mode_bin() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return best;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::ostringstream os;
+  std::size_t max_count = 1;
+  for (const std::size_t c : counts_) max_count = std::max(max_count, c);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[b]) /
+                     static_cast<double>(max_count) *
+                     static_cast<double>(width)));
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os << "[" << bin_lower(b) << ", " << bin_upper(b) << ") "
+       << std::string(bar_len, '#') << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+std::vector<ValueCount> distinct_value_distribution(
+    std::span<const double> values, double tolerance) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<ValueCount> out;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double v = sorted[i];
+    std::size_t count = 0;
+    double sum = 0.0;
+    while (i < sorted.size() && sorted[i] - v <= tolerance) {
+      sum += sorted[i];
+      ++count;
+      ++i;
+    }
+    ValueCount vc;
+    vc.value = sum / static_cast<double>(count);
+    vc.count = count;
+    vc.fraction = values.empty()
+                      ? 0.0
+                      : static_cast<double>(count) /
+                            static_cast<double>(values.size());
+    out.push_back(vc);
+  }
+  return out;
+}
+
+}  // namespace tauw::stats

@@ -1,0 +1,60 @@
+#pragma once
+// Histograms over predicted uncertainties (paper Fig. 5) and general use.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tauw::stats {
+
+/// Fixed-width histogram over a closed range [lo, hi].
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins spanning [lo, hi]. Requires lo < hi and
+  /// bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation. Values outside [lo, hi] are clamped into the edge
+  /// bins (the uncertainty domain is closed, so clamping is lossless there).
+  void add(double value) noexcept;
+
+  /// Adds all values from a span.
+  void add_all(std::span<const double> values) noexcept;
+
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+
+  /// Lower/upper edge of a bin.
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+
+  /// Fraction of all observations falling in `bin` (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+  /// Index of the most populated bin (ties resolved to the lowest index).
+  std::size_t mode_bin() const noexcept;
+
+  /// Renders a simple fixed-width ASCII bar chart, one line per bin - used by
+  /// the figure benches to visualize distributions in terminal output.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Convenience: distribution of predicted uncertainties grouped by *distinct*
+/// value (trees emit few distinct uncertainties, cf. Fig. 5's discrete bars).
+struct ValueCount {
+  double value = 0.0;
+  std::size_t count = 0;
+  double fraction = 0.0;
+};
+std::vector<ValueCount> distinct_value_distribution(
+    std::span<const double> values, double tolerance = 1e-12);
+
+}  // namespace tauw::stats

@@ -1,0 +1,157 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace tauw::stats {
+
+double log_beta(double a, double b) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("log_beta requires a, b > 0");
+  }
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+namespace {
+
+// Continued fraction for the incomplete beta function (Lentz's algorithm).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) <= kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("incomplete_beta requires a, b > 0");
+  }
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front =
+      a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly in its region of fast convergence and
+  // the symmetry relation elsewhere.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - std::exp(b * std::log1p(-x) + a * std::log(x) - log_beta(a, b)) *
+                   betacf(b, a, 1.0 - x) / b;
+}
+
+double incomplete_beta_inv(double a, double b, double p) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("incomplete_beta_inv requires a, b > 0");
+  }
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+
+  // Initial guess: mean of the Beta distribution.
+  double x = a / (a + b);
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double f = incomplete_beta(a, b, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Newton step using the Beta pdf as derivative.
+    const double log_pdf =
+        (a - 1.0) * std::log(x) + (b - 1.0) * std::log1p(-x) - log_beta(a, b);
+    const double pdf = std::exp(log_pdf);
+    double next = x;
+    if (pdf > 0.0 && std::isfinite(pdf)) {
+      next = x - f / pdf;
+    }
+    if (!(next > lo && next < hi)) {
+      next = 0.5 * (lo + hi);  // fall back to bisection
+    }
+    if (std::fabs(next - x) < 1e-14) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("normal_quantile requires p in (0,1)");
+  }
+  // Acklam's approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+}  // namespace tauw::stats

@@ -1,0 +1,29 @@
+#pragma once
+// Special functions needed for exact binomial confidence bounds.
+//
+// The uncertainty wrapper's per-leaf guarantees are Clopper-Pearson bounds,
+// which reduce to quantiles of the Beta distribution. We implement the
+// regularized incomplete beta function via the standard Lentz continued
+// fraction and invert it with a guarded Newton/bisection hybrid.
+
+namespace tauw::stats {
+
+/// Natural log of the Beta function, ln B(a, b), for a, b > 0.
+double log_beta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0, x in [0, 1].
+/// This equals the CDF of a Beta(a, b) random variable evaluated at x.
+double incomplete_beta(double a, double b, double x);
+
+/// Inverse of the regularized incomplete beta function: returns x such that
+/// incomplete_beta(a, b, x) == p, for p in [0, 1].
+double incomplete_beta_inv(double a, double b, double p);
+
+/// CDF of the standard normal distribution.
+double normal_cdf(double z);
+
+/// Inverse CDF (quantile) of the standard normal distribution, p in (0, 1).
+/// Acklam's rational approximation refined with one Halley step.
+double normal_quantile(double p);
+
+}  // namespace tauw::stats

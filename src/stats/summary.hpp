@@ -1,0 +1,38 @@
+#pragma once
+// Summary statistics helpers shared across the library.
+
+#include <cstddef>
+#include <span>
+
+namespace tauw::stats {
+
+/// Running mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy of the input.
+double quantile(std::span<const double> xs, double q);
+
+}  // namespace tauw::stats

@@ -1,0 +1,103 @@
+#include "tracking/kalman.hpp"
+
+#include <cmath>
+
+namespace tauw::tracking {
+
+KalmanFilter2D::KalmanFilter2D(const KalmanConfig& config) : config_(config) {}
+
+void KalmanFilter2D::initialize(Vec2 position) noexcept {
+  state_ = {position.x, position.y, 0.0, 0.0};
+  cov_ = Mat4{};
+  const double r2 = config_.measurement_noise * config_.measurement_noise;
+  cov_[0][0] = r2;
+  cov_[1][1] = r2;
+  cov_[2][2] = config_.initial_velocity_var;
+  cov_[3][3] = config_.initial_velocity_var;
+  initialized_ = true;
+}
+
+void KalmanFilter2D::predict(double dt) noexcept {
+  if (!initialized_ || dt <= 0.0) return;
+  // State transition: x += vx*dt, y += vy*dt.
+  state_[0] += state_[2] * dt;
+  state_[1] += state_[3] * dt;
+
+  // P = F P F^T + Q with F = [[I, dt*I], [0, I]].
+  Mat4 p = cov_;
+  // F P
+  for (int c = 0; c < 4; ++c) {
+    p[0][c] += dt * cov_[2][c];
+    p[1][c] += dt * cov_[3][c];
+  }
+  // (F P) F^T
+  Mat4 q = p;
+  for (int r = 0; r < 4; ++r) {
+    q[r][0] += dt * p[r][2];
+    q[r][1] += dt * p[r][3];
+  }
+  // Piecewise-constant white acceleration model.
+  const double s = config_.process_noise;
+  const double dt2 = dt * dt;
+  const double dt3 = dt2 * dt;
+  const double dt4 = dt3 * dt;
+  q[0][0] += s * dt4 / 4.0;
+  q[1][1] += s * dt4 / 4.0;
+  q[0][2] += s * dt3 / 2.0;
+  q[2][0] += s * dt3 / 2.0;
+  q[1][3] += s * dt3 / 2.0;
+  q[3][1] += s * dt3 / 2.0;
+  q[2][2] += s * dt2;
+  q[3][3] += s * dt2;
+  cov_ = q;
+}
+
+void KalmanFilter2D::update(Vec2 measurement) noexcept {
+  if (!initialized_) {
+    initialize(measurement);
+    return;
+  }
+  const double r2 = config_.measurement_noise * config_.measurement_noise;
+  // Innovation covariance S = H P H^T + R (H selects positions).
+  const double s00 = cov_[0][0] + r2;
+  const double s11 = cov_[1][1] + r2;
+  const double s01 = cov_[0][1];
+  const double det = s00 * s11 - s01 * s01;
+  if (det == 0.0) return;
+  const double i00 = s11 / det;
+  const double i11 = s00 / det;
+  const double i01 = -s01 / det;
+
+  // Kalman gain K = P H^T S^-1 (4x2).
+  double k[4][2];
+  for (int r = 0; r < 4; ++r) {
+    const double p0 = cov_[r][0];
+    const double p1 = cov_[r][1];
+    k[r][0] = p0 * i00 + p1 * i01;
+    k[r][1] = p0 * i01 + p1 * i11;
+  }
+  const double rx = measurement.x - state_[0];
+  const double ry = measurement.y - state_[1];
+  for (int r = 0; r < 4; ++r) {
+    state_[r] += k[r][0] * rx + k[r][1] * ry;
+  }
+  // P = (I - K H) P.
+  Mat4 p = cov_;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      cov_[r][c] = p[r][c] - (k[r][0] * p[0][c] + k[r][1] * p[1][c]);
+    }
+  }
+}
+
+double KalmanFilter2D::innovation_distance(Vec2 measurement) const noexcept {
+  const double dx = measurement.x - state_[0];
+  const double dy = measurement.y - state_[1];
+  return std::hypot(dx, dy);
+}
+
+double KalmanFilter2D::position_variance() const noexcept {
+  return cov_[0][0] + cov_[1][1];
+}
+
+}  // namespace tauw::tracking

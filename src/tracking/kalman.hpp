@@ -1,0 +1,59 @@
+#pragma once
+// 2-D constant-velocity Kalman filter for traffic-sign tracking.
+//
+// The paper's timeseries boundary signal comes from a tracking component that
+// follows the detected sign's position (citing Kalman-filter-based sign
+// tracking [24][25]). State: [x, y, vx, vy]; measurements: [x, y].
+
+#include <array>
+#include <cstddef>
+
+namespace tauw::tracking {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// 4x4 symmetric covariance stored densely; small enough for fixed arrays.
+using Mat4 = std::array<std::array<double, 4>, 4>;
+
+struct KalmanConfig {
+  double process_noise = 0.5;       ///< acceleration noise spectral density
+  double measurement_noise = 0.8;   ///< position measurement stddev (m)
+  double initial_velocity_var = 25.0;
+};
+
+class KalmanFilter2D {
+ public:
+  explicit KalmanFilter2D(const KalmanConfig& config = {});
+
+  /// Initializes the state from a first position measurement.
+  void initialize(Vec2 position) noexcept;
+
+  bool initialized() const noexcept { return initialized_; }
+
+  /// Time update over `dt` seconds.
+  void predict(double dt) noexcept;
+
+  /// Measurement update with an observed position.
+  void update(Vec2 measurement) noexcept;
+
+  Vec2 position() const noexcept { return {state_[0], state_[1]}; }
+  Vec2 velocity() const noexcept { return {state_[2], state_[3]}; }
+
+  /// Innovation (residual) distance of a hypothetical measurement - used by
+  /// the track manager to gate associations.
+  double innovation_distance(Vec2 measurement) const noexcept;
+
+  /// Trace of the positional covariance block (uncertainty of the estimate).
+  double position_variance() const noexcept;
+
+ private:
+  KalmanConfig config_;
+  std::array<double, 4> state_{};  // x, y, vx, vy
+  Mat4 cov_{};
+  bool initialized_ = false;
+};
+
+}  // namespace tauw::tracking

@@ -1,0 +1,88 @@
+#include "tracking/multi_track_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tauw::tracking {
+
+MultiTrackManager::MultiTrackManager(const TrackManagerConfig& config)
+    : config_(config) {}
+
+std::vector<MultiTrackUpdate> MultiTrackManager::observe(
+    const std::vector<Vec2>& detections) {
+  // Time update for every live track.
+  for (Track& track : tracks_) {
+    track.filter.predict(config_.frame_interval_s);
+  }
+
+  // Greedy global-nearest-neighbor association: repeatedly match the
+  // (track, detection) pair with the smallest gated innovation distance.
+  const std::size_t n = detections.size();
+  std::vector<bool> detection_used(n, false);
+  std::vector<bool> track_used(tracks_.size(), false);
+  std::vector<std::ptrdiff_t> detection_track(n, -1);
+  for (;;) {
+    double best_distance = config_.gate_distance_m;
+    std::size_t best_track = 0;
+    std::size_t best_detection = 0;
+    bool found = false;
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (track_used[t]) continue;
+      for (std::size_t d = 0; d < n; ++d) {
+        if (detection_used[d]) continue;
+        const double dist = tracks_[t].filter.innovation_distance(detections[d]);
+        if (dist <= best_distance) {
+          best_distance = dist;
+          best_track = t;
+          best_detection = d;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    track_used[best_track] = true;
+    detection_used[best_detection] = true;
+    detection_track[best_detection] = static_cast<std::ptrdiff_t>(best_track);
+  }
+
+  // Apply measurement updates / spawn tracks, and build the result.
+  std::vector<MultiTrackUpdate> updates(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    MultiTrackUpdate& update = updates[d];
+    update.detection_index = d;
+    if (detection_track[d] >= 0) {
+      Track& track = tracks_[static_cast<std::size_t>(detection_track[d])];
+      track.filter.update(detections[d]);
+      track.missed = 0;
+      ++track.length;
+      update.new_series = false;
+      update.series_id = track.series_id;
+      update.index_in_series = track.length - 1;
+      update.filtered_position = track.filter.position();
+    } else {
+      Track track;
+      track.filter = KalmanFilter2D(config_.kalman);
+      track.filter.initialize(detections[d]);
+      track.series_id = ++next_series_id_;
+      track.length = 1;
+      update.new_series = true;
+      update.series_id = track.series_id;
+      update.index_in_series = 0;
+      update.filtered_position = track.filter.position();
+      tracks_.push_back(std::move(track));
+      track_used.push_back(true);
+    }
+  }
+
+  // Miss bookkeeping and pruning of stale tracks.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    if (t < track_used.size() && track_used[t]) continue;
+    ++tracks_[t].missed;
+  }
+  std::erase_if(tracks_, [this](const Track& track) {
+    return track.missed > config_.max_missed;
+  });
+  return updates;
+}
+
+}  // namespace tauw::tracking

@@ -1,0 +1,56 @@
+#pragma once
+// Multi-object track management: several signs visible simultaneously.
+//
+// The single-track TrackManager suffices for the paper's study (one sign per
+// approach), but real scenes contain sign clusters (e.g. a speed limit above
+// a no-overtaking sign). This manager maintains one Kalman filter per track,
+// associates each frame's detections greedily by innovation distance with
+// gating, and reports per-detection series identities so that one
+// TimeseriesAwareWrapper instance can be kept per track.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tracking/kalman.hpp"
+#include "tracking/track_manager.hpp"
+
+namespace tauw::tracking {
+
+/// Association result for one detection of a frame.
+struct MultiTrackUpdate {
+  std::size_t detection_index = 0;
+  bool new_series = false;
+  std::uint64_t series_id = 0;
+  std::size_t index_in_series = 0;
+  Vec2 filtered_position{};
+};
+
+class MultiTrackManager {
+ public:
+  explicit MultiTrackManager(const TrackManagerConfig& config = {});
+
+  /// Processes one frame's detections. Unmatched tracks accumulate a miss;
+  /// tracks exceeding max_missed are dropped. Returns one update per
+  /// detection (same order as the input).
+  std::vector<MultiTrackUpdate> observe(const std::vector<Vec2>& detections);
+
+  std::size_t active_tracks() const noexcept { return tracks_.size(); }
+
+  /// Drops all tracks (e.g. scene cut).
+  void reset() noexcept { tracks_.clear(); }
+
+ private:
+  struct Track {
+    KalmanFilter2D filter;
+    std::uint64_t series_id = 0;
+    std::size_t length = 0;
+    std::size_t missed = 0;
+  };
+
+  TrackManagerConfig config_;
+  std::vector<Track> tracks_;
+  std::uint64_t next_series_id_ = 0;
+};
+
+}  // namespace tauw::tracking

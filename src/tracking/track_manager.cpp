@@ -1,0 +1,51 @@
+#include "tracking/track_manager.hpp"
+
+namespace tauw::tracking {
+
+TrackManager::TrackManager(const TrackManagerConfig& config)
+    : config_(config), filter_(config.kalman) {}
+
+TrackUpdate TrackManager::observe(Vec2 detection) {
+  TrackUpdate update;
+  if (active_) {
+    filter_.predict(config_.frame_interval_s);
+    if (filter_.innovation_distance(detection) > config_.gate_distance_m) {
+      // Different physical object: close the series, start a new one.
+      active_ = false;
+    }
+  }
+  if (!active_) {
+    filter_ = KalmanFilter2D(config_.kalman);
+    filter_.initialize(detection);
+    active_ = true;
+    ++series_id_;
+    index_in_series_ = 0;
+    missed_ = 0;
+    update.new_series = true;
+  } else {
+    filter_.update(detection);
+    ++index_in_series_;
+    missed_ = 0;
+  }
+  update.series_id = series_id_;
+  update.index_in_series = index_in_series_;
+  update.filtered_position = filter_.position();
+  return update;
+}
+
+void TrackManager::miss() noexcept {
+  if (!active_) return;
+  ++missed_;
+  if (missed_ > config_.max_missed) {
+    active_ = false;
+    return;
+  }
+  filter_.predict(config_.frame_interval_s);
+}
+
+void TrackManager::reset() noexcept {
+  active_ = false;
+  missed_ = 0;
+}
+
+}  // namespace tauw::tracking

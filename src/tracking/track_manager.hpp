@@ -1,0 +1,62 @@
+#pragma once
+// Track management: turns a stream of per-frame sign detections into
+// timeseries with explicit boundaries.
+//
+// "The tracking component detects a new timeseries whenever the location of
+// the detected object changes, i.e., the predictions might relate to a
+// different traffic sign" (paper, Section III). The manager associates each
+// detection with the active track via an innovation gate on the Kalman
+// prediction; a detection outside the gate closes the current series and
+// opens a new one.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "tracking/kalman.hpp"
+
+namespace tauw::tracking {
+
+struct TrackManagerConfig {
+  KalmanConfig kalman{};
+  double gate_distance_m = 6.0;   ///< association gate on innovation distance
+  double frame_interval_s = 0.15;
+  std::size_t max_missed = 2;     ///< drop the track after this many misses
+};
+
+/// Result of feeding one detection.
+struct TrackUpdate {
+  bool new_series = false;     ///< true if this detection started a new series
+  std::uint64_t series_id = 0; ///< monotonically increasing series identifier
+  std::size_t index_in_series = 0;  ///< timestep within the current series
+  Vec2 filtered_position{};    ///< Kalman-smoothed sign position
+};
+
+class TrackManager {
+ public:
+  explicit TrackManager(const TrackManagerConfig& config = {});
+
+  /// Feeds one detection (sign position in the road frame).
+  TrackUpdate observe(Vec2 detection);
+
+  /// Signals frames without a detection; after `max_missed` consecutive
+  /// misses the active track is dropped, forcing the next detection to start
+  /// a new series.
+  void miss() noexcept;
+
+  /// Forces the next detection to start a new series.
+  void reset() noexcept;
+
+  std::uint64_t current_series_id() const noexcept { return series_id_; }
+  bool has_active_track() const noexcept { return active_; }
+
+ private:
+  TrackManagerConfig config_;
+  KalmanFilter2D filter_;
+  bool active_ = false;
+  std::uint64_t series_id_ = 0;
+  std::size_t index_in_series_ = 0;
+  std::size_t missed_ = 0;
+};
+
+}  // namespace tauw::tracking

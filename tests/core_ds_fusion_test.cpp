@@ -1,0 +1,114 @@
+// Tests for Dempster-Shafer evidence combination over DDM outcomes.
+#include "core/ds_fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+TimeseriesBuffer make_buffer(
+    std::initializer_list<std::pair<std::size_t, double>> entries) {
+  TimeseriesBuffer buf;
+  for (const auto& [o, u] : entries) buf.push(o, u);
+  return buf;
+}
+
+TEST(DsFusion, SingleConfidentSource) {
+  const auto buf = make_buffer({{3, 0.1}});
+  const DsCombination c = combine_dempster_shafer(buf);
+  EXPECT_EQ(c.best_outcome, 3u);
+  EXPECT_NEAR(c.best_belief, 0.9, 1e-9);
+  EXPECT_NEAR(c.ignorance, 0.1, 1e-9);
+  EXPECT_NEAR(c.conflict, 0.0, 1e-9);
+}
+
+TEST(DsFusion, AgreementCompoundsBelief) {
+  const auto one = make_buffer({{1, 0.3}});
+  const auto two = make_buffer({{1, 0.3}, {1, 0.3}});
+  const double b1 = combine_dempster_shafer(one).best_belief;
+  const double b2 = combine_dempster_shafer(two).best_belief;
+  EXPECT_GT(b2, b1);
+  // Two agreeing sources: m({1}) = 1 - u^2 = 0.91 after normalization (no
+  // conflict when sources agree).
+  EXPECT_NEAR(b2, 1.0 - 0.3 * 0.3, 1e-9);
+}
+
+TEST(DsFusion, AgreeingSourcesProduceNoConflict) {
+  const auto buf = make_buffer({{2, 0.4}, {2, 0.2}, {2, 0.5}});
+  const DsCombination c = combine_dempster_shafer(buf);
+  EXPECT_NEAR(c.conflict, 0.0, 1e-9);
+  EXPECT_EQ(c.best_outcome, 2u);
+}
+
+TEST(DsFusion, DisagreementCreatesConflict) {
+  const auto buf = make_buffer({{1, 0.2}, {2, 0.2}});
+  const DsCombination c = combine_dempster_shafer(buf);
+  // Unnormalized: m({1}) = 0.8*0.2 = 0.16, m({2}) = 0.16, m(Theta) = 0.04;
+  // conflict = 0.64.
+  EXPECT_NEAR(c.conflict, 0.64, 1e-9);
+  EXPECT_NEAR(c.best_belief, 0.16 / 0.36, 1e-9);
+}
+
+TEST(DsFusion, ConfidentSourceOutweighsUncertainMajority) {
+  // Two very uncertain votes for 1, one confident vote for 2.
+  const auto buf = make_buffer({{1, 0.9}, {1, 0.9}, {2, 0.05}});
+  const DsCombination c = combine_dempster_shafer(buf);
+  EXPECT_EQ(c.best_outcome, 2u);
+}
+
+TEST(DsFusion, TieGoesToMostRecent) {
+  const auto buf = make_buffer({{1, 0.3}, {2, 0.3}});
+  EXPECT_EQ(combine_dempster_shafer(buf).best_outcome, 2u);
+  const auto buf2 = make_buffer({{2, 0.3}, {1, 0.3}});
+  EXPECT_EQ(combine_dempster_shafer(buf2).best_outcome, 1u);
+}
+
+TEST(DsFusion, ZeroUncertaintyDoesNotVetoLaterEvidence) {
+  // A source claiming u = 0 would zero out every other singleton's product
+  // without the ignorance floor; the combination must stay well defined.
+  const auto buf = make_buffer({{1, 0.0}, {2, 0.1}, {2, 0.1}, {2, 0.1}});
+  const DsCombination c = combine_dempster_shafer(buf);
+  EXPECT_GE(c.best_belief, 0.0);
+  EXPECT_LE(c.best_belief, 1.0);
+  EXPECT_NO_THROW(DempsterShaferFusion{}.fuse(buf));
+}
+
+TEST(DsFusion, EmptyBufferThrows) {
+  TimeseriesBuffer buf;
+  EXPECT_THROW(combine_dempster_shafer(buf), std::invalid_argument);
+}
+
+TEST(DsFusion, AdapterNameAndInterface) {
+  const DempsterShaferFusion fusion;
+  EXPECT_EQ(fusion.name(), "dempster_shafer");
+  const auto buf = make_buffer({{5, 0.2}, {5, 0.3}});
+  EXPECT_EQ(fusion.fuse(buf), 5u);
+}
+
+// Property: masses are a normalized probability-like decomposition.
+class DsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DsPropertyTest, BeliefsAreNormalized) {
+  stats::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeseriesBuffer buf;
+    const std::size_t len = 1 + rng.uniform_index(10);
+    for (std::size_t i = 0; i < len; ++i) {
+      buf.push(rng.uniform_index(4), rng.uniform(0.01, 0.99));
+    }
+    const DsCombination c = combine_dempster_shafer(buf);
+    EXPECT_GE(c.best_belief, 0.0);
+    EXPECT_LE(c.best_belief + c.ignorance, 1.0 + 1e-9);
+    EXPECT_GE(c.conflict, 0.0);
+    EXPECT_LE(c.conflict, 1.0);
+    // The DS winner must have at least one supporting observation.
+    EXPECT_GT(buf.count_outcome(c.best_outcome), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsPropertyTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace tauw::core

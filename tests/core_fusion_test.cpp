@@ -1,0 +1,216 @@
+// Tests for the timeseries buffer, information fusion, and UF baselines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/timeseries_buffer.hpp"
+#include "core/uncertainty_fusion.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+TimeseriesBuffer make_buffer(
+    std::initializer_list<std::pair<std::size_t, double>> entries) {
+  TimeseriesBuffer buf;
+  for (const auto& [o, u] : entries) buf.push(o, u);
+  return buf;
+}
+
+TEST(Buffer, PushAndClear) {
+  TimeseriesBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  buf.push(3, 0.1);
+  buf.push(4, 0.2);
+  EXPECT_EQ(buf.length(), 2u);
+  EXPECT_EQ(buf.latest().outcome, 4u);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_THROW(buf.latest(), std::logic_error);
+}
+
+TEST(Buffer, RejectsInvalidUncertainty) {
+  TimeseriesBuffer buf;
+  EXPECT_THROW(buf.push(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(buf.push(0, 1.1), std::invalid_argument);
+}
+
+TEST(Buffer, CountAndUnique) {
+  const auto buf = make_buffer({{1, 0.1}, {2, 0.1}, {1, 0.1}, {1, 0.1}});
+  EXPECT_EQ(buf.count_outcome(1), 3u);
+  EXPECT_EQ(buf.count_outcome(2), 1u);
+  EXPECT_EQ(buf.count_outcome(9), 0u);
+  EXPECT_EQ(buf.unique_outcomes(), 2u);
+}
+
+TEST(MajorityVote, PicksPlurality) {
+  const auto buf = make_buffer({{1, 0.1}, {2, 0.1}, {1, 0.1}});
+  EXPECT_EQ(MajorityVoteFusion{}.fuse(buf), 1u);
+}
+
+TEST(MajorityVote, TieGoesToMostRecent) {
+  // 1 and 2 tie with two votes each; 2 was predicted most recently.
+  const auto buf = make_buffer({{1, 0.1}, {1, 0.1}, {2, 0.1}, {2, 0.1}});
+  EXPECT_EQ(MajorityVoteFusion{}.fuse(buf), 2u);
+  // Symmetric case: 1 most recent.
+  const auto buf2 = make_buffer({{2, 0.1}, {2, 0.1}, {1, 0.1}, {1, 0.1}});
+  EXPECT_EQ(MajorityVoteFusion{}.fuse(buf2), 1u);
+}
+
+TEST(MajorityVote, SingleEntry) {
+  const auto buf = make_buffer({{7, 0.3}});
+  EXPECT_EQ(MajorityVoteFusion{}.fuse(buf), 7u);
+}
+
+TEST(MajorityVote, EmptyBufferThrows) {
+  TimeseriesBuffer buf;
+  EXPECT_THROW(MajorityVoteFusion{}.fuse(buf), std::invalid_argument);
+}
+
+TEST(CertaintyWeighted, HighCertaintyMinorityCanWin) {
+  // Outcome 1 has two very uncertain votes; outcome 2 one confident vote.
+  const auto buf = make_buffer({{1, 0.95}, {1, 0.95}, {2, 0.05}});
+  EXPECT_EQ(CertaintyWeightedFusion{}.fuse(buf), 2u);
+}
+
+TEST(CertaintyWeighted, EqualCertaintiesReduceToMajority) {
+  const auto buf = make_buffer({{1, 0.2}, {2, 0.2}, {1, 0.2}});
+  EXPECT_EQ(CertaintyWeightedFusion{}.fuse(buf), 1u);
+}
+
+TEST(RecencyWeighted, LambdaOneIsMajority) {
+  const auto buf = make_buffer({{1, 0.1}, {2, 0.1}, {1, 0.1}});
+  EXPECT_EQ(RecencyWeightedFusion(1.0).fuse(buf), 1u);
+}
+
+TEST(RecencyWeighted, StrongDecayFollowsLatest) {
+  const auto buf = make_buffer({{1, 0.1}, {1, 0.1}, {1, 0.1}, {2, 0.1}});
+  EXPECT_EQ(RecencyWeightedFusion(0.1).fuse(buf), 2u);
+}
+
+TEST(RecencyWeighted, ValidatesLambda) {
+  EXPECT_THROW(RecencyWeightedFusion(0.0), std::invalid_argument);
+  EXPECT_THROW(RecencyWeightedFusion(1.5), std::invalid_argument);
+}
+
+TEST(LatestOutcome, ReturnsLast) {
+  const auto buf = make_buffer({{1, 0.1}, {5, 0.9}});
+  EXPECT_EQ(LatestOutcomeFusion{}.fuse(buf), 5u);
+}
+
+TEST(FusionNames, AreDistinct) {
+  EXPECT_NE(MajorityVoteFusion{}.name(), CertaintyWeightedFusion{}.name());
+  EXPECT_NE(MajorityVoteFusion{}.name(), RecencyWeightedFusion{}.name());
+}
+
+// Property: majority fuse result always has maximal vote count.
+class MajorityPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MajorityPropertyTest, WinnerHasPlurality) {
+  stats::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeseriesBuffer buf;
+    const std::size_t len = 1 + rng.uniform_index(12);
+    for (std::size_t i = 0; i < len; ++i) {
+      buf.push(rng.uniform_index(4), rng.uniform());
+    }
+    const std::size_t winner = MajorityVoteFusion{}.fuse(buf);
+    const std::size_t winner_count = buf.count_outcome(winner);
+    for (std::size_t label = 0; label < 4; ++label) {
+      EXPECT_LE(buf.count_outcome(label), winner_count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MajorityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(UncertaintyFusionRules, HandValues) {
+  const std::vector<double> u{0.2, 0.5, 0.1};
+  EXPECT_NEAR(fuse_uncertainties(u, UncertaintyFusionRule::kNaive), 0.01,
+              1e-12);
+  EXPECT_DOUBLE_EQ(fuse_uncertainties(u, UncertaintyFusionRule::kOpportune),
+                   0.1);
+  EXPECT_DOUBLE_EQ(fuse_uncertainties(u, UncertaintyFusionRule::kWorstCase),
+                   0.5);
+}
+
+TEST(UncertaintyFusionRules, EmptyThrows) {
+  EXPECT_THROW(fuse_uncertainties(std::vector<double>{},
+                                  UncertaintyFusionRule::kNaive),
+               std::invalid_argument);
+}
+
+TEST(UncertaintyFusionRules, BufferOverloadMatchesSpan) {
+  const auto buf = make_buffer({{1, 0.3}, {1, 0.4}});
+  const std::vector<double> u{0.3, 0.4};
+  for (const auto rule :
+       {UncertaintyFusionRule::kNaive, UncertaintyFusionRule::kOpportune,
+        UncertaintyFusionRule::kWorstCase}) {
+    EXPECT_DOUBLE_EQ(fuse_uncertainties(buf, rule),
+                     fuse_uncertainties(u, rule));
+  }
+}
+
+TEST(UfAccumulator, IncrementalMatchesBatch) {
+  stats::Rng rng(9);
+  UncertaintyFusionAccumulator acc;
+  std::vector<double> u;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform();
+    u.push_back(x);
+    acc.push(x);
+    EXPECT_NEAR(acc.naive(),
+                fuse_uncertainties(u, UncertaintyFusionRule::kNaive), 1e-12);
+    EXPECT_DOUBLE_EQ(acc.opportune(),
+                     fuse_uncertainties(u, UncertaintyFusionRule::kOpportune));
+    EXPECT_DOUBLE_EQ(acc.worst_case(),
+                     fuse_uncertainties(u, UncertaintyFusionRule::kWorstCase));
+  }
+}
+
+TEST(UfAccumulator, ZeroUncertaintyMakesNaiveZero) {
+  UncertaintyFusionAccumulator acc;
+  acc.push(0.5);
+  acc.push(0.0);
+  EXPECT_DOUBLE_EQ(acc.naive(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.opportune(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.worst_case(), 0.5);
+}
+
+TEST(UfAccumulator, ResetAndEmptyChecks) {
+  UncertaintyFusionAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_THROW(acc.naive(), std::logic_error);
+  acc.push(0.2);
+  EXPECT_FALSE(acc.empty());
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+  EXPECT_THROW(acc.worst_case(), std::logic_error);
+}
+
+TEST(UfAccumulator, RejectsOutOfRange) {
+  UncertaintyFusionAccumulator acc;
+  EXPECT_THROW(acc.push(-0.01), std::invalid_argument);
+  EXPECT_THROW(acc.push(1.01), std::invalid_argument);
+}
+
+// Ordering property: naive <= opportune <= worst-case for any inputs.
+class UfOrderingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UfOrderingTest, RulesAreOrdered) {
+  stats::Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    UncertaintyFusionAccumulator acc;
+    const std::size_t n = 1 + rng.uniform_index(10);
+    for (std::size_t i = 0; i < n; ++i) acc.push(rng.uniform());
+    EXPECT_LE(acc.naive(), acc.opportune() + 1e-15);
+    EXPECT_LE(acc.opportune(), acc.worst_case());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UfOrderingTest, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace tauw::core

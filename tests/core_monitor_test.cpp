@@ -1,0 +1,104 @@
+// Tests for the simplex-style runtime monitor.
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tauw::core {
+namespace {
+
+TEST(Monitor, AcceptsBelowThreshold) {
+  MonitorConfig cfg;
+  cfg.uncertainty_threshold = 0.1;
+  RuntimeMonitor monitor(cfg);
+  EXPECT_EQ(monitor.decide(0.05), MonitorDecision::kAccept);
+  EXPECT_EQ(monitor.decide(0.2), MonitorDecision::kFallback);
+  // Boundary: strict comparison.
+  EXPECT_EQ(monitor.decide(0.1), MonitorDecision::kFallback);
+}
+
+TEST(Monitor, StatsTrackCoverageAndFallbacks) {
+  MonitorConfig cfg;
+  cfg.uncertainty_threshold = 0.5;
+  RuntimeMonitor monitor(cfg);
+  monitor.decide(0.1);
+  monitor.decide(0.1);
+  monitor.decide(0.9);
+  const MonitorStats& stats = monitor.stats();
+  EXPECT_EQ(stats.decisions, 3u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_NEAR(stats.coverage(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.fallback_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Monitor, AcceptedFailureFeedback) {
+  MonitorConfig cfg;
+  cfg.uncertainty_threshold = 0.5;
+  RuntimeMonitor monitor(cfg);
+  const MonitorDecision a = monitor.decide(0.1);
+  monitor.report_outcome(a, true);
+  const MonitorDecision b = monitor.decide(0.1);
+  monitor.report_outcome(b, false);
+  // Fallback outcomes never count toward accepted failures.
+  const MonitorDecision c = monitor.decide(0.9);
+  monitor.report_outcome(c, true);
+  EXPECT_EQ(monitor.stats().accepted_failures, 1u);
+  EXPECT_NEAR(monitor.stats().accepted_failure_rate(), 0.5, 1e-12);
+}
+
+TEST(Monitor, HysteresisRequiresLowerUToReaccept) {
+  MonitorConfig cfg;
+  cfg.uncertainty_threshold = 0.1;
+  cfg.reacceptance_factor = 0.5;  // need u < 0.05 after a fallback
+  RuntimeMonitor monitor(cfg);
+  EXPECT_EQ(monitor.decide(0.2), MonitorDecision::kFallback);
+  EXPECT_TRUE(monitor.in_fallback());
+  // 0.08 would normally be accepted, but hysteresis keeps the fallback.
+  EXPECT_EQ(monitor.decide(0.08), MonitorDecision::kFallback);
+  EXPECT_EQ(monitor.decide(0.04), MonitorDecision::kAccept);
+  EXPECT_FALSE(monitor.in_fallback());
+  // Back to the normal threshold afterwards.
+  EXPECT_EQ(monitor.decide(0.08), MonitorDecision::kAccept);
+}
+
+TEST(Monitor, NoHysteresisByDefault) {
+  MonitorConfig cfg;
+  cfg.uncertainty_threshold = 0.1;
+  RuntimeMonitor monitor(cfg);
+  monitor.decide(0.5);
+  EXPECT_EQ(monitor.decide(0.08), MonitorDecision::kAccept);
+}
+
+TEST(Monitor, ResetClearsEverything) {
+  RuntimeMonitor monitor(MonitorConfig{.uncertainty_threshold = 0.1,
+                                       .reacceptance_factor = 0.5});
+  monitor.decide(0.9);
+  monitor.reset();
+  EXPECT_EQ(monitor.stats().decisions, 0u);
+  EXPECT_FALSE(monitor.in_fallback());
+}
+
+TEST(Monitor, Validation) {
+  MonitorConfig bad;
+  bad.uncertainty_threshold = 1.5;
+  EXPECT_THROW(RuntimeMonitor{bad}, std::invalid_argument);
+  MonitorConfig bad2;
+  bad2.reacceptance_factor = 0.0;
+  EXPECT_THROW(RuntimeMonitor{bad2}, std::invalid_argument);
+  MonitorConfig bad3;
+  bad3.reacceptance_factor = 1.5;
+  EXPECT_THROW(RuntimeMonitor{bad3}, std::invalid_argument);
+  RuntimeMonitor ok;
+  EXPECT_THROW(ok.decide(-0.1), std::invalid_argument);
+  EXPECT_THROW(ok.decide(1.1), std::invalid_argument);
+}
+
+TEST(MonitorStatsTest, EmptyRatesAreZero) {
+  const MonitorStats stats{};
+  EXPECT_DOUBLE_EQ(stats.coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.fallback_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.accepted_failure_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace tauw::core

@@ -1,0 +1,153 @@
+// Tests for the four timeseries-aware quality factors and feature assembly.
+#include "core/ta_quality_factors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tauw::core {
+namespace {
+
+TimeseriesBuffer make_buffer(
+    std::initializer_list<std::pair<std::size_t, double>> entries) {
+  TimeseriesBuffer buf;
+  for (const auto& [o, u] : entries) buf.push(o, u);
+  return buf;
+}
+
+TEST(Taqf, RatioMatchesDefinition) {
+  // Outcomes: 1, 2, 1, 1 with fused = 1 -> ratio 3/4.
+  const auto buf = make_buffer({{1, 0.1}, {2, 0.2}, {1, 0.3}, {1, 0.1}});
+  const TaqfValues v = compute_taqf(buf, 1);
+  EXPECT_NEAR(v.ratio, 0.75, 1e-12);
+}
+
+TEST(Taqf, LengthIsBufferLength) {
+  const auto buf = make_buffer({{1, 0.1}, {1, 0.1}, {1, 0.1}});
+  EXPECT_DOUBLE_EQ(compute_taqf(buf, 1).length, 3.0);
+}
+
+TEST(Taqf, SizeCountsUniqueOutcomes) {
+  const auto buf = make_buffer({{1, 0.1}, {2, 0.1}, {1, 0.1}, {3, 0.1}});
+  EXPECT_DOUBLE_EQ(compute_taqf(buf, 1).size, 3.0);
+}
+
+TEST(Taqf, CumulativeCertaintySkipsDisagreeing) {
+  // Agreeing steps have u = 0.1 and 0.3 -> certainties 0.9 + 0.7 = 1.6; the
+  // disagreeing step contributes zero (paper taQF4 definition).
+  const auto buf = make_buffer({{1, 0.1}, {2, 0.05}, {1, 0.3}});
+  EXPECT_NEAR(compute_taqf(buf, 1).certainty, 1.6, 1e-12);
+}
+
+TEST(Taqf, FusedOutcomeAbsentGivesZeroRatioAndCertainty) {
+  const auto buf = make_buffer({{1, 0.1}, {2, 0.2}});
+  const TaqfValues v = compute_taqf(buf, 9);
+  EXPECT_DOUBLE_EQ(v.ratio, 0.0);
+  EXPECT_DOUBLE_EQ(v.certainty, 0.0);
+}
+
+TEST(Taqf, EmptyBufferThrows) {
+  TimeseriesBuffer buf;
+  EXPECT_THROW(compute_taqf(buf, 0), std::invalid_argument);
+}
+
+TEST(TaqfSetTest, CountAndEquality) {
+  EXPECT_EQ(TaqfSet::all().count(), 4u);
+  EXPECT_EQ(TaqfSet::none().count(), 0u);
+  TaqfSet s = TaqfSet::none();
+  s.ratio = true;
+  s.certainty = true;
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s, s);
+  EXPECT_NE(s, TaqfSet::all());
+}
+
+TEST(TaqfSubsets, SixteenDistinctSubsets) {
+  const auto subsets = all_taqf_subsets();
+  EXPECT_EQ(subsets.size(), 16u);
+  std::set<std::string> names;
+  for (const TaqfSet& s : subsets) names.insert(taqf_set_name(s));
+  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(subsets.front().count(), 0u);
+  EXPECT_EQ(subsets.back().count(), 4u);
+}
+
+TEST(TaqfSetName, FormatsSubset) {
+  TaqfSet s = TaqfSet::none();
+  EXPECT_EQ(taqf_set_name(s), "-");
+  s.ratio = true;
+  s.certainty = true;
+  EXPECT_EQ(taqf_set_name(s), "ratio+certainty");
+  EXPECT_EQ(taqf_set_name(TaqfSet::all()), "ratio+length+size+certainty");
+}
+
+TEST(TaFeatureBuilderTest, DimensionAddsEnabledFactors) {
+  EXPECT_EQ(TaFeatureBuilder(10, TaqfSet::all()).dim(), 14u);
+  EXPECT_EQ(TaFeatureBuilder(10, TaqfSet::none()).dim(), 10u);
+}
+
+TEST(TaFeatureBuilderTest, BuildsStatelessPlusTaqf) {
+  const TaFeatureBuilder builder(2, TaqfSet::all());
+  const auto buf = make_buffer({{1, 0.2}, {1, 0.4}});
+  const std::vector<double> stateless{0.5, 0.7};
+  const auto features = builder.build(stateless, buf, 1);
+  ASSERT_EQ(features.size(), 6u);
+  EXPECT_DOUBLE_EQ(features[0], 0.5);
+  EXPECT_DOUBLE_EQ(features[1], 0.7);
+  EXPECT_DOUBLE_EQ(features[2], 1.0);  // ratio
+  EXPECT_DOUBLE_EQ(features[3], 2.0);  // length
+  EXPECT_DOUBLE_EQ(features[4], 1.0);  // size
+  EXPECT_NEAR(features[5], 1.4, 1e-12);  // certainty
+}
+
+TEST(TaFeatureBuilderTest, SubsetSkipsDisabledFactors) {
+  TaqfSet set = TaqfSet::none();
+  set.length = true;
+  const TaFeatureBuilder builder(1, set);
+  const auto buf = make_buffer({{0, 0.5}, {0, 0.5}, {0, 0.5}});
+  const std::vector<double> stateless{0.9};
+  const auto features = builder.build(stateless, buf, 0);
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_DOUBLE_EQ(features[1], 3.0);
+}
+
+TEST(TaFeatureBuilderTest, EmptySetNeedsNoBuffer) {
+  const TaFeatureBuilder builder(2, TaqfSet::none());
+  TimeseriesBuffer empty;
+  const std::vector<double> stateless{0.1, 0.2};
+  // With no taQFs enabled, an empty buffer must be acceptable.
+  EXPECT_NO_THROW(builder.build(stateless, empty, 0));
+}
+
+TEST(TaFeatureBuilderTest, NamesAlignWithLayout) {
+  const TaFeatureBuilder builder(2, TaqfSet::all());
+  const std::vector<std::string> stateless_names{"rain", "size_px"};
+  const auto names = builder.names(stateless_names);
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "rain");
+  EXPECT_EQ(names[2], "taqf1_ratio");
+  EXPECT_EQ(names[5], "taqf4_certainty");
+}
+
+TEST(TaFeatureBuilderTest, NamesPadMissingStatelessNames) {
+  const TaFeatureBuilder builder(3, TaqfSet::none());
+  const auto names = builder.names(std::vector<std::string>{"only_one"});
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[1], "qf1");
+}
+
+TEST(TaFeatureBuilderTest, ValidatesSizes) {
+  const TaFeatureBuilder builder(2, TaqfSet::all());
+  const auto buf = make_buffer({{1, 0.2}});
+  const std::vector<double> wrong{0.5};
+  EXPECT_THROW(builder.build(wrong, buf, 1), std::invalid_argument);
+  std::vector<double> small(3);
+  const std::vector<double> stateless{0.5, 0.7};
+  EXPECT_THROW(builder.build_into(stateless, buf, 1, small),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::core

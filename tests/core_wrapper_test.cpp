@@ -1,0 +1,319 @@
+// Tests for the QIM, scope model, stateless wrapper, and taUW runtime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "core/scope_model.hpp"
+#include "core/ta_wrapper.hpp"
+#include "core/wrapper.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+// A trivial DDM: classifies by thresholding the first feature into classes
+// {0, 1}; a quality deficit encoded in feature[1] flips the outcome.
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    const bool base = f[0] > 0.5F;
+    const bool flip = f[1] > 0.5F;
+    p.label = (base != flip) ? 1 : 0;
+    p.confidence = 0.99F;  // deliberately overconfident softmax score
+    return p;
+  }
+};
+
+// Builds a frame whose DDM features and QF metadata are controlled directly:
+// the deficit value is exposed both to the DDM (feature[1]) and to the
+// wrapper (observed intensity of the first deficit, "rain").
+data::FrameRecord make_frame(float signal, float deficit, std::size_t label) {
+  data::FrameRecord rec;
+  rec.label = label;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+struct ToyWorld {
+  ToyDdm ddm;
+  QualityFactorExtractor qf{28.0};
+  QualityImpactModel qim;
+
+  explicit ToyWorld(std::uint64_t seed = 3, std::size_t n = 3000) {
+    stats::Rng rng(seed);
+    dtree::TreeDataset train;
+    dtree::TreeDataset calib;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float signal = rng.bernoulli(0.5) ? 0.9F : 0.1F;
+      const float deficit = rng.bernoulli(0.3) ? 0.9F : 0.0F;
+      const std::size_t label = signal > 0.5F ? 1 : 0;
+      const data::FrameRecord rec = make_frame(signal, deficit, label);
+      const bool fail = ddm.predict(rec.features).label != label;
+      (i % 2 == 0 ? train : calib).push_back(qf.extract(rec), fail);
+    }
+    QimConfig cfg;
+    cfg.cart.max_depth = 4;
+    cfg.calibration.min_leaf_samples = 50;
+    qim.fit(train, calib, cfg, qf.names());
+  }
+};
+
+TEST(QualityFactors, LayoutAndNames) {
+  const QualityFactorExtractor qf(28.0);
+  EXPECT_EQ(qf.num_factors(), imaging::kNumDeficits + 1);
+  EXPECT_EQ(qf.names().front(), "rain");
+  EXPECT_EQ(qf.names().back(), "apparent_size");
+  EXPECT_THROW(QualityFactorExtractor(0.0), std::invalid_argument);
+}
+
+TEST(QualityFactors, ExtractNormalizesApparentSize) {
+  const QualityFactorExtractor qf(28.0);
+  data::FrameRecord rec = make_frame(0.9F, 0.0F, 1);
+  rec.observed_apparent_px = 14.0;
+  const auto factors = qf.extract(rec);
+  EXPECT_NEAR(factors.back(), 0.5, 1e-12);
+  rec.observed_apparent_px = 1000.0;  // clamped
+  EXPECT_NEAR(qf.extract(rec).back(), 1.5, 1e-12);
+}
+
+TEST(Qim, LearnsThatDeficitCausesFailures) {
+  const ToyWorld world;
+  data::FrameRecord clean = make_frame(0.9F, 0.0F, 1);
+  data::FrameRecord dirty = make_frame(0.9F, 0.9F, 1);
+  const QualityFactorExtractor& qf = world.qf;
+  const double u_clean = world.qim.predict(qf.extract(clean));
+  const double u_dirty = world.qim.predict(qf.extract(dirty));
+  EXPECT_LT(u_clean, 0.05);
+  EXPECT_GT(u_dirty, 0.5);
+}
+
+TEST(Qim, MinLeafUncertaintyIsSmallestLeaf) {
+  const ToyWorld world;
+  double smallest = 1.0;
+  for (const std::size_t leaf : world.qim.tree().leaf_indices()) {
+    smallest = std::min(smallest, world.qim.tree().node(leaf).uncertainty);
+  }
+  EXPECT_DOUBLE_EQ(world.qim.min_leaf_uncertainty(), smallest);
+}
+
+TEST(Qim, UnfittedThrows) {
+  QualityImpactModel qim;
+  EXPECT_FALSE(qim.fitted());
+  const std::vector<double> x(10, 0.0);
+  EXPECT_THROW(qim.predict(x), std::logic_error);
+  EXPECT_THROW(qim.min_leaf_uncertainty(), std::logic_error);
+  EXPECT_EQ(qim.to_text(), "<unfitted QIM>");
+}
+
+TEST(Qim, ToTextShowsFactorNames) {
+  const ToyWorld world;
+  const std::string text = world.qim.to_text();
+  EXPECT_NE(text.find("rain"), std::string::npos);
+}
+
+TEST(Qim, ImportancesConcentrateOnInformativeFactor) {
+  const ToyWorld world;
+  const auto& imp = world.qim.importances();
+  ASSERT_EQ(imp.size(), world.qf.num_factors());
+  // "rain" (index 0) is the only informative factor in the toy world.
+  for (std::size_t f = 1; f < imp.size(); ++f) EXPECT_GE(imp[0], imp[f]);
+}
+
+TEST(ScopeModel, BoundaryChecks) {
+  const ScopeComplianceModel scope;
+  ScopeFactors inside{49.5, 8.5, 20.0};
+  EXPECT_DOUBLE_EQ(scope.incompliance_probability(inside), 0.0);
+  ScopeFactors new_york{40.7, -74.0, 20.0};
+  EXPECT_DOUBLE_EQ(scope.incompliance_probability(new_york), 1.0);
+  ScopeFactors too_small{49.5, 8.5, 1.0};
+  EXPECT_DOUBLE_EQ(scope.incompliance_probability(too_small), 1.0);
+}
+
+TEST(ScopeModel, CombineUncertainties) {
+  EXPECT_DOUBLE_EQ(combine_uncertainties(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(combine_uncertainties(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(combine_uncertainties(0.0, 1.0), 1.0);
+  EXPECT_NEAR(combine_uncertainties(0.1, 0.2), 1.0 - 0.9 * 0.8, 1e-12);
+  // Clamping of out-of-range inputs.
+  EXPECT_DOUBLE_EQ(combine_uncertainties(-1.0, 2.0), 1.0);
+}
+
+TEST(Wrapper, RequiresFittedQim) {
+  ToyDdm ddm;
+  QualityImpactModel unfitted;
+  EXPECT_THROW(
+      UncertaintyWrapper(ddm, QualityFactorExtractor(28.0), unfitted),
+      std::invalid_argument);
+}
+
+TEST(Wrapper, EvaluateCombinesDdmAndQim) {
+  const ToyWorld world;
+  const UncertaintyWrapper wrapper(world.ddm, world.qf, world.qim);
+  const data::FrameRecord clean = make_frame(0.9F, 0.0F, 1);
+  const UncertainOutcome out = wrapper.evaluate(clean);
+  EXPECT_EQ(out.label, 1u);
+  EXPECT_LT(out.uncertainty, 0.05);
+  EXPECT_FLOAT_EQ(out.ddm_confidence, 0.99F);
+
+  const data::FrameRecord dirty = make_frame(0.9F, 0.9F, 1);
+  const UncertainOutcome bad = wrapper.evaluate(dirty);
+  EXPECT_EQ(bad.label, 0u);  // deficit flipped the DDM
+  EXPECT_GT(bad.uncertainty, 0.5);
+}
+
+TEST(Wrapper, ScopeModelRaisesUncertaintyOutsideTas) {
+  const ToyWorld world;
+  const UncertaintyWrapper wrapper(world.ddm, world.qf, world.qim,
+                                   ScopeComplianceModel{});
+  const data::FrameRecord clean = make_frame(0.9F, 0.0F, 1);
+  sim::SignLocation inside;
+  inside.latitude = 49.5;
+  inside.longitude = 8.5;
+  sim::SignLocation outside;
+  outside.latitude = 40.7;
+  outside.longitude = -74.0;
+  EXPECT_LT(wrapper.evaluate(clean, &inside).uncertainty, 0.05);
+  EXPECT_DOUBLE_EQ(wrapper.evaluate(clean, &outside).uncertainty, 1.0);
+}
+
+// Fits a taQIM in the toy world by simulating short series.
+QualityImpactModel fit_toy_taqim(const ToyWorld& world,
+                                 const UncertaintyWrapper& wrapper,
+                                 TaqfSet set, std::uint64_t seed) {
+  const TaFeatureBuilder builder(world.qf.num_factors(), set);
+  const MajorityVoteFusion fusion;
+  stats::Rng rng(seed);
+  dtree::TreeDataset train;
+  dtree::TreeDataset calib;
+  std::vector<double> features(builder.dim());
+  for (int series = 0; series < 600; ++series) {
+    const std::size_t label = rng.bernoulli(0.5) ? 1 : 0;
+    const float signal = label == 1 ? 0.9F : 0.1F;
+    const bool bad_quality = rng.bernoulli(0.3);
+    TimeseriesBuffer buffer;
+    for (int t = 0; t < 5; ++t) {
+      const float deficit =
+          bad_quality && rng.bernoulli(0.8) ? 0.9F : 0.0F;
+      const data::FrameRecord rec = make_frame(signal, deficit, label);
+      const UncertainOutcome out = wrapper.evaluate(rec);
+      buffer.push(out.label, out.uncertainty);
+      const std::size_t fused = fusion.fuse(buffer);
+      builder.build_into(world.qf.extract(rec), buffer, fused, features);
+      (series % 2 == 0 ? train : calib)
+          .push_back(features, fused != label);
+    }
+  }
+  QualityImpactModel taqim;
+  QimConfig cfg;
+  cfg.cart.max_depth = 5;
+  cfg.calibration.min_leaf_samples = 50;
+  taqim.fit(train, calib, cfg, builder.names(world.qf.names()));
+  return taqim;
+}
+
+TEST(TaWrapper, RequiresMatchingFeatureCounts) {
+  const ToyWorld world;
+  const UncertaintyWrapper wrapper(world.ddm, world.qf, world.qim);
+  const MajorityVoteFusion fusion;
+  // taQIM fitted with all four taQFs cannot serve a ratio-only wrapper.
+  const QualityImpactModel taqim =
+      fit_toy_taqim(world, wrapper, TaqfSet::all(), 11);
+  TaqfSet ratio_only = TaqfSet::none();
+  ratio_only.ratio = true;
+  EXPECT_THROW(TimeseriesAwareWrapper(wrapper, taqim, fusion, ratio_only),
+               std::invalid_argument);
+  EXPECT_NO_THROW(TimeseriesAwareWrapper(wrapper, taqim, fusion,
+                                         TaqfSet::all()));
+}
+
+TEST(TaWrapper, StepFusesAndEstimates) {
+  const ToyWorld world;
+  const UncertaintyWrapper wrapper(world.ddm, world.qf, world.qim);
+  const MajorityVoteFusion fusion;
+  const QualityImpactModel taqim =
+      fit_toy_taqim(world, wrapper, TaqfSet::all(), 12);
+  TimeseriesAwareWrapper tauw(wrapper, taqim, fusion);
+
+  tauw.start_series();
+  // Clean series of class 1: all steps agree.
+  TaStepResult last{};
+  for (int t = 0; t < 5; ++t) {
+    last = tauw.step(make_frame(0.9F, 0.0F, 1));
+    EXPECT_EQ(last.series_length, static_cast<std::size_t>(t + 1));
+    EXPECT_EQ(last.isolated.label, 1u);
+    EXPECT_EQ(last.fused_label, 1u);
+  }
+  EXPECT_LT(last.fused_uncertainty, 0.05);
+  // UF baselines are consistent with their definitions.
+  EXPECT_LE(last.naive_uncertainty, last.opportune_uncertainty + 1e-15);
+  EXPECT_LE(last.opportune_uncertainty, last.worst_case_uncertainty);
+}
+
+TEST(TaWrapper, MajorityVoteOverridesSingleError) {
+  const ToyWorld world;
+  const UncertaintyWrapper wrapper(world.ddm, world.qf, world.qim);
+  const MajorityVoteFusion fusion;
+  const QualityImpactModel taqim =
+      fit_toy_taqim(world, wrapper, TaqfSet::all(), 13);
+  TimeseriesAwareWrapper tauw(wrapper, taqim, fusion);
+
+  tauw.start_series();
+  tauw.step(make_frame(0.9F, 0.0F, 1));  // correct: 1
+  tauw.step(make_frame(0.9F, 0.0F, 1));  // correct: 1
+  const TaStepResult r = tauw.step(make_frame(0.9F, 0.9F, 1));  // DDM errs
+  EXPECT_EQ(r.isolated.label, 0u);
+  EXPECT_EQ(r.fused_label, 1u);  // fusion repairs the error
+}
+
+TEST(TaWrapper, StartSeriesClearsState) {
+  const ToyWorld world;
+  const UncertaintyWrapper wrapper(world.ddm, world.qf, world.qim);
+  const MajorityVoteFusion fusion;
+  const QualityImpactModel taqim =
+      fit_toy_taqim(world, wrapper, TaqfSet::all(), 14);
+  TimeseriesAwareWrapper tauw(wrapper, taqim, fusion);
+  tauw.start_series();
+  tauw.step(make_frame(0.9F, 0.0F, 1));
+  tauw.step(make_frame(0.9F, 0.0F, 1));
+  EXPECT_EQ(tauw.buffer().length(), 2u);
+  tauw.start_series();
+  EXPECT_TRUE(tauw.buffer().empty());
+  const TaStepResult r = tauw.step(make_frame(0.1F, 0.0F, 0));
+  EXPECT_EQ(r.series_length, 1u);
+}
+
+TEST(TaWrapper, TaUwBeatsStatelessOnFusedOutcomes) {
+  // On a workload with repaired errors, the stateless u (which reflects
+  // isolated failures) overestimates fused failures in dirty frames; the
+  // taUW should assign clean-series steps low uncertainty while flagging
+  // genuinely conflicted series.
+  const ToyWorld world;
+  const UncertaintyWrapper wrapper(world.ddm, world.qf, world.qim);
+  const MajorityVoteFusion fusion;
+  const QualityImpactModel taqim =
+      fit_toy_taqim(world, wrapper, TaqfSet::all(), 15);
+  TimeseriesAwareWrapper tauw(wrapper, taqim, fusion);
+
+  tauw.start_series();
+  tauw.step(make_frame(0.9F, 0.0F, 1));
+  tauw.step(make_frame(0.9F, 0.0F, 1));
+  const TaStepResult repaired = tauw.step(make_frame(0.9F, 0.9F, 1));
+  // The isolated estimate for the dirty frame is high...
+  EXPECT_GT(repaired.isolated.uncertainty, 0.5);
+  // ...but the fused outcome is backed by two agreeing clean steps.
+  EXPECT_LT(repaired.fused_uncertainty, repaired.isolated.uncertainty);
+}
+
+}  // namespace
+}  // namespace tauw::core

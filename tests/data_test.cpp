@@ -1,0 +1,241 @@
+// Tests for the GTSRB-like dataset generator and augmentation pipeline.
+#include "data/gtsrb_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tauw::data {
+namespace {
+
+DataConfig small_config() {
+  DataConfig cfg;
+  cfg.num_series = 30;
+  cfg.frames_per_series = 12;
+  cfg.train_series = 14;
+  cfg.calib_series = 8;
+  cfg.test_series = 8;
+  cfg.train_frame_stride = 6;
+  cfg.eval_replicas = 2;
+  cfg.subsample_length = 6;
+  cfg.feature_config.pixel_grid = 8;
+  cfg.feature_config.edge_grid = 4;
+  cfg.seed = 77;
+  return cfg;
+}
+
+struct Fixture {
+  imaging::SignRenderer renderer{5};
+  sim::WeatherModel weather{6};
+  sim::RoadNetwork roads{64, 7};
+};
+
+TEST(Generator, SpecCountMatchesConfig) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  EXPECT_EQ(gen.specs().size(), 30u);
+  for (const SeriesSpec& spec : gen.specs()) {
+    EXPECT_LT(spec.label, fx.renderer.num_classes());
+    EXPECT_EQ(spec.approach.num_frames, 12u);
+  }
+}
+
+TEST(Generator, SpecsDeterministicAcrossInstances) {
+  Fixture fx;
+  const GtsrbLikeGenerator a(small_config(), fx.renderer, fx.weather, fx.roads);
+  const GtsrbLikeGenerator b(small_config(), fx.renderer, fx.weather, fx.roads);
+  for (std::size_t i = 0; i < a.specs().size(); ++i) {
+    EXPECT_EQ(a.specs()[i].label, b.specs()[i].label);
+    EXPECT_EQ(a.specs()[i].seed, b.specs()[i].seed);
+  }
+}
+
+TEST(Generator, SplitIsDisjointAndComplete) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const SplitIndices split = gen.split();
+  EXPECT_EQ(split.train.size(), 14u);
+  EXPECT_EQ(split.calib.size(), 8u);
+  EXPECT_EQ(split.test.size(), 8u);
+  std::set<std::size_t> all;
+  for (const auto& part : {split.train, split.calib, split.test}) {
+    for (const std::size_t i : part) {
+      EXPECT_TRUE(all.insert(i).second) << "index " << i << " duplicated";
+      EXPECT_LT(i, 30u);
+    }
+  }
+  EXPECT_EQ(all.size(), 30u);
+}
+
+TEST(Generator, RejectsOversizedSplit) {
+  DataConfig cfg = small_config();
+  cfg.train_series = 30;  // 30 + 8 + 8 > 30
+  Fixture fx;
+  EXPECT_THROW(GtsrbLikeGenerator(cfg, fx.renderer, fx.weather, fx.roads),
+               std::invalid_argument);
+}
+
+TEST(Generator, RejectsInvalidSubsampleLength) {
+  DataConfig cfg = small_config();
+  cfg.subsample_length = 13;  // > frames_per_series
+  Fixture fx;
+  EXPECT_THROW(GtsrbLikeGenerator(cfg, fx.renderer, fx.weather, fx.roads),
+               std::invalid_argument);
+}
+
+TEST(TrainingFrames, StructureMatchesPaperAugmentation) {
+  const DataConfig cfg = small_config();
+  Fixture fx;
+  const GtsrbLikeGenerator gen(cfg, fx.renderer, fx.weather, fx.roads);
+  const std::vector<std::size_t> series{0, 1};
+  const FrameDataset frames = gen.make_training_frames(series);
+  // Per selected frame: 1 clean + 9 deficits x 3 levels = 28 records.
+  const std::size_t frames_per_selected = 1 + imaging::kNumDeficits * 3;
+  const std::size_t selected =
+      (cfg.frames_per_series + cfg.train_frame_stride - 1) /
+      cfg.train_frame_stride;
+  EXPECT_EQ(frames.size(), series.size() * selected * frames_per_selected);
+}
+
+TEST(TrainingFrames, CleanRecordHasZeroIntensities) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const FrameDataset frames = gen.make_training_frames({0});
+  const FrameRecord& clean = frames.records.front();
+  for (const double v : clean.true_intensities) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(TrainingFrames, SingleDeficitRecordsTouchOneDeficit) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const FrameDataset frames = gen.make_training_frames({0});
+  // Records 1..27 of the first frame are the single-deficit augmentations.
+  for (std::size_t r = 1; r < 1 + imaging::kNumDeficits * 3; ++r) {
+    const FrameRecord& rec = frames.records[r];
+    std::size_t active = 0;
+    for (const double v : rec.true_intensities) active += v > 0.0 ? 1 : 0;
+    EXPECT_EQ(active, 1u) << "record " << r;
+  }
+}
+
+TEST(TrainingFrames, FeatureVectorsHaveConfiguredDim) {
+  const DataConfig cfg = small_config();
+  Fixture fx;
+  const GtsrbLikeGenerator gen(cfg, fx.renderer, fx.weather, fx.roads);
+  const FrameDataset frames = gen.make_training_frames({2});
+  const std::size_t expected = ml::feature_dim(cfg.feature_config);
+  for (const FrameRecord& rec : frames.records) {
+    EXPECT_EQ(rec.features.size(), expected);
+  }
+}
+
+TEST(EvalSeries, ReplicasAndWindowLength) {
+  const DataConfig cfg = small_config();
+  Fixture fx;
+  const GtsrbLikeGenerator gen(cfg, fx.renderer, fx.weather, fx.roads);
+  const SeriesDataset ds = gen.make_eval_series({0, 1, 2}, 1234);
+  EXPECT_EQ(ds.num_series(), 3u * cfg.eval_replicas);
+  for (const RecordSeries& rs : ds.series) {
+    EXPECT_EQ(rs.frames.size(), cfg.subsample_length);
+  }
+  EXPECT_EQ(ds.num_frames(), ds.num_series() * cfg.subsample_length);
+}
+
+TEST(EvalSeries, ApparentSizeGrowsWithinSeries) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const SeriesDataset ds = gen.make_eval_series({3}, 99);
+  for (const RecordSeries& rs : ds.series) {
+    for (std::size_t f = 1; f < rs.frames.size(); ++f) {
+      EXPECT_GE(rs.frames[f].apparent_px, rs.frames[f - 1].apparent_px);
+    }
+  }
+}
+
+TEST(EvalSeries, ConstantDeficitsPropagateThroughSeries) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const SeriesDataset ds = gen.make_eval_series({4, 5}, 55);
+  for (const RecordSeries& rs : ds.series) {
+    for (const imaging::Deficit d : imaging::all_deficits()) {
+      if (imaging::varies_within_series(d)) continue;
+      const auto i = static_cast<std::size_t>(d);
+      for (const FrameRecord& frame : rs.frames) {
+        EXPECT_DOUBLE_EQ(frame.true_intensities[i],
+                         rs.setting.base_intensities[i]);
+      }
+    }
+  }
+}
+
+TEST(EvalSeries, LabelsMatchSpec) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const SeriesDataset ds = gen.make_eval_series({6}, 7);
+  for (const RecordSeries& rs : ds.series) {
+    EXPECT_EQ(rs.label, gen.specs()[6].label);
+    for (const FrameRecord& frame : rs.frames) {
+      EXPECT_EQ(frame.label, rs.label);
+    }
+  }
+}
+
+TEST(EvalSeries, DifferentSaltsGiveDifferentSituations) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const SeriesDataset a = gen.make_eval_series({7}, 1);
+  const SeriesDataset b = gen.make_eval_series({7}, 2);
+  bool any_different = false;
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    if (a.series[s].setting.time.day_of_year !=
+        b.series[s].setting.time.day_of_year) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(EvalSeries, SameSaltIsReproducible) {
+  Fixture fx;
+  const GtsrbLikeGenerator gen(small_config(), fx.renderer, fx.weather,
+                               fx.roads);
+  const SeriesDataset a = gen.make_eval_series({8}, 5);
+  const SeriesDataset b = gen.make_eval_series({8}, 5);
+  ASSERT_EQ(a.num_series(), b.num_series());
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    ASSERT_EQ(a.series[s].frames.size(), b.series[s].frames.size());
+    for (std::size_t f = 0; f < a.series[s].frames.size(); ++f) {
+      EXPECT_EQ(a.series[s].frames[f].features,
+                b.series[s].frames[f].features);
+    }
+  }
+}
+
+TEST(EvalSeries, ObservedIntensitiesNearTruth) {
+  Fixture fx;
+  DataConfig cfg = small_config();
+  cfg.qf_observation_noise = 0.05;
+  const GtsrbLikeGenerator gen(cfg, fx.renderer, fx.weather, fx.roads);
+  const SeriesDataset ds = gen.make_eval_series({9, 10}, 3);
+  for (const RecordSeries& rs : ds.series) {
+    for (const FrameRecord& frame : rs.frames) {
+      for (std::size_t d = 0; d < imaging::kNumDeficits; ++d) {
+        EXPECT_NEAR(frame.observed_intensities[d], frame.true_intensities[d],
+                    0.3);
+        EXPECT_GE(frame.observed_intensities[d], 0.0);
+        EXPECT_LE(frame.observed_intensities[d], 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tauw::data

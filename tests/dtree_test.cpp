@@ -1,0 +1,266 @@
+// Tests for CART training, routing, pruning, and calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dtree/calibrate.hpp"
+#include "dtree/cart.hpp"
+#include "dtree/tree.hpp"
+#include "stats/binomial.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::dtree {
+namespace {
+
+// A dataset where failure depends on a single threshold: x0 > 0.5 -> fail
+// with probability p_high, else p_low.
+TreeDataset threshold_data(std::size_t n, double p_low, double p_high,
+                           std::uint64_t seed, std::size_t extra_features = 2) {
+  stats::Rng rng(seed);
+  TreeDataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(1 + extra_features);
+    row[0] = rng.uniform();
+    for (std::size_t f = 1; f < row.size(); ++f) row[f] = rng.uniform();
+    const bool fail = rng.bernoulli(row[0] > 0.5 ? p_high : p_low);
+    data.push_back(row, fail);
+  }
+  return data;
+}
+
+TEST(Gini, BinaryImpurity) {
+  EXPECT_DOUBLE_EQ(gini_impurity(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(gini_impurity(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(gini_impurity(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(gini_impurity(0, 0), 0.0);
+}
+
+TEST(TreeDatasetTest, PushBackValidates) {
+  TreeDataset data;
+  const std::vector<double> r2{1.0, 2.0};
+  data.push_back(r2, true);
+  const std::vector<double> r3{1.0, 2.0, 3.0};
+  EXPECT_THROW(data.push_back(r3, false), std::invalid_argument);
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.row(0)[1], 2.0);
+}
+
+TEST(Cart, RejectsEmptyData) {
+  TreeDataset data;
+  EXPECT_THROW(train_cart(data, CartConfig{}), std::invalid_argument);
+}
+
+TEST(Cart, PureDataYieldsStump) {
+  stats::Rng rng(1);
+  TreeDataset data;
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> row{rng.uniform(), rng.uniform()};
+    data.push_back(row, false);  // never fails
+  }
+  const DecisionTree tree = train_cart(data, CartConfig{});
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.depth(), 0u);
+  EXPECT_DOUBLE_EQ(tree.node(0).uncertainty, 0.0);
+}
+
+TEST(Cart, FindsTheInformativeSplit) {
+  const TreeDataset data = threshold_data(2000, 0.02, 0.6, 2);
+  CartConfig cfg;
+  cfg.max_depth = 1;  // single split: must pick feature 0 near 0.5
+  const DecisionTree tree = train_cart(data, cfg);
+  ASSERT_FALSE(tree.node(0).is_leaf());
+  EXPECT_EQ(tree.node(0).feature, 0u);
+  EXPECT_NEAR(tree.node(0).threshold, 0.5, 0.08);
+  const Node& left = tree.node(tree.node(0).left);
+  const Node& right = tree.node(tree.node(0).right);
+  EXPECT_LT(left.uncertainty, right.uncertainty);
+}
+
+TEST(Cart, RespectsMaxDepth) {
+  const TreeDataset data = threshold_data(4000, 0.1, 0.7, 3);
+  for (const std::size_t depth : {1u, 2u, 4u, 8u}) {
+    CartConfig cfg;
+    cfg.max_depth = depth;
+    const DecisionTree tree = train_cart(data, cfg);
+    EXPECT_LE(tree.depth(), depth);
+  }
+}
+
+TEST(Cart, RespectsMinSamplesLeaf) {
+  const TreeDataset data = threshold_data(500, 0.05, 0.6, 4);
+  CartConfig cfg;
+  cfg.min_samples_leaf = 100;
+  const DecisionTree tree = train_cart(data, cfg);
+  const NodeCounts counts = route_counts(tree, data);
+  for (const std::size_t leaf : tree.leaf_indices()) {
+    EXPECT_GE(counts.samples[leaf], 100u);
+  }
+}
+
+TEST(Cart, TrainCountsAreConsistent) {
+  const TreeDataset data = threshold_data(1000, 0.1, 0.5, 5);
+  const DecisionTree tree = train_cart(data, CartConfig{});
+  // Root holds all samples; children partition the parent.
+  EXPECT_EQ(tree.node(0).train_count, data.size());
+  for (const Node& n : tree.nodes()) {
+    if (n.is_leaf()) continue;
+    EXPECT_EQ(tree.node(n.left).train_count + tree.node(n.right).train_count,
+              n.train_count);
+    EXPECT_EQ(tree.node(n.left).train_failures +
+                  tree.node(n.right).train_failures,
+              n.train_failures);
+  }
+}
+
+TEST(Routing, DeterministicAndMatchesThreshold) {
+  const TreeDataset data = threshold_data(1000, 0.02, 0.7, 6);
+  CartConfig cfg;
+  cfg.max_depth = 1;
+  const DecisionTree tree = train_cart(data, cfg);
+  const std::vector<double> low{0.1, 0.5, 0.5};
+  const std::vector<double> high{0.9, 0.5, 0.5};
+  EXPECT_EQ(tree.route(low), tree.node(0).left);
+  EXPECT_EQ(tree.route(high), tree.node(0).right);
+  EXPECT_EQ(tree.route(low), tree.route(low));
+}
+
+TEST(Routing, ValidatesFeatureCount) {
+  const TreeDataset data = threshold_data(200, 0.1, 0.5, 7);
+  const DecisionTree tree = train_cart(data, CartConfig{});
+  const std::vector<double> wrong{0.1};
+  EXPECT_THROW(tree.route(wrong), std::invalid_argument);
+}
+
+TEST(RouteCounts, SumsToDatasetSize) {
+  const TreeDataset data = threshold_data(700, 0.1, 0.5, 8);
+  const DecisionTree tree = train_cart(data, CartConfig{});
+  const NodeCounts counts = route_counts(tree, data);
+  std::size_t leaf_total = 0;
+  for (const std::size_t leaf : tree.leaf_indices()) {
+    leaf_total += counts.samples[leaf];
+  }
+  EXPECT_EQ(leaf_total, data.size());
+  EXPECT_EQ(counts.samples[0], data.size());  // root sees everything
+}
+
+TEST(Calibrate, LeavesMeetMinimumSamples) {
+  const TreeDataset train = threshold_data(4000, 0.05, 0.5, 9);
+  const TreeDataset calib = threshold_data(1500, 0.05, 0.5, 10);
+  DecisionTree tree = train_cart(train, CartConfig{});
+  CalibrationConfig cfg;
+  cfg.min_leaf_samples = 200;
+  const CalibrationResult result = prune_and_calibrate(tree, calib, cfg);
+  const NodeCounts counts = route_counts(tree, calib);
+  for (const std::size_t leaf : tree.leaf_indices()) {
+    EXPECT_GE(counts.samples[leaf], 200u);
+  }
+  EXPECT_FALSE(result.leaves.empty());
+}
+
+TEST(Calibrate, BoundsAreClopperPearson) {
+  const TreeDataset train = threshold_data(4000, 0.05, 0.5, 11);
+  const TreeDataset calib = threshold_data(2000, 0.05, 0.5, 12);
+  DecisionTree tree = train_cart(train, CartConfig{});
+  CalibrationConfig cfg;
+  const CalibrationResult result = prune_and_calibrate(tree, calib, cfg);
+  for (const LeafCalibration& leaf : result.leaves) {
+    ASSERT_GT(leaf.samples, 0u);
+    EXPECT_NEAR(leaf.uncertainty_bound,
+                stats::clopper_pearson_upper(leaf.failures, leaf.samples,
+                                             cfg.confidence),
+                1e-12);
+    // The bound is an upper bound on the empirical rate.
+    EXPECT_GE(leaf.uncertainty_bound,
+              static_cast<double>(leaf.failures) /
+                  static_cast<double>(leaf.samples));
+  }
+}
+
+TEST(Calibrate, PrunedTreeStillRoutesEverything) {
+  const TreeDataset train = threshold_data(3000, 0.1, 0.6, 13);
+  const TreeDataset calib = threshold_data(300, 0.1, 0.6, 14);
+  DecisionTree tree = train_cart(train, CartConfig{});
+  const std::size_t leaves_before = tree.num_leaves();
+  CalibrationConfig cfg;
+  cfg.min_leaf_samples = 100;  // aggressive relative to 300 samples
+  prune_and_calibrate(tree, calib, cfg);
+  EXPECT_LE(tree.num_leaves(), leaves_before);
+  for (std::size_t i = 0; i < calib.size(); ++i) {
+    EXPECT_NO_THROW(tree.route(calib.row(i)));
+  }
+}
+
+TEST(Calibrate, EmptyCalibrationThrows) {
+  const TreeDataset train = threshold_data(500, 0.1, 0.5, 15);
+  DecisionTree tree = train_cart(train, CartConfig{});
+  TreeDataset empty;
+  EXPECT_THROW(prune_and_calibrate(tree, empty, CalibrationConfig{}),
+               std::invalid_argument);
+}
+
+TEST(FeatureImportance, InformativeFeatureDominates) {
+  const TreeDataset data = threshold_data(3000, 0.02, 0.6, 16, 3);
+  const DecisionTree tree = train_cart(data, CartConfig{});
+  const std::vector<double> imp = feature_importance(tree, data);
+  ASSERT_EQ(imp.size(), 4u);
+  for (std::size_t f = 1; f < imp.size(); ++f) EXPECT_GT(imp[0], imp[f]);
+  double sum = 0.0;
+  for (const double v : imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FeatureImportance, StumpHasZeroImportance) {
+  stats::Rng rng(17);
+  TreeDataset data;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> row{rng.uniform()};
+    data.push_back(row, false);
+  }
+  const DecisionTree tree = train_cart(data, CartConfig{});
+  const std::vector<double> imp = feature_importance(tree, data);
+  EXPECT_DOUBLE_EQ(imp[0], 0.0);
+}
+
+TEST(TreeText, RendersFeatureNames) {
+  TreeDataset data = threshold_data(1000, 0.02, 0.7, 18);
+  data.feature_names = {"rain", "f1", "f2"};
+  CartConfig cfg;
+  cfg.max_depth = 1;
+  const DecisionTree tree = train_cart(data, cfg);
+  const std::string text = tree.to_text(data.feature_names);
+  EXPECT_NE(text.find("rain"), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+}
+
+TEST(TreeInvariants, ConstructionValidation) {
+  std::vector<Node> nodes(1);
+  nodes[0].left = 5;  // half-open / out of range
+  EXPECT_THROW(DecisionTree(nodes, 2), std::invalid_argument);
+  EXPECT_THROW(DecisionTree({}, 2), std::invalid_argument);
+}
+
+// Property sweep: calibrated uncertainties are valid probabilities and the
+// tree separates risk levels under various seeds.
+class CartPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CartPropertyTest, CalibratedBoundsAreProbabilities) {
+  const TreeDataset train = threshold_data(2000, 0.05, 0.5, GetParam());
+  const TreeDataset calib = threshold_data(1000, 0.05, 0.5, GetParam() + 100);
+  DecisionTree tree = train_cart(train, CartConfig{});
+  prune_and_calibrate(tree, calib, CalibrationConfig{});
+  for (const std::size_t leaf : tree.leaf_indices()) {
+    const double u = tree.node(leaf).uncertainty;
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  const std::vector<double> low{0.05, 0.5, 0.5};
+  const std::vector<double> high{0.95, 0.5, 0.5};
+  EXPECT_LT(tree.predict_uncertainty(low), tree.predict_uncertainty(high));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CartPropertyTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace
+}  // namespace tauw::dtree

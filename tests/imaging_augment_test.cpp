@@ -1,0 +1,177 @@
+// Tests for the nine quality-deficit augmentations.
+#include "imaging/augmentations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string_view>
+
+#include "imaging/sign_renderer.hpp"
+
+namespace tauw::imaging {
+namespace {
+
+Image test_frame(std::uint64_t seed = 1) {
+  SignRenderer renderer(4);
+  stats::Rng rng(seed);
+  return renderer.render(7, 20.0, rng);
+}
+
+// Every deficit at zero intensity must be the identity.
+class ZeroIntensityTest : public ::testing::TestWithParam<Deficit> {};
+
+TEST_P(ZeroIntensityTest, IsIdentity) {
+  const Image frame = test_frame();
+  stats::Rng rng(2);
+  EXPECT_EQ(apply_deficit(frame, GetParam(), 0.0, rng), frame);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeficits, ZeroIntensityTest,
+                         ::testing::ValuesIn(all_deficits()));
+
+// Every deficit at high intensity must change the image and keep pixels
+// within [0, 1].
+class HighIntensityTest : public ::testing::TestWithParam<Deficit> {};
+
+TEST_P(HighIntensityTest, ChangesImageAndStaysInRange) {
+  const Image frame = test_frame();
+  stats::Rng rng(3);
+  const Image out = apply_deficit(frame, GetParam(), 0.9, rng);
+  EXPECT_GT(mean_abs_diff(out, frame), 1e-4F)
+      << deficit_name(GetParam());
+  for (const float p : out.pixels()) {
+    ASSERT_GE(p, 0.0F);
+    ASSERT_LE(p, 1.0F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeficits, HighIntensityTest,
+                         ::testing::ValuesIn(all_deficits()));
+
+// Stronger intensity must distort at least as much as weak intensity
+// (measured against the clean frame).
+class MonotoneDistortionTest : public ::testing::TestWithParam<Deficit> {};
+
+TEST_P(MonotoneDistortionTest, DistortionGrowsWithIntensity) {
+  const Image frame = test_frame(11);
+  stats::Rng rng_low(4);
+  stats::Rng rng_high(4);
+  const float low =
+      mean_abs_diff(apply_deficit(frame, GetParam(), 0.2, rng_low), frame);
+  const float high =
+      mean_abs_diff(apply_deficit(frame, GetParam(), 0.95, rng_high), frame);
+  EXPECT_GE(high, low * 0.8F) << deficit_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeficits, MonotoneDistortionTest,
+                         ::testing::ValuesIn(all_deficits()));
+
+TEST(Darkness, ReducesMeanIntensity) {
+  const Image frame = test_frame();
+  stats::Rng rng(5);
+  const Image dark = apply_darkness(frame, 0.8, rng);
+  EXPECT_LT(dark.mean(), frame.mean());
+}
+
+TEST(Haze, RaisesMeanAndReducesContrast) {
+  const Image frame = test_frame();
+  stats::Rng rng(6);
+  const Image hazy = apply_haze(frame, 0.8, rng);
+  EXPECT_GT(hazy.mean(), frame.mean());
+  // Contrast proxy: spread of pixel values.
+  float min_o = 1.0F, max_o = 0.0F, min_h = 1.0F, max_h = 0.0F;
+  for (const float p : frame.pixels()) {
+    min_o = std::min(min_o, p);
+    max_o = std::max(max_o, p);
+  }
+  for (const float p : hazy.pixels()) {
+    min_h = std::min(min_h, p);
+    max_h = std::max(max_h, p);
+  }
+  EXPECT_LT(max_h - min_h, max_o - min_o);
+}
+
+TEST(SteamedUpLens, BlursDetail) {
+  const Image frame = test_frame();
+  stats::Rng rng(7);
+  const Image steamed = apply_steamed_up_lens(frame, 0.9, rng);
+  // High-frequency energy proxy: sum of absolute horizontal gradients.
+  const auto gradient_energy = [](const Image& img) {
+    double acc = 0.0;
+    for (std::size_t y = 0; y < img.height(); ++y) {
+      for (std::size_t x = 0; x + 1 < img.width(); ++x) {
+        acc += std::abs(img(x + 1, y) - img(x, y));
+      }
+    }
+    return acc;
+  };
+  EXPECT_LT(gradient_energy(steamed), gradient_energy(frame) * 0.8);
+}
+
+TEST(MotionBlur, SmearsHorizontally) {
+  Image impulse(15, 15);
+  impulse(7, 7) = 1.0F;
+  stats::Rng rng(8);
+  const Image blurred = apply_motion_blur(impulse, 0.9, rng);
+  EXPECT_GT(blurred(5, 7), 0.0F);
+  EXPECT_GT(blurred(9, 7), 0.0F);
+  EXPECT_LT(blurred(7, 7), 1.0F);
+}
+
+TEST(ApplyAll, AppliesEveryActiveDeficit) {
+  const Image frame = test_frame();
+  DeficitVector v{};
+  v[static_cast<std::size_t>(Deficit::kDarkness)] = 0.7;
+  v[static_cast<std::size_t>(Deficit::kHaze)] = 0.5;
+  stats::Rng rng(9);
+  const Image out = apply_all(frame, v, rng);
+  EXPECT_GT(mean_abs_diff(out, frame), 0.01F);
+}
+
+TEST(ApplyAll, AllZeroIsIdentity) {
+  const Image frame = test_frame();
+  stats::Rng rng(10);
+  EXPECT_EQ(apply_all(frame, DeficitVector{}, rng), frame);
+}
+
+TEST(DeficitNames, AreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (const Deficit d : all_deficits()) {
+    const auto name = deficit_name(d);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kNumDeficits);
+}
+
+TEST(Deficits, OnlyMotionBlurAndArtificialBacklightVaryWithinSeries) {
+  std::size_t varying = 0;
+  for (const Deficit d : all_deficits()) {
+    if (varies_within_series(d)) {
+      ++varying;
+      EXPECT_TRUE(d == Deficit::kMotionBlur ||
+                  d == Deficit::kArtificialBacklight);
+    }
+  }
+  EXPECT_EQ(varying, 2u);
+}
+
+TEST(IntensityLevels, AreOrdered) {
+  EXPECT_EQ(intensity_value(IntensityLevel::kNone), 0.0);
+  EXPECT_LT(intensity_value(IntensityLevel::kLow),
+            intensity_value(IntensityLevel::kMedium));
+  EXPECT_LT(intensity_value(IntensityLevel::kMedium),
+            intensity_value(IntensityLevel::kHigh));
+  EXPECT_LE(intensity_value(IntensityLevel::kHigh), 1.0);
+}
+
+TEST(Augmentations, NegativeIntensityTreatedAsZero) {
+  const Image frame = test_frame();
+  stats::Rng rng(12);
+  EXPECT_EQ(apply_rain(frame, -1.0, rng), frame);
+}
+
+}  // namespace
+}  // namespace tauw::imaging

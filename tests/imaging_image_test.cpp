@@ -1,0 +1,160 @@
+// Tests for the grayscale image type and pixel operations.
+#include "imaging/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tauw::imaging {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(4, 3, 0.5F);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_FALSE(img.empty());
+  for (const float p : img.pixels()) EXPECT_FLOAT_EQ(p, 0.5F);
+}
+
+TEST(Image, DefaultIsEmpty) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.size(), 0u);
+}
+
+TEST(Image, AtBoundsChecked) {
+  Image img(2, 2);
+  EXPECT_NO_THROW(img.at(1, 1));
+  EXPECT_THROW(img.at(2, 0), std::out_of_range);
+  EXPECT_THROW(img.at(0, 2), std::out_of_range);
+}
+
+TEST(Image, RowMajorIndexing) {
+  Image img(3, 2);
+  img(2, 1) = 0.7F;
+  EXPECT_FLOAT_EQ(img.pixels()[1 * 3 + 2], 0.7F);
+}
+
+TEST(Image, ClampBoundsPixels) {
+  Image img(2, 1);
+  img(0, 0) = -0.5F;
+  img(1, 0) = 1.5F;
+  img.clamp();
+  EXPECT_FLOAT_EQ(img(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(img(1, 0), 1.0F);
+}
+
+TEST(Image, MeanIntensity) {
+  Image img(2, 2);
+  img(0, 0) = 1.0F;
+  EXPECT_FLOAT_EQ(img.mean(), 0.25F);
+  EXPECT_FLOAT_EQ(Image().mean(), 0.0F);
+}
+
+TEST(ResizeBilinear, IdentityKeepsValues) {
+  Image img(5, 5);
+  img(2, 2) = 1.0F;
+  const Image same = resize_bilinear(img, 5, 5);
+  EXPECT_FLOAT_EQ(same(2, 2), 1.0F);
+  EXPECT_FLOAT_EQ(same(0, 0), 0.0F);
+}
+
+TEST(ResizeBilinear, DownscaleConservesMeanApproximately) {
+  Image img(16, 16, 0.6F);
+  const Image small = resize_bilinear(img, 4, 4);
+  EXPECT_EQ(small.width(), 4u);
+  EXPECT_NEAR(small.mean(), 0.6F, 1e-5);
+}
+
+TEST(ResizeBilinear, UpscaleInterpolatesBetweenValues) {
+  Image img(2, 1);
+  img(0, 0) = 0.0F;
+  img(1, 0) = 1.0F;
+  const Image big = resize_bilinear(img, 4, 1);
+  EXPECT_LT(big(1, 0), big(2, 0));  // monotone ramp
+}
+
+TEST(ResizeBilinear, RejectsEmptyTargets) {
+  Image img(2, 2);
+  EXPECT_THROW(resize_bilinear(img, 0, 2), std::invalid_argument);
+  EXPECT_THROW(resize_bilinear(Image(), 2, 2), std::invalid_argument);
+}
+
+TEST(BoxBlur, ZeroRadiusIsIdentity) {
+  Image img(3, 3);
+  img(1, 1) = 1.0F;
+  EXPECT_EQ(box_blur(img, 0), img);
+}
+
+TEST(BoxBlur, SpreadsEnergy) {
+  Image img(5, 5);
+  img(2, 2) = 1.0F;
+  const Image blurred = box_blur(img, 1);
+  EXPECT_LT(blurred(2, 2), 1.0F);
+  EXPECT_GT(blurred(1, 2), 0.0F);
+  // Total energy approximately conserved away from borders.
+  double total = 0.0;
+  for (const float p : blurred.pixels()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-5);
+}
+
+TEST(BoxBlur, ConstantImageUnchanged) {
+  Image img(6, 6, 0.42F);
+  const Image blurred = box_blur(img, 2);
+  for (const float p : blurred.pixels()) EXPECT_NEAR(p, 0.42F, 1e-6);
+}
+
+TEST(DirectionalBlur, LengthOneIsIdentity) {
+  Image img(4, 4);
+  img(1, 1) = 1.0F;
+  EXPECT_EQ(directional_blur(img, 1.0, 0.0, 1), img);
+}
+
+TEST(DirectionalBlur, HorizontalSmearsAlongX) {
+  Image img(9, 9);
+  img(4, 4) = 1.0F;
+  const Image blurred = directional_blur(img, 1.0, 0.0, 5);
+  EXPECT_GT(blurred(2, 4), 0.0F);
+  EXPECT_GT(blurred(6, 4), 0.0F);
+  EXPECT_FLOAT_EQ(blurred(4, 2), 0.0F);  // no vertical spread
+}
+
+TEST(DirectionalBlur, ZeroDirectionIsIdentity) {
+  Image img(3, 3, 0.2F);
+  EXPECT_EQ(directional_blur(img, 0.0, 0.0, 5), img);
+}
+
+TEST(AffineIntensity, ScalesAndClamps) {
+  Image img(2, 1);
+  img(0, 0) = 0.5F;
+  img(1, 0) = 0.9F;
+  const Image out = affine_intensity(img, 2.0F, 0.0F);
+  EXPECT_FLOAT_EQ(out(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(out(1, 0), 1.0F);
+}
+
+TEST(Blend, InterpolatesAndValidates) {
+  Image a(2, 2, 0.0F);
+  Image b(2, 2, 1.0F);
+  const Image mid = blend(a, b, 0.25F);
+  EXPECT_FLOAT_EQ(mid(0, 0), 0.25F);
+  Image c(3, 2);
+  EXPECT_THROW(blend(a, c, 0.5F), std::invalid_argument);
+}
+
+TEST(MeanAbsDiff, ZeroForIdentical) {
+  Image a(4, 4, 0.3F);
+  EXPECT_FLOAT_EQ(mean_abs_diff(a, a), 0.0F);
+}
+
+TEST(MeanAbsDiff, DetectsDifference) {
+  Image a(2, 1, 0.0F);
+  Image b(2, 1, 0.5F);
+  EXPECT_NEAR(mean_abs_diff(a, b), 0.5F, 1e-6);
+  Image c(1, 1);
+  EXPECT_THROW(mean_abs_diff(a, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::imaging

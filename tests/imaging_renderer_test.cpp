@@ -1,0 +1,115 @@
+// Tests for the procedural GTSRB-like sign renderer.
+#include "imaging/sign_renderer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/image.hpp"
+
+namespace tauw::imaging {
+namespace {
+
+TEST(SignRenderer, Has43Classes) {
+  SignRenderer renderer(3);
+  EXPECT_EQ(renderer.num_classes(), 43u);
+}
+
+TEST(SignRenderer, TemplatesAreDeterministic) {
+  SignRenderer a(3);
+  SignRenderer b(3);
+  for (std::size_t c = 0; c < a.num_classes(); c += 7) {
+    EXPECT_EQ(a.sign_template(c), b.sign_template(c)) << "class " << c;
+  }
+}
+
+TEST(SignRenderer, TemplatesDifferBetweenClasses) {
+  SignRenderer renderer(3);
+  std::size_t distinct_pairs = 0;
+  for (std::size_t c = 1; c < renderer.num_classes(); ++c) {
+    if (mean_abs_diff(renderer.sign_template(c), renderer.sign_template(0)) >
+        0.02F) {
+      ++distinct_pairs;
+    }
+  }
+  EXPECT_EQ(distinct_pairs, renderer.num_classes() - 1);
+}
+
+TEST(SignRenderer, TemplateHasTransparentCornersAndFilledCenter) {
+  SignRenderer renderer(3);
+  const Image& tmpl = renderer.sign_template(0);  // circle class
+  EXPECT_FLOAT_EQ(tmpl(0, 0), 0.0F);
+  EXPECT_GT(tmpl(kTemplateSize / 2, kTemplateSize / 2), 0.0F);
+}
+
+TEST(SignRenderer, RejectsOutOfRangeLabel) {
+  SignRenderer renderer(3);
+  stats::Rng rng(1);
+  EXPECT_THROW(renderer.sign_template(43), std::out_of_range);
+  EXPECT_THROW(renderer.render(43, 20.0, rng), std::out_of_range);
+}
+
+TEST(SignRenderer, RenderedFrameHasFixedSize) {
+  SignRenderer renderer(3);
+  stats::Rng rng(2);
+  const Image frame = renderer.render(5, 18.0, rng);
+  EXPECT_EQ(frame.width(), kFrameSize);
+  EXPECT_EQ(frame.height(), kFrameSize);
+}
+
+TEST(SignRenderer, ApparentSizeIsClamped) {
+  SignRenderer renderer(3);
+  stats::Rng rng(3);
+  // Neither tiny nor huge apparent sizes may crash or overflow the frame.
+  EXPECT_NO_THROW(renderer.render(1, 0.5, rng));
+  EXPECT_NO_THROW(renderer.render(1, 500.0, rng));
+}
+
+TEST(SignRenderer, LargerSignChangesMorePixels) {
+  SignRenderer renderer(3);
+  stats::Rng rng_a(4);
+  stats::Rng rng_b(4);
+  const Image small = renderer.render(2, 7.0, rng_a);
+  const Image large = renderer.render(2, 26.0, rng_b);
+  // Compare against a pure background render (label drawn at zero alpha is
+  // impossible, so use pixel spread as a proxy): the large sign dominates
+  // more of the frame, increasing deviation from the background gradient.
+  float small_dev = 0.0F;
+  float large_dev = 0.0F;
+  for (std::size_t y = 0; y < kFrameSize; ++y) {
+    for (std::size_t x = 0; x < kFrameSize; ++x) {
+      small_dev += std::abs(small(x, y) - 0.45F);
+      large_dev += std::abs(large(x, y) - 0.45F);
+    }
+  }
+  EXPECT_GT(large_dev, small_dev);
+}
+
+TEST(SignRenderer, RenderIsDeterministicGivenRngState) {
+  SignRenderer renderer(9);
+  stats::Rng rng_a(77);
+  stats::Rng rng_b(77);
+  EXPECT_EQ(renderer.render(11, 15.0, rng_a), renderer.render(11, 15.0, rng_b));
+}
+
+// Parameterized sanity: every class renders valid pixel values at several
+// apparent sizes.
+class RenderAllClassesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RenderAllClassesTest, PixelsInUnitRange) {
+  SignRenderer renderer(5);
+  stats::Rng rng(GetParam());
+  for (const double px : {6.0, 14.0, 28.0}) {
+    const Image frame = renderer.render(GetParam(), px, rng);
+    for (const float p : frame.pixels()) {
+      ASSERT_GE(p, 0.0F);
+      ASSERT_LE(p, 1.0F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, RenderAllClassesTest,
+                         ::testing::Values(0, 1, 2, 3, 21, 42));
+
+}  // namespace
+}  // namespace tauw::imaging

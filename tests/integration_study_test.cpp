@@ -1,0 +1,182 @@
+// End-to-end integration test: runs the full study pipeline on a scaled-down
+// configuration and checks the structural properties the paper reports.
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tauw::core {
+namespace {
+
+// The pipeline is expensive; share one run across all integration tests.
+class StudyIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    study_ = new Study(StudyConfig::small());
+    study_->run();
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+  }
+  static Study* study_;
+};
+
+Study* StudyIntegrationTest::study_ = nullptr;
+
+TEST_F(StudyIntegrationTest, AccessorsThrowBeforeRun) {
+  Study fresh{StudyConfig::small()};
+  EXPECT_FALSE(fresh.has_run());
+  EXPECT_THROW(fresh.rows(), std::logic_error);
+  EXPECT_THROW(fresh.fig4(), std::logic_error);
+  EXPECT_THROW(fresh.ddm(), std::logic_error);
+}
+
+TEST_F(StudyIntegrationTest, DdmLearnsSomething) {
+  // With 43 classes, random guessing is ~2.3%; the small config should be
+  // far above that even with its tiny budget.
+  EXPECT_GT(study_->ddm_test_accuracy(), 0.30);
+  EXPECT_GT(study_->ddm_train_accuracy(), 0.30);
+}
+
+TEST_F(StudyIntegrationTest, RowsCoverAllSeriesAndSteps) {
+  const auto& cfg = study_->config();
+  const std::size_t expected_series =
+      cfg.data.test_series * cfg.data.eval_replicas;
+  const auto& rows = study_->rows();
+  EXPECT_EQ(rows.size(), expected_series * cfg.data.subsample_length);
+  std::set<std::size_t> series_ids;
+  for (const EvalRow& row : rows) {
+    series_ids.insert(row.series);
+    EXPECT_LT(row.timestep, cfg.data.subsample_length);
+    for (const double u : {row.u_stateless, row.u_naive, row.u_opportune,
+                           row.u_worst_case, row.u_tauw}) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+    // Per-series UF invariants.
+    EXPECT_LE(row.u_naive, row.u_opportune + 1e-15);
+    EXPECT_LE(row.u_opportune, row.u_worst_case);
+  }
+  EXPECT_EQ(series_ids.size(), expected_series);
+}
+
+TEST_F(StudyIntegrationTest, FirstStepFusionEqualsIsolated) {
+  for (const EvalRow& row : study_->rows()) {
+    if (row.timestep == 0) {
+      EXPECT_EQ(row.isolated_failure, row.fused_failure);
+      EXPECT_DOUBLE_EQ(row.u_naive, row.u_stateless);
+      EXPECT_DOUBLE_EQ(row.u_opportune, row.u_stateless);
+      EXPECT_DOUBLE_EQ(row.u_worst_case, row.u_stateless);
+    }
+  }
+}
+
+TEST_F(StudyIntegrationTest, Fig4FusionHelpsLaterSteps) {
+  const Fig4Result fig4 = study_->fig4();
+  ASSERT_EQ(fig4.rows.size(), study_->config().data.subsample_length);
+  // Steps 1-2 coincide by construction (majority of 1 or 2 = latest).
+  EXPECT_NEAR(fig4.rows[0].isolated_rate, fig4.rows[0].fused_rate, 1e-12);
+  // Averaged over the window, fusion must not hurt.
+  EXPECT_LE(fig4.fused_avg, fig4.isolated_avg + 0.01);
+  // The last fused step should beat the last isolated step distinctly.
+  EXPECT_LE(fig4.rows.back().fused_rate,
+            fig4.rows.back().isolated_rate + 0.01);
+  for (const Fig4Row& row : fig4.rows) {
+    EXPECT_GT(row.count, 0u);
+    EXPECT_GE(row.isolated_rate, 0.0);
+    EXPECT_LE(row.isolated_rate, 1.0);
+  }
+}
+
+TEST_F(StudyIntegrationTest, Table1HasSixApproachesWithValidScores) {
+  const Table1Result table = study_->table1();
+  ASSERT_EQ(table.rows.size(), 6u);
+  for (const ApproachScore& row : table.rows) {
+    const auto& d = row.decomposition;
+    EXPECT_GE(d.brier, 0.0);
+    EXPECT_LE(d.brier, 1.0);
+    EXPECT_NEAR(d.brier, d.variance - d.resolution + d.unreliability, 1e-9)
+        << row.name;
+    EXPECT_GE(d.overconfidence, 0.0);
+  }
+  // Rows 2..6 share the same fused-outcome variance (same failure labels).
+  for (std::size_t i = 2; i < table.rows.size(); ++i) {
+    EXPECT_NEAR(table.rows[i].decomposition.variance,
+                table.rows[1].decomposition.variance, 1e-12);
+  }
+}
+
+TEST_F(StudyIntegrationTest, TaUwIsCompetitiveOnBrier) {
+  const Table1Result table = study_->table1();
+  const double tauw = table.rows.back().decomposition.brier;
+  const double stateless = table.rows.front().decomposition.brier;
+  // Even in the small config the taUW should not be drastically worse than
+  // the stateless baseline; the full-scale bench reproduces the paper's
+  // strict ordering.
+  EXPECT_LT(tauw, stateless + 0.05);
+}
+
+TEST_F(StudyIntegrationTest, Fig5DistributionsAreDiscrete) {
+  const Fig5Result fig5 = study_->fig5();
+  EXPECT_FALSE(fig5.stateless_distribution.empty());
+  EXPECT_FALSE(fig5.tauw_distribution.empty());
+  double total = 0.0;
+  for (const auto& vc : fig5.tauw_distribution) total += vc.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GE(fig5.tauw_min_u, 0.0);
+  EXPECT_LE(fig5.tauw_min_u, 1.0);
+  EXPECT_GT(fig5.tauw_min_u_fraction, 0.0);
+}
+
+TEST_F(StudyIntegrationTest, Fig6CurvesCoverAllApproaches) {
+  const Fig6Result fig6 = study_->fig6();
+  ASSERT_EQ(fig6.curves.size(), 4u);
+  for (const Fig6Curve& curve : fig6.curves) {
+    EXPECT_FALSE(curve.points.empty());
+    for (const auto& pt : curve.points) {
+      EXPECT_GE(pt.mean_predicted_certainty, 0.0);
+      EXPECT_LE(pt.mean_predicted_certainty, 1.0);
+      EXPECT_GE(pt.observed_correctness, 0.0);
+      EXPECT_LE(pt.observed_correctness, 1.0);
+      EXPECT_GT(pt.count, 0u);
+    }
+  }
+}
+
+TEST_F(StudyIntegrationTest, TaqfSubsetBrierIsEvaluable) {
+  // Spot-check two subsets instead of all 16 (full sweep runs in the bench).
+  TaqfSet ratio_only = TaqfSet::none();
+  ratio_only.ratio = true;
+  const double none = study_->taqf_subset_brier(TaqfSet::none());
+  const double ratio = study_->taqf_subset_brier(ratio_only);
+  EXPECT_GE(none, 0.0);
+  EXPECT_LE(none, 1.0);
+  EXPECT_GE(ratio, 0.0);
+  // Adding the ratio feature should not hurt materially.
+  EXPECT_LE(ratio, none + 0.02);
+}
+
+TEST_F(StudyIntegrationTest, QimTreesAreTransparent) {
+  EXPECT_TRUE(study_->qim().fitted());
+  EXPECT_TRUE(study_->taqim().fitted());
+  EXPECT_FALSE(study_->qim().to_text().empty());
+  // The taQIM consumes stateless QFs plus the four taQFs.
+  EXPECT_EQ(study_->taqim().num_features(),
+            study_->qf_extractor().num_factors() + 4);
+}
+
+TEST_F(StudyIntegrationTest, DeterministicAcrossRuns) {
+  Study twin(StudyConfig::small());
+  twin.run();
+  ASSERT_EQ(twin.rows().size(), study_->rows().size());
+  for (std::size_t i = 0; i < twin.rows().size(); i += 97) {
+    EXPECT_DOUBLE_EQ(twin.rows()[i].u_tauw, study_->rows()[i].u_tauw);
+    EXPECT_EQ(twin.rows()[i].fused_failure, study_->rows()[i].fused_failure);
+  }
+  EXPECT_DOUBLE_EQ(twin.ddm_test_accuracy(), study_->ddm_test_accuracy());
+}
+
+}  // namespace
+}  // namespace tauw::core

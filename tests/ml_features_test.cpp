@@ -1,0 +1,115 @@
+// Tests for image feature extraction and classification metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "imaging/sign_renderer.hpp"
+#include "ml/features.hpp"
+#include "ml/metrics.hpp"
+
+namespace tauw::ml {
+namespace {
+
+TEST(Features, DimensionFormula) {
+  FeatureConfig cfg;
+  cfg.pixel_grid = 14;
+  cfg.edge_grid = 7;
+  cfg.include_mean_std = true;
+  EXPECT_EQ(feature_dim(cfg), 14u * 14u + 7u * 7u + 2u);
+  cfg.include_mean_std = false;
+  EXPECT_EQ(feature_dim(cfg), 14u * 14u + 7u * 7u);
+}
+
+TEST(Features, ExtractMatchesDim) {
+  imaging::SignRenderer renderer(2);
+  stats::Rng rng(1);
+  const imaging::Image frame = renderer.render(3, 20.0, rng);
+  FeatureConfig cfg;
+  const auto f = extract_features(frame, cfg);
+  EXPECT_EQ(f.size(), feature_dim(cfg));
+}
+
+TEST(Features, ValuesRoughlyNormalized) {
+  imaging::SignRenderer renderer(2);
+  stats::Rng rng(2);
+  const imaging::Image frame = renderer.render(7, 24.0, rng);
+  const auto f = extract_features(frame, FeatureConfig{});
+  for (const float v : f) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Features, DifferentClassesProduceDifferentFeatures) {
+  imaging::SignRenderer renderer(2);
+  stats::Rng rng_a(3);
+  stats::Rng rng_b(3);
+  const auto fa = extract_features(renderer.render(0, 24.0, rng_a),
+                                   FeatureConfig{});
+  const auto fb = extract_features(renderer.render(1, 24.0, rng_b),
+                                   FeatureConfig{});
+  double diff = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    diff += std::abs(static_cast<double>(fa[i]) - fb[i]);
+  }
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(Features, IntoBufferValidatesSize) {
+  imaging::SignRenderer renderer(2);
+  stats::Rng rng(4);
+  const imaging::Image frame = renderer.render(3, 20.0, rng);
+  std::vector<float> wrong(3);
+  EXPECT_THROW(extract_features_into(frame, FeatureConfig{}, wrong),
+               std::invalid_argument);
+  EXPECT_THROW(extract_features(imaging::Image{}, FeatureConfig{}),
+               std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_NEAR(cm.accuracy(), 0.75, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, RecallAndPrecision) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 0.5, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassesAreZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, Validation) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.count(0, 2), std::out_of_range);
+  EXPECT_THROW(cm.recall(5), std::out_of_range);
+}
+
+TEST(AccuracyFn, MatchesManualCount) {
+  const std::vector<std::size_t> truth{0, 1, 2, 1};
+  const std::vector<std::size_t> pred{0, 1, 1, 1};
+  EXPECT_NEAR(accuracy(truth, pred), 0.75, 1e-12);
+  const std::vector<std::size_t> short_pred{0};
+  EXPECT_THROW(accuracy(truth, short_pred), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::ml

@@ -1,0 +1,125 @@
+// Tests for the dense matrix and math helpers of the ML substrate.
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tauw::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 0.5F);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 7.0F;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 7.0F);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 2);
+  m.row(1)[0] = 3.0F;
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0F);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix m(2, 3);
+  // [[1,2,3],[4,5,6]] * [1,1,1] = [6,15]
+  float v = 1.0F;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const std::vector<float> x{1.0F, 1.0F, 1.0F};
+  std::vector<float> y(2);
+  m.multiply(x, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0F);
+  EXPECT_FLOAT_EQ(y[1], 15.0F);
+}
+
+TEST(Matrix, MultiplyTransposed) {
+  Matrix m(2, 3);
+  float v = 1.0F;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const std::vector<float> x{1.0F, 2.0F};  // 1*row0 + 2*row1
+  std::vector<float> y(3);
+  m.multiply_transposed(x, y);
+  EXPECT_FLOAT_EQ(y[0], 9.0F);
+  EXPECT_FLOAT_EQ(y[1], 12.0F);
+  EXPECT_FLOAT_EQ(y[2], 15.0F);
+}
+
+TEST(Matrix, MultiplyValidatesShapes) {
+  Matrix m(2, 3);
+  std::vector<float> bad(2);
+  std::vector<float> y(2);
+  EXPECT_THROW(m.multiply(bad, y), std::invalid_argument);
+  std::vector<float> x(3);
+  std::vector<float> bad_y(3);
+  EXPECT_THROW(m.multiply(x, bad_y), std::invalid_argument);
+}
+
+TEST(Matrix, AddOuterRankOneUpdate) {
+  Matrix m(2, 2, 0.0F);
+  const std::vector<float> a{1.0F, 2.0F};
+  const std::vector<float> b{3.0F, 4.0F};
+  m.add_outer(a, b, 0.5F);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.5F);
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0F);
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a(1, 2, 1.0F);
+  Matrix b(1, 2, 2.0F);
+  a.add_scaled(b, 0.25F);
+  EXPECT_FLOAT_EQ(a(0, 0), 1.5F);
+  Matrix c(2, 1);
+  EXPECT_THROW(a.add_scaled(c, 1.0F), std::invalid_argument);
+}
+
+TEST(Matrix, RandomizeChangesValues) {
+  Matrix m(8, 8);
+  stats::Rng rng(3);
+  m.randomize(rng, 1.0F);
+  double sq = 0.0;
+  for (const float x : m.data()) sq += static_cast<double>(x) * x;
+  EXPECT_GT(sq, 0.0);
+}
+
+TEST(Dot, ComputesInnerProduct) {
+  const std::vector<float> a{1.0F, 2.0F, 3.0F};
+  const std::vector<float> b{4.0F, 5.0F, 6.0F};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0F);
+  const std::vector<float> c{1.0F};
+  EXPECT_THROW(dot(a, c), std::invalid_argument);
+}
+
+TEST(Softmax, NormalizesAndOrders) {
+  std::vector<float> logits{1.0F, 2.0F, 3.0F};
+  softmax_inplace(logits);
+  float sum = 0.0F;
+  for (const float p : logits) sum += p;
+  EXPECT_NEAR(sum, 1.0F, 1e-6);
+  EXPECT_LT(logits[0], logits[1]);
+  EXPECT_LT(logits[1], logits[2]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  std::vector<float> logits{1000.0F, 1001.0F};
+  softmax_inplace(logits);
+  EXPECT_NEAR(logits[0] + logits[1], 1.0F, 1e-6);
+  EXPECT_FALSE(std::isnan(logits[0]));
+}
+
+TEST(Argmax, FirstOfTiesAndValidation) {
+  const std::vector<float> v{0.1F, 0.9F, 0.9F};
+  EXPECT_EQ(argmax(v), 1u);
+  EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::ml

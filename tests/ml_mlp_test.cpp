@@ -1,0 +1,170 @@
+// Tests for the MLP / softmax-regression DDMs and the training loop.
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/trainer.hpp"
+
+namespace tauw::ml {
+namespace {
+
+// A linearly separable 2-D three-class problem.
+TrainingSet make_blobs(std::size_t per_class, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  TrainingSet set;
+  const float centers[3][2] = {{0.0F, 0.0F}, {4.0F, 0.0F}, {0.0F, 4.0F}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const float x[2] = {
+          centers[c][0] + static_cast<float>(rng.normal(0.0, 0.5)),
+          centers[c][1] + static_cast<float>(rng.normal(0.0, 0.5))};
+      set.push_back(std::span<const float>(x, 2), c);
+    }
+  }
+  return set;
+}
+
+TEST(Mlp, ConstructionValidation) {
+  EXPECT_THROW(MlpClassifier(0, 4, 3), std::invalid_argument);
+  EXPECT_THROW(MlpClassifier(4, 0, 3), std::invalid_argument);
+  EXPECT_THROW(MlpClassifier(4, 4, 1), std::invalid_argument);
+  MlpClassifier mlp(4, 8, 3);
+  EXPECT_EQ(mlp.input_dim(), 4u);
+  EXPECT_EQ(mlp.hidden_dim(), 8u);
+  EXPECT_EQ(mlp.num_classes(), 3u);
+}
+
+TEST(Mlp, PredictReturnsDistribution) {
+  MlpClassifier mlp(4, 8, 3, 7);
+  const std::vector<float> x{0.1F, 0.2F, 0.3F, 0.4F};
+  const Prediction p = mlp.predict(x);
+  ASSERT_EQ(p.class_probs.size(), 3u);
+  float sum = 0.0F;
+  for (const float pr : p.class_probs) {
+    EXPECT_GE(pr, 0.0F);
+    sum += pr;
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-5);
+  EXPECT_EQ(p.label, argmax(p.class_probs));
+  EXPECT_FLOAT_EQ(p.confidence, p.class_probs[p.label]);
+}
+
+TEST(Mlp, PredictValidatesDimensions) {
+  MlpClassifier mlp(4, 8, 3);
+  const std::vector<float> bad{0.1F};
+  EXPECT_THROW(mlp.predict(bad), std::invalid_argument);
+}
+
+TEST(Mlp, TrainStepReducesLossOnSingleExample) {
+  MlpClassifier mlp(2, 8, 3, 11);
+  auto ws = mlp.make_workspace();
+  const std::vector<float> x{1.0F, -1.0F};
+  float first = 0.0F;
+  float last = 0.0F;
+  for (int i = 0; i < 50; ++i) {
+    const float loss = mlp.train_step(x, 1, 0.1F, 0.0F, ws);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.5F);
+}
+
+TEST(Mlp, LearnsLinearlySeparableBlobs) {
+  const TrainingSet data = make_blobs(80, 5);
+  MlpClassifier mlp(2, 16, 3, 13);
+  TrainerConfig cfg;
+  cfg.epochs = 20;
+  cfg.learning_rate = 0.05F;
+  cfg.lr_decay = 0.9F;
+  const auto history = train(mlp, data, cfg);
+  ASSERT_EQ(history.size(), 20u);
+  EXPECT_GT(history.back().train_accuracy, 0.97);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+}
+
+TEST(Mlp, TrainingIsDeterministic) {
+  const TrainingSet data = make_blobs(40, 6);
+  TrainerConfig cfg;
+  cfg.epochs = 3;
+  MlpClassifier a(2, 8, 3, 21);
+  MlpClassifier b(2, 8, 3, 21);
+  train(a, data, cfg);
+  train(b, data, cfg);
+  const std::vector<float> x{1.0F, 1.0F};
+  const Prediction pa = a.predict(x);
+  const Prediction pb = b.predict(x);
+  EXPECT_EQ(pa.label, pb.label);
+  EXPECT_FLOAT_EQ(pa.confidence, pb.confidence);
+}
+
+TEST(Mlp, WeightNormMovesDuringTraining) {
+  const TrainingSet data = make_blobs(40, 7);
+  MlpClassifier mlp(2, 8, 3, 23);
+  const double before = mlp.weight_norm();
+  TrainerConfig cfg;
+  cfg.epochs = 5;
+  train(mlp, data, cfg);
+  EXPECT_NE(mlp.weight_norm(), before);
+}
+
+TEST(SoftmaxRegressionTest, LearnsBlobsToo) {
+  const TrainingSet data = make_blobs(80, 8);
+  SoftmaxRegression model(2, 3, 31);
+  TrainerConfig cfg;
+  cfg.epochs = 25;
+  cfg.learning_rate = 0.1F;
+  const auto history = train(model, data, cfg);
+  EXPECT_GT(history.back().train_accuracy, 0.95);
+}
+
+TEST(SoftmaxRegressionTest, PredictInterface) {
+  SoftmaxRegression model(3, 4, 1);
+  EXPECT_EQ(model.input_dim(), 3u);
+  EXPECT_EQ(model.num_classes(), 4u);
+  const std::vector<float> x{0.5F, -0.5F, 1.0F};
+  const Prediction p = model.predict(x);
+  EXPECT_LT(p.label, 4u);
+  EXPECT_EQ(p.class_probs.size(), 4u);
+}
+
+TEST(Trainer, RejectsEmptyData) {
+  MlpClassifier mlp(2, 4, 3);
+  TrainingSet empty;
+  EXPECT_THROW(train(mlp, empty, TrainerConfig{}), std::invalid_argument);
+}
+
+TEST(Trainer, TrackAccuracyOffSkipsEvaluation) {
+  const TrainingSet data = make_blobs(10, 9);
+  MlpClassifier mlp(2, 4, 3);
+  TrainerConfig cfg;
+  cfg.epochs = 1;
+  cfg.track_accuracy = false;
+  const auto history = train(mlp, data, cfg);
+  EXPECT_DOUBLE_EQ(history[0].train_accuracy, -1.0);
+}
+
+TEST(TrainingSetTest, RejectsInconsistentDims) {
+  TrainingSet set;
+  const float a[2] = {1.0F, 2.0F};
+  set.push_back(std::span<const float>(a, 2), 0);
+  const float b[3] = {1.0F, 2.0F, 3.0F};
+  EXPECT_THROW(set.push_back(std::span<const float>(b, 3), 1),
+               std::invalid_argument);
+}
+
+TEST(EvaluateAccuracy, PerfectAndEmpty) {
+  const TrainingSet data = make_blobs(50, 10);
+  MlpClassifier mlp(2, 16, 3, 41);
+  TrainerConfig cfg;
+  cfg.epochs = 20;
+  train(mlp, data, cfg);
+  EXPECT_GT(evaluate_accuracy(mlp, data), 0.95);
+  TrainingSet empty;
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(mlp, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace tauw::ml

@@ -1,0 +1,153 @@
+// Tests for CSV/markdown exports and bootstrap confidence intervals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace tauw {
+namespace {
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  return lines;
+}
+
+core::Fig4Result demo_fig4() {
+  core::Fig4Result result;
+  for (std::size_t t = 1; t <= 3; ++t) {
+    core::Fig4Row row;
+    row.timestep = t;
+    row.isolated_rate = 0.1 * static_cast<double>(t);
+    row.fused_rate = 0.05 * static_cast<double>(t);
+    row.count = 100;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+TEST(ReportCsv, Fig4HasHeaderAndRows) {
+  const std::string csv = core::fig4_csv(demo_fig4());
+  EXPECT_EQ(count_lines(csv), 4u);  // header + 3 rows
+  EXPECT_EQ(csv.rfind("timestep,isolated_rate,fused_rate,cases\n", 0), 0u);
+  EXPECT_NE(csv.find("\n1,0.100000,0.050000,100\n"), std::string::npos);
+}
+
+TEST(ReportCsv, Table1EscapesCommasInNames) {
+  core::Table1Result table;
+  core::ApproachScore score;
+  score.name = "naive, with commas";
+  score.decomposition.brier = 0.5;
+  table.rows.push_back(score);
+  const std::string csv = core::table1_csv(table);
+  EXPECT_EQ(count_lines(csv), 2u);
+  EXPECT_NE(csv.find("naive; with commas"), std::string::npos);
+}
+
+TEST(ReportCsv, Fig5TagsBothModels) {
+  core::Fig5Result fig5;
+  fig5.stateless_distribution.push_back({0.01, 10, 0.5});
+  fig5.tauw_distribution.push_back({0.005, 15, 0.75});
+  const std::string csv = core::fig5_csv(fig5);
+  EXPECT_NE(csv.find("stateless_uw,"), std::string::npos);
+  EXPECT_NE(csv.find("tauw_if,"), std::string::npos);
+  EXPECT_EQ(count_lines(csv), 3u);
+}
+
+TEST(ReportCsv, Fig6SanitizesModelNames) {
+  core::Fig6Result fig6;
+  core::Fig6Curve curve;
+  curve.name = "worst-case UF";
+  curve.points.push_back({0.9, 0.95, 42});
+  fig6.curves.push_back(curve);
+  const std::string csv = core::fig6_csv(fig6);
+  EXPECT_NE(csv.find("worst-case_UF,1,"), std::string::npos);
+}
+
+TEST(ReportCsv, Fig7ListsSubsets) {
+  core::Fig7Result fig7;
+  core::Fig7Entry entry;
+  entry.name = "ratio+certainty";
+  entry.set.ratio = entry.set.certainty = true;
+  entry.set.length = entry.set.size = false;
+  entry.brier = 0.03;
+  fig7.entries.push_back(entry);
+  const std::string csv = core::fig7_csv(fig7);
+  EXPECT_NE(csv.find("ratio+certainty,2,0.030000"), std::string::npos);
+}
+
+TEST(ReportCsv, RowsCsvEncodesFailuresAsBits) {
+  std::vector<core::EvalRow> rows(1);
+  rows[0].series = 3;
+  rows[0].timestep = 2;
+  rows[0].fused_failure = true;
+  rows[0].u_tauw = 0.25;
+  const std::string csv = core::rows_csv(rows);
+  EXPECT_NE(csv.find("3,2,0,1,"), std::string::npos);
+}
+
+TEST(Bootstrap, MeanCiCoversPoint) {
+  std::vector<double> values;
+  stats::Rng rng(5);
+  for (int i = 0; i < 500; ++i) values.push_back(rng.normal(10.0, 2.0));
+  const auto ci = stats::bootstrap_mean_ci(values, 0.95, 1000, 7);
+  EXPECT_NEAR(ci.point, 10.0, 0.3);
+  EXPECT_LT(ci.lower, ci.point);
+  EXPECT_GT(ci.upper, ci.point);
+  EXPECT_LT(ci.upper - ci.lower, 1.0);  // n=500 keeps the CI tight
+}
+
+TEST(Bootstrap, DeterministicUnderSeed) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto a = stats::bootstrap_mean_ci(values, 0.9, 500, 3);
+  const auto b = stats::bootstrap_mean_ci(values, 0.9, 500, 3);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, PairedDiffDetectsConsistentGap) {
+  std::vector<double> a;
+  std::vector<double> b;
+  stats::Rng rng(9);
+  for (int i = 0; i < 400; ++i) {
+    const double shared = rng.normal(0.0, 5.0);  // large shared variance
+    a.push_back(shared + 1.0 + rng.normal(0.0, 0.2));
+    b.push_back(shared + rng.normal(0.0, 0.2));
+  }
+  const auto ci = stats::bootstrap_paired_diff_ci(a, b, 0.95, 1000, 11);
+  // The paired design removes the shared variance: CI should exclude 0.
+  EXPECT_GT(ci.lower, 0.5);
+  EXPECT_LT(ci.upper, 1.5);
+}
+
+TEST(Bootstrap, Validation) {
+  EXPECT_THROW(stats::bootstrap_mean_ci({}), std::invalid_argument);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(stats::bootstrap_mean_ci(one, 1.5), std::invalid_argument);
+  EXPECT_THROW(stats::bootstrap_mean_ci(one, 0.9, 0), std::invalid_argument);
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(stats::bootstrap_paired_diff_ci(one, two),
+               std::invalid_argument);
+}
+
+TEST(BoundedBuffer, EvictsOldestAtCapacity) {
+  core::TimeseriesBuffer buf(3);
+  EXPECT_EQ(buf.capacity(), 3u);
+  for (std::size_t i = 0; i < 5; ++i) buf.push(i, 0.1);
+  EXPECT_EQ(buf.length(), 3u);
+  EXPECT_EQ(buf.entry(0).outcome, 2u);
+  EXPECT_EQ(buf.latest().outcome, 4u);
+}
+
+TEST(BoundedBuffer, ZeroCapacityIsUnbounded) {
+  core::TimeseriesBuffer buf;
+  for (std::size_t i = 0; i < 100; ++i) buf.push(i, 0.1);
+  EXPECT_EQ(buf.length(), 100u);
+}
+
+}  // namespace
+}  // namespace tauw

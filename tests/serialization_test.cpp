@@ -1,0 +1,173 @@
+// Round-trip tests for tree/MLP serialization and PGM image I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "dtree/calibrate.hpp"
+#include "dtree/cart.hpp"
+#include "dtree/serialize.hpp"
+#include "imaging/pgm_io.hpp"
+#include "imaging/sign_renderer.hpp"
+#include "ml/serialize.hpp"
+#include "ml/trainer.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw {
+namespace {
+
+dtree::TreeDataset make_data(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  dtree::TreeDataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row{rng.uniform(), rng.uniform(), rng.uniform()};
+    data.push_back(row, rng.bernoulli(row[0] > 0.5 ? 0.6 : 0.05));
+  }
+  return data;
+}
+
+TEST(TreeSerialization, RoundTripsExactly) {
+  const dtree::TreeDataset train = make_data(3000, 1);
+  const dtree::TreeDataset calib = make_data(1500, 2);
+  dtree::DecisionTree tree = dtree::train_cart(train, dtree::CartConfig{});
+  dtree::prune_and_calibrate(tree, calib, dtree::CalibrationConfig{});
+
+  const std::string text = dtree::to_string(tree);
+  const dtree::DecisionTree parsed = dtree::from_string(text);
+
+  ASSERT_EQ(parsed.num_nodes(), tree.num_nodes());
+  ASSERT_EQ(parsed.num_features(), tree.num_features());
+  stats::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_EQ(parsed.route(x), tree.route(x));
+    EXPECT_DOUBLE_EQ(parsed.predict_uncertainty(x),
+                     tree.predict_uncertainty(x));
+  }
+}
+
+TEST(TreeSerialization, SecondRoundTripIsIdentical) {
+  const dtree::TreeDataset train = make_data(1000, 4);
+  const dtree::DecisionTree tree =
+      dtree::train_cart(train, dtree::CartConfig{});
+  const std::string once = dtree::to_string(tree);
+  const std::string twice = dtree::to_string(dtree::from_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(TreeSerialization, RejectsMalformedInput) {
+  EXPECT_THROW(dtree::from_string(""), std::runtime_error);
+  EXPECT_THROW(dtree::from_string("wrong v1 1 2\nleaf 0.5 1 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(dtree::from_string("tauw-dtree v9 1 2\nleaf 0.5 1 0\n"),
+               std::runtime_error);
+  // Child index out of range.
+  EXPECT_THROW(
+      dtree::from_string("tauw-dtree v1 1 2\nsplit 0 0.5 7 8 10 1\n"),
+      std::runtime_error);
+  // Truncated node list.
+  EXPECT_THROW(dtree::from_string("tauw-dtree v1 3 2\nleaf 0.5 1 0\n"),
+               std::runtime_error);
+}
+
+TEST(MlpSerialization, RoundTripsPredictions) {
+  stats::Rng rng(5);
+  ml::TrainingSet data;
+  for (int i = 0; i < 300; ++i) {
+    const float x[3] = {static_cast<float>(rng.uniform()),
+                        static_cast<float>(rng.uniform()),
+                        static_cast<float>(rng.uniform())};
+    data.push_back(std::span<const float>(x, 3), x[0] > 0.5F ? 1 : 0);
+  }
+  ml::MlpClassifier model(3, 8, 4, 7);
+  ml::TrainerConfig cfg;
+  cfg.epochs = 3;
+  ml::train(model, data, cfg);
+
+  const ml::MlpClassifier loaded = ml::from_string(ml::to_string(model));
+  EXPECT_EQ(loaded.input_dim(), model.input_dim());
+  EXPECT_EQ(loaded.hidden_dim(), model.hidden_dim());
+  EXPECT_EQ(loaded.num_classes(), model.num_classes());
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<float> x{static_cast<float>(rng.uniform()),
+                               static_cast<float>(rng.uniform()),
+                               static_cast<float>(rng.uniform())};
+    const ml::Prediction a = model.predict(x);
+    const ml::Prediction b = loaded.predict(x);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_FLOAT_EQ(a.confidence, b.confidence);
+  }
+}
+
+TEST(MlpSerialization, RejectsMalformedInput) {
+  EXPECT_THROW(ml::from_string(""), std::runtime_error);
+  EXPECT_THROW(ml::from_string("tauw-mlp v1 2 2 2\n1 2 3"),
+               std::runtime_error);  // truncated weights
+  EXPECT_THROW(ml::from_string("nope v1 2 2 2\n"), std::runtime_error);
+  EXPECT_THROW(ml::from_string("tauw-mlp v1 0 2 2\n"), std::runtime_error);
+}
+
+TEST(MlpFromWeights, ValidatesShapes) {
+  ml::Matrix w1(4, 3);
+  ml::Matrix w2(2, 4);
+  EXPECT_NO_THROW(ml::MlpClassifier::from_weights(
+      w1, std::vector<float>(4), w2, std::vector<float>(2)));
+  EXPECT_THROW(ml::MlpClassifier::from_weights(w1, std::vector<float>(3), w2,
+                                               std::vector<float>(2)),
+               std::invalid_argument);
+  ml::Matrix bad_w2(2, 5);
+  EXPECT_THROW(ml::MlpClassifier::from_weights(w1, std::vector<float>(4),
+                                               bad_w2, std::vector<float>(2)),
+               std::invalid_argument);
+}
+
+TEST(PgmIo, RoundTripsWithinQuantization) {
+  imaging::SignRenderer renderer(3);
+  stats::Rng rng(8);
+  const imaging::Image original = renderer.render(11, 22.0, rng);
+  std::stringstream stream;
+  imaging::write_pgm(stream, original);
+  const imaging::Image loaded = imaging::read_pgm(stream);
+  ASSERT_EQ(loaded.width(), original.width());
+  ASSERT_EQ(loaded.height(), original.height());
+  EXPECT_LT(imaging::mean_abs_diff(loaded, original), 1.0F / 255.0F);
+}
+
+TEST(PgmIo, FileRoundTrip) {
+  imaging::Image img(5, 4, 0.25F);
+  img(2, 2) = 1.0F;
+  const std::string path = "/tmp/tauw_pgm_test.pgm";
+  imaging::save_pgm(path, img);
+  const imaging::Image loaded = imaging::load_pgm(path);
+  EXPECT_LT(imaging::mean_abs_diff(loaded, img), 1.0F / 255.0F);
+  std::remove(path.c_str());
+}
+
+TEST(PgmIo, ParsesCommentsAndMaxval) {
+  // 2x1 image, maxval 100, with a header comment.
+  std::stringstream stream;
+  stream << "P5\n# a comment\n2 1\n100\n";
+  stream.put(static_cast<char>(0));
+  stream.put(static_cast<char>(100));
+  const imaging::Image img = imaging::read_pgm(stream);
+  EXPECT_FLOAT_EQ(img(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(img(1, 0), 1.0F);
+}
+
+TEST(PgmIo, RejectsMalformedInput) {
+  std::stringstream not_pgm("P2\n2 2\n255\n0 0 0 0\n");
+  EXPECT_THROW(imaging::read_pgm(not_pgm), std::runtime_error);
+  std::stringstream truncated("P5\n4 4\n255\nab");
+  EXPECT_THROW(imaging::read_pgm(truncated), std::runtime_error);
+  std::stringstream bad_maxval("P5\n2 2\n70000\n");
+  EXPECT_THROW(imaging::read_pgm(bad_maxval), std::runtime_error);
+  EXPECT_THROW(imaging::load_pgm("/nonexistent/nope.pgm"),
+               std::runtime_error);
+  imaging::Image empty;
+  std::stringstream out;
+  EXPECT_THROW(imaging::write_pgm(out, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw

@@ -1,0 +1,263 @@
+// Tests for the simulation substrate: weather, road network, situations,
+// and approach trajectories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/road_network.hpp"
+#include "sim/scenario.hpp"
+#include "sim/situation.hpp"
+#include "sim/weather.hpp"
+
+namespace tauw::sim {
+namespace {
+
+TEST(Weather, SunBelowHorizonAtMidnight) {
+  EXPECT_LT(WeatherModel::sun_elevation_deg({180, 0.0}), 0.0);
+  EXPECT_LT(WeatherModel::sun_elevation_deg({15, 23.0}), 0.0);
+}
+
+TEST(Weather, SunHighAtSummerNoon) {
+  const double el = WeatherModel::sun_elevation_deg({172, 12.0});
+  EXPECT_GT(el, 50.0);
+  EXPECT_LT(el, 70.0);
+}
+
+TEST(Weather, WinterNoonLowerThanSummerNoon) {
+  EXPECT_LT(WeatherModel::sun_elevation_deg({355, 12.0}),
+            WeatherModel::sun_elevation_deg({172, 12.0}));
+}
+
+TEST(Weather, ClimatologySeasonalTemperature) {
+  WeatherModel model(1);
+  const double summer = model.climatology({196, 15.0}).temperature_c;
+  const double winter = model.climatology({15, 15.0}).temperature_c;
+  EXPECT_GT(summer, winter + 10.0);
+}
+
+TEST(Weather, SampleFieldsInRange) {
+  WeatherModel model(2);
+  stats::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const TimePoint t = WeatherModel::random_time(rng);
+    const WeatherSample w = model.sample(t, rng);
+    EXPECT_GE(w.rain_mm_h, 0.0);
+    EXPECT_LE(w.rain_mm_h, 25.0);
+    EXPECT_GE(w.fog_density, 0.0);
+    EXPECT_LE(w.fog_density, 1.0);
+    EXPECT_GE(w.cloud_cover, 0.0);
+    EXPECT_LE(w.cloud_cover, 1.0);
+    EXPECT_GE(w.humidity, 0.0);
+    EXPECT_LE(w.humidity, 1.0);
+  }
+}
+
+TEST(Weather, RainOccursButNotAlways) {
+  WeatherModel model(4);
+  stats::Rng rng(5);
+  int rainy = 0;
+  constexpr int kN = 1000;
+  for (int i = 0; i < kN; ++i) {
+    const TimePoint t = WeatherModel::random_time(rng);
+    rainy += model.sample(t, rng).rain_mm_h > 0.0 ? 1 : 0;
+  }
+  EXPECT_GT(rainy, kN / 10);
+  EXPECT_LT(rainy, kN * 3 / 4);
+}
+
+TEST(RoadNetwork, DeterministicGivenSeed) {
+  RoadNetwork a(64, 9);
+  RoadNetwork b(64, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.location(i).latitude, b.location(i).latitude);
+    EXPECT_EQ(a.location(i).road_class, b.location(i).road_class);
+  }
+}
+
+TEST(RoadNetwork, LocationsInsideScopeBounds) {
+  RoadNetwork net(256, 10);
+  const BoundingBox& box = RoadNetwork::scope_bounds();
+  for (const SignLocation& loc : net.locations()) {
+    EXPECT_TRUE(box.contains(loc.latitude, loc.longitude));
+  }
+}
+
+TEST(RoadNetwork, ContainsAllRoadClasses) {
+  RoadNetwork net(512, 11);
+  std::array<int, 3> counts{};
+  for (const SignLocation& loc : net.locations()) {
+    ++counts[static_cast<std::size_t>(loc.road_class)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(RoadNetwork, SpeedLimitsMatchRoadClass) {
+  RoadNetwork net(512, 12);
+  for (const SignLocation& loc : net.locations()) {
+    switch (loc.road_class) {
+      case RoadClass::kUrban:
+        EXPECT_LE(loc.speed_limit_kmh, 50.0);
+        break;
+      case RoadClass::kRural:
+        EXPECT_GE(loc.speed_limit_kmh, 70.0);
+        EXPECT_LE(loc.speed_limit_kmh, 100.0);
+        break;
+      case RoadClass::kHighway:
+        EXPECT_GE(loc.speed_limit_kmh, 120.0);
+        break;
+    }
+  }
+}
+
+TEST(RoadNetwork, OutOfRangeAccessThrows) {
+  RoadNetwork net(4, 13);
+  EXPECT_THROW(net.location(4), std::out_of_range);
+}
+
+TEST(BoundingBoxTest, ContainsAndExcludes) {
+  const BoundingBox box{};
+  EXPECT_TRUE(box.contains(49.5, 8.5));    // Mannheim-ish
+  EXPECT_FALSE(box.contains(40.7, -74.0)); // New York (paper Fig. 1 case a)
+}
+
+TEST(Situation, IntensitiesAlwaysInUnitRange) {
+  WeatherModel weather(14);
+  RoadNetwork roads(64, 15);
+  SituationSampler sampler(weather, roads);
+  stats::Rng rng(16);
+  for (int i = 0; i < 500; ++i) {
+    const SituationSetting s = sampler.sample(rng);
+    for (const double v : s.base_intensities) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_TRUE(s.in_scope);
+  }
+}
+
+TEST(Situation, NightIsDarkerThanNoon) {
+  stats::Rng rng(17);
+  WeatherModel model(18);
+  SignLocation rural;
+  rural.street_lighting = false;
+  const WeatherSample noon = model.climatology({172, 12.0});
+  const WeatherSample night = model.climatology({172, 0.0});
+  const auto at_noon =
+      SituationSampler::derive_intensities({172, 12.0}, noon, rural, rng);
+  const auto at_night =
+      SituationSampler::derive_intensities({172, 0.0}, night, rural, rng);
+  const auto dark = static_cast<std::size_t>(imaging::Deficit::kDarkness);
+  EXPECT_GT(at_night[dark], at_noon[dark]);
+}
+
+TEST(Situation, StreetLightingMitigatesDarkness) {
+  stats::Rng rng_a(19);
+  stats::Rng rng_b(19);
+  WeatherModel model(20);
+  const WeatherSample night = model.climatology({10, 1.0});
+  SignLocation lit;
+  lit.street_lighting = true;
+  SignLocation unlit = lit;
+  unlit.street_lighting = false;
+  const auto with_light =
+      SituationSampler::derive_intensities({10, 1.0}, night, lit, rng_a);
+  const auto without =
+      SituationSampler::derive_intensities({10, 1.0}, night, unlit, rng_b);
+  const auto dark = static_cast<std::size_t>(imaging::Deficit::kDarkness);
+  EXPECT_LT(with_light[dark], without[dark]);
+}
+
+TEST(Situation, RainDrivesRainIntensity) {
+  stats::Rng rng(21);
+  WeatherModel model(22);
+  WeatherSample wet = model.climatology({100, 12.0});
+  wet.rain_mm_h = 8.0;
+  WeatherSample dry = wet;
+  dry.rain_mm_h = 0.0;
+  SignLocation loc;
+  const auto rainy =
+      SituationSampler::derive_intensities({100, 12.0}, wet, loc, rng);
+  const auto clear =
+      SituationSampler::derive_intensities({100, 12.0}, dry, loc, rng);
+  const auto rain = static_cast<std::size_t>(imaging::Deficit::kRain);
+  EXPECT_GT(rainy[rain], 0.5);
+  EXPECT_DOUBLE_EQ(clear[rain], 0.0);
+}
+
+TEST(Situation, FrameVariationTouchesOnlyVaryingDeficits) {
+  WeatherModel weather(23);
+  RoadNetwork roads(32, 24);
+  SituationSampler sampler(weather, roads);
+  stats::Rng rng(25);
+  const SituationSetting setting = sampler.sample(rng);
+  const auto frame = SituationSampler::frame_intensities(setting, rng);
+  for (const imaging::Deficit d : imaging::all_deficits()) {
+    const auto i = static_cast<std::size_t>(d);
+    if (!imaging::varies_within_series(d)) {
+      EXPECT_DOUBLE_EQ(frame[i], setting.base_intensities[i])
+          << imaging::deficit_name(d);
+    }
+  }
+}
+
+TEST(Trajectory, DistancesDecreaseMonotonically) {
+  ApproachParams params;
+  const ApproachTrajectory traj(params);
+  ASSERT_EQ(traj.num_frames(), params.num_frames);
+  for (std::size_t f = 1; f < traj.num_frames(); ++f) {
+    EXPECT_LE(traj.distance_m(f), traj.distance_m(f - 1));
+  }
+  EXPECT_NEAR(traj.distance_m(0), params.start_distance_m, 1e-9);
+  EXPECT_NEAR(traj.distance_m(traj.num_frames() - 1), params.end_distance_m,
+              1e-6);
+}
+
+TEST(Trajectory, ApparentSizeGrowsDuringApproach) {
+  const ApproachTrajectory traj(ApproachParams{});
+  for (std::size_t f = 1; f < traj.num_frames(); ++f) {
+    EXPECT_GE(traj.apparent_px(f), traj.apparent_px(f - 1));
+  }
+}
+
+TEST(Trajectory, PinholeModel) {
+  ApproachParams params;
+  params.focal_px = 600.0;
+  params.sign_size_m = 0.7;
+  const ApproachTrajectory traj(params);
+  EXPECT_NEAR(traj.apparent_px(0), 600.0 * 0.7 / traj.distance_m(0), 1e-9);
+}
+
+TEST(Trajectory, RejectsInvalidGeometry) {
+  ApproachParams bad;
+  bad.start_distance_m = 5.0;
+  bad.end_distance_m = 10.0;
+  EXPECT_THROW(ApproachTrajectory{bad}, std::invalid_argument);
+  ApproachParams zero;
+  zero.num_frames = 0;
+  EXPECT_THROW(ApproachTrajectory{zero}, std::invalid_argument);
+}
+
+TEST(Trajectory, RandomizedKeepsInvariants) {
+  stats::Rng rng(26);
+  const ApproachParams base;
+  for (int i = 0; i < 200; ++i) {
+    const ApproachParams p = ApproachTrajectory::randomized(base, rng);
+    EXPECT_GT(p.start_distance_m, p.end_distance_m);
+    EXPECT_GT(p.end_distance_m, 0.0);
+    EXPECT_GE(p.speed_kmh, 10.0);
+    EXPECT_NO_THROW(ApproachTrajectory{p});
+  }
+}
+
+TEST(Trajectory, SignPositionUsesLateralOffset) {
+  ApproachParams params;
+  params.lateral_offset_m = 2.5;
+  const ApproachTrajectory traj(params);
+  const Position2D pos = traj.sign_position(0);
+  EXPECT_DOUBLE_EQ(pos.y, 2.5);
+  EXPECT_DOUBLE_EQ(pos.x, traj.distance_m(0));
+}
+
+}  // namespace
+}  // namespace tauw::sim

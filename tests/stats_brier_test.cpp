@@ -1,0 +1,130 @@
+// Tests for the Brier score and its Murphy decomposition.
+#include "stats/brier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tauw::stats {
+namespace {
+
+TEST(BrierScore, PerfectForecastIsZero) {
+  const std::vector<double> f{1.0, 0.0, 1.0};
+  const std::vector<std::uint8_t> e{1, 0, 1};
+  EXPECT_DOUBLE_EQ(brier_score(f, e), 0.0);
+}
+
+TEST(BrierScore, WorstForecastIsOne) {
+  const std::vector<double> f{0.0, 1.0};
+  const std::vector<std::uint8_t> e{1, 0};
+  EXPECT_DOUBLE_EQ(brier_score(f, e), 1.0);
+}
+
+TEST(BrierScore, HandComputedExample) {
+  const std::vector<double> f{0.2, 0.7};
+  const std::vector<std::uint8_t> e{0, 1};
+  // ((0.2)^2 + (0.3)^2) / 2 = (0.04 + 0.09) / 2.
+  EXPECT_NEAR(brier_score(f, e), 0.065, 1e-12);
+}
+
+TEST(BrierScore, RejectsEmptyAndMismatched) {
+  const std::vector<double> f{0.2};
+  const std::vector<std::uint8_t> e{0, 1};
+  EXPECT_THROW(brier_score(f, e), std::invalid_argument);
+  EXPECT_THROW(brier_score({}, {}), std::invalid_argument);
+}
+
+TEST(BrierDecomposition, ConstantForecastHasZeroResolution) {
+  const std::vector<double> f{0.3, 0.3, 0.3, 0.3};
+  const std::vector<std::uint8_t> e{1, 0, 0, 0};
+  const auto d = brier_decomposition(f, e);
+  EXPECT_DOUBLE_EQ(d.resolution, 0.0);
+  EXPECT_EQ(d.bins.size(), 1u);
+  EXPECT_NEAR(d.base_rate, 0.25, 1e-12);
+}
+
+TEST(BrierDecomposition, PerfectlyCalibratedBinsHaveZeroUnreliability) {
+  // Two bins: forecast 0.0 with rate 0, forecast 1.0 with rate 1.
+  const std::vector<double> f{0.0, 0.0, 1.0, 1.0};
+  const std::vector<std::uint8_t> e{0, 0, 1, 1};
+  const auto d = brier_decomposition(f, e);
+  EXPECT_NEAR(d.unreliability, 0.0, 1e-12);
+  EXPECT_NEAR(d.brier, 0.0, 1e-12);
+  // Full resolution: bins separate the outcomes completely.
+  EXPECT_NEAR(d.resolution, d.variance, 1e-12);
+  EXPECT_NEAR(d.unspecificity, 0.0, 1e-12);
+}
+
+TEST(BrierDecomposition, OverconfidenceOnlyFromUnderestimates) {
+  // Forecast says u=0.1 but observed failure rate is 0.5 -> overconfident.
+  const std::vector<double> f{0.1, 0.1, 0.1, 0.1};
+  const std::vector<std::uint8_t> e{1, 1, 0, 0};
+  const auto d = brier_decomposition(f, e);
+  EXPECT_GT(d.overconfidence, 0.0);
+  EXPECT_NEAR(d.overconfidence, d.unreliability, 1e-12);
+  EXPECT_NEAR(d.underconfidence, 0.0, 1e-12);
+}
+
+TEST(BrierDecomposition, UnderconfidenceOnlyFromOverestimates) {
+  // Forecast says u=0.9 but observed rate is 0.5 -> conservative.
+  const std::vector<double> f{0.9, 0.9, 0.9, 0.9};
+  const std::vector<std::uint8_t> e{1, 1, 0, 0};
+  const auto d = brier_decomposition(f, e);
+  EXPECT_NEAR(d.overconfidence, 0.0, 1e-12);
+  EXPECT_GT(d.underconfidence, 0.0);
+}
+
+TEST(BrierDecomposition, BinsGroupIdenticalForecasts) {
+  const std::vector<double> f{0.2, 0.4, 0.2, 0.4, 0.2};
+  const std::vector<std::uint8_t> e{0, 1, 0, 0, 1};
+  const auto d = brier_decomposition(f, e);
+  ASSERT_EQ(d.bins.size(), 2u);
+  EXPECT_EQ(d.bins[0].count, 3u);
+  EXPECT_EQ(d.bins[1].count, 2u);
+  EXPECT_NEAR(d.bins[0].forecast, 0.2, 1e-12);
+}
+
+// Property: the Murphy identity brier = variance - resolution + unreliability
+// holds for random forecast/outcome samples.
+class MurphyIdentityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MurphyIdentityTest, IdentityHolds) {
+  Rng rng(GetParam());
+  const std::size_t n = 200 + rng.uniform_index(800);
+  std::vector<double> f(n);
+  std::vector<std::uint8_t> e(n);
+  // Discrete forecast levels mimic tree leaves.
+  const int levels = 1 + static_cast<int>(rng.uniform_index(8));
+  std::vector<double> level_values(levels);
+  for (auto& v : level_values) v = rng.uniform();
+  for (std::size_t i = 0; i < n; ++i) {
+    f[i] = level_values[rng.uniform_index(levels)];
+    e[i] = rng.bernoulli(rng.uniform()) ? 1 : 0;
+  }
+  const auto d = brier_decomposition(f, e);
+  EXPECT_NEAR(d.brier, d.variance - d.resolution + d.unreliability, 1e-9);
+  EXPECT_NEAR(d.unspecificity, d.variance - d.resolution, 1e-12);
+  EXPECT_NEAR(d.unreliability, d.overconfidence + d.underconfidence, 1e-12);
+  EXPECT_GE(d.resolution, -1e-12);
+  EXPECT_GE(d.unreliability, -1e-12);
+  std::size_t bin_total = 0;
+  for (const auto& b : d.bins) bin_total += b.count;
+  EXPECT_EQ(bin_total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSamples, MurphyIdentityTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(BrierDecomposition, VarianceDependsOnlyOnBaseRate) {
+  const std::vector<double> f1{0.1, 0.9, 0.5, 0.3};
+  const std::vector<double> f2{0.6, 0.6, 0.2, 0.8};
+  const std::vector<std::uint8_t> e{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(brier_decomposition(f1, e).variance,
+                   brier_decomposition(f2, e).variance);
+}
+
+}  // namespace
+}  // namespace tauw::stats

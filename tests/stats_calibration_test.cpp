@@ -1,0 +1,112 @@
+// Tests for calibration curves (paper Fig. 6 infrastructure).
+#include "stats/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tauw::stats {
+namespace {
+
+TEST(CalibrationCurve, SingleBinAggregatesEverything) {
+  const std::vector<double> u{0.2, 0.4, 0.1};
+  const std::vector<std::uint8_t> e{0, 1, 0};
+  const auto curve = calibration_curve(u, e, 1);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].count, 3u);
+  EXPECT_NEAR(curve[0].observed_correctness, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curve[0].mean_predicted_certainty, 1.0 - 0.7 / 3.0, 1e-12);
+}
+
+TEST(CalibrationCurve, BinsOrderedByCertainty) {
+  std::vector<double> u;
+  std::vector<std::uint8_t> e;
+  for (int i = 0; i < 100; ++i) {
+    u.push_back(static_cast<double>(i) / 100.0);
+    e.push_back(0);
+  }
+  const auto curve = calibration_curve(u, e, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t b = 1; b < curve.size(); ++b) {
+    EXPECT_GT(curve[b].mean_predicted_certainty,
+              curve[b - 1].mean_predicted_certainty);
+  }
+}
+
+TEST(CalibrationCurve, EqualPopulationBins) {
+  std::vector<double> u(1000);
+  std::vector<std::uint8_t> e(1000, 0);
+  Rng rng(5);
+  for (auto& v : u) v = rng.uniform();
+  const auto curve = calibration_curve(u, e, 10);
+  for (const auto& pt : curve) EXPECT_EQ(pt.count, 100u);
+}
+
+TEST(CalibrationCurve, PerfectCalibrationLandsOnDiagonal) {
+  Rng rng(6);
+  std::vector<double> u;
+  std::vector<std::uint8_t> e;
+  // Three well-calibrated risk levels.
+  for (const double risk : {0.05, 0.3, 0.7}) {
+    for (int i = 0; i < 6000; ++i) {
+      u.push_back(risk);
+      e.push_back(rng.bernoulli(risk) ? 1 : 0);
+    }
+  }
+  const auto curve = calibration_curve(u, e, 3);
+  for (const auto& pt : curve) {
+    EXPECT_NEAR(pt.mean_predicted_certainty, pt.observed_correctness, 0.03);
+  }
+}
+
+TEST(CalibrationCurve, RejectsBadInput) {
+  const std::vector<double> u{0.1};
+  const std::vector<std::uint8_t> e{0, 1};
+  EXPECT_THROW(calibration_curve(u, e, 10), std::invalid_argument);
+  EXPECT_THROW(calibration_curve({}, {}, 10), std::invalid_argument);
+  const std::vector<double> u2{0.1};
+  const std::vector<std::uint8_t> e2{0};
+  EXPECT_THROW(calibration_curve(u2, e2, 0), std::invalid_argument);
+}
+
+TEST(ExpectedCalibrationError, ZeroForPerfectForecasts) {
+  const std::vector<double> u{0.0, 0.0, 1.0};
+  const std::vector<std::uint8_t> e{0, 0, 1};
+  EXPECT_NEAR(expected_calibration_error(u, e, 2), 0.0, 1e-12);
+}
+
+TEST(ExpectedCalibrationError, DetectsSystematicOverconfidence) {
+  // Claim u = 0 everywhere but fail 30% of the time.
+  std::vector<double> u(1000, 0.0);
+  std::vector<std::uint8_t> e(1000, 0);
+  for (std::size_t i = 0; i < 300; ++i) e[i] = 1;
+  EXPECT_NEAR(expected_calibration_error(u, e, 10), 0.3, 0.05);
+}
+
+TEST(OverconfidentBinFraction, AllBinsOverconfident) {
+  std::vector<double> u(100, 0.0);   // claims certainty 1.0
+  std::vector<std::uint8_t> e(100, 1);  // always fails
+  EXPECT_DOUBLE_EQ(overconfident_bin_fraction(u, e, 5), 1.0);
+}
+
+TEST(OverconfidentBinFraction, NoneWhenConservative) {
+  std::vector<double> u(100, 0.9);  // claims near-certain failure
+  std::vector<std::uint8_t> e(100, 0);  // never fails
+  EXPECT_DOUBLE_EQ(overconfident_bin_fraction(u, e, 5), 0.0);
+}
+
+TEST(CalibrationCurve, FewerCasesThanBins) {
+  const std::vector<double> u{0.1, 0.6, 0.3};
+  const std::vector<std::uint8_t> e{0, 1, 0};
+  const auto curve = calibration_curve(u, e, 10);
+  EXPECT_EQ(curve.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& pt : curve) total += pt.count;
+  EXPECT_EQ(total, 3u);
+}
+
+}  // namespace
+}  // namespace tauw::stats

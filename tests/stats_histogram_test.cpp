@@ -1,0 +1,91 @@
+// Tests for histograms and distinct-value distributions (Fig. 5 support).
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace tauw::stats {
+namespace {
+
+TEST(Histogram, BinEdgesAndCounts) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.30001);
+  h.add(0.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_upper(1), 0.5);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(1.0);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, FractionAndMode) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 8; ++i) h.add(3.0);  // bin 1
+  for (int i = 0; i < 2; ++i) h.add(9.0);  // bin 4
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.8);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, AddAllFromSpan) {
+  Histogram h(0.0, 1.0, 2);
+  const std::vector<double> values{0.1, 0.2, 0.8};
+  h.add_all(values);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(DistinctValues, GroupsAndSorts) {
+  const std::vector<double> v{0.5, 0.1, 0.5, 0.1, 0.1, 0.9};
+  const auto dist = distinct_value_distribution(v);
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_NEAR(dist[0].value, 0.1, 1e-12);
+  EXPECT_EQ(dist[0].count, 3u);
+  EXPECT_NEAR(dist[0].fraction, 0.5, 1e-12);
+  EXPECT_NEAR(dist[2].value, 0.9, 1e-12);
+}
+
+TEST(DistinctValues, ToleranceMergesNearValues) {
+  const std::vector<double> v{0.5, 0.5 + 1e-13, 0.6};
+  const auto dist = distinct_value_distribution(v, 1e-9);
+  EXPECT_EQ(dist.size(), 2u);
+}
+
+TEST(DistinctValues, EmptyInput) {
+  EXPECT_TRUE(distinct_value_distribution({}).empty());
+}
+
+}  // namespace
+}  // namespace tauw::stats

@@ -1,0 +1,178 @@
+// Tests for special functions and exact binomial confidence bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/binomial.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+
+namespace tauw::stats {
+namespace {
+
+TEST(LogBeta, KnownValues) {
+  // B(1,1) = 1, B(2,3) = 1/12.
+  EXPECT_NEAR(log_beta(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_beta(2.0, 3.0)), 1.0 / 12.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_beta(0.5, 0.5)), M_PI, 1e-9);
+}
+
+TEST(LogBeta, RejectsNonPositive) {
+  EXPECT_THROW(log_beta(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(log_beta(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(IncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformCase) {
+  // Beta(1,1) is uniform: I_x(1,1) = x.
+  for (const double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (const double x : {0.05, 0.3, 0.62, 0.95}) {
+    EXPECT_NEAR(incomplete_beta(2.5, 4.0, x),
+                1.0 - incomplete_beta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = incomplete_beta(3.0, 2.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(IncompleteBetaInv, RoundTrips) {
+  for (const double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (const double b : {0.5, 2.0, 7.5}) {
+      for (const double p : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+        const double x = incomplete_beta_inv(a, b, p);
+        EXPECT_NEAR(incomplete_beta(a, b, x), p, 1e-8)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaInv, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta_inv(2.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta_inv(2.0, 2.0, 1.0), 1.0);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(NormalQuantile, RoundTrips) {
+  for (const double p : {0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(ClopperPearson, ZeroErrorsMatchesClosedForm) {
+  // For k = 0 the upper bound is 1 - (1-conf)^(1/n).
+  for (const std::size_t n : {10u, 100u, 960u}) {
+    const double expected = 1.0 - std::pow(1.0 - 0.999, 1.0 / n);
+    EXPECT_NEAR(clopper_pearson_upper(0, n, 0.999), expected, 1e-9);
+  }
+}
+
+TEST(ClopperPearson, PaperLowestUncertainty) {
+  // The paper's lowest guaranteed uncertainty of 0.0072 corresponds to a
+  // zero-error leaf with roughly 960 calibration samples at 0.999.
+  EXPECT_NEAR(clopper_pearson_upper(0, 960, 0.999), 0.0072, 2e-4);
+}
+
+TEST(ClopperPearson, AllErrorsIsOne) {
+  EXPECT_DOUBLE_EQ(clopper_pearson_upper(5, 5, 0.99), 1.0);
+}
+
+TEST(ClopperPearson, UpperAboveMle) {
+  for (std::size_t k = 0; k <= 20; k += 4) {
+    const double mle = static_cast<double>(k) / 20.0;
+    EXPECT_GT(clopper_pearson_upper(k, 20, 0.95), mle - 1e-12);
+  }
+}
+
+TEST(ClopperPearson, UpperDecreasesWithSamples) {
+  const double u100 = clopper_pearson_upper(5, 100, 0.999);
+  const double u1000 = clopper_pearson_upper(50, 1000, 0.999);
+  EXPECT_LT(u1000, u100);  // same rate, more evidence -> tighter bound
+}
+
+TEST(ClopperPearson, UpperIncreasesWithConfidence) {
+  EXPECT_LT(clopper_pearson_upper(3, 50, 0.9),
+            clopper_pearson_upper(3, 50, 0.999));
+}
+
+TEST(ClopperPearson, LowerZeroForNoErrors) {
+  EXPECT_DOUBLE_EQ(clopper_pearson_lower(0, 100, 0.999), 0.0);
+}
+
+TEST(ClopperPearson, IntervalContainsMle) {
+  const auto iv = clopper_pearson_interval(7, 40, 0.95);
+  const double mle = 7.0 / 40.0;
+  EXPECT_LT(iv.lower, mle);
+  EXPECT_GT(iv.upper, mle);
+}
+
+TEST(ClopperPearson, RejectsBadArguments) {
+  EXPECT_THROW(clopper_pearson_upper(1, 0, 0.9), std::invalid_argument);
+  EXPECT_THROW(clopper_pearson_upper(5, 4, 0.9), std::invalid_argument);
+  EXPECT_THROW(clopper_pearson_upper(1, 10, 1.0), std::invalid_argument);
+}
+
+TEST(WilsonUpper, TracksClopperPearson) {
+  // Wilson is an approximation: in the same ballpark as Clopper-Pearson
+  // (notably looser at k = 0), always a valid probability, above the MLE.
+  for (std::size_t k = 0; k <= 10; k += 2) {
+    const double cp = clopper_pearson_upper(k, 50, 0.999);
+    const double w = wilson_upper(k, 50, 0.999);
+    EXPECT_LE(w, cp * 1.5 + 1e-9) << "k=" << k;
+    EXPECT_GE(w, cp * 0.5) << "k=" << k;
+    EXPECT_GT(w, static_cast<double>(k) / 50.0 - 1e-12);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+// Statistical coverage property: across many binomial simulations, the true
+// parameter exceeds the CP upper bound at most (1 - confidence) of the time.
+class CoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageTest, UpperBoundCovers) {
+  const double p_true = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(p_true * 1e6) + 3);
+  constexpr int kTrials = 400;
+  constexpr std::size_t kN = 120;
+  constexpr double kConfidence = 0.95;
+  int violations = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < kN; ++i) k += rng.bernoulli(p_true) ? 1 : 0;
+    if (clopper_pearson_upper(k, kN, kConfidence) < p_true) ++violations;
+  }
+  // Expected violation rate <= 5%; allow sampling slack.
+  EXPECT_LE(violations, static_cast<int>(kTrials * 0.09));
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueRates, CoverageTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.3, 0.7));
+
+}  // namespace
+}  // namespace tauw::stats

@@ -1,0 +1,95 @@
+// Tests for summary statistics.
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tauw::stats {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_NEAR(rs.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(31);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Mean, SimpleAndThrowsOnEmpty) {
+  const std::vector<double> xs{1.0, 2.0, 6.0};
+  EXPECT_NEAR(mean(xs), 3.0, 1e-12);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Variance, MatchesRunningStats) {
+  const std::vector<double> xs{1.0, 2.0, 6.0, 9.0};
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_NEAR(variance(xs), rs.variance(), 1e-12);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_NEAR(quantile(xs, 0.25), 2.5, 1e-12);
+}
+
+TEST(Quantile, RejectsBadLevel) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::stats

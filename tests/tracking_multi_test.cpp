@@ -1,0 +1,132 @@
+// Tests for multi-object track management.
+#include "tracking/multi_track_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/rng.hpp"
+
+namespace tauw::tracking {
+namespace {
+
+TEST(MultiTrack, EachInitialDetectionStartsASeries) {
+  MultiTrackManager manager;
+  const auto updates = manager.observe({{50.0, 3.0}, {48.0, -3.0}});
+  ASSERT_EQ(updates.size(), 2u);
+  std::set<std::uint64_t> ids;
+  for (const auto& u : updates) {
+    EXPECT_TRUE(u.new_series);
+    EXPECT_EQ(u.index_in_series, 0u);
+    ids.insert(u.series_id);
+  }
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(manager.active_tracks(), 2u);
+}
+
+TEST(MultiTrack, TracksStayAssociatedAcrossFrames) {
+  MultiTrackManager manager;
+  const auto first = manager.observe({{50.0, 3.0}, {48.0, -3.0}});
+  const auto second = manager.observe({{49.0, 3.0}, {47.0, -3.0}});
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_FALSE(second[0].new_series);
+  EXPECT_EQ(second[0].series_id, first[0].series_id);
+  EXPECT_EQ(second[1].series_id, first[1].series_id);
+  EXPECT_EQ(second[0].index_in_series, 1u);
+}
+
+TEST(MultiTrack, SwappedDetectionOrderStillAssociatesCorrectly) {
+  MultiTrackManager manager;
+  const auto first = manager.observe({{50.0, 3.0}, {30.0, -3.0}});
+  // Same physical objects, reported in reverse order.
+  const auto second = manager.observe({{29.5, -3.0}, {49.5, 3.0}});
+  EXPECT_EQ(second[0].series_id, first[1].series_id);
+  EXPECT_EQ(second[1].series_id, first[0].series_id);
+}
+
+TEST(MultiTrack, FarDetectionSpawnsNewTrack) {
+  MultiTrackManager manager;
+  manager.observe({{50.0, 3.0}});
+  const auto updates = manager.observe({{49.5, 3.0}, {10.0, -5.0}});
+  EXPECT_FALSE(updates[0].new_series);
+  EXPECT_TRUE(updates[1].new_series);
+  EXPECT_EQ(manager.active_tracks(), 2u);
+}
+
+TEST(MultiTrack, MissedTracksExpire) {
+  TrackManagerConfig config;
+  config.max_missed = 1;
+  MultiTrackManager manager(config);
+  manager.observe({{50.0, 3.0}});
+  EXPECT_EQ(manager.active_tracks(), 1u);
+  manager.observe({});  // miss 1
+  EXPECT_EQ(manager.active_tracks(), 1u);
+  manager.observe({});  // miss 2 > max_missed -> dropped
+  EXPECT_EQ(manager.active_tracks(), 0u);
+  const auto revived = manager.observe({{49.0, 3.0}});
+  EXPECT_TRUE(revived[0].new_series);
+}
+
+TEST(MultiTrack, ResetDropsEverything) {
+  MultiTrackManager manager;
+  manager.observe({{50.0, 3.0}, {30.0, -3.0}});
+  manager.reset();
+  EXPECT_EQ(manager.active_tracks(), 0u);
+}
+
+TEST(MultiTrack, FilteredPositionsFollowTargets) {
+  MultiTrackManager manager;
+  stats::Rng rng(7);
+  std::vector<MultiTrackUpdate> updates;
+  for (int i = 0; i < 25; ++i) {
+    const double x1 = 60.0 - 2.0 * i;
+    const double x2 = 45.0 - 2.0 * i;
+    updates = manager.observe({{x1 + rng.normal(0.0, 0.2), 3.0},
+                               {x2 + rng.normal(0.0, 0.2), -3.0}});
+  }
+  EXPECT_NEAR(updates[0].filtered_position.x, 60.0 - 2.0 * 24, 1.5);
+  EXPECT_NEAR(updates[1].filtered_position.x, 45.0 - 2.0 * 24, 1.5);
+  EXPECT_EQ(manager.active_tracks(), 2u);
+}
+
+TEST(MultiTrack, SeriesIndicesAdvancePerTrack) {
+  MultiTrackManager manager;
+  manager.observe({{50.0, 3.0}, {30.0, -3.0}});
+  manager.observe({{49.0, 3.0}});  // second object missed this frame
+  const auto updates = manager.observe({{48.0, 3.0}, {29.0, -3.0}});
+  EXPECT_EQ(updates[0].index_in_series, 2u);
+  // The second track missed one frame but was not dropped; its series
+  // continues.
+  EXPECT_FALSE(updates[1].new_series);
+  EXPECT_EQ(updates[1].index_in_series, 1u);
+}
+
+// Property: no two detections of one frame are ever assigned to the same
+// series id.
+class MultiTrackPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MultiTrackPropertyTest, AssignmentsAreExclusive) {
+  stats::Rng rng(GetParam());
+  MultiTrackManager manager;
+  for (int frame = 0; frame < 50; ++frame) {
+    std::vector<Vec2> detections;
+    const std::size_t n = rng.uniform_index(4);
+    for (std::size_t d = 0; d < n; ++d) {
+      detections.push_back({rng.uniform(0.0, 100.0), rng.uniform(-5.0, 5.0)});
+    }
+    const auto updates = manager.observe(detections);
+    ASSERT_EQ(updates.size(), detections.size());
+    std::set<std::uint64_t> ids;
+    for (const auto& u : updates) {
+      EXPECT_TRUE(ids.insert(u.series_id).second)
+          << "duplicate series assignment in one frame";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiTrackPropertyTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace tauw::tracking

@@ -1,0 +1,174 @@
+// Tests for the Kalman filter and track manager (series segmentation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "tracking/kalman.hpp"
+#include "tracking/track_manager.hpp"
+
+namespace tauw::tracking {
+namespace {
+
+TEST(Kalman, InitializeSetsState) {
+  KalmanFilter2D kf;
+  EXPECT_FALSE(kf.initialized());
+  kf.initialize({3.0, -1.0});
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_DOUBLE_EQ(kf.position().x, 3.0);
+  EXPECT_DOUBLE_EQ(kf.position().y, -1.0);
+  EXPECT_DOUBLE_EQ(kf.velocity().x, 0.0);
+}
+
+TEST(Kalman, PredictMovesWithVelocity) {
+  KalmanFilter2D kf;
+  kf.initialize({0.0, 0.0});
+  // Feed two measurements implying motion, then predict.
+  kf.predict(1.0);
+  kf.update({1.0, 0.0});
+  kf.predict(1.0);
+  kf.update({2.0, 0.0});
+  const double x_before = kf.position().x;
+  kf.predict(1.0);
+  EXPECT_GT(kf.position().x, x_before);
+}
+
+TEST(Kalman, ConvergesToStaticTarget) {
+  KalmanFilter2D kf;
+  stats::Rng rng(1);
+  kf.initialize({10.0, 5.0});
+  for (int i = 0; i < 100; ++i) {
+    kf.predict(0.1);
+    kf.update({10.0 + rng.normal(0.0, 0.3), 5.0 + rng.normal(0.0, 0.3)});
+  }
+  EXPECT_NEAR(kf.position().x, 10.0, 0.5);
+  EXPECT_NEAR(kf.position().y, 5.0, 0.5);
+  EXPECT_NEAR(kf.velocity().x, 0.0, 0.3);
+}
+
+TEST(Kalman, TracksConstantVelocity) {
+  KalmanFilter2D kf;
+  kf.initialize({0.0, 0.0});
+  // True motion: 2 m/s along x.
+  for (int i = 1; i <= 60; ++i) {
+    kf.predict(0.1);
+    kf.update({0.2 * i, 0.0});
+  }
+  EXPECT_NEAR(kf.velocity().x, 2.0, 0.25);
+  EXPECT_NEAR(kf.velocity().y, 0.0, 0.1);
+}
+
+TEST(Kalman, UncertaintyShrinksWithMeasurements) {
+  KalmanFilter2D kf;
+  kf.initialize({0.0, 0.0});
+  const double var0 = kf.position_variance();
+  for (int i = 0; i < 10; ++i) {
+    kf.predict(0.1);
+    kf.update({0.0, 0.0});
+  }
+  EXPECT_LT(kf.position_variance(), var0);
+}
+
+TEST(Kalman, UncertaintyGrowsWithoutMeasurements) {
+  KalmanFilter2D kf;
+  kf.initialize({0.0, 0.0});
+  kf.update({0.0, 0.0});
+  const double var0 = kf.position_variance();
+  for (int i = 0; i < 10; ++i) kf.predict(0.5);
+  EXPECT_GT(kf.position_variance(), var0);
+}
+
+TEST(Kalman, InnovationDistanceIsEuclideanToPrediction) {
+  KalmanFilter2D kf;
+  kf.initialize({1.0, 2.0});
+  EXPECT_NEAR(kf.innovation_distance({4.0, 6.0}), 5.0, 1e-9);
+}
+
+TEST(Kalman, UpdateBeforeInitializeInitializes) {
+  KalmanFilter2D kf;
+  kf.update({2.0, 3.0});
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_DOUBLE_EQ(kf.position().x, 2.0);
+}
+
+TEST(TrackManagerTest, FirstDetectionStartsSeries) {
+  TrackManager tm;
+  const TrackUpdate u = tm.observe({50.0, 3.0});
+  EXPECT_TRUE(u.new_series);
+  EXPECT_EQ(u.series_id, 1u);
+  EXPECT_EQ(u.index_in_series, 0u);
+  EXPECT_TRUE(tm.has_active_track());
+}
+
+TEST(TrackManagerTest, SmoothApproachStaysOneSeries) {
+  TrackManagerConfig cfg;
+  TrackManager tm(cfg);
+  stats::Rng rng(2);
+  std::uint64_t series = 0;
+  for (int i = 0; i < 30; ++i) {
+    // Sign approaching: x shrinks from 60 m at ~2 m per frame.
+    const double x = 60.0 - 2.0 * i + rng.normal(0.0, 0.2);
+    const TrackUpdate u = tm.observe({x, 3.0 + rng.normal(0.0, 0.1)});
+    if (i == 0) {
+      series = u.series_id;
+    } else {
+      EXPECT_EQ(u.series_id, series) << "frame " << i;
+      EXPECT_FALSE(u.new_series);
+      EXPECT_EQ(u.index_in_series, static_cast<std::size_t>(i));
+    }
+  }
+}
+
+TEST(TrackManagerTest, JumpToNewSignStartsNewSeries) {
+  TrackManager tm;
+  tm.observe({20.0, 3.0});
+  tm.observe({19.0, 3.0});
+  // A different physical sign far away.
+  const TrackUpdate u = tm.observe({80.0, -3.0});
+  EXPECT_TRUE(u.new_series);
+  EXPECT_EQ(u.series_id, 2u);
+  EXPECT_EQ(u.index_in_series, 0u);
+}
+
+TEST(TrackManagerTest, MissesEventuallyDropTrack) {
+  TrackManagerConfig cfg;
+  cfg.max_missed = 2;
+  TrackManager tm(cfg);
+  tm.observe({20.0, 3.0});
+  tm.miss();
+  tm.miss();
+  EXPECT_TRUE(tm.has_active_track());
+  tm.miss();  // exceeds max_missed
+  EXPECT_FALSE(tm.has_active_track());
+  const TrackUpdate u = tm.observe({19.0, 3.0});
+  EXPECT_TRUE(u.new_series);
+}
+
+TEST(TrackManagerTest, ResetForcesNewSeries) {
+  TrackManager tm;
+  tm.observe({20.0, 3.0});
+  tm.reset();
+  const TrackUpdate u = tm.observe({19.5, 3.0});
+  EXPECT_TRUE(u.new_series);
+  EXPECT_EQ(u.series_id, 2u);
+}
+
+TEST(TrackManagerTest, FilteredPositionNearMeasurements) {
+  TrackManager tm;
+  stats::Rng rng(3);
+  TrackUpdate u{};
+  for (int i = 0; i < 20; ++i) {
+    u = tm.observe({30.0 - i + rng.normal(0.0, 0.3), 3.0});
+  }
+  EXPECT_NEAR(u.filtered_position.x, 11.0, 1.5);
+  EXPECT_NEAR(u.filtered_position.y, 3.0, 0.5);
+}
+
+TEST(TrackManagerTest, MissWithoutTrackIsNoop) {
+  TrackManager tm;
+  EXPECT_NO_THROW(tm.miss());
+  EXPECT_FALSE(tm.has_active_track());
+}
+
+}  // namespace
+}  // namespace tauw::tracking
