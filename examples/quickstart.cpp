@@ -1,20 +1,21 @@
-// Quickstart: wrap ANY black-box classifier with an uncertainty wrapper and
+// Quickstart: wrap ANY black-box classifier with an uncertainty engine and
 // make it timeseries-aware in ~80 lines.
 //
 // The example builds a deliberately simple DDM (a rule-based classifier with
 // a known weakness: it fails when the "rain" quality factor is high), fits a
-// quality impact model on labeled data, and then runs the timeseries-aware
-// wrapper over a short image series, printing per-step fused outcomes and
-// dependable uncertainty estimates.
+// quality impact model on labeled data, and then streams a short image
+// series through a session of the core::Engine, printing per-step fused
+// outcomes, dependable uncertainty estimates, and the per-session monitor's
+// accept/fallback verdicts.
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
+#include <memory>
 
+#include "core/engine.hpp"
 #include "core/fusion.hpp"
 #include "core/quality_factors.hpp"
 #include "core/quality_impact_model.hpp"
-#include "core/ta_wrapper.hpp"
-#include "core/wrapper.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -74,47 +75,61 @@ int main() {
   std::printf("fitted QIM (transparent decision tree):\n%s\n",
               qim.to_text().c_str());
 
-  // 2. Wrap the DDM (stateless uncertainty wrapper).
-  const core::UncertaintyWrapper wrapper(ddm, qf, qim);
+  // 2. Build the engine components: the engine owns everything it
+  //    evaluates (shared_ptr / value semantics - no lifetime contracts).
+  core::EngineComponents components;
+  components.ddm = std::make_shared<DemoClassifier>();
+  components.qf_extractor = qf;
+  components.qim = std::make_shared<core::QualityImpactModel>(std::move(qim));
+  components.fusion = std::make_shared<core::MajorityVoteFusion>();
 
-  // 3. Make it timeseries-aware: fit a taQIM on series data. For brevity we
-  //    reuse the stateless recipe over simulated 5-step series.
+  // 3. Make it timeseries-aware: fit a taQIM on series data streamed
+  //    through a bootstrap engine (stateless pipeline, no taUW estimator
+  //    yet). Each simulated 5-step series is one engine session.
   const core::TaFeatureBuilder builder(qf.num_factors(), core::TaqfSet::all());
-  const core::MajorityVoteFusion fusion;
+  core::Engine bootstrap(components);
   dtree::TreeDataset ta_train;
   dtree::TreeDataset ta_calib;
   std::vector<double> feature_buf(builder.dim());
   for (int series = 0; series < 1200; ++series) {
     const std::size_t truth = rng.bernoulli(0.5) ? 1 : 0;
     const bool rainy = rng.bernoulli(0.3);
-    core::TimeseriesBuffer buffer;
+    const core::SessionId session = bootstrap.open_session();
     for (int t = 0; t < 5; ++t) {
       const float rain = rainy && rng.bernoulli(0.8) ? 0.9F : 0.05F;
       const data::FrameRecord frame =
           make_frame(truth == 1 ? 0.9F : 0.1F, rain);
-      const core::UncertainOutcome out = wrapper.evaluate(frame);
-      buffer.push(out.label, out.uncertainty);
-      const std::size_t fused = fusion.fuse(buffer);
-      builder.build_into(qf.extract(frame), buffer, fused, feature_buf);
+      const core::EngineStepResult r = bootstrap.step(session, frame);
+      builder.build_into(qf.extract(frame), bootstrap.session_buffer(session),
+                         r.fused_label, feature_buf);
       (series % 2 == 0 ? ta_train : ta_calib)
-          .push_back(feature_buf, fused != truth);
+          .push_back(feature_buf, r.fused_label != truth);
     }
+    bootstrap.close_session(session);
   }
-  core::QualityImpactModel taqim;
-  taqim.fit(ta_train, ta_calib, qim_config, builder.names(qf.names()));
+  auto taqim = std::make_shared<core::QualityImpactModel>();
+  taqim->fit(ta_train, ta_calib, qim_config, builder.names(qf.names()));
 
-  // 4. Run the timeseries-aware wrapper on one series: three clean frames,
-  //    then heavy rain corrupting the last two.
-  core::TimeseriesAwareWrapper tauw(wrapper, taqim, fusion);
-  tauw.start_series();  // the tracker would call this on a new object
+  // 4. The full engine: same components plus the fitted taQIM, and a
+  //    monitor gating each fused outcome at 5% uncertainty. Stream one
+  //    series: three clean frames, then heavy rain corrupting the last two.
+  components.taqim = std::move(taqim);
+  core::EngineConfig config;
+  config.monitor.uncertainty_threshold = 0.05;
+  core::Engine engine(std::move(components), config);
+  const std::size_t i_tauw = engine.estimator_index("tauw");
+  const core::SessionId session = engine.open_session();
   const float rains[] = {0.05F, 0.05F, 0.05F, 0.9F, 0.9F};
-  std::printf("step  ddm  u(isolated)  fused  u(taUW)\n");
+  std::printf("step  ddm  u(isolated)  fused  u(taUW)  monitor\n");
   for (const float rain : rains) {
-    const core::TaStepResult r = tauw.step(make_frame(0.9F, rain));
-    std::printf("%4zu  %3zu  %.4f       %5zu  %.4f\n", r.series_length,
+    const core::EngineStepResult r = engine.step(session, make_frame(0.9F, rain));
+    std::printf("%4zu  %3zu  %.4f       %5zu  %.4f   %s\n", r.series_length,
                 r.isolated.label, r.isolated.uncertainty, r.fused_label,
-                r.fused_uncertainty);
+                r.estimates[i_tauw],
+                r.decision == core::MonitorDecision::kAccept ? "accept"
+                                                             : "FALLBACK");
   }
+  engine.close_session(session);
   std::printf(
       "\nThe fused outcome stays correct through the rain, and the taUW's\n"
       "uncertainty stays small because three confident agreeing steps back\n"

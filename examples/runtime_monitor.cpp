@@ -1,72 +1,108 @@
 // Runtime verification demo: using dependable uncertainty estimates to gate
 // a perception output (simplex-style architecture, paper Section I).
 //
-// A monitor accepts the fused TSR outcome only when the taUW uncertainty is
-// below a threshold; otherwise it falls back to a safe action (e.g. "treat
-// as unknown sign, reduce speed"). The demo sweeps the threshold and reports
-// the achieved residual failure rate among accepted outcomes vs coverage -
-// the trade-off a safety engineer actually tunes.
+// The study's evaluated test traces are replayed ONCE through a
+// session-oriented core::Engine - one session per physical sign - recording
+// the taUW estimate and the observed fused failure for every decision
+// point. A RuntimeMonitor then sweeps the acceptance threshold over the
+// recorded stream (decide_and_report) and reports the achieved residual
+// failure rate among accepted outcomes vs coverage - the trade-off a
+// safety engineer actually tunes.
 //
 // Build & run:  ./examples/runtime_monitor
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/study.hpp"
 #include "stats/histogram.hpp"
 
-int main() {
-  using namespace tauw;
+namespace {
 
+using namespace tauw;
+
+/// One monitored decision point: the engine's taUW estimate and the
+/// observed ground truth of the fused outcome.
+struct DecisionPoint {
+  double u_tauw = 0.0;
+  bool fused_failure = false;
+};
+
+// Replays every test trace through the engine, one session per series.
+std::vector<DecisionPoint> replay_traces(
+    core::Engine& engine, const std::vector<core::SeriesTrace>& traces) {
+  const std::size_t i_tauw = engine.estimator_index("tauw");
+  std::vector<DecisionPoint> points;
+  core::EngineStepResult result;
+  for (const core::SeriesTrace& trace : traces) {
+    const core::SessionId session = engine.open_session();
+    for (const core::StepTrace& step : trace.steps) {
+      engine.step_precomputed_into(session, step.stateless_qfs, step.outcome,
+                                   step.uncertainty, result);
+      points.push_back({result.estimates[i_tauw],
+                        result.fused_label != trace.truth});
+    }
+    engine.close_session(session);
+  }
+  return points;
+}
+
+}  // namespace
+
+int main() {
   std::printf("training pipeline (medium study config)...\n");
   core::Study study(core::StudyConfig::medium());
   study.run();
   std::printf("DDM ready, test accuracy %.1f%%\n\n",
               study.ddm_test_accuracy() * 100.0);
 
-  // Use the study's evaluated test rows as the monitored traffic: each row
-  // is one (series, timestep) decision point with the taUW estimate and the
-  // ground-truth fused failure.
-  const auto& rows = study.rows();
+  // One full engine replay produces every (estimate, outcome) pair; the
+  // threshold sweep below reuses them instead of re-running the engine
+  // once per threshold.
+  core::Engine engine(study.engine_components(),
+                      core::EngineConfig{.max_sessions = 0});
+  const std::vector<DecisionPoint> points =
+      replay_traces(engine, study.test_traces());
 
-  std::printf("monitored decision points: %zu\n", rows.size());
+  std::printf("monitored decision points: %zu\n", points.size());
   std::printf("unmonitored fused failure rate: %s\n\n",
               core::format_percent([&] {
                 std::size_t f = 0;
-                for (const auto& r : rows) f += r.fused_failure ? 1 : 0;
+                for (const auto& p : points) f += p.fused_failure ? 1 : 0;
                 return static_cast<double>(f) /
-                       static_cast<double>(rows.size());
+                       static_cast<double>(points.size());
               }())
                   .c_str());
 
-  std::printf("%-12s %-11s %-18s %-16s\n", "threshold", "coverage",
-              "accepted-failure", "fallback rate");
   // Thresholds between the distinct uncertainty levels the taQIM emits (a
   // decision tree produces finitely many), so every row changes coverage.
   std::vector<double> levels;
-  for (const core::EvalRow& row : rows) levels.push_back(row.u_tauw);
+  for (const DecisionPoint& p : points) levels.push_back(p.u_tauw);
   std::vector<double> thresholds;
   for (const auto& vc : stats::distinct_value_distribution(levels)) {
-    thresholds.push_back(vc.value + 1e-9);
+    // The monitor validates thresholds to [0, 1]; a taQIM level of exactly
+    // 1.0 ("certain failure") is never acceptable to a monitor, so the
+    // clamped top threshold excludes it by design.
+    thresholds.push_back(std::min(vc.value + 1e-9, 1.0));
   }
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::printf("%-12s %-11s %-18s %-16s\n", "threshold", "coverage",
+              "accepted-failure", "fallback rate");
   for (const double threshold : thresholds) {
-    std::size_t accepted = 0;
-    std::size_t accepted_failures = 0;
-    for (const core::EvalRow& row : rows) {
-      if (row.u_tauw < threshold) {
-        ++accepted;
-        accepted_failures += row.fused_failure ? 1 : 0;
-      }
+    core::MonitorConfig config;
+    config.uncertainty_threshold = threshold;
+    core::RuntimeMonitor monitor(config);
+    for (const DecisionPoint& p : points) {
+      monitor.decide_and_report(p.u_tauw, p.fused_failure);
     }
-    const double coverage =
-        static_cast<double>(accepted) / static_cast<double>(rows.size());
-    const double residual =
-        accepted == 0 ? 0.0
-                      : static_cast<double>(accepted_failures) /
-                            static_cast<double>(accepted);
+    const core::MonitorStats& stats = monitor.stats();
     std::printf("u < %-8.3f %-11s %-18s %-16s\n", threshold,
-                core::format_percent(coverage).c_str(),
-                core::format_percent(residual).c_str(),
-                core::format_percent(1.0 - coverage).c_str());
+                core::format_percent(stats.coverage()).c_str(),
+                core::format_percent(stats.accepted_failure_rate()).c_str(),
+                core::format_percent(stats.fallback_rate()).c_str());
   }
 
   std::printf(

@@ -1,20 +1,23 @@
 // Full TSR pipeline demo: camera frames -> Kalman-filter tracking (series
-// segmentation) -> CNN-substitute DDM -> timeseries-aware uncertainty
-// wrapper, exactly as in the paper's Fig. 2 architecture.
+// segmentation) -> CNN-substitute DDM -> session-oriented uncertainty
+// engine, exactly as in the paper's Fig. 2 architecture.
 //
-// A simulated car drives past three traffic signs; the tracker detects when
-// the detections start belonging to a new physical sign and restarts the
-// taUW's timeseries buffer. Uses the medium study pipeline to obtain a
-// trained DDM and fitted QIMs in a few tens of seconds.
+// A simulated car drives past three traffic signs; the EngineTrackBridge
+// runs the multi-object tracker over each frame's detections, opens one
+// engine session per tracked physical sign, and closes it when the track
+// drops - so fused outcomes never mix evidence from different signs. Uses
+// the medium study pipeline to obtain a trained DDM and fitted QIMs in a
+// few tens of seconds.
 //
 // Build & run:  ./examples/tsr_pipeline
 #include <algorithm>
 #include <cstdio>
 
+#include "core/engine.hpp"
 #include "core/study.hpp"
 #include "imaging/augmentations.hpp"
 #include "sim/scenario.hpp"
-#include "tracking/track_manager.hpp"
+#include "tracking/engine_bridge.hpp"
 
 int main() {
   using namespace tauw;
@@ -25,12 +28,13 @@ int main() {
   std::printf("DDM ready, test accuracy %.1f%%\n\n",
               study.ddm_test_accuracy() * 100.0);
 
-  const core::MajorityVoteFusion fusion;
-  core::TimeseriesAwareWrapper tauw(study.wrapper(), study.taqim(), fusion);
-
+  // The engine shares the study's fitted components; the bridge opens one
+  // session per tracked sign and steps every detection through it.
+  core::Engine engine(study.engine_components());
+  const std::size_t i_tauw = engine.estimator_index("tauw");
   tracking::TrackManagerConfig track_config;
   track_config.gate_distance_m = 6.0;
-  tracking::TrackManager tracker(track_config);
+  tracking::EngineTrackBridge bridge(engine, track_config);
 
   // Drive past three signs with different situation settings. Frames must
   // come from the same renderer whose templates the DDM was trained on.
@@ -48,17 +52,7 @@ int main() {
     approach.num_frames = 8;
     const sim::ApproachTrajectory trajectory(approach);
     for (std::size_t t = 0; t < trajectory.num_frames(); ++t) {
-      // 1. Tracking: associate the detection; new sign -> new series.
-      const sim::Position2D pos = trajectory.sign_position(t);
-      const tracking::TrackUpdate track =
-          tracker.observe({pos.x, pos.y + rng.normal(0.0, 0.2)});
-      if (track.new_series) {
-        tauw.start_series();
-        std::printf("-- tracker: new series %llu --\n",
-                    static_cast<unsigned long long>(track.series_id));
-      }
-
-      // 2. Render the camera frame under the sign's situation setting and
+      // 1. Render the camera frame under the sign's situation setting and
       //    derive the runtime record (features + observed quality factors).
       imaging::DeficitVector deficits{};
       deficits[static_cast<std::size_t>(imaging::Deficit::kRain)] =
@@ -80,17 +74,29 @@ int main() {
       }
       record.observed_apparent_px = record.apparent_px;
 
-      // 3. taUW step: isolated outcome + fused outcome + uncertainties.
-      const core::TaStepResult r = tauw.step(record);
+      // 2. Tracking + engine in one call: associate the detection, open or
+      //    continue its track's session, step the frame through it.
+      const sim::Position2D pos = trajectory.sign_position(t);
+      tracking::SceneDetection detection;
+      detection.position = {pos.x, pos.y + rng.normal(0.0, 0.2)};
+      detection.frame = &record;
+      const auto results = bridge.observe({&detection, 1});
+      const tracking::BridgeResult& r = results[0];
+      if (r.track.new_series) {
+        std::printf("-- tracker: new series %llu --\n",
+                    static_cast<unsigned long long>(r.track.series_id));
+      }
       std::printf("%-6zu %-7llu %-9.1f %-5zu %-11.4f %-6zu %-9.4f %zu\n",
-                  frame_no++, static_cast<unsigned long long>(track.series_id),
-                  trajectory.distance_m(t), r.isolated.label,
-                  r.isolated.uncertainty, r.fused_label, r.fused_uncertainty,
-                  record.label);
+                  frame_no++,
+                  static_cast<unsigned long long>(r.track.series_id),
+                  trajectory.distance_m(t), r.step.isolated.label,
+                  r.step.isolated.uncertainty, r.step.fused_label,
+                  r.step.estimates[i_tauw], record.label);
     }
   }
   std::printf(
-      "\nEach tracker-detected series restarts the timeseries buffer, so\n"
-      "fused outcomes never mix evidence from different physical signs.\n");
+      "\nEach tracker-detected series gets its own engine session, so fused\n"
+      "outcomes never mix evidence from different physical signs - and any\n"
+      "number of signs may be visible simultaneously.\n");
   return 0;
 }

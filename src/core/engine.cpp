@@ -1,0 +1,291 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tauw::core {
+
+Engine::Engine(EngineComponents components, EngineConfig config)
+    : components_(std::move(components)),
+      config_(config),
+      qf_scratch_(components_.qf_extractor.num_factors()) {
+  if (components_.fusion == nullptr) {
+    components_.fusion = std::make_shared<MajorityVoteFusion>();
+  }
+  if (components_.qim != nullptr && components_.qim->fitted() &&
+      components_.qim->num_features() !=
+          components_.qf_extractor.num_factors()) {
+    throw std::invalid_argument(
+        "Engine: QIM feature count does not match the QF extractor");
+  }
+  estimators_ = make_default_estimators(
+      components_.taqim, components_.qf_extractor.num_factors(),
+      components_.taqfs);
+  primary_ = components_.taqim != nullptr
+                 ? estimator_index("tauw")
+                 : estimator_index("worst_case");
+}
+
+std::vector<std::string> Engine::estimator_names() const {
+  std::vector<std::string> names;
+  names.reserve(estimators_.size());
+  for (const auto& estimator : estimators_) names.push_back(estimator->name());
+  return names;
+}
+
+std::size_t Engine::estimator_index(std::string_view name) const {
+  for (std::size_t i = 0; i < estimators_.size(); ++i) {
+    if (estimators_[i]->name() == name) return i;
+  }
+  throw std::invalid_argument("Engine: unknown estimator \"" +
+                              std::string(name) + "\"");
+}
+
+void Engine::add_estimator(std::shared_ptr<UncertaintyEstimator> estimator) {
+  if (estimator == nullptr) {
+    throw std::invalid_argument("Engine: null estimator");
+  }
+  estimators_.push_back(std::move(estimator));
+}
+
+SessionId Engine::open_session() {
+  const SessionId id = next_auto_id_++;
+  create_session(id);  // fresh by construction: ids are never re-issued
+  return id;
+}
+
+void Engine::validate_external_id(SessionId id) const {
+  // Caller-chosen ids must stay out of the auto namespace - except ids
+  // this engine itself assigned (re-opening an evicted auto session).
+  if ((id & kAutoSessionBit) != 0 && id >= next_auto_id_) {
+    throw std::invalid_argument(
+        "Engine: caller session ids must be below 2^63 (id " +
+        std::to_string(id) + " aliases the auto-assigned namespace)");
+  }
+}
+
+void Engine::open_session(SessionId id) {
+  validate_external_id(id);
+  const auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    // Re-opening restarts the series: buffer, UF aggregates, and the
+    // monitor's hysteresis mode (it belonged to the previous physical
+    // object) are cleared; the monitor's statistics are kept (they belong
+    // to the session's stream of decisions, not one series).
+    it->second.buffer.clear();
+    it->second.uf.reset();
+    it->second.monitor.reset_hysteresis();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  create_session(id);
+}
+
+Engine::Session& Engine::create_session(SessionId id) {
+  lru_.push_front(id);
+  try {
+    Session session{TimeseriesBuffer(config_.buffer_capacity),
+                    UncertaintyFusionAccumulator{},
+                    RuntimeMonitor(config_.monitor), lru_.begin()};
+    const auto [it, inserted] = sessions_.emplace(id, std::move(session));
+    if (config_.max_sessions > 0 && sessions_.size() > config_.max_sessions) {
+      evict_lru(id);
+    }
+    return it->second;
+  } catch (...) {
+    // Unwind the LRU entry so a failed emplace cannot leave a ghost id
+    // that evict_lru would spin on.
+    lru_.pop_front();
+    throw;
+  }
+}
+
+void Engine::evict_lru(SessionId keep) {
+  while (sessions_.size() > config_.max_sessions && !lru_.empty()) {
+    const SessionId victim = lru_.back();
+    if (victim == keep) break;  // never evict the session being touched
+    close_session(victim);
+  }
+}
+
+bool Engine::has_session(SessionId id) const noexcept {
+  return sessions_.find(id) != sessions_.end();
+}
+
+void Engine::close_session(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  retired_ += it->second.monitor.stats();
+  lru_.erase(it->second.lru_it);
+  sessions_.erase(it);
+}
+
+const Engine::Session& Engine::session_at(SessionId id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("Engine: unknown session " +
+                                std::to_string(id));
+  }
+  return it->second;
+}
+
+const RuntimeMonitor& Engine::session_monitor(SessionId id) const {
+  return session_at(id).monitor;
+}
+
+const TimeseriesBuffer& Engine::session_buffer(SessionId id) const {
+  return session_at(id).buffer;
+}
+
+Engine::Session& Engine::touch(SessionId id, bool& created) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    validate_external_id(id);
+    created = true;
+    return create_session(id);
+  }
+  created = false;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second;
+}
+
+void Engine::step_common(SessionId id, Session& session,
+                         std::span<const double> stateless_qfs,
+                         std::size_t outcome, double ddm_confidence,
+                         double uncertainty, EngineStepResult& result) {
+  session.buffer.push(outcome, uncertainty);
+  if (config_.buffer_capacity > 0 &&
+      session.buffer.length() == config_.buffer_capacity) {
+    // Bounded sessions window the UF aggregates to the buffer contents so
+    // every estimator and the fused outcome cover the same evidence (min/
+    // max cannot be decremented incrementally; the O(capacity) rebuild
+    // keeps per-step cost constant).
+    session.uf.reset();
+    for (const BufferEntry& entry : session.buffer.entries()) {
+      session.uf.push(entry.uncertainty);
+    }
+  } else {
+    session.uf.push(uncertainty);
+  }
+
+  result.session = id;
+  result.isolated.label = outcome;
+  result.isolated.uncertainty = uncertainty;
+  result.isolated.ddm_confidence = ddm_confidence;
+  result.series_length = session.buffer.length();
+  result.fused_label = components_.fusion->fuse(session.buffer);
+
+  EstimationContext context;
+  context.stateless_qfs = stateless_qfs;
+  context.buffer = &session.buffer;
+  context.uf = &session.uf;
+  context.isolated_label = outcome;
+  context.isolated_uncertainty = uncertainty;
+  context.fused_label = result.fused_label;
+
+  result.estimates.resize(estimators_.size());
+  for (std::size_t i = 0; i < estimators_.size(); ++i) {
+    result.estimates[i] = estimators_[i]->estimate(context);
+  }
+  result.decision = session.monitor.decide(result.estimates[primary_]);
+}
+
+void Engine::step_into(SessionId id, const data::FrameRecord& frame,
+                       const sim::SignLocation* location,
+                       EngineStepResult& result) {
+  if (components_.ddm == nullptr || components_.qim == nullptr) {
+    throw std::logic_error(
+        "Engine::step requires a DDM and a fitted QIM (replay-only engines "
+        "must use step_precomputed)");
+  }
+  // Run every fallible evaluation before touching session state, so a
+  // throwing DDM/QIM leaves no half-created session and evicts nothing.
+  components_.qf_extractor.extract_into(frame, qf_scratch_);
+  const ml::Prediction prediction = components_.ddm->predict(frame.features);
+  double uncertainty = components_.qim->predict(qf_scratch_);
+  if (components_.scope.has_value() && location != nullptr) {
+    uncertainty = combine_uncertainties(
+        uncertainty,
+        components_.scope->incompliance_probability(frame, *location));
+  }
+  bool created = false;
+  Session& session = touch(id, created);
+  result.new_session = created;
+  step_common(id, session, qf_scratch_, prediction.label,
+              prediction.confidence, uncertainty, result);
+}
+
+EngineStepResult Engine::step(SessionId id, const data::FrameRecord& frame,
+                              const sim::SignLocation* location) {
+  EngineStepResult result;
+  step_into(id, frame, location, result);
+  return result;
+}
+
+void Engine::step_precomputed_into(SessionId id,
+                                   std::span<const double> stateless_qfs,
+                                   std::size_t outcome, double uncertainty,
+                                   EngineStepResult& result) {
+  // Validate before any session mutation: the taUW estimator would only
+  // reject a wrong-sized span after the buffer push, leaving a phantom
+  // step behind.
+  if (stateless_qfs.size() != components_.qf_extractor.num_factors()) {
+    throw std::invalid_argument(
+        "Engine::step_precomputed: stateless QF count does not match the "
+        "QF extractor");
+  }
+  bool created = false;
+  Session& session = touch(id, created);
+  result.new_session = created;
+  step_common(id, session, stateless_qfs, outcome, 0.0, uncertainty, result);
+}
+
+EngineStepResult Engine::step_precomputed(
+    SessionId id, std::span<const double> stateless_qfs, std::size_t outcome,
+    double uncertainty) {
+  EngineStepResult result;
+  step_precomputed_into(id, stateless_qfs, outcome, uncertainty, result);
+  return result;
+}
+
+void Engine::step_batch(std::span<const SessionFrame> frames,
+                        std::vector<EngineStepResult>& results) {
+  // Validate the whole batch first so a bad entry cannot leave earlier
+  // sessions half-stepped (the call is all-or-nothing up to this point).
+  for (const SessionFrame& frame : frames) {
+    if (frame.frame == nullptr) {
+      throw std::invalid_argument("Engine::step_batch: null frame");
+    }
+    if (!has_session(frame.session)) validate_external_id(frame.session);
+  }
+  results.resize(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    step_into(frames[i].session, *frames[i].frame, frames[i].location,
+              results[i]);
+  }
+}
+
+void Engine::report_outcome(SessionId id, MonitorDecision decision,
+                            bool failure) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    // The session may have been closed or evicted between the decision and
+    // the (possibly delayed) ground-truth feedback; count it globally.
+    if (decision == MonitorDecision::kAccept && failure) {
+      ++retired_.accepted_failures;
+    }
+    return;
+  }
+  it->second.monitor.report_outcome(decision, failure);
+}
+
+MonitorStats Engine::total_monitor_stats() const noexcept {
+  MonitorStats total = retired_;
+  for (const auto& [id, session] : sessions_) {
+    total += session.monitor.stats();
+  }
+  return total;
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,230 @@
+#pragma once
+// Session-oriented uncertainty engine - the streaming, multi-track front
+// door of the library.
+//
+// The paper's taUW (Fig. 2) is a streaming component: per-step outcomes flow
+// through a timeseries buffer into fused uncertainties. The legacy wrappers
+// (`UncertaintyWrapper`, `TimeseriesAwareWrapper`) support one series at a
+// time and borrow their components by raw pointer; the Engine replaces both
+// limitations:
+//
+//   * it OWNS its components via shared_ptr/value semantics (no lifetime
+//     contracts for callers to get wrong),
+//   * it manages many concurrent series keyed by SessionId (open / step /
+//     close, with an optional LRU cap so memory stays bounded under heavy
+//     multi-user traffic),
+//   * it evaluates a polymorphic registry of UncertaintyEstimators - the
+//     stateless UW, the three UF baselines, and the taUW - on every step,
+//   * each session carries its own RuntimeMonitor accept/fallback state,
+//   * `step_batch` processes a whole frame of SessionFrames while reusing
+//     scratch and result buffers (the hot path).
+//
+// Sessions map 1:1 to tracked physical objects; see
+// tracking/engine_bridge.hpp for the tracker integration that opens and
+// closes sessions automatically.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/fusion.hpp"
+#include "core/monitor.hpp"
+#include "core/quality_factors.hpp"
+#include "core/scope_model.hpp"
+#include "core/wrapper.hpp"
+#include "data/timeseries.hpp"
+#include "ml/classifier.hpp"
+
+namespace tauw::core {
+
+/// Identifies one concurrent timeseries (e.g. one tracked sign, one user
+/// stream). Ids are chosen by the caller (below 2^63) or auto-assigned by
+/// open_session() from a disjoint namespace (top bit set), so external ids
+/// - e.g. tracker series ids - never collide with auto-assigned sessions.
+using SessionId = std::uint64_t;
+
+/// The components an Engine evaluates. All are owned (shared_ptr or value);
+/// copying an EngineComponents is cheap and shares the underlying models.
+struct EngineComponents {
+  /// The wrapped DDM. Required for step(); replay-only engines (that only
+  /// ever call step_precomputed) may leave it null.
+  std::shared_ptr<const ml::Classifier> ddm;
+  /// Stateless quality-factor extractor (value type).
+  QualityFactorExtractor qf_extractor{};
+  /// Fitted stateless QIM. Required for step(); optional for replay-only.
+  std::shared_ptr<const QualityImpactModel> qim;
+  /// Fitted timeseries-aware QIM; null disables the taUW estimator.
+  std::shared_ptr<const QualityImpactModel> taqim;
+  /// The taQF subset the taQIM was fitted with - a property of the model,
+  /// carried alongside it so component sets stay self-consistent.
+  TaqfSet taqfs = TaqfSet::all();
+  /// Information-fusion rule; null defaults to majority voting.
+  std::shared_ptr<const InformationFusion> fusion;
+  /// Optional scope compliance model (combined when a location is given).
+  std::optional<ScopeComplianceModel> scope{};
+};
+
+struct EngineConfig {
+  /// Maximum number of live sessions; opening more evicts the least
+  /// recently stepped session (its monitor statistics are folded into the
+  /// retired aggregate; its buffer and hysteresis mode are dropped - an
+  /// evicted session stepped again starts as a fresh series). 0 =
+  /// unbounded.
+  std::size_t max_sessions = 1024;
+  /// Per-session timeseries buffer bound (0 = unbounded, the paper's
+  /// setting; series end via the tracker). When bounded, the UF baselines
+  /// are windowed to the buffer contents as well, so all estimates and the
+  /// fused outcome cover the same evidence.
+  std::size_t buffer_capacity = 0;
+  /// Per-session runtime-monitor configuration.
+  MonitorConfig monitor{};
+};
+
+/// One (session, frame) pair of a batched step.
+struct SessionFrame {
+  SessionId session = 0;
+  const data::FrameRecord* frame = nullptr;
+  /// Optional sign location for the scope model.
+  const sim::SignLocation* location = nullptr;
+};
+
+/// Everything the engine produces for one step of one session.
+struct EngineStepResult {
+  SessionId session = 0;
+  UncertainOutcome isolated{};    ///< o_i and stateless u_i
+  std::size_t fused_label = 0;    ///< o_i^(if)
+  /// Evidence steps in the session's buffer: i + 1 for unbounded sessions,
+  /// saturating at EngineConfig::buffer_capacity for bounded ones.
+  std::size_t series_length = 0;
+  /// One estimate per Engine::estimators(), in registry order.
+  std::vector<double> estimates;
+  /// The session monitor's verdict on the primary estimate.
+  MonitorDecision decision = MonitorDecision::kAccept;
+  /// True when this step implicitly created the session - it was never
+  /// opened, or was LRU-evicted (possibly earlier in the same batch).
+  /// Consumers relying on continuous series should watch this flag.
+  bool new_session = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineComponents components, EngineConfig config = {});
+
+  // Copying is deleted: per-session LRU iterators cannot be shallow-copied
+  // (and two engines sharing live session state is never intended). Moving
+  // is fine - list/map moves preserve the cross-references.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  const EngineComponents& components() const noexcept { return components_; }
+  const EngineConfig& config() const noexcept { return config_; }
+
+  // -- estimator registry -------------------------------------------------
+  std::span<const std::shared_ptr<UncertaintyEstimator>> estimators()
+      const noexcept {
+    return estimators_;
+  }
+  std::vector<std::string> estimator_names() const;
+  /// Index into EngineStepResult::estimates; throws if unknown.
+  std::size_t estimator_index(std::string_view name) const;
+  /// The estimate the per-session monitor decides on: "tauw" when a taQIM
+  /// is configured, otherwise "worst_case" (the conservative baseline).
+  std::size_t primary_index() const noexcept { return primary_; }
+  /// Registers an additional estimator (evaluated after the defaults).
+  /// Its estimate() must not throw - see UncertaintyEstimator's contract.
+  void add_estimator(std::shared_ptr<UncertaintyEstimator> estimator);
+
+  // -- session management -------------------------------------------------
+  /// Opens a fresh session under an auto-assigned id.
+  SessionId open_session();
+  /// Opens (or resets) the session with the given id.
+  void open_session(SessionId id);
+  bool has_session(SessionId id) const noexcept;
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+  /// Closes a session, folding its monitor statistics into the retired
+  /// aggregate. Unknown ids are ignored (the session may have been evicted).
+  void close_session(SessionId id);
+  /// The monitor (decision state + statistics) of a live session.
+  const RuntimeMonitor& session_monitor(SessionId id) const;
+  /// The timeseries buffer of a live session.
+  const TimeseriesBuffer& session_buffer(SessionId id) const;
+
+  // -- streaming ----------------------------------------------------------
+  /// Full evaluation of one frame: DDM + stateless QIM (+ scope), buffer
+  /// push, information fusion, all estimators, monitor decision. Stepping
+  /// an unknown id implicitly opens it (a session may have been evicted
+  /// under memory pressure; streaming must keep working).
+  EngineStepResult step(SessionId id, const data::FrameRecord& frame,
+                        const sim::SignLocation* location = nullptr);
+  /// Allocation-light variant reusing `result`'s buffers.
+  void step_into(SessionId id, const data::FrameRecord& frame,
+                 const sim::SignLocation* location, EngineStepResult& result);
+
+  /// Replay path: skips the DDM and stateless QIM and feeds precomputed
+  /// interim results (outcome o_i, stateless uncertainty u_i, stateless
+  /// QFs) straight into the session - used to re-evaluate recorded traces
+  /// without re-rendering frames.
+  EngineStepResult step_precomputed(SessionId id,
+                                    std::span<const double> stateless_qfs,
+                                    std::size_t outcome, double uncertainty);
+  void step_precomputed_into(SessionId id,
+                             std::span<const double> stateless_qfs,
+                             std::size_t outcome, double uncertainty,
+                             EngineStepResult& result);
+
+  /// Batched hot path: steps every (session, frame) pair in order, reusing
+  /// `results` (and each element's estimate vector) across calls.
+  void step_batch(std::span<const SessionFrame> frames,
+                  std::vector<EngineStepResult>& results);
+
+  // -- monitor feedback ---------------------------------------------------
+  /// Ground-truth feedback for a session's previous decision.
+  void report_outcome(SessionId id, MonitorDecision decision, bool failure);
+  /// Monitor statistics aggregated over all live, closed, and evicted
+  /// sessions.
+  MonitorStats total_monitor_stats() const noexcept;
+
+ private:
+  struct Session {
+    TimeseriesBuffer buffer;
+    UncertaintyFusionAccumulator uf;
+    RuntimeMonitor monitor;
+    std::list<SessionId>::iterator lru_it;  ///< position in lru_
+  };
+
+  /// Looks up `id`, creating (and possibly evicting) as needed, and marks
+  /// it most recently used.
+  Session& touch(SessionId id, bool& created);
+  Session& create_session(SessionId id);
+  void validate_external_id(SessionId id) const;
+  void evict_lru(SessionId keep);
+  const Session& session_at(SessionId id) const;
+  void step_common(SessionId id, Session& session,
+                   std::span<const double> stateless_qfs, std::size_t outcome,
+                   double ddm_confidence, double uncertainty,
+                   EngineStepResult& result);
+
+  EngineComponents components_;
+  EngineConfig config_;
+  std::vector<std::shared_ptr<UncertaintyEstimator>> estimators_;
+  std::size_t primary_ = 0;
+  /// Auto-assigned ids live in their own namespace so they never collide
+  /// with caller-chosen ids (which should stay below this bit).
+  static constexpr SessionId kAutoSessionBit = SessionId{1} << 63;
+
+  std::unordered_map<SessionId, Session> sessions_;
+  std::list<SessionId> lru_;  ///< front = most recently used
+  SessionId next_auto_id_ = kAutoSessionBit | 1;
+  MonitorStats retired_;  ///< folded stats of closed/evicted sessions
+  std::vector<double> qf_scratch_;
+};
+
+}  // namespace tauw::core

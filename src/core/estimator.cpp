@@ -1,0 +1,45 @@
+#include "core/estimator.hpp"
+
+#include <stdexcept>
+
+namespace tauw::core {
+
+TauwEstimator::TauwEstimator(std::shared_ptr<const QualityImpactModel> taqim,
+                             std::size_t num_stateless_factors, TaqfSet taqfs)
+    : taqim_(std::move(taqim)),
+      builder_(num_stateless_factors, taqfs),
+      feature_scratch_(builder_.dim()) {
+  if (taqim_ == nullptr || !taqim_->fitted()) {
+    throw std::invalid_argument("TauwEstimator requires a fitted taQIM");
+  }
+  if (taqim_->num_features() != builder_.dim()) {
+    throw std::invalid_argument(
+        "taQIM feature count does not match the taQF feature builder");
+  }
+}
+
+double TauwEstimator::estimate(const EstimationContext& context) {
+  builder_.build_into(context.stateless_qfs, *context.buffer,
+                      context.fused_label, feature_scratch_);
+  return taqim_->predict(feature_scratch_);
+}
+
+std::vector<std::shared_ptr<UncertaintyEstimator>> make_default_estimators(
+    std::shared_ptr<const QualityImpactModel> taqim,
+    std::size_t num_stateless_factors, TaqfSet taqfs) {
+  std::vector<std::shared_ptr<UncertaintyEstimator>> estimators;
+  estimators.push_back(std::make_shared<StatelessEstimator>());
+  estimators.push_back(
+      std::make_shared<UfBaselineEstimator>(UncertaintyFusionRule::kNaive));
+  estimators.push_back(
+      std::make_shared<UfBaselineEstimator>(UncertaintyFusionRule::kOpportune));
+  estimators.push_back(
+      std::make_shared<UfBaselineEstimator>(UncertaintyFusionRule::kWorstCase));
+  if (taqim != nullptr) {
+    estimators.push_back(std::make_shared<TauwEstimator>(
+        std::move(taqim), num_stateless_factors, taqfs));
+  }
+  return estimators;
+}
+
+}  // namespace tauw::core

@@ -1,0 +1,117 @@
+#pragma once
+// Polymorphic uncertainty estimators.
+//
+// The paper evaluates six uncertainty models side by side (TABLE I): the
+// stateless UW applied to the isolated and the fused outcome, the three UF
+// baselines (naive/opportune/worst-case, Eqs. 1-3), and the taUW. Studies,
+// benches, and runtime monitors previously hand-rolled one code path per
+// model; this interface lets them iterate one polymorphic list instead. The
+// Engine owns a registry of estimators and evaluates all of them on every
+// step from the same interim results.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/quality_impact_model.hpp"
+#include "core/ta_quality_factors.hpp"
+#include "core/timeseries_buffer.hpp"
+#include "core/uncertainty_fusion.hpp"
+
+namespace tauw::core {
+
+/// Read-only view of one step's interim results, assembled by the Engine
+/// after the stateless evaluation and information fusion have run. The
+/// buffer and accumulator already include the current step.
+struct EstimationContext {
+  /// Stateless quality factors of the current frame.
+  std::span<const double> stateless_qfs;
+  /// Timeseries buffer of the current session (non-empty).
+  const TimeseriesBuffer* buffer = nullptr;
+  /// Incremental UF aggregates over the session's uncertainties.
+  const UncertaintyFusionAccumulator* uf = nullptr;
+  std::size_t isolated_label = 0;     ///< o_i
+  double isolated_uncertainty = 0.0;  ///< stateless u_i
+  std::size_t fused_label = 0;        ///< o_i^(if)
+};
+
+/// One uncertainty model for the fused outcome of the current series.
+///
+/// Implementations may keep internal scratch buffers (hence the non-const
+/// estimate()); they hold no per-series state, so a single instance serves
+/// any number of concurrent sessions. Not thread-safe.
+class UncertaintyEstimator {
+ public:
+  virtual ~UncertaintyEstimator() = default;
+
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Uncertainty in [0, 1] for the fused outcome after the current step.
+  ///
+  /// Contract: must not throw. Estimators run after the step has been
+  /// committed to the session's buffer (they need the buffered evidence),
+  /// so an exception here would leave a step recorded without a result.
+  /// Validate configuration eagerly in the constructor instead.
+  virtual double estimate(const EstimationContext& context) = 0;
+};
+
+/// The stateless wrapper's per-frame estimate, reused as-is for the fused
+/// outcome ("IF + no UF" in the paper's TABLE I).
+class StatelessEstimator final : public UncertaintyEstimator {
+ public:
+  const std::string& name() const noexcept override { return name_; }
+  double estimate(const EstimationContext& context) override {
+    return context.isolated_uncertainty;
+  }
+
+ private:
+  std::string name_ = "stateless";
+};
+
+/// One of the three UF baselines (Eqs. 1-3) read from the session's
+/// incremental accumulator.
+class UfBaselineEstimator final : public UncertaintyEstimator {
+ public:
+  explicit UfBaselineEstimator(UncertaintyFusionRule rule)
+      : rule_(rule), name_(uf_rule_name(rule)) {}
+
+  UncertaintyFusionRule rule() const noexcept { return rule_; }
+  const std::string& name() const noexcept override { return name_; }
+  double estimate(const EstimationContext& context) override {
+    return context.uf->get(rule_);
+  }
+
+ private:
+  UncertaintyFusionRule rule_;
+  std::string name_;
+};
+
+/// The timeseries-aware wrapper: assembles [stateless QFs, taQFs] and asks
+/// the fitted taQIM for a dependable uncertainty of the fused outcome.
+class TauwEstimator final : public UncertaintyEstimator {
+ public:
+  /// `taqim` must be fitted on features produced by a TaFeatureBuilder with
+  /// `num_stateless_factors` stateless factors and the given `taqfs`.
+  TauwEstimator(std::shared_ptr<const QualityImpactModel> taqim,
+                std::size_t num_stateless_factors, TaqfSet taqfs);
+
+  const std::string& name() const noexcept override { return name_; }
+  const TaFeatureBuilder& feature_builder() const noexcept { return builder_; }
+  double estimate(const EstimationContext& context) override;
+
+ private:
+  std::shared_ptr<const QualityImpactModel> taqim_;
+  TaFeatureBuilder builder_;
+  std::vector<double> feature_scratch_;
+  std::string name_ = "tauw";
+};
+
+/// The default registry, in the paper's TABLE I order: stateless, naive,
+/// opportune, worst_case, and - when `taqim` is non-null - tauw.
+std::vector<std::shared_ptr<UncertaintyEstimator>> make_default_estimators(
+    std::shared_ptr<const QualityImpactModel> taqim,
+    std::size_t num_stateless_factors, TaqfSet taqfs);
+
+}  // namespace tauw::core

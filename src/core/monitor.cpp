@@ -19,7 +19,11 @@ MonitorDecision RuntimeMonitor::decide(double uncertainty) {
   if (!(uncertainty >= 0.0) || !(uncertainty <= 1.0)) {
     throw std::invalid_argument("uncertainty must be in [0,1]");
   }
-  const double bound = in_fallback_
+  // reacceptance_factor == 1.0 disables hysteresis: re-acceptance must then
+  // use the exact threshold with the same strict `<` as a normal decision.
+  // Guarding the multiplication (instead of multiplying by 1.0) keeps that
+  // guarantee exact even when `threshold * 1.0` would round.
+  const double bound = in_fallback_ && config_.reacceptance_factor < 1.0
                            ? config_.uncertainty_threshold *
                                  config_.reacceptance_factor
                            : config_.uncertainty_threshold;
@@ -39,6 +43,13 @@ void RuntimeMonitor::report_outcome(MonitorDecision decision,
   if (decision == MonitorDecision::kAccept && failure) {
     ++stats_.accepted_failures;
   }
+}
+
+MonitorDecision RuntimeMonitor::decide_and_report(double uncertainty,
+                                                  bool failure) {
+  const MonitorDecision decision = decide(uncertainty);
+  report_outcome(decision, failure);
+  return decision;
 }
 
 void RuntimeMonitor::reset() noexcept {

@@ -45,6 +45,16 @@ struct MonitorStats {
                          : static_cast<double>(accepted_failures) /
                                static_cast<double>(accepted);
   }
+
+  /// Folds another monitor's counters into this one (aggregation across
+  /// sessions).
+  MonitorStats& operator+=(const MonitorStats& other) noexcept {
+    decisions += other.decisions;
+    accepted += other.accepted;
+    fallbacks += other.fallbacks;
+    accepted_failures += other.accepted_failures;
+    return *this;
+  }
 };
 
 class RuntimeMonitor {
@@ -59,11 +69,19 @@ class RuntimeMonitor {
   /// updates the accepted-failure statistics (testing/shadow operation).
   void report_outcome(MonitorDecision decision, bool failure) noexcept;
 
+  /// Convenience for shadow operation: decides and immediately feeds back
+  /// the observed ground truth in one call.
+  MonitorDecision decide_and_report(double uncertainty, bool failure);
+
   const MonitorStats& stats() const noexcept { return stats_; }
   bool in_fallback() const noexcept { return in_fallback_; }
 
   /// Clears statistics and hysteresis state.
   void reset() noexcept;
+
+  /// Clears only the hysteresis mode, keeping statistics - e.g. when a
+  /// session is re-used for a new series of a different physical object.
+  void reset_hysteresis() noexcept { in_fallback_ = false; }
 
  private:
   MonitorConfig config_;

@@ -70,6 +70,8 @@ void Study::run() {
   qf_extractor_ =
       QualityFactorExtractor(static_cast<double>(imaging::kFrameSize));
 
+  fusion_ = std::make_shared<MajorityVoteFusion>();
+
   const data::SplitIndices split = generator_->split();
 
   // ---- 1. DDM training -------------------------------------------------
@@ -89,7 +91,7 @@ void Study::run() {
     for (const data::FrameRecord& rec : train_frames.records) {
       train_set.push_back(rec.features, rec.label);
     }
-    ddm_ = std::make_unique<ml::MlpClassifier>(
+    ddm_ = std::make_shared<ml::MlpClassifier>(
         train_set.feature_dim, config_.mlp_hidden,
         renderer_->num_classes(), config_.seed ^ 0xdd1);
     log("training DDM");
@@ -114,22 +116,26 @@ void Study::run() {
       generator_->make_eval_series(split.calib, kSaltCalib);
   const dtree::TreeDataset qim_calib = stateless_dataset(calib_series);
   log("fitting stateless QIM");
-  qim_.fit(qim_train, qim_calib, config_.qim, qf_extractor_.names());
-  wrapper_ = std::make_unique<UncertaintyWrapper>(*ddm_, qf_extractor_, qim_);
+  qim_ = std::make_shared<QualityImpactModel>();
+  qim_->fit(qim_train, qim_calib, config_.qim, qf_extractor_.names());
+  wrapper_ = std::make_unique<UncertaintyWrapper>(*ddm_, qf_extractor_, *qim_);
 
   // ---- 3. Traces ---------------------------------------------------------
+  // The taQIM is not fitted yet, so the trace engine runs the stateless
+  // pipeline (DDM + QIM + information fusion) without the taUW estimator.
+  Engine trace_engine(base_components(), EngineConfig{.max_sessions = 0});
   log("generating taQIM training series");
   {
     const data::SeriesDataset ta_train_series =
         generator_->make_eval_series(split.train, kSaltTaTrain);
-    train_ta_traces_ = make_traces(ta_train_series);
+    train_ta_traces_ = make_traces(ta_train_series, trace_engine);
   }
-  calib_traces_ = make_traces(calib_series);
+  calib_traces_ = make_traces(calib_series, trace_engine);
   log("generating test series");
   {
     const data::SeriesDataset test_series =
         generator_->make_eval_series(split.test, kSaltTest);
-    test_traces_ = make_traces(test_series);
+    test_traces_ = make_traces(test_series, trace_engine);
   }
 
   // ---- 4. taQIM ----------------------------------------------------------
@@ -137,34 +143,45 @@ void Study::run() {
   taqim_ = fit_taqim(config_.taqfs);
 
   // ---- 5. Test-set evaluation --------------------------------------------
-  const TaFeatureBuilder builder(qf_extractor_.num_factors(), config_.taqfs);
+  // Replays the recorded test traces through the full engine: every
+  // registered estimator (stateless, the three UF baselines, the taUW)
+  // produces one forecast per (series, timestep).
+  EngineComponents eval_components = base_components();
+  eval_components.taqim = taqim_;
+  eval_components.taqfs = config_.taqfs;
+  engine_ = std::make_unique<Engine>(std::move(eval_components),
+                                     EngineConfig{.max_sessions = 0});
+  const std::size_t i_naive = engine_->estimator_index("naive");
+  const std::size_t i_opportune = engine_->estimator_index("opportune");
+  const std::size_t i_worst = engine_->estimator_index("worst_case");
+  const std::size_t i_tauw = engine_->estimator_index("tauw");
+
   rows_.clear();
   std::size_t isolated_failures = 0;
   std::size_t frames = 0;
-  std::vector<double> features(builder.dim());
+  EngineStepResult step_result;
   for (std::size_t s = 0; s < test_traces_.size(); ++s) {
     const SeriesTrace& trace = test_traces_[s];
-    TimeseriesBuffer buffer;
-    UncertaintyFusionAccumulator uf;
+    const SessionId session = engine_->open_session();
     for (std::size_t t = 0; t < trace.steps.size(); ++t) {
       const StepTrace& step = trace.steps[t];
-      buffer.push(step.outcome, step.uncertainty);
-      uf.push(step.uncertainty);
-      builder.build_into(step.stateless_qfs, buffer, step.fused, features);
+      engine_->step_precomputed_into(session, step.stateless_qfs, step.outcome,
+                                     step.uncertainty, step_result);
       EvalRow row;
       row.series = s;
       row.timestep = t;
       row.isolated_failure = step.outcome != trace.truth;
-      row.fused_failure = step.fused != trace.truth;
+      row.fused_failure = step_result.fused_label != trace.truth;
       row.u_stateless = step.uncertainty;
-      row.u_naive = uf.naive();
-      row.u_opportune = uf.opportune();
-      row.u_worst_case = uf.worst_case();
-      row.u_tauw = taqim_.predict(features);
+      row.u_naive = step_result.estimates[i_naive];
+      row.u_opportune = step_result.estimates[i_opportune];
+      row.u_worst_case = step_result.estimates[i_worst];
+      row.u_tauw = step_result.estimates[i_tauw];
       rows_.push_back(row);
       isolated_failures += row.isolated_failure ? 1 : 0;
       ++frames;
     }
+    engine_->close_session(session);
   }
   ddm_test_accuracy_ =
       frames == 0 ? 0.0
@@ -174,25 +191,26 @@ void Study::run() {
   ran_ = true;
 }
 
-std::vector<SeriesTrace> Study::make_traces(
-    const data::SeriesDataset& dataset) const {
+std::vector<SeriesTrace> Study::make_traces(const data::SeriesDataset& dataset,
+                                            Engine& engine) const {
   std::vector<SeriesTrace> traces;
   traces.reserve(dataset.series.size());
+  EngineStepResult result;
   for (const data::RecordSeries& rs : dataset.series) {
     SeriesTrace trace;
     trace.truth = rs.label;
     trace.steps.reserve(rs.frames.size());
-    TimeseriesBuffer buffer;
+    const SessionId session = engine.open_session();
     for (const data::FrameRecord& frame : rs.frames) {
-      const UncertainOutcome outcome = wrapper_->evaluate(frame);
-      buffer.push(outcome.label, outcome.uncertainty);
+      engine.step_into(session, frame, nullptr, result);
       StepTrace step;
       step.stateless_qfs = qf_extractor_.extract(frame);
-      step.outcome = outcome.label;
-      step.uncertainty = outcome.uncertainty;
-      step.fused = fusion_.fuse(buffer);
+      step.outcome = result.isolated.label;
+      step.uncertainty = result.isolated.uncertainty;
+      step.fused = result.fused_label;
       trace.steps.push_back(std::move(step));
     }
+    engine.close_session(session);
     traces.push_back(std::move(trace));
   }
   return traces;
@@ -227,12 +245,12 @@ dtree::TreeDataset Study::ta_dataset(const std::vector<SeriesTrace>& traces,
   return out;
 }
 
-QualityImpactModel Study::fit_taqim(TaqfSet set) const {
+std::shared_ptr<QualityImpactModel> Study::fit_taqim(TaqfSet set) const {
   const TaFeatureBuilder builder(qf_extractor_.num_factors(), set);
   const dtree::TreeDataset train = ta_dataset(train_ta_traces_, builder);
   const dtree::TreeDataset calib = ta_dataset(calib_traces_, builder);
-  QualityImpactModel model;
-  model.fit(train, calib, config_.qim, builder.names(qf_extractor_.names()));
+  auto model = std::make_shared<QualityImpactModel>();
+  model->fit(train, calib, config_.qim, builder.names(qf_extractor_.names()));
   return model;
 }
 
@@ -377,21 +395,27 @@ Fig6Result Study::fig6(std::size_t num_bins) const {
 
 double Study::taqf_subset_brier(TaqfSet set) const {
   require_ran(ran_);
-  const QualityImpactModel model = fit_taqim(set);
-  const TaFeatureBuilder builder(qf_extractor_.num_factors(), set);
-  std::vector<double> features(builder.dim());
+  // Replays the recorded test traces through the subset's taQIM (the DDM
+  // and stateless QIM ride along but only step_precomputed is used).
+  EngineComponents components = base_components();
+  components.taqim = fit_taqim(set);
+  components.taqfs = set;
+  Engine replay(std::move(components), EngineConfig{.max_sessions = 0});
+  const std::size_t i_tauw = replay.estimator_index("tauw");
   std::vector<double> forecast;
   std::vector<std::uint8_t> failures;
   forecast.reserve(rows_.size());
   failures.reserve(rows_.size());
+  EngineStepResult result;
   for (const SeriesTrace& trace : test_traces_) {
-    TimeseriesBuffer buffer;
+    const SessionId session = replay.open_session();
     for (const StepTrace& step : trace.steps) {
-      buffer.push(step.outcome, step.uncertainty);
-      builder.build_into(step.stateless_qfs, buffer, step.fused, features);
-      forecast.push_back(model.predict(features));
-      failures.push_back(step.fused != trace.truth);
+      replay.step_precomputed_into(session, step.stateless_qfs, step.outcome,
+                                   step.uncertainty, result);
+      forecast.push_back(result.estimates[i_tauw]);
+      failures.push_back(result.fused_label != trace.truth);
     }
+    replay.close_session(session);
   }
   return stats::brier_score(forecast, failures);
 }
@@ -415,11 +439,11 @@ const ml::MlpClassifier& Study::ddm() const {
 }
 const QualityImpactModel& Study::qim() const {
   require_ran(ran_);
-  return qim_;
+  return *qim_;
 }
 const QualityImpactModel& Study::taqim() const {
   require_ran(ran_);
-  return taqim_;
+  return *taqim_;
 }
 const UncertaintyWrapper& Study::wrapper() const {
   require_ran(ran_);
@@ -436,6 +460,32 @@ const imaging::SignRenderer& Study::renderer() const {
 const std::vector<SeriesTrace>& Study::test_traces() const {
   require_ran(ran_);
   return test_traces_;
+}
+
+Engine& Study::engine() {
+  require_ran(ran_);
+  return *engine_;
+}
+const Engine& Study::engine() const {
+  require_ran(ran_);
+  return *engine_;
+}
+
+EngineComponents Study::base_components() const {
+  EngineComponents components;
+  components.ddm = ddm_;
+  components.qf_extractor = qf_extractor_;
+  components.qim = qim_;
+  components.fusion = fusion_;
+  return components;
+}
+
+EngineComponents Study::engine_components() const {
+  require_ran(ran_);
+  EngineComponents components = base_components();
+  components.taqim = taqim_;
+  components.taqfs = config_.taqfs;
+  return components;
 }
 
 std::string format_percent(double fraction, int decimals) {

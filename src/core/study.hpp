@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
+#include "core/estimator.hpp"
 #include "core/fusion.hpp"
 #include "core/quality_factors.hpp"
 #include "core/quality_impact_model.hpp"
@@ -168,28 +170,41 @@ class Study {
   const imaging::SignRenderer& renderer() const;
   const std::vector<SeriesTrace>& test_traces() const;
 
+  /// The fitted engine the evaluation ran through: DDM + stateless QIM +
+  /// taQIM + majority-vote fusion, full estimator registry.
+  Engine& engine();
+  const Engine& engine() const;
+  /// A copy of the fitted components (cheap; shares the models) for
+  /// building further engines, e.g. with different monitor thresholds.
+  EngineComponents engine_components() const;
+
  private:
-  std::vector<SeriesTrace> make_traces(const data::SeriesDataset& dataset) const;
+  std::vector<SeriesTrace> make_traces(const data::SeriesDataset& dataset,
+                                       Engine& engine) const;
+  /// The fitted DDM/QF/QIM/fusion set; call sites add taqim + taqfs.
+  EngineComponents base_components() const;
   dtree::TreeDataset stateless_dataset(const data::SeriesDataset& dataset) const;
   dtree::TreeDataset ta_dataset(const std::vector<SeriesTrace>& traces,
                                 const TaFeatureBuilder& builder) const;
-  QualityImpactModel fit_taqim(TaqfSet set) const;
+  std::shared_ptr<QualityImpactModel> fit_taqim(TaqfSet set) const;
   void log(const std::string& message) const;
 
   StudyConfig config_;
   bool ran_ = false;
 
-  // Substrates (stable addresses; wrappers borrow them).
+  // Substrates. The engine shares ownership of the fitted models; the
+  // legacy wrapper accessor borrows them.
   std::unique_ptr<imaging::SignRenderer> renderer_;
   std::unique_ptr<sim::WeatherModel> weather_;
   std::unique_ptr<sim::RoadNetwork> roads_;
   std::unique_ptr<data::GtsrbLikeGenerator> generator_;
-  std::unique_ptr<ml::MlpClassifier> ddm_;
+  std::shared_ptr<ml::MlpClassifier> ddm_;
   QualityFactorExtractor qf_extractor_;
-  QualityImpactModel qim_;
-  QualityImpactModel taqim_;
+  std::shared_ptr<QualityImpactModel> qim_;
+  std::shared_ptr<QualityImpactModel> taqim_;
   std::unique_ptr<UncertaintyWrapper> wrapper_;
-  MajorityVoteFusion fusion_;
+  std::shared_ptr<const InformationFusion> fusion_;
+  std::unique_ptr<Engine> engine_;
 
   double ddm_train_accuracy_ = 0.0;
   double ddm_test_accuracy_ = 0.0;

@@ -9,6 +9,13 @@
 // [stateless QFs of the current input, taQFs] to a dependable uncertainty
 // for the fused outcome. The three UF baselines are maintained alongside for
 // comparison.
+//
+// DEPRECATED: prefer core::Engine (core/engine.hpp). The wrapper supports
+// exactly one series at a time (start_series/step) and borrows its
+// components by raw pointer; the Engine manages many concurrent
+// SessionId-keyed series over owned components and exposes the same
+// quantities through its estimator registry. This class remains as a thin
+// single-series shim; see README.md for the migration table.
 
 #include "core/fusion.hpp"
 #include "core/ta_quality_factors.hpp"

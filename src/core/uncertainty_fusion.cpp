@@ -19,9 +19,6 @@ void check_u(double u) {
 
 double fuse_uncertainties(std::span<const double> uncertainties,
                           UncertaintyFusionRule rule) {
-  if (uncertainties.empty()) {
-    throw std::invalid_argument("fuse_uncertainties: empty input");
-  }
   UncertaintyFusionAccumulator acc;
   for (const double u : uncertainties) acc.push(u);
   return acc.get(rule);
@@ -29,9 +26,6 @@ double fuse_uncertainties(std::span<const double> uncertainties,
 
 double fuse_uncertainties(const TimeseriesBuffer& buffer,
                           UncertaintyFusionRule rule) {
-  if (buffer.empty()) {
-    throw std::invalid_argument("fuse_uncertainties: empty buffer");
-  }
   UncertaintyFusionAccumulator acc;
   for (const BufferEntry& e : buffer.entries()) acc.push(e.uncertainty);
   return acc.get(rule);
@@ -54,19 +48,17 @@ void UncertaintyFusionAccumulator::push(double uncertainty) {
   max_ = std::max(max_, uncertainty);
 }
 
-double UncertaintyFusionAccumulator::naive() const {
-  if (count_ == 0) throw std::logic_error("empty accumulator");
-  return std::exp(log_product_);
+double UncertaintyFusionAccumulator::naive() const noexcept {
+  // Empty: exp(0) == 1, the vacuous bound.
+  return count_ == 0 ? 1.0 : std::exp(log_product_);
 }
 
-double UncertaintyFusionAccumulator::opportune() const {
-  if (count_ == 0) throw std::logic_error("empty accumulator");
-  return min_;
+double UncertaintyFusionAccumulator::opportune() const noexcept {
+  return count_ == 0 ? 1.0 : min_;
 }
 
-double UncertaintyFusionAccumulator::worst_case() const {
-  if (count_ == 0) throw std::logic_error("empty accumulator");
-  return max_;
+double UncertaintyFusionAccumulator::worst_case() const noexcept {
+  return count_ == 0 ? 1.0 : max_;
 }
 
 double UncertaintyFusionAccumulator::get(UncertaintyFusionRule rule) const {

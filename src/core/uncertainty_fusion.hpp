@@ -26,8 +26,10 @@ constexpr const char* uf_rule_name(UncertaintyFusionRule rule) {
   return "unknown";
 }
 
-/// Applies `rule` to a span of per-step uncertainties. Requires a non-empty
-/// span; every element must lie in [0, 1].
+/// Applies `rule` to a span of per-step uncertainties; every element must
+/// lie in [0, 1]. An empty span fuses to the vacuous bound 1.0: with no
+/// evidence about the outcome, the only dependable failure-probability
+/// bound is "it may always fail".
 double fuse_uncertainties(std::span<const double> uncertainties,
                           UncertaintyFusionRule rule);
 
@@ -37,6 +39,10 @@ double fuse_uncertainties(const TimeseriesBuffer& buffer,
 
 /// Incremental aggregator maintaining all three fused values in O(1) per
 /// step - what a runtime monitor would actually deploy.
+///
+/// While empty(), all three rules (and get()) return the vacuous bound 1.0
+/// - consistent with fuse_uncertainties() on an empty span - so callers
+/// need no special case at the start of a series.
 class UncertaintyFusionAccumulator {
  public:
   void reset() noexcept;
@@ -45,9 +51,9 @@ class UncertaintyFusionAccumulator {
   bool empty() const noexcept { return count_ == 0; }
   std::size_t count() const noexcept { return count_; }
 
-  double naive() const;
-  double opportune() const;
-  double worst_case() const;
+  double naive() const noexcept;
+  double opportune() const noexcept;
+  double worst_case() const noexcept;
   double get(UncertaintyFusionRule rule) const;
 
  private:

@@ -2,6 +2,12 @@
 // The stateless uncertainty wrapper (UW): DDM + quality model + quality
 // impact model (+ optional scope compliance model), per Klaes & Sembach 2019
 // and the paper's Fig. 1.
+//
+// DEPRECATED: prefer core::Engine (core/engine.hpp), which owns its
+// components (no borrowed-pointer lifetime contracts), serves many
+// concurrent series, and evaluates the full estimator registry per step.
+// This class remains as a thin single-frame shim; see README.md for the
+// old-API -> new-API migration table.
 
 #include <optional>
 

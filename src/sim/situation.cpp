@@ -14,7 +14,7 @@ std::size_t idx(imaging::Deficit d) { return static_cast<std::size_t>(d); }
 }  // namespace
 
 imaging::DeficitVector SituationSampler::derive_intensities(
-    const TimePoint& time, const WeatherSample& weather,
+    [[maybe_unused]] const TimePoint& time, const WeatherSample& weather,
     const SignLocation& location, stats::Rng& rng) {
   using imaging::Deficit;
   imaging::DeficitVector v{};

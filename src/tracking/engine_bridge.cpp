@@ -1,0 +1,108 @@
+#include "tracking/engine_bridge.hpp"
+
+#include <stdexcept>
+
+namespace tauw::tracking {
+
+namespace {
+
+// Process-wide namespace allocator; each live bridge holds a disjoint
+// session-id namespace (bits 48..62 - below the engine's auto-id bit,
+// above typical caller-chosen ids). Destroyed bridges return theirs to the
+// free list. Like the engine itself, not thread-safe.
+std::uint64_t next_bridge_namespace = 0;
+std::vector<std::uint64_t> freed_bridge_namespaces;
+
+std::uint64_t claim_bridge_namespace() {
+  if (!freed_bridge_namespaces.empty()) {
+    const std::uint64_t ns = freed_bridge_namespaces.back();
+    freed_bridge_namespaces.pop_back();
+    return ns;
+  }
+  // Namespaces occupy bits 48..62; bit 63 is the engine's auto-id bit.
+  if (next_bridge_namespace >= (std::uint64_t{1} << 15) - 1) {
+    throw std::runtime_error(
+        "EngineTrackBridge: bridge namespace space exhausted (32767 live "
+        "bridges per process)");
+  }
+  return ++next_bridge_namespace << 48;
+}
+
+}  // namespace
+
+EngineTrackBridge::EngineTrackBridge(core::Engine& engine,
+                                     const TrackManagerConfig& track_config)
+    : engine_(&engine),
+      session_namespace_(claim_bridge_namespace()),
+      tracker_(track_config) {}
+
+EngineTrackBridge::~EngineTrackBridge() {
+  for (const std::uint64_t series : live_series_) {
+    engine_->close_session(session_for(series));
+  }
+  freed_bridge_namespaces.push_back(session_namespace_);
+}
+
+std::span<const BridgeResult> EngineTrackBridge::observe(
+    std::span<const SceneDetection> detections) {
+  positions_.clear();
+  positions_.reserve(detections.size());
+  for (const SceneDetection& detection : detections) {
+    if (detection.frame == nullptr) {
+      throw std::invalid_argument("EngineTrackBridge: null frame record");
+    }
+    positions_.push_back(detection.position);
+  }
+
+  const std::vector<MultiTrackUpdate> updates = tracker_.observe(positions_);
+
+  session_frames_.resize(detections.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const MultiTrackUpdate& update = updates[i];
+    if (update.series_id >= (std::uint64_t{1} << 48)) {
+      throw std::overflow_error(
+          "EngineTrackBridge: tracker series id exceeds the per-bridge "
+          "session namespace");
+    }
+    if (update.new_series) {
+      engine_->open_session(session_for(update.series_id));
+      live_series_.insert(update.series_id);
+    }
+    session_frames_[i].session = session_for(update.series_id);
+    session_frames_[i].frame = detections[update.detection_index].frame;
+    session_frames_[i].location = nullptr;
+  }
+  engine_->step_batch(session_frames_, step_results_);
+
+  for (const std::uint64_t closed : tracker_.take_closed_series()) {
+    engine_->close_session(session_for(closed));
+    live_series_.erase(closed);
+  }
+  if (live_series_.size() != tracker_.active_tracks()) {
+    // Closure notifications were dropped (the tracker's backlog is capped,
+    // e.g. after a massive scene cut): reconcile against the live tracks.
+    std::unordered_set<std::uint64_t> alive;
+    for (const std::uint64_t series : tracker_.live_series()) {
+      alive.insert(series);
+    }
+    for (auto it = live_series_.begin(); it != live_series_.end();) {
+      if (alive.contains(*it)) {
+        ++it;
+      } else {
+        engine_->close_session(session_for(*it));
+        it = live_series_.erase(it);
+      }
+    }
+  }
+
+  results_.resize(detections.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    results_[i].track = updates[i];
+    // Copy (not move): both sides keep their estimate-vector capacity, so
+    // steady-state frames allocate nothing.
+    results_[i].step = step_results_[i];
+  }
+  return results_;
+}
+
+}  // namespace tauw::tracking

@@ -1,0 +1,84 @@
+#pragma once
+// Tracker <-> Engine glue: one engine session per tracked physical sign.
+//
+// The paper's architecture (Fig. 2) lets the tracking component segment the
+// camera stream into timeseries: a new physical sign starts a new series.
+// This bridge runs the multi-object tracker over each frame's detections,
+// opens an Engine session for every new track, steps each detection's frame
+// record through its track's session via the batched hot path, and closes
+// the sessions of dropped tracks - so fused outcomes never mix evidence
+// from different physical signs, across any number of simultaneously
+// visible objects.
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "tracking/multi_track_manager.hpp"
+
+namespace tauw::tracking {
+
+/// One detection of the current camera frame: its measured position (for
+/// association) and its frame record (for the engine).
+struct SceneDetection {
+  Vec2 position{};
+  const data::FrameRecord* frame = nullptr;
+};
+
+/// Per-detection result: the track association plus the engine's step.
+struct BridgeResult {
+  MultiTrackUpdate track{};
+  core::EngineStepResult step{};
+};
+
+class EngineTrackBridge {
+ public:
+  /// The engine is borrowed and must outlive the bridge; it typically also
+  /// serves other traffic. Each bridge instance maps tracker series ids
+  /// into its own session-id namespace (bits 48..62), so multiple bridges
+  /// (e.g. one per camera) and small caller-chosen ids never collide on a
+  /// shared engine.
+  EngineTrackBridge(core::Engine& engine,
+                    const TrackManagerConfig& track_config = {});
+
+  /// Closes the engine sessions of all live tracks and recycles the
+  /// bridge's session namespace (the 32767-namespace cap applies to LIVE
+  /// bridges, not constructions).
+  ~EngineTrackBridge();
+
+  // The bridge owns its session namespace; copying would alias it.
+  EngineTrackBridge(const EngineTrackBridge&) = delete;
+  EngineTrackBridge& operator=(const EngineTrackBridge&) = delete;
+
+  /// The engine session id a tracker series maps to.
+  core::SessionId session_for(std::uint64_t series_id) const noexcept {
+    return session_namespace_ | series_id;
+  }
+
+  /// Processes one camera frame's detections end to end. The returned span
+  /// aligns with `detections` and stays valid until the next call.
+  std::span<const BridgeResult> observe(
+      std::span<const SceneDetection> detections);
+
+  MultiTrackManager& tracker() noexcept { return tracker_; }
+  const MultiTrackManager& tracker() const noexcept { return tracker_; }
+  core::Engine& engine() noexcept { return *engine_; }
+
+ private:
+  core::Engine* engine_;
+  core::SessionId session_namespace_;
+  MultiTrackManager tracker_;
+  /// Tracker series ids with an open engine session. Authoritative for the
+  /// bridge's cleanup: destruction (and reconciliation after a dropped
+  /// closure notification) closes sessions from here, never relying on the
+  /// tracker's capped closed-series backlog alone.
+  std::unordered_set<std::uint64_t> live_series_;
+  // Reused per-frame scratch (allocation-free in steady state).
+  std::vector<Vec2> positions_;
+  std::vector<core::SessionFrame> session_frames_;
+  std::vector<core::EngineStepResult> step_results_;
+  std::vector<BridgeResult> results_;
+};
+
+}  // namespace tauw::tracking

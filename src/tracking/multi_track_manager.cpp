@@ -80,7 +80,11 @@ std::vector<MultiTrackUpdate> MultiTrackManager::observe(
     ++tracks_[t].missed;
   }
   std::erase_if(tracks_, [this](const Track& track) {
-    return track.missed > config_.max_missed;
+    if (track.missed > config_.max_missed) {
+      record_closed(track.series_id);
+      return true;
+    }
+    return false;
   });
   return updates;
 }

@@ -5,11 +5,13 @@
 // approach), but real scenes contain sign clusters (e.g. a speed limit above
 // a no-overtaking sign). This manager maintains one Kalman filter per track,
 // associates each frame's detections greedily by innovation distance with
-// gating, and reports per-detection series identities so that one
-// TimeseriesAwareWrapper instance can be kept per track.
+// gating, and reports per-detection series identities so that one engine
+// session (see core/engine.hpp and tracking/engine_bridge.hpp) can be kept
+// per track.
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "tracking/kalman.hpp"
@@ -37,8 +39,34 @@ class MultiTrackManager {
 
   std::size_t active_tracks() const noexcept { return tracks_.size(); }
 
-  /// Drops all tracks (e.g. scene cut).
-  void reset() noexcept { tracks_.clear(); }
+  /// Series ids of tracks dropped since the last call (pruned after too
+  /// many misses, or cleared by reset()). Consumers that keep per-series
+  /// state - e.g. an Engine session per tracked sign - poll this after each
+  /// observe() to release that state. The backlog is capped (oldest entries
+  /// dropped) so callers that never drain don't grow memory unboundedly;
+  /// consumers that must never miss a closure should reconcile against
+  /// live_series() when a drop is possible (see EngineTrackBridge).
+  std::vector<std::uint64_t> take_closed_series() noexcept {
+    return std::exchange(closed_series_, {});
+  }
+
+  /// Series ids of all currently live tracks.
+  std::vector<std::uint64_t> live_series() const {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(tracks_.size());
+    for (const Track& track : tracks_) ids.push_back(track.series_id);
+    return ids;
+  }
+
+  /// Upper bound on the undrained closed-series backlog.
+  static constexpr std::size_t kMaxClosedBacklog = 4096;
+
+  /// Drops all tracks (e.g. scene cut). Their series ids are reported via
+  /// take_closed_series(); recording them may allocate.
+  void reset() {
+    for (const Track& track : tracks_) record_closed(track.series_id);
+    tracks_.clear();
+  }
 
  private:
   struct Track {
@@ -48,8 +76,17 @@ class MultiTrackManager {
     std::size_t missed = 0;
   };
 
+  void record_closed(std::uint64_t series_id) {
+    closed_series_.push_back(series_id);
+    if (closed_series_.size() > kMaxClosedBacklog) {
+      closed_series_.erase(closed_series_.begin(),
+                           closed_series_.end() - kMaxClosedBacklog);
+    }
+  }
+
   TrackManagerConfig config_;
   std::vector<Track> tracks_;
+  std::vector<std::uint64_t> closed_series_;
   std::uint64_t next_series_id_ = 0;
 };
 

@@ -1,0 +1,505 @@
+// Tests for the session-oriented Engine and the estimator registry:
+// multi-session interleaving (bit-identical to the legacy single-series
+// wrapper), LRU eviction, batched stepping, and monitor integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/estimator.hpp"
+#include "core/fusion.hpp"
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "core/ta_wrapper.hpp"
+#include "core/wrapper.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+// A trivial DDM: classifies by thresholding the first feature into classes
+// {0, 1}; a quality deficit encoded in feature[1] flips the outcome.
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    const bool base = f[0] > 0.5F;
+    const bool flip = f[1] > 0.5F;
+    p.label = (base != flip) ? 1 : 0;
+    p.confidence = 0.99F;
+    return p;
+  }
+};
+
+data::FrameRecord make_frame(float signal, float deficit, std::size_t label) {
+  data::FrameRecord rec;
+  rec.label = label;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+// Fitted toy components shared by all tests: a stateless QIM that learned
+// "deficit => failure", plus a taQIM fitted over simulated 5-step series.
+struct ToyWorld {
+  std::shared_ptr<ToyDdm> ddm = std::make_shared<ToyDdm>();
+  QualityFactorExtractor qf{28.0};
+  std::shared_ptr<QualityImpactModel> qim =
+      std::make_shared<QualityImpactModel>();
+  std::shared_ptr<QualityImpactModel> taqim =
+      std::make_shared<QualityImpactModel>();
+  std::shared_ptr<const InformationFusion> fusion =
+      std::make_shared<MajorityVoteFusion>();
+
+  ToyWorld() {
+    stats::Rng rng(3);
+    dtree::TreeDataset train;
+    dtree::TreeDataset calib;
+    for (std::size_t i = 0; i < 3000; ++i) {
+      const float signal = rng.bernoulli(0.5) ? 0.9F : 0.1F;
+      const float deficit = rng.bernoulli(0.3) ? 0.9F : 0.0F;
+      const std::size_t label = signal > 0.5F ? 1 : 0;
+      const data::FrameRecord rec = make_frame(signal, deficit, label);
+      const bool fail = ddm->predict(rec.features).label != label;
+      (i % 2 == 0 ? train : calib).push_back(qf.extract(rec), fail);
+    }
+    QimConfig cfg;
+    cfg.cart.max_depth = 4;
+    cfg.calibration.min_leaf_samples = 50;
+    qim->fit(train, calib, cfg, qf.names());
+
+    // taQIM over simulated series, using the legacy wrapper as reference
+    // data generator.
+    const UncertaintyWrapper wrapper(*ddm, qf, *qim);
+    const TaFeatureBuilder builder(qf.num_factors(), TaqfSet::all());
+    stats::Rng srng(11);
+    dtree::TreeDataset ta_train;
+    dtree::TreeDataset ta_calib;
+    std::vector<double> features(builder.dim());
+    for (int series = 0; series < 600; ++series) {
+      const std::size_t label = srng.bernoulli(0.5) ? 1 : 0;
+      const float signal = label == 1 ? 0.9F : 0.1F;
+      const bool bad_quality = srng.bernoulli(0.3);
+      TimeseriesBuffer buffer;
+      for (int t = 0; t < 5; ++t) {
+        const float deficit = bad_quality && srng.bernoulli(0.8) ? 0.9F : 0.0F;
+        const data::FrameRecord rec = make_frame(signal, deficit, label);
+        const UncertainOutcome out = wrapper.evaluate(rec);
+        buffer.push(out.label, out.uncertainty);
+        const std::size_t fused = MajorityVoteFusion{}.fuse(buffer);
+        builder.build_into(qf.extract(rec), buffer, fused, features);
+        (series % 2 == 0 ? ta_train : ta_calib)
+            .push_back(features, fused != label);
+      }
+    }
+    taqim->fit(ta_train, ta_calib, cfg, builder.names(qf.names()));
+  }
+
+  EngineComponents components() const {
+    EngineComponents c;
+    c.ddm = ddm;
+    c.qf_extractor = qf;
+    c.qim = qim;
+    c.taqim = taqim;
+    c.fusion = fusion;
+    return c;
+  }
+};
+
+ToyWorld& world() {
+  static ToyWorld w;
+  return w;
+}
+
+// A deterministic pseudo-random series of frames for one "physical sign".
+std::vector<data::FrameRecord> make_series(std::uint64_t seed,
+                                           std::size_t length) {
+  stats::Rng rng(seed);
+  const std::size_t label = rng.bernoulli(0.5) ? 1 : 0;
+  const float signal = label == 1 ? 0.9F : 0.1F;
+  std::vector<data::FrameRecord> frames;
+  frames.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const float deficit = rng.bernoulli(0.4) ? 0.9F : 0.0F;
+    frames.push_back(make_frame(signal, deficit, label));
+  }
+  return frames;
+}
+
+TEST(Engine, RegistryHasTableOneOrder) {
+  Engine engine(world().components());
+  const std::vector<std::string> names = engine.estimator_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "stateless");
+  EXPECT_EQ(names[1], "naive");
+  EXPECT_EQ(names[2], "opportune");
+  EXPECT_EQ(names[3], "worst_case");
+  EXPECT_EQ(names[4], "tauw");
+  EXPECT_EQ(engine.primary_index(), engine.estimator_index("tauw"));
+  EXPECT_THROW(engine.estimator_index("nope"), std::invalid_argument);
+}
+
+TEST(Engine, WithoutTaqimFallsBackToWorstCasePrimary) {
+  EngineComponents components = world().components();
+  components.taqim = nullptr;
+  Engine engine(std::move(components));
+  EXPECT_EQ(engine.estimator_names().size(), 4u);
+  EXPECT_EQ(engine.primary_index(), engine.estimator_index("worst_case"));
+}
+
+// The acceptance-critical equivalence: two series stepped INTERLEAVED
+// through two engine sessions must produce bit-identical results to running
+// them back-to-back on the legacy single-series TimeseriesAwareWrapper.
+TEST(Engine, InterleavedSessionsMatchLegacyWrapperBitExactly) {
+  const ToyWorld& w = world();
+  Engine engine(w.components());
+  const std::size_t i_naive = engine.estimator_index("naive");
+  const std::size_t i_opportune = engine.estimator_index("opportune");
+  const std::size_t i_worst = engine.estimator_index("worst_case");
+  const std::size_t i_tauw = engine.estimator_index("tauw");
+
+  const std::vector<data::FrameRecord> series_a = make_series(101, 8);
+  const std::vector<data::FrameRecord> series_b = make_series(202, 8);
+
+  // Legacy reference: one series at a time, full run each.
+  const UncertaintyWrapper wrapper(*w.ddm, w.qf, *w.qim);
+  const MajorityVoteFusion fusion;
+  TimeseriesAwareWrapper legacy(wrapper, *w.taqim, fusion);
+  std::vector<TaStepResult> legacy_a;
+  std::vector<TaStepResult> legacy_b;
+  legacy.start_series();
+  for (const auto& frame : series_a) legacy_a.push_back(legacy.step(frame));
+  legacy.start_series();
+  for (const auto& frame : series_b) legacy_b.push_back(legacy.step(frame));
+
+  // Engine: the same two series, strictly interleaved a0 b0 a1 b1 ...
+  const SessionId session_a = engine.open_session();
+  const SessionId session_b = engine.open_session();
+  std::vector<EngineStepResult> engine_a;
+  std::vector<EngineStepResult> engine_b;
+  for (std::size_t t = 0; t < series_a.size(); ++t) {
+    engine_a.push_back(engine.step(session_a, series_a[t]));
+    engine_b.push_back(engine.step(session_b, series_b[t]));
+  }
+
+  const auto expect_identical = [&](const std::vector<TaStepResult>& legacy_r,
+                                    const std::vector<EngineStepResult>& engine_r) {
+    ASSERT_EQ(legacy_r.size(), engine_r.size());
+    for (std::size_t t = 0; t < legacy_r.size(); ++t) {
+      const TaStepResult& l = legacy_r[t];
+      const EngineStepResult& e = engine_r[t];
+      EXPECT_EQ(l.isolated.label, e.isolated.label);
+      // EXPECT_EQ on doubles is exact - bit-identical, not approximate.
+      EXPECT_EQ(l.isolated.uncertainty, e.isolated.uncertainty);
+      EXPECT_EQ(l.fused_label, e.fused_label);
+      EXPECT_EQ(l.series_length, e.series_length);
+      EXPECT_EQ(l.naive_uncertainty, e.estimates[i_naive]);
+      EXPECT_EQ(l.opportune_uncertainty, e.estimates[i_opportune]);
+      EXPECT_EQ(l.worst_case_uncertainty, e.estimates[i_worst]);
+      EXPECT_EQ(l.fused_uncertainty, e.estimates[i_tauw]);
+    }
+  };
+  expect_identical(legacy_a, engine_a);
+  expect_identical(legacy_b, engine_b);
+}
+
+TEST(Engine, StepBatchMatchesPerStepExactly) {
+  const ToyWorld& w = world();
+  const std::vector<data::FrameRecord> series_a = make_series(7, 6);
+  const std::vector<data::FrameRecord> series_b = make_series(8, 6);
+
+  Engine per_step(w.components());
+  per_step.open_session(1);
+  per_step.open_session(2);
+  std::vector<EngineStepResult> expected;
+  for (std::size_t t = 0; t < series_a.size(); ++t) {
+    expected.push_back(per_step.step(1, series_a[t]));
+    expected.push_back(per_step.step(2, series_b[t]));
+  }
+
+  Engine batched(w.components());
+  batched.open_session(1);
+  batched.open_session(2);
+  std::vector<SessionFrame> frames;
+  for (std::size_t t = 0; t < series_a.size(); ++t) {
+    frames.push_back({1, &series_a[t], nullptr});
+    frames.push_back({2, &series_b[t], nullptr});
+  }
+  std::vector<EngineStepResult> actual;
+  batched.step_batch(frames, actual);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].session, expected[i].session);
+    EXPECT_EQ(actual[i].fused_label, expected[i].fused_label);
+    EXPECT_EQ(actual[i].series_length, expected[i].series_length);
+    ASSERT_EQ(actual[i].estimates.size(), expected[i].estimates.size());
+    for (std::size_t k = 0; k < expected[i].estimates.size(); ++k) {
+      EXPECT_EQ(actual[i].estimates[k], expected[i].estimates[k]);
+    }
+  }
+  // Reusing the result vector across batches must not leak stale state.
+  batched.step_batch(std::span<const SessionFrame>(frames.data(), 2), actual);
+  ASSERT_EQ(actual.size(), 2u);
+  EXPECT_EQ(actual[0].session, 1u);
+  EXPECT_EQ(actual[1].session, 2u);
+}
+
+TEST(Engine, SessionLifecycle) {
+  Engine engine(world().components());
+  EXPECT_EQ(engine.session_count(), 0u);
+  const SessionId a = engine.open_session();
+  const SessionId b = engine.open_session();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(engine.has_session(a));
+  EXPECT_EQ(engine.session_count(), 2u);
+
+  const data::FrameRecord frame = make_frame(0.9F, 0.0F, 1);
+  engine.step(a, frame);
+  EXPECT_EQ(engine.session_buffer(a).length(), 1u);
+
+  // Re-opening an id restarts its series.
+  engine.open_session(a);
+  EXPECT_EQ(engine.session_buffer(a).length(), 0u);
+
+  engine.close_session(a);
+  EXPECT_FALSE(engine.has_session(a));
+  // Closing an unknown/already-closed id is a no-op.
+  engine.close_session(a);
+
+  // Stepping an unknown id implicitly opens it (post-eviction streaming)
+  // and flags the implicit open on the result.
+  const EngineStepResult r = engine.step(999, frame);
+  EXPECT_EQ(r.series_length, 1u);
+  EXPECT_TRUE(r.new_session);
+  EXPECT_TRUE(engine.has_session(999));
+  EXPECT_FALSE(engine.step(999, frame).new_session);
+  // Auto ids never collide with explicitly used ids.
+  EXPECT_GT(engine.open_session(), 999u);
+}
+
+TEST(Engine, LruEvictionKeepsMostRecentlySteppedSessions) {
+  EngineConfig config;
+  config.max_sessions = 2;
+  Engine engine(world().components(), config);
+  const data::FrameRecord frame = make_frame(0.9F, 0.0F, 1);
+
+  engine.open_session(1);
+  engine.open_session(2);
+  engine.step(1, frame);  // order by recency: 1, 2
+  engine.step(2, frame);  // order by recency: 2, 1
+  engine.step(1, frame);  // order by recency: 1, 2
+
+  engine.open_session(3);  // evicts 2 (least recently used)
+  EXPECT_EQ(engine.session_count(), 2u);
+  EXPECT_TRUE(engine.has_session(1));
+  EXPECT_FALSE(engine.has_session(2));
+  EXPECT_TRUE(engine.has_session(3));
+
+  // The evicted session's monitor decisions survive in the aggregate.
+  EXPECT_EQ(engine.total_monitor_stats().decisions, 3u);
+
+  // Stepping the evicted id transparently reopens it as a fresh series.
+  // Recency is now 2 (just stepped), 3 (just opened), 1 (stepped earlier),
+  // so session 1 is the next LRU victim.
+  const EngineStepResult r = engine.step(2, frame);
+  EXPECT_EQ(r.series_length, 1u);
+  EXPECT_TRUE(engine.has_session(2));
+  EXPECT_TRUE(engine.has_session(3));
+  EXPECT_FALSE(engine.has_session(1));
+}
+
+TEST(Engine, ComponentsCarryTheFittedTaqfSet) {
+  // The taQF subset travels WITH the taQIM (EngineComponents), so a
+  // mismatch between model and subset is caught at construction.
+  EngineComponents components = world().components();
+  components.taqfs = TaqfSet::none();  // mismatches the all-four fit
+  EXPECT_THROW(Engine{std::move(components)}, std::invalid_argument);
+}
+
+TEST(Engine, RejectsExternalIdsInAutoNamespace) {
+  Engine engine(world().components());
+  const SessionId foreign = (SessionId{1} << 63) | 12345u;
+  EXPECT_THROW(engine.open_session(foreign), std::invalid_argument);
+  const data::FrameRecord frame = make_frame(0.9F, 0.0F, 1);
+  EXPECT_THROW(engine.step(foreign, frame), std::invalid_argument);
+  // Re-opening an id this engine assigned itself stays legal.
+  const SessionId own = engine.open_session();
+  EXPECT_NO_THROW(engine.open_session(own));
+}
+
+TEST(Engine, StepBatchValidatesBeforeMutating) {
+  Engine engine(world().components());
+  const data::FrameRecord frame = make_frame(0.9F, 0.0F, 1);
+  engine.open_session(1);
+  const std::vector<SessionFrame> bad = {{1, &frame, nullptr},
+                                         {1, nullptr, nullptr}};
+  std::vector<EngineStepResult> results;
+  EXPECT_THROW(engine.step_batch(bad, results), std::invalid_argument);
+  // All-or-nothing: the valid first entry was not stepped either.
+  EXPECT_EQ(engine.session_buffer(1).length(), 0u);
+
+  // Same guarantee for an id that aliases the auto namespace.
+  const SessionId foreign = (SessionId{1} << 63) | 7u;
+  const std::vector<SessionFrame> bad_id = {{1, &frame, nullptr},
+                                            {foreign, &frame, nullptr}};
+  EXPECT_THROW(engine.step_batch(bad_id, results), std::invalid_argument);
+  EXPECT_EQ(engine.session_buffer(1).length(), 0u);
+}
+
+TEST(Engine, BoundedBufferWindowsUfAggregates) {
+  // With a bounded buffer, the UF baselines must cover exactly the buffer
+  // contents: a transient spike stops dominating worst_case once evicted.
+  EngineComponents components = world().components();
+  components.taqim = nullptr;  // primary = worst_case, driven directly by u
+  EngineConfig config;
+  config.buffer_capacity = 3;
+  config.monitor.uncertainty_threshold = 0.5;
+  Engine engine(std::move(components), config);
+  const std::size_t i_worst = engine.estimator_index("worst_case");
+  const std::size_t i_naive = engine.estimator_index("naive");
+  const std::vector<double> qfs(world().qf.num_factors(), 0.0);
+
+  engine.open_session(1);
+  EXPECT_EQ(engine.step_precomputed(1, qfs, 0, 0.9).decision,
+            MonitorDecision::kFallback);  // the spike
+  engine.step_precomputed(1, qfs, 0, 0.1);
+  engine.step_precomputed(1, qfs, 0, 0.1);
+  // Fourth step evicts the spike: the window is {0.1, 0.1, 0.1}.
+  const EngineStepResult r = engine.step_precomputed(1, qfs, 0, 0.1);
+  EXPECT_DOUBLE_EQ(r.estimates[i_worst], 0.1);
+  EXPECT_NEAR(r.estimates[i_naive], 0.001, 1e-12);
+  EXPECT_EQ(r.decision, MonitorDecision::kAccept);
+}
+
+TEST(Engine, AutoIdsNeverCollideWithExternalIds) {
+  // A shared engine serving auto-id traffic plus tracker series ids
+  // (1, 2, ...) must keep the streams apart.
+  Engine engine(world().components());
+  const data::FrameRecord frame = make_frame(0.9F, 0.0F, 1);
+  const SessionId auto_id = engine.open_session();
+  engine.step(auto_id, frame);
+  engine.open_session(1);  // tracker-style external id
+  EXPECT_NE(auto_id, 1u);
+  EXPECT_EQ(engine.session_count(), 2u);
+  // The auto session's series was not clobbered by the external open.
+  EXPECT_EQ(engine.session_buffer(auto_id).length(), 1u);
+}
+
+TEST(Engine, ReopeningClearsHysteresisButKeepsStats) {
+  EngineComponents components = world().components();
+  components.taqim = nullptr;  // primary = worst_case, driven directly by u
+  EngineConfig config;
+  config.monitor.uncertainty_threshold = 0.1;
+  config.monitor.reacceptance_factor = 0.5;
+  Engine engine(std::move(components), config);
+  const std::vector<double> qfs(world().qf.num_factors(), 0.0);
+
+  engine.open_session(1);
+  engine.step_precomputed(1, qfs, 0, 0.9);  // fallback; hysteresis engages
+  EXPECT_TRUE(engine.session_monitor(1).in_fallback());
+  // Re-use the id for a new physical object: no evidence about it exists,
+  // so the previous series' fallback mode must not gate its first steps...
+  engine.open_session(1);
+  EXPECT_FALSE(engine.session_monitor(1).in_fallback());
+  const EngineStepResult r = engine.step_precomputed(1, qfs, 0, 0.08);
+  EXPECT_EQ(r.decision, MonitorDecision::kAccept);
+  // ...while the decision statistics survive across series.
+  EXPECT_EQ(engine.session_monitor(1).stats().decisions, 2u);
+  EXPECT_EQ(engine.session_monitor(1).stats().fallbacks, 1u);
+}
+
+TEST(Engine, PerSessionMonitorStateIsIndependent) {
+  const ToyWorld& w = world();
+  EngineConfig config;
+  config.monitor.uncertainty_threshold = 0.05;
+  Engine engine(w.components(), config);
+
+  const data::FrameRecord clean = make_frame(0.9F, 0.0F, 1);
+  const data::FrameRecord dirty = make_frame(0.9F, 0.9F, 1);
+
+  engine.open_session(1);
+  engine.open_session(2);
+  // Session 1 sees a dirty first frame => high taUW uncertainty => fallback.
+  const EngineStepResult r1 = engine.step(1, dirty);
+  // Session 2 sees a clean frame => accept.
+  const EngineStepResult r2 = engine.step(2, clean);
+  EXPECT_EQ(r1.decision, MonitorDecision::kFallback);
+  EXPECT_EQ(r2.decision, MonitorDecision::kAccept);
+  EXPECT_TRUE(engine.session_monitor(1).in_fallback());
+  EXPECT_FALSE(engine.session_monitor(2).in_fallback());
+
+  engine.report_outcome(1, r1.decision, true);
+  engine.report_outcome(2, r2.decision, false);
+  const MonitorStats total = engine.total_monitor_stats();
+  EXPECT_EQ(total.decisions, 2u);
+  EXPECT_EQ(total.accepted, 1u);
+  EXPECT_EQ(total.fallbacks, 1u);
+  EXPECT_EQ(total.accepted_failures, 0u);  // the failure was a fallback
+}
+
+TEST(Engine, ReplayOnlyEngineRejectsFullStep) {
+  EngineComponents components;
+  components.qf_extractor = world().qf;
+  components.taqim = world().taqim;
+  Engine engine(std::move(components));
+  const data::FrameRecord frame = make_frame(0.9F, 0.0F, 1);
+  EXPECT_THROW(engine.step(1, frame), std::logic_error);
+  // ...but replays precomputed interim results just fine.
+  const std::vector<double> qfs = world().qf.extract(frame);
+  const EngineStepResult r = engine.step_precomputed(1, qfs, 1, 0.01);
+  EXPECT_EQ(r.fused_label, 1u);
+  EXPECT_EQ(r.series_length, 1u);
+  // A wrong-sized QF span is rejected before any session mutation.
+  const std::vector<double> short_qfs(2, 0.0);
+  EXPECT_THROW(engine.step_precomputed(1, short_qfs, 1, 0.01),
+               std::invalid_argument);
+  EXPECT_EQ(engine.session_buffer(1).length(), 1u);  // no phantom step
+}
+
+TEST(Engine, StepPrecomputedMatchesFullStep) {
+  const ToyWorld& w = world();
+  Engine full(w.components());
+  Engine replay(w.components());
+  const std::vector<data::FrameRecord> series = make_series(42, 6);
+  full.open_session(1);
+  replay.open_session(1);
+  for (const data::FrameRecord& frame : series) {
+    const EngineStepResult a = full.step(1, frame);
+    const EngineStepResult b = replay.step_precomputed(
+        1, w.qf.extract(frame), a.isolated.label, a.isolated.uncertainty);
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    EXPECT_EQ(a.fused_label, b.fused_label);
+    for (std::size_t k = 0; k < a.estimates.size(); ++k) {
+      EXPECT_EQ(a.estimates[k], b.estimates[k]);
+    }
+  }
+}
+
+TEST(Engine, CustomEstimatorJoinsRegistry) {
+  class ConstantEstimator final : public UncertaintyEstimator {
+   public:
+    const std::string& name() const noexcept override { return name_; }
+    double estimate(const EstimationContext&) override { return 0.25; }
+
+   private:
+    std::string name_ = "constant";
+  };
+  Engine engine(world().components());
+  engine.add_estimator(std::make_shared<ConstantEstimator>());
+  const std::size_t index = engine.estimator_index("constant");
+  const data::FrameRecord frame = make_frame(0.9F, 0.0F, 1);
+  const EngineStepResult r = engine.step(1, frame);
+  ASSERT_GT(r.estimates.size(), index);
+  EXPECT_DOUBLE_EQ(r.estimates[index], 0.25);
+  EXPECT_THROW(engine.add_estimator(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::core

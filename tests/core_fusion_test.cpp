@@ -136,10 +136,14 @@ TEST(UncertaintyFusionRules, HandValues) {
                    0.5);
 }
 
-TEST(UncertaintyFusionRules, EmptyThrows) {
-  EXPECT_THROW(fuse_uncertainties(std::vector<double>{},
-                                  UncertaintyFusionRule::kNaive),
-               std::invalid_argument);
+TEST(UncertaintyFusionRules, EmptyFusesToVacuousBound) {
+  // No evidence about the outcome => the only dependable bound is 1.0.
+  for (const auto rule :
+       {UncertaintyFusionRule::kNaive, UncertaintyFusionRule::kOpportune,
+        UncertaintyFusionRule::kWorstCase}) {
+    EXPECT_DOUBLE_EQ(fuse_uncertainties(std::vector<double>{}, rule), 1.0);
+    EXPECT_DOUBLE_EQ(fuse_uncertainties(TimeseriesBuffer{}, rule), 1.0);
+  }
 }
 
 TEST(UncertaintyFusionRules, BufferOverloadMatchesSpan) {
@@ -179,15 +183,23 @@ TEST(UfAccumulator, ZeroUncertaintyMakesNaiveZero) {
   EXPECT_DOUBLE_EQ(acc.worst_case(), 0.5);
 }
 
-TEST(UfAccumulator, ResetAndEmptyChecks) {
+TEST(UfAccumulator, EmptyReturnsVacuousBound) {
   UncertaintyFusionAccumulator acc;
   EXPECT_TRUE(acc.empty());
-  EXPECT_THROW(acc.naive(), std::logic_error);
+  EXPECT_DOUBLE_EQ(acc.naive(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.opportune(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.worst_case(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.get(UncertaintyFusionRule::kNaive), 1.0);
+}
+
+TEST(UfAccumulator, ResetRestoresVacuousBound) {
+  UncertaintyFusionAccumulator acc;
   acc.push(0.2);
   EXPECT_FALSE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.worst_case(), 0.2);
   acc.reset();
   EXPECT_TRUE(acc.empty());
-  EXPECT_THROW(acc.worst_case(), std::logic_error);
+  EXPECT_DOUBLE_EQ(acc.worst_case(), 1.0);
 }
 
 TEST(UfAccumulator, RejectsOutOfRange) {

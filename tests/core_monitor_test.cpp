@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace tauw::core {
 namespace {
 
@@ -67,6 +69,43 @@ TEST(Monitor, NoHysteresisByDefault) {
   RuntimeMonitor monitor(cfg);
   monitor.decide(0.5);
   EXPECT_EQ(monitor.decide(0.08), MonitorDecision::kAccept);
+}
+
+TEST(Monitor, UnityReacceptanceFactorMatchesDecideExactly) {
+  // reacceptance_factor == 1.0 must disable hysteresis bit-exactly: after a
+  // fallback, re-acceptance uses the same strict `u < threshold` as decide.
+  // 0.1 * 1.0 rounds to 0.1 in IEEE double, but the invariant must not rely
+  // on that; probe with the threshold value itself and its predecessor.
+  MonitorConfig with_factor;
+  with_factor.uncertainty_threshold = 0.1;
+  with_factor.reacceptance_factor = 1.0;
+  MonitorConfig plain;
+  plain.uncertainty_threshold = 0.1;
+  RuntimeMonitor monitored(with_factor);
+  RuntimeMonitor reference(plain);
+  const double below = std::nextafter(0.1, 0.0);
+  const double probes[] = {0.5, 0.1, below, 0.1, 0.5, below, below};
+  for (const double u : probes) {
+    EXPECT_EQ(monitored.decide(u), reference.decide(u)) << "at u=" << u;
+  }
+  // The threshold itself is never accepted, even right after a fallback.
+  monitored.decide(0.9);
+  EXPECT_EQ(monitored.decide(0.1), MonitorDecision::kFallback);
+  EXPECT_EQ(monitored.decide(below), MonitorDecision::kAccept);
+}
+
+TEST(Monitor, DecideAndReport) {
+  MonitorConfig cfg;
+  cfg.uncertainty_threshold = 0.5;
+  RuntimeMonitor monitor(cfg);
+  EXPECT_EQ(monitor.decide_and_report(0.1, true), MonitorDecision::kAccept);
+  EXPECT_EQ(monitor.decide_and_report(0.1, false), MonitorDecision::kAccept);
+  // A fallback with an observed failure never counts as an accepted failure.
+  EXPECT_EQ(monitor.decide_and_report(0.9, true), MonitorDecision::kFallback);
+  EXPECT_EQ(monitor.stats().decisions, 3u);
+  EXPECT_EQ(monitor.stats().accepted, 2u);
+  EXPECT_EQ(monitor.stats().accepted_failures, 1u);
+  EXPECT_NEAR(monitor.stats().accepted_failure_rate(), 0.5, 1e-12);
 }
 
 TEST(Monitor, ResetClearsEverything) {

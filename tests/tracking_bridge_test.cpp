@@ -1,0 +1,182 @@
+// Tests for the tracker <-> engine bridge: one engine session per tracked
+// physical sign, opened on first sight and closed when the track drops.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "tracking/engine_bridge.hpp"
+
+namespace tauw::tracking {
+namespace {
+
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    p.label = f[0] > 0.5F ? 1 : 0;
+    p.confidence = 0.9F;
+    return p;
+  }
+};
+
+data::FrameRecord make_frame(float signal) {
+  data::FrameRecord rec;
+  rec.features = {signal, 0.0F};
+  rec.observed_apparent_px = 20.0;
+  rec.apparent_px = 20.0;
+  return rec;
+}
+
+// A minimal fitted QIM so the engine can run its full step path.
+std::shared_ptr<core::QualityImpactModel> fit_toy_qim(
+    const core::QualityFactorExtractor& qf) {
+  dtree::TreeDataset train;
+  dtree::TreeDataset calib;
+  for (int i = 0; i < 200; ++i) {
+    const data::FrameRecord rec = make_frame(i % 2 == 0 ? 0.9F : 0.1F);
+    (i % 2 == 0 ? train : calib).push_back(qf.extract(rec), false);
+  }
+  core::QimConfig cfg;
+  cfg.cart.max_depth = 2;
+  cfg.calibration.min_leaf_samples = 10;
+  auto qim = std::make_shared<core::QualityImpactModel>();
+  qim->fit(train, calib, cfg, qf.names());
+  return qim;
+}
+
+core::Engine make_engine() {
+  core::EngineComponents components;
+  components.ddm = std::make_shared<ToyDdm>();
+  components.qf_extractor = core::QualityFactorExtractor(28.0);
+  components.qim = fit_toy_qim(components.qf_extractor);
+  return core::Engine(std::move(components));
+}
+
+TEST(EngineTrackBridge, OneSessionPerSimultaneousSign) {
+  core::Engine engine = make_engine();
+  TrackManagerConfig config;
+  config.gate_distance_m = 3.0;
+  EngineTrackBridge bridge(engine, config);
+
+  const data::FrameRecord frame_a = make_frame(0.9F);
+  const data::FrameRecord frame_b = make_frame(0.1F);
+
+  // Two signs visible simultaneously, observed over four camera frames.
+  for (int t = 0; t < 4; ++t) {
+    const double x = 50.0 - t;
+    const std::vector<SceneDetection> detections = {
+        {{x, 3.0}, &frame_a},
+        {{x, -3.0}, &frame_b},
+    };
+    const auto results = bridge.observe(detections);
+    ASSERT_EQ(results.size(), 2u);
+    // Each detection stays on its own series with its own growing buffer.
+    EXPECT_NE(results[0].track.series_id, results[1].track.series_id);
+    EXPECT_EQ(results[0].step.series_length, static_cast<std::size_t>(t + 1));
+    EXPECT_EQ(results[1].step.series_length, static_cast<std::size_t>(t + 1));
+    // The frames route to the right sessions: distinct DDM outcomes.
+    EXPECT_EQ(results[0].step.isolated.label, 1u);
+    EXPECT_EQ(results[1].step.isolated.label, 0u);
+  }
+  EXPECT_EQ(engine.session_count(), 2u);
+}
+
+TEST(EngineTrackBridge, DroppedTrackClosesItsSession) {
+  core::Engine engine = make_engine();
+  TrackManagerConfig config;
+  config.gate_distance_m = 3.0;
+  config.max_missed = 1;
+  EngineTrackBridge bridge(engine, config);
+
+  const data::FrameRecord frame = make_frame(0.9F);
+  const std::vector<SceneDetection> sign = {{{50.0, 3.0}, &frame}};
+  // The observe() result span is invalidated by the next call; copy what
+  // later assertions need.
+  const std::uint64_t first_series = bridge.observe(sign)[0].track.series_id;
+  const core::SessionId session = bridge.session_for(first_series);
+  EXPECT_TRUE(engine.has_session(session));
+
+  // The sign disappears; after max_missed+1 empty frames the track drops
+  // and the bridge closes its engine session.
+  bridge.observe({});
+  bridge.observe({});
+  EXPECT_FALSE(engine.has_session(session));
+  EXPECT_EQ(bridge.tracker().active_tracks(), 0u);
+
+  // A later detection far away starts a fresh series and session.
+  const std::vector<SceneDetection> other = {{{10.0, 0.0}, &frame}};
+  const auto reborn = bridge.observe(other);
+  EXPECT_TRUE(reborn[0].track.new_series);
+  EXPECT_NE(reborn[0].track.series_id, first_series);
+  EXPECT_TRUE(
+      engine.has_session(bridge.session_for(reborn[0].track.series_id)));
+}
+
+TEST(EngineTrackBridge, TwoBridgesOnOneEngineStayDisjoint) {
+  // Two cameras, one shared engine: each bridge's tracker numbers series
+  // from 1, but the per-bridge session namespace keeps the streams apart.
+  core::Engine engine = make_engine();
+  EngineTrackBridge camera_a(engine);
+  EngineTrackBridge camera_b(engine);
+  const data::FrameRecord frame_a = make_frame(0.9F);
+  const data::FrameRecord frame_b = make_frame(0.1F);
+
+  for (int t = 0; t < 3; ++t) {
+    const std::vector<SceneDetection> da = {{{50.0 - t, 3.0}, &frame_a}};
+    const std::vector<SceneDetection> db = {{{50.0 - t, 3.0}, &frame_b}};
+    const auto ra = camera_a.observe(da);
+    const auto rb = camera_b.observe(db);
+    // Same tracker-local series id, different engine sessions: each keeps
+    // its own evidence (distinct outcomes, independently growing buffers).
+    EXPECT_EQ(ra[0].track.series_id, rb[0].track.series_id);
+    EXPECT_NE(ra[0].step.session, rb[0].step.session);
+    EXPECT_EQ(ra[0].step.series_length, static_cast<std::size_t>(t + 1));
+    EXPECT_EQ(rb[0].step.series_length, static_cast<std::size_t>(t + 1));
+    EXPECT_EQ(ra[0].step.isolated.label, 1u);
+    EXPECT_EQ(rb[0].step.isolated.label, 0u);
+  }
+  EXPECT_EQ(engine.session_count(), 2u);
+}
+
+TEST(EngineTrackBridge, SceneCutClosesAllSessionsOnNextObserve) {
+  core::Engine engine = make_engine();
+  EngineTrackBridge bridge(engine);
+  const data::FrameRecord frame = make_frame(0.9F);
+  const std::vector<SceneDetection> sign = {{{50.0, 3.0}, &frame}};
+  bridge.observe(sign);
+  EXPECT_EQ(engine.session_count(), 1u);
+  bridge.tracker().reset();  // scene cut
+  bridge.observe({});        // the drain closes the orphaned session
+  EXPECT_EQ(engine.session_count(), 0u);
+}
+
+TEST(EngineTrackBridge, DestructionClosesSessionsAndRecyclesNamespace) {
+  core::Engine engine = make_engine();
+  const data::FrameRecord frame = make_frame(0.9F);
+  const std::vector<SceneDetection> sign = {{{50.0, 3.0}, &frame}};
+  core::SessionId session = 0;
+  {
+    EngineTrackBridge bridge(engine);
+    session = bridge.observe(sign)[0].step.session;
+    EXPECT_TRUE(engine.has_session(session));
+  }
+  // Destroying the bridge closes its live tracks' sessions...
+  EXPECT_FALSE(engine.has_session(session));
+  // ...and recycles its namespace (LIFO), so the cap counts live bridges.
+  EngineTrackBridge reborn(engine);
+  EXPECT_EQ(reborn.session_for(1), session);
+}
+
+TEST(EngineTrackBridge, RejectsNullFrames) {
+  core::Engine engine = make_engine();
+  EngineTrackBridge bridge(engine);
+  const std::vector<SceneDetection> bad = {{{0.0, 0.0}, nullptr}};
+  EXPECT_THROW(bridge.observe(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::tracking
