@@ -1,5 +1,6 @@
 // Engine throughput bench: steps/sec across {1, 64, 4096} concurrent
-// sessions - the baseline for the multi-user serving trajectory.
+// sessions and a 1/2/4/8-thread sweep of the sharded step_batch path - the
+// scaling report for the multi-user serving trajectory.
 //
 // Uses a cheap rule-based DDM plus a small fitted QIM/taQIM so the numbers
 // measure the engine's own overhead (session lookup, buffer push, fusion,
@@ -9,11 +10,18 @@
 // per-step fusion cost stays constant.
 //
 // Build & run:  ./bench/bench_engine_throughput [--steps N]
+//                 [--json OUT.json] [--baseline BASELINE.json]
+//
+// --json writes the thread sweep as BENCH_engine.json-style output for CI
+// artifacts; --baseline compares the measured single-thread (serial)
+// throughput against a committed baseline and exits non-zero on a >20%
+// regression.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -104,10 +112,13 @@ core::EngineComponents make_components() {
 
 double run_case(const core::EngineComponents& components,
                 std::size_t num_sessions, std::size_t total_steps,
-                std::size_t batch_size) {
+                std::size_t batch_size, std::size_t num_shards,
+                std::size_t num_threads) {
   core::EngineConfig config;
   config.max_sessions = 0;
   config.buffer_capacity = 10;  // bounded series: constant per-step cost
+  config.num_shards = num_shards;
+  config.num_threads = num_threads;
   core::Engine engine(components, config);
   for (std::size_t s = 0; s < num_sessions; ++s) {
     engine.open_session(s + 1);
@@ -145,29 +156,125 @@ double run_case(const core::EngineComponents& components,
   return static_cast<double>(total_steps) / elapsed;
 }
 
+/// Minimal extractor for `"key": <number>` from a small JSON file; good
+/// enough for the bench's own baseline format (no external deps).
+bool read_json_number(const char* path, const char* key, double* out) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  std::string text;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t total_steps = 400000;
+  const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--steps") == 0) {
       total_steps = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
     }
   }
 
   std::printf("fitting toy components...\n");
   const core::EngineComponents components = make_components();
 
-  std::printf("%-12s %-12s %-14s\n", "sessions", "batch", "steps/sec");
+  // -- session sweep on the serial engine (the PR 1 baseline table) --------
+  std::printf("%-10s %-8s %-8s %-9s %-14s %-9s\n", "sessions", "batch",
+              "shards", "threads", "steps/sec", "speedup");
   const std::size_t session_counts[] = {1, 64, 4096};
   for (const std::size_t sessions : session_counts) {
     const std::size_t batch = std::min<std::size_t>(sessions, 256);
-    const double rate = run_case(components, sessions, total_steps, batch);
-    std::printf("%-12zu %-12zu %-14.0f\n", sessions, batch, rate);
+    const double rate = run_case(components, sessions, total_steps, batch, 1, 1);
+    std::printf("%-10zu %-8zu %-8d %-9d %-14.0f %-9s\n", sessions, batch, 1, 1,
+                rate, "-");
+  }
+
+  // -- thread sweep at 4096 sessions: the parallel-speedup report ----------
+  // Large batches amortize the per-batch shard grouping and pool dispatch;
+  // shards = 4x threads keeps per-shard groups big while leaving headroom
+  // for the work-stealing shard cursor to balance load.
+  constexpr std::size_t kSweepSessions = 4096;
+  constexpr std::size_t kSweepBatch = 1024;
+  const double serial_rate =
+      run_case(components, kSweepSessions, total_steps, kSweepBatch, 1, 1);
+  std::printf("%-10zu %-8zu %-8d %-9d %-14.0f %-9.2f\n", kSweepSessions,
+              kSweepBatch, 1, 1, serial_rate, 1.0);
+
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  double sweep_rates[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t threads = thread_counts[i];
+    const std::size_t shards = threads * 4;
+    sweep_rates[i] = run_case(components, kSweepSessions, total_steps,
+                              kSweepBatch, shards, threads);
+    std::printf("%-10zu %-8zu %-8zu %-9zu %-14.0f %-9.2f\n", kSweepSessions,
+                kSweepBatch, shards, threads, sweep_rates[i],
+                sweep_rates[i] / serial_rate);
   }
   std::printf(
-      "\nThe spread between 1 and 4096 sessions measures session-lookup and\n"
-      "cache-locality overhead - the target of future sharding/batching\n"
-      "work; per-step cost is otherwise constant (bounded buffers).\n");
+      "\nspeedup = steps/sec versus the serial (1-shard, 1-thread) engine at\n"
+      "the same session count. Thread counts beyond the machine's cores\n"
+      "cannot speed up further; expect the 8-thread row to flatten there.\n");
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"bench_engine_throughput\",\n"
+                 "  \"steps\": %zu,\n"
+                 "  \"sessions\": %zu,\n"
+                 "  \"serial_steps_per_sec\": %.0f,\n"
+                 "  \"threads\": {\"1\": %.0f, \"2\": %.0f, \"4\": %.0f, "
+                 "\"8\": %.0f},\n"
+                 "  \"speedup_4_threads\": %.3f\n"
+                 "}\n",
+                 total_steps, kSweepSessions, serial_rate, sweep_rates[0],
+                 sweep_rates[1], sweep_rates[2], sweep_rates[3],
+                 sweep_rates[2] / serial_rate);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (baseline_path != nullptr) {
+    double baseline = 0.0;
+    if (!read_json_number(baseline_path, "serial_steps_per_sec", &baseline) ||
+        baseline <= 0.0) {
+      std::fprintf(stderr, "cannot read serial_steps_per_sec from %s\n",
+                   baseline_path);
+      return 1;
+    }
+    const double floor = 0.8 * baseline;
+    std::printf("baseline gate: measured %.0f vs committed %.0f (floor %.0f)\n",
+                serial_rate, baseline, floor);
+    if (serial_rate < floor) {
+      std::fprintf(stderr,
+                   "FAIL: single-thread throughput regressed >20%% versus the "
+                   "committed baseline\n");
+      return 1;
+    }
+    std::printf("baseline gate: PASS\n");
+  }
   return 0;
 }

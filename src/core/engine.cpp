@@ -6,10 +6,24 @@
 
 namespace tauw::core {
 
+namespace {
+
+// splitmix64 finalizer: session ids are often sequential (tracker series,
+// auto-assigned ids), so shard selection needs a real mixer - `id %
+// num_shards` would put consecutive ids on consecutive shards, which is
+// fine for load but terrible for tests that want colliding ids, and it
+// couples shard placement to the id-allocation pattern.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Engine::Engine(EngineComponents components, EngineConfig config)
-    : components_(std::move(components)),
-      config_(config),
-      qf_scratch_(components_.qf_extractor.num_factors()) {
+    : components_(std::move(components)), config_(config) {
   if (components_.fusion == nullptr) {
     components_.fusion = std::make_shared<MajorityVoteFusion>();
   }
@@ -19,24 +33,73 @@ Engine::Engine(EngineComponents components, EngineConfig config)
     throw std::invalid_argument(
         "Engine: QIM feature count does not match the QF extractor");
   }
-  estimators_ = make_default_estimators(
-      components_.taqim, components_.qf_extractor.num_factors(),
-      components_.taqfs);
-  primary_ = components_.taqim != nullptr
-                 ? estimator_index("tauw")
-                 : estimator_index("worst_case");
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (config_.num_threads == 0) config_.num_threads = 1;
+
+  shards_.reserve(config_.num_shards);
+  const std::size_t per_shard_budget =
+      config_.max_sessions == 0
+          ? 0
+          : (config_.max_sessions + config_.num_shards - 1) /
+                config_.num_shards;
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->max_sessions = per_shard_budget;
+    shard->estimators = make_default_estimators(
+        components_.taqim, components_.qf_extractor.num_factors(),
+        components_.taqfs);
+    shard->qf_scratch.resize(components_.qf_extractor.num_factors());
+    shards_.push_back(std::move(shard));
+  }
+  primary_ = components_.taqim != nullptr ? estimator_index("tauw")
+                                          : estimator_index("worst_case");
+
+  group_scratch_.resize(config_.num_shards);
+  try {
+    for (std::size_t t = 1; t < config_.num_threads; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A failed spawn (e.g. EAGAIN under thread pressure) must join the
+    // workers already running: ~Engine() does not run when the
+    // constructor unwinds, and destroying a joinable std::thread
+    // terminates the process.
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t Engine::shard_of(SessionId id) const noexcept {
+  if (shards_.size() == 1) return 0;
+  return static_cast<std::size_t>(mix64(id) % shards_.size());
 }
 
 std::vector<std::string> Engine::estimator_names() const {
+  const auto& estimators = shards_.front()->estimators;
   std::vector<std::string> names;
-  names.reserve(estimators_.size());
-  for (const auto& estimator : estimators_) names.push_back(estimator->name());
+  names.reserve(estimators.size());
+  for (const auto& estimator : estimators) names.push_back(estimator->name());
   return names;
 }
 
 std::size_t Engine::estimator_index(std::string_view name) const {
-  for (std::size_t i = 0; i < estimators_.size(); ++i) {
-    if (estimators_[i]->name() == name) return i;
+  const auto& estimators = shards_.front()->estimators;
+  for (std::size_t i = 0; i < estimators.size(); ++i) {
+    if (estimators[i]->name() == name) return i;
   }
   throw std::invalid_argument("Engine: unknown estimator \"" +
                               std::string(name) + "\"");
@@ -46,19 +109,39 @@ void Engine::add_estimator(std::shared_ptr<UncertaintyEstimator> estimator) {
   if (estimator == nullptr) {
     throw std::invalid_argument("Engine: null estimator");
   }
-  estimators_.push_back(std::move(estimator));
+  // Clone for shards 1..N-1 first so a non-cloneable estimator leaves the
+  // registries untouched (all shards must stay index-aligned).
+  std::vector<std::shared_ptr<UncertaintyEstimator>> clones;
+  clones.reserve(shards_.size() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    std::shared_ptr<UncertaintyEstimator> clone = estimator->clone();
+    if (clone == nullptr) {
+      throw std::invalid_argument(
+          "Engine: estimator \"" + estimator->name() +
+          "\" does not support clone(); sharded engines need one instance "
+          "per shard");
+    }
+    clones.push_back(std::move(clone));
+  }
+  shards_.front()->estimators.push_back(std::move(estimator));
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    shards_[s]->estimators.push_back(std::move(clones[s - 1]));
+  }
 }
 
 SessionId Engine::open_session() {
-  const SessionId id = next_auto_id_++;
-  create_session(id);  // fresh by construction: ids are never re-issued
+  const SessionId id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  create_session(shard, id);  // fresh by construction: ids are never re-issued
   return id;
 }
 
 void Engine::validate_external_id(SessionId id) const {
   // Caller-chosen ids must stay out of the auto namespace - except ids
   // this engine itself assigned (re-opening an evicted auto session).
-  if ((id & kAutoSessionBit) != 0 && id >= next_auto_id_) {
+  if ((id & kAutoSessionBit) != 0 &&
+      id >= next_auto_id_.load(std::memory_order_relaxed)) {
     throw std::invalid_argument(
         "Engine: caller session ids must be below 2^63 (id " +
         std::to_string(id) + " aliases the auto-assigned namespace)");
@@ -67,8 +150,10 @@ void Engine::validate_external_id(SessionId id) const {
 
 void Engine::open_session(SessionId id) {
   validate_external_id(id);
-  const auto it = sessions_.find(id);
-  if (it != sessions_.end()) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(id);
+  if (it != shard.sessions.end()) {
     // Re-opening restarts the series: buffer, UF aggregates, and the
     // monitor's hysteresis mode (it belonged to the previous physical
     // object) are cleared; the monitor's statistics are kept (they belong
@@ -76,54 +161,72 @@ void Engine::open_session(SessionId id) {
     it->second.buffer.clear();
     it->second.uf.reset();
     it->second.monitor.reset_hysteresis();
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     return;
   }
-  create_session(id);
+  create_session(shard, id);
 }
 
-Engine::Session& Engine::create_session(SessionId id) {
-  lru_.push_front(id);
+Engine::Session& Engine::create_session(Shard& shard, SessionId id) {
+  shard.lru.push_front(id);
   try {
     Session session{TimeseriesBuffer(config_.buffer_capacity),
                     UncertaintyFusionAccumulator{},
-                    RuntimeMonitor(config_.monitor), lru_.begin()};
-    const auto [it, inserted] = sessions_.emplace(id, std::move(session));
-    if (config_.max_sessions > 0 && sessions_.size() > config_.max_sessions) {
-      evict_lru(id);
+                    RuntimeMonitor(config_.monitor), shard.lru.begin()};
+    const auto [it, inserted] = shard.sessions.emplace(id, std::move(session));
+    if (shard.max_sessions > 0 && shard.sessions.size() > shard.max_sessions) {
+      evict_lru(shard, id);
     }
     return it->second;
   } catch (...) {
     // Unwind the LRU entry so a failed emplace cannot leave a ghost id
     // that evict_lru would spin on.
-    lru_.pop_front();
+    shard.lru.pop_front();
     throw;
   }
 }
 
-void Engine::evict_lru(SessionId keep) {
-  while (sessions_.size() > config_.max_sessions && !lru_.empty()) {
-    const SessionId victim = lru_.back();
+void Engine::evict_lru(Shard& shard, SessionId keep) {
+  while (shard.sessions.size() > shard.max_sessions && !shard.lru.empty()) {
+    const SessionId victim = shard.lru.back();
     if (victim == keep) break;  // never evict the session being touched
-    close_session(victim);
+    close_session_locked(shard, victim);
   }
 }
 
-bool Engine::has_session(SessionId id) const noexcept {
-  return sessions_.find(id) != sessions_.end();
+bool Engine::has_session(SessionId id) const {
+  const Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.sessions.find(id) != shard.sessions.end();
+}
+
+std::size_t Engine::session_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->sessions.size();
+  }
+  return total;
+}
+
+void Engine::close_session_locked(Shard& shard, SessionId id) {
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) return;
+  shard.retired += it->second.monitor.stats();
+  shard.lru.erase(it->second.lru_it);
+  shard.sessions.erase(it);
 }
 
 void Engine::close_session(SessionId id) {
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) return;
-  retired_ += it->second.monitor.stats();
-  lru_.erase(it->second.lru_it);
-  sessions_.erase(it);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  close_session_locked(shard, id);
 }
 
-const Engine::Session& Engine::session_at(SessionId id) const {
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
+const Engine::Session& Engine::session_at(const Shard& shard,
+                                          SessionId id) const {
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
     throw std::invalid_argument("Engine: unknown session " +
                                 std::to_string(id));
   }
@@ -131,26 +234,30 @@ const Engine::Session& Engine::session_at(SessionId id) const {
 }
 
 const RuntimeMonitor& Engine::session_monitor(SessionId id) const {
-  return session_at(id).monitor;
+  const Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return session_at(shard, id).monitor;
 }
 
 const TimeseriesBuffer& Engine::session_buffer(SessionId id) const {
-  return session_at(id).buffer;
+  const Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return session_at(shard, id).buffer;
 }
 
-Engine::Session& Engine::touch(SessionId id, bool& created) {
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
+Engine::Session& Engine::touch(Shard& shard, SessionId id, bool& created) {
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
     validate_external_id(id);
     created = true;
-    return create_session(id);
+    return create_session(shard, id);
   }
   created = false;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   return it->second;
 }
 
-void Engine::step_common(SessionId id, Session& session,
+void Engine::step_common(Shard& shard, SessionId id, Session& session,
                          std::span<const double> stateless_qfs,
                          std::size_t outcome, double ddm_confidence,
                          double uncertainty, EngineStepResult& result) {
@@ -184,16 +291,17 @@ void Engine::step_common(SessionId id, Session& session,
   context.isolated_uncertainty = uncertainty;
   context.fused_label = result.fused_label;
 
-  result.estimates.resize(estimators_.size());
-  for (std::size_t i = 0; i < estimators_.size(); ++i) {
-    result.estimates[i] = estimators_[i]->estimate(context);
+  result.estimates.resize(shard.estimators.size());
+  for (std::size_t i = 0; i < shard.estimators.size(); ++i) {
+    result.estimates[i] = shard.estimators[i]->estimate(context);
   }
   result.decision = session.monitor.decide(result.estimates[primary_]);
 }
 
-void Engine::step_into(SessionId id, const data::FrameRecord& frame,
-                       const sim::SignLocation* location,
-                       EngineStepResult& result) {
+void Engine::step_frame_locked(Shard& shard, SessionId id,
+                               const data::FrameRecord& frame,
+                               const sim::SignLocation* location,
+                               EngineStepResult& result) {
   if (components_.ddm == nullptr || components_.qim == nullptr) {
     throw std::logic_error(
         "Engine::step requires a DDM and a fitted QIM (replay-only engines "
@@ -201,19 +309,27 @@ void Engine::step_into(SessionId id, const data::FrameRecord& frame,
   }
   // Run every fallible evaluation before touching session state, so a
   // throwing DDM/QIM leaves no half-created session and evicts nothing.
-  components_.qf_extractor.extract_into(frame, qf_scratch_);
+  components_.qf_extractor.extract_into(frame, shard.qf_scratch);
   const ml::Prediction prediction = components_.ddm->predict(frame.features);
-  double uncertainty = components_.qim->predict(qf_scratch_);
+  double uncertainty = components_.qim->predict(shard.qf_scratch);
   if (components_.scope.has_value() && location != nullptr) {
     uncertainty = combine_uncertainties(
         uncertainty,
         components_.scope->incompliance_probability(frame, *location));
   }
   bool created = false;
-  Session& session = touch(id, created);
+  Session& session = touch(shard, id, created);
   result.new_session = created;
-  step_common(id, session, qf_scratch_, prediction.label,
+  step_common(shard, id, session, shard.qf_scratch, prediction.label,
               prediction.confidence, uncertainty, result);
+}
+
+void Engine::step_into(SessionId id, const data::FrameRecord& frame,
+                       const sim::SignLocation* location,
+                       EngineStepResult& result) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  step_frame_locked(shard, id, frame, location, result);
 }
 
 EngineStepResult Engine::step(SessionId id, const data::FrameRecord& frame,
@@ -235,10 +351,13 @@ void Engine::step_precomputed_into(SessionId id,
         "Engine::step_precomputed: stateless QF count does not match the "
         "QF extractor");
   }
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
   bool created = false;
-  Session& session = touch(id, created);
+  Session& session = touch(shard, id, created);
   result.new_session = created;
-  step_common(id, session, stateless_qfs, outcome, 0.0, uncertainty, result);
+  step_common(shard, id, session, stateless_qfs, outcome, 0.0, uncertainty,
+              result);
 }
 
 EngineStepResult Engine::step_precomputed(
@@ -252,38 +371,134 @@ EngineStepResult Engine::step_precomputed(
 void Engine::step_batch(std::span<const SessionFrame> frames,
                         std::vector<EngineStepResult>& results) {
   // Validate the whole batch first so a bad entry cannot leave earlier
-  // sessions half-stepped (the call is all-or-nothing up to this point).
+  // sessions half-stepped. (Auto-assigned ids always pass
+  // validate_external_id - the engine issued them below next_auto_id_ - so
+  // no session lookup is needed here.)
   for (const SessionFrame& frame : frames) {
     if (frame.frame == nullptr) {
       throw std::invalid_argument("Engine::step_batch: null frame");
     }
-    if (!has_session(frame.session)) validate_external_id(frame.session);
+    validate_external_id(frame.session);
   }
   results.resize(frames.size());
+
+  // One batch owns the pool (and the group scratch) at a time; concurrent
+  // step_batch callers queue here.
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+
+  // Group batch indices by shard, preserving input order within each group
+  // - per-session step order is what makes results bit-exact across every
+  // (num_shards, num_threads) configuration.
+  for (auto& group : group_scratch_) group.clear();
   for (std::size_t i = 0; i < frames.size(); ++i) {
-    step_into(frames[i].session, *frames[i].frame, frames[i].location,
-              results[i]);
+    group_scratch_[shard_of(frames[i].session)].push_back(i);
+  }
+
+  auto state = std::make_shared<BatchState>();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!group_scratch_[s].empty()) {
+      // The index vectors stay valid for the whole batch: group_scratch_ is
+      // only reused by the next batch, which waits on batch_mutex_ until
+      // this one completes.
+      state->tasks.push_back(ShardTask{shards_[s].get(), &group_scratch_[s]});
+    }
+  }
+  if (state->tasks.empty()) return;
+  state->frames = frames;
+  state->results = &results;
+  state->remaining = state->tasks.size();
+
+  if (workers_.empty()) {
+    // Serial path: run the shard groups inline, in shard order. With one
+    // shard this is exactly the single-threaded engine's loop.
+    for (const ShardTask& task : state->tasks) run_shard_task(*state, task);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    current_batch_ = state;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  drain_tasks(*state);  // the calling thread is worker number num_threads
+  std::unique_lock<std::mutex> lock(pool_mutex_);
+  done_cv_.wait(lock, [&] { return state->remaining == 0; });
+  if (state->error != nullptr) {
+    lock.unlock();
+    std::rethrow_exception(state->error);
+  }
+}
+
+void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
+  Shard& shard = *task.shard;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (const std::size_t index : *task.indices) {
+    const SessionFrame& sf = state.frames[index];
+    step_frame_locked(shard, sf.session, *sf.frame, sf.location,
+                      (*state.results)[index]);
+  }
+}
+
+void Engine::drain_tasks(BatchState& state) {
+  for (;;) {
+    const std::size_t t = state.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (t >= state.tasks.size()) return;
+    try {
+      run_shard_task(state, state.tasks[t]);
+    } catch (...) {
+      // A throwing DDM/QIM aborts this shard's remaining group entries;
+      // other shards still complete. The first error is rethrown to the
+      // step_batch caller.
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (state.error == nullptr) state.error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (--state.remaining == 0) done_cv_.notify_all();
+  }
+}
+
+void Engine::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<BatchState> state;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      state = current_batch_;
+    }
+    // A worker that missed an epoch (or wakes after the batch drained)
+    // finds the cursor exhausted and simply waits for the next one.
+    if (state != nullptr) drain_tasks(*state);
   }
 }
 
 void Engine::report_outcome(SessionId id, MonitorDecision decision,
                             bool failure) {
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
     // The session may have been closed or evicted between the decision and
     // the (possibly delayed) ground-truth feedback; count it globally.
     if (decision == MonitorDecision::kAccept && failure) {
-      ++retired_.accepted_failures;
+      ++shard.retired.accepted_failures;
     }
     return;
   }
   it->second.monitor.report_outcome(decision, failure);
 }
 
-MonitorStats Engine::total_monitor_stats() const noexcept {
-  MonitorStats total = retired_;
-  for (const auto& [id, session] : sessions_) {
-    total += session.monitor.stats();
+MonitorStats Engine::total_monitor_stats() const {
+  MonitorStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->retired;
+    for (const auto& [id, session] : shard->sessions) {
+      total += session.monitor.stats();
+    }
   }
   return total;
 }

@@ -19,16 +19,45 @@
 //   * `step_batch` processes a whole frame of SessionFrames while reusing
 //     scratch and result buffers (the hot path).
 //
+// -- Threading model ---------------------------------------------------------
+//
+// Sessions are partitioned across `EngineConfig::num_shards` shards by
+// `hash(SessionId) % num_shards`. Each shard owns its session map, LRU list,
+// retired-statistics aggregate, QF scratch buffer, and its own clones of the
+// estimator registry, so a step never touches state outside its shard; one
+// mutex per shard makes `open_session` / `step` / `close_session` /
+// `report_outcome` / stats safe to call from any thread. The fitted
+// components (DDM, QIM, taQIM, fusion, scope) are shared across shards -
+// they are immutable after construction and only called through const
+// methods.
+//
+// `step_batch` groups the batch by shard and - when `num_threads > 1` -
+// dispatches the per-shard groups to an internal worker pool (one shard is
+// only ever processed by one worker at a time, so the hot path stays
+// lock-free *within* a shard). In-batch order is preserved per session, and
+// per-session outputs are bit-identical for every (num_shards, num_threads)
+// configuration: estimates depend only on per-session state, the frame, and
+// immutable models. The 1-shard/1-thread default runs the exact serial path
+// of the single-threaded engine.
+//
+// What is NOT thread-safe: `add_estimator` and the references returned by
+// `session_monitor` / `session_buffer` / `estimators` require that no other
+// thread mutates the engine (respectively that session) concurrently.
+//
 // Sessions map 1:1 to tracked physical objects; see
 // tracking/engine_bridge.hpp for the tracker integration that opens and
 // closes sessions automatically.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -51,9 +80,12 @@ using SessionId = std::uint64_t;
 
 /// The components an Engine evaluates. All are owned (shared_ptr or value);
 /// copying an EngineComponents is cheap and shares the underlying models.
+/// The shared models are immutable after fitting, so every engine shard (and
+/// every engine) may evaluate them concurrently.
 struct EngineComponents {
   /// The wrapped DDM. Required for step(); replay-only engines (that only
-  /// ever call step_precomputed) may leave it null.
+  /// ever call step_precomputed) may leave it null. Must be safe to call
+  /// predict() on concurrently (true for anything without mutable state).
   std::shared_ptr<const ml::Classifier> ddm;
   /// Stateless quality-factor extractor (value type).
   QualityFactorExtractor qf_extractor{};
@@ -75,7 +107,9 @@ struct EngineConfig {
   /// recently stepped session (its monitor statistics are folded into the
   /// retired aggregate; its buffer and hysteresis mode are dropped - an
   /// evicted session stepped again starts as a fresh series). 0 =
-  /// unbounded.
+  /// unbounded. Sharded engines split the cap into per-shard budgets of
+  /// ceil(max_sessions / num_shards) each (eviction never crosses shards),
+  /// so the live total may exceed max_sessions by up to num_shards - 1.
   std::size_t max_sessions = 1024;
   /// Per-session timeseries buffer bound (0 = unbounded, the paper's
   /// setting; series end via the tracker). When bounded, the UF baselines
@@ -84,6 +118,15 @@ struct EngineConfig {
   std::size_t buffer_capacity = 0;
   /// Per-session runtime-monitor configuration.
   MonitorConfig monitor{};
+  /// Number of session shards (>= 1; 0 is treated as 1). More shards mean
+  /// less lock contention and more step_batch parallelism; a good default
+  /// under threading is 2-4x num_threads.
+  std::size_t num_shards = 1;
+  /// Worker threads step_batch fans per-shard groups out to (>= 1; 0 is
+  /// treated as 1). 1 = no pool, step_batch runs on the caller's thread.
+  /// The calling thread always participates, so `num_threads - 1` workers
+  /// are spawned.
+  std::size_t num_threads = 1;
 };
 
 /// One (session, frame) pair of a batched step.
@@ -115,22 +158,31 @@ struct EngineStepResult {
 class Engine {
  public:
   explicit Engine(EngineComponents components, EngineConfig config = {});
+  ~Engine();
 
-  // Copying is deleted: per-session LRU iterators cannot be shallow-copied
-  // (and two engines sharing live session state is never intended). Moving
-  // is fine - list/map moves preserve the cross-references.
+  // Neither copyable nor movable: shards carry mutexes and the worker pool
+  // holds threads with `this` captured. Pass engines by reference.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
-  Engine(Engine&&) = default;
-  Engine& operator=(Engine&&) = default;
+  Engine(Engine&&) = delete;
+  Engine& operator=(Engine&&) = delete;
 
   const EngineComponents& components() const noexcept { return components_; }
   const EngineConfig& config() const noexcept { return config_; }
 
+  // -- sharding -----------------------------------------------------------
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  /// The shard a session id maps to: hash(id) % num_shards. Stable for the
+  /// lifetime of the engine.
+  std::size_t shard_of(SessionId id) const noexcept;
+
   // -- estimator registry -------------------------------------------------
+  /// Shard 0's estimator instances (every shard holds clones with the same
+  /// names, in the same order). Do not call estimate() on these while other
+  /// threads step the engine.
   std::span<const std::shared_ptr<UncertaintyEstimator>> estimators()
       const noexcept {
-    return estimators_;
+    return shards_.front()->estimators;
   }
   std::vector<std::string> estimator_names() const;
   /// Index into EngineStepResult::estimates; throws if unknown.
@@ -138,26 +190,34 @@ class Engine {
   /// The estimate the per-session monitor decides on: "tauw" when a taQIM
   /// is configured, otherwise "worst_case" (the conservative baseline).
   std::size_t primary_index() const noexcept { return primary_; }
-  /// Registers an additional estimator (evaluated after the defaults).
-  /// Its estimate() must not throw - see UncertaintyEstimator's contract.
+  /// Registers an additional estimator (evaluated after the defaults). Its
+  /// estimate() must not throw - see UncertaintyEstimator's contract. On a
+  /// sharded engine the estimator must support clone() (each shard gets its
+  /// own instance); shard 0 keeps the passed instance. Not thread-safe
+  /// against concurrent stepping - register estimators before serving.
   void add_estimator(std::shared_ptr<UncertaintyEstimator> estimator);
 
-  // -- session management -------------------------------------------------
+  // -- session management (thread-safe) -----------------------------------
   /// Opens a fresh session under an auto-assigned id.
   SessionId open_session();
   /// Opens (or resets) the session with the given id.
   void open_session(SessionId id);
-  bool has_session(SessionId id) const noexcept;
-  std::size_t session_count() const noexcept { return sessions_.size(); }
+  bool has_session(SessionId id) const;
+  /// Live sessions across all shards. Under concurrent mutation the count
+  /// is a consistent-per-shard snapshot.
+  std::size_t session_count() const;
   /// Closes a session, folding its monitor statistics into the retired
   /// aggregate. Unknown ids are ignored (the session may have been evicted).
   void close_session(SessionId id);
-  /// The monitor (decision state + statistics) of a live session.
+  /// The monitor (decision state + statistics) of a live session. The
+  /// reference is only safe to read while no other thread mutates this
+  /// session (steps it, closes it, or evicts it by opening others).
   const RuntimeMonitor& session_monitor(SessionId id) const;
-  /// The timeseries buffer of a live session.
+  /// The timeseries buffer of a live session (same caveat as
+  /// session_monitor).
   const TimeseriesBuffer& session_buffer(SessionId id) const;
 
-  // -- streaming ----------------------------------------------------------
+  // -- streaming (thread-safe) ---------------------------------------------
   /// Full evaluation of one frame: DDM + stateless QIM (+ scope), buffer
   /// push, information fusion, all estimators, monitor decision. Stepping
   /// an unknown id implicitly opens it (a session may have been evicted
@@ -180,51 +240,121 @@ class Engine {
                              std::size_t outcome, double uncertainty,
                              EngineStepResult& result);
 
-  /// Batched hot path: steps every (session, frame) pair in order, reusing
-  /// `results` (and each element's estimate vector) across calls.
+  /// Batched hot path: groups the (session, frame) pairs by shard and steps
+  /// each shard's group in input order - on the worker pool when
+  /// `num_threads > 1`, inline otherwise. `results` (and each element's
+  /// estimate vector) is reused across calls and aligns index-for-index
+  /// with `frames`. Concurrent step_batch calls are safe; they serialize on
+  /// the pool.
   void step_batch(std::span<const SessionFrame> frames,
                   std::vector<EngineStepResult>& results);
 
-  // -- monitor feedback ---------------------------------------------------
+  // -- monitor feedback (thread-safe) --------------------------------------
   /// Ground-truth feedback for a session's previous decision.
   void report_outcome(SessionId id, MonitorDecision decision, bool failure);
   /// Monitor statistics aggregated over all live, closed, and evicted
   /// sessions.
-  MonitorStats total_monitor_stats() const noexcept;
+  MonitorStats total_monitor_stats() const;
 
  private:
   struct Session {
     TimeseriesBuffer buffer;
     UncertaintyFusionAccumulator uf;
     RuntimeMonitor monitor;
-    std::list<SessionId>::iterator lru_it;  ///< position in lru_
+    std::list<SessionId>::iterator lru_it;  ///< position in Shard::lru
   };
 
-  /// Looks up `id`, creating (and possibly evicting) as needed, and marks
-  /// it most recently used.
-  Session& touch(SessionId id, bool& created);
-  Session& create_session(SessionId id);
+  /// One shard: a self-contained slice of the session space. All mutable
+  /// state a step touches lives here, guarded by `mutex` (step_batch takes
+  /// it once per shard group). Heap-allocated (unique_ptr) so shards never
+  /// share a cache line and the mutex never moves.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<SessionId, Session> sessions;
+    std::list<SessionId> lru;  ///< front = most recently used
+    MonitorStats retired;      ///< folded stats of closed/evicted sessions
+    std::size_t max_sessions = 0;  ///< per-shard LRU budget (0 = unbounded)
+    /// Per-shard estimator clones - estimators may keep scratch buffers,
+    /// so sharing instances across concurrently stepping shards would race.
+    std::vector<std::shared_ptr<UncertaintyEstimator>> estimators;
+    std::vector<double> qf_scratch;
+  };
+
+  /// One step_batch work item: a shard plus the batch indices routed to it.
+  struct ShardTask {
+    Shard* shard = nullptr;
+    const std::vector<std::size_t>* indices = nullptr;
+  };
+
+  /// One in-flight step_batch, shared with the workers. Each batch gets its
+  /// own state object so a worker that wakes late simply drains an already
+  /// exhausted cursor instead of racing the next batch's bookkeeping. The
+  /// task list is immutable once published; `remaining` and `error` are
+  /// guarded by pool_mutex_.
+  struct BatchState {
+    std::vector<ShardTask> tasks;
+    std::span<const SessionFrame> frames;
+    std::vector<EngineStepResult>* results = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+
+  Shard& shard_for(SessionId id) noexcept {
+    return *shards_[shard_of(id)];
+  }
+  const Shard& shard_for(SessionId id) const noexcept {
+    return *shards_[shard_of(id)];
+  }
+
+  // Per-shard session bookkeeping; callers hold shard.mutex.
+  Session& touch(Shard& shard, SessionId id, bool& created);
+  Session& create_session(Shard& shard, SessionId id);
   void validate_external_id(SessionId id) const;
-  void evict_lru(SessionId keep);
-  const Session& session_at(SessionId id) const;
-  void step_common(SessionId id, Session& session,
+  void evict_lru(Shard& shard, SessionId keep);
+  void close_session_locked(Shard& shard, SessionId id);
+  const Session& session_at(const Shard& shard, SessionId id) const;
+
+  // Step internals; callers hold shard.mutex.
+  void step_common(Shard& shard, SessionId id, Session& session,
                    std::span<const double> stateless_qfs, std::size_t outcome,
                    double ddm_confidence, double uncertainty,
                    EngineStepResult& result);
+  void step_frame_locked(Shard& shard, SessionId id,
+                         const data::FrameRecord& frame,
+                         const sim::SignLocation* location,
+                         EngineStepResult& result);
+
+  // Worker pool (see engine.cpp for the dispatch protocol).
+  void worker_loop();
+  void drain_tasks(BatchState& state);
+  void run_shard_task(const BatchState& state, const ShardTask& task);
 
   EngineComponents components_;
   EngineConfig config_;
-  std::vector<std::shared_ptr<UncertaintyEstimator>> estimators_;
   std::size_t primary_ = 0;
   /// Auto-assigned ids live in their own namespace so they never collide
   /// with caller-chosen ids (which should stay below this bit).
   static constexpr SessionId kAutoSessionBit = SessionId{1} << 63;
 
-  std::unordered_map<SessionId, Session> sessions_;
-  std::list<SessionId> lru_;  ///< front = most recently used
-  SessionId next_auto_id_ = kAutoSessionBit | 1;
-  MonitorStats retired_;  ///< folded stats of closed/evicted sessions
-  std::vector<double> qf_scratch_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<SessionId> next_auto_id_{kAutoSessionBit | 1};
+
+  // -- step_batch dispatch state -------------------------------------------
+  /// Serializes step_batch callers (the pool handles one batch at a time);
+  /// also guards group_scratch_.
+  std::mutex batch_mutex_;
+  std::vector<std::vector<std::size_t>> group_scratch_;
+  /// Pool handshake: a new BatchState is published under pool_mutex_ by
+  /// bumping epoch_; workers snapshot the shared_ptr, claim tasks via the
+  /// state's atomic cursor, and report completion under pool_mutex_.
+  std::mutex pool_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+  std::shared_ptr<BatchState> current_batch_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace tauw::core

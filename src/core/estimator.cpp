@@ -24,6 +24,12 @@ double TauwEstimator::estimate(const EstimationContext& context) {
   return taqim_->predict(feature_scratch_);
 }
 
+std::shared_ptr<UncertaintyEstimator> TauwEstimator::clone() const {
+  // The copy shares the fitted taQIM (immutable) and gets its own feature
+  // scratch, which is exactly the isolation an engine shard needs.
+  return std::make_shared<TauwEstimator>(*this);
+}
+
 std::vector<std::shared_ptr<UncertaintyEstimator>> make_default_estimators(
     std::shared_ptr<const QualityImpactModel> taqim,
     std::size_t num_stateless_factors, TaqfSet taqfs) {

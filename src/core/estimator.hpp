@@ -41,7 +41,9 @@ struct EstimationContext {
 ///
 /// Implementations may keep internal scratch buffers (hence the non-const
 /// estimate()); they hold no per-series state, so a single instance serves
-/// any number of concurrent sessions. Not thread-safe.
+/// any number of concurrent sessions. A single instance is NOT thread-safe;
+/// the sharded Engine therefore holds one clone() per shard, so estimate()
+/// only ever runs under that shard's lock.
 class UncertaintyEstimator {
  public:
   virtual ~UncertaintyEstimator() = default;
@@ -55,6 +57,15 @@ class UncertaintyEstimator {
   /// so an exception here would leave a step recorded without a result.
   /// Validate configuration eagerly in the constructor instead.
   virtual double estimate(const EstimationContext& context) = 0;
+
+  /// A deep copy for another engine shard: the clone must not share any
+  /// mutable state (scratch buffers) with this instance; sharing immutable
+  /// fitted models is fine and keeps clones cheap. The default returns
+  /// nullptr, marking the estimator non-cloneable - multi-shard engines
+  /// reject such estimators in add_estimator().
+  virtual std::shared_ptr<UncertaintyEstimator> clone() const {
+    return nullptr;
+  }
 };
 
 /// The stateless wrapper's per-frame estimate, reused as-is for the fused
@@ -64,6 +75,9 @@ class StatelessEstimator final : public UncertaintyEstimator {
   const std::string& name() const noexcept override { return name_; }
   double estimate(const EstimationContext& context) override {
     return context.isolated_uncertainty;
+  }
+  std::shared_ptr<UncertaintyEstimator> clone() const override {
+    return std::make_shared<StatelessEstimator>(*this);
   }
 
  private:
@@ -81,6 +95,9 @@ class UfBaselineEstimator final : public UncertaintyEstimator {
   const std::string& name() const noexcept override { return name_; }
   double estimate(const EstimationContext& context) override {
     return context.uf->get(rule_);
+  }
+  std::shared_ptr<UncertaintyEstimator> clone() const override {
+    return std::make_shared<UfBaselineEstimator>(*this);
   }
 
  private:
@@ -100,6 +117,8 @@ class TauwEstimator final : public UncertaintyEstimator {
   const std::string& name() const noexcept override { return name_; }
   const TaFeatureBuilder& feature_builder() const noexcept { return builder_; }
   double estimate(const EstimationContext& context) override;
+  /// Shares the (immutable) fitted taQIM; the feature scratch is copied.
+  std::shared_ptr<UncertaintyEstimator> clone() const override;
 
  private:
   std::shared_ptr<const QualityImpactModel> taqim_;

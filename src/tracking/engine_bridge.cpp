@@ -1,5 +1,6 @@
 #include "tracking/engine_bridge.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace tauw::tracking {
@@ -9,11 +10,14 @@ namespace {
 // Process-wide namespace allocator; each live bridge holds a disjoint
 // session-id namespace (bits 48..62 - below the engine's auto-id bit,
 // above typical caller-chosen ids). Destroyed bridges return theirs to the
-// free list. Like the engine itself, not thread-safe.
+// free list. Mutex-guarded: bridges are routinely constructed and destroyed
+// from different threads (one bridge per camera thread on a shared engine).
+std::mutex bridge_namespace_mutex;
 std::uint64_t next_bridge_namespace = 0;
 std::vector<std::uint64_t> freed_bridge_namespaces;
 
 std::uint64_t claim_bridge_namespace() {
+  std::lock_guard<std::mutex> lock(bridge_namespace_mutex);
   if (!freed_bridge_namespaces.empty()) {
     const std::uint64_t ns = freed_bridge_namespaces.back();
     freed_bridge_namespaces.pop_back();
@@ -28,6 +32,11 @@ std::uint64_t claim_bridge_namespace() {
   return ++next_bridge_namespace << 48;
 }
 
+void release_bridge_namespace(std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(bridge_namespace_mutex);
+  freed_bridge_namespaces.push_back(ns);
+}
+
 }  // namespace
 
 EngineTrackBridge::EngineTrackBridge(core::Engine& engine,
@@ -40,7 +49,7 @@ EngineTrackBridge::~EngineTrackBridge() {
   for (const std::uint64_t series : live_series_) {
     engine_->close_session(session_for(series));
   }
-  freed_bridge_namespaces.push_back(session_namespace_);
+  release_bridge_namespace(session_namespace_);
 }
 
 std::span<const BridgeResult> EngineTrackBridge::observe(

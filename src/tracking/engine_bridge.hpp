@@ -9,6 +9,13 @@
 // the sessions of dropped tracks - so fused outcomes never mix evidence
 // from different physical signs, across any number of simultaneously
 // visible objects.
+//
+// Threading: one bridge instance is single-threaded (its tracker and
+// per-frame scratch are unguarded), but the engine's session API is
+// thread-safe, so the intended multi-camera deployment is one bridge per
+// camera thread, all sharing one (ideally sharded) engine. Bridge
+// construction/destruction and the process-wide namespace allocator are
+// safe from any thread.
 
 #include <span>
 #include <unordered_set>

@@ -1,0 +1,515 @@
+// Tests for the sharded, multi-threaded Engine: bit-exact degeneration to
+// the serial path, per-session determinism across (num_shards, num_threads)
+// configurations, per-shard LRU budgets, estimator cloning, and - the TSan
+// targets - concurrent external callers and concurrent step_batch calls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/estimator.hpp"
+#include "core/fusion.hpp"
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+// A trivial DDM: classifies by thresholding the first feature into classes
+// {0, 1}; a quality deficit encoded in feature[1] flips the outcome.
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    const bool base = f[0] > 0.5F;
+    const bool flip = f[1] > 0.5F;
+    p.label = (base != flip) ? 1 : 0;
+    p.confidence = 0.99F;
+    return p;
+  }
+};
+
+data::FrameRecord make_frame(float signal, float deficit) {
+  data::FrameRecord rec;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+// Fitted toy components shared by all tests (fit once; the models are
+// immutable afterwards and safe to share across engines and threads).
+struct ToyWorld {
+  std::shared_ptr<ToyDdm> ddm = std::make_shared<ToyDdm>();
+  QualityFactorExtractor qf{28.0};
+  std::shared_ptr<QualityImpactModel> qim =
+      std::make_shared<QualityImpactModel>();
+  std::shared_ptr<QualityImpactModel> taqim =
+      std::make_shared<QualityImpactModel>();
+
+  ToyWorld() {
+    stats::Rng rng(3);
+    dtree::TreeDataset train;
+    dtree::TreeDataset calib;
+    for (std::size_t i = 0; i < 2000; ++i) {
+      const float signal = rng.bernoulli(0.5) ? 0.9F : 0.1F;
+      const float deficit = rng.bernoulli(0.3) ? 0.9F : 0.0F;
+      const std::size_t label = signal > 0.5F ? 1 : 0;
+      const data::FrameRecord rec = make_frame(signal, deficit);
+      const bool fail = ddm->predict(rec.features).label != label;
+      (i % 2 == 0 ? train : calib).push_back(qf.extract(rec), fail);
+    }
+    QimConfig cfg;
+    cfg.cart.max_depth = 4;
+    cfg.calibration.min_leaf_samples = 40;
+    qim->fit(train, calib, cfg, qf.names());
+
+    const TaFeatureBuilder builder(qf.num_factors(), TaqfSet::all());
+    const MajorityVoteFusion fusion;
+    stats::Rng srng(11);
+    dtree::TreeDataset ta_train;
+    dtree::TreeDataset ta_calib;
+    std::vector<double> features(builder.dim());
+    for (int series = 0; series < 400; ++series) {
+      const std::size_t label = srng.bernoulli(0.5) ? 1 : 0;
+      const float signal = label == 1 ? 0.9F : 0.1F;
+      const bool bad_quality = srng.bernoulli(0.3);
+      TimeseriesBuffer buffer;
+      for (int t = 0; t < 5; ++t) {
+        const float deficit = bad_quality && srng.bernoulli(0.8) ? 0.9F : 0.0F;
+        const data::FrameRecord rec = make_frame(signal, deficit);
+        const auto pred = ddm->predict(rec.features);
+        buffer.push(pred.label, qim->predict(qf.extract(rec)));
+        const std::size_t fused = fusion.fuse(buffer);
+        builder.build_into(qf.extract(rec), buffer, fused, features);
+        (series % 2 == 0 ? ta_train : ta_calib)
+            .push_back(features, fused != label);
+      }
+    }
+    taqim->fit(ta_train, ta_calib, cfg, builder.names(qf.names()));
+  }
+
+  EngineComponents components() const {
+    EngineComponents c;
+    c.ddm = ddm;
+    c.qf_extractor = qf;
+    c.qim = qim;
+    c.taqim = taqim;
+    return c;
+  }
+};
+
+ToyWorld& world() {
+  static ToyWorld w;
+  return w;
+}
+
+// Deterministic per-(session, step) frame so any engine configuration
+// stepping the same session sees the same inputs.
+data::FrameRecord frame_for(SessionId id, std::size_t t) {
+  const std::uint64_t h = (id * 31 + t * 7) % 10;
+  return make_frame(h < 5 ? 0.9F : 0.1F, (h % 3 == 0) ? 0.9F : 0.0F);
+}
+
+void expect_results_identical(const EngineStepResult& a,
+                              const EngineStepResult& b) {
+  EXPECT_EQ(a.session, b.session);
+  EXPECT_EQ(a.isolated.label, b.isolated.label);
+  // EXPECT_EQ on doubles is exact - bit-identical, not approximate.
+  EXPECT_EQ(a.isolated.uncertainty, b.isolated.uncertainty);
+  EXPECT_EQ(a.fused_label, b.fused_label);
+  EXPECT_EQ(a.series_length, b.series_length);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.new_session, b.new_session);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (std::size_t k = 0; k < a.estimates.size(); ++k) {
+    EXPECT_EQ(a.estimates[k], b.estimates[k]);
+  }
+}
+
+// Round-robin step_batch workload over `num_sessions` sessions.
+std::vector<EngineStepResult> run_batched_workload(Engine& engine,
+                                                   std::size_t num_sessions,
+                                                   std::size_t steps_each,
+                                                   std::size_t batch_size) {
+  std::vector<data::FrameRecord> frames;
+  std::vector<SessionFrame> order;
+  frames.reserve(num_sessions * steps_each);
+  for (std::size_t t = 0; t < steps_each; ++t) {
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      frames.push_back(frame_for(s + 1, t));
+      order.push_back({s + 1, nullptr, nullptr});
+    }
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) order[i].frame = &frames[i];
+
+  std::vector<EngineStepResult> all;
+  std::vector<EngineStepResult> batch_results;
+  for (std::size_t off = 0; off < order.size(); off += batch_size) {
+    const std::size_t n = std::min(batch_size, order.size() - off);
+    engine.step_batch(
+        std::span<const SessionFrame>(order.data() + off, n), batch_results);
+    all.insert(all.end(), batch_results.begin(), batch_results.end());
+  }
+  return all;
+}
+
+TEST(EngineShard, ShardOfIsStableAndCoversAllShards) {
+  EngineConfig config;
+  config.num_shards = 8;
+  Engine engine(world().components(), config);
+  EXPECT_EQ(engine.num_shards(), 8u);
+  std::vector<bool> hit(8, false);
+  for (SessionId id = 0; id < 256; ++id) {
+    const std::size_t shard = engine.shard_of(id);
+    ASSERT_LT(shard, 8u);
+    EXPECT_EQ(shard, engine.shard_of(id));  // stable
+    hit[shard] = true;
+  }
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(hit[s]) << "no id out of 256 landed on shard " << s;
+  }
+}
+
+TEST(EngineShard, ZeroShardAndThreadCountsNormalizeToOne) {
+  EngineConfig config;
+  config.num_shards = 0;
+  config.num_threads = 0;
+  Engine engine(world().components(), config);
+  EXPECT_EQ(engine.num_shards(), 1u);
+  EXPECT_EQ(engine.shard_of(12345), 0u);
+  EXPECT_EQ(engine.step(1, frame_for(1, 0)).series_length, 1u);
+}
+
+// The acceptance-critical degeneration: a 1-shard/1-thread engine is the
+// serial engine, and a sharded multi-threaded engine produces bit-identical
+// per-session results for the same workload.
+TEST(EngineShard, ShardedBatchesMatchSerialBitExactly) {
+  EngineConfig serial_config;
+  serial_config.max_sessions = 0;
+  Engine serial(world().components(), serial_config);
+
+  EngineConfig sharded_config;
+  sharded_config.max_sessions = 0;
+  sharded_config.num_shards = 8;
+  sharded_config.num_threads = 4;
+  Engine sharded(world().components(), sharded_config);
+
+  const std::vector<EngineStepResult> expected =
+      run_batched_workload(serial, 64, 10, 128);
+  const std::vector<EngineStepResult> actual =
+      run_batched_workload(sharded, 64, 10, 128);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Results align index-for-index with the input batch regardless of
+    // which worker stepped which shard.
+    expect_results_identical(actual[i], expected[i]);
+  }
+}
+
+TEST(EngineShard, ThreadCountDoesNotChangeResults) {
+  EngineConfig one_thread;
+  one_thread.max_sessions = 0;
+  one_thread.num_shards = 4;
+  one_thread.num_threads = 1;
+  Engine a(world().components(), one_thread);
+
+  EngineConfig four_threads = one_thread;
+  four_threads.num_threads = 4;
+  Engine b(world().components(), four_threads);
+
+  const auto ra = run_batched_workload(a, 32, 6, 64);
+  const auto rb = run_batched_workload(b, 32, 6, 64);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    expect_results_identical(ra[i], rb[i]);
+  }
+}
+
+TEST(EngineShard, PerShardLruBudgetEvictsWithinTheShardOnly) {
+  EngineConfig config;
+  config.num_shards = 2;
+  config.max_sessions = 4;  // budget: ceil(4 / 2) = 2 per shard
+  Engine engine(world().components(), config);
+
+  // Find three ids on one shard and one id on the other.
+  std::vector<SessionId> same_shard;
+  SessionId other_shard = 0;
+  const std::size_t target = engine.shard_of(1);
+  for (SessionId id = 1; same_shard.size() < 3 || other_shard == 0; ++id) {
+    if (engine.shard_of(id) == target) {
+      if (same_shard.size() < 3) same_shard.push_back(id);
+    } else if (other_shard == 0) {
+      other_shard = id;
+    }
+  }
+
+  engine.open_session(other_shard);
+  engine.open_session(same_shard[0]);
+  engine.open_session(same_shard[1]);
+  // The target shard is at its budget of 2; a third open evicts its LRU
+  // session even though the engine-wide total (3) is below max_sessions.
+  engine.open_session(same_shard[2]);
+  EXPECT_FALSE(engine.has_session(same_shard[0]));
+  EXPECT_TRUE(engine.has_session(same_shard[1]));
+  EXPECT_TRUE(engine.has_session(same_shard[2]));
+  // The other shard is untouched by that eviction.
+  EXPECT_TRUE(engine.has_session(other_shard));
+  EXPECT_EQ(engine.session_count(), 3u);
+}
+
+TEST(EngineShard, AddEstimatorClonesAcrossShards) {
+  class CountingEstimator final : public UncertaintyEstimator {
+   public:
+    explicit CountingEstimator(std::atomic<int>* clones) : clones_(clones) {}
+    const std::string& name() const noexcept override { return name_; }
+    double estimate(const EstimationContext&) override { return 0.25; }
+    std::shared_ptr<UncertaintyEstimator> clone() const override {
+      clones_->fetch_add(1);
+      return std::make_shared<CountingEstimator>(clones_);
+    }
+
+   private:
+    std::atomic<int>* clones_;
+    std::string name_ = "counting";
+  };
+
+  EngineConfig config;
+  config.num_shards = 4;
+  Engine engine(world().components(), config);
+  std::atomic<int> clones{0};
+  engine.add_estimator(std::make_shared<CountingEstimator>(&clones));
+  EXPECT_EQ(clones.load(), 3);  // shard 0 keeps the original
+
+  // Sessions on every shard see the added estimator.
+  const std::size_t index = engine.estimator_index("counting");
+  for (SessionId id = 1; id <= 16; ++id) {
+    const EngineStepResult r = engine.step(id, frame_for(id, 0));
+    ASSERT_GT(r.estimates.size(), index);
+    EXPECT_DOUBLE_EQ(r.estimates[index], 0.25);
+  }
+}
+
+TEST(EngineShard, AddEstimatorRejectsNonCloneableOnShardedEngines) {
+  class NonCloneable final : public UncertaintyEstimator {
+   public:
+    const std::string& name() const noexcept override { return name_; }
+    double estimate(const EstimationContext&) override { return 0.5; }
+
+   private:
+    std::string name_ = "non_cloneable";
+  };
+
+  // Fine on a single-shard engine (one instance is all it needs)...
+  Engine single(world().components());
+  EXPECT_NO_THROW(single.add_estimator(std::make_shared<NonCloneable>()));
+
+  // ...rejected on a sharded engine, leaving the registries untouched.
+  EngineConfig config;
+  config.num_shards = 4;
+  Engine sharded(world().components(), config);
+  const std::size_t before = sharded.estimators().size();
+  EXPECT_THROW(sharded.add_estimator(std::make_shared<NonCloneable>()),
+               std::invalid_argument);
+  EXPECT_EQ(sharded.estimators().size(), before);
+  const EngineStepResult r = sharded.step(1, frame_for(1, 0));
+  EXPECT_EQ(r.estimates.size(), before);
+}
+
+// -- concurrent external callers ------------------------------------------
+
+// N caller threads with disjoint session id ranges (but shared shards)
+// doing interleaved open/step/close; every session's trajectory must match
+// a serial engine stepping the same inputs.
+TEST(EngineShard, ConcurrentDisjointCallersMatchSerial) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSessionsPerThread = 8;
+  constexpr std::size_t kSteps = 12;
+
+  EngineConfig config;
+  config.max_sessions = 0;
+  config.num_shards = 4;
+  Engine engine(world().components(), config);
+
+  std::vector<std::vector<EngineStepResult>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& results = per_thread[t];
+      for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+        const SessionId id = t * kSessionsPerThread + s + 1;
+        engine.open_session(id);
+        for (std::size_t step = 0; step < kSteps; ++step) {
+          results.push_back(engine.step(id, frame_for(id, step)));
+        }
+        if (s % 2 == 0) engine.close_session(id);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Serial reference: same sessions, same frames, one at a time.
+  Engine serial(world().components(), EngineConfig{.max_sessions = 0});
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    std::size_t i = 0;
+    for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+      const SessionId id = t * kSessionsPerThread + s + 1;
+      serial.open_session(id);
+      for (std::size_t step = 0; step < kSteps; ++step) {
+        const EngineStepResult expected =
+            serial.step(id, frame_for(id, step));
+        expect_results_identical(per_thread[t][i++], expected);
+      }
+    }
+  }
+
+  // Odd-indexed sessions stayed open on both engines.
+  EXPECT_EQ(engine.session_count(), kThreads * kSessionsPerThread / 2);
+  EXPECT_EQ(engine.total_monitor_stats().decisions,
+            kThreads * kSessionsPerThread * kSteps);
+}
+
+// Two caller threads driving step_batch on one engine (disjoint sessions):
+// batches serialize on the pool, per-session outputs stay deterministic.
+TEST(EngineShard, ConcurrentStepBatchCallersMatchSerial) {
+  constexpr std::size_t kCallers = 2;
+  constexpr std::size_t kSessions = 16;
+  constexpr std::size_t kSteps = 8;
+
+  EngineConfig config;
+  config.max_sessions = 0;
+  config.num_shards = 8;
+  config.num_threads = 3;
+  Engine engine(world().components(), config);
+
+  std::vector<std::vector<EngineStepResult>> per_caller(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::vector<data::FrameRecord> frames;
+      std::vector<SessionFrame> batch;
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        frames.push_back(data::FrameRecord{});
+        batch.push_back({c * kSessions + s + 1, nullptr, nullptr});
+      }
+      std::vector<EngineStepResult> results;
+      for (std::size_t step = 0; step < kSteps; ++step) {
+        for (std::size_t s = 0; s < kSessions; ++s) {
+          frames[s] = frame_for(batch[s].session, step);
+          batch[s].frame = &frames[s];
+        }
+        engine.step_batch(batch, results);
+        per_caller[c].insert(per_caller[c].end(), results.begin(),
+                             results.end());
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+
+  Engine serial(world().components(), EngineConfig{.max_sessions = 0});
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    std::size_t i = 0;
+    for (std::size_t step = 0; step < kSteps; ++step) {
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        const SessionId id = c * kSessions + s + 1;
+        const EngineStepResult expected = serial.step(id, frame_for(id, step));
+        expect_results_identical(per_caller[c][i++], expected);
+      }
+    }
+  }
+}
+
+// TSan stress: threads hammer overlapping ids with every mutating call
+// while eviction churns sessions. Checked invariant: every step records
+// exactly one monitor decision, and decisions survive eviction/closing.
+TEST(EngineShard, ConcurrentStressKeepsMonitorAccounting) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 300;
+  constexpr std::size_t kIdRange = 32;
+
+  EngineConfig config;
+  config.max_sessions = 16;  // churn: half the id range fits
+  config.num_shards = 4;
+  Engine engine(world().components(), config);
+  const std::vector<double> qfs(world().qf.num_factors(), 0.0);
+
+  std::atomic<std::size_t> total_steps{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t steps = 0;
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        const SessionId id = (t * 7 + i * 13) % kIdRange + 1;
+        switch (i % 5) {
+          case 0:
+            engine.open_session(id);
+            break;
+          case 1:
+          case 2: {
+            const EngineStepResult r = engine.step_precomputed(
+                id, qfs, i % 2, static_cast<double>(i % 10) / 10.0);
+            engine.report_outcome(id, r.decision, i % 3 == 0);
+            ++steps;
+            break;
+          }
+          case 3:
+            engine.close_session(id);
+            break;
+          case 4: {
+            // Read paths race harmlessly against the mutators.
+            (void)engine.has_session(id);
+            (void)engine.session_count();
+            (void)engine.total_monitor_stats();
+            break;
+          }
+        }
+      }
+      total_steps.fetch_add(steps);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(engine.total_monitor_stats().decisions, total_steps.load());
+  // Per-shard budgets: at most ceil(16 / 4) = 4 live sessions per shard.
+  EXPECT_LE(engine.session_count(), 16u);
+}
+
+// Auto-assigned ids stay unique under concurrent open_session().
+TEST(EngineShard, ConcurrentAutoIdsAreUnique) {
+  EngineConfig config;
+  config.max_sessions = 0;
+  config.num_shards = 4;
+  Engine engine(world().components(), config);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpens = 64;
+  std::vector<std::vector<SessionId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kOpens; ++i) {
+        ids[t].push_back(engine.open_session());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<SessionId> all;
+  for (const auto& batch : ids) all.insert(all.end(), batch.begin(), batch.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(engine.session_count(), kThreads * kOpens);
+}
+
+}  // namespace
+}  // namespace tauw::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -48,13 +49,15 @@ std::shared_ptr<core::QualityImpactModel> fit_toy_qim(
   return qim;
 }
 
-core::Engine make_engine() {
+core::EngineComponents make_components() {
   core::EngineComponents components;
   components.ddm = std::make_shared<ToyDdm>();
   components.qf_extractor = core::QualityFactorExtractor(28.0);
   components.qim = fit_toy_qim(components.qf_extractor);
-  return core::Engine(std::move(components));
+  return components;
 }
+
+core::Engine make_engine() { return core::Engine(make_components()); }
 
 TEST(EngineTrackBridge, OneSessionPerSimultaneousSign) {
   core::Engine engine = make_engine();
@@ -169,6 +172,47 @@ TEST(EngineTrackBridge, DestructionClosesSessionsAndRecyclesNamespace) {
   // ...and recycles its namespace (LIFO), so the cap counts live bridges.
   EngineTrackBridge reborn(engine);
   EXPECT_EQ(reborn.session_for(1), session);
+}
+
+// The intended multi-camera deployment: one bridge per camera thread, all
+// sharing one sharded engine. Bridges are constructed, driven, and
+// destroyed inside their threads - this exercises the engine's per-shard
+// locking and the process-wide bridge-namespace allocator under TSan.
+TEST(EngineTrackBridge, ConcurrentBridgesOnSharedShardedEngine) {
+  core::EngineConfig config;
+  config.max_sessions = 0;
+  config.num_shards = 4;
+  core::Engine engine(make_components(), config);
+
+  constexpr std::size_t kCameras = 4;
+  constexpr int kFrames = 40;
+  std::vector<std::size_t> final_lengths(kCameras, 0);
+  std::vector<std::thread> cameras;
+  for (std::size_t c = 0; c < kCameras; ++c) {
+    cameras.emplace_back([&, c] {
+      EngineTrackBridge bridge(engine);
+      const data::FrameRecord frame = make_frame(c % 2 == 0 ? 0.9F : 0.1F);
+      for (int t = 0; t < kFrames; ++t) {
+        // One sign slowly approaching this camera; each camera's sign is
+        // its own physical object with its own engine session.
+        const std::vector<SceneDetection> detections = {
+            {{60.0 - t, static_cast<double>(c)}, &frame}};
+        const auto results = bridge.observe(detections);
+        ASSERT_EQ(results.size(), 1u);
+        final_lengths[c] = results[0].step.series_length;
+      }
+      // The bridge closes its sessions on destruction (end of scope).
+    });
+  }
+  for (auto& camera : cameras) camera.join();
+
+  for (std::size_t c = 0; c < kCameras; ++c) {
+    EXPECT_EQ(final_lengths[c], static_cast<std::size_t>(kFrames));
+  }
+  // Every bridge cleaned up after itself.
+  EXPECT_EQ(engine.session_count(), 0u);
+  EXPECT_EQ(engine.total_monitor_stats().decisions,
+            static_cast<std::size_t>(kFrames) * kCameras);
 }
 
 TEST(EngineTrackBridge, RejectsNullFrames) {
