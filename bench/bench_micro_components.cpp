@@ -121,6 +121,41 @@ void BM_TaqfComputation(benchmark::State& state) {
 }
 BENCHMARK(BM_TaqfComputation);
 
+void BM_BufferCappedPush(benchmark::State& state) {
+  // The capped-session eviction path: every push on a full bounded buffer
+  // evicts the oldest entry. The ring representation makes this O(1); the
+  // previous vector-front erase was O(capacity) per push.
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  core::TimeseriesBuffer buffer(capacity);
+  std::size_t outcome = 0;
+  for (auto _ : state) {
+    buffer.push(outcome, 0.25);
+    outcome = outcome == 4 ? 0 : outcome + 1;
+    benchmark::DoNotOptimize(buffer.length());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BufferCappedPush)->Arg(10)->Arg(256)->Arg(4096)->Complexity();
+
+void BM_BufferCappedStepReads(benchmark::State& state) {
+  // The engine's capped-session step pattern: push, then read the
+  // contiguous span (fusion inputs) and the outcome counters (taQF inputs)
+  // every step - exercises the lazy ring compaction plus the incremental
+  // unique_outcomes counter.
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  core::TimeseriesBuffer buffer(capacity);
+  std::size_t outcome = 0;
+  double sum = 0.0;
+  for (auto _ : state) {
+    buffer.push(outcome, 0.25);
+    outcome = outcome == 2 ? 0 : outcome + 1;
+    for (const core::BufferEntry& e : buffer.entries()) sum += e.uncertainty;
+    benchmark::DoNotOptimize(buffer.unique_outcomes());
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BufferCappedStepReads)->Arg(10)->Arg(256);
+
 void BM_UfAccumulatorPush(benchmark::State& state) {
   core::UncertaintyFusionAccumulator acc;
   double u = 0.01;

@@ -1,0 +1,231 @@
+// Dense-scene association bench: frames/sec of the multi-object tracker
+// across a T x D sweep (4 -> 256 simultaneous objects), comparing the
+// original O(T^2 * D^2) greedy re-scan against the gated assignment
+// pipeline, and auditing on every frame that the assignment solution's
+// gated objective never exceeds greedy's on the identical candidate graph.
+//
+// Scenes come from sim::DenseSceneGenerator (crossing trajectories,
+// near-gate pairs, spawn/despawn churn); the area scales with sqrt(objects)
+// so the object spacing - and thus gate ambiguity - stays roughly constant
+// across the sweep.
+//
+// Build & run:  ./bench/bench_tracking_dense [--frames-scale S]
+//                 [--json OUT.json] [--baseline BASELINE.json]
+//
+// --json writes the sweep for CI artifacts; --baseline compares the
+// measured assignment-path throughput at 128 objects against a committed
+// baseline and exits non-zero on a >20% regression. The run also fails if
+// the 128-object speedup drops below 10x or any frame's assignment cost
+// exceeds greedy's.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/dense_scene.hpp"
+#include "tracking/multi_track_manager.hpp"
+
+namespace {
+
+using namespace tauw;
+
+/// Pre-generated detection streams so every mode sees identical frames.
+std::vector<std::vector<tracking::Vec2>> make_stream(std::size_t objects,
+                                                     std::size_t frames) {
+  sim::DenseSceneParams params;
+  params.num_objects = objects;
+  params.area_m = 8.0 * std::sqrt(static_cast<double>(objects));
+  params.pair_fraction = 0.3;
+  sim::DenseSceneGenerator scene(params, 1234 + objects);
+  std::vector<std::vector<tracking::Vec2>> stream;
+  stream.reserve(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    std::vector<tracking::Vec2> detections;
+    for (const sim::Position2D& p : scene.step()) {
+      detections.push_back({p.x, p.y});
+    }
+    stream.push_back(std::move(detections));
+  }
+  return stream;
+}
+
+double run_mode(const std::vector<std::vector<tracking::Vec2>>& stream,
+                tracking::AssociationMode mode) {
+  tracking::MultiTrackManager manager(tracking::TrackManagerConfig{}, mode);
+  // Warm up the track population on the first frames, untimed.
+  const std::size_t warmup = std::min<std::size_t>(5, stream.size() / 2);
+  for (std::size_t f = 0; f < warmup; ++f) manager.observe(stream[f]);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t f = warmup; f < stream.size(); ++f) {
+    manager.observe(stream[f]);
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  return static_cast<double>(stream.size() - warmup) / elapsed;
+}
+
+/// Replays the stream on the assignment path with cost auditing: returns
+/// false (and reports) if any frame's assignment objective exceeds the
+/// greedy objective on the same gated candidate graph.
+bool audit_costs(const std::vector<std::vector<tracking::Vec2>>& stream,
+                 std::size_t objects) {
+  tracking::MultiTrackManager manager(tracking::TrackManagerConfig{},
+                                      tracking::AssociationMode::kAssignment);
+  manager.set_audit_costs(true);
+  bool ok = true;
+  for (std::size_t f = 0; f < stream.size(); ++f) {
+    manager.observe(stream[f]);
+    const tracking::AssociationFrameStats& last = manager.stats().last;
+    if (!std::isnan(last.audit_cost) && last.cost > last.audit_cost + 1e-9) {
+      std::fprintf(stderr,
+                   "FAIL: objects=%zu frame %zu: assignment cost %.6f > "
+                   "greedy cost %.6f\n",
+                   objects, f, last.cost, last.audit_cost);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Minimal extractor for `"key": <number>` from a small JSON file; good
+/// enough for the bench's own baseline format (no external deps).
+bool read_json_number(const char* path, const char* key, double* out) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  std::string text;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double frames_scale = 1.0;
+  const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames-scale") == 0) {
+      frames_scale = std::strtod(argv[i + 1], nullptr);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    }
+  }
+
+  const std::size_t sizes[] = {4, 16, 64, 128, 256};
+  constexpr std::size_t kNumSizes = sizeof(sizes) / sizeof(sizes[0]);
+  double legacy_fps[kNumSizes] = {};
+  double assignment_fps[kNumSizes] = {};
+  bool costs_ok = true;
+  double fps_128 = 0.0;
+  double speedup_128 = 0.0;
+
+  std::printf("%-10s %-8s %-16s %-16s %-9s\n", "objects", "frames",
+              "legacy f/s", "assignment f/s", "speedup");
+  for (std::size_t i = 0; i < kNumSizes; ++i) {
+    const std::size_t objects = sizes[i];
+    // Fewer timed frames for the larger (slower-under-legacy) sizes.
+    const std::size_t frames = static_cast<std::size_t>(
+        frames_scale * static_cast<double>(objects <= 16  ? 400
+                                           : objects <= 64 ? 120
+                                           : objects <= 128 ? 60
+                                                            : 30));
+    const auto stream = make_stream(objects, frames);
+    legacy_fps[i] = run_mode(stream, tracking::AssociationMode::kLegacyRescan);
+    assignment_fps[i] =
+        run_mode(stream, tracking::AssociationMode::kAssignment);
+    costs_ok = audit_costs(stream, objects) && costs_ok;
+    const double speedup = assignment_fps[i] / legacy_fps[i];
+    if (objects == 128) {
+      fps_128 = assignment_fps[i];
+      speedup_128 = speedup;
+    }
+    std::printf("%-10zu %-8zu %-16.1f %-16.1f %-9.1f\n", objects, frames,
+                legacy_fps[i], assignment_fps[i], speedup);
+  }
+  std::printf(
+      "\nlegacy = the original greedy picker re-scanning every unmatched\n"
+      "(track, detection) pair per accepted match; assignment = spatial\n"
+      "pre-gating + Jonker-Volgenant solver. Audited on every frame:\n"
+      "assignment objective <= greedy objective on the same gated graph.\n");
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"bench_tracking_dense\",\n"
+                 "  \"sizes\": [4, 16, 64, 128, 256],\n"
+                 "  \"legacy_frames_per_sec\": [%.1f, %.1f, %.1f, %.1f, "
+                 "%.1f],\n"
+                 "  \"assignment_frames_per_sec\": [%.1f, %.1f, %.1f, %.1f, "
+                 "%.1f],\n"
+                 "  \"assignment_frames_per_sec_128\": %.1f,\n"
+                 "  \"speedup_128\": %.2f,\n"
+                 "  \"costs_ok\": %s\n"
+                 "}\n",
+                 legacy_fps[0], legacy_fps[1], legacy_fps[2], legacy_fps[3],
+                 legacy_fps[4], assignment_fps[0], assignment_fps[1],
+                 assignment_fps[2], assignment_fps[3], assignment_fps[4],
+                 fps_128, speedup_128, costs_ok ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  int status = 0;
+  if (!costs_ok) {
+    std::fprintf(stderr, "FAIL: assignment cost exceeded greedy cost\n");
+    status = 1;
+  }
+  if (speedup_128 < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: 128-object speedup %.1fx is below the required "
+                 "10x\n",
+                 speedup_128);
+    status = 1;
+  }
+  if (baseline_path != nullptr) {
+    double baseline = 0.0;
+    if (!read_json_number(baseline_path, "assignment_frames_per_sec_128",
+                          &baseline) ||
+        baseline <= 0.0) {
+      std::fprintf(stderr,
+                   "cannot read assignment_frames_per_sec_128 from %s\n",
+                   baseline_path);
+      return 1;
+    }
+    const double floor = 0.8 * baseline;
+    std::printf(
+        "baseline gate: measured %.1f f/s vs committed %.1f (floor %.1f)\n",
+        fps_128, baseline, floor);
+    if (fps_128 < floor) {
+      std::fprintf(stderr,
+                   "FAIL: 128-object assignment throughput regressed >20%% "
+                   "versus the committed baseline\n");
+      status = 1;
+    } else {
+      std::printf("baseline gate: PASS\n");
+    }
+  }
+  return status;
+}

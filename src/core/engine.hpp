@@ -214,7 +214,9 @@ class Engine {
   /// session (steps it, closes it, or evicts it by opening others).
   const RuntimeMonitor& session_monitor(SessionId id) const;
   /// The timeseries buffer of a live session (same caveat as
-  /// session_monitor).
+  /// session_monitor; additionally, TimeseriesBuffer::entries() may compact
+  /// the ring in place, so even concurrent const access to one session's
+  /// buffer from several threads needs external synchronization).
   const TimeseriesBuffer& session_buffer(SessionId id) const;
 
   // -- streaming (thread-safe) ---------------------------------------------

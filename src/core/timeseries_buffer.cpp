@@ -5,36 +5,88 @@
 
 namespace tauw::core {
 
+namespace {
+
+/// Locates `outcome` in the sorted count vector.
+auto find_outcome(std::vector<std::pair<std::size_t, std::size_t>>& counts,
+                  std::size_t outcome) noexcept {
+  return std::lower_bound(
+      counts.begin(), counts.end(), outcome,
+      [](const auto& entry, std::size_t key) { return entry.first < key; });
+}
+
+}  // namespace
+
+void TimeseriesBuffer::add_outcome(std::size_t outcome) {
+  const auto it = find_outcome(outcome_counts_, outcome);
+  if (it != outcome_counts_.end() && it->first == outcome) {
+    ++it->second;
+  } else {
+    outcome_counts_.insert(it, {outcome, 1});
+  }
+}
+
+void TimeseriesBuffer::remove_outcome(std::size_t outcome) noexcept {
+  const auto it = find_outcome(outcome_counts_, outcome);
+  if (it != outcome_counts_.end() && it->first == outcome) {
+    if (--it->second == 0) outcome_counts_.erase(it);
+  }
+}
+
 void TimeseriesBuffer::push(std::size_t outcome, double uncertainty) {
   if (!(uncertainty >= 0.0) || !(uncertainty <= 1.0)) {
     throw std::invalid_argument("uncertainty must be in [0,1]");
   }
+  add_outcome(outcome);  // strong guarantee: throws before mutating counts
   if (capacity_ > 0 && entries_.size() == capacity_) {
-    entries_.erase(entries_.begin());
+    // Full ring: the slot at head_ holds the oldest entry; overwrite it and
+    // advance. O(1) instead of erasing the vector front. All noexcept from
+    // here, so counts and entries cannot diverge.
+    BufferEntry& slot = entries_[head_];
+    remove_outcome(slot.outcome);
+    slot = BufferEntry{outcome, uncertainty};
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    return;
   }
-  entries_.push_back(BufferEntry{outcome, uncertainty});
+  try {
+    entries_.push_back(BufferEntry{outcome, uncertainty});
+  } catch (...) {
+    remove_outcome(outcome);  // keep counts consistent with entries
+    throw;
+  }
+}
+
+const BufferEntry& TimeseriesBuffer::entry(std::size_t j) const {
+  if (j >= entries_.size()) throw std::out_of_range("entry() index");
+  std::size_t at = head_ + j;
+  if (at >= entries_.size()) at -= entries_.size();
+  return entries_[at];
+}
+
+std::span<const BufferEntry> TimeseriesBuffer::entries() const noexcept {
+  if (head_ != 0) {
+    // Compact the ring into chronological order. BufferEntry moves are
+    // trivial, so the rotation cannot throw.
+    std::rotate(entries_.begin(),
+                entries_.begin() + static_cast<std::ptrdiff_t>(head_),
+                entries_.end());
+    head_ = 0;
+  }
+  return entries_;
 }
 
 const BufferEntry& TimeseriesBuffer::latest() const {
   if (entries_.empty()) throw std::logic_error("latest() on empty buffer");
-  return entries_.back();
+  const std::size_t at = head_ == 0 ? entries_.size() - 1 : head_ - 1;
+  return entries_[at];
 }
 
 std::size_t TimeseriesBuffer::count_outcome(std::size_t label) const noexcept {
-  std::size_t n = 0;
-  for (const BufferEntry& e : entries_) n += e.outcome == label ? 1 : 0;
-  return n;
-}
-
-std::size_t TimeseriesBuffer::unique_outcomes() const noexcept {
-  std::vector<std::size_t> seen;
-  seen.reserve(entries_.size());
-  for (const BufferEntry& e : entries_) {
-    if (std::find(seen.begin(), seen.end(), e.outcome) == seen.end()) {
-      seen.push_back(e.outcome);
-    }
-  }
-  return seen.size();
+  const auto it = std::lower_bound(
+      outcome_counts_.begin(), outcome_counts_.end(), label,
+      [](const auto& entry, std::size_t key) { return entry.first < key; });
+  if (it != outcome_counts_.end() && it->first == label) return it->second;
+  return 0;
 }
 
 }  // namespace tauw::core

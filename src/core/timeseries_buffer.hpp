@@ -5,9 +5,24 @@
 // per timestep) for the current timeseries; cleared at the onset of a new
 // series. The information-fusion component and the timeseries-aware quality
 // model both read from this buffer.
+//
+// Bounded buffers are a ring: push() overwrites the oldest slot in O(1)
+// instead of erasing the vector front (which was O(capacity) on every push
+// of every capped session - the engine's steady-state hot path). entries()
+// keeps its contiguous-span contract by compacting (rotating the ring into
+// chronological order) lazily on read; the rotation is O(length) but only
+// runs when a push wrapped the ring since the last read, so a
+// push-then-read cycle does amortized O(1) extra work per step and readers
+// see one contiguous, oldest-to-newest span either way.
+//
+// A small sorted (outcome -> count) multiset is maintained incrementally on
+// push/evict, making unique_outcomes() O(1) and count_outcome() O(log k)
+// for k distinct outcomes - both were O(n) (or worse) linear scans called
+// per step.
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace tauw::core {
@@ -32,7 +47,11 @@ class TimeseriesBuffer {
   std::size_t capacity() const noexcept { return capacity_; }
 
   /// Clears the buffer at the onset of a new timeseries.
-  void clear() noexcept { entries_.clear(); }
+  void clear() noexcept {
+    entries_.clear();
+    head_ = 0;
+    outcome_counts_.clear();
+  }
 
   /// Appends the current timestep's interim results; evicts the oldest
   /// entry when a capacity is set and reached.
@@ -41,8 +60,18 @@ class TimeseriesBuffer {
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t length() const noexcept { return entries_.size(); }
 
-  const BufferEntry& entry(std::size_t j) const { return entries_.at(j); }
-  std::span<const BufferEntry> entries() const noexcept { return entries_; }
+  /// The j-th timestep in chronological order (0 = oldest buffered).
+  const BufferEntry& entry(std::size_t j) const;
+
+  /// All buffered timesteps, oldest first, as one contiguous span. May
+  /// compact the ring in place (no allocation, entries are relocated):
+  /// references obtained earlier from entry()/latest()/entries() are
+  /// invalidated by any later push() *or* entries() call. Although const,
+  /// treat entries() as a write for synchronization purposes - concurrent
+  /// calls on one shared buffer need external locking (the engine only
+  /// touches a session's buffer under its shard lock; its session_buffer()
+  /// accessor already requires external quiescence).
+  std::span<const BufferEntry> entries() const noexcept;
 
   const BufferEntry& latest() const;
 
@@ -50,11 +79,21 @@ class TimeseriesBuffer {
   std::size_t count_outcome(std::size_t label) const noexcept;
 
   /// Number of distinct outcomes in the buffer.
-  std::size_t unique_outcomes() const noexcept;
+  std::size_t unique_outcomes() const noexcept { return outcome_counts_.size(); }
 
  private:
+  void add_outcome(std::size_t outcome);
+  void remove_outcome(std::size_t outcome) noexcept;
+
   std::size_t capacity_ = 0;  // 0 = unbounded
-  std::vector<BufferEntry> entries_;
+  // Ring storage: once a bounded buffer is full, head_ is the index of the
+  // oldest entry and push() overwrites it. entries() rotates the ring back
+  // to head_ == 0, so the members are mutable (compaction is logically
+  // const: the sequence of timesteps is unchanged).
+  mutable std::vector<BufferEntry> entries_;
+  mutable std::size_t head_ = 0;
+  /// Sorted (outcome, multiplicity) pairs for the buffered entries.
+  std::vector<std::pair<std::size_t, std::size_t>> outcome_counts_;
 };
 
 }  // namespace tauw::core

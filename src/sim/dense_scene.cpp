@@ -1,0 +1,94 @@
+#include "sim/dense_scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tauw::sim {
+
+DenseSceneGenerator::DenseSceneGenerator(const DenseSceneParams& params,
+                                         std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params.num_objects == 0) {
+    throw std::invalid_argument("DenseSceneGenerator requires objects > 0");
+  }
+  if (!(params.area_m > 0.0)) {
+    throw std::invalid_argument("DenseSceneGenerator requires area > 0");
+  }
+  if (!(params.min_speed_m_s > 0.0) ||
+      !(params.max_speed_m_s >= params.min_speed_m_s)) {
+    throw std::invalid_argument(
+        "DenseSceneGenerator requires 0 < min_speed <= max_speed");
+  }
+  objects_.resize(params.num_objects);
+  for (std::size_t i = 0; i < objects_.size(); ++i) respawn(i);
+}
+
+void DenseSceneGenerator::respawn(std::size_t index) {
+  Object& object = objects_[index];
+
+  // Near-gate ambiguity: spawn a fraction of objects right next to the
+  // previously spawned one, with a slightly different heading, so their
+  // gates overlap for many consecutive frames.
+  if (index > 0 && rng_.bernoulli(params_.pair_fraction)) {
+    const Object& buddy = objects_[index - 1];
+    const double angle = rng_.uniform(0.0, 2.0 * 3.14159265358979323846);
+    object.x = buddy.x + params_.pair_offset_m * std::cos(angle);
+    object.y = buddy.y + params_.pair_offset_m * std::sin(angle);
+    const double speed =
+        rng_.uniform(params_.min_speed_m_s, params_.max_speed_m_s);
+    const double jitter = rng_.normal(0.0, 0.3);
+    const double heading = std::atan2(buddy.vy, buddy.vx) + jitter;
+    object.vx = speed * std::cos(heading);
+    object.vy = speed * std::sin(heading);
+    return;
+  }
+
+  // Crossing trajectories: spawn on a uniformly chosen boundary edge and
+  // head toward a random interior waypoint, so straight-line paths from
+  // different edges intersect inside the area.
+  const double a = params_.area_m;
+  const std::uint64_t edge = rng_.uniform_index(4);
+  const double along = rng_.uniform(0.0, a);
+  switch (edge) {
+    case 0: object.x = along; object.y = 0.0; break;
+    case 1: object.x = along; object.y = a; break;
+    case 2: object.x = 0.0; object.y = along; break;
+    default: object.x = a; object.y = along; break;
+  }
+  const double target_x = rng_.uniform(0.25 * a, 0.75 * a);
+  const double target_y = rng_.uniform(0.25 * a, 0.75 * a);
+  const double dx = target_x - object.x;
+  const double dy = target_y - object.y;
+  const double norm = std::hypot(dx, dy);
+  const double speed =
+      rng_.uniform(params_.min_speed_m_s, params_.max_speed_m_s);
+  object.vx = norm > 0.0 ? speed * dx / norm : speed;
+  object.vy = norm > 0.0 ? speed * dy / norm : 0.0;
+}
+
+const std::vector<Position2D>& DenseSceneGenerator::step() {
+  const double dt = params_.frame_interval_s;
+  const double a = params_.area_m;
+  detections_.clear();
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    Object& object = objects_[i];
+    object.x += object.vx * dt;
+    object.y += object.vy * dt;
+    const bool left_area =
+        object.x < 0.0 || object.x > a || object.y < 0.0 || object.y > a;
+    if (left_area || rng_.bernoulli(params_.churn_prob)) {
+      respawn(i);  // spawn/despawn churn: a fresh object replaces this one
+    }
+    if (rng_.bernoulli(params_.miss_prob)) continue;  // detection dropout
+    detections_.push_back(
+        {object.x + rng_.normal(0.0, params_.detection_noise_m),
+         object.y + rng_.normal(0.0, params_.detection_noise_m)});
+  }
+  // Association must not depend on the order detections arrive in.
+  rng_.shuffle(detections_);
+  ++frames_;
+  return detections_;
+}
+
+}  // namespace tauw::sim

@@ -1,0 +1,74 @@
+#pragma once
+// Dense multi-object scene generator for the tracking substrate.
+//
+// The paper's study tracks one sign per approach, but the deployment
+// setting (traffic-sign recognition on a moving vehicle) implies cluttered
+// scenes: sign gantries, parallel lanes, city intersections. This generator
+// produces per-frame detection lists with the properties that stress an
+// association algorithm:
+//
+//   - many simultaneous objects moving on *crossing* straight-line
+//     trajectories (spawned on the area boundary, aimed at random interior
+//     waypoints, so paths intersect near the middle),
+//   - near-gate ambiguities: a configurable fraction of objects spawns as
+//     close pairs offset by roughly the association gate,
+//   - spawn/despawn churn: objects leaving the area (or randomly despawned)
+//     are replaced by fresh ones, so tracks continuously open and close,
+//   - measurement noise, detection dropout, and per-frame shuffling of the
+//     detection order (association must not depend on input order).
+//
+// Deterministic for a given seed; detections reuse internal storage so the
+// steady-state per-frame cost is allocation-free.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::sim {
+
+struct DenseSceneParams {
+  std::size_t num_objects = 64;    ///< steady-state simultaneous objects
+  double area_m = 160.0;           ///< scene is [0, area] x [0, area]
+  double min_speed_m_s = 6.0;
+  double max_speed_m_s = 16.0;
+  double frame_interval_s = 0.15;
+  double detection_noise_m = 0.25; ///< gaussian position noise (stddev)
+  double miss_prob = 0.03;         ///< per-object detection dropout per frame
+  double churn_prob = 0.015;       ///< per-object random despawn per frame
+  double pair_fraction = 0.25;     ///< objects spawned next to the previous one
+  double pair_offset_m = 3.0;      ///< companion offset (near-gate ambiguity)
+};
+
+class DenseSceneGenerator {
+ public:
+  explicit DenseSceneGenerator(const DenseSceneParams& params,
+                               std::uint64_t seed = 1);
+
+  /// Advances the scene one frame interval and returns its (noisy, shuffled)
+  /// detections. The reference stays valid until the next step() call.
+  const std::vector<Position2D>& step();
+
+  std::size_t frames_generated() const noexcept { return frames_; }
+  std::size_t num_objects() const noexcept { return objects_.size(); }
+  const DenseSceneParams& params() const noexcept { return params_; }
+
+ private:
+  struct Object {
+    double x = 0.0;
+    double y = 0.0;
+    double vx = 0.0;
+    double vy = 0.0;
+  };
+
+  void respawn(std::size_t index);
+
+  DenseSceneParams params_;
+  stats::Rng rng_;
+  std::vector<Object> objects_;
+  std::vector<Position2D> detections_;
+  std::size_t frames_ = 0;
+};
+
+}  // namespace tauw::sim

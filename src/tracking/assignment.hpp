@@ -1,0 +1,67 @@
+#pragma once
+// Sparse min-cost bipartite assignment for track <-> detection association.
+//
+// The solver works on the gated candidate graph only: rows (tracks) connect
+// to the columns (detections) that survived spatial pre-gating, plus one
+// private "miss" column per row priced at `miss_cost` (the association
+// gate), so leaving a row unassigned is always feasible. It minimizes
+//
+//   sum(matched candidate costs) + miss_cost * (#unassigned rows)
+//
+// via Jonker-Volgenant-style successive shortest augmenting paths with dual
+// potentials (Dijkstra on reduced costs). Complexity O(R * (E + C log C))
+// on R rows, C columns and E gated candidates - versus the O(R^2 * C^2)
+// repeated re-scan of the original greedy picker.
+//
+// Determinism: rows are augmented in index order and Dijkstra breaks
+// distance ties by the lowest column index (real columns before miss
+// columns), so the solution is reproducible bit-for-bit. When several
+// matchings share the minimum total cost the solver's choice is fixed but
+// may differ from the greedy picker's pair-local lowest-(row, column) rule
+// (see solve_greedy), which the tracker's greedy paths use.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tauw::tracking {
+
+/// One gated association candidate: `row` (track) may take `column`
+/// (detection) at `cost` (the gated innovation distance). Costs must be
+/// non-negative.
+struct AssignmentCandidate {
+  std::size_t row = 0;
+  std::size_t column = 0;
+  double cost = 0.0;
+};
+
+/// Solution of one assignment problem.
+struct AssignmentResult {
+  /// Column assigned to each row, or -1 for an unassigned (missed) row.
+  std::vector<std::ptrdiff_t> row_to_column;
+  /// sum(matched costs) + miss_cost * (#unassigned rows); the objective the
+  /// solver minimized, comparable across algorithms on the same candidates.
+  double total_cost = 0.0;
+};
+
+/// Solves the gated assignment problem. Candidates may appear in any order;
+/// duplicate (row, column) pairs keep the cheapest. Rows or columns without
+/// any candidate simply stay unassigned. `miss_cost` must be non-negative;
+/// candidates costing more than `miss_cost` can still be assigned if that
+/// lowers the total objective (the tracker never passes such candidates -
+/// its gate equals the miss cost).
+AssignmentResult solve_assignment(std::size_t num_rows,
+                                  std::size_t num_columns,
+                                  std::span<const AssignmentCandidate> candidates,
+                                  double miss_cost);
+
+/// Reference greedy picker over the same candidate graph: repeatedly accepts
+/// the cheapest remaining candidate whose row and column are both free,
+/// breaking cost ties by the lowest (row, column) pair. This is exactly the
+/// tracker's greedy fallback; exposed so tests and benches can compare the
+/// two algorithms' objectives on identical inputs.
+AssignmentResult solve_greedy(std::size_t num_rows, std::size_t num_columns,
+                              std::span<const AssignmentCandidate> candidates,
+                              double miss_cost);
+
+}  // namespace tauw::tracking

@@ -1,37 +1,109 @@
 #include "tracking/multi_track_manager.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace tauw::tracking {
 
-MultiTrackManager::MultiTrackManager(const TrackManagerConfig& config)
-    : config_(config) {}
+namespace {
 
-std::vector<MultiTrackUpdate> MultiTrackManager::observe(
+/// Grid-cell key for spatial pre-gating. Truncating the cell indices to 32
+/// bits can only merge distinct far-apart cells into one bucket (both sides
+/// of a lookup compute keys identically), which adds candidates that the
+/// exact distance check then rejects - never drops a true neighbor.
+std::uint64_t cell_key(std::int64_t ix, std::int64_t iy) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix)) << 32) |
+         static_cast<std::uint32_t>(iy);
+}
+
+std::int64_t cell_index(double v, double cell) noexcept {
+  // Clamp before casting: finite-but-huge coordinates (corrupt upstream
+  // units) must stay defined behavior. Clamping can only merge far-apart
+  // cells into one bucket; the exact distance check rejects those pairs.
+  const double f = std::floor(v / cell);
+  constexpr double kLimit = 9.0e18;  // within int64 range
+  return static_cast<std::int64_t>(std::clamp(f, -kLimit, kLimit));
+}
+
+}  // namespace
+
+MultiTrackManager::MultiTrackManager(const TrackManagerConfig& config,
+                                     AssociationMode mode)
+    : config_(config), mode_(mode) {}
+
+void MultiTrackManager::build_gated_candidates(
     const std::vector<Vec2>& detections) {
-  // Time update for every live track.
-  for (Track& track : tracks_) {
-    track.filter.predict(config_.frame_interval_s);
-  }
+  candidates_.clear();
+  track_degree_.assign(tracks_.size(), 0);
+  detection_degree_.assign(detections.size(), 0);
 
-  // Greedy global-nearest-neighbor association: repeatedly match the
-  // (track, detection) pair with the smallest gated innovation distance.
+  const double gate = config_.gate_distance_m;
+  if (!(gate >= 0.0)) return;  // negative or NaN gate: nothing associable
+  const double cell = std::max(gate, 1e-9);
+
+  // Bucket detections by grid cell; sorting (key, index) pairs gives
+  // contiguous, deterministic buckets without a hash map.
+  cell_keys_.clear();
+  cell_keys_.reserve(detections.size());
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    const Vec2& p = detections[d];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;  // unmatchable
+    cell_keys_.emplace_back(cell_key(cell_index(p.x, cell),
+                                     cell_index(p.y, cell)),
+                            d);
+  }
+  std::sort(cell_keys_.begin(), cell_keys_.end());
+
+  // Any detection within the (inclusive) gate of a track's predicted
+  // position lies within one cell of the track's cell on each axis, so the
+  // 3x3 neighborhood scan is an exact pre-filter for the distance check.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    const KalmanFilter2D& filter = tracks_[t].filter;
+    const Vec2 p = filter.position();
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+    const std::int64_t ix = cell_index(p.x, cell);
+    const std::int64_t iy = cell_index(p.y, cell);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const std::uint64_t key = cell_key(ix + dx, iy + dy);
+        auto it = std::lower_bound(
+            cell_keys_.begin(), cell_keys_.end(), key,
+            [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+        for (; it != cell_keys_.end() && it->first == key; ++it) {
+          const std::size_t d = it->second;
+          const double dist = filter.innovation_distance(detections[d]);
+          if (dist <= gate) {
+            candidates_.push_back({t, d, dist});
+            ++track_degree_[t];
+            ++detection_degree_[d];
+          }
+        }
+      }
+    }
+  }
+}
+
+void MultiTrackManager::associate_legacy_rescan(
+    const std::vector<Vec2>& detections) {
+  // The original greedy global-nearest-neighbor picker: repeatedly match
+  // the (track, detection) pair with the smallest gated innovation
+  // distance, re-scanning every unmatched pair per pick. O(T^2 * D^2) per
+  // frame; kept as an executable reference. Tie-break: strict < on the
+  // distance, so the lowest (track, detection) pair scanned first wins.
   const std::size_t n = detections.size();
-  std::vector<bool> detection_used(n, false);
-  std::vector<bool> track_used(tracks_.size(), false);
-  std::vector<std::ptrdiff_t> detection_track(n, -1);
   for (;;) {
-    double best_distance = config_.gate_distance_m;
+    double best_distance = std::numeric_limits<double>::infinity();
     std::size_t best_track = 0;
     std::size_t best_detection = 0;
     bool found = false;
     for (std::size_t t = 0; t < tracks_.size(); ++t) {
-      if (track_used[t]) continue;
+      if (track_matched_[t]) continue;
       for (std::size_t d = 0; d < n; ++d) {
-        if (detection_used[d]) continue;
+        if (detection_track_[d] >= 0) continue;
         const double dist = tracks_[t].filter.innovation_distance(detections[d]);
-        if (dist <= best_distance) {
+        if (dist <= config_.gate_distance_m && dist < best_distance) {
           best_distance = dist;
           best_track = t;
           best_detection = d;
@@ -40,18 +112,93 @@ std::vector<MultiTrackUpdate> MultiTrackManager::observe(
       }
     }
     if (!found) break;
-    track_used[best_track] = true;
-    detection_used[best_detection] = true;
-    detection_track[best_detection] = static_cast<std::ptrdiff_t>(best_track);
+    track_matched_[best_track] = true;
+    detection_track_[best_detection] = static_cast<std::ptrdiff_t>(best_track);
+    stats_.last.cost += best_distance;
+    ++stats_.last.matches;
+  }
+}
+
+std::vector<MultiTrackUpdate> MultiTrackManager::observe(
+    const std::vector<Vec2>& detections) {
+  // Time update for every live track.
+  for (Track& track : tracks_) {
+    track.filter.predict(config_.frame_interval_s);
+  }
+
+  const std::size_t prior_tracks = tracks_.size();
+  const std::size_t n = detections.size();
+  detection_track_.assign(n, -1);
+  track_matched_.assign(prior_tracks, false);
+  ++stats_.frames;
+  stats_.last = AssociationFrameStats{};
+
+  // A negative (or NaN) gate means nothing is associable; skip matching
+  // entirely instead of handing the solvers an invalid miss cost. The
+  // legacy scan handles the same config by never accepting a pair.
+  const bool gate_valid = config_.gate_distance_m >= 0.0;
+  bool solver_priced_misses = false;
+  if (prior_tracks > 0 && n > 0 && gate_valid) {
+    if (mode_ == AssociationMode::kLegacyRescan) {
+      associate_legacy_rescan(detections);
+      ++stats_.frames_greedy;
+    } else {
+      build_gated_candidates(detections);
+      stats_.last.gated_candidates = candidates_.size();
+      bool sparse = true;
+      for (const std::uint32_t deg : track_degree_) {
+        sparse = sparse && deg <= kSparseFallbackDegree;
+      }
+      for (const std::uint32_t deg : detection_degree_) {
+        sparse = sparse && deg <= kSparseFallbackDegree;
+      }
+      const bool use_greedy =
+          mode_ == AssociationMode::kGreedy ||
+          (mode_ == AssociationMode::kAuto && sparse);
+      const double gate = config_.gate_distance_m;
+      const AssignmentResult result =
+          use_greedy ? solve_greedy(prior_tracks, n, candidates_, gate)
+                     : solve_assignment(prior_tracks, n, candidates_, gate);
+      if (audit_costs_) {
+        const AssignmentResult audit =
+            use_greedy ? solve_assignment(prior_tracks, n, candidates_, gate)
+                       : solve_greedy(prior_tracks, n, candidates_, gate);
+        stats_.last.audit_cost = audit.total_cost;
+      }
+      stats_.last.cost = result.total_cost;
+      solver_priced_misses = true;
+      stats_.last.used_assignment = !use_greedy;
+      if (use_greedy) {
+        ++stats_.frames_greedy;
+      } else {
+        ++stats_.frames_assignment;
+      }
+      for (std::size_t t = 0; t < prior_tracks; ++t) {
+        const std::ptrdiff_t d = result.row_to_column[t];
+        if (d >= 0) {
+          detection_track_[static_cast<std::size_t>(d)] =
+              static_cast<std::ptrdiff_t>(t);
+          track_matched_[t] = true;
+          ++stats_.last.matches;
+        }
+      }
+    }
+  }
+  if (!solver_priced_misses) {
+    // The solver paths already priced unmatched tracks into the objective;
+    // complete the legacy and skipped-association cases to match.
+    stats_.last.cost += config_.gate_distance_m *
+                        static_cast<double>(prior_tracks - stats_.last.matches);
   }
 
   // Apply measurement updates / spawn tracks, and build the result.
   std::vector<MultiTrackUpdate> updates(n);
+  std::size_t spawned = 0;
   for (std::size_t d = 0; d < n; ++d) {
     MultiTrackUpdate& update = updates[d];
     update.detection_index = d;
-    if (detection_track[d] >= 0) {
-      Track& track = tracks_[static_cast<std::size_t>(detection_track[d])];
+    if (detection_track_[d] >= 0) {
+      Track& track = tracks_[static_cast<std::size_t>(detection_track_[d])];
       track.filter.update(detections[d]);
       track.missed = 0;
       ++track.length;
@@ -70,14 +217,18 @@ std::vector<MultiTrackUpdate> MultiTrackManager::observe(
       update.index_in_series = 0;
       update.filtered_position = track.filter.position();
       tracks_.push_back(std::move(track));
-      track_used.push_back(true);
+      ++spawned;
     }
   }
 
-  // Miss bookkeeping and pruning of stale tracks.
-  for (std::size_t t = 0; t < tracks_.size(); ++t) {
-    if (t < track_used.size() && track_used[t]) continue;
-    ++tracks_[t].missed;
+  // Miss bookkeeping and pruning of stale tracks. Spawns only ever append,
+  // so the first prior_tracks entries of tracks_ still line up with
+  // track_matched_ - assert that invariant rather than guarding around it.
+  assert(tracks_.size() == prior_tracks + spawned);
+  assert(track_matched_.size() == prior_tracks);
+  (void)spawned;
+  for (std::size_t t = 0; t < prior_tracks; ++t) {
+    if (!track_matched_[t]) ++tracks_[t].missed;
   }
   std::erase_if(tracks_, [this](const Track& track) {
     if (track.missed > config_.max_missed) {

@@ -2,18 +2,48 @@
 // Multi-object track management: several signs visible simultaneously.
 //
 // The single-track TrackManager suffices for the paper's study (one sign per
-// approach), but real scenes contain sign clusters (e.g. a speed limit above
-// a no-overtaking sign). This manager maintains one Kalman filter per track,
-// associates each frame's detections greedily by innovation distance with
-// gating, and reports per-detection series identities so that one engine
+// approach), but real scenes contain sign clusters and dense traffic (e.g. a
+// gantry of signs over several lanes). This manager maintains one Kalman
+// filter per track and associates each frame's detections to tracks in two
+// stages:
+//
+//   1. Gating: a uniform spatial grid over the detections (cell size = the
+//      association gate) yields, per track, the detections whose innovation
+//      distance can be within the gate - far-apart pairs are never scored.
+//      Building the gated candidate lists is O(T + D + E) per frame, where
+//      E is the number of surviving (track, detection) pairs.
+//   2. Matching: a Jonker-Volgenant-style min-cost assignment over the gated
+//      graph (see tracking/assignment.hpp), minimizing
+//      sum(matched distances) + gate * (#unmatched tracks). When the gated
+//      graph is trivially sparse (every track and every detection has at
+//      most kSparseFallbackDegree gated candidates), a sorted-edge greedy
+//      picker is used instead; on such graphs it produces the same
+//      matchings the pre-assignment tracker did, at O(E log E).
+//
+// Determinism: association is deterministic in every mode. The greedy
+// paths (sorted-edge and the legacy re-scan) compare candidates with strict
+// < on distance, so exact distance ties resolve to the lowest
+// (track index, detection index) pair - never to scan order, as the old
+// `<=` comparison silently did. The assignment solver augments tracks in
+// index order and breaks Dijkstra distance ties by the lowest column index,
+// so it too is deterministic; when several matchings share the minimum
+// total cost, its documented choice may differ from greedy's pair-local
+// rule (the objectives tie; the matching is still reproducible
+// bit-for-bit). A detection exactly at the gate distance is still
+// associable (the gate is inclusive), matching the original tracker.
+//
+// Each update reports per-detection series identities so that one engine
 // session (see core/engine.hpp and tracking/engine_bridge.hpp) can be kept
 // per track.
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "tracking/assignment.hpp"
 #include "tracking/kalman.hpp"
 #include "tracking/track_manager.hpp"
 
@@ -28,9 +58,51 @@ struct MultiTrackUpdate {
   Vec2 filtered_position{};
 };
 
+/// How observe() matches detections to tracks.
+enum class AssociationMode {
+  /// Gated greedy on trivially sparse frames, gated assignment otherwise.
+  kAuto,
+  /// Always the sorted-edge greedy over the gated candidate graph.
+  kGreedy,
+  /// Always the min-cost assignment over the gated candidate graph.
+  kAssignment,
+  /// The original O(T^2 * D^2) full re-scan greedy, kept as an executable
+  /// reference for equivalence tests and benchmark baselines. Produces the
+  /// same matchings as kGreedy (both use the deterministic tie-break).
+  kLegacyRescan,
+};
+
+/// Per-frame association accounting (reset by each observe()).
+struct AssociationFrameStats {
+  std::size_t gated_candidates = 0;  ///< E after gating (0 in legacy mode)
+  std::size_t matches = 0;           ///< accepted (track, detection) pairs
+  /// sum(matched distances) + gate * (#unmatched pre-existing tracks); the
+  /// objective both algorithms optimize, comparable across modes.
+  double cost = 0.0;
+  /// The same objective for the *other* algorithm on the identical gated
+  /// graph - NaN unless cost auditing is enabled (see set_audit_costs).
+  double audit_cost = std::numeric_limits<double>::quiet_NaN();
+  /// True when this frame was matched by the assignment solver.
+  bool used_assignment = false;
+};
+
+/// Cumulative association accounting.
+struct AssociationStats {
+  std::size_t frames = 0;
+  std::size_t frames_greedy = 0;      ///< sorted-edge greedy (incl. legacy)
+  std::size_t frames_assignment = 0;  ///< JV assignment
+  AssociationFrameStats last{};
+};
+
 class MultiTrackManager {
  public:
-  explicit MultiTrackManager(const TrackManagerConfig& config = {});
+  explicit MultiTrackManager(const TrackManagerConfig& config = {},
+                             AssociationMode mode = AssociationMode::kAuto);
+
+  /// kAuto falls back to greedy when every track and every detection has at
+  /// most this many gated candidates; on such graphs greedy is optimal-ish
+  /// and bit-identical to the original tracker, and cheaper than the solver.
+  static constexpr std::size_t kSparseFallbackDegree = 2;
 
   /// Processes one frame's detections. Unmatched tracks accumulate a miss;
   /// tracks exceeding max_missed are dropped. Returns one update per
@@ -38,6 +110,18 @@ class MultiTrackManager {
   std::vector<MultiTrackUpdate> observe(const std::vector<Vec2>& detections);
 
   std::size_t active_tracks() const noexcept { return tracks_.size(); }
+
+  AssociationMode association_mode() const noexcept { return mode_; }
+  void set_association_mode(AssociationMode mode) noexcept { mode_ = mode; }
+
+  /// When enabled, every gated frame additionally solves the *other*
+  /// algorithm on the identical candidate graph and records its objective in
+  /// stats().last.audit_cost - used by benches and tests to prove the
+  /// assignment solution never costs more than greedy. Roughly doubles
+  /// association work; off by default. No effect in kLegacyRescan mode.
+  void set_audit_costs(bool enabled) noexcept { audit_costs_ = enabled; }
+
+  const AssociationStats& stats() const noexcept { return stats_; }
 
   /// Series ids of tracks dropped since the last call (pruned after too
   /// many misses, or cleared by reset()). Consumers that keep per-series
@@ -84,10 +168,30 @@ class MultiTrackManager {
     }
   }
 
+  /// Fills candidates_ with all (track, detection) pairs whose innovation
+  /// distance is within the (inclusive) gate, via the spatial grid. Also
+  /// fills the per-side degree counts used by the kAuto sparse test.
+  void build_gated_candidates(const std::vector<Vec2>& detections);
+
+  /// The pre-assignment full re-scan, with the deterministic tie-break.
+  /// Fills detection_track_ / track_matched_ directly.
+  void associate_legacy_rescan(const std::vector<Vec2>& detections);
+
   TrackManagerConfig config_;
+  AssociationMode mode_;
+  bool audit_costs_ = false;
+  AssociationStats stats_{};
   std::vector<Track> tracks_;
   std::vector<std::uint64_t> closed_series_;
   std::uint64_t next_series_id_ = 0;
+
+  // Reused per-frame scratch (allocation-free in steady state).
+  std::vector<AssignmentCandidate> candidates_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> cell_keys_;
+  std::vector<std::uint32_t> track_degree_;
+  std::vector<std::uint32_t> detection_degree_;
+  std::vector<std::ptrdiff_t> detection_track_;
+  std::vector<bool> track_matched_;
 };
 
 }  // namespace tauw::tracking

@@ -1,0 +1,145 @@
+// Tests for the timeseries buffer: ring eviction for bounded buffers, the
+// contiguous entries() contract across wraps, and the incremental outcome
+// counters.
+#include "core/timeseries_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+TEST(TimeseriesBuffer, UnboundedKeepsEverythingInOrder) {
+  TimeseriesBuffer buffer;
+  for (std::size_t i = 0; i < 100; ++i) {
+    buffer.push(i % 3, static_cast<double>(i) / 100.0);
+  }
+  EXPECT_EQ(buffer.length(), 100u);
+  const auto entries = buffer.entries();
+  ASSERT_EQ(entries.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(entries[i].outcome, i % 3);
+    EXPECT_DOUBLE_EQ(entries[i].uncertainty, static_cast<double>(i) / 100.0);
+  }
+}
+
+TEST(TimeseriesBuffer, BoundedEvictsOldestAcrossManyWraps) {
+  TimeseriesBuffer buffer(4);
+  for (std::size_t i = 0; i < 11; ++i) {
+    buffer.push(i, static_cast<double>(i) / 11.0);
+  }
+  // The buffer holds timesteps 7..10, oldest first.
+  EXPECT_EQ(buffer.length(), 4u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_EQ(buffer.latest().outcome, 10u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(buffer.entry(j).outcome, 7 + j);
+  }
+  const auto entries = buffer.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(entries[j].outcome, 7 + j);
+    EXPECT_DOUBLE_EQ(entries[j].uncertainty,
+                     static_cast<double>(7 + j) / 11.0);
+  }
+}
+
+TEST(TimeseriesBuffer, EntriesSpanStaysContiguousWhileInterleavingReads) {
+  // Read the span between pushes so compaction runs at every wrap offset.
+  TimeseriesBuffer buffer(5);
+  std::deque<std::size_t> reference;
+  for (std::size_t i = 0; i < 37; ++i) {
+    buffer.push(i, 0.5);
+    reference.push_back(i);
+    if (reference.size() > 5) reference.pop_front();
+    const auto entries = buffer.entries();
+    ASSERT_EQ(entries.size(), reference.size());
+    for (std::size_t j = 0; j < reference.size(); ++j) {
+      EXPECT_EQ(entries[j].outcome, reference[j]);
+      EXPECT_EQ(buffer.entry(j).outcome, reference[j]);
+    }
+    EXPECT_EQ(buffer.latest().outcome, i);
+  }
+}
+
+TEST(TimeseriesBuffer, CountersMatchBruteForceAtBoundedLengths) {
+  // Randomized push streams against a std::deque reference, at several
+  // capacity-bounded lengths (including unbounded), with reads interleaved
+  // at arbitrary points so ring compaction interacts with the counters.
+  for (const std::size_t capacity : {0u, 1u, 2u, 8u, 64u}) {
+    stats::Rng rng(1000 + capacity);
+    TimeseriesBuffer buffer(capacity);
+    std::deque<std::size_t> reference;
+    for (int i = 0; i < 500; ++i) {
+      const std::size_t outcome = rng.uniform_index(6);
+      buffer.push(outcome, 0.25);
+      reference.push_back(outcome);
+      if (capacity > 0 && reference.size() > capacity) reference.pop_front();
+      if (rng.bernoulli(0.2)) (void)buffer.entries();  // random compaction
+
+      const std::set<std::size_t> unique(reference.begin(), reference.end());
+      ASSERT_EQ(buffer.unique_outcomes(), unique.size())
+          << "capacity " << capacity << " step " << i;
+      for (std::size_t label = 0; label < 8; ++label) {
+        std::size_t expected = 0;
+        for (const std::size_t o : reference) expected += o == label ? 1 : 0;
+        ASSERT_EQ(buffer.count_outcome(label), expected)
+            << "capacity " << capacity << " step " << i << " label " << label;
+      }
+    }
+  }
+}
+
+TEST(TimeseriesBuffer, ClearResetsRingAndCounters) {
+  TimeseriesBuffer buffer(3);
+  for (std::size_t i = 0; i < 8; ++i) buffer.push(i, 0.1);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.unique_outcomes(), 0u);
+  EXPECT_EQ(buffer.count_outcome(7), 0u);
+  buffer.push(42, 0.9);
+  EXPECT_EQ(buffer.length(), 1u);
+  EXPECT_EQ(buffer.entries()[0].outcome, 42u);
+  EXPECT_EQ(buffer.unique_outcomes(), 1u);
+  EXPECT_EQ(buffer.count_outcome(42), 1u);
+}
+
+TEST(TimeseriesBuffer, CapacityOneAlwaysHoldsTheLatest) {
+  TimeseriesBuffer buffer(1);
+  for (std::size_t i = 0; i < 5; ++i) {
+    buffer.push(i, 0.3);
+    EXPECT_EQ(buffer.length(), 1u);
+    EXPECT_EQ(buffer.latest().outcome, i);
+    EXPECT_EQ(buffer.entries()[0].outcome, i);
+    EXPECT_EQ(buffer.unique_outcomes(), 1u);
+  }
+}
+
+TEST(TimeseriesBuffer, RejectsOutOfRangeUncertainty) {
+  TimeseriesBuffer buffer;
+  EXPECT_THROW(buffer.push(0, -0.01), std::invalid_argument);
+  EXPECT_THROW(buffer.push(0, 1.01), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(buffer.push(0, nan), std::invalid_argument);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.unique_outcomes(), 0u);
+}
+
+TEST(TimeseriesBuffer, EntryAndLatestThrowWhenOutOfRange) {
+  TimeseriesBuffer buffer(2);
+  EXPECT_THROW(buffer.latest(), std::logic_error);
+  EXPECT_THROW(buffer.entry(0), std::out_of_range);
+  buffer.push(1, 0.5);
+  buffer.push(2, 0.5);
+  buffer.push(3, 0.5);  // wraps
+  EXPECT_THROW(buffer.entry(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tauw::core

@@ -1,0 +1,198 @@
+// Tests for the sparse gated assignment solver: optimality against a
+// brute-force oracle, determinism of tie-breaking, and the greedy reference.
+#include "tracking/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tauw::tracking {
+namespace {
+
+/// Exhaustive minimum of sum(matched costs) + miss_cost * (#unmatched rows)
+/// over all valid partial matchings of the candidate graph. Exponential;
+/// only for tiny instances.
+double brute_force_cost(std::size_t num_rows,
+                        const std::vector<AssignmentCandidate>& candidates,
+                        double miss_cost) {
+  // Candidate lists per row, including the "miss" option.
+  std::vector<std::vector<AssignmentCandidate>> per_row(num_rows);
+  for (const AssignmentCandidate& cand : candidates) {
+    per_row[cand.row].push_back(cand);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::ptrdiff_t> column_of_row(num_rows, -1);
+  std::vector<bool> column_used(1024, false);
+
+  const auto recurse = [&](const auto& self, std::size_t row,
+                           double cost) -> void {
+    if (row == num_rows) {
+      best = std::min(best, cost);
+      return;
+    }
+    self(self, row + 1, cost + miss_cost);  // leave this row unmatched
+    for (const AssignmentCandidate& cand : per_row[row]) {
+      if (column_used[cand.column]) continue;
+      column_used[cand.column] = true;
+      self(self, row + 1, cost + cand.cost);
+      column_used[cand.column] = false;
+    }
+  };
+  recurse(recurse, 0, 0.0);
+  return best;
+}
+
+TEST(Assignment, EmptyProblem) {
+  const auto result = solve_assignment(0, 0, {}, 1.0);
+  EXPECT_TRUE(result.row_to_column.empty());
+  EXPECT_EQ(result.total_cost, 0.0);
+}
+
+TEST(Assignment, RowsWithoutCandidatesPayTheMissCost) {
+  const auto result = solve_assignment(3, 2, {}, 5.0);
+  ASSERT_EQ(result.row_to_column.size(), 3u);
+  for (const std::ptrdiff_t c : result.row_to_column) EXPECT_EQ(c, -1);
+  EXPECT_DOUBLE_EQ(result.total_cost, 15.0);
+}
+
+TEST(Assignment, PicksTheCheapPerfectMatchingOverGreedysChoice) {
+  // Greedy takes (0,0) at cost 1 and then must miss row 1 (its only other
+  // option, column 0, is taken). The optimum pays 2 + 3 instead of 1 + 10.
+  const std::vector<AssignmentCandidate> candidates = {
+      {0, 0, 1.0}, {0, 1, 3.0}, {1, 0, 2.0}};
+  const auto assignment = solve_assignment(2, 2, candidates, 10.0);
+  EXPECT_EQ(assignment.row_to_column[0], 1);
+  EXPECT_EQ(assignment.row_to_column[1], 0);
+  EXPECT_DOUBLE_EQ(assignment.total_cost, 5.0);
+
+  const auto greedy = solve_greedy(2, 2, candidates, 10.0);
+  EXPECT_EQ(greedy.row_to_column[0], 0);
+  EXPECT_EQ(greedy.row_to_column[1], -1);
+  EXPECT_DOUBLE_EQ(greedy.total_cost, 11.0);
+  EXPECT_LE(assignment.total_cost, greedy.total_cost);
+}
+
+TEST(Assignment, PrefersTheMissWhenMatchingIsDearer) {
+  // The only candidate costs more than missing both sides of it.
+  const std::vector<AssignmentCandidate> candidates = {{0, 0, 9.0}};
+  const auto result = solve_assignment(1, 1, candidates, 4.0);
+  EXPECT_EQ(result.row_to_column[0], -1);
+  EXPECT_DOUBLE_EQ(result.total_cost, 4.0);
+}
+
+TEST(Assignment, GateBoundaryCandidateStillMatches) {
+  // cost == miss_cost: matching and missing tie; the real column wins the
+  // tie (columns order before miss columns), mirroring the inclusive gate.
+  const std::vector<AssignmentCandidate> candidates = {{0, 0, 4.0}};
+  const auto result = solve_assignment(1, 1, candidates, 4.0);
+  EXPECT_EQ(result.row_to_column[0], 0);
+}
+
+TEST(Assignment, GreedyTieBreaksToLowestRowThenColumn) {
+  const std::vector<AssignmentCandidate> candidates = {
+      {1, 1, 2.0}, {0, 1, 2.0}, {0, 0, 2.0}, {1, 0, 2.0}};
+  const auto greedy = solve_greedy(2, 2, candidates, 10.0);
+  EXPECT_EQ(greedy.row_to_column[0], 0);  // (0,0) wins the 4-way tie
+  EXPECT_EQ(greedy.row_to_column[1], 1);
+}
+
+TEST(Assignment, DuplicateCandidatesKeepTheCheapest) {
+  const std::vector<AssignmentCandidate> candidates = {
+      {0, 0, 7.0}, {0, 0, 2.0}, {0, 0, 5.0}};
+  const auto result = solve_assignment(1, 1, candidates, 10.0);
+  EXPECT_EQ(result.row_to_column[0], 0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 2.0);
+}
+
+TEST(Assignment, RejectsInvalidInputs) {
+  const std::vector<AssignmentCandidate> out_of_range = {{2, 0, 1.0}};
+  EXPECT_THROW(solve_assignment(2, 1, out_of_range, 1.0), std::out_of_range);
+  const std::vector<AssignmentCandidate> negative = {{0, 0, -1.0}};
+  EXPECT_THROW(solve_assignment(1, 1, negative, 1.0), std::invalid_argument);
+  EXPECT_THROW(solve_assignment(1, 1, {}, -1.0), std::invalid_argument);
+  EXPECT_THROW(solve_greedy(2, 1, out_of_range, 1.0), std::out_of_range);
+}
+
+TEST(Assignment, MatchesBruteForceOnRandomInstances) {
+  stats::Rng rng(99);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_index(5);
+    const std::size_t cols = 1 + rng.uniform_index(5);
+    const double miss_cost = rng.uniform(0.5, 6.0);
+    std::vector<AssignmentCandidate> candidates;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.bernoulli(0.55)) {
+          candidates.push_back({r, c, rng.uniform(0.0, miss_cost)});
+        }
+      }
+    }
+    const double oracle = brute_force_cost(rows, candidates, miss_cost);
+    const auto solved = solve_assignment(rows, cols, candidates, miss_cost);
+    EXPECT_NEAR(solved.total_cost, oracle, 1e-9)
+        << "trial " << trial << " rows=" << rows << " cols=" << cols;
+    // And greedy is a valid (if suboptimal) solution of the same problem.
+    const auto greedy = solve_greedy(rows, cols, candidates, miss_cost);
+    EXPECT_GE(greedy.total_cost, oracle - 1e-9);
+    EXPECT_LE(solved.total_cost, greedy.total_cost + 1e-9);
+  }
+}
+
+TEST(Assignment, SolutionIsAValidMatching) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_index(40);
+    const std::size_t cols = 1 + rng.uniform_index(40);
+    std::vector<AssignmentCandidate> candidates;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.bernoulli(0.2)) candidates.push_back({r, c, rng.uniform()});
+      }
+    }
+    const auto result = solve_assignment(rows, cols, candidates, 0.7);
+    ASSERT_EQ(result.row_to_column.size(), rows);
+    std::vector<bool> used(cols, false);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::ptrdiff_t c = result.row_to_column[r];
+      if (c < 0) continue;
+      ASSERT_LT(static_cast<std::size_t>(c), cols);
+      EXPECT_FALSE(used[static_cast<std::size_t>(c)])
+          << "column assigned twice";
+      used[static_cast<std::size_t>(c)] = true;
+      // The matched pair must actually be a candidate.
+      bool is_candidate = false;
+      for (const AssignmentCandidate& cand : candidates) {
+        is_candidate |= cand.row == r &&
+                        cand.column == static_cast<std::size_t>(c);
+      }
+      EXPECT_TRUE(is_candidate);
+    }
+  }
+}
+
+TEST(Assignment, DeterministicAcrossRepeatedSolves) {
+  stats::Rng rng(21);
+  std::vector<AssignmentCandidate> candidates;
+  for (std::size_t r = 0; r < 30; ++r) {
+    for (std::size_t c = 0; c < 30; ++c) {
+      if (rng.bernoulli(0.3)) {
+        // Coarse costs force plenty of exact ties.
+        candidates.push_back(
+            {r, c, static_cast<double>(rng.uniform_index(4))});
+      }
+    }
+  }
+  const auto first = solve_assignment(30, 30, candidates, 3.0);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = solve_assignment(30, 30, candidates, 3.0);
+    EXPECT_EQ(again.row_to_column, first.row_to_column);
+    EXPECT_EQ(again.total_cost, first.total_cost);
+  }
+}
+
+}  // namespace
+}  // namespace tauw::tracking

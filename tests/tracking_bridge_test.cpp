@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "sim/dense_scene.hpp"
 #include "tracking/engine_bridge.hpp"
 
 namespace tauw::tracking {
@@ -213,6 +214,89 @@ TEST(EngineTrackBridge, ConcurrentBridgesOnSharedShardedEngine) {
   EXPECT_EQ(engine.session_count(), 0u);
   EXPECT_EQ(engine.total_monitor_stats().decisions,
             static_cast<std::size_t>(kFrames) * kCameras);
+}
+
+TEST(EngineTrackBridge, BacklogOverflowStillClosesEverySession) {
+  // More closures than the tracker's capped closed-series backlog
+  // (kMaxClosedBacklog = 4096) in one observe-to-observe window: the
+  // tracker silently drops the oldest closure notifications, and the bridge
+  // must reconcile against live_series() so no engine session leaks.
+  constexpr std::size_t kSigns = MultiTrackManager::kMaxClosedBacklog + 128;
+  core::EngineConfig config;
+  config.max_sessions = 0;  // no LRU; every sign keeps its session
+  core::Engine engine(make_components(), config);
+  EngineTrackBridge bridge(engine);
+
+  // One frame with kSigns far-apart detections spawns kSigns tracks and
+  // opens one session each (70m spacing >> the 6m gate).
+  const data::FrameRecord frame = make_frame(0.9F);
+  std::vector<SceneDetection> detections;
+  detections.reserve(kSigns);
+  for (std::size_t i = 0; i < kSigns; ++i) {
+    const double x = static_cast<double>(i % 64) * 70.0;
+    const double y = static_cast<double>(i / 64) * 70.0;
+    detections.push_back({{x, y}, &frame});
+  }
+  const auto results = bridge.observe(detections);
+  ASSERT_EQ(results.size(), kSigns);
+  EXPECT_EQ(engine.session_count(), kSigns);
+  EXPECT_EQ(bridge.tracker().active_tracks(), kSigns);
+
+  // Scene cut: all kSigns tracks close at once, overflowing the backlog.
+  bridge.tracker().reset();
+  bridge.observe({});  // drain + reconcile
+  EXPECT_EQ(bridge.tracker().active_tracks(), 0u);
+  EXPECT_EQ(engine.session_count(), 0u) << "leaked engine sessions";
+
+  // The bridge is still fully functional afterwards.
+  const std::vector<SceneDetection> reborn = {{{10.0, 10.0}, &frame}};
+  EXPECT_TRUE(bridge.observe(reborn)[0].track.new_series);
+  EXPECT_EQ(engine.session_count(), 1u);
+}
+
+// Dense-scene variant of the multi-camera deployment: each camera thread
+// drives a cluttered multi-object scene through its own bridge on a shared
+// sharded engine, so the gated assignment path (not just single-track
+// greedy) runs concurrently under TSan.
+TEST(EngineTrackBridge, ConcurrentDenseBridgesOnSharedShardedEngine) {
+  core::EngineConfig config;
+  config.max_sessions = 0;
+  config.num_shards = 4;
+  core::Engine engine(make_components(), config);
+
+  constexpr std::size_t kCameras = 4;
+  constexpr int kFrames = 30;
+  std::vector<std::size_t> assignment_frames(kCameras, 0);
+  std::vector<std::thread> cameras;
+  for (std::size_t c = 0; c < kCameras; ++c) {
+    cameras.emplace_back([&, c] {
+      sim::DenseSceneParams params;
+      params.num_objects = 24;
+      params.area_m = 45.0;  // crowded enough to trip the assignment path
+      params.pair_fraction = 0.5;
+      sim::DenseSceneGenerator scene(params, 100 + c);
+      EngineTrackBridge bridge(engine);
+      const data::FrameRecord frame = make_frame(c % 2 == 0 ? 0.9F : 0.1F);
+      std::vector<SceneDetection> detections;
+      for (int t = 0; t < kFrames; ++t) {
+        detections.clear();
+        for (const sim::Position2D& p : scene.step()) {
+          detections.push_back({{p.x, p.y}, &frame});
+        }
+        const auto results = bridge.observe(detections);
+        ASSERT_EQ(results.size(), detections.size());
+      }
+      assignment_frames[c] = bridge.tracker().stats().frames_assignment;
+      // The bridge closes its sessions on destruction (end of scope).
+    });
+  }
+  for (auto& camera : cameras) camera.join();
+
+  EXPECT_EQ(engine.session_count(), 0u);
+  for (std::size_t c = 0; c < kCameras; ++c) {
+    EXPECT_GT(assignment_frames[c], 0u)
+        << "camera " << c << " never exercised the assignment path";
+  }
 }
 
 TEST(EngineTrackBridge, RejectsNullFrames) {

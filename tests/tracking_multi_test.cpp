@@ -3,12 +3,31 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
+#include "sim/dense_scene.hpp"
 #include "stats/rng.hpp"
 
 namespace tauw::tracking {
 namespace {
+
+bool updates_identical(const std::vector<MultiTrackUpdate>& a,
+                       const std::vector<MultiTrackUpdate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].detection_index != b[i].detection_index ||
+        a[i].new_series != b[i].new_series ||
+        a[i].series_id != b[i].series_id ||
+        a[i].index_in_series != b[i].index_in_series ||
+        a[i].filtered_position.x != b[i].filtered_position.x ||  // bit-equal
+        a[i].filtered_position.y != b[i].filtered_position.y) {
+      return false;
+    }
+  }
+  return true;
+}
 
 TEST(MultiTrack, EachInitialDetectionStartsASeries) {
   MultiTrackManager manager;
@@ -127,6 +146,275 @@ TEST_P(MultiTrackPropertyTest, AssignmentsAreExclusive) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MultiTrackPropertyTest,
                          ::testing::Values(11, 12, 13, 14));
+
+// The (sparse) frame sequences of the fixtures above, replayed through every
+// association mode. On trivially sparse scenes the gated pipeline must stay
+// bit-identical to the pre-assignment tracker, which the legacy re-scan mode
+// reproduces exactly.
+std::vector<std::vector<std::vector<Vec2>>> fixture_scenarios() {
+  std::vector<std::vector<std::vector<Vec2>>> scenarios;
+  scenarios.push_back({{{50.0, 3.0}, {48.0, -3.0}}, {{49.0, 3.0}, {47.0, -3.0}}});
+  scenarios.push_back({{{50.0, 3.0}, {30.0, -3.0}}, {{29.5, -3.0}, {49.5, 3.0}}});
+  scenarios.push_back({{{50.0, 3.0}}, {{49.5, 3.0}, {10.0, -5.0}}});
+  scenarios.push_back(
+      {{{50.0, 3.0}}, {}, {}, {{49.0, 3.0}}});  // miss/expire/revive
+  scenarios.push_back({{{50.0, 3.0}, {30.0, -3.0}},
+                       {{49.0, 3.0}},
+                       {{48.0, 3.0}, {29.0, -3.0}}});
+  // The noisy two-target approach fixture.
+  {
+    stats::Rng rng(7);
+    std::vector<std::vector<Vec2>> frames;
+    for (int i = 0; i < 25; ++i) {
+      const double x1 = 60.0 - 2.0 * i;
+      const double x2 = 45.0 - 2.0 * i;
+      frames.push_back({{x1 + rng.normal(0.0, 0.2), 3.0},
+                        {x2 + rng.normal(0.0, 0.2), -3.0}});
+    }
+    scenarios.push_back(std::move(frames));
+  }
+  // The randomized property fixtures.
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    stats::Rng rng(seed);
+    std::vector<std::vector<Vec2>> frames;
+    for (int frame = 0; frame < 50; ++frame) {
+      std::vector<Vec2> detections;
+      const std::size_t n = rng.uniform_index(4);
+      for (std::size_t d = 0; d < n; ++d) {
+        detections.push_back(
+            {rng.uniform(0.0, 100.0), rng.uniform(-5.0, 5.0)});
+      }
+      frames.push_back(std::move(detections));
+    }
+    scenarios.push_back(std::move(frames));
+  }
+  return scenarios;
+}
+
+TEST(MultiTrackAssociation, SparseFixturesBitIdenticalAcrossAllModes) {
+  TrackManagerConfig config;
+  config.max_missed = 1;
+  for (const auto& frames : fixture_scenarios()) {
+    MultiTrackManager legacy(config, AssociationMode::kLegacyRescan);
+    MultiTrackManager greedy(config, AssociationMode::kGreedy);
+    MultiTrackManager assignment(config, AssociationMode::kAssignment);
+    MultiTrackManager automatic(config, AssociationMode::kAuto);
+    for (const auto& detections : frames) {
+      const auto reference = legacy.observe(detections);
+      EXPECT_TRUE(updates_identical(greedy.observe(detections), reference));
+      EXPECT_TRUE(updates_identical(assignment.observe(detections), reference));
+      EXPECT_TRUE(updates_identical(automatic.observe(detections), reference));
+    }
+    // Sparse fixtures never trip the assignment path in kAuto.
+    EXPECT_EQ(automatic.stats().frames_assignment, 0u);
+    EXPECT_EQ(automatic.stats().frames, frames.size());
+  }
+}
+
+TEST(MultiTrackAssociation, GreedyMatchesLegacyOnDenseCrowdedScenes) {
+  // The sorted-edge greedy over the gated graph is the same algorithm as
+  // the quadratic re-scan - on arbitrarily dense scenes, not just sparse
+  // ones. (Assignment may legitimately differ there: it is optimal.)
+  sim::DenseSceneParams params;
+  params.num_objects = 40;
+  params.area_m = 70.0;  // crowded: gates overlap constantly
+  sim::DenseSceneGenerator scene(params, 5);
+  TrackManagerConfig config;
+  MultiTrackManager legacy(config, AssociationMode::kLegacyRescan);
+  MultiTrackManager greedy(config, AssociationMode::kGreedy);
+  for (int frame = 0; frame < 60; ++frame) {
+    std::vector<Vec2> detections;
+    for (const sim::Position2D& p : scene.step()) {
+      detections.push_back({p.x, p.y});
+    }
+    const auto reference = legacy.observe(detections);
+    EXPECT_TRUE(updates_identical(greedy.observe(detections), reference))
+        << "frame " << frame;
+    EXPECT_EQ(greedy.stats().last.cost, legacy.stats().last.cost);
+  }
+}
+
+TEST(MultiTrackAssociation, AssignmentNeverCostsMoreThanGreedy) {
+  sim::DenseSceneParams params;
+  params.num_objects = 48;
+  params.area_m = 80.0;
+  sim::DenseSceneGenerator scene(params, 17);
+  MultiTrackManager manager(TrackManagerConfig{},
+                            AssociationMode::kAssignment);
+  manager.set_audit_costs(true);
+  bool audited = false;
+  for (int frame = 0; frame < 80; ++frame) {
+    std::vector<Vec2> detections;
+    for (const sim::Position2D& p : scene.step()) {
+      detections.push_back({p.x, p.y});
+    }
+    manager.observe(detections);
+    const AssociationFrameStats& last = manager.stats().last;
+    if (!std::isnan(last.audit_cost)) {
+      audited = true;
+      EXPECT_LE(last.cost, last.audit_cost + 1e-9) << "frame " << frame;
+    }
+  }
+  EXPECT_TRUE(audited);
+  EXPECT_GT(manager.stats().frames_assignment, 0u);
+}
+
+TEST(MultiTrackAssociation, AutoTakesAssignmentOnDenseAndGreedyOnSparse) {
+  // Dense crowded scene: ambiguity pushes gated degrees past the fallback
+  // threshold, so kAuto must route at least some frames to the solver.
+  sim::DenseSceneParams params;
+  params.num_objects = 64;
+  params.area_m = 60.0;
+  params.pair_fraction = 0.5;
+  sim::DenseSceneGenerator scene(params, 3);
+  MultiTrackManager dense_manager(TrackManagerConfig{}, AssociationMode::kAuto);
+  for (int frame = 0; frame < 40; ++frame) {
+    std::vector<Vec2> detections;
+    for (const sim::Position2D& p : scene.step()) {
+      detections.push_back({p.x, p.y});
+    }
+    const auto updates = dense_manager.observe(detections);
+    // Exclusivity holds on the assignment path too.
+    std::set<std::uint64_t> ids;
+    for (const auto& u : updates) {
+      EXPECT_TRUE(ids.insert(u.series_id).second);
+    }
+  }
+  EXPECT_GT(dense_manager.stats().frames_assignment, 0u);
+
+  // Two well-separated targets: every frame stays on the greedy fallback.
+  MultiTrackManager sparse_manager(TrackManagerConfig{}, AssociationMode::kAuto);
+  for (int t = 0; t < 10; ++t) {
+    sparse_manager.observe({{50.0 - t, 3.0}, {20.0 - t, -3.0}});
+  }
+  EXPECT_EQ(sparse_manager.stats().frames_assignment, 0u);
+  // The first frame has no prior tracks, so no association ran there.
+  EXPECT_EQ(sparse_manager.stats().frames_greedy, 9u);
+}
+
+TEST(MultiTrackAssociation, EqualDistanceTieGoesToTheLowestTrackIndex) {
+  // Two stationary tracks exactly 1.0 away from a single detection: the
+  // distances tie bit-for-bit, and the greedy modes must resolve to track 0
+  // (the lowest (track, detection) pair), independent of scan order. Before
+  // the strict-< fix, the scan's `<=` comparison silently handed the tie to
+  // the *last* scanned pair.
+  for (const AssociationMode mode :
+       {AssociationMode::kLegacyRescan, AssociationMode::kGreedy,
+        AssociationMode::kAuto}) {
+    TrackManagerConfig config;
+    config.kalman.process_noise = 0.0;  // keep predictions exactly in place
+    MultiTrackManager manager(config, mode);
+    const auto spawned = manager.observe({{0.0, 1.0}, {0.0, 3.0}});
+    ASSERT_EQ(spawned.size(), 2u);
+    const auto updates = manager.observe({{0.0, 2.0}});
+    ASSERT_EQ(updates.size(), 1u);
+    EXPECT_FALSE(updates[0].new_series) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(updates[0].series_id, spawned[0].series_id)
+        << "mode " << static_cast<int>(mode);
+  }
+  // The assignment solver sees the same tie as two equal-cost optimal
+  // matchings; it must pick one deterministically (and the detection must
+  // not spawn), but which track wins is the solver's documented choice, not
+  // necessarily greedy's.
+  TrackManagerConfig config;
+  config.kalman.process_noise = 0.0;
+  std::uint64_t chosen = 0;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    MultiTrackManager manager(config, AssociationMode::kAssignment);
+    const auto spawned = manager.observe({{0.0, 1.0}, {0.0, 3.0}});
+    ASSERT_EQ(spawned.size(), 2u);
+    const auto updates = manager.observe({{0.0, 2.0}});
+    ASSERT_EQ(updates.size(), 1u);
+    EXPECT_FALSE(updates[0].new_series);
+    if (repeat == 0) {
+      chosen = updates[0].series_id;
+    } else {
+      EXPECT_EQ(updates[0].series_id, chosen) << "nondeterministic tie";
+    }
+  }
+}
+
+TEST(MultiTrackAssociation, InvalidGateMatchesNothingInEveryMode) {
+  // A negative (or NaN) gate must degrade to "nothing associable" - not
+  // throw from the solver's miss-cost validation.
+  for (const double gate : {-1.0, std::numeric_limits<double>::quiet_NaN()}) {
+    for (const AssociationMode mode :
+         {AssociationMode::kAuto, AssociationMode::kAssignment,
+          AssociationMode::kGreedy, AssociationMode::kLegacyRescan}) {
+      TrackManagerConfig config;
+      config.gate_distance_m = gate;
+      MultiTrackManager manager(config, mode);
+      manager.observe({{10.0, 0.0}});
+      const auto updates = manager.observe({{10.0, 0.0}});  // same spot
+      ASSERT_EQ(updates.size(), 1u);
+      EXPECT_TRUE(updates[0].new_series) << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(MultiTrackAssociation, HugeFiniteCoordinatesStayUnmatchable) {
+  // Finite-but-absurd coordinates (corrupt upstream units) must not invoke
+  // UB in the grid binning; they just never associate with sane tracks.
+  MultiTrackManager manager;
+  manager.observe({{50.0, 3.0}});
+  const auto updates = manager.observe({{49.5, 3.0}, {1e30, -1e30}});
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_FALSE(updates[0].new_series);
+  EXPECT_TRUE(updates[1].new_series);
+}
+
+TEST(MultiTrackAssociation, MatchAndSpawnInOneFrameLeavesNoPhantomMiss) {
+  // Regression: a frame that both continues an old track and spawns a new
+  // one must not mark either as missed. With max_missed = 0 a single
+  // phantom miss would drop the track the same frame.
+  TrackManagerConfig config;
+  config.max_missed = 0;
+  MultiTrackManager manager(config);
+  const auto first = manager.observe({{50.0, 3.0}});
+  ASSERT_TRUE(first[0].new_series);
+  const auto second = manager.observe({{49.5, 3.0}, {10.0, -4.0}});
+  EXPECT_FALSE(second[0].new_series);
+  EXPECT_TRUE(second[1].new_series);
+  EXPECT_EQ(manager.active_tracks(), 2u);
+  // Both tracks survive into the next frame: neither carried a miss.
+  const auto third = manager.observe({{49.0, 3.0}, {10.0, -4.0}});
+  EXPECT_FALSE(third[0].new_series);
+  EXPECT_FALSE(third[1].new_series);
+  EXPECT_TRUE(manager.take_closed_series().empty());
+}
+
+TEST(MultiTrackAssociation, DenseChurnOpensAndClosesSeriesConsistently) {
+  // Long dense run with spawn/despawn churn: every closed series was once
+  // reported as new, and live + closed accounts for every series id issued.
+  sim::DenseSceneParams params;
+  params.num_objects = 32;
+  params.area_m = 90.0;
+  sim::DenseSceneGenerator scene(params, 23);
+  MultiTrackManager manager;
+  std::set<std::uint64_t> opened;
+  std::set<std::uint64_t> closed;
+  for (int frame = 0; frame < 120; ++frame) {
+    std::vector<Vec2> detections;
+    for (const sim::Position2D& p : scene.step()) {
+      detections.push_back({p.x, p.y});
+    }
+    for (const auto& u : manager.observe(detections)) {
+      if (u.new_series) {
+        EXPECT_TRUE(opened.insert(u.series_id).second);
+      }
+    }
+    for (const std::uint64_t id : manager.take_closed_series()) {
+      EXPECT_TRUE(opened.contains(id)) << "closed a series never opened";
+      EXPECT_TRUE(closed.insert(id).second) << "series closed twice";
+    }
+  }
+  EXPECT_GT(closed.size(), 0u) << "churn should have closed some series";
+  for (const std::uint64_t id : manager.live_series()) {
+    EXPECT_TRUE(opened.contains(id));
+    EXPECT_FALSE(closed.contains(id));
+  }
+  EXPECT_EQ(manager.live_series().size() + closed.size(), opened.size());
+}
 
 }  // namespace
 }  // namespace tauw::tracking
