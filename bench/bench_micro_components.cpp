@@ -9,6 +9,7 @@
 #include "core/uncertainty_fusion.hpp"
 #include "dtree/calibrate.hpp"
 #include "dtree/cart.hpp"
+#include "dtree/compiled_tree.hpp"
 #include "imaging/augmentations.hpp"
 #include "imaging/sign_renderer.hpp"
 #include "ml/features.hpp"
@@ -29,7 +30,9 @@ struct Fixtures {
   std::vector<float> features;
   ml::MlpClassifier mlp{ml::feature_dim(ml::FeatureConfig{}), 64, 43, 7};
   dtree::DecisionTree tree;
+  dtree::CompiledTree compiled;
   std::vector<double> qfs;
+  std::vector<double> qf_rows;  ///< 4096 random QF rows for batched routing
 
   Fixtures() {
     stats::Rng rng(1);
@@ -44,7 +47,10 @@ struct Fixtures {
     }
     dtree::CartConfig cfg;
     tree = dtree::train_cart(data, cfg);
+    compiled = dtree::CompiledTree::compile(tree);
     qfs.assign(10, 0.3);
+    qf_rows.resize(4096 * 10);
+    for (auto& v : qf_rows) v = rng.uniform();
   }
 };
 
@@ -99,6 +105,32 @@ void BM_TreeRoute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeRoute);
+
+void BM_TreeRouteCompiled(benchmark::State& state) {
+  // The same route through the flattened SoA tree (single sample).
+  auto& fx = fixtures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.compiled.predict(fx.qfs));
+  }
+}
+BENCHMARK(BM_TreeRouteCompiled);
+
+void BM_TreeRouteCompiledBatch(benchmark::State& state) {
+  // Level-synchronous batched routing; reported per batch (divide by the
+  // batch size for ns/sample). Random rows defeat the branch-predictor
+  // memorization that flatters the single-sample walks above.
+  auto& fx = fixtures();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(batch);
+  for (auto _ : state) {
+    fx.compiled.predict_batch(
+        std::span<const double>(fx.qf_rows.data(), batch * 10), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TreeRouteCompiledBatch)->Arg(64)->Arg(1024)->Arg(4096);
 
 void BM_MajorityVote(benchmark::State& state) {
   core::TimeseriesBuffer buffer;

@@ -42,6 +42,8 @@ Engine::Engine(EngineComponents components, EngineConfig config)
           ? 0
           : (config_.max_sessions + config_.num_shards - 1) /
                 config_.num_shards;
+  const auto initial_models = std::make_shared<const ModelSet>(
+      ModelSet{components_.qim, components_.taqim, 1});
   for (std::size_t s = 0; s < config_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->max_sessions = per_shard_budget;
@@ -49,6 +51,7 @@ Engine::Engine(EngineComponents components, EngineConfig config)
         components_.taqim, components_.qf_extractor.num_factors(),
         components_.taqfs);
     shard->qf_scratch.resize(components_.qf_extractor.num_factors());
+    shard->models = initial_models;
     shards_.push_back(std::move(shard));
   }
   primary_ = components_.taqim != nullptr ? estimator_index("tauw")
@@ -122,6 +125,20 @@ void Engine::add_estimator(std::shared_ptr<UncertaintyEstimator> estimator) {
           "per shard");
     }
     clones.push_back(std::move(clone));
+  }
+  // Bind every instance to its shard's currently published models before
+  // installing: an estimator constructed against the initial components
+  // would otherwise serve a stale model after swap_models while its
+  // results are stamped with the current generation. A throw here (the
+  // estimator rejects the served model) leaves the registries untouched.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_ptr<const ModelSet> models;
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      models = shards_[s]->models;
+    }
+    UncertaintyEstimator& instance = s == 0 ? *estimator : *clones[s - 1];
+    instance.rebind_models(models->qim, models->taqim);
   }
   shards_.front()->estimators.push_back(std::move(estimator));
   for (std::size_t s = 1; s < shards_.size(); ++s) {
@@ -246,7 +263,11 @@ const TimeseriesBuffer& Engine::session_buffer(SessionId id) const {
 }
 
 Engine::Session& Engine::touch(Shard& shard, SessionId id, bool& created) {
-  const auto it = shard.sessions.find(id);
+  return touch_at(shard, id, shard.sessions.find(id), created);
+}
+
+Engine::Session& Engine::touch_at(Shard& shard, SessionId id,
+                                  SessionMap::iterator it, bool& created) {
   if (it == shard.sessions.end()) {
     validate_external_id(id);
     created = true;
@@ -257,10 +278,13 @@ Engine::Session& Engine::touch(Shard& shard, SessionId id, bool& created) {
   return it->second;
 }
 
-void Engine::step_common(Shard& shard, SessionId id, Session& session,
-                         std::span<const double> stateless_qfs,
-                         std::size_t outcome, double ddm_confidence,
-                         double uncertainty, EngineStepResult& result) {
+EstimationContext Engine::commit_step(Shard& shard, SessionId id,
+                                      Session& session,
+                                      std::span<const double> stateless_qfs,
+                                      std::size_t outcome,
+                                      double ddm_confidence,
+                                      double uncertainty,
+                                      EngineStepResult& result) {
   session.buffer.push(outcome, uncertainty);
   if (config_.buffer_capacity > 0 &&
       session.buffer.length() == config_.buffer_capacity) {
@@ -282,6 +306,7 @@ void Engine::step_common(Shard& shard, SessionId id, Session& session,
   result.isolated.ddm_confidence = ddm_confidence;
   result.series_length = session.buffer.length();
   result.fused_label = components_.fusion->fuse(session.buffer);
+  result.model_generation = shard.models->generation;
 
   EstimationContext context;
   context.stateless_qfs = stateless_qfs;
@@ -290,7 +315,16 @@ void Engine::step_common(Shard& shard, SessionId id, Session& session,
   context.isolated_label = outcome;
   context.isolated_uncertainty = uncertainty;
   context.fused_label = result.fused_label;
+  return context;
+}
 
+void Engine::step_common(Shard& shard, SessionId id, Session& session,
+                         std::span<const double> stateless_qfs,
+                         std::size_t outcome, double ddm_confidence,
+                         double uncertainty, EngineStepResult& result) {
+  const EstimationContext context =
+      commit_step(shard, id, session, stateless_qfs, outcome, ddm_confidence,
+                  uncertainty, result);
   result.estimates.resize(shard.estimators.size());
   for (std::size_t i = 0; i < shard.estimators.size(); ++i) {
     result.estimates[i] = shard.estimators[i]->estimate(context);
@@ -302,7 +336,7 @@ void Engine::step_frame_locked(Shard& shard, SessionId id,
                                const data::FrameRecord& frame,
                                const sim::SignLocation* location,
                                EngineStepResult& result) {
-  if (components_.ddm == nullptr || components_.qim == nullptr) {
+  if (components_.ddm == nullptr || shard.models->qim == nullptr) {
     throw std::logic_error(
         "Engine::step requires a DDM and a fitted QIM (replay-only engines "
         "must use step_precomputed)");
@@ -311,7 +345,7 @@ void Engine::step_frame_locked(Shard& shard, SessionId id,
   // throwing DDM/QIM leaves no half-created session and evicts nothing.
   components_.qf_extractor.extract_into(frame, shard.qf_scratch);
   const ml::Prediction prediction = components_.ddm->predict(frame.features);
-  double uncertainty = components_.qim->predict(shard.qf_scratch);
+  double uncertainty = shard.models->qim->predict(shard.qf_scratch);
   if (components_.scope.has_value() && location != nullptr) {
     uncertainty = combine_uncertainties(
         uncertainty,
@@ -322,6 +356,83 @@ void Engine::step_frame_locked(Shard& shard, SessionId id,
   result.new_session = created;
   step_common(shard, id, session, shard.qf_scratch, prediction.label,
               prediction.confidence, uncertainty, result);
+}
+
+void Engine::stage_frame_locked(Shard& shard, SessionId id,
+                                SessionMap::iterator it,
+                                const data::FrameRecord& frame,
+                                const sim::SignLocation* location,
+                                EngineStepResult& result) {
+  if (components_.ddm == nullptr || shard.models->qim == nullptr) {
+    throw std::logic_error(
+        "Engine::step requires a DDM and a fitted QIM (replay-only engines "
+        "must use step_precomputed)");
+  }
+  BatchScratch& batch = shard.batch;
+  const std::size_t num_factors = components_.qf_extractor.num_factors();
+  // The QF row must stay put for the rest of the run (contexts hold spans
+  // into it); run_shard_task sized qf_matrix for the whole group upfront.
+  const std::span<double> qf_row(
+      batch.qf_matrix.data() + batch.next_row * num_factors, num_factors);
+  components_.qf_extractor.extract_into(frame, qf_row);
+  const ml::Prediction prediction = components_.ddm->predict(frame.features);
+  double uncertainty = shard.models->qim->predict(qf_row);
+  if (components_.scope.has_value() && location != nullptr) {
+    uncertainty = combine_uncertainties(
+        uncertainty,
+        components_.scope->incompliance_probability(frame, *location));
+  }
+  bool created = false;
+  Session& session = touch_at(shard, id, it, created);
+  result.new_session = created;
+  const EstimationContext context =
+      commit_step(shard, id, session, qf_row, prediction.label,
+                  prediction.confidence, uncertainty, result);
+  ++batch.next_row;
+  batch.contexts.push_back(context);
+  batch.run_sessions.push_back(&session);
+  batch.run_results.push_back(&result);
+  session.staged_mark = batch.run_id;
+}
+
+void Engine::flush_run(Shard& shard) {
+  BatchScratch& batch = shard.batch;
+  const std::size_t n = batch.contexts.size();
+  if (n == 0) return;
+  const auto finish = [&batch] {
+    batch.contexts.clear();
+    batch.run_sessions.clear();
+    batch.run_results.clear();
+    ++batch.run_id;  // invalidates every staged_mark of the finished run
+  };
+  try {
+    const std::size_t num_estimators = shard.estimators.size();
+    batch.estimate_matrix.resize(num_estimators * n);
+    const std::span<const EstimationContext> contexts(batch.contexts);
+    for (std::size_t e = 0; e < num_estimators; ++e) {
+      shard.estimators[e]->estimate_batch(
+          contexts,
+          std::span<double>(batch.estimate_matrix.data() + e * n, n));
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      EngineStepResult& result = *batch.run_results[k];
+      result.estimates.resize(num_estimators);
+      for (std::size_t e = 0; e < num_estimators; ++e) {
+        result.estimates[e] = batch.estimate_matrix[e * n + k];
+      }
+      result.decision =
+          batch.run_sessions[k]->monitor.decide(result.estimates[primary_]);
+    }
+  } catch (...) {
+    // estimate_batch is contractually no-throw; if an out-of-contract
+    // estimator (or bad_alloc in a resize) throws anyway, this run's
+    // estimates are abandoned but the scratch MUST still be reset - stale
+    // Session/result pointers here would be dereferenced by the next
+    // batch on this shard after the caller's results vector is gone.
+    finish();
+    throw;
+  }
+  finish();
 }
 
 void Engine::step_into(SessionId id, const data::FrameRecord& frame,
@@ -433,10 +544,49 @@ void Engine::step_batch(std::span<const SessionFrame> frames,
 void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
   Shard& shard = *task.shard;
   std::lock_guard<std::mutex> lock(shard.mutex);
-  for (const std::size_t index : *task.indices) {
-    const SessionFrame& sf = state.frames[index];
+  if (task.indices->size() == 1) {
+    // A one-entry group gains nothing from staging; take the direct path
+    // (this keeps single-session streaming free of batch overhead).
+    const SessionFrame& sf = state.frames[task.indices->front()];
     step_frame_locked(shard, sf.session, *sf.frame, sf.location,
-                      (*state.results)[index]);
+                      (*state.results)[task.indices->front()]);
+    return;
+  }
+  BatchScratch& batch = shard.batch;
+  // Size the QF staging matrix for the whole group before staging anything:
+  // contexts hold spans into it, so it must never reallocate mid-run.
+  batch.qf_matrix.resize(task.indices->size() *
+                         components_.qf_extractor.num_factors());
+  batch.next_row = 0;
+  try {
+    for (const std::size_t index : *task.indices) {
+      const SessionFrame& sf = state.frames[index];
+      const auto it = shard.sessions.find(sf.session);
+      if (!batch.contexts.empty()) {
+        // A pending context must see exactly its own step's state, and it
+        // holds pointers into its session. Settle the run before (a) the
+        // same session steps again (its buffer would advance under the
+        // pending context) or (b) staging a new session at the LRU cap
+        // (creating it may evict - and thereby destroy - a session a
+        // pending context still references). flush_run never touches the
+        // session map, so `it` stays valid across it.
+        const bool repeat = it != shard.sessions.end() &&
+                            it->second.staged_mark == batch.run_id;
+        const bool may_evict = it == shard.sessions.end() &&
+                               shard.max_sessions > 0 &&
+                               shard.sessions.size() >= shard.max_sessions;
+        if (repeat || may_evict) flush_run(shard);
+      }
+      stage_frame_locked(shard, sf.session, it, *sf.frame, sf.location,
+                         (*state.results)[index]);
+    }
+    flush_run(shard);
+  } catch (...) {
+    // A throwing DDM/QIM aborts this shard's remaining entries, but steps
+    // already committed to their buffers must still get their estimates -
+    // an exception must not leave steps recorded without results.
+    flush_run(shard);
+    throw;
   }
 }
 
@@ -491,16 +641,99 @@ void Engine::report_outcome(SessionId id, MonitorDecision decision,
   it->second.monitor.report_outcome(decision, failure);
 }
 
-MonitorStats Engine::total_monitor_stats() const {
-  MonitorStats total;
+MonitorStats Engine::total_monitor_stats() const { return stats().monitor; }
+
+void Engine::swap_models(std::shared_ptr<const QualityImpactModel> qim,
+                         std::shared_ptr<const QualityImpactModel> taqim) {
+  // Validate everything before touching any shard: a half-published
+  // generation (shard 0 swapped, shard 1 rejecting) must be impossible.
+  if (qim == nullptr || !qim->fitted()) {
+    throw std::invalid_argument(
+        "Engine::swap_models: a fitted QIM is required");
+  }
+  if (qim->num_features() != components_.qf_extractor.num_factors()) {
+    throw std::invalid_argument(
+        "Engine::swap_models: QIM feature count does not match the QF "
+        "extractor");
+  }
+  if (components_.taqim != nullptr) {
+    if (taqim == nullptr || !taqim->fitted()) {
+      throw std::invalid_argument(
+          "Engine::swap_models: this engine serves a taUW estimator; the "
+          "swap must provide a recalibrated taQIM");
+    }
+    const TaFeatureBuilder builder(components_.qf_extractor.num_factors(),
+                                   components_.taqfs);
+    if (taqim->num_features() != builder.dim()) {
+      throw std::invalid_argument(
+          "Engine::swap_models: taQIM feature count does not match the "
+          "taQF feature builder");
+    }
+  } else if (taqim != nullptr) {
+    throw std::invalid_argument(
+        "Engine::swap_models: this engine was built without a taQIM; the "
+        "estimator registry cannot grow mid-flight");
+  }
+
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  // The generation number is consumed up front: if a custom estimator's
+  // rebind_models throws mid-swap (possible only for estimators the
+  // pre-checks above cannot see), earlier shards already serve the new set,
+  // and a retry must not reuse the number - attribution requires a unique
+  // generation per model set, torn or not.
+  const std::uint64_t generation = ++next_generation_;
+  const auto models = std::make_shared<const ModelSet>(
+      ModelSet{std::move(qim), std::move(taqim), generation});
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->retired;
+    // Rebind the estimators before publishing the model set, so a throwing
+    // rebind leaves THIS shard entirely on its old generation
+    // (already-rebound estimators are restored best-effort). Shards
+    // published before the throw stay on the new generation; the engine
+    // is torn across shards but every shard is internally consistent.
+    const std::shared_ptr<const ModelSet> old_models = shard->models;
+    std::size_t rebound = 0;
+    try {
+      for (; rebound < shard->estimators.size(); ++rebound) {
+        shard->estimators[rebound]->rebind_models(models->qim, models->taqim);
+      }
+    } catch (...) {
+      for (std::size_t r = 0; r < rebound; ++r) {
+        try {
+          shard->estimators[r]->rebind_models(old_models->qim,
+                                              old_models->taqim);
+        } catch (...) {
+          // Best effort: the estimator rejected its own previous model;
+          // nothing safer to restore to.
+        }
+      }
+      throw;
+    }
+    // RCU publish: steps holding the lock finished on the old set (still
+    // alive through their shared_ptr); every later step reads this one.
+    shard->models = models;
+  }
+  published_generation_.store(generation, std::memory_order_relaxed);
+  model_swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Engine::model_generation() const {
+  return published_generation_.load(std::memory_order_relaxed);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  out.model_swaps = model_swaps_.load(std::memory_order_relaxed);
+  out.model_generation = published_generation_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.live_sessions += shard->sessions.size();
+    out.monitor += shard->retired;
     for (const auto& [id, session] : shard->sessions) {
-      total += session.monitor.stats();
+      out.monitor += session.monitor.stats();
     }
   }
-  return total;
+  return out;
 }
 
 }  // namespace tauw::core

@@ -40,6 +40,30 @@
 // immutable models. The 1-shard/1-thread default runs the exact serial path
 // of the single-threaded engine.
 //
+// Within a shard group, step_batch runs COLUMNAR: it first commits every
+// step's evidence (QF extraction, DDM, stateless QIM, buffer push, fusion),
+// then evaluates each estimator once over the whole run via
+// estimate_batch() - the taUW routes the full run through the compiled
+// taQIM in one level-synchronous pass instead of one pointer-tree walk per
+// step. A run flushes early only when a session appears twice in the same
+// group, so every estimate still sees exactly its own step's state;
+// results stay bit-identical to the per-step path.
+//
+// -- Model hot-swap ----------------------------------------------------------
+//
+// `swap_models(qim, taqim)` atomically publishes a recalibrated model
+// generation (Clopper-Pearson bounds drift as calibration data accrues;
+// serving must not drain sessions to pick up the refit). Each shard holds a
+// shared_ptr to an immutable ModelSet that steps read under the shard
+// mutex; the swap validates the new models up front, then republishes the
+// pointer shard by shard (RCU under the existing locks). In-flight steps
+// finish on the generation they started with, every EngineStepResult
+// reports the generation that produced it, and EngineStats reports the
+// currently published generation. Sessions, buffers, and monitor state
+// survive the swap untouched. The DDM, QF extractor, fusion rule, and
+// scope model are not swappable - they define the wrapped system itself,
+// not the calibration.
+//
 // What is NOT thread-safe: `add_estimator` and the references returned by
 // `session_monitor` / `session_buffer` / `estimators` require that no other
 // thread mutates the engine (respectively that session) concurrently.
@@ -137,6 +161,16 @@ struct SessionFrame {
   const sim::SignLocation* location = nullptr;
 };
 
+/// Aggregate engine health counters (stats()).
+struct EngineStats {
+  /// The currently published model generation (1 until the first swap;
+  /// swap_models bumps it engine-wide).
+  std::uint64_t model_generation = 1;
+  std::uint64_t model_swaps = 0;  ///< completed swap_models calls
+  std::size_t live_sessions = 0;
+  MonitorStats monitor;  ///< aggregate over live, closed, evicted sessions
+};
+
 /// Everything the engine produces for one step of one session.
 struct EngineStepResult {
   SessionId session = 0;
@@ -153,6 +187,9 @@ struct EngineStepResult {
   /// opened, or was LRU-evicted (possibly earlier in the same batch).
   /// Consumers relying on continuous series should watch this flag.
   bool new_session = false;
+  /// The model generation (see Engine::swap_models) this step was evaluated
+  /// under. Every step is attributable to exactly one generation.
+  std::uint64_t model_generation = 0;
 };
 
 class Engine {
@@ -167,6 +204,8 @@ class Engine {
   Engine(Engine&&) = delete;
   Engine& operator=(Engine&&) = delete;
 
+  /// The components the engine was constructed with. After swap_models the
+  /// qim/taqim here are the INITIAL generation, not the serving one.
   const EngineComponents& components() const noexcept { return components_; }
   const EngineConfig& config() const noexcept { return config_; }
 
@@ -179,7 +218,8 @@ class Engine {
   // -- estimator registry -------------------------------------------------
   /// Shard 0's estimator instances (every shard holds clones with the same
   /// names, in the same order). Do not call estimate() on these while other
-  /// threads step the engine.
+  /// threads step the engine or swap models (swap_models rebinds the
+  /// instances' fitted models under the shard locks).
   std::span<const std::shared_ptr<UncertaintyEstimator>> estimators()
       const noexcept {
     return shards_.front()->estimators;
@@ -251,12 +291,32 @@ class Engine {
   void step_batch(std::span<const SessionFrame> frames,
                   std::vector<EngineStepResult>& results);
 
+  // -- model hot-swap (thread-safe) ----------------------------------------
+  /// Publishes a recalibrated (QIM, taQIM) generation without draining
+  /// sessions. `qim` must be fitted with the engine's QF-extractor feature
+  /// count; `taqim` must be fitted against the same taQF configuration when
+  /// the engine was built with one, and null when it was not (the estimator
+  /// registry cannot change shape mid-flight). Validates everything up
+  /// front, then publishes shard by shard under the shard mutexes: steps
+  /// already holding a shard lock finish on their old generation, every
+  /// later step sees the new one, and each EngineStepResult carries the
+  /// generation that produced it. Estimators are rebound via
+  /// UncertaintyEstimator::rebind_models. Concurrent swappers serialize;
+  /// generations are monotonic.
+  void swap_models(std::shared_ptr<const QualityImpactModel> qim,
+                   std::shared_ptr<const QualityImpactModel> taqim);
+  /// The currently published model generation (1 before any swap).
+  std::uint64_t model_generation() const;
+
   // -- monitor feedback (thread-safe) --------------------------------------
   /// Ground-truth feedback for a session's previous decision.
   void report_outcome(SessionId id, MonitorDecision decision, bool failure);
   /// Monitor statistics aggregated over all live, closed, and evicted
   /// sessions.
   MonitorStats total_monitor_stats() const;
+  /// Aggregate health counters: generation, swap count, live sessions, and
+  /// the monitor aggregate.
+  EngineStats stats() const;
 
  private:
   struct Session {
@@ -264,6 +324,35 @@ class Engine {
     UncertaintyFusionAccumulator uf;
     RuntimeMonitor monitor;
     std::list<SessionId>::iterator lru_it;  ///< position in Shard::lru
+    /// The BatchScratch::run_id this session was last staged under -
+    /// repeat detection in the columnar batch path without a per-step
+    /// hash-set insert (which costs a heap allocation per entry).
+    std::uint64_t staged_mark = 0;
+  };
+
+  /// One published model generation. Immutable once built; shards hold a
+  /// shared_ptr replaced under the shard mutex (RCU: readers that loaded
+  /// the old set keep it alive until they drop the reference).
+  struct ModelSet {
+    std::shared_ptr<const QualityImpactModel> qim;
+    std::shared_ptr<const QualityImpactModel> taqim;
+    std::uint64_t generation = 1;
+  };
+
+  /// Per-shard scratch for the columnar step_batch path: staged QF rows,
+  /// estimation contexts, and the estimator-major estimate matrix of the
+  /// current run. Lives in the shard (used under its mutex only).
+  struct BatchScratch {
+    std::vector<double> qf_matrix;  ///< group_size x num_factors, row-stable
+    std::size_t next_row = 0;
+    std::vector<EstimationContext> contexts;
+    std::vector<Session*> run_sessions;
+    std::vector<EngineStepResult*> run_results;
+    /// Current run number; sessions staged in this run carry it in their
+    /// staged_mark. Bumped on every flush, never reused (uint64). Starts
+    /// at 1 so a fresh session's zero-initialized mark never matches.
+    std::uint64_t run_id = 1;
+    std::vector<double> estimate_matrix;  ///< num_estimators x run length
   };
 
   /// One shard: a self-contained slice of the session space. All mutable
@@ -280,6 +369,9 @@ class Engine {
     /// so sharing instances across concurrently stepping shards would race.
     std::vector<std::shared_ptr<UncertaintyEstimator>> estimators;
     std::vector<double> qf_scratch;
+    /// The model generation this shard currently serves (see swap_models).
+    std::shared_ptr<const ModelSet> models;
+    BatchScratch batch;
   };
 
   /// One step_batch work item: a shard plus the batch indices routed to it.
@@ -302,6 +394,8 @@ class Engine {
     std::exception_ptr error;
   };
 
+  using SessionMap = std::unordered_map<SessionId, Session>;
+
   Shard& shard_for(SessionId id) noexcept {
     return *shards_[shard_of(id)];
   }
@@ -311,6 +405,10 @@ class Engine {
 
   // Per-shard session bookkeeping; callers hold shard.mutex.
   Session& touch(Shard& shard, SessionId id, bool& created);
+  /// touch() with the map lookup already done (`it` from shard.sessions;
+  /// must still be current - no insert/erase since the find).
+  Session& touch_at(Shard& shard, SessionId id, SessionMap::iterator it,
+                    bool& created);
   Session& create_session(Shard& shard, SessionId id);
   void validate_external_id(SessionId id) const;
   void evict_lru(Shard& shard, SessionId keep);
@@ -318,6 +416,12 @@ class Engine {
   const Session& session_at(const Shard& shard, SessionId id) const;
 
   // Step internals; callers hold shard.mutex.
+  /// Commits the step's evidence (buffer + UF push, fusion) and fills every
+  /// non-estimator result field; returns the context estimators read.
+  EstimationContext commit_step(Shard& shard, SessionId id, Session& session,
+                                std::span<const double> stateless_qfs,
+                                std::size_t outcome, double ddm_confidence,
+                                double uncertainty, EngineStepResult& result);
   void step_common(Shard& shard, SessionId id, Session& session,
                    std::span<const double> stateless_qfs, std::size_t outcome,
                    double ddm_confidence, double uncertainty,
@@ -326,6 +430,17 @@ class Engine {
                          const data::FrameRecord& frame,
                          const sim::SignLocation* location,
                          EngineStepResult& result);
+  /// Columnar batch internals: stage commits one step into the current run
+  /// (deferring estimators + monitor), flush evaluates each estimator once
+  /// over the whole run via estimate_batch and resolves monitor decisions.
+  /// `it` is the caller's repeat/eviction-detection lookup of `id`, reused
+  /// so the hot path pays one hash probe per step instead of two.
+  void stage_frame_locked(Shard& shard, SessionId id,
+                          SessionMap::iterator it,
+                          const data::FrameRecord& frame,
+                          const sim::SignLocation* location,
+                          EngineStepResult& result);
+  void flush_run(Shard& shard);
 
   // Worker pool (see engine.cpp for the dispatch protocol).
   void worker_loop();
@@ -341,6 +456,16 @@ class Engine {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<SessionId> next_auto_id_{kAutoSessionBit | 1};
+
+  /// Serializes swap_models callers so generations publish monotonically.
+  std::mutex swap_mutex_;
+  /// Highest generation number ever handed out (guarded by swap_mutex_).
+  /// A failed swap still consumes its number, so two different model sets
+  /// can never share a generation.
+  std::uint64_t next_generation_ = 1;
+  /// The last fully published generation (what stats report).
+  std::atomic<std::uint64_t> published_generation_{1};
+  std::atomic<std::uint64_t> model_swaps_{0};
 
   // -- step_batch dispatch state -------------------------------------------
   /// Serializes step_batch callers (the pool handles one batch at a time);

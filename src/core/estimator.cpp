@@ -24,10 +24,39 @@ double TauwEstimator::estimate(const EstimationContext& context) {
   return taqim_->predict(feature_scratch_);
 }
 
+void TauwEstimator::estimate_batch(std::span<const EstimationContext> contexts,
+                                   std::span<double> out) {
+  const std::size_t dim = builder_.dim();
+  feature_matrix_.resize(contexts.size() * dim);
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    builder_.build_into(
+        contexts[i].stateless_qfs, *contexts[i].buffer,
+        contexts[i].fused_label,
+        std::span<double>(feature_matrix_.data() + i * dim, dim));
+  }
+  taqim_->predict_batch(feature_matrix_, out);
+}
+
 std::shared_ptr<UncertaintyEstimator> TauwEstimator::clone() const {
   // The copy shares the fitted taQIM (immutable) and gets its own feature
   // scratch, which is exactly the isolation an engine shard needs.
   return std::make_shared<TauwEstimator>(*this);
+}
+
+void TauwEstimator::rebind_models(
+    const std::shared_ptr<const QualityImpactModel>& /*qim*/,
+    const std::shared_ptr<const QualityImpactModel>& taqim) {
+  // Adopt the engine's taQIM only when it fits this estimator's feature
+  // builder. A custom TauwEstimator may serve its own independently fitted
+  // model (e.g. a different taQF subset on an engine without a taQIM);
+  // such an instance keeps its model across swaps instead of rejecting
+  // the registration/swap outright. Engine::swap_models pre-validates the
+  // default registry's estimator, so the engine-served taUW always adopts.
+  if (taqim == nullptr || !taqim->fitted() ||
+      taqim->num_features() != builder_.dim()) {
+    return;
+  }
+  taqim_ = taqim;
 }
 
 std::vector<std::shared_ptr<UncertaintyEstimator>> make_default_estimators(

@@ -10,6 +10,7 @@
 // step from the same interim results.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -58,6 +59,21 @@ class UncertaintyEstimator {
   /// Validate configuration eagerly in the constructor instead.
   virtual double estimate(const EstimationContext& context) = 0;
 
+  /// Batched estimation: one estimate per context into `out` (same size),
+  /// bit-identical to calling estimate() per context in order. Every
+  /// context must still reference the session state as of its own step -
+  /// the Engine flushes a batch run before a session appears twice, so a
+  /// buffer never advances under a pending context. The default loops over
+  /// estimate(); overrides vectorize (the taUW routes the whole run through
+  /// the compiled taQIM in one level-synchronous pass). Same no-throw
+  /// contract as estimate().
+  virtual void estimate_batch(std::span<const EstimationContext> contexts,
+                              std::span<double> out) {
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      out[i] = estimate(contexts[i]);
+    }
+  }
+
   /// A deep copy for another engine shard: the clone must not share any
   /// mutable state (scratch buffers) with this instance; sharing immutable
   /// fitted models is fine and keeps clones cheap. The default returns
@@ -66,6 +82,20 @@ class UncertaintyEstimator {
   virtual std::shared_ptr<UncertaintyEstimator> clone() const {
     return nullptr;
   }
+
+  /// Model hook, called when the engine installs the estimator
+  /// (add_estimator) and on every Engine::swap_models - per shard, under
+  /// that shard's lock, never concurrently with estimate() /
+  /// estimate_batch(). Estimators tracking the engine's models adopt the
+  /// new generation here; estimators serving an independent model should
+  /// ignore incompatible sets rather than throw (a throw aborts the swap:
+  /// this shard rolls back to its previous binding, shards already
+  /// published stay on the new generation, and the generation number is
+  /// consumed either way so attribution stays unique). The default ignores
+  /// the call - estimators without model state need not care.
+  virtual void rebind_models(
+      const std::shared_ptr<const QualityImpactModel>& /*qim*/,
+      const std::shared_ptr<const QualityImpactModel>& /*taqim*/) {}
 };
 
 /// The stateless wrapper's per-frame estimate, reused as-is for the fused
@@ -75,6 +105,12 @@ class StatelessEstimator final : public UncertaintyEstimator {
   const std::string& name() const noexcept override { return name_; }
   double estimate(const EstimationContext& context) override {
     return context.isolated_uncertainty;
+  }
+  void estimate_batch(std::span<const EstimationContext> contexts,
+                      std::span<double> out) override {
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      out[i] = contexts[i].isolated_uncertainty;
+    }
   }
   std::shared_ptr<UncertaintyEstimator> clone() const override {
     return std::make_shared<StatelessEstimator>(*this);
@@ -96,6 +132,12 @@ class UfBaselineEstimator final : public UncertaintyEstimator {
   double estimate(const EstimationContext& context) override {
     return context.uf->get(rule_);
   }
+  void estimate_batch(std::span<const EstimationContext> contexts,
+                      std::span<double> out) override {
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      out[i] = contexts[i].uf->get(rule_);
+    }
+  }
   std::shared_ptr<UncertaintyEstimator> clone() const override {
     return std::make_shared<UfBaselineEstimator>(*this);
   }
@@ -116,14 +158,27 @@ class TauwEstimator final : public UncertaintyEstimator {
 
   const std::string& name() const noexcept override { return name_; }
   const TaFeatureBuilder& feature_builder() const noexcept { return builder_; }
+  const std::shared_ptr<const QualityImpactModel>& taqim() const noexcept {
+    return taqim_;
+  }
   double estimate(const EstimationContext& context) override;
+  /// Columnar batch path: assembles all feature rows into one matrix, then
+  /// routes the run through the compiled taQIM in a single batched pass.
+  void estimate_batch(std::span<const EstimationContext> contexts,
+                      std::span<double> out) override;
   /// Shares the (immutable) fitted taQIM; the feature scratch is copied.
   std::shared_ptr<UncertaintyEstimator> clone() const override;
+  /// Adopts a recalibrated taQIM when it matches this estimator's feature
+  /// builder; keeps the current model otherwise (see the base contract).
+  void rebind_models(
+      const std::shared_ptr<const QualityImpactModel>& qim,
+      const std::shared_ptr<const QualityImpactModel>& taqim) override;
 
  private:
   std::shared_ptr<const QualityImpactModel> taqim_;
   TaFeatureBuilder builder_;
   std::vector<double> feature_scratch_;
+  std::vector<double> feature_matrix_;  ///< batch staging, row-major
   std::string name_ = "tauw";
 };
 

@@ -17,12 +17,40 @@ void QualityImpactModel::fit(const dtree::TreeDataset& train,
       dtree::prune_and_calibrate(tree_, calibration, config.calibration);
   importances_ = dtree::feature_importance(tree_, train);
   feature_names_ = std::move(feature_names);
+  compile();
+}
+
+const dtree::CompiledTree& QualityImpactModel::compile() {
+  if (!fitted()) throw std::logic_error("QIM::compile before fit");
+  compiled_ = dtree::CompiledTree::compile(tree_);
+  return compiled_;
 }
 
 double QualityImpactModel::predict(
     std::span<const double> quality_factors) const {
   if (!fitted()) throw std::logic_error("QIM::predict before fit");
-  return tree_.predict_uncertainty(quality_factors);
+  if (quality_factors.size() != num_features()) {
+    throw std::invalid_argument("QIM::predict: feature count mismatch");
+  }
+  return compiled_.predict(quality_factors);
+}
+
+void QualityImpactModel::predict_batch(
+    std::span<const double> quality_factor_rows, std::span<double> out) const {
+  if (!fitted()) throw std::logic_error("QIM::predict_batch before fit");
+  compiled_.predict_batch(quality_factor_rows, out);
+}
+
+QualityImpactModel::MarginPrediction QualityImpactModel::predict_with_margin(
+    std::span<const double> quality_factors) const {
+  if (!fitted()) throw std::logic_error("QIM::predict_with_margin before fit");
+  if (quality_factors.size() != num_features()) {
+    throw std::invalid_argument(
+        "QIM::predict_with_margin: feature count mismatch");
+  }
+  const dtree::CompiledTree::MarginRoute route =
+      compiled_.route_with_margin(quality_factors);
+  return {compiled_.leaf_uncertainty(route.leaf), route.min_margin};
 }
 
 double QualityImpactModel::min_leaf_uncertainty() const {

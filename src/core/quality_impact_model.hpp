@@ -8,12 +8,14 @@
 // 0.999 via one-sided Clopper-Pearson bounds.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dtree/calibrate.hpp"
 #include "dtree/cart.hpp"
+#include "dtree/compiled_tree.hpp"
 #include "dtree/tree.hpp"
 
 namespace tauw::core {
@@ -36,8 +38,27 @@ class QualityImpactModel {
   bool fitted() const noexcept { return !tree_.empty(); }
   std::size_t num_features() const noexcept { return tree_.num_features(); }
 
-  /// Dependable uncertainty for a quality-factor vector.
+  /// Dependable uncertainty for a quality-factor vector. Served from the
+  /// compiled tree; the pointer tree is retained as the transparency/audit
+  /// structure and the equivalence oracle (outputs are bit-identical).
   double predict(std::span<const double> quality_factors) const;
+
+  /// Batched prediction over a row-major n x num_features() matrix into
+  /// `out` (size n), bit-identical to n predict() calls.
+  void predict_batch(std::span<const double> quality_factor_rows,
+                     std::span<double> out) const;
+
+  /// predict() plus the minimum split margin |qf - threshold| along the
+  /// routing path - the hard-boundary diagnostic of Gerber et al.
+  /// (arXiv:2201.03263): a small margin means the sample sits next to a
+  /// decision boundary of the calibrated tree, where the guaranteed bound
+  /// flips between neighboring leaves.
+  struct MarginPrediction {
+    double uncertainty = 0.0;
+    double min_margin = 0.0;  ///< +infinity for a single-leaf tree
+  };
+  MarginPrediction predict_with_margin(
+      std::span<const double> quality_factors) const;
 
   /// The smallest uncertainty any leaf guarantees (Fig. 5's "lowest
   /// uncertainty" level).
@@ -53,11 +74,21 @@ class QualityImpactModel {
     return calibration_result_;
   }
 
+  /// (Re)compiles the fitted tree into the flattened inference form and
+  /// returns it. fit() already calls this, so predict paths never see a
+  /// stale compile; it stays public for model-loading paths that assemble
+  /// the tree outside fit(). Throws std::logic_error when unfitted.
+  const dtree::CompiledTree& compile();
+
+  /// The cached compiled tree (empty until fitted).
+  const dtree::CompiledTree& compiled() const noexcept { return compiled_; }
+
   /// Transparent rendering of the tree for expert review.
   std::string to_text() const;
 
  private:
   dtree::DecisionTree tree_;
+  dtree::CompiledTree compiled_;
   dtree::CalibrationResult calibration_result_;
   std::vector<std::string> feature_names_;
   std::vector<double> importances_;

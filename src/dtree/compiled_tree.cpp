@@ -1,0 +1,332 @@
+#include "dtree/compiled_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace tauw::dtree {
+
+CompiledTree CompiledTree::compile(const DecisionTree& tree) {
+  if (tree.empty()) {
+    throw std::invalid_argument("CompiledTree: cannot compile an empty tree");
+  }
+  const std::span<const Node> nodes = tree.nodes();
+  const std::size_t depth = validate_tree_structure(nodes, tree.num_features());
+  if (tree.num_features() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument(
+        "CompiledTree: more than 65535 features (feature indices are "
+        "compiled to uint16)");
+  }
+
+  CompiledTree out;
+  out.num_features_ = tree.num_features();
+  out.max_depth_ = depth;
+
+  if (nodes[0].is_leaf()) {  // degenerate single-leaf tree: no splits
+    out.leaf_uncertainty_.push_back(nodes[0].uncertainty);
+    out.leaf_node_index_.push_back(0);
+    return out;
+  }
+
+  // One post-order pass computes every subtree's maximum uncertainty (the
+  // NaN-routing tiebreaker) in O(n) - per-split recursive walks would be
+  // O(n * depth).
+  std::vector<double> submax(nodes.size(), 0.0);
+  {
+    std::vector<std::pair<std::size_t, bool>> stack;
+    stack.emplace_back(0, false);
+    while (!stack.empty()) {
+      const auto [i, expanded] = stack.back();
+      stack.pop_back();
+      const Node& n = nodes[i];
+      if (n.is_leaf()) {
+        submax[i] = n.uncertainty;
+      } else if (expanded) {
+        submax[i] = std::max(submax[n.left], submax[n.right]);
+      } else {
+        stack.emplace_back(i, true);
+        stack.emplace_back(n.left, false);
+        stack.emplace_back(n.right, false);
+      }
+    }
+  }
+
+  // Breadth-first renumbering of internal nodes. BFS (not preorder) keeps
+  // each level contiguous, so the level-synchronous route_batch touches a
+  // shrinking prefix-per-level of the arrays, and guarantees child indices
+  // are strictly greater than the parent's (forward-only traversal).
+  std::deque<std::size_t> queue;
+  queue.push_back(0);
+  // First pass assigns compiled indices in BFS order.
+  std::vector<std::size_t> compiled_index(nodes.size(), 0);
+  std::vector<std::size_t> order;  // original indices, BFS
+  while (!queue.empty()) {
+    const std::size_t orig = queue.front();
+    queue.pop_front();
+    const Node& n = nodes[orig];
+    if (n.is_leaf()) continue;
+    compiled_index[orig] = order.size();
+    order.push_back(orig);
+    queue.push_back(n.left);
+    queue.push_back(n.right);
+  }
+
+  const std::size_t num_internal = order.size();
+  out.feature_.reserve(num_internal);
+  out.threshold_.reserve(num_internal);
+  out.left_.reserve(num_internal);
+  out.right_.reserve(num_internal);
+  out.nan_left_.reserve(num_internal);
+
+  auto encode_child = [&](std::size_t orig_child) -> std::int32_t {
+    const Node& child = nodes[orig_child];
+    if (!child.is_leaf()) {
+      return static_cast<std::int32_t>(compiled_index[orig_child]);
+    }
+    const auto slot = static_cast<std::int32_t>(out.leaf_uncertainty_.size());
+    out.leaf_uncertainty_.push_back(child.uncertainty);
+    out.leaf_node_index_.push_back(static_cast<std::uint32_t>(orig_child));
+    return ~slot;
+  };
+
+  for (const std::size_t orig : order) {
+    const Node& n = nodes[orig];
+    out.feature_.push_back(static_cast<std::uint16_t>(n.feature));
+    out.threshold_.push_back(n.threshold);
+    out.left_.push_back(encode_child(n.left));
+    out.right_.push_back(encode_child(n.right));
+    // NaN routing decided once per split: ties go right, like a false
+    // comparison did before the policy existed (see DecisionTree::route).
+    out.nan_left_.push_back(submax[n.left] > submax[n.right] ? 1 : 0);
+  }
+  out.build_children();
+  return out;
+}
+
+void CompiledTree::build_children() {
+  children_.resize(2 * left_.size());
+  for (std::size_t i = 0; i < left_.size(); ++i) {
+    children_[2 * i] = right_[i];      // go_left == 0
+    children_[2 * i + 1] = left_[i];   // go_left == 1
+  }
+}
+
+// Branchless split decision: `v <= t` is false for NaN, so NaN falls
+// through to the precomputed nan-left bit ((v != v) is the inlined isnan).
+// Returns 0/1 so the caller can select the child by indexed load.
+inline std::size_t split_left(double v, double threshold,
+                              std::uint8_t nan_left) {
+  return static_cast<std::size_t>((v <= threshold) |
+                                  ((v != v) & (nan_left != 0)));
+}
+
+std::size_t CompiledTree::route(std::span<const double> x) const noexcept {
+  if (threshold_.empty()) return 0;  // single leaf
+  // Single-sample walks keep the conditional select on left_/right_: the
+  // serial dependence chain benefits from the CPU speculating the next
+  // level, which the batched kernel's indexed child load deliberately
+  // avoids (one walk has nothing else to overlap with).
+  std::int32_t i = 0;
+  do {
+    const auto at = static_cast<std::size_t>(i);
+    const double v = x[feature_[at]];
+    i = split_left(v, threshold_[at], nan_left_[at]) != 0 ? left_[at]
+                                                          : right_[at];
+  } while (i >= 0);
+  return static_cast<std::size_t>(~i);
+}
+
+CompiledTree::MarginRoute CompiledTree::route_with_margin(
+    std::span<const double> x) const noexcept {
+  MarginRoute result;
+  if (threshold_.empty()) return result;  // no splits: margin stays +inf
+  std::int32_t i = 0;
+  do {
+    const double v = x[feature_[i]];
+    bool go_left;
+    if (std::isnan(v)) {
+      go_left = nan_left_[i] != 0;
+      result.min_margin = 0.0;
+    } else {
+      go_left = v <= threshold_[i];
+      result.min_margin =
+          std::min(result.min_margin, std::abs(v - threshold_[i]));
+    }
+    i = go_left ? left_[i] : right_[i];
+  } while (i >= 0);
+  result.leaf = static_cast<std::size_t>(~i);
+  return result;
+}
+
+// The shared level-synchronous block kernel behind route_batch and
+// predict_batch. Blocks are small enough that the block's rows and cursors
+// stay L1-resident across all levels; within a block, each level pass
+// advances every sample one step. The per-sample load-compare chains inside
+// a pass are independent, so they overlap instead of serializing like the
+// one-sample-at-a-time walk. Cursors live in a block-local stack array:
+// >= 0 is an internal node, < 0 an encoded leaf. (Keeping them on the stack
+// matters - storing through an int32 output span could alias the int32
+// child array, forcing the compiler to reload tree data after every cursor
+// store.) `Emit` receives (global sample index, final cursor).
+template <typename Emit>
+void CompiledTree::route_blocks(std::span<const double> samples,
+                                std::size_t n, Emit&& emit) const {
+  constexpr std::size_t kBlock = 64;
+  std::int32_t cursor[kBlock];
+  const std::uint16_t* feature = feature_.data();
+  const double* threshold = threshold_.data();
+  const std::int32_t* children = children_.data();
+  const std::uint8_t* nan_left = nan_left_.data();
+  // `len` is a template parameter for full blocks so the inner loop has a
+  // compile-time trip count (the unroller does measurably better), with
+  // the same code instantiated once more for the runtime-length tail.
+  const auto run_block = [&](std::size_t base, auto len_c) {
+    const std::size_t len = len_c;
+    std::fill(cursor, cursor + len, 0);
+    for (std::size_t level = 0; level < max_depth_; ++level) {
+      const double* row = samples.data() + base * num_features_;
+      for (std::size_t k = 0; k < len; ++k, row += num_features_) {
+        const std::int32_t i = cursor[k];
+        // Fully branchless level step: split outcomes on fresh inputs are
+        // near coin flips, so any data-dependent branch here mispredicts
+        // about every other sample. `done` masks finished samples (their
+        // cursor already encodes a leaf): they re-evaluate the root
+        // harmlessly and keep their value via the blend, and the child is
+        // selected by indexed load rather than a conditional.
+        const std::int32_t done = i >> 31;  // all ones once at a leaf
+        const auto at = static_cast<std::size_t>(i & ~done);
+        const double v = row[feature[at]];
+        const std::int32_t next =
+            children[2 * at + split_left(v, threshold[at], nan_left[at])];
+        cursor[k] = (next & ~done) | (i & done);
+      }
+    }
+    for (std::size_t k = 0; k < len; ++k) emit(base + k, cursor[k]);
+  };
+  std::size_t base = 0;
+  for (; base + kBlock <= n; base += kBlock) {
+    run_block(base, std::integral_constant<std::size_t, kBlock>{});
+  }
+  if (base < n) run_block(base, n - base);
+}
+
+void CompiledTree::route_batch(std::span<const double> samples,
+                               std::span<std::uint32_t> out_leaves) const {
+  const std::size_t n = out_leaves.size();
+  if (samples.size() != n * num_features_) {
+    throw std::invalid_argument(
+        "CompiledTree::route_batch: samples is not an n x num_features "
+        "matrix");
+  }
+  if (threshold_.empty()) {
+    std::fill(out_leaves.begin(), out_leaves.end(), 0U);
+    return;
+  }
+  route_blocks(samples, n, [&](std::size_t s, std::int32_t cursor) {
+    out_leaves[s] = static_cast<std::uint32_t>(~cursor);
+  });
+}
+
+void CompiledTree::predict_batch(std::span<const double> samples,
+                                 std::span<double> out) const {
+  const std::size_t n = out.size();
+  if (samples.size() != n * num_features_) {
+    throw std::invalid_argument(
+        "CompiledTree::predict_batch: samples is not an n x num_features "
+        "matrix");
+  }
+  if (threshold_.empty()) {
+    std::fill(out.begin(), out.end(), leaf_uncertainty_[0]);
+    return;
+  }
+  const double* leaf_uncertainty = leaf_uncertainty_.data();
+  route_blocks(samples, n, [&](std::size_t s, std::int32_t cursor) {
+    out[s] = leaf_uncertainty[~cursor];
+  });
+}
+
+CompiledTree CompiledTree::from_arrays(
+    std::size_t num_features, std::vector<std::uint16_t> features,
+    std::vector<double> thresholds, std::vector<std::int32_t> left,
+    std::vector<std::int32_t> right, std::vector<std::uint8_t> nan_left,
+    std::vector<double> leaf_uncertainties,
+    std::vector<std::uint32_t> leaf_node_indices) {
+  const std::size_t num_internal = thresholds.size();
+  const std::size_t num_leaves = leaf_uncertainties.size();
+  if (features.size() != num_internal || left.size() != num_internal ||
+      right.size() != num_internal || nan_left.size() != num_internal ||
+      leaf_node_indices.size() != num_leaves) {
+    throw std::invalid_argument("CompiledTree: array lengths disagree");
+  }
+  if (num_leaves == 0) {
+    throw std::invalid_argument("CompiledTree: no leaves");
+  }
+  if (num_internal == 0 && num_leaves != 1) {
+    throw std::invalid_argument(
+        "CompiledTree: a tree without splits must have exactly one leaf");
+  }
+  if (num_internal != 0 && num_leaves != num_internal + 1) {
+    throw std::invalid_argument(
+        "CompiledTree: a binary tree with k splits has k + 1 leaves");
+  }
+  CompiledTree out;
+  out.num_features_ = num_features;
+  // Forward-only child validation doubles as the acyclicity check: every
+  // edge strictly increases the node index, so no walk can revisit a node.
+  // Single-parenthood must be enforced too - a DAG where two parents share
+  // a child satisfies the forward-only rule but makes the depth derivation
+  // below underestimate max_depth_, and a batched route that stops short
+  // of a leaf turns into an out-of-bounds leaf index. With 2*k edges for
+  // k internal nodes and k+1 leaves, capping every reference count at one
+  // forces exactly one parent per non-root node. Depth is re-derived in
+  // the same pass (children come after parents, and with a unique parent a
+  // node's depth is final before its children are visited).
+  std::vector<std::size_t> depth(num_internal, 0);
+  std::vector<std::uint8_t> internal_refs(num_internal, 0);
+  std::vector<std::uint8_t> leaf_refs(num_leaves, 0);
+  for (std::size_t i = 0; i < num_internal; ++i) {
+    if (features[i] >= num_features) {
+      throw std::invalid_argument("CompiledTree: split feature out of range");
+    }
+    for (const std::int32_t child : {left[i], right[i]}) {
+      if (child >= 0) {
+        const auto c = static_cast<std::size_t>(child);
+        if (c <= i || c >= num_internal) {
+          throw std::invalid_argument(
+              "CompiledTree: internal child index must be a forward "
+              "in-range reference");
+        }
+        if (internal_refs[c]++ != 0) {
+          throw std::invalid_argument(
+              "CompiledTree: internal node has more than one parent");
+        }
+        depth[c] = depth[i] + 1;
+      } else {
+        const auto slot = static_cast<std::size_t>(~child);
+        if (slot >= num_leaves) {
+          throw std::invalid_argument(
+              "CompiledTree: leaf slot out of range");
+        }
+        if (leaf_refs[slot]++ != 0) {
+          throw std::invalid_argument(
+              "CompiledTree: leaf slot has more than one parent");
+        }
+      }
+    }
+    out.max_depth_ = std::max(out.max_depth_, depth[i] + 1);
+  }
+  out.feature_ = std::move(features);
+  out.threshold_ = std::move(thresholds);
+  out.left_ = std::move(left);
+  out.right_ = std::move(right);
+  out.nan_left_ = std::move(nan_left);
+  out.leaf_uncertainty_ = std::move(leaf_uncertainties);
+  out.leaf_node_index_ = std::move(leaf_node_indices);
+  out.build_children();
+  return out;
+}
+
+}  // namespace tauw::dtree

@@ -1,0 +1,162 @@
+#pragma once
+// Flattened, immutable decision-tree representation for the inference hot
+// path.
+//
+// DecisionTree is the transparent, mutable training/audit structure: an
+// array of 64-byte Nodes walked one sample at a time. Every uncertainty
+// estimate the wrapper produces bottoms out in that walk, so the serving
+// path compiles the tree once into a structure-of-arrays form:
+//
+//   * internal nodes renumbered in breadth-first order, split data stored
+//     as parallel arrays (uint16 feature, double threshold, int32 children),
+//   * leaves packed separately: child slots < 0 encode a leaf as ~slot, and
+//     leaf slot -> calibrated uncertainty is one dense double array,
+//   * the structure is validated once at compile time (shared with
+//     DecisionTree's constructor: children in bounds, acyclic, features <
+//     num_features), so traversal is branch-light and unchecked,
+//   * a level-synchronous route_batch advances a whole batch of samples one
+//     level per pass - the per-sample dependency chains interleave, hiding
+//     the latency that serializes the pointer tree's walk.
+//
+// NaN policy (shared with DecisionTree::route): a NaN feature routes to the
+// child whose subtree guarantees the higher maximum uncertainty, ties going
+// right; the decision is precomputed per split so the NaN path costs one
+// branch. Outputs are bit-identical to the pointer tree on every input.
+//
+// route_with_margin additionally reports the smallest split margin
+// |x[feature] - threshold| along the routing path: the distance to the
+// nearest hard decision boundary, the per-sample diagnostic motivated by
+// Gerber, Joeckel & Klaes (arXiv:2201.03263) - samples with a tiny margin
+// sit on a calibration cliff and deserve scrutiny even when the leaf's
+// bound looks comfortable. A NaN feature contributes margin 0.0 (for all we
+// know the sample is on the boundary); a single-leaf tree has no splits and
+// reports +infinity.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dtree/tree.hpp"
+
+namespace tauw::dtree {
+
+class CompiledTree {
+ public:
+  /// Leaf index plus the smallest |x[feature] - threshold| along the path.
+  struct MarginRoute {
+    std::size_t leaf = 0;  ///< leaf slot, as returned by route()
+    double min_margin = std::numeric_limits<double>::infinity();
+  };
+
+  CompiledTree() = default;  ///< empty; compile() produces usable trees
+
+  /// Flattens `tree` after re-validating its structure (the pointer tree is
+  /// mutable, so compile cannot trust the constructor-time check). Throws
+  /// std::invalid_argument on structural violations or > 65535 features.
+  static CompiledTree compile(const DecisionTree& tree);
+
+  bool empty() const noexcept { return leaf_uncertainty_.empty(); }
+  std::size_t num_features() const noexcept { return num_features_; }
+  std::size_t num_internal() const noexcept { return threshold_.size(); }
+  std::size_t num_leaves() const noexcept { return leaf_uncertainty_.size(); }
+  /// Number of splits on the longest root-to-leaf path (0 = single leaf).
+  std::size_t max_depth() const noexcept { return max_depth_; }
+
+  /// Leaf slot (0..num_leaves-1) reached by `x` (size num_features()).
+  /// Unchecked: the structure was validated at compile time.
+  std::size_t route(std::span<const double> x) const noexcept;
+
+  /// Calibrated uncertainty of the leaf reached by `x`.
+  double predict(std::span<const double> x) const noexcept {
+    return leaf_uncertainty_[route(x)];
+  }
+
+  /// route() plus the minimum split margin along the path (see file header).
+  MarginRoute route_with_margin(std::span<const double> x) const noexcept;
+
+  /// Level-synchronous batched routing: `samples` is a row-major
+  /// n x num_features matrix, `out_leaves` (size n) receives the leaf slot
+  /// per row. Bit-identical to calling route() per row.
+  void route_batch(std::span<const double> samples,
+                   std::span<std::uint32_t> out_leaves) const;
+
+  /// Batched routing with the leaf-uncertainty gather fused into the block
+  /// epilogue (no intermediate leaf-index pass). Bit-identical to predict()
+  /// per row.
+  void predict_batch(std::span<const double> samples,
+                     std::span<double> out) const;
+
+  /// Calibrated uncertainty of a leaf slot.
+  double leaf_uncertainty(std::size_t slot) const {
+    return leaf_uncertainty_.at(slot);
+  }
+  /// The DecisionTree node index a leaf slot was compiled from - maps
+  /// compiled results back to the transparent tree for audit output.
+  std::size_t leaf_node_index(std::size_t slot) const {
+    return leaf_node_index_.at(slot);
+  }
+
+  // Raw array access for serialization (dtree/serialize.*). Children >= 0
+  // are internal-node indices (always > the parent's: breadth-first order
+  // makes the arrays forward-only, which read-side validation relies on);
+  // children < 0 encode leaf slots as ~slot.
+  std::span<const std::uint16_t> features() const noexcept { return feature_; }
+  std::span<const double> thresholds() const noexcept { return threshold_; }
+  std::span<const std::int32_t> left_children() const noexcept {
+    return left_;
+  }
+  std::span<const std::int32_t> right_children() const noexcept {
+    return right_;
+  }
+  std::span<const std::uint8_t> nan_left() const noexcept { return nan_left_; }
+  std::span<const double> leaf_uncertainties() const noexcept {
+    return leaf_uncertainty_;
+  }
+  std::span<const std::uint32_t> leaf_node_indices() const noexcept {
+    return leaf_node_index_;
+  }
+
+  /// Reassembles a tree from its arrays (the binary deserialization path),
+  /// re-deriving max_depth and validating: internal arrays same length,
+  /// child indices forward-only and in range, leaf slots in range, at least
+  /// one leaf. Throws std::invalid_argument on violations.
+  static CompiledTree from_arrays(std::size_t num_features,
+                                  std::vector<std::uint16_t> features,
+                                  std::vector<double> thresholds,
+                                  std::vector<std::int32_t> left,
+                                  std::vector<std::int32_t> right,
+                                  std::vector<std::uint8_t> nan_left,
+                                  std::vector<double> leaf_uncertainties,
+                                  std::vector<std::uint32_t> leaf_node_indices);
+
+ private:
+  /// Rebuilds the interleaved child-pair array from left_/right_.
+  void build_children();
+
+  /// The level-synchronous block kernel shared by route_batch and
+  /// predict_batch; calls `emit(sample_index, final_cursor)` per sample.
+  template <typename Emit>
+  void route_blocks(std::span<const double> samples, std::size_t n,
+                    Emit&& emit) const;
+
+  std::size_t num_features_ = 0;
+  std::size_t max_depth_ = 0;
+  // Internal nodes, breadth-first order (index 0 = root when non-leaf).
+  std::vector<std::uint16_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<std::uint8_t> nan_left_;  ///< 1 = NaN routes left at this split
+  /// [right, left] per node: children_[2 * i + go_left]. Routing selects
+  /// the child by indexed load instead of a data-dependent branch - split
+  /// outcomes on fresh quality factors are close to coin flips, and a
+  /// mispredict per level costs more than the whole level.
+  std::vector<std::int32_t> children_;
+  // Leaves, in breadth-first discovery order.
+  std::vector<double> leaf_uncertainty_;
+  std::vector<std::uint32_t> leaf_node_index_;
+};
+
+}  // namespace tauw::dtree

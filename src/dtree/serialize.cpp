@@ -1,6 +1,10 @@
 #include "dtree/serialize.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <istream>
+#include <iterator>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -86,6 +90,141 @@ DecisionTree read_tree(std::istream& in) {
 DecisionTree from_string(const std::string& text) {
   std::istringstream is(text);
   return read_tree(is);
+}
+
+// ---- binary compiled-tree format -------------------------------------------
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'t', 'a', 'u', 'w', 'C', 'T', 'B', '1'};
+
+// Little-endian byte-at-a-time emit/parse: the file layout never depends on
+// the host's endianness or struct padding.
+void put_u16(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xFF),
+                         static_cast<char>((v >> 8) & 0xFF)};
+  out.write(bytes, 2);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(bytes, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(bytes, 8);
+}
+
+std::uint16_t get_u16(std::istream& in) {
+  unsigned char bytes[2];
+  in.read(reinterpret_cast<char*>(bytes), 2);
+  if (!in) throw std::runtime_error("read_compiled_tree: truncated input");
+  return static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) throw std::runtime_error("read_compiled_tree: truncated input");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  unsigned char bytes[8];
+  in.read(reinterpret_cast<char*>(bytes), 8);
+  if (!in) throw std::runtime_error("read_compiled_tree: truncated input");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void write_compiled_tree(std::ostream& out, const CompiledTree& tree) {
+  if (tree.empty()) {
+    throw std::invalid_argument("write_compiled_tree: empty tree");
+  }
+  out.write(kBinaryMagic, sizeof kBinaryMagic);
+  put_u32(out, static_cast<std::uint32_t>(tree.num_features()));
+  put_u32(out, static_cast<std::uint32_t>(tree.num_internal()));
+  put_u32(out, static_cast<std::uint32_t>(tree.num_leaves()));
+  for (const std::uint16_t f : tree.features()) put_u16(out, f);
+  for (const double t : tree.thresholds()) put_u64(out, std::bit_cast<std::uint64_t>(t));
+  for (const std::int32_t c : tree.left_children()) {
+    put_u32(out, static_cast<std::uint32_t>(c));
+  }
+  for (const std::int32_t c : tree.right_children()) {
+    put_u32(out, static_cast<std::uint32_t>(c));
+  }
+  for (const std::uint8_t b : tree.nan_left()) {
+    out.put(static_cast<char>(b));
+  }
+  for (const double u : tree.leaf_uncertainties()) {
+    put_u64(out, std::bit_cast<std::uint64_t>(u));
+  }
+  for (const std::uint32_t i : tree.leaf_node_indices()) put_u32(out, i);
+}
+
+std::string to_binary(const CompiledTree& tree) {
+  std::ostringstream os(std::ios::binary);
+  write_compiled_tree(os, tree);
+  return os.str();
+}
+
+CompiledTree read_compiled_tree(std::istream& in) {
+  char magic[sizeof kBinaryMagic];
+  in.read(magic, sizeof magic);
+  if (!in || !std::equal(std::begin(magic), std::end(magic),
+                         std::begin(kBinaryMagic))) {
+    throw std::runtime_error("read_compiled_tree: bad magic");
+  }
+  const std::uint32_t num_features = get_u32(in);
+  const std::uint32_t num_internal = get_u32(in);
+  const std::uint32_t num_leaves = get_u32(in);
+  // A binary tree with k splits has k + 1 leaves; reject absurd counts
+  // before allocating (a corrupted header must not OOM the reader).
+  constexpr std::uint32_t kMaxNodes = 1U << 24;
+  if (num_leaves == 0 || num_leaves > kMaxNodes || num_internal > kMaxNodes) {
+    throw std::runtime_error("read_compiled_tree: implausible node counts");
+  }
+  std::vector<std::uint16_t> features(num_internal);
+  std::vector<double> thresholds(num_internal);
+  std::vector<std::int32_t> left(num_internal);
+  std::vector<std::int32_t> right(num_internal);
+  std::vector<std::uint8_t> nan_left(num_internal);
+  std::vector<double> leaf_uncertainties(num_leaves);
+  std::vector<std::uint32_t> leaf_node_indices(num_leaves);
+  for (auto& f : features) f = get_u16(in);
+  for (auto& t : thresholds) t = std::bit_cast<double>(get_u64(in));
+  for (auto& c : left) c = static_cast<std::int32_t>(get_u32(in));
+  for (auto& c : right) c = static_cast<std::int32_t>(get_u32(in));
+  for (auto& b : nan_left) {
+    const int ch = in.get();
+    if (ch == std::char_traits<char>::eof()) {
+      throw std::runtime_error("read_compiled_tree: truncated input");
+    }
+    b = static_cast<std::uint8_t>(ch);
+  }
+  for (auto& u : leaf_uncertainties) u = std::bit_cast<double>(get_u64(in));
+  for (auto& i : leaf_node_indices) i = get_u32(in);
+  try {
+    return CompiledTree::from_arrays(
+        num_features, std::move(features), std::move(thresholds),
+        std::move(left), std::move(right), std::move(nan_left),
+        std::move(leaf_uncertainties), std::move(leaf_node_indices));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("read_compiled_tree: ") + e.what());
+  }
+}
+
+CompiledTree compiled_from_binary(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return read_compiled_tree(is);
 }
 
 }  // namespace tauw::dtree

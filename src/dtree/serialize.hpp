@@ -1,19 +1,33 @@
 #pragma once
-// Serialization of decision trees to a line-based text format.
+// Serialization of decision trees: a line-based text format for the
+// transparent pointer tree and a binary format for the compiled tree.
 //
 // Deployment of a calibrated quality impact model requires moving the frozen
-// tree from the calibration environment into the runtime monitor. The format
-// is stable, human-auditable (a certification concern for the transparent
-// QIM), and round-trips exactly: doubles are emitted with max_digits10.
+// tree from the calibration environment into the runtime monitor. The text
+// format is stable, human-auditable (a certification concern for the
+// transparent QIM), and round-trips exactly: doubles are emitted with
+// max_digits10.
 //
-// Format (one node per line, preorder, indices implicit):
+// Text format (one node per line, preorder, indices implicit):
 //   tauw-dtree v1 <num_nodes> <num_features>
 //   split <feature> <threshold> <left> <right> <train_count> <train_failures>
 //   leaf <uncertainty> <train_count> <train_failures>
+//
+// Binary format (compiled trees, for serving nodes that never need to edit
+// the model): every multi-byte field is written little-endian byte by byte,
+// doubles as their IEEE-754 bit pattern, so files read identically on any
+// host endianness.
+//   "tauwCTB1" magic (8 bytes)
+//   u32 num_features, u32 num_internal, u32 num_leaves
+//   u16 feature[num_internal]        u64-bits threshold[num_internal]
+//   i32 left[num_internal]           i32 right[num_internal]
+//   u8  nan_left[num_internal]
+//   u64-bits leaf_uncertainty[num_leaves]   u32 leaf_node_index[num_leaves]
 
 #include <iosfwd>
 #include <string>
 
+#include "dtree/compiled_tree.hpp"
 #include "dtree/tree.hpp"
 
 namespace tauw::dtree {
@@ -31,5 +45,20 @@ DecisionTree read_tree(std::istream& in);
 
 /// Parses from a string.
 DecisionTree from_string(const std::string& text);
+
+/// Writes `tree` in the endian-stable binary format. Throws
+/// std::invalid_argument for an empty (default-constructed) tree.
+void write_compiled_tree(std::ostream& out, const CompiledTree& tree);
+
+/// Serializes a compiled tree to a binary string.
+std::string to_binary(const CompiledTree& tree);
+
+/// Parses a compiled tree previously produced by write_compiled_tree,
+/// re-validating the structure (CompiledTree::from_arrays). Throws
+/// std::runtime_error on malformed input.
+CompiledTree read_compiled_tree(std::istream& in);
+
+/// Parses a compiled tree from a binary string.
+CompiledTree compiled_from_binary(const std::string& bytes);
 
 }  // namespace tauw::dtree

@@ -1,6 +1,7 @@
 #include "dtree/tree.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
@@ -16,24 +17,55 @@ void TreeDataset::push_back(std::span<const double> row, bool failure) {
   failures.push_back(failure ? 1 : 0);
 }
 
-DecisionTree::DecisionTree(std::vector<Node> nodes, std::size_t num_features)
-    : nodes_(std::move(nodes)), num_features_(num_features) {
-  if (nodes_.empty()) {
+std::size_t validate_tree_structure(std::span<const Node> nodes,
+                                    std::size_t num_features) {
+  if (nodes.empty()) {
     throw std::invalid_argument("DecisionTree requires at least a root");
   }
-  for (const Node& n : nodes_) {
+  for (const Node& n : nodes) {
     const bool both = n.left != Node::kNoChild && n.right != Node::kNoChild;
     const bool none = n.left == Node::kNoChild && n.right == Node::kNoChild;
     if (!both && !none) {
       throw std::invalid_argument("DecisionTree: half-open node");
     }
-    if (both && (n.left >= nodes_.size() || n.right >= nodes_.size())) {
+    if (both && (n.left >= nodes.size() || n.right >= nodes.size())) {
       throw std::invalid_argument("DecisionTree: child index out of range");
     }
-    if (both && n.feature >= num_features_) {
+    if (both && n.feature >= num_features) {
       throw std::invalid_argument("DecisionTree: split feature out of range");
     }
   }
+  // Walk the reachable subgraph once. In a proper binary tree every node is
+  // discovered at most once; a second discovery means a self-loop, a cycle,
+  // or two parents sharing a child - all of which would break unchecked
+  // traversal (route no longer terminates, or counts double).
+  std::vector<std::uint8_t> seen(nodes.size(), 0);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, depth)
+  stack.emplace_back(0, 0);
+  seen[0] = 1;
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [i, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& n = nodes[i];
+    if (n.is_leaf()) continue;
+    for (const std::size_t child : {n.left, n.right}) {
+      if (seen[child]) {
+        throw std::invalid_argument(
+            "DecisionTree: node " + std::to_string(child) +
+            " is reachable twice (cycle or shared subtree)");
+      }
+      seen[child] = 1;
+      stack.emplace_back(child, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+DecisionTree::DecisionTree(std::vector<Node> nodes, std::size_t num_features)
+    : nodes_(std::move(nodes)), num_features_(num_features) {
+  validate_tree_structure(nodes_, num_features_);
 }
 
 std::size_t DecisionTree::num_leaves() const noexcept {
@@ -53,15 +85,30 @@ std::size_t DecisionTree::depth() const noexcept {
   return walk(0);
 }
 
+double DecisionTree::subtree_max_uncertainty(std::size_t i) const {
+  const Node& n = nodes_.at(i);
+  if (n.is_leaf()) return n.uncertainty;
+  return std::max(subtree_max_uncertainty(n.left),
+                  subtree_max_uncertainty(n.right));
+}
+
 std::size_t DecisionTree::route(std::span<const double> x) const {
   if (nodes_.empty()) throw std::logic_error("route on empty tree");
   if (x.size() != num_features_) {
     throw std::invalid_argument("route: feature count mismatch");
   }
+  // The constructor validated the structure (children in range, acyclic), so
+  // traversal is unchecked. NaN routes to the higher-uncertainty child (see
+  // the header); the subtree walk only runs on the exceptional NaN path.
   std::size_t i = 0;
   while (!nodes_[i].is_leaf()) {
     const Node& n = nodes_[i];
-    i = x[n.feature] <= n.threshold ? n.left : n.right;
+    const double v = x[n.feature];
+    const bool go_left =
+        std::isnan(v)
+            ? subtree_max_uncertainty(n.left) > subtree_max_uncertainty(n.right)
+            : v <= n.threshold;
+    i = go_left ? n.left : n.right;
   }
   return i;
 }

@@ -36,7 +36,8 @@ struct Node {
   static constexpr std::size_t kNoChild = static_cast<std::size_t>(-1);
 
   std::size_t feature = 0;        ///< split feature (internal nodes)
-  double threshold = 0.0;         ///< go left if x[feature] <= threshold
+  double threshold = 0.0;         ///< go left if x[feature] <= threshold (NaN
+                                  ///< routes to the higher-uncertainty child)
   std::size_t left = kNoChild;
   std::size_t right = kNoChild;
 
@@ -48,6 +49,22 @@ struct Node {
 
   bool is_leaf() const noexcept { return left == kNoChild; }
 };
+
+/// Validates the structural invariants shared by DecisionTree's constructor
+/// and CompiledTree::compile, once, so traversal can stay unchecked:
+///
+///   * at least a root node,
+///   * every node has either two children or none (no half-open nodes),
+///   * child indices are in range and split features are < num_features,
+///   * the subgraph reachable from the root is a proper tree: acyclic, and
+///     no node has two parents (rejects self-loops and shared subtrees).
+///
+/// Nodes unreachable from the root are tolerated (pruning leaves orphans
+/// behind until compact() runs) but still bounds-checked. Returns the depth
+/// of the reachable tree (0 for a single leaf). Throws std::invalid_argument
+/// on any violation.
+std::size_t validate_tree_structure(std::span<const Node> nodes,
+                                    std::size_t num_features);
 
 class DecisionTree {
  public:
@@ -65,10 +82,21 @@ class DecisionTree {
   std::span<const Node> nodes() const noexcept { return nodes_; }
 
   /// Index of the leaf reached by `x` (size num_features()).
+  ///
+  /// NaN policy: a NaN quality factor carries no evidence, so the dependable
+  /// bound must not shrink because of it - routing follows the child whose
+  /// subtree guarantees the higher maximum uncertainty (ties go right, the
+  /// side a false comparison picked before the policy existed). The
+  /// CompiledTree precomputes the same decision per split, so both paths
+  /// stay bit-identical on NaN inputs.
   std::size_t route(std::span<const double> x) const;
 
   /// Calibrated uncertainty of the leaf reached by `x`.
   double predict_uncertainty(std::span<const double> x) const;
+
+  /// The largest calibrated uncertainty in the subtree rooted at `i` (the
+  /// NaN-routing tiebreaker; exposed for CompiledTree and tests).
+  double subtree_max_uncertainty(std::size_t i) const;
 
   /// Indices of all leaf nodes in routing order.
   std::vector<std::size_t> leaf_indices() const;

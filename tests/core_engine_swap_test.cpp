@@ -1,0 +1,415 @@
+// Tests for the compiled QIM inference plane at the core/engine layers:
+// QualityImpactModel's compiled predict/predict_batch/margin surface, and
+// Engine::swap_models - validation, generation attribution, session
+// continuity across swaps, and (the TSan target) zero-downtime swapping
+// under concurrent step_batch traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/estimator.hpp"
+#include "core/fusion.hpp"
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    const bool base = f[0] > 0.5F;
+    const bool flip = f[1] > 0.5F;
+    p.label = (base != flip) ? 1 : 0;
+    p.confidence = 0.99F;
+    return p;
+  }
+};
+
+data::FrameRecord make_frame(float signal, float deficit) {
+  data::FrameRecord rec;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+// Fits one (QIM, taQIM) pair from `seed`. Different seeds produce different
+// calibration splits and therefore different Clopper-Pearson bounds - the
+// "recalibrated model" a swap publishes.
+struct ModelPair {
+  std::shared_ptr<QualityImpactModel> qim =
+      std::make_shared<QualityImpactModel>();
+  std::shared_ptr<QualityImpactModel> taqim =
+      std::make_shared<QualityImpactModel>();
+};
+
+struct ToyWorld {
+  std::shared_ptr<ToyDdm> ddm = std::make_shared<ToyDdm>();
+  QualityFactorExtractor qf{28.0};
+  ModelPair gen1 = fit_pair(3);
+  ModelPair gen2 = fit_pair(7919);
+
+  ModelPair fit_pair(std::uint64_t seed) const {
+    ModelPair pair;
+    stats::Rng rng(seed);
+    dtree::TreeDataset train;
+    dtree::TreeDataset calib;
+    for (std::size_t i = 0; i < 2000; ++i) {
+      const float signal = rng.bernoulli(0.5) ? 0.9F : 0.1F;
+      const float deficit = rng.bernoulli(0.3) ? 0.9F : 0.0F;
+      const std::size_t label = signal > 0.5F ? 1 : 0;
+      const data::FrameRecord rec = make_frame(signal, deficit);
+      const bool fail = ddm->predict(rec.features).label != label;
+      (i % 2 == 0 ? train : calib).push_back(qf.extract(rec), fail);
+    }
+    QimConfig cfg;
+    cfg.cart.max_depth = 4;
+    cfg.calibration.min_leaf_samples = 40;
+    pair.qim->fit(train, calib, cfg, qf.names());
+
+    const TaFeatureBuilder builder(qf.num_factors(), TaqfSet::all());
+    const MajorityVoteFusion fusion;
+    stats::Rng srng(seed + 11);
+    dtree::TreeDataset ta_train;
+    dtree::TreeDataset ta_calib;
+    std::vector<double> features(builder.dim());
+    for (int series = 0; series < 400; ++series) {
+      const std::size_t label = srng.bernoulli(0.5) ? 1 : 0;
+      const float signal = label == 1 ? 0.9F : 0.1F;
+      const bool bad_quality = srng.bernoulli(0.3);
+      TimeseriesBuffer buffer;
+      for (int t = 0; t < 5; ++t) {
+        const float deficit = bad_quality && srng.bernoulli(0.8) ? 0.9F : 0.0F;
+        const data::FrameRecord rec = make_frame(signal, deficit);
+        const auto pred = ddm->predict(rec.features);
+        buffer.push(pred.label, pair.qim->predict(qf.extract(rec)));
+        const std::size_t fused = fusion.fuse(buffer);
+        builder.build_into(qf.extract(rec), buffer, fused, features);
+        (series % 2 == 0 ? ta_train : ta_calib)
+            .push_back(features, fused != label);
+      }
+    }
+    pair.taqim->fit(ta_train, ta_calib, cfg, builder.names(qf.names()));
+    return pair;
+  }
+
+  EngineComponents components() const {
+    EngineComponents c;
+    c.ddm = ddm;
+    c.qf_extractor = qf;
+    c.qim = gen1.qim;
+    c.taqim = gen1.taqim;
+    return c;
+  }
+};
+
+ToyWorld& world() {
+  static ToyWorld w;
+  return w;
+}
+
+data::FrameRecord frame_for(SessionId id, std::size_t t) {
+  const std::uint64_t h = (id * 31 + t * 7) % 10;
+  return make_frame(h < 5 ? 0.9F : 0.1F, (h % 3 == 0) ? 0.9F : 0.0F);
+}
+
+// -- QualityImpactModel compiled surface -------------------------------------
+
+TEST(QimCompiled, PredictMatchesThePointerTreeOracle) {
+  const auto& qim = *world().gen1.qim;
+  stats::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> qfs(qim.num_features());
+    for (auto& v : qfs) v = rng.uniform();
+    // The pointer tree is the equivalence oracle; predict serves from the
+    // compiled tree and must agree bit-for-bit.
+    EXPECT_EQ(qim.predict(qfs), qim.tree().predict_uncertainty(qfs));
+  }
+}
+
+TEST(QimCompiled, PredictBatchMatchesSinglePredicts) {
+  const auto& qim = *world().gen1.qim;
+  stats::Rng rng(6);
+  const std::size_t n = 300;
+  std::vector<double> rows(n * qim.num_features());
+  for (auto& v : rows) v = rng.uniform();
+  std::vector<double> batched(n);
+  qim.predict_batch(rows, batched);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> row(rows.data() + i * qim.num_features(),
+                                      qim.num_features());
+    EXPECT_EQ(batched[i], qim.predict(row));
+  }
+}
+
+TEST(QimCompiled, MarginPredictionAgreesWithPredict) {
+  const auto& qim = *world().gen1.qim;
+  stats::Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> qfs(qim.num_features());
+    for (auto& v : qfs) v = rng.uniform();
+    const auto margin = qim.predict_with_margin(qfs);
+    EXPECT_EQ(margin.uncertainty, qim.predict(qfs));
+    EXPECT_GE(margin.min_margin, 0.0);
+    // The margin is the distance to the nearest split on the routing path:
+    // perturbing every feature by strictly less keeps every comparison on
+    // its side, so the routed leaf (and bound) cannot change. This is the
+    // hard-boundary robustness the diagnostic quantifies.
+    if (margin.min_margin > 1e-9 && std::isfinite(margin.min_margin)) {
+      for (const double sign : {1.0, -1.0}) {
+        std::vector<double> nudged = qfs;
+        for (auto& v : nudged) v += sign * margin.min_margin * 0.9;
+        EXPECT_EQ(qim.predict(nudged), margin.uncertainty);
+      }
+    }
+  }
+}
+
+TEST(QimCompiled, CompileRejectsUnfittedModels) {
+  QualityImpactModel unfitted;
+  EXPECT_THROW(unfitted.compile(), std::logic_error);
+  EXPECT_THROW(unfitted.predict_with_margin(std::vector<double>{}),
+               std::logic_error);
+}
+
+// -- swap validation ----------------------------------------------------------
+
+TEST(EngineSwap, RejectsIncompatibleModels) {
+  Engine engine(world().components(), {});
+  // Null / unfitted QIM.
+  EXPECT_THROW(engine.swap_models(nullptr, world().gen2.taqim),
+               std::invalid_argument);
+  EXPECT_THROW(engine.swap_models(std::make_shared<QualityImpactModel>(),
+                                  world().gen2.taqim),
+               std::invalid_argument);
+  // A taQIM-less swap on an engine serving the taUW estimator.
+  EXPECT_THROW(engine.swap_models(world().gen2.qim, nullptr),
+               std::invalid_argument);
+  // Wrong feature dimensionality: the taQIM offered as the stateless QIM.
+  EXPECT_THROW(engine.swap_models(world().gen2.taqim, world().gen2.taqim),
+               std::invalid_argument);
+  // A failed swap publishes nothing.
+  EXPECT_EQ(engine.model_generation(), 1u);
+  EXPECT_EQ(engine.stats().model_swaps, 0u);
+}
+
+TEST(EngineSwap, RejectsTaqimOnAnEngineBuiltWithoutOne) {
+  EngineComponents components = world().components();
+  components.taqim = nullptr;  // no taUW estimator in the registry
+  Engine engine(components, {});
+  EXPECT_THROW(engine.swap_models(world().gen2.qim, world().gen2.taqim),
+               std::invalid_argument);
+  EXPECT_NO_THROW(engine.swap_models(world().gen2.qim, nullptr));
+  EXPECT_EQ(engine.model_generation(), 2u);
+}
+
+// -- generation attribution & session continuity ------------------------------
+
+TEST(EngineSwap, StepsReportTheGenerationThatProducedThem) {
+  EngineConfig config;
+  config.num_shards = 4;
+  Engine engine(world().components(), config);
+
+  const EngineStepResult before = engine.step(1, frame_for(1, 0));
+  EXPECT_EQ(before.model_generation, 1u);
+  EXPECT_EQ(engine.model_generation(), 1u);
+
+  engine.swap_models(world().gen2.qim, world().gen2.taqim);
+  EXPECT_EQ(engine.model_generation(), 2u);
+  EXPECT_EQ(engine.stats().model_swaps, 1u);
+  EXPECT_EQ(engine.stats().model_generation, 2u);
+
+  const EngineStepResult after = engine.step(1, frame_for(1, 1));
+  EXPECT_EQ(after.model_generation, 2u);
+  // The session survived the swap: its series kept growing.
+  EXPECT_EQ(after.series_length, 2u);
+  EXPECT_FALSE(after.new_session);
+}
+
+TEST(EngineSwap, SwappedModelsActuallyServe) {
+  Engine engine(world().components(), {});
+  engine.swap_models(world().gen2.qim, world().gen2.taqim);
+
+  // The stateless uncertainty of a step must now come from gen2's QIM.
+  const data::FrameRecord frame = frame_for(9, 3);
+  std::vector<double> qfs(world().qf.num_factors());
+  world().qf.extract_into(frame, qfs);
+  const EngineStepResult result = engine.step(9, frame);
+  EXPECT_EQ(result.isolated.uncertainty, world().gen2.qim->predict(qfs));
+}
+
+TEST(EngineSwap, SwappingToTheSameModelsOnlyBumpsTheGeneration) {
+  Engine a(world().components(), {});
+  Engine b(world().components(), {});
+  b.swap_models(world().gen1.qim, world().gen1.taqim);
+
+  std::vector<SessionFrame> batch;
+  std::vector<data::FrameRecord> frames;
+  for (std::size_t t = 0; t < 6; ++t) {
+    for (SessionId id = 1; id <= 4; ++id) {
+      frames.push_back(frame_for(id, t));
+      batch.push_back({id, nullptr, nullptr});
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i].frame = &frames[i];
+  std::vector<EngineStepResult> ra;
+  std::vector<EngineStepResult> rb;
+  a.step_batch(batch, ra);
+  b.step_batch(batch, rb);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].model_generation, 1u);
+    EXPECT_EQ(rb[i].model_generation, 2u);
+    ASSERT_EQ(ra[i].estimates.size(), rb[i].estimates.size());
+    for (std::size_t k = 0; k < ra[i].estimates.size(); ++k) {
+      EXPECT_EQ(ra[i].estimates[k], rb[i].estimates[k]);
+    }
+    EXPECT_EQ(ra[i].decision, rb[i].decision);
+  }
+}
+
+TEST(EngineSwap, BatchedStepsUnderLruPressureStayAttributable) {
+  // Eviction mid-batch forces run flushes in the columnar path; every step
+  // must still resolve against exactly one generation and full estimates.
+  EngineConfig config;
+  config.max_sessions = 4;
+  config.num_shards = 2;
+  Engine engine(world().components(), config);
+
+  std::vector<data::FrameRecord> frames;
+  std::vector<SessionFrame> batch;
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (SessionId id = 1; id <= 24; ++id) {  // far over the cap; repeats too
+      frames.push_back(frame_for(id, t));
+      batch.push_back({id, nullptr, nullptr});
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i].frame = &frames[i];
+  std::vector<EngineStepResult> results;
+  engine.step_batch(batch, results);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const EngineStepResult& r : results) {
+    EXPECT_EQ(r.model_generation, 1u);
+    EXPECT_EQ(r.estimates.size(), engine.estimators().size());
+  }
+}
+
+TEST(EngineSwap, AddEstimatorAfterSwapServesThePublishedGeneration) {
+  // An estimator registered after a swap must be bound to the published
+  // models, not whatever it was constructed against - its estimates are
+  // stamped with the current generation.
+  EngineConfig config;
+  config.num_shards = 2;
+  Engine engine(world().components(), config);
+  engine.swap_models(world().gen2.qim, world().gen2.taqim);
+
+  engine.add_estimator(std::make_shared<TauwEstimator>(
+      world().gen1.taqim, world().qf.num_factors(), TaqfSet::all()));
+  const std::size_t added = engine.estimators().size() - 1;
+
+  const EngineStepResult result = engine.step(5, frame_for(5, 0));
+  EXPECT_EQ(result.model_generation, 2u);
+  // The added estimator was rebound to gen2, so it must agree with the
+  // engine's own (gen2-serving) taUW estimator bit for bit.
+  EXPECT_EQ(result.estimates[added],
+            result.estimates[engine.estimator_index("tauw")]);
+}
+
+// -- the TSan target: swaps under live batched traffic ------------------------
+
+TEST(EngineSwap, ConcurrentSwapsUnderStepBatchAreCleanAndAttributable) {
+  EngineConfig config;
+  config.num_shards = 8;
+  config.num_threads = 4;
+  config.max_sessions = 0;
+  Engine engine(world().components(), config);
+
+  constexpr std::size_t kStepThreads = 3;
+  constexpr std::size_t kBatches = 40;
+  constexpr std::size_t kSessionsPerThread = 16;
+  constexpr std::size_t kSwaps = 25;
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> min_seen{~0ULL};
+  std::atomic<std::uint64_t> max_seen{0};
+  std::vector<std::thread> steppers;
+  for (std::size_t thread = 0; thread < kStepThreads; ++thread) {
+    steppers.emplace_back([&, thread] {
+      while (!go.load()) std::this_thread::yield();
+      std::vector<data::FrameRecord> frames(kSessionsPerThread);
+      std::vector<SessionFrame> batch(kSessionsPerThread);
+      std::vector<EngineStepResult> results;
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+          const SessionId id = 1000 * (thread + 1) + s;
+          frames[s] = frame_for(id, b);
+          batch[s] = SessionFrame{id, &frames[s], nullptr};
+        }
+        engine.step_batch(batch, results);
+        std::uint64_t previous = 0;
+        for (const EngineStepResult& r : results) {
+          // Every step is attributable to exactly one live generation, and
+          // generations within one shard group never run backwards.
+          ASSERT_GE(r.model_generation, 1u);
+          ASSERT_LE(r.model_generation, kSwaps + 1);
+          if (engine.shard_of(r.session) ==
+              engine.shard_of(results.front().session)) {
+            ASSERT_GE(r.model_generation, previous);
+            previous = r.model_generation;
+          }
+          ASSERT_EQ(r.estimates.size(), engine.estimators().size());
+          for (const double estimate : r.estimates) {
+            ASSERT_GE(estimate, 0.0);
+            ASSERT_LE(estimate, 1.0);
+          }
+        }
+        std::uint64_t seen = min_seen.load();
+        while (results.front().model_generation < seen &&
+               !min_seen.compare_exchange_weak(
+                   seen, results.front().model_generation)) {
+        }
+        seen = max_seen.load();
+        while (results.front().model_generation > seen &&
+               !max_seen.compare_exchange_weak(
+                   seen, results.front().model_generation)) {
+        }
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (std::size_t swap = 0; swap < kSwaps; ++swap) {
+      const ModelPair& pair = swap % 2 == 0 ? world().gen2 : world().gen1;
+      engine.swap_models(pair.qim, pair.taqim);
+    }
+  });
+
+  go.store(true);
+  for (auto& thread : steppers) thread.join();
+  swapper.join();
+
+  EXPECT_EQ(engine.model_generation(), kSwaps + 1);
+  EXPECT_EQ(engine.stats().model_swaps, kSwaps);
+  // The steppers really did observe the engine across generations (the
+  // swap was not serialized against the whole workload).
+  EXPECT_GE(max_seen.load(), min_seen.load());
+  // Post-stress sanity: the engine still serves the final generation.
+  const EngineStepResult result = engine.step(1, frame_for(1, 0));
+  EXPECT_EQ(result.model_generation, kSwaps + 1);
+}
+
+}  // namespace
+}  // namespace tauw::core

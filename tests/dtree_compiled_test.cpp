@@ -1,0 +1,415 @@
+// Tests for the compiled (flattened SoA) tree: randomized equivalence with
+// the pointer tree (single and batched, depths 1-8, degenerate trees,
+// duplicate thresholds), the NaN routing policy, the shared structure
+// validation (malformed-tree rejection), the split-margin diagnostic, and
+// the endian-stable binary serialization.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "dtree/cart.hpp"
+#include "dtree/compiled_tree.hpp"
+#include "dtree/serialize.hpp"
+#include "dtree/tree.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::dtree {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Training data over `extra + 1` features; feature 0 drives the failure
+// probability. `quantize` snaps features to a small grid so many rows share
+// values and CART produces duplicate thresholds across the tree.
+TreeDataset make_data(std::size_t n, std::uint64_t seed, std::size_t extra,
+                      bool quantize) {
+  stats::Rng rng(seed);
+  TreeDataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(1 + extra);
+    for (auto& v : row) {
+      v = rng.uniform();
+      if (quantize) v = std::floor(v * 8.0) / 8.0;
+    }
+    data.push_back(row, rng.bernoulli(row[0] > 0.5 ? 0.7 : 0.05));
+  }
+  return data;
+}
+
+DecisionTree train(const TreeDataset& data, std::size_t depth) {
+  CartConfig cfg;
+  cfg.max_depth = depth;
+  cfg.min_samples_leaf = 5;
+  return train_cart(data, cfg);
+}
+
+// Random probe rows, including exact threshold hits (row values copied from
+// the tree's own thresholds), grid values, and NaN injections.
+std::vector<std::vector<double>> make_probes(const DecisionTree& tree,
+                                             std::size_t n,
+                                             std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> thresholds;
+  for (const Node& node : tree.nodes()) {
+    if (!node.is_leaf()) thresholds.push_back(node.threshold);
+  }
+  std::vector<std::vector<double>> probes;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(tree.num_features());
+    for (auto& v : row) {
+      switch (rng.uniform_index(4)) {
+        case 0:
+          v = rng.uniform();
+          break;
+        case 1:  // exact threshold hit: the <= boundary itself
+          v = thresholds.empty()
+                  ? 0.5
+                  : thresholds[rng.uniform_index(thresholds.size())];
+          break;
+        case 2:
+          v = std::floor(rng.uniform() * 8.0) / 8.0;
+          break;
+        default:
+          v = rng.bernoulli(0.15) ? kNaN : rng.uniform();
+          break;
+      }
+    }
+    probes.push_back(std::move(row));
+  }
+  return probes;
+}
+
+class CompiledEquivalenceTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(CompiledEquivalenceTest, SingleAndBatchedMatchPointerTreeBitExactly) {
+  const std::size_t depth = GetParam();
+  for (const bool quantize : {false, true}) {
+    const TreeDataset data = make_data(3000, 40 + depth, 3, quantize);
+    const DecisionTree tree = train(data, depth);
+    const CompiledTree compiled = CompiledTree::compile(tree);
+
+    EXPECT_EQ(compiled.num_features(), tree.num_features());
+    EXPECT_EQ(compiled.num_leaves(), tree.num_leaves());
+    EXPECT_EQ(compiled.max_depth(), tree.depth());
+    EXPECT_EQ(compiled.num_internal() + compiled.num_leaves(),
+              tree.num_leaves() * 2 - 1);  // proper binary tree
+
+    const auto probes = make_probes(tree, 500, 90 + depth);
+    std::vector<double> flat;
+    for (const auto& row : probes) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    std::vector<std::uint32_t> leaves(probes.size());
+    compiled.route_batch(flat, leaves);
+
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const std::size_t legacy_leaf = tree.route(probes[i]);
+      const std::size_t slot = compiled.route(probes[i]);
+      // Same leaf node, same (bit-identical) uncertainty, single == batch.
+      EXPECT_EQ(compiled.leaf_node_index(slot), legacy_leaf);
+      EXPECT_EQ(leaves[i], slot);
+      const double expected = tree.node(legacy_leaf).uncertainty;
+      const double got = compiled.predict(probes[i]);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                std::bit_cast<std::uint64_t>(expected));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CompiledEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(CompiledTreeTest, SingleLeafTreeRoutesEverythingToTheLeaf) {
+  stats::Rng rng(7);
+  TreeDataset data;
+  for (int i = 0; i < 64; ++i) {
+    data.push_back(std::vector<double>{rng.uniform(), rng.uniform()}, false);
+  }
+  const DecisionTree tree = train(data, 8);  // pure data: a single leaf
+  ASSERT_EQ(tree.num_leaves(), 1u);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  EXPECT_EQ(compiled.num_internal(), 0u);
+  EXPECT_EQ(compiled.num_leaves(), 1u);
+  EXPECT_EQ(compiled.max_depth(), 0u);
+  const std::vector<double> x{0.3, kNaN};
+  EXPECT_EQ(compiled.route(x), 0u);
+  EXPECT_EQ(compiled.predict(x), tree.node(0).uncertainty);
+  // Batched path on the degenerate tree.
+  std::vector<std::uint32_t> leaves(3);
+  const std::vector<double> flat{0.1, 0.2, 0.3, 0.4, kNaN, 0.6};
+  compiled.route_batch(flat, leaves);
+  for (const std::uint32_t leaf : leaves) EXPECT_EQ(leaf, 0u);
+  // No splits on the path: the margin diagnostic reports +infinity.
+  EXPECT_TRUE(std::isinf(compiled.route_with_margin(x).min_margin));
+}
+
+TEST(CompiledTreeTest, EmptyTreeIsRejected) {
+  EXPECT_THROW(CompiledTree::compile(DecisionTree{}), std::invalid_argument);
+}
+
+TEST(CompiledTreeTest, BatchShapeMismatchIsRejected) {
+  const TreeDataset data = make_data(500, 3, 1, false);
+  const CompiledTree compiled = CompiledTree::compile(train(data, 3));
+  std::vector<double> flat(2 * compiled.num_features() + 1, 0.5);  // ragged
+  std::vector<std::uint32_t> leaves(2);
+  EXPECT_THROW(compiled.route_batch(flat, leaves), std::invalid_argument);
+}
+
+// -- NaN policy ---------------------------------------------------------------
+
+// Hand-built depth-1 tree: split on f0 at 0.5, left leaf u=0.9 (node 1),
+// right leaf u=0.2 (node 2). The higher-uncertainty child is LEFT - the
+// side the old `x <= t ? left : right` never picked for NaN.
+DecisionTree nan_fixture_tree(double left_u, double right_u) {
+  std::vector<Node> nodes(3);
+  nodes[0].feature = 0;
+  nodes[0].threshold = 0.5;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].uncertainty = left_u;
+  nodes[2].uncertainty = right_u;
+  return DecisionTree(std::move(nodes), 1);
+}
+
+TEST(NanRouting, NanRoutesToTheHigherUncertaintyChildInBothTrees) {
+  const DecisionTree tree = nan_fixture_tree(0.9, 0.2);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  const std::vector<double> nan_x{kNaN};
+  // Regression: before the policy, `NaN <= t` was false and silently routed
+  // right (u=0.2) - shrinking the dependable bound on missing evidence.
+  EXPECT_EQ(tree.route(nan_x), 1u);
+  EXPECT_EQ(tree.predict_uncertainty(nan_x), 0.9);
+  EXPECT_EQ(compiled.leaf_node_index(compiled.route(nan_x)), 1u);
+  EXPECT_EQ(compiled.predict(nan_x), 0.9);
+  // Non-NaN routing is unchanged.
+  EXPECT_EQ(tree.route(std::vector<double>{0.4}), 1u);
+  EXPECT_EQ(tree.route(std::vector<double>{0.6}), 2u);
+}
+
+TEST(NanRouting, TiesRouteRightMatchingThePrePolicyBehavior) {
+  const DecisionTree tree = nan_fixture_tree(0.4, 0.4);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  const std::vector<double> nan_x{kNaN};
+  EXPECT_EQ(tree.route(nan_x), 2u);
+  EXPECT_EQ(compiled.leaf_node_index(compiled.route(nan_x)), 2u);
+}
+
+TEST(NanRouting, SubtreeMaxDecidesNotTheImmediateChild) {
+  // Left child is an internal node whose *subtree* contains u=0.95; right
+  // is a leaf with u=0.5. NaN must follow the subtree maximum.
+  std::vector<Node> nodes(5);
+  nodes[0] = {0, 0.5, 1, 2, 0, 0, 0.0};
+  nodes[1] = {0, 0.25, 3, 4, 0, 0, 0.0};  // internal left child
+  nodes[2].uncertainty = 0.5;             // right leaf
+  nodes[3].uncertainty = 0.05;
+  nodes[4].uncertainty = 0.95;
+  const DecisionTree tree(std::move(nodes), 1);
+  EXPECT_DOUBLE_EQ(tree.subtree_max_uncertainty(1), 0.95);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  const std::vector<double> nan_x{kNaN};
+  // NaN at the root goes left (0.95 > 0.5), then left again at node 1
+  // (ties... 0.95 > 0.05 so right): leaf node 4.
+  EXPECT_EQ(tree.route(nan_x), 4u);
+  EXPECT_EQ(compiled.leaf_node_index(compiled.route(nan_x)), 4u);
+}
+
+// -- structure validation -----------------------------------------------------
+
+TEST(StructureValidation, RejectsOutOfRangeChild) {
+  std::vector<Node> nodes(2);
+  nodes[0].left = 1;
+  nodes[0].right = 7;  // out of range
+  EXPECT_THROW(DecisionTree(std::move(nodes), 1), std::invalid_argument);
+}
+
+TEST(StructureValidation, RejectsSelfLoop) {
+  std::vector<Node> nodes(2);
+  nodes[0].feature = 0;
+  nodes[0].left = 0;  // routes back into itself: unchecked route would hang
+  nodes[0].right = 1;
+  EXPECT_THROW(DecisionTree(std::move(nodes), 1), std::invalid_argument);
+}
+
+TEST(StructureValidation, RejectsSharedChild) {
+  std::vector<Node> nodes(3);
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].left = 2;  // node 2 has two parents
+  nodes[1].right = 2;
+  EXPECT_THROW(DecisionTree(std::move(nodes), 1), std::invalid_argument);
+}
+
+TEST(StructureValidation, RejectsDownwardCycle) {
+  std::vector<Node> nodes(3);
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[2].left = 0;  // cycle back to the root
+  nodes[2].right = 1;
+  EXPECT_THROW(DecisionTree(std::move(nodes), 1), std::invalid_argument);
+}
+
+TEST(StructureValidation, ToleratesOrphanNodes) {
+  // Orphans (unreachable from the root) are what pruning leaves behind
+  // before compact(); they must stay legal.
+  std::vector<Node> nodes(4);
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[3].uncertainty = 0.7;  // orphan leaf
+  EXPECT_NO_THROW(DecisionTree(std::move(nodes), 1));
+}
+
+// -- split margins ------------------------------------------------------------
+
+TEST(RouteWithMargin, ReportsTheMinimumDistanceToASplit) {
+  // Depth-2 chain: root split at 0.5, left child split at 0.25.
+  std::vector<Node> nodes(5);
+  nodes[0] = {0, 0.5, 1, 2, 0, 0, 0.0};
+  nodes[1] = {1, 0.25, 3, 4, 0, 0, 0.0};
+  nodes[2].uncertainty = 0.5;
+  nodes[3].uncertainty = 0.1;
+  nodes[4].uncertainty = 0.3;
+  const DecisionTree tree(std::move(nodes), 2);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+
+  // f0 = 0.3 (margin 0.2 at the root), f1 = 0.2 (margin 0.05 at node 1).
+  const std::vector<double> x{0.3, 0.2};
+  const CompiledTree::MarginRoute r = compiled.route_with_margin(x);
+  EXPECT_EQ(compiled.leaf_node_index(r.leaf), 3u);
+  EXPECT_DOUBLE_EQ(r.min_margin, 0.05);
+  EXPECT_EQ(r.leaf, compiled.route(x));  // same routing as route()
+
+  // A sample exactly on a threshold has margin zero.
+  const std::vector<double> on_boundary{0.5, 0.9};
+  EXPECT_DOUBLE_EQ(compiled.route_with_margin(on_boundary).min_margin, 0.0);
+
+  // NaN: for all we know the sample sits on the boundary - margin 0.
+  const std::vector<double> with_nan{kNaN, 0.9};
+  EXPECT_DOUBLE_EQ(compiled.route_with_margin(with_nan).min_margin, 0.0);
+}
+
+// -- binary serialization -----------------------------------------------------
+
+TEST(CompiledSerialization, RoundTripsBitExactly) {
+  for (const std::size_t depth : {1u, 4u, 8u}) {
+    const TreeDataset data = make_data(2500, 60 + depth, 2, depth == 4);
+    const DecisionTree tree = train(data, depth);
+    const CompiledTree compiled = CompiledTree::compile(tree);
+    const std::string bytes = to_binary(compiled);
+    const CompiledTree restored = compiled_from_binary(bytes);
+
+    EXPECT_EQ(restored.num_features(), compiled.num_features());
+    EXPECT_EQ(restored.num_internal(), compiled.num_internal());
+    EXPECT_EQ(restored.num_leaves(), compiled.num_leaves());
+    EXPECT_EQ(restored.max_depth(), compiled.max_depth());
+
+    const auto probes = make_probes(tree, 200, 160 + depth);
+    for (const auto& row : probes) {
+      EXPECT_EQ(restored.route(row), compiled.route(row));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(restored.predict(row)),
+                std::bit_cast<std::uint64_t>(compiled.predict(row)));
+      EXPECT_EQ(restored.leaf_node_index(restored.route(row)),
+                compiled.leaf_node_index(compiled.route(row)));
+    }
+    // Second round trip is byte-identical (the format is canonical).
+    EXPECT_EQ(to_binary(restored), bytes);
+  }
+}
+
+TEST(CompiledSerialization, FormatIsExplicitlyLittleEndian) {
+  const DecisionTree tree = nan_fixture_tree(0.9, 0.2);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  const std::string bytes = to_binary(compiled);
+  // Header: 8-byte magic, then u32 num_features=1, u32 num_internal=1,
+  // u32 num_leaves=2 - all little-endian regardless of the host.
+  ASSERT_GE(bytes.size(), 20u);
+  EXPECT_EQ(bytes.substr(0, 8), "tauwCTB1");
+  const auto u32_at = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(bytes[off + i]);
+    }
+    return v;
+  };
+  EXPECT_EQ(u32_at(8), 1u);   // num_features
+  EXPECT_EQ(u32_at(12), 1u);  // num_internal
+  EXPECT_EQ(u32_at(16), 2u);  // num_leaves
+  // First per-node payload byte pair: feature 0 as little-endian u16.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[20]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[21]), 0);
+}
+
+TEST(CompiledSerialization, RejectsMalformedInput) {
+  const DecisionTree tree = nan_fixture_tree(0.9, 0.2);
+  const std::string bytes = to_binary(CompiledTree::compile(tree));
+
+  // Truncations at every prefix length must throw, never crash.
+  for (const std::size_t len : {0u, 4u, 8u, 12u, 19u, 25u}) {
+    EXPECT_THROW(compiled_from_binary(bytes.substr(0, len)),
+                 std::runtime_error);
+  }
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_THROW(compiled_from_binary(bad), std::runtime_error);
+  // Corrupt a child reference into a backward edge (offset: 8 magic + 12
+  // counts + 2 feature + 8 threshold = 30 -> left child u32).
+  std::string cycle = bytes;
+  cycle[30] = 0;  // left child = internal node 0 = self reference
+  cycle[31] = 0;
+  cycle[32] = 0;
+  cycle[33] = 0;
+  EXPECT_THROW(compiled_from_binary(cycle), std::runtime_error);
+  // Implausible header counts must not allocate gigabytes.
+  std::string huge = bytes;
+  huge[12] = '\xFF';
+  huge[13] = '\xFF';
+  huge[14] = '\xFF';
+  huge[15] = '\xFF';
+  EXPECT_THROW(compiled_from_binary(huge), std::runtime_error);
+}
+
+TEST(CompiledSerialization, EmptyTreeIsRejectedOnWrite) {
+  std::ostringstream os;
+  EXPECT_THROW(write_compiled_tree(os, CompiledTree{}), std::invalid_argument);
+}
+
+TEST(CompiledSerialization, RejectsMultiParentDags) {
+  // A crafted file can satisfy the forward-only child rule while giving a
+  // node two parents: 0->(1,4), 1->(2,L), 2->(3,L), 3->(5,L), 4->(5,L),
+  // 5->(L,L) - 6 internals, 7 leaves. The duplicated parent of node 5
+  // makes the reader's depth derivation undercount max_depth (4 instead of
+  // 5), so batched routing would stop before reaching a leaf and index
+  // leaf uncertainties out of bounds. from_arrays must reject it.
+  const auto leaf = [](std::int32_t slot) { return ~slot; };
+  std::vector<std::int32_t> left{1, 2, 3, 5, 5, leaf(4)};
+  std::vector<std::int32_t> right{4, leaf(0), leaf(1), leaf(2), leaf(3),
+                                  leaf(5)};
+  EXPECT_THROW(
+      CompiledTree::from_arrays(
+          1, std::vector<std::uint16_t>(6, 0), std::vector<double>(6, 0.5),
+          std::move(left), std::move(right), std::vector<std::uint8_t>(6, 0),
+          std::vector<double>(7, 0.1), std::vector<std::uint32_t>(7, 0)),
+      std::invalid_argument);
+}
+
+TEST(CompiledSerialization, RejectsDuplicatedLeafSlots) {
+  // Both children of the single split reference leaf slot 0, leaving slot
+  // 1 orphaned; reference counting must catch it.
+  std::vector<std::int32_t> left{~0};
+  std::vector<std::int32_t> right{~0};
+  EXPECT_THROW(
+      CompiledTree::from_arrays(
+          1, std::vector<std::uint16_t>(1, 0), std::vector<double>(1, 0.5),
+          std::move(left), std::move(right), std::vector<std::uint8_t>(1, 0),
+          std::vector<double>(2, 0.1), std::vector<std::uint32_t>(2, 0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::dtree
