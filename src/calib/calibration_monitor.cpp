@@ -1,0 +1,99 @@
+#include "calib/calibration_monitor.hpp"
+
+#include <algorithm>
+
+#include "dtree/calibrate.hpp"
+#include "stats/brier.hpp"
+#include "stats/calibration.hpp"
+
+namespace tauw::calib {
+
+namespace {
+
+ModelDriftStats evaluate_model(const core::QualityImpactModel& model,
+                               const dtree::TreeDataset& data,
+                               const TriggerPolicy& policy) {
+  ModelDriftStats stats;
+  stats.evidence = data.size();
+  if (data.size() == 0) return stats;
+
+  // Per-leaf coverage over the transparent pointer tree: the same
+  // structure an expert reviewed, so a violation names a concrete leaf.
+  const dtree::NodeCounts counts = dtree::route_counts(model.tree(), data);
+  std::size_t covered_rows = 0;
+  std::size_t counted_rows = 0;
+  for (const std::size_t leaf : model.tree().leaf_indices()) {
+    const std::size_t samples = counts.samples[leaf];
+    if (samples < policy.min_leaf_evidence) continue;
+    ++stats.leaves_evaluated;
+    counted_rows += samples;
+    const double observed = static_cast<double>(counts.failures[leaf]) /
+                            static_cast<double>(samples);
+    if (observed > model.tree().node(leaf).uncertainty) {
+      ++stats.bound_violations;
+    } else {
+      covered_rows += samples;
+    }
+  }
+  stats.covered_fraction =
+      counted_rows == 0 ? 1.0
+                        : static_cast<double>(covered_rows) /
+                              static_cast<double>(counted_rows);
+
+  // Windowed forecast-quality scores over the same evidence.
+  std::vector<double> forecasts(data.size());
+  model.predict_batch(data.features, forecasts);
+  stats.brier = stats::brier_score(forecasts, data.failures);
+  stats.ece = stats::expected_calibration_error(forecasts, data.failures);
+  return stats;
+}
+
+void apply_policy(const char* view, const ModelDriftStats& stats,
+                  const TriggerPolicy& policy, DriftReport& report) {
+  if (stats.evidence < policy.min_evidence) return;
+  report.evaluated = true;
+  if (policy.max_bound_violations > 0 &&
+      stats.bound_violations >= policy.max_bound_violations) {
+    report.triggered = true;
+    if (!report.reason.empty()) report.reason += "; ";
+    report.reason += std::string(view) + ": " +
+                     std::to_string(stats.bound_violations) +
+                     " leaf bound violation(s)";
+  }
+  if (policy.ece_threshold < 1.0 && stats.ece > policy.ece_threshold) {
+    report.triggered = true;
+    if (!report.reason.empty()) report.reason += "; ";
+    report.reason += std::string(view) + ": ECE " +
+                     std::to_string(stats.ece) + " above threshold";
+  }
+}
+
+}  // namespace
+
+DriftReport CalibrationMonitor::evaluate(const EvidenceSnapshot& snapshot,
+                                         const core::QualityImpactModel& qim,
+                                         const core::QualityImpactModel* taqim,
+                                         std::uint64_t generation) const {
+  const dtree::TreeDataset ta = taqim != nullptr && snapshot.ta_dim > 0
+                                    ? snapshot.ta_dataset()
+                                    : dtree::TreeDataset{};
+  return evaluate(snapshot.stateless_dataset(), ta, qim, taqim, generation);
+}
+
+DriftReport CalibrationMonitor::evaluate(const dtree::TreeDataset& stateless,
+                                         const dtree::TreeDataset& ta,
+                                         const core::QualityImpactModel& qim,
+                                         const core::QualityImpactModel* taqim,
+                                         std::uint64_t generation) const {
+  DriftReport report;
+  report.generation = generation;
+  report.stateless = evaluate_model(qim, stateless, policy_);
+  apply_policy("stateless", report.stateless, policy_, report);
+  if (taqim != nullptr && ta.size() > 0) {
+    report.ta = evaluate_model(*taqim, ta, policy_);
+    apply_policy("taUW", report.ta, policy_, report);
+  }
+  return report;
+}
+
+}  // namespace tauw::calib

@@ -1,0 +1,100 @@
+#pragma once
+// Drift monitor for deployed per-leaf uncertainty guarantees.
+//
+// A QIM's Clopper-Pearson bounds are promises about the calibration
+// distribution; under distribution shift they silently stop covering the
+// observed failure rates (exactly the failure mode calibration-error
+// monitoring exists for - Foldesi & Valdenegro-Toro, arXiv:2211.06233).
+// The monitor evaluates a frozen evidence snapshot against the currently
+// served models and reports three complementary reliability views:
+//
+//   * per-leaf bound coverage: evidence rows are routed through the
+//     transparent pointer tree (dtree::route_counts); a leaf VIOLATES its
+//     guarantee when the observed failure rate exceeds the leaf's bound and
+//     the leaf saw at least `min_leaf_evidence` rows (the same structure
+//     the hard-boundary study audits - Gerber, Joeckel & Klaes,
+//     arXiv:2201.03263, stays intact, so violations name reviewable
+//     leaves),
+//   * windowed Brier score (stats/brier) of the forecasts against observed
+//     failures, and
+//   * windowed expected calibration error (stats/calibration).
+//
+// The trigger policy is a disjunction over configurable thresholds gated on
+// a minimum amount of evidence - recalibrating on ten frames would replace
+// a dependable bound with noise.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "calib/evidence_store.hpp"
+#include "core/quality_impact_model.hpp"
+
+namespace tauw::calib {
+
+struct TriggerPolicy {
+  /// Evaluate nothing below this many evidence rows (per model view).
+  std::size_t min_evidence = 256;
+  /// A leaf's coverage only counts as violated/intact when it saw at least
+  /// this many evidence rows.
+  std::size_t min_leaf_evidence = 32;
+  /// Trigger when at least this many leaves violate their bound (0
+  /// disables the leaf-coverage trigger).
+  std::size_t max_bound_violations = 1;
+  /// Trigger when the windowed ECE exceeds this (>= 1 disables).
+  double ece_threshold = 0.10;
+};
+
+/// Reliability report for one model view (stateless QIM or taQIM).
+struct ModelDriftStats {
+  std::size_t evidence = 0;          ///< rows evaluated
+  std::size_t leaves_evaluated = 0;  ///< leaves with >= min_leaf_evidence
+  std::size_t bound_violations = 0;  ///< among the evaluated leaves
+  double brier = 0.0;
+  double ece = 0.0;
+  /// Fraction of evaluated rows whose leaf bound covered the observed
+  /// failure rate (1.0 = every populated leaf's guarantee held).
+  double covered_fraction = 0.0;
+};
+
+struct DriftReport {
+  bool evaluated = false;  ///< false: not enough evidence yet
+  bool triggered = false;
+  std::string reason;  ///< human-readable trigger explanation ("" if quiet)
+  std::uint64_t generation = 0;  ///< the generation that was evaluated
+  ModelDriftStats stateless;
+  ModelDriftStats ta;  ///< all-zero when no taQIM is served
+};
+
+class CalibrationMonitor {
+ public:
+  explicit CalibrationMonitor(TriggerPolicy policy = {}) : policy_(policy) {}
+
+  const TriggerPolicy& policy() const noexcept { return policy_; }
+
+  /// Evaluates `snapshot` against the served models. Pure function of its
+  /// arguments (no internal state), so concurrent evaluation is safe.
+  /// `taqim` may be null (engines without a taUW estimator); the trigger
+  /// then considers the stateless view only.
+  DriftReport evaluate(const EvidenceSnapshot& snapshot,
+                       const core::QualityImpactModel& qim,
+                       const core::QualityImpactModel* taqim,
+                       std::uint64_t generation) const;
+
+  /// Same evaluation on datasets the caller already assembled (the
+  /// Recalibrator materializes the snapshot once and reuses the rows for
+  /// the refit - evaluating through this overload avoids copying every
+  /// retained row twice per pass). `ta` is ignored when empty or when
+  /// `taqim` is null.
+  DriftReport evaluate(const dtree::TreeDataset& stateless,
+                       const dtree::TreeDataset& ta,
+                       const core::QualityImpactModel& qim,
+                       const core::QualityImpactModel* taqim,
+                       std::uint64_t generation) const;
+
+ private:
+  TriggerPolicy policy_;
+};
+
+}  // namespace tauw::calib

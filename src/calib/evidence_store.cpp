@@ -1,0 +1,144 @@
+#include "calib/evidence_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tauw::calib {
+
+namespace {
+
+void append_rows(dtree::TreeDataset& out, std::size_t dim,
+                 const std::vector<double>& rows,
+                 const std::vector<std::uint8_t>& failures,
+                 std::size_t count) {
+  out.features.insert(out.features.end(), rows.begin(),
+                      rows.begin() + static_cast<std::ptrdiff_t>(count * dim));
+  out.failures.insert(out.failures.end(), failures.begin(),
+                      failures.begin() + static_cast<std::ptrdiff_t>(count));
+}
+
+}  // namespace
+
+dtree::TreeDataset EvidenceSnapshot::stateless_dataset() const {
+  dtree::TreeDataset out;
+  out.num_features = qf_dim;
+  for (const auto& chunk : chunks) {
+    append_rows(out, qf_dim, chunk->qfs, chunk->isolated_failures,
+                chunk->size);
+  }
+  return out;
+}
+
+dtree::TreeDataset EvidenceSnapshot::ta_dataset() const {
+  dtree::TreeDataset out;
+  out.num_features = ta_dim;
+  if (ta_dim == 0) return out;
+  for (const auto& chunk : chunks) {
+    append_rows(out, ta_dim, chunk->ta_features, chunk->fused_failures,
+                chunk->size);
+  }
+  return out;
+}
+
+EvidenceStore::EvidenceStore(std::size_t num_lanes, std::size_t qf_dim,
+                             std::size_t ta_dim, EvidenceStoreConfig config)
+    : qf_dim_(qf_dim), ta_dim_(ta_dim), config_(config) {
+  if (num_lanes == 0) {
+    throw std::invalid_argument("EvidenceStore: at least one lane");
+  }
+  if (qf_dim_ == 0) {
+    throw std::invalid_argument("EvidenceStore: qf_dim must be > 0");
+  }
+  if (config_.chunk_rows == 0) config_.chunk_rows = 1;
+  lanes_.reserve(num_lanes);
+  for (std::size_t i = 0; i < num_lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+std::shared_ptr<EvidenceChunk> EvidenceStore::make_chunk() const {
+  auto chunk = std::make_shared<EvidenceChunk>();
+  chunk->qf_dim = qf_dim_;
+  chunk->ta_dim = ta_dim_;
+  chunk->qfs.resize(config_.chunk_rows * qf_dim_);
+  chunk->ta_features.resize(config_.chunk_rows * ta_dim_);
+  chunk->isolated_failures.resize(config_.chunk_rows);
+  chunk->fused_failures.resize(config_.chunk_rows);
+  chunk->generations.resize(config_.chunk_rows);
+  return chunk;
+}
+
+void EvidenceStore::record(std::size_t shard,
+                           const core::EvidenceObservation& observation) {
+  // Sinks must not throw (record runs under the engine shard mutex, on the
+  // serving path): dimension mismatches drop the observation instead. The
+  // calibration loop is statistical; a misconfigured store shows up as an
+  // empty snapshot, not a crashed serving thread.
+  if (shard >= lanes_.size() ||
+      observation.stateless_qfs.size() != qf_dim_ ||
+      observation.ta_features.size() != ta_dim_) {
+    return;
+  }
+  Lane& lane = *lanes_[shard];
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  if (lane.open == nullptr) lane.open = make_chunk();
+  EvidenceChunk& chunk = *lane.open;
+  const std::size_t row = chunk.size;
+  std::copy(observation.stateless_qfs.begin(), observation.stateless_qfs.end(),
+            chunk.qfs.begin() + static_cast<std::ptrdiff_t>(row * qf_dim_));
+  if (ta_dim_ > 0) {
+    std::copy(observation.ta_features.begin(), observation.ta_features.end(),
+              chunk.ta_features.begin() +
+                  static_cast<std::ptrdiff_t>(row * ta_dim_));
+  }
+  chunk.isolated_failures[row] = observation.isolated_failure ? 1 : 0;
+  chunk.fused_failures[row] = observation.fused_failure ? 1 : 0;
+  chunk.generations[row] = observation.model_generation;
+  ++chunk.size;
+  if (chunk.size == config_.chunk_rows) {
+    // Seal: the chunk becomes immutable; snapshots may now share it.
+    lane.sealed.push_back(std::move(lane.open));
+    lane.open = nullptr;  // opened lazily on the next record
+    if (lane.sealed.size() > config_.max_chunks_per_lane) {
+      lane.sealed.erase(lane.sealed.begin());  // drop the oldest evidence
+    }
+  }
+  total_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t EvidenceStore::retained() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mutex);
+    for (const auto& chunk : lane->sealed) n += chunk->size;
+    if (lane->open != nullptr) n += lane->open->size;
+  }
+  return n;
+}
+
+EvidenceSnapshot EvidenceStore::snapshot() const {
+  EvidenceSnapshot snap;
+  snap.qf_dim = qf_dim_;
+  snap.ta_dim = ta_dim_;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mutex);
+    for (const auto& chunk : lane->sealed) snap.chunks.push_back(chunk);
+    if (lane->open != nullptr && lane->open->size > 0) {
+      // The open chunk is still mutable: copy its filled prefix (at most
+      // chunk_rows rows - the only copying a snapshot ever does).
+      auto copy = std::make_shared<EvidenceChunk>(*lane->open);
+      snap.chunks.push_back(std::move(copy));
+    }
+  }
+  return snap;
+}
+
+void EvidenceStore::clear() {
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mutex);
+    lane->sealed.clear();
+    lane->open = nullptr;
+  }
+}
+
+}  // namespace tauw::calib

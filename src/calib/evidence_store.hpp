@@ -1,0 +1,140 @@
+#pragma once
+// Streaming evidence store: the bounded, sharded buffer between serving
+// traffic and background recalibration.
+//
+// Serving threads append one EvidenceObservation per ground-truth report
+// (Engine::report_truth calls record() under the reporting session's shard
+// mutex - the store keeps one lane per engine shard, so appends from
+// different shards never touch the same lane; each lane's own mutex only
+// ever contends with a snapshot reader). Evidence accumulates in
+// fixed-size chunks: an open chunk absorbs
+// appends in O(1) (copy into preallocated flat arrays, no allocation in
+// steady state); once full it is sealed - immutable forever after - and a
+// fresh chunk opens. Each lane keeps a bounded ring of sealed chunks
+// (oldest dropped), so memory stays bounded under unbounded traffic.
+//
+// snapshot() is where the design pays off: a reader takes each lane's shard
+// mutex only long enough to copy the shared_ptrs of the sealed chunks and
+// the filled prefix of the open chunk (at most one chunk of copying per
+// lane). The bulk of the evidence is shared, not copied - sealed chunks are
+// immutable, so the recalibrator can route, bin, and refit against a frozen
+// snapshot for as long as it likes while serving threads keep appending.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/evidence_sink.hpp"
+#include "dtree/tree.hpp"
+
+namespace tauw::calib {
+
+/// One immutable block of evidence rows (sealed chunks never change; the
+/// open chunk only grows its filled prefix while the owning lane's mutex is
+/// held).
+struct EvidenceChunk {
+  std::size_t qf_dim = 0;
+  std::size_t ta_dim = 0;
+  std::size_t size = 0;                 ///< filled rows
+  std::vector<double> qfs;              ///< size x qf_dim, row-major
+  std::vector<double> ta_features;      ///< size x ta_dim, row-major
+  std::vector<std::uint8_t> isolated_failures;
+  std::vector<std::uint8_t> fused_failures;
+  std::vector<std::uint64_t> generations;
+};
+
+/// A frozen, consistent-per-lane view of the store's contents. Holding the
+/// snapshot keeps its chunks alive even after the store drops or reuses
+/// them.
+struct EvidenceSnapshot {
+  std::vector<std::shared_ptr<const EvidenceChunk>> chunks;
+  std::size_t qf_dim = 0;
+  std::size_t ta_dim = 0;
+
+  std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& chunk : chunks) n += chunk->size;
+    return n;
+  }
+
+  /// Assembles the stateless-QIM calibration dataset: QF rows labeled with
+  /// the isolated-outcome failures.
+  dtree::TreeDataset stateless_dataset() const;
+
+  /// Assembles the taQIM calibration dataset: taQF feature rows labeled
+  /// with the fused-outcome failures. Empty when the engine served no
+  /// taQIM (ta_dim == 0).
+  dtree::TreeDataset ta_dataset() const;
+};
+
+struct EvidenceStoreConfig {
+  /// Rows per chunk. Larger chunks amortize allocation; smaller ones make
+  /// the snapshot's open-chunk copy cheaper.
+  std::size_t chunk_rows = 1024;
+  /// Sealed chunks retained per lane (the open chunk rides on top), so a
+  /// lane holds at most (max_chunks_per_lane + 1) * chunk_rows rows.
+  std::size_t max_chunks_per_lane = 16;
+};
+
+/// See the file comment. One store serves one engine: `num_lanes` must
+/// equal Engine::num_shards() and the feature dimensions must match what
+/// the engine captures (qf_dim = QF-extractor factors; ta_dim = the taQF
+/// feature-builder dim, or 0 for engines without a taQIM).
+class EvidenceStore final : public core::EvidenceSink {
+ public:
+  EvidenceStore(std::size_t num_lanes, std::size_t qf_dim, std::size_t ta_dim,
+                EvidenceStoreConfig config = {});
+
+  std::size_t num_lanes() const noexcept { return lanes_.size(); }
+  std::size_t qf_dim() const noexcept { return qf_dim_; }
+  std::size_t ta_dim() const noexcept { return ta_dim_; }
+
+  /// Appends one observation to the caller's lane. Called by the engine
+  /// under that shard's mutex (see EvidenceSink); direct callers (tests,
+  /// offline replay) must provide the same exclusion per lane themselves.
+  void record(std::size_t shard,
+              const core::EvidenceObservation& observation) override;
+
+  /// Total rows ever recorded (monotonic; cheap - one relaxed atomic).
+  /// Trigger policies use the delta since the last check to rate-limit
+  /// drift evaluation.
+  std::uint64_t total_recorded() const noexcept {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Rows currently retained (bounded by the ring capacity).
+  std::size_t retained() const;
+
+  /// Freezes the current contents. Sealed chunks are shared (no copy);
+  /// each lane's open chunk is copied up to its filled prefix. Lanes are
+  /// locked one at a time, so the snapshot is consistent per lane but not
+  /// across lanes - fine for a statistical calibration loop.
+  EvidenceSnapshot snapshot() const;
+
+  /// Drops all retained evidence (e.g. after a swap, when the new
+  /// generation should recalibrate on fresh traffic only).
+  void clear();
+
+ private:
+  struct Lane {
+    /// Guards the lane against snapshot()/clear() readers. Engine appends
+    /// already hold the engine shard's mutex, which serializes record()
+    /// per lane; this mutex additionally excludes cross-thread readers.
+    mutable std::mutex mutex;
+    std::vector<std::shared_ptr<const EvidenceChunk>> sealed;
+    std::shared_ptr<EvidenceChunk> open;
+  };
+
+  std::shared_ptr<EvidenceChunk> make_chunk() const;
+
+  std::size_t qf_dim_ = 0;
+  std::size_t ta_dim_ = 0;
+  EvidenceStoreConfig config_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> total_recorded_{0};
+};
+
+}  // namespace tauw::calib

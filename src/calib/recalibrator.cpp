@@ -1,0 +1,224 @@
+#include "calib/recalibrator.hpp"
+
+#include <utility>
+
+namespace tauw::calib {
+
+namespace {
+
+/// Deterministic even/odd row split for the regrow path: the snapshot is
+/// frozen, so the same snapshot always yields the same (train, calibration)
+/// halves - a regrow is reproducible offline from the same evidence.
+void split_dataset(const dtree::TreeDataset& data, dtree::TreeDataset& train,
+                   dtree::TreeDataset& calibration) {
+  train.num_features = data.num_features;
+  calibration.num_features = data.num_features;
+  train.feature_names = data.feature_names;
+  calibration.feature_names = data.feature_names;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (i % 2 == 0 ? train : calibration)
+        .push_back(data.row(i), data.failures[i] != 0);
+  }
+}
+
+}  // namespace
+
+Recalibrator::Recalibrator(core::Engine& engine,
+                           std::shared_ptr<EvidenceStore> store,
+                           RecalibratorConfig config)
+    : engine_(&engine),
+      store_(std::move(store)),
+      config_(config),
+      monitor_(config.policy) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("Recalibrator: null evidence store");
+  }
+  engine_->set_evidence_sink(store_);
+}
+
+Recalibrator::~Recalibrator() {
+  stop();
+  // Detach only our own store: a replacement calibration plane attached
+  // after this one must keep its sink.
+  engine_->detach_evidence_sink(store_.get());
+}
+
+std::shared_ptr<EvidenceStore> Recalibrator::make_store(
+    const core::Engine& engine, EvidenceStoreConfig config) {
+  const core::EngineComponents& components = engine.components();
+  const std::size_t qf_dim = components.qf_extractor.num_factors();
+  std::size_t ta_dim = 0;
+  if (components.taqim != nullptr) {
+    ta_dim = core::TaFeatureBuilder(qf_dim, components.taqfs).dim();
+  }
+  return std::make_shared<EvidenceStore>(engine.num_shards(), qf_dim, ta_dim,
+                                         config);
+}
+
+std::shared_ptr<core::QualityImpactModel> Recalibrator::refreshed_copy(
+    const core::QualityImpactModel& base, const dtree::TreeDataset& calibration,
+    const dtree::CalibrationConfig& config) {
+  auto model = std::make_shared<core::QualityImpactModel>(base);
+  model->recalibrate_leaves(calibration, config);
+  return model;
+}
+
+std::shared_ptr<core::QualityImpactModel> Recalibrator::regrown_model(
+    const dtree::TreeDataset& train, const dtree::TreeDataset& calibration,
+    const core::QimConfig& config, std::vector<std::string> feature_names) {
+  auto model = std::make_shared<core::QualityImpactModel>();
+  model->fit(train, calibration, config, std::move(feature_names));
+  return model;
+}
+
+DriftReport Recalibrator::check() const {
+  const EvidenceSnapshot snapshot = store_->snapshot();
+  const core::EngineModels models = engine_->current_models();
+  return monitor_.evaluate(snapshot, *models.qim, models.taqim.get(),
+                           models.generation);
+}
+
+RecalibrationOutcome Recalibrator::run_once(bool force) {
+  return run_once(force, config_.mode);
+}
+
+RecalibrationOutcome Recalibrator::run_once(bool force,
+                                            RecalibrationMode mode) {
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  RecalibrationOutcome outcome;
+  outcome.mode = mode;
+
+  // Freeze the evidence and pin the generation under refit. Serving
+  // traffic keeps appending to the store and stepping the engine; the
+  // whole refit below works off this immutable snapshot, so it is
+  // bit-identical to an offline recalibration on the same data. The
+  // datasets are materialized from the snapshot ONCE and shared between
+  // the drift evaluation and the refit.
+  const EvidenceSnapshot snapshot = store_->snapshot();
+  const core::EngineModels models = engine_->current_models();
+  const dtree::TreeDataset stateless = snapshot.stateless_dataset();
+  const dtree::TreeDataset ta = models.taqim != nullptr && snapshot.ta_dim > 0
+                                    ? snapshot.ta_dataset()
+                                    : dtree::TreeDataset{};
+  outcome.old_generation = models.generation;
+  outcome.report = monitor_.evaluate(stateless, ta, *models.qim,
+                                     models.taqim.get(), models.generation);
+  outcome.evidence_rows = stateless.size();
+  if (!force && !outcome.report.triggered) {
+    last_outcome_ = outcome;
+    return outcome;
+  }
+
+  // Nothing (or too little) to refit on: a forced pass on an empty store,
+  // or a regrow that could not populate both halves.
+  if (stateless.size() == 0 ||
+      (mode == RecalibrationMode::kRegrow && stateless.size() < 2)) {
+    last_outcome_ = outcome;
+    return outcome;
+  }
+  outcome.refit = true;
+
+  std::shared_ptr<core::QualityImpactModel> qim;
+  std::shared_ptr<core::QualityImpactModel> taqim;
+  if (mode == RecalibrationMode::kLeafRefresh) {
+    qim = refreshed_copy(*models.qim, stateless, config_.qim.calibration);
+    if (models.taqim != nullptr) {
+      taqim = refreshed_copy(*models.taqim, ta, config_.qim.calibration);
+    }
+  } else {
+    dtree::TreeDataset train;
+    dtree::TreeDataset calibration;
+    split_dataset(stateless, train, calibration);
+    qim = regrown_model(train, calibration, config_.qim,
+                        models.qim->feature_names());
+    if (models.taqim != nullptr) {
+      dtree::TreeDataset ta_train;
+      dtree::TreeDataset ta_calibration;
+      split_dataset(ta, ta_train, ta_calibration);
+      taqim = regrown_model(ta_train, ta_calibration, config_.qim,
+                            models.taqim->feature_names());
+    }
+  }
+
+  // Zero-downtime publish: in-flight steps finish on old_generation, later
+  // steps serve the refreshed bounds (see Engine::swap_models).
+  engine_->swap_models(qim, taqim);
+  outcome.published = true;
+  outcome.new_generation = engine_->model_generation();
+  published_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.clear_evidence_on_publish) store_->clear();
+  last_outcome_ = outcome;
+  return outcome;
+}
+
+RecalibrationOutcome Recalibrator::last_outcome() const {
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  return last_outcome_;
+}
+
+void Recalibrator::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  std::lock_guard<std::mutex> lock(worker_mutex_);
+  if (worker_.joinable()) return;
+  worker_stop_ = false;
+  worker_nudged_ = false;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void Recalibrator::stop() {
+  // lifecycle_mutex_ stays held across the join: a concurrent start()
+  // waits for the old worker to be fully gone instead of seeing the
+  // moved-from thread and spawning a second one.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    if (!worker_.joinable()) return;
+    worker_stop_ = true;
+    worker = std::move(worker_);
+  }
+  worker_cv_.notify_all();
+  worker.join();
+  std::lock_guard<std::mutex> lock(worker_mutex_);
+  worker_stop_ = false;
+}
+
+bool Recalibrator::running() const {
+  std::lock_guard<std::mutex> lock(worker_mutex_);
+  return worker_.joinable();
+}
+
+void Recalibrator::notify() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    worker_nudged_ = true;
+  }
+  worker_cv_.notify_all();
+}
+
+void Recalibrator::worker_loop() {
+  std::unique_lock<std::mutex> lock(worker_mutex_);
+  while (!worker_stop_) {
+    worker_cv_.wait_for(lock, config_.poll_interval,
+                        [&] { return worker_stop_ || worker_nudged_; });
+    if (worker_stop_) break;
+    worker_nudged_ = false;
+    lock.unlock();
+    // Rate-limit drift checks by fresh evidence: routing the snapshot
+    // through the tree per wake-up would otherwise burn CPU on a quiet
+    // store.
+    const std::uint64_t total = store_->total_recorded();
+    if (total - last_checked_total_ >= config_.min_new_evidence) {
+      last_checked_total_ = total;
+      try {
+        run_once(false);
+      } catch (...) {
+        // A rejected swap or an out-of-memory refit must not kill the
+        // worker; the next trigger retries on fresher evidence.
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace tauw::calib

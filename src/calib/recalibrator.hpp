@@ -1,0 +1,172 @@
+#pragma once
+// Background recalibration: closes the online calibration loop.
+//
+//   serving traffic -> Engine::report_truth -> EvidenceStore (streaming)
+//        -> CalibrationMonitor (drift check, trigger policy)
+//        -> Recalibrator (refit on a frozen snapshot, compile)
+//        -> Engine::swap_models (zero-downtime publish, new generation)
+//
+// Two refit paths, one calibration implementation:
+//
+//   * kLeafRefresh (fast path, default): structure-preserving - the served
+//     tree's leaves get fresh Clopper-Pearson bounds from the snapshot via
+//     QualityImpactModel::recalibrate_leaves (dtree::calibrate_leaves, the
+//     exact calibration phase of the offline prune_and_calibrate), then the
+//     tree is recompiled. The transparent structure an expert reviewed
+//     (Gerber, Joeckel & Klaes, arXiv:2201.03263) survives the refresh, and
+//     the result is bit-identical to an offline recalibration on the same
+//     frozen snapshot.
+//   * kRegrow (slow path): a full train_cart + prune_and_calibrate fit on
+//     the snapshot (split deterministically into train/calibration halves)
+//     - for shifts the old structure cannot express. Same implementation
+//     the offline Study uses (regrown_model), so offline and online fits
+//     can never diverge.
+//
+// Publishing goes through Engine::swap_models: in-flight steps finish on
+// the generation they started with, later steps serve the refreshed
+// bounds, and every EngineStepResult remains attributable to exactly one
+// generation. Sessions, buffers, and monitor state survive untouched.
+//
+// The background worker wakes on a poll interval or on notify() (the
+// tracker bridge nudges it as ground-truth outcomes accumulate), rate-
+// limits drift checks by fresh-evidence count, and runs the loop above.
+// Everything is also callable synchronously (check() / run_once()) for
+// deterministic tests and offline use.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "calib/calibration_monitor.hpp"
+#include "calib/evidence_store.hpp"
+#include "core/engine.hpp"
+#include "core/quality_impact_model.hpp"
+
+namespace tauw::calib {
+
+enum class RecalibrationMode {
+  kLeafRefresh,  ///< refresh leaf bounds only (structure-preserving)
+  kRegrow,       ///< full CART regrow + prune + calibrate
+};
+
+struct RecalibratorConfig {
+  TriggerPolicy policy{};
+  /// Calibration (and, for kRegrow, growth) parameters of the refits.
+  core::QimConfig qim{};
+  RecalibrationMode mode = RecalibrationMode::kLeafRefresh;
+  /// Drop the store's evidence after a publish: the new generation should
+  /// be judged on fresh traffic, not on the drift that triggered it.
+  bool clear_evidence_on_publish = true;
+  /// Background worker poll interval.
+  std::chrono::milliseconds poll_interval{250};
+  /// The worker skips its drift check until this many new evidence rows
+  /// arrived since the last check (notify() still respects this floor).
+  std::uint64_t min_new_evidence = 64;
+};
+
+/// What one pass of the loop did.
+struct RecalibrationOutcome {
+  DriftReport report;
+  bool refit = false;      ///< a refit was attempted (triggered or forced)
+  bool published = false;  ///< swap_models succeeded
+  RecalibrationMode mode = RecalibrationMode::kLeafRefresh;
+  std::uint64_t old_generation = 0;
+  std::uint64_t new_generation = 0;  ///< 0 unless published
+  std::size_t evidence_rows = 0;     ///< snapshot size the refit used
+};
+
+class Recalibrator {
+ public:
+  /// Wires the loop to `engine` and `store`: attaches the store as the
+  /// engine's evidence sink. The engine and store must outlive the
+  /// recalibrator; the store's lane count / dimensions must match the
+  /// engine (make_store builds a matching one).
+  Recalibrator(core::Engine& engine, std::shared_ptr<EvidenceStore> store,
+               RecalibratorConfig config = {});
+  /// Stops the worker (if running) and detaches the sink.
+  ~Recalibrator();
+
+  Recalibrator(const Recalibrator&) = delete;
+  Recalibrator& operator=(const Recalibrator&) = delete;
+
+  /// An EvidenceStore shaped for `engine` (one lane per shard, QF/taQF
+  /// dimensions from the engine's components).
+  static std::shared_ptr<EvidenceStore> make_store(
+      const core::Engine& engine, EvidenceStoreConfig config = {});
+
+  // -- the one calibration implementation (shared offline/online) ---------
+  /// Structure-preserving refresh: a copy of `base` with every leaf bound
+  /// recalibrated on `calibration` and recompiled.
+  static std::shared_ptr<core::QualityImpactModel> refreshed_copy(
+      const core::QualityImpactModel& base,
+      const dtree::TreeDataset& calibration,
+      const dtree::CalibrationConfig& config);
+  /// Full fit (grow + prune + calibrate + compile) - exactly what the
+  /// offline Study runs; exposed so there is one fit path in the codebase.
+  static std::shared_ptr<core::QualityImpactModel> regrown_model(
+      const dtree::TreeDataset& train, const dtree::TreeDataset& calibration,
+      const core::QimConfig& config,
+      std::vector<std::string> feature_names = {});
+
+  // -- synchronous surface -------------------------------------------------
+  /// Drift check only: snapshot + monitor against the served models.
+  DriftReport check() const;
+  /// One full pass: check, and - when triggered or `force` - refit on the
+  /// frozen snapshot and publish through swap_models. `mode` overrides the
+  /// configured refit path for this pass. Thread-safe (passes serialize);
+  /// safe to call while serving traffic steps concurrently.
+  RecalibrationOutcome run_once(bool force = false);
+  RecalibrationOutcome run_once(bool force, RecalibrationMode mode);
+
+  // -- background worker ---------------------------------------------------
+  /// Starts the worker thread (idempotent).
+  void start();
+  /// Stops and joins the worker (idempotent; also called by ~Recalibrator).
+  void stop();
+  bool running() const;
+  /// Nudges the worker to check now instead of at the next poll tick (the
+  /// tracker bridge calls this as outcomes accumulate). Cheap; safe from
+  /// any thread; a no-op when the worker is not running.
+  void notify();
+
+  // -- introspection -------------------------------------------------------
+  const EvidenceStore& store() const noexcept { return *store_; }
+  std::uint64_t recalibrations_published() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
+  /// The last pass's outcome (worker or synchronous), for dashboards/tests.
+  RecalibrationOutcome last_outcome() const;
+
+ private:
+  void worker_loop();
+
+  core::Engine* engine_;
+  std::shared_ptr<EvidenceStore> store_;
+  RecalibratorConfig config_;
+  CalibrationMonitor monitor_;
+
+  /// Serializes run_once passes (worker vs synchronous callers).
+  mutable std::mutex run_mutex_;
+  RecalibrationOutcome last_outcome_{};
+  std::uint64_t last_checked_total_ = 0;
+  std::atomic<std::uint64_t> published_{0};
+
+  // Worker handshake. lifecycle_mutex_ serializes start()/stop() in full
+  // (including the join) so a start() racing a stop() cannot observe the
+  // moved-from thread and spawn a second worker; the worker loop itself
+  // never takes it, so holding it across join() cannot deadlock.
+  mutable std::mutex lifecycle_mutex_;
+  mutable std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  bool worker_stop_ = false;
+  bool worker_nudged_ = false;
+  std::thread worker_;
+};
+
+}  // namespace tauw::calib

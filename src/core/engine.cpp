@@ -35,6 +35,10 @@ Engine::Engine(EngineComponents components, EngineConfig config)
   }
   if (config_.num_shards == 0) config_.num_shards = 1;
   if (config_.num_threads == 0) config_.num_threads = 1;
+  if (components_.taqim != nullptr) {
+    ta_builder_.emplace(components_.qf_extractor.num_factors(),
+                        components_.taqfs);
+  }
 
   shards_.reserve(config_.num_shards);
   const std::size_t per_shard_budget =
@@ -174,10 +178,15 @@ void Engine::open_session(SessionId id) {
     // Re-opening restarts the series: buffer, UF aggregates, and the
     // monitor's hysteresis mode (it belonged to the previous physical
     // object) are cleared; the monitor's statistics are kept (they belong
-    // to the session's stream of decisions, not one series).
+    // to the session's stream of decisions, not one series). The last-step
+    // attribution is stale too - truth for the previous series arriving
+    // after the restart must not pair with the new series' state (and the
+    // taQF rebuild in report_truth needs the buffer the step actually saw).
     it->second.buffer.clear();
     it->second.uf.reset();
     it->second.monitor.reset_hysteresis();
+    it->second.has_last_step = false;
+    it->second.last_evidence_valid = false;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     return;
   }
@@ -187,9 +196,10 @@ void Engine::open_session(SessionId id) {
 Engine::Session& Engine::create_session(Shard& shard, SessionId id) {
   shard.lru.push_front(id);
   try {
-    Session session{TimeseriesBuffer(config_.buffer_capacity),
-                    UncertaintyFusionAccumulator{},
-                    RuntimeMonitor(config_.monitor), shard.lru.begin()};
+    Session session;
+    session.buffer = TimeseriesBuffer(config_.buffer_capacity);
+    session.monitor = RuntimeMonitor(config_.monitor);
+    session.lru_it = shard.lru.begin();
     const auto [it, inserted] = shard.sessions.emplace(id, std::move(session));
     if (shard.max_sessions > 0 && shard.sessions.size() > shard.max_sessions) {
       evict_lru(shard, id);
@@ -308,6 +318,23 @@ EstimationContext Engine::commit_step(Shard& shard, SessionId id,
   result.fused_label = components_.fusion->fuse(session.buffer);
   result.model_generation = shard.models->generation;
 
+  // Last-step attribution for report_truth: which labels this step emitted
+  // and under which generation. Only the stateless QF row is copied here
+  // (it lives in per-shard scratch the next step overwrites), and only
+  // while an evidence sink is attached; the taQF row is derivable at
+  // report time - truth refers to the last step, so the session's buffer
+  // still holds exactly that step's state - which keeps the taQF build off
+  // the per-step hot path (the taUW estimator already builds it once for
+  // prediction).
+  session.last_isolated_label = outcome;
+  session.last_fused_label = result.fused_label;
+  session.last_generation = shard.models->generation;
+  session.has_last_step = true;
+  session.last_evidence_valid = shard.sink != nullptr;
+  if (session.last_evidence_valid) {
+    session.last_qfs.assign(stateless_qfs.begin(), stateless_qfs.end());
+  }
+
   EstimationContext context;
   context.stateless_qfs = stateless_qfs;
   context.buffer = &session.buffer;
@@ -330,6 +357,7 @@ void Engine::step_common(Shard& shard, SessionId id, Session& session,
     result.estimates[i] = shard.estimators[i]->estimate(context);
   }
   result.decision = session.monitor.decide(result.estimates[primary_]);
+  session.last_decision = result.decision;
 }
 
 void Engine::step_frame_locked(Shard& shard, SessionId id,
@@ -358,25 +386,22 @@ void Engine::step_frame_locked(Shard& shard, SessionId id,
               prediction.confidence, uncertainty, result);
 }
 
-void Engine::stage_frame_locked(Shard& shard, SessionId id,
-                                SessionMap::iterator it,
-                                const data::FrameRecord& frame,
-                                const sim::SignLocation* location,
-                                EngineStepResult& result) {
-  if (components_.ddm == nullptr || shard.models->qim == nullptr) {
-    throw std::logic_error(
-        "Engine::step requires a DDM and a fitted QIM (replay-only engines "
-        "must use step_precomputed)");
-  }
+void Engine::stage_step_locked(Shard& shard, SessionId id,
+                               SessionMap::iterator it,
+                               const data::FrameRecord& frame,
+                               const sim::SignLocation* location,
+                               EngineStepResult& result) {
   BatchScratch& batch = shard.batch;
   const std::size_t num_factors = components_.qf_extractor.num_factors();
-  // The QF row must stay put for the rest of the run (contexts hold spans
-  // into it); run_shard_task sized qf_matrix for the whole group upfront.
-  const std::span<double> qf_row(
+  // The group's QF rows, DDM predictions, and batched stateless-QIM
+  // uncertainties were all precomputed by run_shard_task; next_row is this
+  // step's position in the group. The QF row stays put for the rest of the
+  // run (contexts hold spans into it) - qf_matrix was sized for the whole
+  // group up front.
+  const std::span<const double> qf_row(
       batch.qf_matrix.data() + batch.next_row * num_factors, num_factors);
-  components_.qf_extractor.extract_into(frame, qf_row);
-  const ml::Prediction prediction = components_.ddm->predict(frame.features);
-  double uncertainty = shard.models->qim->predict(qf_row);
+  const ml::Prediction& prediction = batch.predictions[batch.next_row];
+  double uncertainty = batch.stateless_u[batch.next_row];
   if (components_.scope.has_value() && location != nullptr) {
     uncertainty = combine_uncertainties(
         uncertainty,
@@ -422,6 +447,7 @@ void Engine::flush_run(Shard& shard) {
       }
       result.decision =
           batch.run_sessions[k]->monitor.decide(result.estimates[primary_]);
+      batch.run_sessions[k]->last_decision = result.decision;
     }
   } catch (...) {
     // estimate_batch is contractually no-throw; if an out-of-contract
@@ -552,11 +578,37 @@ void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
                       (*state.results)[task.indices->front()]);
     return;
   }
+  if (components_.ddm == nullptr || shard.models->qim == nullptr) {
+    throw std::logic_error(
+        "Engine::step requires a DDM and a fitted QIM (replay-only engines "
+        "must use step_precomputed)");
+  }
   BatchScratch& batch = shard.batch;
+  const std::size_t group_size = task.indices->size();
+  const std::size_t num_factors = components_.qf_extractor.num_factors();
   // Size the QF staging matrix for the whole group before staging anything:
   // contexts hold spans into it, so it must never reallocate mid-run.
-  batch.qf_matrix.resize(task.indices->size() *
-                         components_.qf_extractor.num_factors());
+  batch.qf_matrix.resize(group_size * num_factors);
+  batch.predictions.resize(group_size);
+  batch.stateless_u.resize(group_size);
+  // Evaluate every fallible, session-independent stage for the whole group
+  // before any session is touched: QF extraction, the DDM, and ONE batched
+  // stateless-QIM pass through the compiled tree (level-synchronous
+  // routing, bit-identical to a predict() per row) instead of one pointer
+  // chase per step. A throwing DDM/QIM now aborts the group before any
+  // buffer push, so no step is ever committed without a result. The shard
+  // mutex is held for the whole group, so shard.models cannot change
+  // between here and staging - every step of the group serves one
+  // generation, exactly as the per-step path did.
+  for (std::size_t k = 0; k < group_size; ++k) {
+    const SessionFrame& sf = state.frames[(*task.indices)[k]];
+    components_.qf_extractor.extract_into(
+        *sf.frame,
+        std::span<double>(batch.qf_matrix.data() + k * num_factors,
+                          num_factors));
+    batch.predictions[k] = components_.ddm->predict(sf.frame->features);
+  }
+  shard.models->qim->predict_batch(batch.qf_matrix, batch.stateless_u);
   batch.next_row = 0;
   try {
     for (const std::size_t index : *task.indices) {
@@ -577,14 +629,15 @@ void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
                                shard.sessions.size() >= shard.max_sessions;
         if (repeat || may_evict) flush_run(shard);
       }
-      stage_frame_locked(shard, sf.session, it, *sf.frame, sf.location,
-                         (*state.results)[index]);
+      stage_step_locked(shard, sf.session, it, *sf.frame, sf.location,
+                        (*state.results)[index]);
     }
     flush_run(shard);
   } catch (...) {
-    // A throwing DDM/QIM aborts this shard's remaining entries, but steps
-    // already committed to their buffers must still get their estimates -
-    // an exception must not leave steps recorded without results.
+    // An out-of-contract throw mid-staging (e.g. bad_alloc) aborts this
+    // shard's remaining entries, but steps already committed to their
+    // buffers must still get their estimates - an exception must not leave
+    // steps recorded without results.
     flush_run(shard);
     throw;
   }
@@ -639,6 +692,65 @@ void Engine::report_outcome(SessionId id, MonitorDecision decision,
     return;
   }
   it->second.monitor.report_outcome(decision, failure);
+}
+
+void Engine::report_truth(SessionId id, std::size_t true_label) {
+  const std::size_t shard_index = shard_of(id);
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) return;  // closed/evicted: evidence lost
+  Session& session = it->second;
+  if (!session.has_last_step) return;  // never stepped, or truth consumed
+  const bool isolated_failure = session.last_isolated_label != true_label;
+  const bool fused_failure = session.last_fused_label != true_label;
+  // The monitor decided on the (primary estimator's) fused-outcome
+  // uncertainty, so its accepted-failure statistics track fused failures.
+  session.monitor.report_outcome(session.last_decision, fused_failure);
+  if (shard.sink != nullptr && session.last_evidence_valid) {
+    if (ta_builder_.has_value()) {
+      // The buffer still holds exactly the last step's state (truth refers
+      // to the last step by contract), so this rebuilds the row the taUW
+      // saw - paid per truth report instead of per step.
+      session.last_ta.resize(ta_builder_->dim());
+      ta_builder_->build_into(session.last_qfs, session.buffer,
+                              session.last_fused_label, session.last_ta);
+    }
+    EvidenceObservation observation;
+    observation.stateless_qfs = session.last_qfs;
+    observation.ta_features = session.last_ta;
+    observation.isolated_failure = isolated_failure;
+    observation.fused_failure = fused_failure;
+    observation.model_generation = session.last_generation;
+    observation.session = id;
+    shard.sink->record(shard_index, observation);
+  }
+  // Consume the attribution: an at-least-once truth feed (retries, two
+  // upstream confirmations for the same step) must not double-count
+  // monitor outcomes or duplicate evidence rows.
+  session.has_last_step = false;
+  session.last_evidence_valid = false;
+}
+
+void Engine::set_evidence_sink(std::shared_ptr<EvidenceSink> sink) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sink = sink;
+  }
+}
+
+void Engine::detach_evidence_sink(const EvidenceSink* sink) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->sink.get() == sink) shard->sink = nullptr;
+  }
+}
+
+EngineModels Engine::current_models() const {
+  const Shard& shard = *shards_.front();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return EngineModels{shard.models->qim, shard.models->taqim,
+                      shard.models->generation};
 }
 
 MonitorStats Engine::total_monitor_stats() const { return stats().monitor; }

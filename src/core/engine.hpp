@@ -64,6 +64,21 @@
 // scope model are not swappable - they define the wrapped system itself,
 // not the calibration.
 //
+// -- Online calibration hooks ------------------------------------------------
+//
+// The engine is the evidence source of the online calibration plane (see
+// calib/): when an EvidenceSink is attached (`set_evidence_sink`), every
+// step additionally captures its stateless QF row in the session, and
+// `report_truth(id, true_label)` - the ground-truth feedback path -
+// rebuilds the step's taQIM feature row (the buffer still holds that
+// step's state) and emits one EvidenceObservation (rows, isolated/fused
+// failure, serving generation) into the sink under the shard mutex.
+// `current_models()` exposes the currently published (QIM, taQIM)
+// generation so a background recalibrator can monitor and refresh exactly
+// what serving traffic reads. Evidence for sessions that were closed or
+// evicted before the (possibly delayed) truth arrived is dropped - the
+// calibration loop is statistical, not transactional.
+//
 // What is NOT thread-safe: `add_estimator` and the references returned by
 // `session_monitor` / `session_buffer` / `estimators` require that no other
 // thread mutates the engine (respectively that session) concurrently.
@@ -86,10 +101,12 @@
 #include <vector>
 
 #include "core/estimator.hpp"
+#include "core/evidence_sink.hpp"
 #include "core/fusion.hpp"
 #include "core/monitor.hpp"
 #include "core/quality_factors.hpp"
 #include "core/scope_model.hpp"
+#include "core/ta_quality_factors.hpp"
 #include "core/wrapper.hpp"
 #include "data/timeseries.hpp"
 #include "ml/classifier.hpp"
@@ -159,6 +176,15 @@ struct SessionFrame {
   const data::FrameRecord* frame = nullptr;
   /// Optional sign location for the scope model.
   const sim::SignLocation* location = nullptr;
+};
+
+/// The (QIM, taQIM) pair the engine currently serves (current_models()).
+/// The models are immutable; holding the shared_ptrs keeps the generation
+/// alive across a concurrent swap.
+struct EngineModels {
+  std::shared_ptr<const QualityImpactModel> qim;
+  std::shared_ptr<const QualityImpactModel> taqim;
+  std::uint64_t generation = 1;
 };
 
 /// Aggregate engine health counters (stats()).
@@ -307,10 +333,37 @@ class Engine {
                    std::shared_ptr<const QualityImpactModel> taqim);
   /// The currently published model generation (1 before any swap).
   std::uint64_t model_generation() const;
+  /// The currently published models (shard 0's view; during a swap other
+  /// shards may briefly serve the adjacent generation). The calibration
+  /// plane recalibrates against exactly this pair.
+  EngineModels current_models() const;
+
+  // -- calibration evidence (thread-safe) ----------------------------------
+  /// Attaches (or, with nullptr, detaches) the sink that receives one
+  /// EvidenceObservation per report_truth() call. While a sink is attached
+  /// every step additionally copies its stateless QF row into the session
+  /// (the taQF row is rebuilt lazily at report time); without one the
+  /// capture is skipped entirely. The sink is published per shard under
+  /// the shard mutexes, so attaching mid-traffic is safe; steps already
+  /// holding a shard lock finish under the previous sink.
+  void set_evidence_sink(std::shared_ptr<EvidenceSink> sink);
+  /// Detaches `sink` only where it is still the attached one; a different
+  /// sink installed later is left in place (so tearing down a retired
+  /// calibration plane never clobbers its replacement).
+  void detach_evidence_sink(const EvidenceSink* sink);
 
   // -- monitor feedback (thread-safe) --------------------------------------
   /// Ground-truth feedback for a session's previous decision.
   void report_outcome(SessionId id, MonitorDecision decision, bool failure);
+  /// Ground-truth feedback by label: resolves the session's last step
+  /// against `true_label`, feeds the monitor (fused-outcome failure, the
+  /// decision the step actually took), and - when an evidence sink is
+  /// attached - records the step's feature rows with both failure
+  /// indicators and the serving generation. The attribution is consumed:
+  /// an at-least-once truth feed (retries, duplicate confirmations) counts
+  /// each step once. Unknown ids (closed or evicted sessions), sessions
+  /// that never stepped, and already-consumed steps are ignored.
+  void report_truth(SessionId id, std::size_t true_label);
   /// Monitor statistics aggregated over all live, closed, and evicted
   /// sessions.
   MonitorStats total_monitor_stats() const;
@@ -328,6 +381,19 @@ class Engine {
     /// repeat detection in the columnar batch path without a per-step
     /// hash-set insert (which costs a heap allocation per entry).
     std::uint64_t staged_mark = 0;
+    // -- last-step attribution (report_truth / evidence capture) ----------
+    std::size_t last_isolated_label = 0;
+    std::size_t last_fused_label = 0;
+    MonitorDecision last_decision = MonitorDecision::kAccept;
+    std::uint64_t last_generation = 0;
+    /// Cleared when report_truth consumes the step (and on series restart).
+    bool has_last_step = false;
+    /// True when last_qfs was captured for the last step (a sink was
+    /// attached when it committed) - guards against pairing a fresh
+    /// outcome with stale feature rows after a mid-session attach.
+    bool last_evidence_valid = false;
+    std::vector<double> last_qfs;  ///< stateless QF row of the last step
+    std::vector<double> last_ta;   ///< report_truth's taQF rebuild scratch
   };
 
   /// One published model generation. Immutable once built; shards hold a
@@ -344,6 +410,11 @@ class Engine {
   /// current run. Lives in the shard (used under its mutex only).
   struct BatchScratch {
     std::vector<double> qf_matrix;  ///< group_size x num_factors, row-stable
+    /// Per-group DDM predictions and batched stateless-QIM uncertainties,
+    /// evaluated for the whole shard group up front (one predict_batch pass
+    /// through the compiled tree instead of one route per step).
+    std::vector<ml::Prediction> predictions;
+    std::vector<double> stateless_u;
     std::size_t next_row = 0;
     std::vector<EstimationContext> contexts;
     std::vector<Session*> run_sessions;
@@ -371,6 +442,8 @@ class Engine {
     std::vector<double> qf_scratch;
     /// The model generation this shard currently serves (see swap_models).
     std::shared_ptr<const ModelSet> models;
+    /// Evidence sink of the online calibration plane (null: capture off).
+    std::shared_ptr<EvidenceSink> sink;
     BatchScratch batch;
   };
 
@@ -430,16 +503,19 @@ class Engine {
                          const data::FrameRecord& frame,
                          const sim::SignLocation* location,
                          EngineStepResult& result);
-  /// Columnar batch internals: stage commits one step into the current run
-  /// (deferring estimators + monitor), flush evaluates each estimator once
-  /// over the whole run via estimate_batch and resolves monitor decisions.
-  /// `it` is the caller's repeat/eviction-detection lookup of `id`, reused
-  /// so the hot path pays one hash probe per step instead of two.
-  void stage_frame_locked(Shard& shard, SessionId id,
-                          SessionMap::iterator it,
-                          const data::FrameRecord& frame,
-                          const sim::SignLocation* location,
-                          EngineStepResult& result);
+  /// Columnar batch internals: run_shard_task first evaluates every
+  /// session-independent stage for the whole group (QF extraction, DDM,
+  /// one batched stateless-QIM pass); stage then commits one step into the
+  /// current run from those precomputed rows (deferring estimators +
+  /// monitor), and flush evaluates each estimator once over the whole run
+  /// via estimate_batch and resolves monitor decisions. `it` is the
+  /// caller's repeat/eviction-detection lookup of `id`, reused so the hot
+  /// path pays one hash probe per step instead of two.
+  void stage_step_locked(Shard& shard, SessionId id,
+                         SessionMap::iterator it,
+                         const data::FrameRecord& frame,
+                         const sim::SignLocation* location,
+                         EngineStepResult& result);
   void flush_run(Shard& shard);
 
   // Worker pool (see engine.cpp for the dispatch protocol).
@@ -450,6 +526,10 @@ class Engine {
   EngineComponents components_;
   EngineConfig config_;
   std::size_t primary_ = 0;
+  /// Builds the taQIM feature row captured as calibration evidence (only
+  /// when a sink is attached). Stateless and const after construction, so
+  /// one instance serves every shard. Empty when the engine has no taQIM.
+  std::optional<TaFeatureBuilder> ta_builder_;
   /// Auto-assigned ids live in their own namespace so they never collide
   /// with caller-chosen ids (which should stay below this bit).
   static constexpr SessionId kAutoSessionBit = SessionId{1} << 63;

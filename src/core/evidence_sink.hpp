@@ -1,0 +1,61 @@
+#pragma once
+// Evidence sink: the engine-side half of the online calibration plane.
+//
+// The per-leaf Clopper-Pearson bounds of a deployed QIM are only dependable
+// while field conditions still match the calibration data; keeping them
+// honest requires a stream of (quality factors, observed outcome) evidence
+// from serving traffic. The Engine collects that evidence at the source -
+// when ground truth is fed back via report_truth() it emits one
+// EvidenceObservation per attributable step into an attached EvidenceSink.
+//
+// The interface lives in core (not calib/) so the Engine never depends on
+// the calibration plane: calib::EvidenceStore implements it, tests can plug
+// in trivial recorders, and engines without a sink pay a single null check
+// per ground-truth report.
+
+#include <cstdint>
+#include <span>
+
+namespace tauw::core {
+
+/// One unit of calibration evidence: the feature rows of the step the
+/// ground truth refers to, the observed failure indicators, and the model
+/// generation that produced the step (so recalibration can window evidence
+/// to the generations it trusts). The spans alias engine-internal storage
+/// and are only valid for the duration of the record() call - sinks copy
+/// what they keep.
+struct EvidenceObservation {
+  /// Stateless quality factors of the step (QF-extractor order).
+  std::span<const double> stateless_qfs;
+  /// taQIM feature row ([stateless QFs, taQFs]); empty when the engine
+  /// serves no taQIM.
+  std::span<const double> ta_features;
+  /// Did the isolated (per-frame) outcome o_i mismatch the ground truth?
+  /// Labels the stateless-QIM evidence row.
+  bool isolated_failure = false;
+  /// Did the fused outcome o_i^(if) mismatch the ground truth? Labels the
+  /// taQIM evidence row (the taUW predicts fused-outcome failure).
+  bool fused_failure = false;
+  /// The model generation (Engine::swap_models) the step was served under.
+  std::uint64_t model_generation = 0;
+  /// The session the evidence belongs to.
+  std::uint64_t session = 0;
+};
+
+/// Receives evidence observations from an Engine. record() is called under
+/// the reporting session's shard mutex - one call per shard at a time, but
+/// different shards call concurrently, so implementations shard their own
+/// state by `shard` (calib::EvidenceStore keeps one ring per engine shard)
+/// or lock internally. Must not call back into the engine (the shard lock
+/// is held) and must not throw.
+class EvidenceSink {
+ public:
+  virtual ~EvidenceSink() = default;
+
+  /// `shard` is the engine shard the session lives on, in
+  /// [0, Engine::num_shards()).
+  virtual void record(std::size_t shard,
+                      const EvidenceObservation& observation) = 0;
+};
+
+}  // namespace tauw::core

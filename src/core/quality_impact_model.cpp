@@ -20,6 +20,18 @@ void QualityImpactModel::fit(const dtree::TreeDataset& train,
   compile();
 }
 
+void QualityImpactModel::recalibrate_leaves(
+    const dtree::TreeDataset& calibration,
+    const dtree::CalibrationConfig& config) {
+  if (!fitted()) throw std::logic_error("QIM::recalibrate_leaves before fit");
+  if (calibration.num_features != num_features()) {
+    throw std::invalid_argument(
+        "QIM::recalibrate_leaves: calibration feature mismatch");
+  }
+  calibration_result_ = dtree::calibrate_leaves(tree_, calibration, config);
+  compile();
+}
+
 const dtree::CompiledTree& QualityImpactModel::compile() {
   if (!fitted()) throw std::logic_error("QIM::compile before fit");
   compiled_ = dtree::CompiledTree::compile(tree_);

@@ -35,6 +35,17 @@ class QualityImpactModel {
            const dtree::TreeDataset& calibration, const QimConfig& config,
            std::vector<std::string> feature_names = {});
 
+  /// Structure-preserving recalibration: refreshes every leaf's
+  /// Clopper-Pearson bound on `calibration` (dtree::calibrate_leaves - the
+  /// exact calibration phase of fit()) and recompiles. The tree structure,
+  /// feature names, and training importances are kept, so the transparent
+  /// model an expert reviewed stays reviewable across refreshes. This is the
+  /// online calibration plane's fast path; distribution shifts that demand a
+  /// different structure need a fresh fit(). Throws when unfitted or when
+  /// `calibration` disagrees with num_features().
+  void recalibrate_leaves(const dtree::TreeDataset& calibration,
+                          const dtree::CalibrationConfig& config);
+
   bool fitted() const noexcept { return !tree_.empty(); }
   std::size_t num_features() const noexcept { return tree_.num_features(); }
 
@@ -72,6 +83,10 @@ class QualityImpactModel {
   const dtree::DecisionTree& tree() const noexcept { return tree_; }
   const dtree::CalibrationResult& calibration() const noexcept {
     return calibration_result_;
+  }
+  /// The transparency feature names fit() retained (possibly empty).
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
   }
 
   /// (Re)compiles the fitted tree into the flattened inference form and

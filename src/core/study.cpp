@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "calib/recalibrator.hpp"
+
 namespace tauw::core {
 
 namespace {
@@ -116,8 +118,12 @@ void Study::run() {
       generator_->make_eval_series(split.calib, kSaltCalib);
   const dtree::TreeDataset qim_calib = stateless_dataset(calib_series);
   log("fitting stateless QIM");
-  qim_ = std::make_shared<QualityImpactModel>();
-  qim_->fit(qim_train, qim_calib, config_.qim, qf_extractor_.names());
+  // The offline fit runs through the calibration plane's shared fit path
+  // (grow + prune + calibrate + compile) - the same implementation the
+  // online Recalibrator's regrow path uses, so offline and online
+  // calibration can never diverge.
+  qim_ = calib::Recalibrator::regrown_model(qim_train, qim_calib, config_.qim,
+                                            qf_extractor_.names());
   wrapper_ = std::make_unique<UncertaintyWrapper>(*ddm_, qf_extractor_, *qim_);
 
   // ---- 3. Traces ---------------------------------------------------------
@@ -249,9 +255,9 @@ std::shared_ptr<QualityImpactModel> Study::fit_taqim(TaqfSet set) const {
   const TaFeatureBuilder builder(qf_extractor_.num_factors(), set);
   const dtree::TreeDataset train = ta_dataset(train_ta_traces_, builder);
   const dtree::TreeDataset calib = ta_dataset(calib_traces_, builder);
-  auto model = std::make_shared<QualityImpactModel>();
-  model->fit(train, calib, config_.qim, builder.names(qf_extractor_.names()));
-  return model;
+  // Same shared fit path as the stateless QIM (see Study::run).
+  return calib::Recalibrator::regrown_model(
+      train, calib, config_.qim, builder.names(qf_extractor_.names()));
 }
 
 namespace {

@@ -72,12 +72,26 @@ CalibrationResult prune_and_calibrate(DecisionTree& tree,
   tree.compact();  // drop the orphaned subtrees pruning left behind
 
   // Re-route the calibration data through the pruned tree and compute the
-  // per-leaf Clopper-Pearson upper bounds.
-  const NodeCounts final_counts = route_counts(tree, calibration_data);
+  // per-leaf Clopper-Pearson upper bounds (shared with the leaf-only online
+  // recalibration path).
+  const std::size_t pruned = result.pruned_nodes;
+  result = calibrate_leaves(tree, calibration_data, config);
+  result.pruned_nodes = pruned;
+  return result;
+}
+
+CalibrationResult calibrate_leaves(DecisionTree& tree,
+                                   const TreeDataset& calibration_data,
+                                   const CalibrationConfig& config) {
+  if (calibration_data.size() == 0) {
+    throw std::invalid_argument("calibrate_leaves: empty calibration set");
+  }
+  CalibrationResult result;
+  const NodeCounts counts = route_counts(tree, calibration_data);
   for (const std::size_t leaf : tree.leaf_indices()) {
     Node& n = tree.node(leaf);
-    const std::size_t samples = final_counts.samples[leaf];
-    const std::size_t failures = final_counts.failures[leaf];
+    const std::size_t samples = counts.samples[leaf];
+    const std::size_t failures = counts.failures[leaf];
     if (samples == 0) {
       // Unreachable on the calibration distribution: maximally uncertain.
       n.uncertainty = 1.0;

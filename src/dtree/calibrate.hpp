@@ -49,4 +49,18 @@ CalibrationResult prune_and_calibrate(DecisionTree& tree,
                                       const TreeDataset& calibration_data,
                                       const CalibrationConfig& config);
 
+/// Leaf-only recalibration: refreshes every leaf's `uncertainty` with the
+/// Clopper-Pearson upper bound of its failure rate on `calibration_data`,
+/// keeping the tree structure (and its transparency for expert review)
+/// untouched. This IS the calibration phase of prune_and_calibrate - the two
+/// share one implementation, so refreshing leaves on a frozen evidence
+/// snapshot is bit-identical to the offline path on the same data whenever
+/// the structure needs no pruning. Leaves the snapshot never reaches become
+/// maximally uncertain (bound 1.0); `config.min_leaf_samples` is not
+/// enforced here (structure-preserving refresh cannot collapse thin leaves -
+/// callers wanting the guarantee regrow via prune_and_calibrate instead).
+CalibrationResult calibrate_leaves(DecisionTree& tree,
+                                   const TreeDataset& calibration_data,
+                                   const CalibrationConfig& config);
+
 }  // namespace tauw::dtree

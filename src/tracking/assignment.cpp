@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace tauw::tracking {
@@ -11,16 +10,8 @@ namespace {
 
 constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
 
-/// CSR view of the candidate graph: per-row sorted (column, cost) lists
-/// with duplicate (row, column) pairs collapsed to the cheapest.
-struct CandidateGraph {
-  std::vector<std::size_t> row_begin;  // num_rows + 1 offsets into edges
-  std::vector<std::size_t> edge_column;
-  std::vector<double> edge_cost;
-};
-
-CandidateGraph build_graph(std::size_t num_rows, std::size_t num_columns,
-                           std::span<const AssignmentCandidate> candidates) {
+void validate_candidates(std::size_t num_rows, std::size_t num_columns,
+                         std::span<const AssignmentCandidate> candidates) {
   for (const AssignmentCandidate& cand : candidates) {
     if (cand.row >= num_rows || cand.column >= num_columns) {
       throw std::out_of_range("assignment candidate out of range");
@@ -29,55 +20,65 @@ CandidateGraph build_graph(std::size_t num_rows, std::size_t num_columns,
       throw std::invalid_argument("assignment candidate cost must be >= 0");
     }
   }
+}
+
+/// Builds the CSR view of the candidate graph into `scratch` (row_begin /
+/// edge_column / edge_cost): per-row lists sorted by column with duplicate
+/// (row, column) pairs collapsed to the cheapest. Everything lives in the
+/// reusable workspace - steady-state callers allocate nothing here.
+void build_graph(std::size_t num_rows, std::size_t num_columns,
+                 std::span<const AssignmentCandidate> candidates,
+                 AssignmentScratch& scratch) {
+  validate_candidates(num_rows, num_columns, candidates);
 
   // Counting sort by row keeps construction O(R + E).
-  CandidateGraph graph;
-  graph.row_begin.assign(num_rows + 1, 0);
+  scratch.row_begin.assign(num_rows + 1, 0);
   for (const AssignmentCandidate& cand : candidates) {
-    ++graph.row_begin[cand.row + 1];
+    ++scratch.row_begin[cand.row + 1];
   }
   for (std::size_t r = 0; r < num_rows; ++r) {
-    graph.row_begin[r + 1] += graph.row_begin[r];
+    scratch.row_begin[r + 1] += scratch.row_begin[r];
   }
-  std::vector<std::size_t> cursor(graph.row_begin.begin(),
-                                  graph.row_begin.end() - 1);
-  graph.edge_column.resize(candidates.size());
-  graph.edge_cost.resize(candidates.size());
+  scratch.cursor.assign(scratch.row_begin.begin(),
+                        scratch.row_begin.end() - 1);
+  scratch.edge_column.resize(candidates.size());
+  scratch.edge_cost.resize(candidates.size());
   for (const AssignmentCandidate& cand : candidates) {
-    const std::size_t at = cursor[cand.row]++;
-    graph.edge_column[at] = cand.column;
-    graph.edge_cost[at] = cand.cost;
+    const std::size_t at = scratch.cursor[cand.row]++;
+    scratch.edge_column[at] = cand.column;
+    scratch.edge_cost[at] = cand.cost;
   }
 
   // Sort each row's list by (column, cost) and keep the cheapest per column.
-  std::vector<std::pair<std::size_t, double>> scratch;
   std::size_t write = 0;
   std::size_t read_begin = 0;
   for (std::size_t r = 0; r < num_rows; ++r) {
-    const std::size_t read_end = graph.row_begin[r + 1];
-    scratch.clear();
+    const std::size_t read_end = scratch.row_begin[r + 1];
+    scratch.row_sort.clear();
     for (std::size_t e = read_begin; e < read_end; ++e) {
-      scratch.emplace_back(graph.edge_column[e], graph.edge_cost[e]);
+      scratch.row_sort.emplace_back(scratch.edge_column[e],
+                                    scratch.edge_cost[e]);
     }
-    std::sort(scratch.begin(), scratch.end());
-    graph.row_begin[r] = write;
-    for (std::size_t i = 0; i < scratch.size(); ++i) {
-      if (i > 0 && scratch[i].first == scratch[i - 1].first) continue;
-      graph.edge_column[write] = scratch[i].first;
-      graph.edge_cost[write] = scratch[i].second;
+    std::sort(scratch.row_sort.begin(), scratch.row_sort.end());
+    scratch.row_begin[r] = write;
+    for (std::size_t i = 0; i < scratch.row_sort.size(); ++i) {
+      if (i > 0 && scratch.row_sort[i].first == scratch.row_sort[i - 1].first) {
+        continue;
+      }
+      scratch.edge_column[write] = scratch.row_sort[i].first;
+      scratch.edge_cost[write] = scratch.row_sort[i].second;
       ++write;
     }
     read_begin = read_end;
   }
-  graph.row_begin[num_rows] = write;
-  graph.edge_column.resize(write);
-  graph.edge_cost.resize(write);
-  return graph;
+  scratch.row_begin[num_rows] = write;
+  scratch.edge_column.resize(write);
+  scratch.edge_cost.resize(write);
 }
 
 AssignmentResult finalize(std::size_t num_rows, std::size_t num_columns,
                           const std::vector<std::size_t>& row_to_column,
-                          const CandidateGraph& graph, double miss_cost) {
+                          const AssignmentScratch& scratch, double miss_cost) {
   AssignmentResult result;
   result.row_to_column.assign(num_rows, -1);
   for (std::size_t r = 0; r < num_rows; ++r) {
@@ -87,9 +88,10 @@ AssignmentResult finalize(std::size_t num_rows, std::size_t num_columns,
       continue;
     }
     result.row_to_column[r] = static_cast<std::ptrdiff_t>(c);
-    for (std::size_t e = graph.row_begin[r]; e < graph.row_begin[r + 1]; ++e) {
-      if (graph.edge_column[e] == c) {
-        result.total_cost += graph.edge_cost[e];
+    for (std::size_t e = scratch.row_begin[r]; e < scratch.row_begin[r + 1];
+         ++e) {
+      if (scratch.edge_column[e] == c) {
+        result.total_cost += scratch.edge_cost[e];
         break;
       }
     }
@@ -102,10 +104,19 @@ AssignmentResult finalize(std::size_t num_rows, std::size_t num_columns,
 AssignmentResult solve_assignment(
     std::size_t num_rows, std::size_t num_columns,
     std::span<const AssignmentCandidate> candidates, double miss_cost) {
+  AssignmentScratch scratch;
+  return solve_assignment(num_rows, num_columns, candidates, miss_cost,
+                          scratch);
+}
+
+AssignmentResult solve_assignment(
+    std::size_t num_rows, std::size_t num_columns,
+    std::span<const AssignmentCandidate> candidates, double miss_cost,
+    AssignmentScratch& scratch) {
   if (!(miss_cost >= 0.0)) {
     throw std::invalid_argument("assignment miss_cost must be >= 0");
   }
-  const CandidateGraph graph = build_graph(num_rows, num_columns, candidates);
+  build_graph(num_rows, num_columns, candidates, scratch);
 
   // Column space: real columns [0, C), then one private miss column per row
   // at C + r. Real columns come first so Dijkstra's (distance, column)
@@ -113,29 +124,35 @@ AssignmentResult solve_assignment(
   const std::size_t total_columns = num_columns + num_rows;
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  std::vector<double> row_potential(num_rows, 0.0);
-  std::vector<double> column_potential(total_columns, 0.0);
-  std::vector<std::size_t> match_of_column(total_columns, kNoColumn);  // row
-  std::vector<std::size_t> match_of_row(num_rows, kNoColumn);          // col
+  scratch.row_potential.assign(num_rows, 0.0);
+  scratch.column_potential.assign(total_columns, 0.0);
+  scratch.match_of_column.assign(total_columns, kNoColumn);  // row
+  scratch.match_of_row.assign(num_rows, kNoColumn);          // col
 
-  std::vector<double> dist(total_columns, kInf);
-  std::vector<std::size_t> previous_column(total_columns, kNoColumn);
-  std::vector<bool> settled(total_columns, false);
-  std::vector<std::size_t> touched;  // columns to reset after each phase
+  scratch.dist.assign(total_columns, kInf);
+  scratch.previous_column.assign(total_columns, kNoColumn);
+  scratch.settled.assign(total_columns, 0);
+  scratch.touched.clear();  // columns to reset after each phase
+  // Min-heap on (distance, column) via push_heap/pop_heap with greater<> -
+  // the exact extraction order std::priority_queue had, but on a reusable
+  // vector. Entries are distinct (relax only pushes strict improvements),
+  // so the pop sequence is fully determined by the comparator.
+  scratch.heap.clear();
   using HeapEntry = std::pair<double, std::size_t>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap;
+  const auto heap_greater = std::greater<HeapEntry>{};
 
-  const auto relax = [&](std::size_t row, double base, std::size_t from_column,
-                         std::size_t column, double cost) {
-    const double d =
-        base + cost - row_potential[row] - column_potential[column];
-    if (d < dist[column]) {
-      if (dist[column] == kInf) touched.push_back(column);
-      dist[column] = d;
-      previous_column[column] = from_column;
-      heap.emplace(d, column);
+  const auto relax = [&scratch, &heap_greater](
+                         std::size_t row, double base,
+                         std::size_t from_column, std::size_t column,
+                         double cost) {
+    const double d = base + cost - scratch.row_potential[row] -
+                     scratch.column_potential[column];
+    if (d < scratch.dist[column]) {
+      if (scratch.dist[column] == kInf) scratch.touched.push_back(column);
+      scratch.dist[column] = d;
+      scratch.previous_column[column] = from_column;
+      scratch.heap.emplace_back(d, column);
+      std::push_heap(scratch.heap.begin(), scratch.heap.end(), heap_greater);
     }
   };
 
@@ -143,112 +160,118 @@ AssignmentResult solve_assignment(
     // Dijkstra over reduced costs from the free row, until the cheapest
     // reachable free column is settled. The row's private miss column is
     // always free, so an augmenting path always exists.
-    for (std::size_t e = graph.row_begin[start_row];
-         e < graph.row_begin[start_row + 1]; ++e) {
-      relax(start_row, 0.0, kNoColumn, graph.edge_column[e],
-            graph.edge_cost[e]);
+    for (std::size_t e = scratch.row_begin[start_row];
+         e < scratch.row_begin[start_row + 1]; ++e) {
+      relax(start_row, 0.0, kNoColumn, scratch.edge_column[e],
+            scratch.edge_cost[e]);
     }
     relax(start_row, 0.0, kNoColumn, num_columns + start_row, miss_cost);
 
     std::size_t end_column = kNoColumn;
     double end_distance = 0.0;
-    while (!heap.empty()) {
-      const auto [d, column] = heap.top();
-      heap.pop();
-      if (settled[column]) continue;
-      settled[column] = true;
-      if (match_of_column[column] == kNoColumn) {
+    while (!scratch.heap.empty()) {
+      const auto [d, column] = scratch.heap.front();
+      std::pop_heap(scratch.heap.begin(), scratch.heap.end(), heap_greater);
+      scratch.heap.pop_back();
+      if (scratch.settled[column] != 0) continue;
+      scratch.settled[column] = 1;
+      if (scratch.match_of_column[column] == kNoColumn) {
         end_column = column;
         end_distance = d;
         break;
       }
-      const std::size_t row = match_of_column[column];
-      for (std::size_t e = graph.row_begin[row]; e < graph.row_begin[row + 1];
-           ++e) {
-        if (!settled[graph.edge_column[e]]) {
-          relax(row, d, column, graph.edge_column[e], graph.edge_cost[e]);
+      const std::size_t row = scratch.match_of_column[column];
+      for (std::size_t e = scratch.row_begin[row];
+           e < scratch.row_begin[row + 1]; ++e) {
+        if (scratch.settled[scratch.edge_column[e]] == 0) {
+          relax(row, d, column, scratch.edge_column[e], scratch.edge_cost[e]);
         }
       }
-      if (!settled[num_columns + row]) {
+      if (scratch.settled[num_columns + row] == 0) {
         relax(row, d, column, num_columns + row, miss_cost);
       }
     }
 
     // Dual update keeps all reduced costs non-negative and matched edges
     // tight (Johnson-style reweighting over the settled set).
-    row_potential[start_row] += end_distance;
-    for (const std::size_t column : touched) {
-      if (settled[column] && column != end_column) {
-        const std::size_t row = match_of_column[column];
-        if (row != kNoColumn) row_potential[row] += end_distance - dist[column];
-        column_potential[column] += dist[column] - end_distance;
+    scratch.row_potential[start_row] += end_distance;
+    for (const std::size_t column : scratch.touched) {
+      if (scratch.settled[column] != 0 && column != end_column) {
+        const std::size_t row = scratch.match_of_column[column];
+        if (row != kNoColumn) {
+          scratch.row_potential[row] += end_distance - scratch.dist[column];
+        }
+        scratch.column_potential[column] += scratch.dist[column] - end_distance;
       }
     }
 
     // Augment along the alternating path back to the start row.
     std::size_t column = end_column;
     while (column != kNoColumn) {
-      const std::size_t prev = previous_column[column];
+      const std::size_t prev = scratch.previous_column[column];
       const std::size_t row =
-          prev == kNoColumn ? start_row : match_of_column[prev];
-      match_of_column[column] = row;
-      match_of_row[row] = column;
+          prev == kNoColumn ? start_row : scratch.match_of_column[prev];
+      scratch.match_of_column[column] = row;
+      scratch.match_of_row[row] = column;
       column = prev;
     }
 
     // Reset phase-local state (only what was touched).
-    for (const std::size_t c : touched) {
-      dist[c] = kInf;
-      previous_column[c] = kNoColumn;
-      settled[c] = false;
+    for (const std::size_t c : scratch.touched) {
+      scratch.dist[c] = kInf;
+      scratch.previous_column[c] = kNoColumn;
+      scratch.settled[c] = 0;
     }
-    touched.clear();
-    heap = {};
+    scratch.touched.clear();
+    scratch.heap.clear();
   }
 
-  return finalize(num_rows, num_columns, match_of_row, graph, miss_cost);
+  return finalize(num_rows, num_columns, scratch.match_of_row, scratch,
+                  miss_cost);
 }
 
 AssignmentResult solve_greedy(std::size_t num_rows, std::size_t num_columns,
                               std::span<const AssignmentCandidate> candidates,
                               double miss_cost) {
+  AssignmentScratch scratch;
+  return solve_greedy(num_rows, num_columns, candidates, miss_cost, scratch);
+}
+
+AssignmentResult solve_greedy(std::size_t num_rows, std::size_t num_columns,
+                              std::span<const AssignmentCandidate> candidates,
+                              double miss_cost, AssignmentScratch& scratch) {
   if (!(miss_cost >= 0.0)) {
     throw std::invalid_argument("assignment miss_cost must be >= 0");
   }
-  for (const AssignmentCandidate& cand : candidates) {
-    if (cand.row >= num_rows || cand.column >= num_columns) {
-      throw std::out_of_range("assignment candidate out of range");
-    }
-    if (!(cand.cost >= 0.0)) {
-      throw std::invalid_argument("assignment candidate cost must be >= 0");
-    }
-  }
+  validate_candidates(num_rows, num_columns, candidates);
 
   // Sorting by (cost, row, column) and scanning once is exactly the
   // repeated pick-the-global-minimum greedy with the deterministic
   // lowest-(row, column) tie-break: the next accepted edge in scan order is
   // always the cheapest edge whose endpoints are still free.
-  std::vector<std::size_t> order(candidates.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const AssignmentCandidate& ca = candidates[a];
-    const AssignmentCandidate& cb = candidates[b];
-    if (ca.cost != cb.cost) return ca.cost < cb.cost;
-    if (ca.row != cb.row) return ca.row < cb.row;
-    return ca.column < cb.column;
-  });
+  scratch.order.resize(candidates.size());
+  for (std::size_t i = 0; i < scratch.order.size(); ++i) scratch.order[i] = i;
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const AssignmentCandidate& ca = candidates[a];
+              const AssignmentCandidate& cb = candidates[b];
+              if (ca.cost != cb.cost) return ca.cost < cb.cost;
+              if (ca.row != cb.row) return ca.row < cb.row;
+              return ca.column < cb.column;
+            });
 
   AssignmentResult result;
   result.row_to_column.assign(num_rows, -1);
-  std::vector<bool> column_used(num_columns, false);
+  scratch.column_used.assign(num_columns, 0);
   std::size_t matched = 0;
-  for (const std::size_t i : order) {
+  for (const std::size_t i : scratch.order) {
     const AssignmentCandidate& cand = candidates[i];
-    if (result.row_to_column[cand.row] >= 0 || column_used[cand.column]) {
+    if (result.row_to_column[cand.row] >= 0 ||
+        scratch.column_used[cand.column] != 0) {
       continue;
     }
     result.row_to_column[cand.row] = static_cast<std::ptrdiff_t>(cand.column);
-    column_used[cand.column] = true;
+    scratch.column_used[cand.column] = 1;
     result.total_cost += cand.cost;
     ++matched;
   }

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace tauw::tracking {
@@ -44,6 +45,36 @@ struct AssignmentResult {
   double total_cost = 0.0;
 };
 
+/// Reusable workspace for the solvers: every per-call allocation (the CSR
+/// candidate graph, the dual potentials, Dijkstra's heap and labels, the
+/// greedy ordering) is hoisted here, so a caller solving one assignment per
+/// frame - the tracker's steady state - allocates nothing after the first
+/// few frames. Default-construct once and pass the same instance to
+/// successive calls; results are bit-identical with or without a shared
+/// scratch. Contents are solver-internal. Not thread-safe: one scratch per
+/// concurrently solving thread.
+struct AssignmentScratch {
+  // CSR candidate graph (build phase).
+  std::vector<std::size_t> row_begin;
+  std::vector<std::size_t> edge_column;
+  std::vector<double> edge_cost;
+  std::vector<std::size_t> cursor;
+  std::vector<std::pair<std::size_t, double>> row_sort;
+  // Jonker-Volgenant phase state.
+  std::vector<double> row_potential;
+  std::vector<double> column_potential;
+  std::vector<std::size_t> match_of_column;
+  std::vector<std::size_t> match_of_row;
+  std::vector<double> dist;
+  std::vector<std::size_t> previous_column;
+  std::vector<char> settled;
+  std::vector<std::size_t> touched;
+  std::vector<std::pair<double, std::size_t>> heap;
+  // Greedy ordering.
+  std::vector<std::size_t> order;
+  std::vector<char> column_used;
+};
+
 /// Solves the gated assignment problem. Candidates may appear in any order;
 /// duplicate (row, column) pairs keep the cheapest. Rows or columns without
 /// any candidate simply stay unassigned. `miss_cost` must be non-negative;
@@ -55,6 +86,14 @@ AssignmentResult solve_assignment(std::size_t num_rows,
                                   std::span<const AssignmentCandidate> candidates,
                                   double miss_cost);
 
+/// Allocation-free variant reusing `scratch` across calls (the overload
+/// above delegates here with a throwaway workspace).
+AssignmentResult solve_assignment(std::size_t num_rows,
+                                  std::size_t num_columns,
+                                  std::span<const AssignmentCandidate> candidates,
+                                  double miss_cost,
+                                  AssignmentScratch& scratch);
+
 /// Reference greedy picker over the same candidate graph: repeatedly accepts
 /// the cheapest remaining candidate whose row and column are both free,
 /// breaking cost ties by the lowest (row, column) pair. This is exactly the
@@ -63,5 +102,10 @@ AssignmentResult solve_assignment(std::size_t num_rows,
 AssignmentResult solve_greedy(std::size_t num_rows, std::size_t num_columns,
                               std::span<const AssignmentCandidate> candidates,
                               double miss_cost);
+
+/// Allocation-free variant reusing `scratch` across calls.
+AssignmentResult solve_greedy(std::size_t num_rows, std::size_t num_columns,
+                              std::span<const AssignmentCandidate> candidates,
+                              double miss_cost, AssignmentScratch& scratch);
 
 }  // namespace tauw::tracking

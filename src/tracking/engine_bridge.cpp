@@ -1,7 +1,10 @@
 #include "tracking/engine_bridge.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
+
+#include "calib/recalibrator.hpp"
 
 namespace tauw::tracking {
 
@@ -50,6 +53,23 @@ EngineTrackBridge::~EngineTrackBridge() {
     engine_->close_session(session_for(series));
   }
   release_bridge_namespace(session_namespace_);
+}
+
+void EngineTrackBridge::report_truth(std::uint64_t series_id,
+                                     std::size_t true_label) {
+  if (!live_series_.contains(series_id)) return;  // late truth: series ended
+  engine_->report_truth(session_for(series_id), true_label);
+  if (recalibrator_ != nullptr && ++outcomes_since_nudge_ >= trigger_stride_) {
+    outcomes_since_nudge_ = 0;
+    recalibrator_->notify();
+  }
+}
+
+void EngineTrackBridge::set_recalibrator(calib::Recalibrator* recalibrator,
+                                         std::size_t trigger_stride) {
+  recalibrator_ = recalibrator;
+  trigger_stride_ = std::max<std::size_t>(1, trigger_stride);
+  outcomes_since_nudge_ = 0;
 }
 
 std::span<const BridgeResult> EngineTrackBridge::observe(

@@ -17,12 +17,17 @@
 // construction/destruction and the process-wide namespace allocator are
 // safe from any thread.
 
+#include <cstdint>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "tracking/multi_track_manager.hpp"
+
+namespace tauw::calib {
+class Recalibrator;
+}  // namespace tauw::calib
 
 namespace tauw::tracking {
 
@@ -68,6 +73,22 @@ class EngineTrackBridge {
   std::span<const BridgeResult> observe(
       std::span<const SceneDetection> detections);
 
+  /// Ground-truth feedback for a tracked series' last step (e.g. a map
+  /// match, a downstream confirmation, or shadow-mode labels): forwards to
+  /// Engine::report_truth - feeding the session monitor and, when an
+  /// evidence sink is attached, the online calibration plane - and nudges
+  /// the attached Recalibrator every `trigger_stride` outcomes. Unknown or
+  /// already-closed series are ignored (the truth arrived late).
+  void report_truth(std::uint64_t series_id, std::size_t true_label);
+
+  /// Attaches the background recalibrator this bridge nudges (nullptr
+  /// detaches). The bridge does not own it; it must outlive the bridge or
+  /// be detached first. `trigger_stride` is the number of report_truth
+  /// calls between nudges (>= 1); the recalibrator's own policy still
+  /// decides whether a nudge becomes a recalibration.
+  void set_recalibrator(calib::Recalibrator* recalibrator,
+                        std::size_t trigger_stride = 64);
+
   MultiTrackManager& tracker() noexcept { return tracker_; }
   const MultiTrackManager& tracker() const noexcept { return tracker_; }
   core::Engine& engine() noexcept { return *engine_; }
@@ -76,6 +97,10 @@ class EngineTrackBridge {
   core::Engine* engine_;
   core::SessionId session_namespace_;
   MultiTrackManager tracker_;
+  // Tracker-triggered recalibration (see set_recalibrator).
+  calib::Recalibrator* recalibrator_ = nullptr;
+  std::size_t trigger_stride_ = 64;
+  std::size_t outcomes_since_nudge_ = 0;
   /// Tracker series ids with an open engine session. Authoritative for the
   /// bridge's cleanup: destruction (and reconciliation after a dropped
   /// closure notification) closes sessions from here, never relying on the

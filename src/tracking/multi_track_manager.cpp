@@ -157,12 +157,18 @@ std::vector<MultiTrackUpdate> MultiTrackManager::observe(
           (mode_ == AssociationMode::kAuto && sparse);
       const double gate = config_.gate_distance_m;
       const AssignmentResult result =
-          use_greedy ? solve_greedy(prior_tracks, n, candidates_, gate)
-                     : solve_assignment(prior_tracks, n, candidates_, gate);
+          use_greedy
+              ? solve_greedy(prior_tracks, n, candidates_, gate,
+                             solver_scratch_)
+              : solve_assignment(prior_tracks, n, candidates_, gate,
+                                 solver_scratch_);
       if (audit_costs_) {
         const AssignmentResult audit =
-            use_greedy ? solve_assignment(prior_tracks, n, candidates_, gate)
-                       : solve_greedy(prior_tracks, n, candidates_, gate);
+            use_greedy
+                ? solve_assignment(prior_tracks, n, candidates_, gate,
+                                   solver_scratch_)
+                : solve_greedy(prior_tracks, n, candidates_, gate,
+                               solver_scratch_);
         stats_.last.audit_cost = audit.total_cost;
       }
       stats_.last.cost = result.total_cost;

@@ -186,6 +186,10 @@ class MultiTrackManager {
   std::uint64_t next_series_id_ = 0;
 
   // Reused per-frame scratch (allocation-free in steady state).
+  /// Solver workspace shared across frames - the JV solver and the greedy
+  /// picker previously re-allocated their graph/heap/potential arrays on
+  /// every observe() (see the dense-tracking bench for the before/after).
+  AssignmentScratch solver_scratch_;
   std::vector<AssignmentCandidate> candidates_;
   std::vector<std::pair<std::uint64_t, std::size_t>> cell_keys_;
   std::vector<std::uint32_t> track_degree_;
