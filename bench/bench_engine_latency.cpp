@@ -1,0 +1,336 @@
+// Open-loop tail-latency bench for the serve/ traffic plane - the SLO gate
+// for the async serving path.
+//
+// Closed-loop benches (bench_engine_throughput) measure how fast the engine
+// can go when the caller waits for each batch; production traffic does not
+// wait. This bench drives the plane OPEN-LOOP: producer threads submit
+// frames on a fixed arrival schedule regardless of completions, so queueing
+// delay shows up in the numbers instead of being absorbed by a slowed-down
+// generator (coordinated omission). Two phases run:
+//
+//   nominal  - a sustainable arrival rate through drainer-threaded queues;
+//              reports the enqueue-to-completion p50/p99/p999 from the
+//              plane's log-scaled histograms. The CI gate fails on a >20%
+//              p99 regression versus the committed conservative baseline.
+//   overload - 4x the queue capacity at kShedNewest: demonstrates that
+//              overload becomes typed shed outcomes with exact accounting
+//              (delivered + shed == arrivals) instead of silent loss.
+//
+// Both phases close every session through the plane's ordered path and
+// assert zero lost sessions; any lost session, lost completion, or
+// accounting violation fails the run regardless of the baseline.
+//
+// Build & run:  ./bench/bench_engine_latency [--arrivals N] [--rate HZ]
+//                 [--json OUT.json] [--baseline BASELINE.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/traffic_plane.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace tauw;
+using Clock = std::chrono::steady_clock;
+
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    const bool base = f[0] > 0.5F;
+    const bool flip = f[1] > 0.5F;
+    p.label = (base != flip) ? 1 : 0;
+    p.confidence = 0.97F;
+    return p;
+  }
+};
+
+data::FrameRecord make_frame(float signal, float deficit) {
+  data::FrameRecord rec;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+core::EngineComponents make_components() {
+  auto ddm = std::make_shared<ToyDdm>();
+  core::QualityFactorExtractor qf(28.0);
+  stats::Rng rng(42);
+  dtree::TreeDataset train;
+  dtree::TreeDataset calib;
+  for (int i = 0; i < 4000; ++i) {
+    const float deficit = rng.bernoulli(0.3) ? 0.9F : 0.05F;
+    const float signal = rng.bernoulli(0.5) ? 0.9F : 0.1F;
+    const std::size_t truth = signal > 0.5F ? 1 : 0;
+    const data::FrameRecord frame = make_frame(signal, deficit);
+    const bool failure = ddm->predict(frame.features).label != truth;
+    (i % 2 == 0 ? train : calib).push_back(qf.extract(frame), failure);
+  }
+  core::QimConfig qim_config;
+  auto qim = std::make_shared<core::QualityImpactModel>();
+  qim->fit(train, calib, qim_config, qf.names());
+
+  core::EngineComponents components;
+  components.ddm = std::move(ddm);
+  components.qf_extractor = qf;
+  components.qim = std::move(qim);
+  return components;
+}
+
+struct PhaseResult {
+  std::uint64_t arrivals = 0;
+  std::uint64_t delivered_ok = 0;
+  std::uint64_t delivered_shed = 0;
+  std::uint64_t lost_completions = 0;  ///< arrivals - (ok + shed)
+  std::size_t lost_sessions = 0;       ///< live after closing everything
+  bool accounting_ok = false;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double mean_coalesced = 0.0;
+  double achieved_rate = 0.0;  ///< arrivals/sec actually generated
+};
+
+/// Drives `producers` open-loop threads at a combined `rate_hz` for
+/// `arrivals` total submissions over `sessions` round-robin sessions, then
+/// closes every session through the plane and reads the telemetry.
+PhaseResult run_phase(core::Engine& engine, serve::TrafficPlaneConfig config,
+                      std::size_t producers, std::size_t sessions,
+                      std::uint64_t arrivals, double rate_hz) {
+  serve::TrafficPlane plane(engine, config);
+
+  // Pre-built frame pool (frames are borrowed by the plane; the pool
+  // outlives every completion).
+  stats::Rng rng(7);
+  std::vector<data::FrameRecord> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(make_frame(rng.bernoulli(0.5) ? 0.9F : 0.1F,
+                              rng.bernoulli(0.3) ? 0.9F : 0.05F));
+  }
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  const std::uint64_t per_producer = arrivals / producers;
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(producers) / rate_hz));
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      // Each producer owns a disjoint session slice so per-session order is
+      // well defined without cross-producer coordination.
+      const std::size_t base = p * (sessions / producers);
+      const std::size_t span = sessions / producers;
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        // Open-loop: the schedule never waits for completions.
+        std::this_thread::sleep_until(start + (i + 1) * period);
+        const core::SessionId session = base + (i % span) + 1;
+        plane.submit_frame(session, pool[i % pool.size()], nullptr,
+                           [&](serve::StepOutcome outcome) {
+                             if (outcome.status == serve::SubmitStatus::kOk) {
+                               ok.fetch_add(1, std::memory_order_relaxed);
+                             } else {
+                               shed.fetch_add(1, std::memory_order_relaxed);
+                             }
+                           });
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (std::size_t s = 0; s < sessions; ++s) {
+    plane.submit_close(s + 1);
+  }
+  plane.flush();
+
+  const serve::ServeStats stats = plane.stats();
+  PhaseResult result;
+  result.arrivals = per_producer * producers;
+  result.delivered_ok = ok.load();
+  result.delivered_shed = shed.load();
+  result.lost_completions =
+      result.arrivals - result.delivered_ok - result.delivered_shed;
+  result.accounting_ok =
+      stats.accounting_consistent() &&
+      stats.completed == result.delivered_ok &&
+      stats.shed == result.delivered_shed && stats.closes == sessions;
+  result.lost_sessions = engine.stats().live_sessions;
+  result.p50_us = stats.p50_us;
+  result.p99_us = stats.p99_us;
+  result.p999_us = stats.p999_us;
+  result.mean_coalesced = stats.mean_coalesced();
+  result.achieved_rate = static_cast<double>(result.arrivals) / elapsed;
+  return result;
+}
+
+void print_phase(const char* name, const PhaseResult& r) {
+  std::printf(
+      "%-9s arrivals %-8llu rate %-9.0f ok %-8llu shed %-7llu "
+      "p50 %-8.1f p99 %-9.1f p999 %-9.1f coalesce %-5.1f\n",
+      name, static_cast<unsigned long long>(r.arrivals), r.achieved_rate,
+      static_cast<unsigned long long>(r.delivered_ok),
+      static_cast<unsigned long long>(r.delivered_shed), r.p50_us, r.p99_us,
+      r.p999_us, r.mean_coalesced);
+}
+
+bool read_json_number(const char* path, const char* key, double* out) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  std::string text;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t arrivals = 40000;
+  double rate_hz = 20000.0;
+  const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--arrivals") == 0) {
+      arrivals = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      rate_hz = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    }
+  }
+
+  std::printf("fitting toy components...\n");
+  const core::EngineComponents components = make_components();
+  core::EngineConfig engine_config;
+  engine_config.max_sessions = 0;
+  engine_config.buffer_capacity = 10;
+  engine_config.num_shards = 4;
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSessions = 256;
+
+  // -- nominal: sustainable open-loop load, block policy -------------------
+  core::Engine nominal_engine(components, engine_config);
+  serve::TrafficPlaneConfig nominal_config;
+  nominal_config.queue_capacity = 4096;
+  nominal_config.policy = serve::OverflowPolicy::kBlock;
+  const PhaseResult nominal = run_phase(nominal_engine, nominal_config,
+                                        kProducers, kSessions, arrivals,
+                                        rate_hz);
+  print_phase("nominal", nominal);
+
+  // -- overload: 4x rate into small shed-newest queues ---------------------
+  core::Engine overload_engine(components, engine_config);
+  serve::TrafficPlaneConfig overload_config;
+  overload_config.queue_capacity = 64;
+  overload_config.policy = serve::OverflowPolicy::kShedNewest;
+  const PhaseResult overload =
+      run_phase(overload_engine, overload_config, kProducers, kSessions,
+                arrivals, 4.0 * rate_hz);
+  print_phase("overload", overload);
+
+  bool hard_fail = false;
+  for (const PhaseResult* phase : {&nominal, &overload}) {
+    if (phase->lost_completions != 0) {
+      std::fprintf(stderr, "FAIL: %llu submissions were never answered\n",
+                   static_cast<unsigned long long>(phase->lost_completions));
+      hard_fail = true;
+    }
+    if (phase->lost_sessions != 0) {
+      std::fprintf(stderr, "FAIL: %zu sessions leaked past their close\n",
+                   phase->lost_sessions);
+      hard_fail = true;
+    }
+    if (!phase->accounting_ok) {
+      std::fprintf(stderr,
+                   "FAIL: plane telemetry disagrees with delivered "
+                   "completions (lost shed-accounting)\n");
+      hard_fail = true;
+    }
+  }
+  if (nominal.delivered_shed != 0) {
+    std::fprintf(stderr, "FAIL: nominal phase shed under kBlock\n");
+    hard_fail = true;
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"bench_engine_latency\",\n"
+        "  \"arrivals\": %llu,\n"
+        "  \"rate_hz\": %.0f,\n"
+        "  \"p50_us\": %.2f,\n"
+        "  \"p99_us\": %.2f,\n"
+        "  \"p999_us\": %.2f,\n"
+        "  \"mean_coalesced\": %.2f,\n"
+        "  \"overload_shed\": %llu,\n"
+        "  \"overload_p99_us\": %.2f,\n"
+        "  \"lost_completions\": %llu,\n"
+        "  \"lost_sessions\": %zu\n"
+        "}\n",
+        static_cast<unsigned long long>(nominal.arrivals), rate_hz,
+        nominal.p50_us, nominal.p99_us, nominal.p999_us,
+        nominal.mean_coalesced,
+        static_cast<unsigned long long>(overload.delivered_shed),
+        overload.p99_us,
+        static_cast<unsigned long long>(nominal.lost_completions +
+                                        overload.lost_completions),
+        nominal.lost_sessions + overload.lost_sessions);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (baseline_path != nullptr) {
+    double baseline_p99 = 0.0;
+    if (!read_json_number(baseline_path, "p99_us", &baseline_p99) ||
+        baseline_p99 <= 0.0) {
+      std::fprintf(stderr, "cannot read p99_us from %s\n", baseline_path);
+      return 1;
+    }
+    const double ceiling = 1.2 * baseline_p99;
+    std::printf("baseline gate: measured p99 %.1fus vs committed %.1fus "
+                "(ceiling %.1fus)\n",
+                nominal.p99_us, baseline_p99, ceiling);
+    if (nominal.p99_us > ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: nominal p99 latency regressed >20%% versus the "
+                   "committed baseline\n");
+      return 1;
+    }
+    std::printf("baseline gate: PASS\n");
+  }
+  return hard_fail ? 1 : 0;
+}

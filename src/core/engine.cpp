@@ -201,8 +201,24 @@ Engine::Session& Engine::create_session(Shard& shard, SessionId id) {
     session.monitor = RuntimeMonitor(config_.monitor);
     session.lru_it = shard.lru.begin();
     const auto [it, inserted] = shard.sessions.emplace(id, std::move(session));
-    if (shard.max_sessions > 0 && shard.sessions.size() > shard.max_sessions) {
-      evict_lru(shard, id);
+    const std::size_t live_after =
+        global_live_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (shard.max_sessions > 0 &&
+        shard.sessions.size() > shard.max_sessions + shard.borrowed) {
+      // Over budget. Cross-shard pressure balancing: keep the session on a
+      // borrowed slot while (a) this shard's borrow allowance has room and
+      // (b) the engine-wide live total is within max_sessions - i.e. some
+      // other shard's budget is genuinely unused right now. The global
+      // check is an atomic read of a counter every shard maintains, so a
+      // concurrent burst can at worst DENY a borrow that a stop-the-world
+      // view would have granted (the increment above already counted this
+      // session), never grant one beyond max_sessions.
+      if (shard.borrowed < config_.max_borrowed_sessions &&
+          live_after <= config_.max_sessions) {
+        ++shard.borrowed;
+      } else {
+        evict_lru(shard, id);
+      }
     }
     return it->second;
   } catch (...) {
@@ -214,7 +230,8 @@ Engine::Session& Engine::create_session(Shard& shard, SessionId id) {
 }
 
 void Engine::evict_lru(Shard& shard, SessionId keep) {
-  while (shard.sessions.size() > shard.max_sessions && !shard.lru.empty()) {
+  while (shard.sessions.size() > shard.max_sessions + shard.borrowed &&
+         !shard.lru.empty()) {
     const SessionId victim = shard.lru.back();
     if (victim == keep) break;  // never evict the session being touched
     close_session_locked(shard, victim);
@@ -242,6 +259,14 @@ void Engine::close_session_locked(Shard& shard, SessionId id) {
   shard.retired += it->second.monitor.stats();
   shard.lru.erase(it->second.lru_it);
   shard.sessions.erase(it);
+  global_live_.fetch_sub(1, std::memory_order_relaxed);
+  // Return borrowed budget as soon as the shard shrinks back: borrowed is
+  // exactly the over-budget excess, so cold shards' capacity flows back the
+  // moment the hot shard's pressure subsides.
+  if (shard.borrowed > 0 &&
+      shard.sessions.size() < shard.max_sessions + shard.borrowed) {
+    --shard.borrowed;
+  }
 }
 
 void Engine::close_session(SessionId id) {
@@ -570,12 +595,54 @@ void Engine::step_batch(std::span<const SessionFrame> frames,
 void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
   Shard& shard = *task.shard;
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (task.indices->size() == 1) {
+  run_group_locked(shard, state.frames, *task.indices, *state.results);
+}
+
+void Engine::step_shard_batch(std::size_t shard_index,
+                              std::span<const SessionFrame> frames,
+                              std::vector<EngineStepResult>& results) {
+  if (shard_index >= shards_.size()) {
+    throw std::invalid_argument("Engine::step_shard_batch: shard index " +
+                                std::to_string(shard_index) + " out of range");
+  }
+  // Same all-before-any validation contract as step_batch, plus the
+  // single-shard routing precondition this entry point exists for.
+  for (const SessionFrame& frame : frames) {
+    if (frame.frame == nullptr) {
+      throw std::invalid_argument("Engine::step_shard_batch: null frame");
+    }
+    validate_external_id(frame.session);
+    if (shard_of(frame.session) != shard_index) {
+      throw std::invalid_argument(
+          "Engine::step_shard_batch: session " +
+          std::to_string(frame.session) + " maps to shard " +
+          std::to_string(shard_of(frame.session)) + ", not shard " +
+          std::to_string(shard_index));
+    }
+  }
+  results.resize(frames.size());
+  if (frames.empty()) return;
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // A contiguous group is "indices 0..n-1"; the iota scratch lives in the
+  // shard (used under its mutex), so concurrent drainers of different
+  // shards never share it.
+  std::vector<std::size_t>& iota = shard.batch.iota;
+  iota.resize(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) iota[i] = i;
+  run_group_locked(shard, frames, iota, results);
+}
+
+void Engine::run_group_locked(Shard& shard,
+                              std::span<const SessionFrame> frames,
+                              std::span<const std::size_t> indices,
+                              std::vector<EngineStepResult>& results) {
+  if (indices.size() == 1) {
     // A one-entry group gains nothing from staging; take the direct path
     // (this keeps single-session streaming free of batch overhead).
-    const SessionFrame& sf = state.frames[task.indices->front()];
+    const SessionFrame& sf = frames[indices.front()];
     step_frame_locked(shard, sf.session, *sf.frame, sf.location,
-                      (*state.results)[task.indices->front()]);
+                      results[indices.front()]);
     return;
   }
   if (components_.ddm == nullptr || shard.models->qim == nullptr) {
@@ -584,7 +651,7 @@ void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
         "must use step_precomputed)");
   }
   BatchScratch& batch = shard.batch;
-  const std::size_t group_size = task.indices->size();
+  const std::size_t group_size = indices.size();
   const std::size_t num_factors = components_.qf_extractor.num_factors();
   // Size the QF staging matrix for the whole group before staging anything:
   // contexts hold spans into it, so it must never reallocate mid-run.
@@ -601,7 +668,7 @@ void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
   // between here and staging - every step of the group serves one
   // generation, exactly as the per-step path did.
   for (std::size_t k = 0; k < group_size; ++k) {
-    const SessionFrame& sf = state.frames[(*task.indices)[k]];
+    const SessionFrame& sf = frames[indices[k]];
     components_.qf_extractor.extract_into(
         *sf.frame,
         std::span<double>(batch.qf_matrix.data() + k * num_factors,
@@ -611,8 +678,8 @@ void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
   shard.models->qim->predict_batch(batch.qf_matrix, batch.stateless_u);
   batch.next_row = 0;
   try {
-    for (const std::size_t index : *task.indices) {
-      const SessionFrame& sf = state.frames[index];
+    for (const std::size_t index : indices) {
+      const SessionFrame& sf = frames[index];
       const auto it = shard.sessions.find(sf.session);
       if (!batch.contexts.empty()) {
         // A pending context must see exactly its own step's state, and it
@@ -630,7 +697,7 @@ void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
         if (repeat || may_evict) flush_run(shard);
       }
       stage_step_locked(shard, sf.session, it, *sf.frame, sf.location,
-                        (*state.results)[index]);
+                        results[index]);
     }
     flush_run(shard);
   } catch (...) {
@@ -834,12 +901,21 @@ std::uint64_t Engine::model_generation() const {
 }
 
 EngineStats Engine::stats() const {
+  // Coherent snapshot (see EngineStats): holding swap_mutex_ pins the
+  // published generation for the whole shard walk - swap_models takes the
+  // same mutex before touching any shard, so the generation/swap-count
+  // pair reported here is exactly what every shard served while its
+  // counters were read (no torn mid-swap view). Each shard's live map,
+  // retired aggregate, and borrow count are then taken together under that
+  // shard's mutex in one pass.
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
   EngineStats out;
   out.model_swaps = model_swaps_.load(std::memory_order_relaxed);
   out.model_generation = published_generation_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     out.live_sessions += shard->sessions.size();
+    out.borrowed_sessions += shard->borrowed;
     out.monitor += shard->retired;
     for (const auto& [id, session] : shard->sessions) {
       out.monitor += session.monitor.stats();

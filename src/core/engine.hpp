@@ -159,6 +159,17 @@ struct EngineConfig {
   std::size_t buffer_capacity = 0;
   /// Per-session runtime-monitor configuration.
   MonitorConfig monitor{};
+  /// Cross-shard LRU pressure balancing: the number of sessions a shard may
+  /// hold BEYOND its per-shard budget by borrowing unused budget from cold
+  /// shards (0 disables borrowing - the strict per-shard behavior). A
+  /// borrow is granted only while the engine-wide live total is within
+  /// max_sessions, so a hash-skewed workload keeps its hot sessions instead
+  /// of evicting them while other shards sit half empty; once every shard
+  /// is loaded, the global check fails and the hot shard falls back to
+  /// local LRU eviction. Accounting is deterministic: a shard's borrowed
+  /// count is exactly max(0, live - budget) at all times, and borrowed
+  /// slots return as soon as the shard shrinks back to budget.
+  std::size_t max_borrowed_sessions = 0;
   /// Number of session shards (>= 1; 0 is treated as 1). More shards mean
   /// less lock contention and more step_batch parallelism; a good default
   /// under threading is 2-4x num_threads.
@@ -188,12 +199,24 @@ struct EngineModels {
 };
 
 /// Aggregate engine health counters (stats()).
+///
+/// Consistency model: stats() holds the swap serialization lock while it
+/// visits every shard under that shard's mutex in one pass, so (a) the
+/// reported model generation is exactly what every shard serves for the
+/// whole snapshot (a swap cannot publish mid-visit), and (b) each shard's
+/// counters are internally coherent (no torn live/retired split). Counters
+/// of *different* shards are taken at slightly different instants, so under
+/// concurrent stepping the cross-shard sums are a consistent-per-shard
+/// snapshot, not a global stop-the-world one.
 struct EngineStats {
   /// The currently published model generation (1 until the first swap;
   /// swap_models bumps it engine-wide).
   std::uint64_t model_generation = 1;
   std::uint64_t model_swaps = 0;  ///< completed swap_models calls
   std::size_t live_sessions = 0;
+  /// Sessions currently held beyond their shard's budget via cross-shard
+  /// borrowing (see EngineConfig::max_borrowed_sessions).
+  std::size_t borrowed_sessions = 0;
   MonitorStats monitor;  ///< aggregate over live, closed, evicted sessions
 };
 
@@ -317,6 +340,18 @@ class Engine {
   void step_batch(std::span<const SessionFrame> frames,
                   std::vector<EngineStepResult>& results);
 
+  /// Columnar single-shard entry point for external schedulers (the serve/
+  /// traffic plane): steps a group of frames that ALL map to `shard_index`
+  /// (throws std::invalid_argument otherwise) through the same columnar
+  /// staged path step_batch uses, on the caller's thread, without touching
+  /// the engine-wide batch mutex or worker pool. Callers draining different
+  /// shards therefore run fully in parallel, serializing only against
+  /// direct traffic to the same shard. Results are bit-identical to step()
+  /// / step_batch() for the same per-session frame order.
+  void step_shard_batch(std::size_t shard_index,
+                        std::span<const SessionFrame> frames,
+                        std::vector<EngineStepResult>& results);
+
   // -- model hot-swap (thread-safe) ----------------------------------------
   /// Publishes a recalibrated (QIM, taQIM) generation without draining
   /// sessions. `qim` must be fitted with the engine's QF-extractor feature
@@ -368,7 +403,9 @@ class Engine {
   /// sessions.
   MonitorStats total_monitor_stats() const;
   /// Aggregate health counters: generation, swap count, live sessions, and
-  /// the monitor aggregate.
+  /// the monitor aggregate - taken as a coherent snapshot (per-shard
+  /// counters under each shard mutex in one pass, model generation pinned
+  /// for the whole visit; see EngineStats for the exact consistency model).
   EngineStats stats() const;
 
  private:
@@ -424,6 +461,9 @@ class Engine {
     /// at 1 so a fresh session's zero-initialized mark never matches.
     std::uint64_t run_id = 1;
     std::vector<double> estimate_matrix;  ///< num_estimators x run length
+    /// Identity index list scratch for step_shard_batch (a contiguous
+    /// group is "indices 0..n-1 of the span").
+    std::vector<std::size_t> iota;
   };
 
   /// One shard: a self-contained slice of the session space. All mutable
@@ -436,6 +476,10 @@ class Engine {
     std::list<SessionId> lru;  ///< front = most recently used
     MonitorStats retired;      ///< folded stats of closed/evicted sessions
     std::size_t max_sessions = 0;  ///< per-shard LRU budget (0 = unbounded)
+    /// Sessions currently held beyond max_sessions via cross-shard budget
+    /// borrowing; invariant (borrowing enabled): exactly
+    /// max(0, sessions.size() - max_sessions). Guarded by `mutex`.
+    std::size_t borrowed = 0;
     /// Per-shard estimator clones - estimators may keep scratch buffers,
     /// so sharing instances across concurrently stepping shards would race.
     std::vector<std::shared_ptr<UncertaintyEstimator>> estimators;
@@ -517,6 +561,12 @@ class Engine {
                          const sim::SignLocation* location,
                          EngineStepResult& result);
   void flush_run(Shard& shard);
+  /// The shared columnar group runner behind step_batch's per-shard tasks
+  /// and step_shard_batch: steps frames[indices...] (in index order, all
+  /// mapping to `shard`) into results[indices...]. Caller holds shard.mutex.
+  void run_group_locked(Shard& shard, std::span<const SessionFrame> frames,
+                        std::span<const std::size_t> indices,
+                        std::vector<EngineStepResult>& results);
 
   // Worker pool (see engine.cpp for the dispatch protocol).
   void worker_loop();
@@ -536,9 +586,17 @@ class Engine {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<SessionId> next_auto_id_{kAutoSessionBit | 1};
+  /// Engine-wide live-session count, maintained on every create/close under
+  /// the owning shard's mutex. Only consulted by the cross-shard borrowing
+  /// check (an over-budget creation may keep its session while the global
+  /// total is within max_sessions), so the strict-budget default never pays
+  /// more than the two uncontended atomic ops.
+  std::atomic<std::size_t> global_live_{0};
 
-  /// Serializes swap_models callers so generations publish monotonically.
-  std::mutex swap_mutex_;
+  /// Serializes swap_models callers so generations publish monotonically;
+  /// stats() holds it too, pinning the published generation for the whole
+  /// snapshot (mutable: snapshotting is logically const).
+  mutable std::mutex swap_mutex_;
   /// Highest generation number ever handed out (guarded by swap_mutex_).
   /// A failed swap still consumes its number, so two different model sets
   /// can never share a generation.

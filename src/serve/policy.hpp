@@ -1,0 +1,109 @@
+#pragma once
+// Admission policy types of the serve/ traffic plane.
+//
+// The paper's uncertainty wrapper runs inside a dependable perception loop:
+// a late or silently dropped uncertainty estimate is itself a safety defect.
+// The traffic plane therefore never loses a submission - every accepted
+// frame either completes with a full engine step, is rejected with a TYPED
+// shed outcome the caller can act on, or is answered with an explicitly
+// degraded conservative estimate. Which of the three happens under overflow
+// is the operator's choice, the backpressure policy ladder:
+//
+//   kBlock      - submit() blocks until queue space frees up. Backpressure
+//                 propagates to the producer; nothing is ever dropped. The
+//                 right default when producers can tolerate latency.
+//   kShedNewest - a full queue rejects the NEWEST submission immediately
+//                 with SubmitStatus::kShed + ShedReason. Queued (older)
+//                 frames keep their latency budget; the caller sees the
+//                 overload explicitly and can retry, downsample, or fail
+//                 over. Per-session ordering still holds: a shed frame was
+//                 never admitted, and the caller learns synchronously.
+//   kDegrade    - a full queue answers the submission immediately with the
+//                 cheap conservative estimator: uncertainty 1.0 (the
+//                 vacuous dependable bound - never an underestimate) and
+//                 the plane's RuntimeMonitor decision on it, which is
+//                 kFallback under any meaningful threshold. The caller
+//                 always gets a dependable answer within its latency
+//                 budget; the degraded frame is NOT committed to the
+//                 session's evidence series (exactly like a dropped camera
+//                 frame), so subsequent full steps stay bit-identical to a
+//                 trace that never contained it.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "core/monitor.hpp"
+
+namespace tauw::serve {
+
+/// What happened to one submission (StepOutcome::status).
+enum class SubmitStatus : std::uint8_t {
+  kOk,        ///< full engine step; StepOutcome::step is valid
+  kShed,      ///< rejected under overflow (kShedNewest) or shutdown
+  kDegraded,  ///< answered by the conservative degrade path (kDegrade)
+};
+
+/// Why a submission was shed (typed rejection; kNone unless status==kShed).
+enum class ShedReason : std::uint8_t {
+  kNone,
+  kQueueFull,  ///< the shard queue was at capacity under kShedNewest
+  kShutdown,   ///< the plane was stopping; the submission was never admitted
+  /// The engine threw while stepping this frame (e.g. a replay-only engine
+  /// without a DDM). Future-based submissions receive the exception itself
+  /// instead; this reason is how the callback API reports it.
+  kEngineError,
+};
+
+/// Overflow behavior of a full shard queue - the policy ladder above.
+enum class OverflowPolicy : std::uint8_t { kBlock, kShedNewest, kDegrade };
+
+struct TrafficPlaneConfig {
+  /// Bounded per-shard submission-queue capacity (>= 1; 0 is treated as 1).
+  /// The bound is what turns overload into an explicit policy decision
+  /// instead of unbounded memory growth and silent tail-latency collapse.
+  std::size_t queue_capacity = 1024;
+  /// What a full queue does with the next submission.
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  /// Upper bound on frames one drain pass coalesces into a single columnar
+  /// Engine::step_shard_batch run (>= 1; 0 treated as 1). Larger runs
+  /// amortize the shard lock and feed the compiled batched QIM kernels;
+  /// smaller runs bound the head-of-line latency one run can add.
+  std::size_t max_coalesce = 256;
+  /// When true, no drainer threads are started; the owner pumps queues
+  /// explicitly via TrafficPlane::drain(shard). Deterministic single-
+  /// threaded mode for tests and embedded schedulers.
+  bool manual_drain = false;
+  /// Decides degraded (uncertainty 1.0) responses under kDegrade; with the
+  /// default threshold every degraded outcome is a kFallback, and the
+  /// plane-level monitor statistics record how often overload forced the
+  /// safe countermeasure - the load-shedding line in a safety case.
+  core::MonitorConfig degrade_monitor{};
+  /// Enqueue-to-completion latency histogram range in MICROSECONDS
+  /// (log-scaled bins; values are clamped into the range) and resolution.
+  double latency_lo_us = 0.5;
+  double latency_hi_us = 60.0e6;  ///< one minute: covers any stall worth seeing
+  std::size_t latency_bins = 200;
+};
+
+/// Everything the plane delivers for one submission (future or callback).
+struct StepOutcome {
+  SubmitStatus status = SubmitStatus::kOk;
+  ShedReason shed_reason = ShedReason::kNone;
+  /// The full engine step (valid when status == kOk; default-constructed
+  /// otherwise).
+  core::EngineStepResult step;
+  /// The primary dependable uncertainty: the engine's primary estimate for
+  /// kOk, the vacuous 1.0 bound for kDegraded, 1.0 for kShed (a shed frame
+  /// has no evidence; 1.0 is the only bound the plane may state).
+  double uncertainty = 1.0;
+  /// The accept/fallback decision: the engine session monitor's for kOk,
+  /// the plane's degrade monitor's for kDegraded, kFallback for kShed.
+  core::MonitorDecision decision = core::MonitorDecision::kFallback;
+  /// Enqueue-to-completion latency (submit() call to delivery; ~0 for
+  /// submissions answered synchronously by shed/degrade).
+  std::chrono::nanoseconds latency{0};
+};
+
+}  // namespace tauw::serve

@@ -1,0 +1,91 @@
+#pragma once
+// First-class latency telemetry of the serve/ traffic plane.
+//
+// Every completed submission records its enqueue-to-completion latency into
+// a per-shard log-scaled histogram (stats::LogHistogram - constant relative
+// resolution from sub-microsecond to the minute range in one fixed-size,
+// mergeable array), together with queue-depth and coalescing counters.
+// ServeStats merges the per-shard telemetry into one engine-wide view and
+// extracts the SLO quantiles (p50/p99/p999) the CI latency gate asserts.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "core/monitor.hpp"
+#include "stats/histogram.hpp"
+
+namespace tauw::serve {
+
+/// Per-shard traffic counters (one ShardServeStats per engine shard;
+/// aggregated into ServeStats). All counters are cumulative since plane
+/// construction.
+struct ShardServeStats {
+  std::uint64_t submitted = 0;  ///< admitted into the queue (incl. closes)
+  std::uint64_t completed = 0;  ///< full engine steps delivered
+  std::uint64_t shed = 0;       ///< typed rejections (kShedNewest/shutdown)
+  std::uint64_t degraded = 0;   ///< conservative degrade-path answers
+  std::uint64_t closes = 0;     ///< ordered submit_close requests drained
+  std::uint64_t batches = 0;    ///< coalesced step_shard_batch runs
+  std::uint64_t coalesced_frames = 0;  ///< frames across those runs
+  std::size_t max_coalesced = 0;       ///< largest single run
+  std::size_t queue_depth = 0;         ///< current depth (snapshot)
+  std::size_t peak_queue_depth = 0;    ///< high-water mark
+  std::uint64_t blocked_submits = 0;   ///< submits that waited under kBlock
+};
+
+/// Engine-wide traffic-plane snapshot (TrafficPlane::stats()): the shard
+/// aggregate, the merged latency distribution with its SLO quantiles, the
+/// degrade monitor's accept/fallback statistics, and the underlying
+/// Engine::stats() coherent snapshot - one call answers "is serving
+/// healthy" end to end.
+struct ServeStats {
+  // -- aggregated traffic counters (sums/maxima over shards) --------------
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_frames = 0;
+  std::size_t max_coalesced = 0;
+  std::size_t queue_depth = 0;
+  std::size_t peak_queue_depth = 0;
+  std::uint64_t blocked_submits = 0;
+
+  /// Mean frames per coalesced run (0 when no run completed yet).
+  double mean_coalesced() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(coalesced_frames) /
+                              static_cast<double>(batches);
+  }
+
+  /// Accounting identity the plane guarantees (asserted by the CI latency
+  /// gate): every admitted submission is delivered exactly once -
+  /// submitted == completed + closes + queue_depth. Shed and degraded
+  /// submissions were answered synchronously and never admitted. Holds
+  /// exactly whenever no drain pass is mid-flight (e.g. after flush());
+  /// under live traffic a pass's taken-but-undelivered items are counted
+  /// in neither bucket yet.
+  bool accounting_consistent() const noexcept {
+    return submitted == completed + closes + queue_depth;
+  }
+
+  // -- latency ------------------------------------------------------------
+  /// Merged per-shard enqueue-to-completion latency, in MICROSECONDS
+  /// (stats() rebuilds it with the plane's configured range/bins; the
+  /// in-class shape is only the default-construction placeholder).
+  stats::LogHistogram latency_us{0.5, 60.0e6, 200};
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+
+  // -- overload countermeasure accounting ---------------------------------
+  /// The plane-level degrade monitor's statistics (kDegrade answers).
+  core::MonitorStats degrade_monitor;
+
+  /// The engine's own coherent snapshot, taken in the same stats() call.
+  core::EngineStats engine;
+};
+
+}  // namespace tauw::serve

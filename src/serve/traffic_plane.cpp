@@ -1,0 +1,387 @@
+#include "serve/traffic_plane.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace tauw::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double to_microseconds(std::chrono::nanoseconds ns) noexcept {
+  return static_cast<double>(ns.count()) / 1000.0;
+}
+
+}  // namespace
+
+TrafficPlane::TrafficPlane(core::Engine& engine, TrafficPlaneConfig config)
+    : engine_(&engine), config_(config) {
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.max_coalesce == 0) config_.max_coalesce = 1;
+  primary_ = engine_->primary_index();
+  lanes_.reserve(engine_->num_shards());
+  for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
+    lanes_.push_back(std::make_unique<Lane>(config_));
+  }
+  if (!config_.manual_drain) {
+    drainers_.reserve(lanes_.size());
+    try {
+      for (std::size_t s = 0; s < lanes_.size(); ++s) {
+        drainers_.emplace_back([this, s] { drainer_loop(s); });
+      }
+    } catch (...) {
+      // Join whatever spawned (cf. Engine's pool): the destructor does not
+      // run when a constructor unwinds, and destroying a joinable
+      // std::thread terminates the process.
+      stopping_.store(true, std::memory_order_relaxed);
+      for (const auto& lane : lanes_) lane->not_empty.notify_all();
+      for (std::thread& drainer : drainers_) drainer.join();
+      throw;
+    }
+  }
+}
+
+TrafficPlane::~TrafficPlane() { stop(); }
+
+void TrafficPlane::deliver(Submission& submission, StepOutcome&& outcome) {
+  if (submission.has_promise) {
+    submission.promise.set_value(std::move(outcome));
+  } else if (submission.callback) {
+    submission.callback(std::move(outcome));
+  }
+}
+
+bool TrafficPlane::admit(Submission&& submission) {
+  Lane& lane = *lanes_[engine_->shard_of(submission.session)];
+  const bool is_close = submission.kind == Submission::Kind::kClose;
+  {
+    std::unique_lock<std::mutex> lock(lane.mutex);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ++lane.shed;
+      lock.unlock();
+      StepOutcome outcome;
+      outcome.status = SubmitStatus::kShed;
+      outcome.shed_reason = ShedReason::kShutdown;
+      deliver(submission, std::move(outcome));
+      return false;
+    }
+    if (lane.queue.size() >= config_.queue_capacity && !is_close) {
+      switch (config_.policy) {
+        case OverflowPolicy::kBlock:
+          ++lane.blocked_submits;
+          lane.not_full.wait(lock, [&] {
+            return lane.queue.size() < config_.queue_capacity ||
+                   stopping_.load(std::memory_order_relaxed);
+          });
+          if (stopping_.load(std::memory_order_relaxed)) {
+            ++lane.shed;
+            lock.unlock();
+            StepOutcome outcome;
+            outcome.status = SubmitStatus::kShed;
+            outcome.shed_reason = ShedReason::kShutdown;
+            deliver(submission, std::move(outcome));
+            return false;
+          }
+          break;
+        case OverflowPolicy::kShedNewest: {
+          ++lane.shed;
+          lock.unlock();
+          StepOutcome outcome;
+          outcome.status = SubmitStatus::kShed;
+          outcome.shed_reason = ShedReason::kQueueFull;
+          deliver(submission, std::move(outcome));
+          return false;
+        }
+        case OverflowPolicy::kDegrade: {
+          ++lane.degraded;
+          StepOutcome outcome;
+          outcome.status = SubmitStatus::kDegraded;
+          outcome.uncertainty = 1.0;
+          // The conservative estimator: the vacuous bound, decided by the
+          // plane's RuntimeMonitor so overload-forced fallbacks show up in
+          // the same accept/fallback accounting a safety case reads.
+          outcome.decision = lane.degrade_monitor.decide(1.0);
+          lock.unlock();
+          deliver(submission, std::move(outcome));
+          return false;
+        }
+      }
+    }
+    ++lane.submitted;
+    submission.enqueued = Clock::now();
+    lane.queue.push_back(std::move(submission));
+    lane.peak_depth = std::max(lane.peak_depth, lane.queue.size());
+  }
+  lane.not_empty.notify_one();
+  return true;
+}
+
+std::future<StepOutcome> TrafficPlane::submit_frame(
+    core::SessionId session, const data::FrameRecord& frame,
+    const sim::SignLocation* location) {
+  Submission submission;
+  submission.session = session;
+  submission.frame = &frame;
+  submission.location = location;
+  submission.has_promise = true;
+  std::future<StepOutcome> future = submission.promise.get_future();
+  admit(std::move(submission));
+  return future;
+}
+
+void TrafficPlane::submit_frame(core::SessionId session,
+                                const data::FrameRecord& frame,
+                                const sim::SignLocation* location,
+                                Completion completion) {
+  Submission submission;
+  submission.session = session;
+  submission.frame = &frame;
+  submission.location = location;
+  submission.callback = std::move(completion);
+  admit(std::move(submission));
+}
+
+void TrafficPlane::submit_batch(
+    std::span<const core::SessionFrame> frames,
+    std::vector<std::future<StepOutcome>>& futures) {
+  futures.reserve(futures.size() + frames.size());
+  for (const core::SessionFrame& frame : frames) {
+    if (frame.frame == nullptr) {
+      throw std::invalid_argument("TrafficPlane::submit_batch: null frame");
+    }
+    futures.push_back(submit_frame(frame.session, *frame.frame,
+                                   frame.location));
+  }
+}
+
+void TrafficPlane::submit_close(core::SessionId session) {
+  Submission submission;
+  submission.kind = Submission::Kind::kClose;
+  submission.session = session;
+  admit(std::move(submission));
+}
+
+void TrafficPlane::run_staged(Lane& lane, std::size_t shard_index,
+                              Clock::time_point now) {
+  if (lane.frames.empty()) return;
+  bool batch_ok = true;
+  try {
+    engine_->step_shard_batch(shard_index, lane.frames, lane.results);
+  } catch (...) {
+    // A coalesced run failed as a whole (before any step committed - the
+    // engine validates the group up front, and a mid-run throw still
+    // estimates committed steps). Re-step item by item through the
+    // bit-identical per-step path so blame lands on exactly the failing
+    // frame(s) instead of the whole group.
+    batch_ok = false;
+  }
+  if (!batch_ok) {
+    lane.results.resize(lane.frames.size());
+    for (std::size_t i = 0; i < lane.frames.size(); ++i) {
+      Submission& submission = lane.taken[lane.slots[i]];
+      const core::SessionFrame& sf = lane.frames[i];
+      try {
+        engine_->step_into(sf.session, *sf.frame, sf.location,
+                           lane.results[i]);
+      } catch (...) {
+        if (submission.has_promise) {
+          submission.promise.set_exception(std::current_exception());
+        } else {
+          StepOutcome outcome;
+          outcome.status = SubmitStatus::kShed;
+          outcome.shed_reason = ShedReason::kEngineError;
+          deliver(submission, std::move(outcome));
+        }
+        submission.dead = true;  // delivered out of band: skip below
+      }
+    }
+  }
+  // Record telemetry in one locked pass, then deliver in submission order.
+  // Every staged frame counts as completed - delivery happened (possibly
+  // exceptionally, possibly into a receiver-less callback submission), so
+  // the submitted == completed + closes + queue_depth identity stays exact.
+  {
+    std::lock_guard<std::mutex> telemetry(lane.completion_mutex);
+    ++lane.batches;
+    lane.coalesced_frames += lane.frames.size();
+    lane.max_coalesced = std::max(lane.max_coalesced, lane.frames.size());
+    lane.completed += lane.frames.size();
+    for (std::size_t i = 0; i < lane.frames.size(); ++i) {
+      const Submission& submission = lane.taken[lane.slots[i]];
+      if (submission.dead) continue;  // latency tracks delivered steps only
+      lane.latency_us.add(to_microseconds(now - submission.enqueued));
+    }
+  }
+  for (std::size_t i = 0; i < lane.frames.size(); ++i) {
+    Submission& submission = lane.taken[lane.slots[i]];
+    if (submission.dead) continue;
+    StepOutcome outcome;
+    outcome.status = SubmitStatus::kOk;
+    outcome.step = std::move(lane.results[i]);
+    outcome.uncertainty = outcome.step.estimates.empty()
+                              ? 1.0
+                              : outcome.step.estimates[primary_];
+    outcome.decision = outcome.step.decision;
+    outcome.latency = now - submission.enqueued;
+    deliver(submission, std::move(outcome));
+  }
+  lane.frames.clear();
+  lane.slots.clear();
+}
+
+std::size_t TrafficPlane::drain_pass(Lane& lane, std::size_t shard_index) {
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    if (lane.queue.empty() || lane.draining) return 0;
+    lane.draining = true;
+    const std::size_t take =
+        std::min(config_.max_coalesce, lane.queue.size());
+    lane.taken.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      lane.taken.push_back(std::move(lane.queue.front()));
+      lane.queue.pop_front();
+    }
+  }
+  // Capacity freed: wake every blocked producer (they re-check under the
+  // lane mutex).
+  lane.not_full.notify_all();
+
+  // Coalesce consecutive steps into columnar runs, flushing at every close
+  // boundary so a close never overtakes (or is overtaken by) a step of the
+  // same session.
+  const Clock::time_point now = Clock::now();
+  lane.frames.clear();
+  lane.slots.clear();
+  std::size_t closes = 0;
+  for (std::size_t i = 0; i < lane.taken.size(); ++i) {
+    Submission& submission = lane.taken[i];
+    if (submission.kind == Submission::Kind::kClose) {
+      run_staged(lane, shard_index, now);
+      engine_->close_session(submission.session);
+      ++closes;
+      continue;
+    }
+    core::SessionFrame frame;
+    frame.session = submission.session;
+    frame.frame = submission.frame;
+    frame.location = submission.location;
+    lane.frames.push_back(frame);
+    lane.slots.push_back(i);
+  }
+  run_staged(lane, shard_index, now);
+  if (closes > 0) {
+    std::lock_guard<std::mutex> telemetry(lane.completion_mutex);
+    lane.closes += closes;
+  }
+
+  const std::size_t delivered = lane.taken.size();
+  lane.taken.clear();
+  bool empty_now = false;
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    lane.draining = false;
+    empty_now = lane.queue.empty();
+  }
+  if (empty_now) lane.idle.notify_all();
+  return delivered;
+}
+
+void TrafficPlane::drainer_loop(std::size_t lane_index) {
+  Lane& lane = *lanes_[lane_index];
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(lane.mutex);
+      lane.not_empty.wait(lock, [&] {
+        return !lane.queue.empty() ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+      if (lane.queue.empty() &&
+          stopping_.load(std::memory_order_relaxed)) {
+        return;  // admission is off and the lane is drained: done
+      }
+    }
+    drain_pass(lane, lane_index);
+  }
+}
+
+std::size_t TrafficPlane::drain(std::size_t shard_index) {
+  if (shard_index >= lanes_.size()) {
+    throw std::invalid_argument("TrafficPlane::drain: shard index out of "
+                                "range");
+  }
+  return drain_pass(*lanes_[shard_index], shard_index);
+}
+
+void TrafficPlane::flush() {
+  if (config_.manual_drain && drainers_.empty()) {
+    for (std::size_t s = 0; s < lanes_.size(); ++s) {
+      while (drain_pass(*lanes_[s], s) > 0) {
+      }
+    }
+    return;
+  }
+  for (const auto& lane : lanes_) {
+    std::unique_lock<std::mutex> lock(lane->mutex);
+    lane->idle.wait(lock,
+                    [&] { return lane->queue.empty() && !lane->draining; });
+  }
+}
+
+void TrafficPlane::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  for (const auto& lane : lanes_) {
+    // Touch the mutex so a drainer between predicate and wait cannot miss
+    // the flag, then wake everyone: blocked producers shed, drainers finish
+    // the backlog and exit.
+    { std::lock_guard<std::mutex> lock(lane->mutex); }
+    lane->not_empty.notify_all();
+    lane->not_full.notify_all();
+  }
+  for (std::thread& drainer : drainers_) {
+    if (drainer.joinable()) drainer.join();
+  }
+  drainers_.clear();
+  // Manual mode (or freshly joined drainers racing stop's flag): deliver
+  // whatever is still queued - an accepted submission is never lost.
+  for (std::size_t s = 0; s < lanes_.size(); ++s) {
+    while (drain_pass(*lanes_[s], s) > 0) {
+    }
+  }
+}
+
+ServeStats TrafficPlane::stats() const {
+  ServeStats out;
+  out.latency_us = stats::LogHistogram(
+      config_.latency_lo_us, config_.latency_hi_us, config_.latency_bins);
+  for (const auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mutex);
+      out.submitted += lane->submitted;
+      out.shed += lane->shed;
+      out.degraded += lane->degraded;
+      out.blocked_submits += lane->blocked_submits;
+      out.queue_depth += lane->queue.size();
+      out.peak_queue_depth = std::max(out.peak_queue_depth, lane->peak_depth);
+      out.degrade_monitor += lane->degrade_monitor.stats();
+    }
+    {
+      std::lock_guard<std::mutex> lock(lane->completion_mutex);
+      out.completed += lane->completed;
+      out.closes += lane->closes;
+      out.batches += lane->batches;
+      out.coalesced_frames += lane->coalesced_frames;
+      out.max_coalesced = std::max(out.max_coalesced, lane->max_coalesced);
+      out.latency_us.merge(lane->latency_us);
+    }
+  }
+  out.p50_us = out.latency_us.quantile(0.50);
+  out.p99_us = out.latency_us.quantile(0.99);
+  out.p999_us = out.latency_us.quantile(0.999);
+  out.engine = engine_->stats();
+  return out;
+}
+
+}  // namespace tauw::serve

@@ -1,0 +1,218 @@
+#pragma once
+// Asynchronous traffic plane in front of core::Engine - the admission layer
+// for open-loop production load.
+//
+// Today's synchronous paths (Engine::step / step_batch) make every caller
+// pay shard-mutex latency inline, and a load spike turns directly into
+// caller stalls with no notion of shedding or a latency budget. The traffic
+// plane decouples admission from evaluation:
+//
+//   * one bounded MPSC submission queue PER ENGINE SHARD - any number of
+//     producer threads submit frames without ever touching a shard mutex;
+//     routing uses Engine::shard_of, so a session's traffic always lands in
+//     the same queue (per-session FIFO order is the queue order),
+//   * one drainer per shard coalesces whatever is queued (up to
+//     max_coalesce) into a single columnar Engine::step_shard_batch run -
+//     exactly the batch shape the compiled QIM plane wants - and delivers
+//     completions via std::future or a user callback,
+//   * bounded queues + the OverflowPolicy ladder (block / shed-newest with
+//     a typed rejection / degrade to the conservative estimator) turn
+//     overload into an explicit, accounted-for policy decision,
+//   * every completion records enqueue-to-completion latency into a
+//     log-scaled per-shard histogram; stats() merges them and extracts the
+//     p50/p99/p999 SLO quantiles next to queue depth, coalesced-batch-size,
+//     shed/degrade counters, and the engine's own coherent snapshot.
+//
+// -- Equivalence guarantee ---------------------------------------------------
+//
+// For a given per-session sequence of admitted frames, results delivered by
+// the plane are bit-identical to stepping the same sequence through the
+// synchronous Engine API: the drainer runs the same columnar staged path
+// under the same shard mutex, and per-session order is preserved end to end
+// (MPSC FIFO -> in-order coalescing -> in-order staging). Shed submissions
+// were never admitted, and degraded answers are never committed to the
+// session's series, so they do not perturb later full steps.
+//
+// -- Threading & lifetime ----------------------------------------------------
+//
+// submit_* are safe from any thread. Frame/location pointers are BORROWED
+// and must stay valid until that submission's completion is delivered (the
+// plane never copies frames; producers typically own a frame pool).
+// Completions run on the drainer thread of the session's shard (or inside
+// drain() in manual mode); callbacks must be fast and must never block on
+// the plane (a callback that waits for queue space on its own shard
+// deadlocks that drainer). The destructor stops admission, drains every
+// already-admitted submission (nothing is lost), and joins.
+//
+// The engine is borrowed and must outlive the plane. Direct synchronous
+// engine traffic may coexist with the plane (the shard mutex serializes
+// them); sessions driven through both paths concurrently see some valid
+// interleaving, as with any two concurrent synchronous callers.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/policy.hpp"
+#include "serve/telemetry.hpp"
+
+namespace tauw::serve {
+
+/// Completion hook of the callback API. Invoked exactly once per
+/// submission, on the drainer thread (see threading notes above).
+using Completion = std::function<void(StepOutcome)>;
+
+class TrafficPlane {
+ public:
+  /// Creates one bounded queue per engine shard and, unless
+  /// config.manual_drain, one drainer thread per shard.
+  explicit TrafficPlane(core::Engine& engine, TrafficPlaneConfig config = {});
+
+  /// stop()s (admission off, every admitted submission still delivered)
+  /// and joins.
+  ~TrafficPlane();
+
+  TrafficPlane(const TrafficPlane&) = delete;
+  TrafficPlane& operator=(const TrafficPlane&) = delete;
+
+  // -- submission (thread-safe) --------------------------------------------
+  /// Future variant: the future resolves with the StepOutcome (status kOk,
+  /// kShed, or kDegraded), or with the engine's exception if evaluating
+  /// this frame threw. Shed/degraded outcomes resolve before submit
+  /// returns. Throws std::invalid_argument for a null frame.
+  std::future<StepOutcome> submit_frame(
+      core::SessionId session, const data::FrameRecord& frame,
+      const sim::SignLocation* location = nullptr);
+
+  /// Callback variant (no future allocation on the hot path). `completion`
+  /// is invoked exactly once; for shed/degraded submissions it runs inside
+  /// this call on the submitting thread.
+  void submit_frame(core::SessionId session, const data::FrameRecord& frame,
+                    const sim::SignLocation* location, Completion completion);
+
+  /// Convenience fan-in: submits every frame (routing each to its shard
+  /// queue) and appends one future per frame to `futures`.
+  void submit_batch(std::span<const core::SessionFrame> frames,
+                    std::vector<std::future<StepOutcome>>& futures);
+
+  /// Ordered close: enqueues a close request BEHIND the session's already
+  /// queued frames, so closing cannot overtake (and thereby restart) a
+  /// series the way a direct Engine::close_session call would under async
+  /// submission. Close requests are exempt from the overflow policy ladder
+  /// (a close frees resources, shedding it would leak the session): they
+  /// are always admitted, so the queue may transiently exceed its capacity
+  /// by the number of in-flight closes.
+  void submit_close(core::SessionId session);
+
+  // -- draining ------------------------------------------------------------
+  /// Manual-drain pump: runs one coalesced drain pass on `shard_index`'s
+  /// queue (at most config.max_coalesce submissions) on the calling thread
+  /// and returns the number of submissions delivered. Only meaningful with
+  /// config.manual_drain (the drainer threads otherwise race the caller for
+  /// the same queue - safe, but nondeterministic).
+  std::size_t drain(std::size_t shard_index);
+
+  /// Blocks until every queue is empty and every in-flight drain pass has
+  /// delivered its completions. In manual-drain mode this pumps the queues
+  /// on the calling thread instead of waiting.
+  void flush();
+
+  /// Stops admission (later submissions are shed with ShedReason::kShutdown),
+  /// drains every already-admitted submission, and joins the drainer
+  /// threads. Idempotent.
+  void stop();
+
+  // -- introspection -------------------------------------------------------
+  std::size_t num_shards() const noexcept { return lanes_.size(); }
+  const TrafficPlaneConfig& config() const noexcept { return config_; }
+  core::Engine& engine() noexcept { return *engine_; }
+
+  /// Merged traffic/latency/engine snapshot; see ServeStats. Safe to call
+  /// concurrently with traffic (consistent-per-shard, like Engine::stats).
+  ServeStats stats() const;
+
+ private:
+  struct Submission {
+    enum class Kind : std::uint8_t { kStep, kClose };
+    Kind kind = Kind::kStep;
+    core::SessionId session = 0;
+    const data::FrameRecord* frame = nullptr;
+    const sim::SignLocation* location = nullptr;
+    std::chrono::steady_clock::time_point enqueued{};
+    bool has_promise = false;
+    /// Completion already delivered out of band (per-item engine-error
+    /// fallback); the normal delivery/telemetry pass must skip it.
+    bool dead = false;
+    std::promise<StepOutcome> promise;
+    Completion callback;
+  };
+
+  /// One shard's lane: the bounded MPSC queue plus its telemetry. Queue and
+  /// admission-side counters live under `mutex`; completion-side telemetry
+  /// lives under `completion_mutex` so the drainer's bookkeeping never
+  /// stalls producers. Drain scratch is only ever touched by the lane's
+  /// single active drain pass (`draining` excludes a second one).
+  struct Lane {
+    mutable std::mutex mutex;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::condition_variable idle;  ///< flush(): empty and not draining
+    std::deque<Submission> queue;
+    bool draining = false;
+    // -- admission counters (guarded by `mutex`) --------------------------
+    std::uint64_t submitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t blocked_submits = 0;
+    std::size_t peak_depth = 0;
+    core::RuntimeMonitor degrade_monitor;
+    // -- completion telemetry (guarded by `completion_mutex`) -------------
+    mutable std::mutex completion_mutex;
+    std::uint64_t completed = 0;
+    std::uint64_t closes = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t coalesced_frames = 0;
+    std::size_t max_coalesced = 0;
+    stats::LogHistogram latency_us;
+    // -- drain-pass scratch (single drainer at a time) --------------------
+    std::vector<Submission> taken;
+    std::vector<core::SessionFrame> frames;
+    std::vector<core::EngineStepResult> results;
+    std::vector<std::size_t> slots;  ///< taken[] index per staged frame
+
+    Lane(const TrafficPlaneConfig& config)
+        : degrade_monitor(config.degrade_monitor),
+          latency_us(config.latency_lo_us, config.latency_hi_us,
+                     config.latency_bins) {}
+  };
+
+  /// Admits one submission to its lane under the overflow policy; delivers
+  /// shed/degraded outcomes synchronously. Returns true when enqueued.
+  bool admit(Submission&& submission);
+  void drainer_loop(std::size_t lane_index);
+  /// One coalesced pass over a lane's queue; returns submissions delivered.
+  std::size_t drain_pass(Lane& lane, std::size_t shard_index);
+  /// Steps a contiguous run of staged frames and delivers their outcomes.
+  void run_staged(Lane& lane, std::size_t shard_index,
+                  std::chrono::steady_clock::time_point now);
+  static void deliver(Submission& submission, StepOutcome&& outcome);
+
+  core::Engine* engine_;
+  TrafficPlaneConfig config_;
+  std::size_t primary_ = 0;  ///< engine's primary estimator index (cached)
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Set by stop() (then every lane is notified); checked under each
+  /// lane's mutex inside the wait predicates, so no wakeup can be missed.
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> drainers_;
+};
+
+}  // namespace tauw::serve

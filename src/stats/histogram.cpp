@@ -39,6 +39,44 @@ double Histogram::bin_upper(std::size_t bin) const {
   return lo_ + w * static_cast<double>(bin + 1);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge requires identical lo/hi/bins");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, total]; the value below which a q-fraction of the mass
+  // lies, with mass spread uniformly over each bin.
+  const double rank = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto c = static_cast<double>(counts_[b]);
+    if (c == 0.0) continue;
+    if (cumulative + c >= rank) {
+      // q == 0 (rank 0) resolves here to the first non-empty bin's lower
+      // edge; interior ranks interpolate linearly inside the bin.
+      const double frac = std::clamp((rank - cumulative) / c, 0.0, 1.0);
+      return bin_lower(b) + frac * (bin_upper(b) - bin_lower(b));
+    }
+    cumulative += c;
+  }
+  // Numerically possible only when rank exceeds the accumulated total by
+  // rounding: the last non-empty bin's upper edge.
+  for (std::size_t b = counts_.size(); b-- > 0;) {
+    if (counts_[b] > 0) return bin_upper(b);
+  }
+  return hi_;
+}
+
 double Histogram::fraction(std::size_t bin) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(count(bin)) / static_cast<double>(total_);
@@ -67,6 +105,42 @@ std::string Histogram::ascii(std::size_t width) const {
        << std::string(bar_len, '#') << " " << counts_[b] << "\n";
   }
   return os.str();
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      log_((lo > 0.0 && lo < hi && bins > 0) ? std::log(lo) : 0.0,
+           (lo > 0.0 && lo < hi && bins > 0) ? std::log(hi) : 1.0, bins) {
+  if (!(lo > 0.0) || !(lo < hi)) {
+    throw std::invalid_argument("LogHistogram requires 0 < lo < hi");
+  }
+}
+
+void LogHistogram::add(double value) noexcept {
+  log_.add(std::log(std::clamp(value, lo_, hi_)));
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_) {
+    throw std::invalid_argument(
+        "LogHistogram::merge requires identical lo/hi/bins");
+  }
+  log_.merge(other.log_);
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (log_.total() == 0) return lo_;
+  // Linear interpolation in log-space = geometric in the value domain.
+  return std::exp(log_.quantile(q));
+}
+
+double LogHistogram::bin_lower(std::size_t bin) const {
+  return std::exp(log_.bin_lower(bin));
+}
+
+double LogHistogram::bin_upper(std::size_t bin) const {
+  return std::exp(log_.bin_upper(bin));
 }
 
 std::vector<ValueCount> distinct_value_distribution(

@@ -1,5 +1,6 @@
 #pragma once
-// Histograms over predicted uncertainties (paper Fig. 5) and general use.
+// Histograms over predicted uncertainties (paper Fig. 5), latency telemetry
+// (serve/), and general use.
 
 #include <cstddef>
 #include <span>
@@ -22,6 +23,11 @@ class Histogram {
   /// Adds all values from a span.
   void add_all(std::span<const double> values) noexcept;
 
+  /// Folds another histogram's counts into this one (per-shard telemetry
+  /// aggregation). Both histograms must have identical lo/hi/bins; throws
+  /// std::invalid_argument otherwise.
+  void merge(const Histogram& other);
+
   std::size_t num_bins() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t total() const noexcept { return total_; }
@@ -32,6 +38,13 @@ class Histogram {
 
   /// Fraction of all observations falling in `bin` (0 if empty histogram).
   double fraction(std::size_t bin) const;
+
+  /// The q-quantile (q in [0, 1], clamped) with linear interpolation inside
+  /// the containing bin: observations are assumed uniformly spread over
+  /// their bin, so quantile(0) is the first non-empty bin's lower edge and
+  /// quantile(1) the last non-empty bin's upper edge. An empty histogram
+  /// returns lo (the only dependable lower bound it can state).
+  double quantile(double q) const noexcept;
 
   /// Index of the most populated bin (ties resolved to the lowest index).
   std::size_t mode_bin() const noexcept;
@@ -45,6 +58,38 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+};
+
+/// Histogram with log-scaled (geometrically spaced) bins over [lo, hi],
+/// 0 < lo < hi - constant *relative* resolution across several decades,
+/// which is what latency distributions need (microseconds to seconds in one
+/// compact, mergeable fixed-size array). Implemented as a linear Histogram
+/// over log(value); quantiles interpolate geometrically within a bin.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation, clamped into [lo, hi] (non-positive values land
+  /// in the first bin).
+  void add(double value) noexcept;
+
+  /// Folds another log-histogram in; shapes must match (see Histogram::merge).
+  void merge(const LogHistogram& other);
+
+  /// The q-quantile in the value domain (geometric interpolation). An empty
+  /// histogram returns lo.
+  double quantile(double q) const noexcept;
+
+  std::size_t num_bins() const noexcept { return log_.num_bins(); }
+  std::size_t count(std::size_t bin) const { return log_.count(bin); }
+  std::size_t total() const noexcept { return log_.total(); }
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  Histogram log_;  ///< bins over [log(lo), log(hi)]
 };
 
 /// Convenience: distribution of predicted uncertainties grouped by *distinct*

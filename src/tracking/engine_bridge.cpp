@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "calib/recalibrator.hpp"
+#include "serve/traffic_plane.hpp"
 
 namespace tauw::tracking {
 
@@ -132,6 +133,68 @@ std::span<const BridgeResult> EngineTrackBridge::observe(
     results_[i].step = step_results_[i];
   }
   return results_;
+}
+
+std::span<AsyncBridgeResult> EngineTrackBridge::observe_async(
+    std::span<const SceneDetection> detections, serve::TrafficPlane& plane) {
+  if (&plane.engine() != engine_) {
+    throw std::invalid_argument(
+        "EngineTrackBridge: traffic plane wraps a different engine");
+  }
+  positions_.clear();
+  positions_.reserve(detections.size());
+  for (const SceneDetection& detection : detections) {
+    if (detection.frame == nullptr) {
+      throw std::invalid_argument("EngineTrackBridge: null frame record");
+    }
+    positions_.push_back(detection.position);
+  }
+
+  const std::vector<MultiTrackUpdate> updates = tracker_.observe(positions_);
+
+  async_results_.clear();
+  async_results_.resize(detections.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const MultiTrackUpdate& update = updates[i];
+    if (update.series_id >= (std::uint64_t{1} << 48)) {
+      throw std::overflow_error(
+          "EngineTrackBridge: tracker series id exceeds the per-bridge "
+          "session namespace");
+    }
+    if (update.new_series) {
+      engine_->open_session(session_for(update.series_id));
+      live_series_.insert(update.series_id);
+    }
+    async_results_[i].track = update;
+    async_results_[i].step = plane.submit_frame(
+        session_for(update.series_id),
+        *detections[update.detection_index].frame);
+  }
+
+  // Closes flow through the plane so they queue BEHIND the frames submitted
+  // above - a direct Engine::close_session here could overtake them and
+  // restart the series mid-flight.
+  for (const std::uint64_t closed : tracker_.take_closed_series()) {
+    plane.submit_close(session_for(closed));
+    live_series_.erase(closed);
+  }
+  if (live_series_.size() != tracker_.active_tracks()) {
+    // Dropped closure notifications: reconcile against the live tracks
+    // (same as the synchronous path, but ordered through the plane).
+    std::unordered_set<std::uint64_t> alive;
+    for (const std::uint64_t series : tracker_.live_series()) {
+      alive.insert(series);
+    }
+    for (auto it = live_series_.begin(); it != live_series_.end();) {
+      if (alive.contains(*it)) {
+        ++it;
+      } else {
+        plane.submit_close(session_for(*it));
+        it = live_series_.erase(it);
+      }
+    }
+  }
+  return async_results_;
 }
 
 }  // namespace tauw::tracking

@@ -18,16 +18,22 @@
 // safe from any thread.
 
 #include <cstdint>
+#include <future>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/policy.hpp"
 #include "tracking/multi_track_manager.hpp"
 
 namespace tauw::calib {
 class Recalibrator;
 }  // namespace tauw::calib
+
+namespace tauw::serve {
+class TrafficPlane;
+}  // namespace tauw::serve
 
 namespace tauw::tracking {
 
@@ -42,6 +48,15 @@ struct SceneDetection {
 struct BridgeResult {
   MultiTrackUpdate track{};
   core::EngineStepResult step{};
+};
+
+/// Per-detection result of the asynchronous path: the track association is
+/// available immediately (association runs on the camera thread either
+/// way); the engine's step arrives through the future once the traffic
+/// plane's drainer evaluates it.
+struct AsyncBridgeResult {
+  MultiTrackUpdate track{};
+  std::future<serve::StepOutcome> step;
 };
 
 class EngineTrackBridge {
@@ -72,6 +87,19 @@ class EngineTrackBridge {
   /// aligns with `detections` and stays valid until the next call.
   std::span<const BridgeResult> observe(
       std::span<const SceneDetection> detections);
+
+  /// Asynchronous variant: association and session bookkeeping run inline
+  /// (cheap, and the tracker is single-threaded anyway), but every frame is
+  /// submitted through `plane` instead of stepping the engine on the camera
+  /// thread - the camera loop never pays shard-mutex or estimator latency.
+  /// The plane must wrap the same engine this bridge was built on. Dropped
+  /// tracks are closed via plane.submit_close, so a close stays ordered
+  /// behind the series' already queued frames. Frame records are BORROWED
+  /// by the plane: the caller must keep `detections` alive until every
+  /// returned future has resolved. The returned span aligns with
+  /// `detections` and stays valid until the next observe/observe_async call.
+  std::span<AsyncBridgeResult> observe_async(
+      std::span<const SceneDetection> detections, serve::TrafficPlane& plane);
 
   /// Ground-truth feedback for a tracked series' last step (e.g. a map
   /// match, a downstream confirmation, or shadow-mode labels): forwards to
@@ -111,6 +139,7 @@ class EngineTrackBridge {
   std::vector<core::SessionFrame> session_frames_;
   std::vector<core::EngineStepResult> step_results_;
   std::vector<BridgeResult> results_;
+  std::vector<AsyncBridgeResult> async_results_;
 };
 
 }  // namespace tauw::tracking

@@ -268,6 +268,91 @@ TEST(EngineShard, PerShardLruBudgetEvictsWithinTheShardOnly) {
   EXPECT_EQ(engine.session_count(), 3u);
 }
 
+TEST(EngineShard, BorrowingKeepsHotShardSessionsUnderHashSkew) {
+  // Same skewed workload as the strict-budget test above, but with
+  // cross-shard borrowing enabled: the hot shard keeps its sessions by
+  // borrowing the cold shard's unused budget instead of evicting, as long
+  // as the engine-wide total stays within max_sessions.
+  EngineConfig config;
+  config.num_shards = 2;
+  config.max_sessions = 4;  // budget: 2 per shard
+  config.max_borrowed_sessions = 2;
+  Engine engine(world().components(), config);
+
+  std::vector<SessionId> hot;
+  std::vector<SessionId> cold;
+  const std::size_t target = engine.shard_of(1);
+  for (SessionId id = 1; hot.size() < 4 || cold.size() < 2; ++id) {
+    if (engine.shard_of(id) == target) {
+      if (hot.size() < 4) hot.push_back(id);
+    } else if (cold.size() < 2) {
+      cold.push_back(id);
+    }
+  }
+
+  engine.open_session(hot[0]);
+  engine.open_session(hot[1]);
+  // Over budget, but the engine-wide total (3) is within max_sessions and
+  // the borrow allowance has room: the LRU session survives.
+  engine.open_session(hot[2]);
+  EXPECT_TRUE(engine.has_session(hot[0]));
+  EXPECT_TRUE(engine.has_session(hot[1]));
+  EXPECT_TRUE(engine.has_session(hot[2]));
+  EXPECT_EQ(engine.stats().borrowed_sessions, 1u);
+
+  // Fill the cold shard to its own budget: the engine-wide total hits
+  // max_sessions + 1 borrowed... global total is 5 > 4, so the NEXT hot
+  // open must fall back to local LRU eviction instead of borrowing more.
+  engine.open_session(cold[0]);
+  engine.open_session(cold[1]);
+  engine.open_session(hot[3]);
+  EXPECT_FALSE(engine.has_session(hot[0]));  // LRU of the hot shard
+  EXPECT_TRUE(engine.has_session(hot[3]));
+  EXPECT_TRUE(engine.has_session(cold[0]));  // eviction never crossed shards
+  EXPECT_TRUE(engine.has_session(cold[1]));
+  // Deterministic accounting: borrowed is exactly the over-budget excess.
+  EXPECT_EQ(engine.stats().borrowed_sessions, 1u);
+  EXPECT_EQ(engine.session_count(), 5u);
+
+  // Closing a hot session shrinks the shard back to budget and returns the
+  // borrowed slot.
+  engine.close_session(hot[1]);
+  EXPECT_EQ(engine.stats().borrowed_sessions, 0u);
+  EXPECT_EQ(engine.session_count(), 4u);
+}
+
+TEST(EngineShard, BorrowingStaysBitIdenticalAndBounded) {
+  // A skewed streaming workload under borrowing still produces per-session
+  // results identical to the unsharded serial engine, and never exceeds
+  // max_sessions + num_shards - 1 live sessions.
+  EngineConfig config;
+  config.num_shards = 4;
+  config.max_sessions = 8;
+  config.max_borrowed_sessions = 8;
+  Engine sharded(world().components(), config);
+  Engine serial(world().components());
+
+  // Eight sessions all hashed to one shard: far over the per-shard budget
+  // of 2, exactly at the engine-wide cap of 8 - borrowing retains them all,
+  // so every series stays unbroken (no eviction restarts).
+  std::vector<SessionId> ids;
+  const std::size_t target = sharded.shard_of(1);
+  for (SessionId id = 1; ids.size() < 8; ++id) {
+    if (sharded.shard_of(id) == target) ids.push_back(id);
+  }
+  for (std::size_t t = 0; t < 6; ++t) {
+    for (const SessionId id : ids) {
+      const EngineStepResult a = sharded.step(id, frame_for(id, t));
+      const EngineStepResult b = serial.step(id, frame_for(id, t));
+      EXPECT_FALSE(a.new_session && t > 0);  // never evicted mid-series
+      expect_results_identical(a, b);
+    }
+    const EngineStats stats = sharded.stats();
+    EXPECT_LE(stats.live_sessions, config.max_sessions + config.num_shards - 1);
+    EXPECT_EQ(stats.borrowed_sessions, 8u - 2u);  // excess over the budget
+  }
+}
+
 TEST(EngineShard, AddEstimatorClonesAcrossShards) {
   class CountingEstimator final : public UncertaintyEstimator {
    public:

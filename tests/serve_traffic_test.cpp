@@ -1,0 +1,602 @@
+// Tests for the serve/ traffic plane: bit-identical equivalence to the
+// synchronous Engine API, per-session ordering under many producers, the
+// overflow policy ladder (block / shed-newest / degrade) with deterministic
+// accounting, ordered closes, zero-lost-sessions bookkeeping, latency
+// telemetry, and - the TSan target - producers racing a background
+// recalibrator and model hot-swaps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "calib/recalibrator.hpp"
+#include "core/engine.hpp"
+#include "serve/traffic_plane.hpp"
+#include "stats/rng.hpp"
+#include "tracking/engine_bridge.hpp"
+
+namespace tauw::serve {
+namespace {
+
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    p.label = f[0] > 0.5F ? 1 : 0;
+    p.confidence = 0.9F;
+    return p;
+  }
+};
+
+data::FrameRecord make_frame(float signal, float deficit = 0.0F) {
+  data::FrameRecord rec;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+std::shared_ptr<core::QualityImpactModel> fit_toy_qim(
+    const core::QualityFactorExtractor& qf) {
+  dtree::TreeDataset train;
+  dtree::TreeDataset calib;
+  stats::Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const data::FrameRecord rec =
+        make_frame(i % 2 == 0 ? 0.9F : 0.1F, rng.bernoulli(0.3) ? 0.9F : 0.0F);
+    (i % 2 == 0 ? train : calib).push_back(qf.extract(rec), rng.bernoulli(0.1));
+  }
+  core::QimConfig cfg;
+  cfg.cart.max_depth = 3;
+  cfg.calibration.min_leaf_samples = 20;
+  auto qim = std::make_shared<core::QualityImpactModel>();
+  qim->fit(train, calib, cfg, qf.names());
+  return qim;
+}
+
+core::EngineComponents make_components() {
+  core::EngineComponents components;
+  components.ddm = std::make_shared<ToyDdm>();
+  components.qf_extractor = core::QualityFactorExtractor(28.0);
+  components.qim = fit_toy_qim(components.qf_extractor);
+  return components;
+}
+
+// Deterministic per-(session, step) frame so the sync and async paths see
+// the same inputs.
+data::FrameRecord frame_for(std::uint64_t session, std::size_t t) {
+  const std::uint64_t h = (session * 31 + t * 7) % 10;
+  return make_frame(h < 5 ? 0.9F : 0.1F, (h % 3 == 0) ? 0.9F : 0.0F);
+}
+
+void expect_same_step(const core::EngineStepResult& a,
+                      const core::EngineStepResult& b,
+                      bool compare_session = true) {
+  // Bridges map series into disjoint per-bridge session namespaces, so the
+  // bridge-equivalence test skips the raw id.
+  if (compare_session) {
+    EXPECT_EQ(a.session, b.session);
+  }
+  EXPECT_EQ(a.isolated.label, b.isolated.label);
+  EXPECT_EQ(a.isolated.uncertainty, b.isolated.uncertainty);  // bit-exact
+  EXPECT_EQ(a.fused_label, b.fused_label);
+  EXPECT_EQ(a.series_length, b.series_length);
+  EXPECT_EQ(a.estimates, b.estimates);  // bit-exact, every estimator
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.new_session, b.new_session);
+}
+
+TEST(TrafficPlane, ManualDrainBitIdenticalToSync) {
+  core::EngineConfig config;
+  config.num_shards = 4;
+  core::Engine sync_engine(make_components(), config);
+  core::Engine async_engine(make_components(), config);
+
+  TrafficPlaneConfig plane_config;
+  plane_config.manual_drain = true;
+  TrafficPlane plane(async_engine, plane_config);
+  ASSERT_EQ(plane.num_shards(), async_engine.num_shards());
+
+  constexpr std::size_t kSessions = 12;
+  constexpr std::size_t kSteps = 6;
+  std::vector<std::vector<data::FrameRecord>> frames(kSessions);
+  std::vector<std::vector<std::future<StepOutcome>>> futures(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      frames[s].push_back(frame_for(s + 1, t));
+    }
+  }
+  // Interleave sessions on submission; per-session order is what matters.
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      futures[s].push_back(plane.submit_frame(s + 1, frames[s][t]));
+    }
+  }
+  for (std::size_t shard = 0; shard < plane.num_shards(); ++shard) {
+    while (plane.drain(shard) > 0) {
+    }
+  }
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      const core::EngineStepResult expected =
+          sync_engine.step(s + 1, frames[s][t]);
+      StepOutcome outcome = futures[s][t].get();
+      ASSERT_EQ(outcome.status, SubmitStatus::kOk);
+      EXPECT_EQ(outcome.shed_reason, ShedReason::kNone);
+      expect_same_step(outcome.step, expected);
+      EXPECT_EQ(outcome.uncertainty,
+                expected.estimates[sync_engine.primary_index()]);
+      EXPECT_EQ(outcome.decision, expected.decision);
+      EXPECT_GE(outcome.latency.count(), 0);
+    }
+  }
+
+  const ServeStats stats = plane.stats();
+  EXPECT_EQ(stats.submitted, kSessions * kSteps);
+  EXPECT_EQ(stats.completed, kSessions * kSteps);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_TRUE(stats.accounting_consistent());
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.coalesced_frames, kSessions * kSteps);
+  EXPECT_GE(stats.max_coalesced, 1u);
+  EXPECT_EQ(stats.latency_us.total(), kSessions * kSteps);
+  EXPECT_GT(stats.p999_us, 0.0);
+  EXPECT_LE(stats.p50_us, stats.p99_us);
+  EXPECT_LE(stats.p99_us, stats.p999_us);
+}
+
+TEST(TrafficPlane, MultiProducerOrderingMatchesSync) {
+  core::EngineConfig config;
+  config.num_shards = 4;
+  core::Engine sync_engine(make_components(), config);
+  core::Engine async_engine(make_components(), config);
+  TrafficPlane plane(async_engine);  // real drainer threads
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSessionsPerProducer = 8;
+  constexpr std::size_t kSteps = 40;
+
+  // Frames outlive the futures (borrowed by the plane).
+  std::vector<std::vector<data::FrameRecord>> frames(kProducers *
+                                                     kSessionsPerProducer);
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      frames[s].push_back(frame_for(s + 1, t));
+    }
+  }
+
+  std::vector<std::vector<std::vector<std::future<StepOutcome>>>> futures(
+      kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    futures[p].resize(kSessionsPerProducer);
+    producers.emplace_back([&, p] {
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        for (std::size_t i = 0; i < kSessionsPerProducer; ++i) {
+          const std::size_t s = p * kSessionsPerProducer + i;
+          futures[p][i].push_back(plane.submit_frame(s + 1, frames[s][t]));
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  plane.flush();
+
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t i = 0; i < kSessionsPerProducer; ++i) {
+      const std::size_t s = p * kSessionsPerProducer + i;
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        const core::EngineStepResult expected =
+            sync_engine.step(s + 1, frames[s][t]);
+        StepOutcome outcome = futures[p][i][t].get();
+        ASSERT_EQ(outcome.status, SubmitStatus::kOk);
+        // Per-session ordering: step t really was the t-th evidence step.
+        ASSERT_EQ(outcome.step.series_length, t + 1);
+        expect_same_step(outcome.step, expected);
+      }
+    }
+  }
+
+  const ServeStats stats = plane.stats();
+  EXPECT_EQ(stats.submitted, kProducers * kSessionsPerProducer * kSteps);
+  EXPECT_TRUE(stats.accounting_consistent());
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+}
+
+TEST(TrafficPlane, ShedNewestRejectsDeterministicallyAtCapacity) {
+  core::Engine engine(make_components());
+  TrafficPlaneConfig config;
+  config.manual_drain = true;
+  config.queue_capacity = 4;
+  config.policy = OverflowPolicy::kShedNewest;
+  TrafficPlane plane(engine, config);
+
+  const data::FrameRecord frame = make_frame(0.9F);
+  std::vector<std::future<StepOutcome>> futures;
+  for (std::size_t i = 0; i < 10; ++i) {
+    futures.push_back(plane.submit_frame(1, frame));
+  }
+  // Exactly the first queue_capacity submissions were admitted; the rest
+  // were rejected synchronously with the typed shed outcome.
+  for (std::size_t i = 4; i < 10; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    StepOutcome outcome = futures[i].get();
+    EXPECT_EQ(outcome.status, SubmitStatus::kShed);
+    EXPECT_EQ(outcome.shed_reason, ShedReason::kQueueFull);
+    EXPECT_EQ(outcome.uncertainty, 1.0);
+    EXPECT_EQ(outcome.decision, core::MonitorDecision::kFallback);
+  }
+  while (plane.drain(0) > 0) {
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    StepOutcome outcome = futures[i].get();
+    ASSERT_EQ(outcome.status, SubmitStatus::kOk);
+    // A shed frame was never admitted: the series contains exactly the
+    // admitted prefix, in order.
+    EXPECT_EQ(outcome.step.series_length, i + 1);
+  }
+
+  const ServeStats stats = plane.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.shed, 6u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_TRUE(stats.accounting_consistent());
+}
+
+TEST(TrafficPlane, DegradeAnswersConservativelyWithoutCommitting) {
+  core::Engine engine(make_components());
+  TrafficPlaneConfig config;
+  config.manual_drain = true;
+  config.queue_capacity = 2;
+  config.policy = OverflowPolicy::kDegrade;
+  TrafficPlane plane(engine, config);
+
+  const data::FrameRecord frame = make_frame(0.9F);
+  std::vector<std::future<StepOutcome>> futures;
+  for (std::size_t i = 0; i < 5; ++i) {
+    futures.push_back(plane.submit_frame(1, frame));
+  }
+  for (std::size_t i = 2; i < 5; ++i) {
+    StepOutcome outcome = futures[i].get();
+    EXPECT_EQ(outcome.status, SubmitStatus::kDegraded);
+    EXPECT_EQ(outcome.shed_reason, ShedReason::kNone);
+    // The vacuous dependable bound, never an underestimate, and the
+    // degrade monitor's safe decision on it.
+    EXPECT_EQ(outcome.uncertainty, 1.0);
+    EXPECT_EQ(outcome.decision, core::MonitorDecision::kFallback);
+  }
+  while (plane.drain(0) > 0) {
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    StepOutcome outcome = futures[i].get();
+    ASSERT_EQ(outcome.status, SubmitStatus::kOk);
+    EXPECT_EQ(outcome.step.series_length, i + 1);
+  }
+  // Degraded frames were never committed: the next full step continues the
+  // series exactly where the admitted prefix left it.
+  std::future<StepOutcome> next = plane.submit_frame(1, frame);
+  while (plane.drain(0) > 0) {
+  }
+  EXPECT_EQ(next.get().step.series_length, 3u);
+
+  const ServeStats stats = plane.stats();
+  EXPECT_EQ(stats.degraded, 3u);
+  EXPECT_EQ(stats.shed, 0u);
+  // Overload-forced fallbacks are recorded by the plane's degrade monitor
+  // (the load-shedding line in a safety case).
+  EXPECT_EQ(stats.degrade_monitor.fallbacks, 3u);
+  EXPECT_TRUE(stats.accounting_consistent());
+}
+
+TEST(TrafficPlane, BlockPolicyDeliversEverythingThroughTinyQueue) {
+  core::Engine engine(make_components());
+  TrafficPlaneConfig config;
+  config.queue_capacity = 1;
+  config.policy = OverflowPolicy::kBlock;
+  TrafficPlane plane(engine, config);
+
+  const data::FrameRecord frame = make_frame(0.9F);
+  std::vector<std::future<StepOutcome>> futures;
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back(plane.submit_frame(1, frame));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    StepOutcome outcome = futures[i].get();
+    ASSERT_EQ(outcome.status, SubmitStatus::kOk);
+    EXPECT_EQ(outcome.step.series_length, i + 1);
+  }
+  const ServeStats stats = plane.stats();
+  EXPECT_EQ(stats.submitted, 64u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+}
+
+TEST(TrafficPlane, OrderedCloseCannotOvertakeQueuedFrames) {
+  core::Engine engine(make_components());
+  TrafficPlaneConfig config;
+  config.manual_drain = true;
+  TrafficPlane plane(engine, config);
+
+  const data::FrameRecord frame = make_frame(0.9F);
+  std::vector<std::future<StepOutcome>> before;
+  for (std::size_t i = 0; i < 3; ++i) {
+    before.push_back(plane.submit_frame(1, frame));
+  }
+  plane.submit_close(1);
+  std::vector<std::future<StepOutcome>> after;
+  for (std::size_t i = 0; i < 2; ++i) {
+    after.push_back(plane.submit_frame(1, frame));
+  }
+  while (plane.drain(0) > 0) {
+  }
+
+  // The close applied AFTER the three queued frames: they completed their
+  // series (lengths 1..3), then the close took effect, then the later
+  // frames started a fresh series.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(before[i].get().step.series_length, i + 1);
+  }
+  StepOutcome first_after = after[0].get();
+  EXPECT_TRUE(first_after.step.new_session);
+  EXPECT_EQ(first_after.step.series_length, 1u);
+  EXPECT_EQ(after[1].get().step.series_length, 2u);
+
+  const ServeStats stats = plane.stats();
+  EXPECT_EQ(stats.closes, 1u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_TRUE(stats.accounting_consistent());
+}
+
+TEST(TrafficPlane, ZeroLostSessionsUnderOverflowAndShutdown) {
+  core::EngineConfig engine_config;
+  engine_config.num_shards = 2;
+  core::Engine engine(make_components(), engine_config);
+  TrafficPlaneConfig config;
+  config.queue_capacity = 8;
+  config.policy = OverflowPolicy::kShedNewest;
+  config.max_coalesce = 4;
+  TrafficPlane plane(engine, config);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSessionsPerProducer = 16;
+  constexpr std::size_t kSteps = 25;
+  std::vector<std::vector<data::FrameRecord>> frames(kProducers *
+                                                     kSessionsPerProducer);
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      frames[s].push_back(frame_for(s + 1, t));
+    }
+  }
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        for (std::size_t i = 0; i < kSessionsPerProducer; ++i) {
+          const std::size_t s = p * kSessionsPerProducer + i;
+          // Callback API on the overload path: no future allocation.
+          plane.submit_frame(s + 1, frames[s][t], nullptr,
+                             [&](StepOutcome outcome) {
+                               if (outcome.status == SubmitStatus::kOk) {
+                                 ok.fetch_add(1);
+                               } else {
+                                 shed.fetch_add(1);
+                               }
+                             });
+        }
+      }
+      // Every producer closes its own sessions through the ordered path.
+      for (std::size_t i = 0; i < kSessionsPerProducer; ++i) {
+        plane.submit_close(p * kSessionsPerProducer + i + 1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  plane.flush();
+
+  const std::uint64_t total = kProducers * kSessionsPerProducer * kSteps;
+  const ServeStats stats = plane.stats();
+  // Every submission is accounted for exactly once: completed, or shed
+  // with a typed rejection - nothing vanished.
+  EXPECT_EQ(ok.load() + shed.load(), total);
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  // `submitted` counts admissions including closes; frames alone are
+  // submitted - closes, and together with shed rejections cover every
+  // submit_frame call exactly once.
+  EXPECT_EQ(stats.submitted - stats.closes + stats.shed, total);
+  EXPECT_EQ(stats.closes, kProducers * kSessionsPerProducer);
+  EXPECT_TRUE(stats.accounting_consistent());
+  // And no session leaked: every close was applied.
+  EXPECT_EQ(stats.engine.live_sessions, 0u);
+  EXPECT_EQ(engine.session_count(), 0u);
+}
+
+TEST(TrafficPlane, SubmitBatchRoutesAcrossShards) {
+  core::EngineConfig config;
+  config.num_shards = 4;
+  core::Engine sync_engine(make_components(), config);
+  core::Engine async_engine(make_components(), config);
+  TrafficPlane plane(async_engine);
+
+  constexpr std::size_t kSessions = 32;
+  std::vector<data::FrameRecord> frames(kSessions);
+  std::vector<core::SessionFrame> batch(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    frames[s] = frame_for(s + 1, 0);
+    batch[s].session = s + 1;
+    batch[s].frame = &frames[s];
+  }
+  std::vector<std::future<StepOutcome>> futures;
+  plane.submit_batch(batch, futures);
+  ASSERT_EQ(futures.size(), kSessions);
+  plane.flush();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    StepOutcome outcome = futures[s].get();
+    ASSERT_EQ(outcome.status, SubmitStatus::kOk);
+    expect_same_step(outcome.step, sync_engine.step(s + 1, frames[s]));
+  }
+}
+
+TEST(TrafficPlane, StopShedsLateSubmissionsWithShutdownReason) {
+  core::Engine engine(make_components());
+  TrafficPlane plane(engine);
+  const data::FrameRecord frame = make_frame(0.9F);
+  std::future<StepOutcome> admitted = plane.submit_frame(1, frame);
+  plane.stop();
+  EXPECT_EQ(admitted.get().status, SubmitStatus::kOk);  // drained, not lost
+
+  StepOutcome late = plane.submit_frame(1, frame).get();
+  EXPECT_EQ(late.status, SubmitStatus::kShed);
+  EXPECT_EQ(late.shed_reason, ShedReason::kShutdown);
+  plane.stop();  // idempotent
+}
+
+TEST(TrafficPlane, RejectsNullFrame) {
+  core::Engine engine(make_components());
+  TrafficPlaneConfig config;
+  config.manual_drain = true;
+  TrafficPlane plane(engine, config);
+  core::SessionFrame bad;
+  bad.session = 1;
+  bad.frame = nullptr;
+  std::vector<std::future<StepOutcome>> futures;
+  EXPECT_THROW(plane.submit_batch({&bad, 1}, futures),
+               std::invalid_argument);
+}
+
+TEST(EngineTrackBridge, ObserveAsyncMatchesSyncObserve) {
+  core::EngineConfig config;
+  config.num_shards = 2;
+  core::Engine sync_engine(make_components(), config);
+  core::Engine async_engine(make_components(), config);
+  tracking::TrackManagerConfig track_config;
+  track_config.gate_distance_m = 3.0;
+  tracking::EngineTrackBridge sync_bridge(sync_engine, track_config);
+  tracking::EngineTrackBridge async_bridge(async_engine, track_config);
+  TrafficPlane plane(async_engine);
+
+  const data::FrameRecord frame_a = make_frame(0.9F);
+  const data::FrameRecord frame_b = make_frame(0.1F);
+  for (int t = 0; t < 6; ++t) {
+    const double x = 50.0 - t;
+    // Sign B leaves the scene after frame 3; its session closes through
+    // the plane's ordered path.
+    std::vector<tracking::SceneDetection> detections = {{{x, 3.0}, &frame_a}};
+    if (t < 3) detections.push_back({{x, -3.0}, &frame_b});
+
+    const auto sync_results = sync_bridge.observe(detections);
+    const auto async_results = async_bridge.observe_async(detections, plane);
+    ASSERT_EQ(async_results.size(), sync_results.size());
+    for (std::size_t i = 0; i < async_results.size(); ++i) {
+      EXPECT_EQ(async_results[i].track.series_id,
+                sync_results[i].track.series_id);
+      StepOutcome outcome = async_results[i].step.get();
+      ASSERT_EQ(outcome.status, SubmitStatus::kOk);
+      expect_same_step(outcome.step, sync_results[i].step,
+                       /*compare_session=*/false);
+    }
+  }
+  plane.flush();
+  EXPECT_EQ(async_engine.session_count(), sync_engine.session_count());
+
+  // A plane wrapping a different engine is rejected up front.
+  core::Engine different(make_components());
+  TrafficPlane different_plane(different);
+  EXPECT_THROW(async_bridge.observe_async({}, different_plane),
+               std::invalid_argument);
+}
+
+// The TSan stress target: producers hammer the plane while a background
+// recalibrator refits/publishes and an explicit hot-swapper republishes
+// model generations - admission, draining, telemetry, evidence capture,
+// and RCU swaps all race.
+TEST(TrafficPlane, StressProducersRecalibratorHotSwap) {
+  core::EngineConfig engine_config;
+  engine_config.num_shards = 4;
+  core::Engine engine(make_components(), engine_config);
+
+  calib::RecalibratorConfig recal_config;
+  recal_config.poll_interval = std::chrono::milliseconds(1);
+  recal_config.min_new_evidence = 32;
+  calib::Recalibrator recalibrator(
+      engine, calib::Recalibrator::make_store(engine), recal_config);
+  recalibrator.start();
+
+  TrafficPlaneConfig config;
+  config.queue_capacity = 64;
+  config.policy = OverflowPolicy::kShedNewest;
+  TrafficPlane plane(engine, config);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSessionsPerProducer = 4;
+  constexpr std::size_t kSteps = 60;
+  std::vector<std::vector<data::FrameRecord>> frames(kProducers *
+                                                     kSessionsPerProducer);
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      frames[s].push_back(frame_for(s + 1, t));
+    }
+  }
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    const auto models = engine.current_models();
+    while (!stop_swapping.load()) {
+      engine.swap_models(models.qim, models.taqim);
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<std::uint64_t> delivered{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        for (std::size_t i = 0; i < kSessionsPerProducer; ++i) {
+          const std::size_t s = p * kSessionsPerProducer + i;
+          plane.submit_frame(s + 1, frames[s][t], nullptr,
+                             [&, s](StepOutcome outcome) {
+                               delivered.fetch_add(1);
+                               if (outcome.status == SubmitStatus::kOk) {
+                                 // Feed the calibration plane from the
+                                 // completion path.
+                                 engine.report_truth(
+                                     s + 1, outcome.step.isolated.label);
+                               }
+                             });
+        }
+        if (t % 16 == 0) recalibrator.notify();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  plane.flush();
+  stop_swapping.store(true);
+  swapper.join();
+  recalibrator.stop();
+
+  EXPECT_EQ(delivered.load(),
+            kProducers * kSessionsPerProducer * kSteps);
+  const ServeStats stats = plane.stats();
+  EXPECT_TRUE(stats.accounting_consistent());
+  EXPECT_EQ(stats.completed + stats.shed,
+            kProducers * kSessionsPerProducer * kSteps);
+  EXPECT_GE(stats.engine.model_generation, 1u);
+}
+
+}  // namespace
+}  // namespace tauw::serve

@@ -67,6 +67,117 @@ TEST(Histogram, AsciiRendersOneLinePerBin) {
   EXPECT_NE(art.find('#'), std::string::npos);
 }
 
+TEST(Histogram, MergeAddsCountsBinByBin) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add(0.1);
+  a.add(0.6);
+  b.add(0.6);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.count(3), 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram bins(0.0, 1.0, 8);
+  Histogram range(0.0, 2.0, 4);
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinTheBin) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(0.3);  // all mass in bin 1 = [0.25, 0.5)
+  // Bin-edge behavior: q=0 is the containing bin's lower edge, q=1 its
+  // upper edge, and interior quantiles spread linearly across the bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.375);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.5);
+}
+
+TEST(Histogram, QuantileCrossesBinBoundaryExactly) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.6);   // bin 2
+  // rank(0.5) = 1 observation: exactly the full mass of bin 0 - the upper
+  // edge of bin 0, not the lower edge of bin 2.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 0.625);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.75);
+}
+
+TEST(Histogram, QuantileDegenerateSingleBin) {
+  Histogram h(2.0, 4.0, 1);
+  h.add(3.0);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo) {
+  Histogram h(0.5, 2.0, 8);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.5);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(LogHistogram, BinsAreGeometricallySpaced) {
+  LogHistogram h(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(0), 10.0, 1e-6);
+  EXPECT_NEAR(h.bin_upper(1), 100.0, 1e-6);
+  EXPECT_NEAR(h.bin_upper(2), 1000.0, 1e-6);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(LogHistogram, ClampsAndRejectsInvalidRange) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.add(0.0);     // clamped into the first bin (log of 0 would be -inf)
+  h.add(-3.0);
+  h.add(1e9);     // clamped into the last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(LogHistogram, QuantileAndMergeAcrossShards) {
+  LogHistogram a(1.0, 1e6, 60);
+  LogHistogram b(1.0, 1e6, 60);
+  for (int i = 0; i < 99; ++i) a.add(100.0);
+  b.add(10000.0);  // the single tail observation lives in the other shard
+  a.merge(b);
+  EXPECT_EQ(a.total(), 100u);
+  const double p50 = a.quantile(0.5);
+  const double p999 = a.quantile(0.999);
+  EXPECT_GT(p50, 50.0);
+  EXPECT_LT(p50, 200.0);
+  EXPECT_GT(p999, 5000.0);
+  EXPECT_LT(p999, 20000.0);
+  EXPECT_THROW(a.merge(LogHistogram(1.0, 1e5, 60)), std::invalid_argument);
+}
+
+TEST(LogHistogram, EmptyQuantileReturnsLo) {
+  LogHistogram h(2.0, 64.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
 TEST(DistinctValues, GroupsAndSorts) {
   const std::vector<double> v{0.5, 0.1, 0.5, 0.1, 0.1, 0.9};
   const auto dist = distinct_value_distribution(v);
