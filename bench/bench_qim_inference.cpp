@@ -75,7 +75,10 @@ struct SweepPoint {
   std::size_t batch = 0;
   double legacy_ns = 0.0;    ///< per sample, pointer tree route
   double compiled_ns = 0.0;  ///< per sample, compiled single-sample route
-  double batched_ns = 0.0;   ///< per sample, compiled route_batch
+  double batched_ns = 0.0;   ///< per sample, route_batch default (kAuto)
+  double scalar_ns = 0.0;    ///< per sample, kScalar block kernel
+  double simd_ns = 0.0;      ///< per sample, kSimd (AVX2 or its fallback)
+  double packed_ns = 0.0;    ///< per sample, kPacked AoS kernel
   double speedup() const { return legacy_ns / batched_ns; }
 };
 
@@ -139,11 +142,24 @@ SweepPoint run_case(const dtree::DecisionTree& tree,
     }
   });
 
-  // Compiled, level-synchronous batched routing.
+  // Compiled, level-synchronous batched routing (the production default:
+  // kAuto picks the SIMD kernel when the CPU supports it).
   point.batched_ns = best_ns_per_sample(total_samples, batch, [&] {
     compiled.predict_batch(pool(), out);
     sink += out[0];
   });
+
+  // Explicit kernels, for the kernel-vs-kernel comparison and the AVX2
+  // regression gate.
+  const auto kernel_ns = [&](dtree::BatchKernel kernel) {
+    return best_ns_per_sample(total_samples, batch, [&] {
+      compiled.predict_batch(pool(), out, kernel);
+      sink += out[0];
+    });
+  };
+  point.scalar_ns = kernel_ns(dtree::BatchKernel::kScalar);
+  point.simd_ns = kernel_ns(dtree::BatchKernel::kSimd);
+  point.packed_ns = kernel_ns(dtree::BatchKernel::kPacked);
 
   if (sink == 12.345) std::printf("(impossible sink)\n");  // keep sink live
   return point;
@@ -186,9 +202,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%-7s %-7s %-8s %-12s %-12s %-12s %-10s\n", "depth", "batch",
-              "leaves", "legacy ns", "compiled ns", "batched ns",
-              "speedup");
+  std::printf("AVX2 at runtime: %s (kAuto -> %s)\n\n",
+              dtree::CompiledTree::simd_available() ? "yes" : "no",
+              dtree::CompiledTree::simd_available() ? "kSimd" : "kScalar");
+  std::printf("%-7s %-7s %-8s %-11s %-12s %-11s %-11s %-11s %-11s %-8s\n",
+              "depth", "batch", "leaves", "legacy ns", "compiled ns",
+              "auto ns", "scalar ns", "simd ns", "packed ns", "speedup");
   const std::size_t depths[] = {2, 4, 8};
   const std::size_t batches[] = {64, 1024, 4096};
   SweepPoint acceptance{};  // depth 8, batch 4096
@@ -198,9 +217,12 @@ int main(int argc, char** argv) {
     for (const std::size_t batch : batches) {
       const SweepPoint point =
           run_case(tree, compiled, depth, batch, total_samples);
-      std::printf("%-7zu %-7zu %-8zu %-12.2f %-12.2f %-12.2f %-10.2f\n",
-                  depth, batch, compiled.num_leaves(), point.legacy_ns,
-                  point.compiled_ns, point.batched_ns, point.speedup());
+      std::printf(
+          "%-7zu %-7zu %-8zu %-11.2f %-12.2f %-11.2f %-11.2f %-11.2f "
+          "%-11.2f %-8.2f\n",
+          depth, batch, compiled.num_leaves(), point.legacy_ns,
+          point.compiled_ns, point.batched_ns, point.scalar_ns, point.simd_ns,
+          point.packed_ns, point.speedup());
       if (depth == 8 && batch == 4096) acceptance = point;
     }
   }
@@ -210,6 +232,10 @@ int main(int argc, char** argv) {
       "4096 (the serving configuration).\n");
 
   const double batched_msamples = 1e3 / acceptance.batched_ns;
+  const double scalar_msamples = 1e3 / acceptance.scalar_ns;
+  const double simd_msamples = 1e3 / acceptance.simd_ns;
+  const double packed_msamples = 1e3 / acceptance.packed_ns;
+  const bool simd_available = dtree::CompiledTree::simd_available();
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "wb");
     if (out == nullptr) {
@@ -220,15 +246,20 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"bench_qim_inference\",\n"
                  "  \"samples\": %zu,\n"
+                 "  \"simd_available\": %d,\n"
                  "  \"depth8_batch4096_legacy_ns\": %.3f,\n"
                  "  \"depth8_batch4096_compiled_ns\": %.3f,\n"
                  "  \"depth8_batch4096_batched_ns\": %.3f,\n"
                  "  \"depth8_batch4096_speedup\": %.3f,\n"
-                 "  \"batched_msamples_per_sec\": %.3f\n"
+                 "  \"batched_msamples_per_sec\": %.3f,\n"
+                 "  \"scalar_msamples_per_sec\": %.3f,\n"
+                 "  \"simd_msamples_per_sec\": %.3f,\n"
+                 "  \"packed_msamples_per_sec\": %.3f\n"
                  "}\n",
-                 total_samples, acceptance.legacy_ns, acceptance.compiled_ns,
-                 acceptance.batched_ns, acceptance.speedup(),
-                 batched_msamples);
+                 total_samples, simd_available ? 1 : 0, acceptance.legacy_ns,
+                 acceptance.compiled_ns, acceptance.batched_ns,
+                 acceptance.speedup(), batched_msamples, scalar_msamples,
+                 simd_msamples, packed_msamples);
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }
@@ -260,6 +291,26 @@ int main(int argc, char** argv) {
                    "FAIL: batched routing throughput regressed >20%% versus "
                    "the committed baseline\n");
       failed = true;
+    }
+    // AVX2 gate, only meaningful where the SIMD kernel actually runs: on
+    // non-AVX2 runners kSimd is the scalar fallback and the committed SIMD
+    // baseline would gate the wrong code.
+    double simd_baseline = 0.0;
+    if (simd_available &&
+        read_json_number(baseline_path, "simd_msamples_per_sec",
+                         &simd_baseline) &&
+        simd_baseline > 0.0) {
+      const double simd_floor = 0.8 * simd_baseline;
+      std::printf(
+          "simd gate: measured %.1f Msamples/s vs committed %.1f (floor "
+          "%.1f)\n",
+          simd_msamples, simd_baseline, simd_floor);
+      if (simd_msamples < simd_floor) {
+        std::fprintf(stderr,
+                     "FAIL: AVX2 routing throughput regressed >20%% versus "
+                     "the committed baseline\n");
+        failed = true;
+      }
     }
   }
   if (!failed && baseline_path != nullptr) std::printf("baseline gate: PASS\n");

@@ -1,21 +1,30 @@
-// Online-recalibration bench: the two numbers the zero-downtime claim
+// Online-recalibration bench: the three numbers the zero-downtime claim
 // rests on.
 //
 //   1. Recalibration latency: snapshot -> leaf refit (QIM + taQIM, via the
 //      shared calibrate_leaves implementation) -> compile -> swap_models
 //      publish, measured per stage on a store holding a serving-sized
 //      evidence window.
-//   2. Serving interference: step_batch steps/s with NO recalibration
+//   2. Regrow latency: a full series-aware split + CART refit on the same
+//      evidence window, serial versus multi-threaded (FitContext
+//      num_threads), with the per-phase FitStats breakdown
+//      (partition/split/calibrate/compile). The parallel fit is
+//      bit-identical to the serial one, so the only question is latency.
+//   3. Serving interference: step_batch steps/s with NO recalibration
 //      activity versus the same workload while background recalibrations
 //      and swaps run throughout. The acceptance gate is < 10% degradation
 //      - the engine's RCU publish must not drain or stall serving traffic.
 //
 // Build & run:  ./bench/bench_recalibration [--batches N]
 //                 [--json OUT.json] [--baseline BASELINE.json]
+//                 [--regrow-baseline BASELINE_REGROW.json]
 //
 // --json writes the summary for CI artifacts; --baseline additionally
 // compares steps/s against a committed conservative baseline and exits
 // non-zero on a >20% regression or on interference >= 10%.
+// --regrow-baseline gates serial regrow latency against a committed
+// ceiling (>20% slower fails) and, on runners with >= 4 hardware threads,
+// requires the 4-thread regrow to be >= 2x faster than serial.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -33,6 +42,8 @@
 #include "calib/recalibrator.hpp"
 #include "core/engine.hpp"
 #include "core/quality_impact_model.hpp"
+#include "dtree/fit_context.hpp"
+#include "dtree/tree.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -186,6 +197,7 @@ int main(int argc, char** argv) {
   std::size_t batches = 4000;
   const char* json_path = nullptr;
   const char* baseline_path = nullptr;
+  const char* regrow_baseline_path = nullptr;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--batches") == 0) {
       batches = static_cast<std::size_t>(std::atoll(argv[i + 1]));
@@ -193,6 +205,8 @@ int main(int argc, char** argv) {
       json_path = argv[i + 1];
     } else if (std::strcmp(argv[i], "--baseline") == 0) {
       baseline_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--regrow-baseline") == 0) {
+      regrow_baseline_path = argv[i + 1];
     }
   }
 
@@ -218,6 +232,7 @@ int main(int argc, char** argv) {
   auto store = calib::Recalibrator::make_store(engine, store_cfg);
   calib::RecalibratorConfig recal_cfg;
   recal_cfg.qim.calibration.min_leaf_samples = 0;  // leaf refresh
+  recal_cfg.qim.cart.max_depth = 8;  // regrow refits a serving-depth tree
   recal_cfg.clear_evidence_on_publish = false;     // keep refits full-sized
   calib::Recalibrator recalibrator(engine, store, recal_cfg);
 
@@ -257,7 +272,60 @@ int main(int argc, char** argv) {
       "refit+compile %.3f ms, swap %.3f ms, total %.3f ms\n",
       kLatencyReps, snapshot_ms, refit_ms, swap_ms, total_ms);
 
-  // ---- 2. serving interference ------------------------------------------
+  // ---- 2. regrow latency: serial vs parallel CART refit ------------------
+  // The full regrow path the kRegrow trigger takes: series-aware
+  // train/calibration split of the frozen evidence window, then a
+  // level-synchronous CART fit + leaf calibration + compile for the QIM.
+  // Serial and 4-thread fits publish bit-identical trees (unit-tested), so
+  // this phase is purely about wall clock. Best-of reps on each side: the
+  // gate compares latencies, and CI runner noise only ever inflates them.
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  constexpr std::size_t kRegrowThreads = 4;
+  constexpr int kRegrowReps = 3;
+  const calib::EvidenceSnapshot regrow_snapshot = store->snapshot();
+  const dtree::TreeDataset regrow_evidence =
+      regrow_snapshot.stateless_dataset();
+  dtree::FitStats regrow_stats;  // phase breakdown from the serial reps
+  auto regrow_once = [&](std::size_t threads, dtree::FitStats* stats) {
+    dtree::FitContext ctx;
+    ctx.num_threads = threads;
+    ctx.stats = stats;
+    dtree::TreeDataset train;
+    dtree::TreeDataset calibration;
+    const auto t0 = std::chrono::steady_clock::now();
+    calib::Recalibrator::split_for_regrow(regrow_evidence, train, calibration);
+    const auto model = calib::Recalibrator::regrown_model(
+        train, calibration, recal_cfg.qim, world.qim->feature_names(), ctx);
+    (void)model;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  double regrow_serial_ms = std::numeric_limits<double>::infinity();
+  double regrow_parallel_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kRegrowReps; ++rep) {
+    dtree::FitStats rep_stats;
+    const double serial = regrow_once(1, &rep_stats);
+    if (serial < regrow_serial_ms) {
+      regrow_serial_ms = serial;
+      regrow_stats = rep_stats;
+    }
+    regrow_parallel_ms =
+        std::min(regrow_parallel_ms, regrow_once(kRegrowThreads, nullptr));
+  }
+  const double regrow_speedup = regrow_serial_ms / regrow_parallel_ms;
+  std::printf(
+      "regrow latency (%zu rows, best of %d): serial %.3f ms, "
+      "%zu-thread %.3f ms (%.2fx, %u hardware threads)\n",
+      regrow_evidence.size(), kRegrowReps, regrow_serial_ms, kRegrowThreads,
+      regrow_parallel_ms, regrow_speedup, hardware_threads);
+  std::printf(
+      "regrow phases (serial): partition %.3f ms, split %.3f ms, "
+      "calibrate %.3f ms, compile %.3f ms\n",
+      regrow_stats.partition_ms, regrow_stats.split_ms,
+      regrow_stats.calibrate_ms, regrow_stats.compile_ms);
+
+  // ---- 3. serving interference ------------------------------------------
   // The "during" phase runs the same workload while a background thread
   // runs recalibration cycles (snapshot -> leaf refit -> compile -> swap)
   // throughout the measured window. Cycles are paced like a deployed
@@ -336,12 +404,26 @@ int main(int argc, char** argv) {
                  "  \"refit_compile_ms\": %.3f,\n"
                  "  \"swap_ms\": %.3f,\n"
                  "  \"total_latency_ms\": %.3f,\n"
+                 "  \"regrow_rows\": %zu,\n"
+                 "  \"regrow_serial_ms\": %.3f,\n"
+                 "  \"regrow_parallel_ms\": %.3f,\n"
+                 "  \"regrow_threads\": %zu,\n"
+                 "  \"regrow_speedup\": %.3f,\n"
+                 "  \"regrow_partition_ms\": %.3f,\n"
+                 "  \"regrow_split_ms\": %.3f,\n"
+                 "  \"regrow_calibrate_ms\": %.3f,\n"
+                 "  \"regrow_compile_ms\": %.3f,\n"
+                 "  \"hardware_threads\": %u,\n"
                  "  \"baseline_steps_per_sec\": %.1f,\n"
                  "  \"during_steps_per_sec\": %.1f,\n"
                  "  \"interference_pct\": %.2f\n"
                  "}\n",
                  store->retained(), snapshot_ms, refit_ms, swap_ms, total_ms,
-                 baseline_steps, during_steps, interference_pct);
+                 regrow_evidence.size(), regrow_serial_ms, regrow_parallel_ms,
+                 kRegrowThreads, regrow_speedup, regrow_stats.partition_ms,
+                 regrow_stats.split_ms, regrow_stats.calibrate_ms,
+                 regrow_stats.compile_ms, hardware_threads, baseline_steps,
+                 during_steps, interference_pct);
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }
@@ -376,6 +458,46 @@ int main(int argc, char** argv) {
       failed = true;
     }
     if (!failed) std::printf("baseline gate: PASS\n");
+  }
+  if (regrow_baseline_path != nullptr) {
+    double committed_ms = 0.0;
+    if (!read_json_number(regrow_baseline_path, "regrow_serial_ms",
+                          &committed_ms) ||
+        committed_ms <= 0.0) {
+      std::fprintf(stderr, "cannot read regrow_serial_ms from %s\n",
+                   regrow_baseline_path);
+      return 1;
+    }
+    const double ceiling = 1.2 * committed_ms;
+    std::printf(
+        "regrow gate: measured %.3f ms serial vs committed %.3f "
+        "(ceiling %.3f)\n",
+        regrow_serial_ms, committed_ms, ceiling);
+    if (regrow_serial_ms > ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: serial regrow latency regressed >20%% versus the "
+                   "committed baseline\n");
+      failed = true;
+    }
+    // The parallel speedup gate only makes sense where 4 fit threads can
+    // actually run in parallel; single- and dual-core runners report the
+    // numbers but are not judged on them.
+    if (hardware_threads >= kRegrowThreads) {
+      std::printf("regrow speedup gate: %.2fx at %zu threads (floor 2.0x)\n",
+                  regrow_speedup, kRegrowThreads);
+      if (regrow_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: %zu-thread regrow is less than 2x faster than "
+                     "serial on a %u-thread runner\n",
+                     kRegrowThreads, hardware_threads);
+        failed = true;
+      }
+    } else {
+      std::printf(
+          "regrow speedup gate: skipped (%u hardware threads < %zu)\n",
+          hardware_threads, kRegrowThreads);
+    }
+    if (!failed) std::printf("regrow gate: PASS\n");
   }
   return failed ? 1 : 0;
 }

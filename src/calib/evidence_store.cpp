@@ -10,11 +10,14 @@ namespace {
 void append_rows(dtree::TreeDataset& out, std::size_t dim,
                  const std::vector<double>& rows,
                  const std::vector<std::uint8_t>& failures,
+                 const std::vector<std::uint64_t>& sessions,
                  std::size_t count) {
   out.features.insert(out.features.end(), rows.begin(),
                       rows.begin() + static_cast<std::ptrdiff_t>(count * dim));
   out.failures.insert(out.failures.end(), failures.begin(),
                       failures.begin() + static_cast<std::ptrdiff_t>(count));
+  out.series_ids.insert(out.series_ids.end(), sessions.begin(),
+                        sessions.begin() + static_cast<std::ptrdiff_t>(count));
 }
 
 }  // namespace
@@ -24,7 +27,7 @@ dtree::TreeDataset EvidenceSnapshot::stateless_dataset() const {
   out.num_features = qf_dim;
   for (const auto& chunk : chunks) {
     append_rows(out, qf_dim, chunk->qfs, chunk->isolated_failures,
-                chunk->size);
+                chunk->sessions, chunk->size);
   }
   return out;
 }
@@ -35,7 +38,7 @@ dtree::TreeDataset EvidenceSnapshot::ta_dataset() const {
   if (ta_dim == 0) return out;
   for (const auto& chunk : chunks) {
     append_rows(out, ta_dim, chunk->ta_features, chunk->fused_failures,
-                chunk->size);
+                chunk->sessions, chunk->size);
   }
   return out;
 }
@@ -65,6 +68,7 @@ std::shared_ptr<EvidenceChunk> EvidenceStore::make_chunk() const {
   chunk->isolated_failures.resize(config_.chunk_rows);
   chunk->fused_failures.resize(config_.chunk_rows);
   chunk->generations.resize(config_.chunk_rows);
+  chunk->sessions.resize(config_.chunk_rows);
   return chunk;
 }
 
@@ -94,6 +98,7 @@ void EvidenceStore::record(std::size_t shard,
   chunk.isolated_failures[row] = observation.isolated_failure ? 1 : 0;
   chunk.fused_failures[row] = observation.fused_failure ? 1 : 0;
   chunk.generations[row] = observation.model_generation;
+  chunk.sessions[row] = observation.session;
   ++chunk.size;
   if (chunk.size == config_.chunk_rows) {
     // Seal: the chunk becomes immutable; snapshots may now share it.

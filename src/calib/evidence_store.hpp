@@ -44,6 +44,10 @@ struct EvidenceChunk {
   std::vector<std::uint8_t> isolated_failures;
   std::vector<std::uint8_t> fused_failures;
   std::vector<std::uint64_t> generations;
+  /// Reporting session (= timeseries) per row. Flows into the datasets'
+  /// series_ids so the regrow train/calibration split can key on the
+  /// series instead of the row (see TreeDataset::series_ids).
+  std::vector<std::uint64_t> sessions;
 };
 
 /// A frozen, consistent-per-lane view of the store's contents. Holding the

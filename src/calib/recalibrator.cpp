@@ -6,22 +6,48 @@ namespace tauw::calib {
 
 namespace {
 
-/// Deterministic even/odd row split for the regrow path: the snapshot is
-/// frozen, so the same snapshot always yields the same (train, calibration)
-/// halves - a regrow is reproducible offline from the same evidence.
-void split_dataset(const dtree::TreeDataset& data, dtree::TreeDataset& train,
-                   dtree::TreeDataset& calibration) {
+/// splitmix64 finalizer: decorrelates the (often sequential) session ids
+/// before the parity test, so consecutive series do not all land on one
+/// side.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+/// The snapshot is frozen, so the same snapshot always yields the same
+/// halves - a regrow is reproducible offline from the same evidence. See
+/// the header for the series-keyed split rationale.
+void Recalibrator::split_for_regrow(const dtree::TreeDataset& data,
+                                    dtree::TreeDataset& train,
+                                    dtree::TreeDataset& calibration) {
   train.num_features = data.num_features;
   calibration.num_features = data.num_features;
   train.feature_names = data.feature_names;
   calibration.feature_names = data.feature_names;
+  if (data.has_series_ids()) {
+    bool train_nonempty = false;
+    bool calib_nonempty = false;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (mix64(data.series_ids[i]) % 2 == 0 ? train_nonempty : calib_nonempty) =
+          true;
+    }
+    if (train_nonempty && calib_nonempty) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        (mix64(data.series_ids[i]) % 2 == 0 ? train : calibration)
+            .push_back(data.row(i), data.failures[i] != 0, data.series_ids[i]);
+      }
+      return;
+    }
+  }
   for (std::size_t i = 0; i < data.size(); ++i) {
     (i % 2 == 0 ? train : calibration)
         .push_back(data.row(i), data.failures[i] != 0);
   }
 }
-
-}  // namespace
 
 Recalibrator::Recalibrator(core::Engine& engine,
                            std::shared_ptr<EvidenceStore> store,
@@ -65,9 +91,10 @@ std::shared_ptr<core::QualityImpactModel> Recalibrator::refreshed_copy(
 
 std::shared_ptr<core::QualityImpactModel> Recalibrator::regrown_model(
     const dtree::TreeDataset& train, const dtree::TreeDataset& calibration,
-    const core::QimConfig& config, std::vector<std::string> feature_names) {
+    const core::QimConfig& config, std::vector<std::string> feature_names,
+    const dtree::FitContext& ctx) {
   auto model = std::make_shared<core::QualityImpactModel>();
-  model->fit(train, calibration, config, std::move(feature_names));
+  model->fit(train, calibration, config, std::move(feature_names), ctx);
   return model;
 }
 
@@ -121,23 +148,37 @@ RecalibrationOutcome Recalibrator::run_once(bool force,
   std::shared_ptr<core::QualityImpactModel> qim;
   std::shared_ptr<core::QualityImpactModel> taqim;
   if (mode == RecalibrationMode::kLeafRefresh) {
+    const auto refresh_start = std::chrono::steady_clock::now();
     qim = refreshed_copy(*models.qim, stateless, config_.qim.calibration);
     if (models.taqim != nullptr) {
       taqim = refreshed_copy(*models.taqim, ta, config_.qim.calibration);
     }
+    // The refresh is one calibrate + compile; report it under calibrate_ms.
+    outcome.stats.calibrate_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - refresh_start)
+            .count();
   } else {
+    dtree::FitStats fit_stats;
+    dtree::FitContext ctx;
+    ctx.num_threads = config_.regrow_threads;
+    ctx.stats = &fit_stats;
     dtree::TreeDataset train;
     dtree::TreeDataset calibration;
-    split_dataset(stateless, train, calibration);
+    split_for_regrow(stateless, train, calibration);
     qim = regrown_model(train, calibration, config_.qim,
-                        models.qim->feature_names());
+                        models.qim->feature_names(), ctx);
     if (models.taqim != nullptr) {
       dtree::TreeDataset ta_train;
       dtree::TreeDataset ta_calibration;
-      split_dataset(ta, ta_train, ta_calibration);
+      split_for_regrow(ta, ta_train, ta_calibration);
       taqim = regrown_model(ta_train, ta_calibration, config_.qim,
-                            models.taqim->feature_names());
+                            models.taqim->feature_names(), ctx);
     }
+    outcome.stats.partition_ms = fit_stats.partition_ms;
+    outcome.stats.split_ms = fit_stats.split_ms;
+    outcome.stats.calibrate_ms = fit_stats.calibrate_ms;
+    outcome.stats.compile_ms = fit_stats.compile_ms;
   }
 
   // Zero-downtime publish: in-flight steps finish on old_generation, later

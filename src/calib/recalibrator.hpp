@@ -68,6 +68,19 @@ struct RecalibratorConfig {
   /// The worker skips its drift check until this many new evidence rows
   /// arrived since the last check (notify() still respects this floor).
   std::uint64_t min_new_evidence = 64;
+  /// Threads for the kRegrow CART fits (dtree::FitContext::num_threads).
+  /// 1 = serial. The parallel fit is bit-identical to the serial one, so
+  /// this is purely a latency knob for the regrow slow path.
+  std::size_t regrow_threads = 1;
+};
+
+/// Wall-clock phase breakdown of a refit pass (all zero when the pass did
+/// not refit). Aggregated across the QIM and taQIM fits of one pass.
+struct RecalibrationStats {
+  double partition_ms = 0.0;  ///< CART per-level instance partitioning
+  double split_ms = 0.0;      ///< CART split-candidate scans (sort + sweep)
+  double calibrate_ms = 0.0;  ///< prune_and_calibrate / calibrate_leaves
+  double compile_ms = 0.0;    ///< CompiledTree::compile
 };
 
 /// What one pass of the loop did.
@@ -79,6 +92,7 @@ struct RecalibrationOutcome {
   std::uint64_t old_generation = 0;
   std::uint64_t new_generation = 0;  ///< 0 unless published
   std::size_t evidence_rows = 0;     ///< snapshot size the refit used
+  RecalibrationStats stats;          ///< refit phase timings (see above)
 };
 
 class Recalibrator {
@@ -109,10 +123,22 @@ class Recalibrator {
       const dtree::CalibrationConfig& config);
   /// Full fit (grow + prune + calibrate + compile) - exactly what the
   /// offline Study runs; exposed so there is one fit path in the codebase.
+  /// `ctx` is the fit execution context (threads, cancellation, stats -
+  /// dtree/fit_context.hpp); the default is the serial fit.
   static std::shared_ptr<core::QualityImpactModel> regrown_model(
       const dtree::TreeDataset& train, const dtree::TreeDataset& calibration,
       const core::QimConfig& config,
-      std::vector<std::string> feature_names = {});
+      std::vector<std::string> feature_names = {},
+      const dtree::FitContext& ctx = {});
+  /// The deterministic train/calibration split the regrow path uses. When
+  /// `data` carries series ids the split keys on the series (hash parity),
+  /// never the row, so no timeseries ever straddles both halves - rows
+  /// within a series are autocorrelated, and splitting them row-wise leaks
+  /// calibration information into training. Falls back to even/odd row
+  /// parity when series ids are absent or hashing would leave a half empty.
+  static void split_for_regrow(const dtree::TreeDataset& data,
+                               dtree::TreeDataset& train,
+                               dtree::TreeDataset& calibration);
 
   // -- synchronous surface -------------------------------------------------
   /// Drift check only: snapshot + monitor against the served models.

@@ -1,23 +1,37 @@
 #include "core/quality_impact_model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace tauw::core {
 
+namespace {
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
 void QualityImpactModel::fit(const dtree::TreeDataset& train,
                              const dtree::TreeDataset& calibration,
                              const QimConfig& config,
-                             std::vector<std::string> feature_names) {
+                             std::vector<std::string> feature_names,
+                             const dtree::FitContext& ctx) {
   if (train.num_features != calibration.num_features) {
     throw std::invalid_argument("QIM: train/calibration feature mismatch");
   }
-  tree_ = dtree::train_cart(train, config.cart);
+  tree_ = dtree::train_cart(train, config.cart, ctx);
+  const auto calibrate_start = std::chrono::steady_clock::now();
   calibration_result_ =
       dtree::prune_and_calibrate(tree_, calibration, config.calibration);
+  if (ctx.stats != nullptr) ctx.stats->calibrate_ms += ms_since(calibrate_start);
   importances_ = dtree::feature_importance(tree_, train);
   feature_names_ = std::move(feature_names);
+  const auto compile_start = std::chrono::steady_clock::now();
   compile();
+  if (ctx.stats != nullptr) ctx.stats->compile_ms += ms_since(compile_start);
 }
 
 void QualityImpactModel::recalibrate_leaves(

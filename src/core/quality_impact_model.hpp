@@ -31,9 +31,14 @@ class QualityImpactModel {
 
   /// Grows the tree on `train`, prunes and calibrates on `calibration`.
   /// `feature_names` (optional) are retained for transparency output.
+  /// `ctx` carries the fit execution context (thread count, cancellation,
+  /// progress, phase-timing sink - see dtree/fit_context.hpp); the default
+  /// is the serial fit. When `ctx.stats` is set, fit() also accumulates
+  /// calibrate_ms (prune + Clopper-Pearson) and compile_ms into it.
   void fit(const dtree::TreeDataset& train,
            const dtree::TreeDataset& calibration, const QimConfig& config,
-           std::vector<std::string> feature_names = {});
+           std::vector<std::string> feature_names = {},
+           const dtree::FitContext& ctx = {});
 
   /// Structure-preserving recalibration: refreshes every leaf's
   /// Clopper-Pearson bound on `calibration` (dtree::calibrate_leaves - the

@@ -122,8 +122,10 @@ void Study::run() {
   // (grow + prune + calibrate + compile) - the same implementation the
   // online Recalibrator's regrow path uses, so offline and online
   // calibration can never diverge.
+  dtree::FitContext fit_ctx;
+  fit_ctx.num_threads = config_.fit_threads;
   qim_ = calib::Recalibrator::regrown_model(qim_train, qim_calib, config_.qim,
-                                            qf_extractor_.names());
+                                            qf_extractor_.names(), fit_ctx);
   wrapper_ = std::make_unique<UncertaintyWrapper>(*ddm_, qf_extractor_, *qim_);
 
   // ---- 3. Traces ---------------------------------------------------------
@@ -256,8 +258,10 @@ std::shared_ptr<QualityImpactModel> Study::fit_taqim(TaqfSet set) const {
   const dtree::TreeDataset train = ta_dataset(train_ta_traces_, builder);
   const dtree::TreeDataset calib = ta_dataset(calib_traces_, builder);
   // Same shared fit path as the stateless QIM (see Study::run).
+  dtree::FitContext fit_ctx;
+  fit_ctx.num_threads = config_.fit_threads;
   return calib::Recalibrator::regrown_model(
-      train, calib, config_.qim, builder.names(qf_extractor_.names()));
+      train, calib, config_.qim, builder.names(qf_extractor_.names()), fit_ctx);
 }
 
 namespace {

@@ -52,6 +52,10 @@ struct StudyConfig {
   TaqfSet taqfs{};  ///< taQFs used by the main taUW (all four by default)
   std::uint64_t seed = 42;
   bool verbose = false;  ///< progress output on stdout
+  /// Threads for the QIM/taQIM CART fits (dtree::FitContext::num_threads).
+  /// The parallel fit is bit-identical to the serial one, so study results
+  /// do not depend on this.
+  std::size_t fit_threads = 1;
 
   /// Returns a configuration scaled down for unit/integration tests.
   static StudyConfig small();

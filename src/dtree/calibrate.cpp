@@ -1,31 +1,76 @@
 #include "dtree/calibrate.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <utility>
 
 #include "stats/binomial.hpp"
 
 namespace tauw::dtree {
 
-NodeCounts route_counts(const DecisionTree& tree, const TreeDataset& data) {
+NodeCounts route_counts(const CompiledTree& compiled, const DecisionTree& tree,
+                        const TreeDataset& data) {
   if (data.num_features != tree.num_features()) {
     throw std::invalid_argument("route_counts: feature count mismatch");
   }
   NodeCounts counts;
   counts.samples.assign(tree.num_nodes(), 0);
   counts.failures.assign(tree.num_nodes(), 0);
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    const auto x = data.row(i);
-    std::size_t node = 0;
-    for (;;) {
-      ++counts.samples[node];
-      counts.failures[node] += data.failures[i];
-      const Node& n = tree.node(node);
-      if (n.is_leaf()) break;
-      node = x[n.feature] <= n.threshold ? n.left : n.right;
+  if (data.size() == 0) return counts;
+
+  // Route in chunks through the compiled batched kernel and histogram per
+  // leaf slot. The chunk bounds the scratch leaf buffer, not the batch
+  // semantics - results are identical for any chunk size.
+  constexpr std::size_t kChunk = 4096;
+  const std::size_t n = data.size();
+  const std::size_t nf = data.num_features;
+  std::vector<std::uint32_t> leaves(std::min(kChunk, n));
+  std::vector<std::size_t> leaf_samples(compiled.num_leaves(), 0);
+  std::vector<std::size_t> leaf_failures(compiled.num_leaves(), 0);
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t len = std::min(kChunk, n - base);
+    compiled.route_batch(
+        std::span<const double>(data.features.data() + base * nf, len * nf),
+        std::span<std::uint32_t>(leaves.data(), len));
+    for (std::size_t k = 0; k < len; ++k) {
+      ++leaf_samples[leaves[k]];
+      leaf_failures[leaves[k]] += data.failures[base + k];
+    }
+  }
+  for (std::size_t slot = 0; slot < compiled.num_leaves(); ++slot) {
+    const std::size_t node = compiled.leaf_node_index(slot);
+    counts.samples[node] = leaf_samples[slot];
+    counts.failures[node] = leaf_failures[slot];
+  }
+
+  // Aggregate leaf counts up to internal nodes: a node is visited by
+  // exactly the rows that land in its subtree's leaves, so its count is the
+  // sum over those leaves. Explicit post-order stack - child indices are
+  // not guaranteed to be ordered relative to the parent's in a general
+  // DecisionTree, so a reverse index sweep would be unsound.
+  std::vector<std::pair<std::size_t, bool>> stack;
+  stack.emplace_back(0, false);
+  while (!stack.empty()) {
+    const auto [i, expanded] = stack.back();
+    stack.pop_back();
+    const Node& node = tree.node(i);
+    if (node.is_leaf()) continue;
+    if (expanded) {
+      counts.samples[i] = counts.samples[node.left] + counts.samples[node.right];
+      counts.failures[i] =
+          counts.failures[node.left] + counts.failures[node.right];
+    } else {
+      stack.emplace_back(i, true);
+      stack.emplace_back(node.left, false);
+      stack.emplace_back(node.right, false);
     }
   }
   return counts;
+}
+
+NodeCounts route_counts(const DecisionTree& tree, const TreeDataset& data) {
+  return route_counts(CompiledTree::compile(tree), tree, data);
 }
 
 CalibrationResult prune_and_calibrate(DecisionTree& tree,

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dtree/compiled_tree.hpp"
 #include "dtree/tree.hpp"
 
 namespace tauw::dtree {
@@ -35,11 +36,25 @@ struct CalibrationResult {
 
 /// Counts how many rows of `data` reach each node of `tree`.
 /// Returns per-node (samples, failures) aligned with tree.nodes().
+///
+/// Implemented on the compiled batched router: rows are routed to leaves in
+/// blocks (SIMD when available), histogrammed per leaf, and the leaf counts
+/// are aggregated bottom-up to internal nodes - each row's path visits
+/// exactly the ancestors of its leaf, so the aggregate equals the per-node
+/// walk at a fraction of the cost. Routing follows the serving NaN policy
+/// (NaN goes to the higher-uncertainty child, ties right): evidence is
+/// calibrated against the leaf serving would actually route to, which older
+/// revisions got wrong by sending NaN unconditionally right here.
 struct NodeCounts {
   std::vector<std::size_t> samples;
   std::vector<std::size_t> failures;
 };
 NodeCounts route_counts(const DecisionTree& tree, const TreeDataset& data);
+
+/// route_counts against an already-compiled `tree` (e.g. the monitor's
+/// serving snapshot) - `compiled` must be CompiledTree::compile(tree).
+NodeCounts route_counts(const CompiledTree& compiled, const DecisionTree& tree,
+                        const TreeDataset& data);
 
 /// Prunes `tree` in place: repeatedly collapses split nodes whose children
 /// would receive fewer than `min_leaf_samples` calibration rows, then sets

@@ -1,9 +1,20 @@
 #include "dtree/cart.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace tauw::dtree {
 
@@ -15,6 +26,27 @@ double gini_impurity(std::size_t failures, std::size_t count) {
 
 namespace {
 
+using Column = std::vector<std::pair<double, std::uint8_t>>;
+
+// Column order shared by both fits: by value, ties by failure flag - the
+// order std::pair's operator< produces on finite values - with NaN sorted
+// after every finite value (also ties by failure flag). pair::operator< is
+// not a strict weak order once NaN is involved (NaN compares equivalent to
+// everything via <, which breaks transitivity and makes std::sort UB), so
+// the comparator spells the policy out and the column order is fully
+// deterministic on every input.
+inline bool column_less(const std::pair<double, std::uint8_t>& a,
+                        const std::pair<double, std::uint8_t>& b) {
+  if (a.first < b.first) return true;
+  if (b.first < a.first) return false;
+  // Equal values, or at least one NaN: finite sorts before NaN, and equal
+  // keys (both finite-equal or both NaN) fall back to the failure flag.
+  const bool a_nan = std::isnan(a.first);
+  const bool b_nan = std::isnan(b.first);
+  if (a_nan != b_nan) return b_nan;
+  return a.second < b.second;
+}
+
 struct SplitChoice {
   bool found = false;
   std::size_t feature = 0;
@@ -22,9 +54,55 @@ struct SplitChoice {
   double impurity_decrease = 0.0;
 };
 
-// Finds the best Gini split of `indices` over all features.
+// Sweeps one SORTED feature column, updating `best` under the serial chain
+// rule (a candidate wins when its decrease exceeds the running best by more
+// than 1e-15). This is THE split comparison sequence: the recursive
+// reference calls it per feature with the global running best, and the
+// level-synchronous fit calls it identically over pre-sorted columns, which
+// is what makes the two fits bit-identical by construction.
+void sweep_column(const Column& column, std::size_t feature,
+                  std::size_t total_failures, double parent_impurity,
+                  const CartConfig& config, SplitChoice& best) {
+  const std::size_t n = column.size();
+  std::size_t left_failures = 0;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    left_failures += column[k].second;
+    // NaN values sort to the end: no candidate threshold lies between or
+    // beyond them (0.5 * (v + NaN) is meaningless), and the partition's
+    // `x <= threshold` sends them right implicitly via right_n = n - left_n.
+    if (std::isnan(column[k + 1].first)) break;
+    if (column[k].first == column[k + 1].first) continue;
+    const std::size_t left_n = k + 1;
+    const std::size_t right_n = n - left_n;
+    if (left_n < config.min_samples_leaf || right_n < config.min_samples_leaf) {
+      continue;
+    }
+    const std::size_t right_failures = total_failures - left_failures;
+    const double wl = static_cast<double>(left_n) / static_cast<double>(n);
+    const double wr = static_cast<double>(right_n) / static_cast<double>(n);
+    const double child_impurity = wl * gini_impurity(left_failures, left_n) +
+                                  wr * gini_impurity(right_failures, right_n);
+    const double decrease = parent_impurity - child_impurity;
+    if (decrease > best.impurity_decrease + 1e-15) {
+      best.found = true;
+      best.feature = feature;
+      best.threshold = 0.5 * (column[k].first + column[k + 1].first);
+      best.impurity_decrease = decrease;
+    }
+  }
+}
+
+void finalize_split(const CartConfig& config, SplitChoice& best) {
+  if (best.found && best.impurity_decrease < config.min_impurity_decrease) {
+    best.found = false;
+  }
+}
+
+// Finds the best Gini split of `indices` over all features (the serial
+// reference path; the level fit runs sweep_column over columns it sorted in
+// parallel).
 SplitChoice best_split(const TreeDataset& data,
-                       std::vector<std::size_t>& indices,
+                       const std::vector<std::size_t>& indices,
                        const CartConfig& config) {
   SplitChoice best;
   const std::size_t n = indices.size();
@@ -33,42 +111,16 @@ SplitChoice best_split(const TreeDataset& data,
   const double parent_impurity = gini_impurity(total_failures, n);
   if (parent_impurity == 0.0) return best;  // already pure
 
-  std::vector<std::pair<double, std::uint8_t>> column(n);
+  Column column(n);
   for (std::size_t f = 0; f < data.num_features; ++f) {
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t i = indices[k];
       column[k] = {data.row(i)[f], data.failures[i]};
     }
-    std::sort(column.begin(), column.end());
-    // Sweep split positions between distinct consecutive values.
-    std::size_t left_failures = 0;
-    for (std::size_t k = 0; k + 1 < n; ++k) {
-      left_failures += column[k].second;
-      if (column[k].first == column[k + 1].first) continue;
-      const std::size_t left_n = k + 1;
-      const std::size_t right_n = n - left_n;
-      if (left_n < config.min_samples_leaf ||
-          right_n < config.min_samples_leaf) {
-        continue;
-      }
-      const std::size_t right_failures = total_failures - left_failures;
-      const double wl = static_cast<double>(left_n) / static_cast<double>(n);
-      const double wr = static_cast<double>(right_n) / static_cast<double>(n);
-      const double child_impurity =
-          wl * gini_impurity(left_failures, left_n) +
-          wr * gini_impurity(right_failures, right_n);
-      const double decrease = parent_impurity - child_impurity;
-      if (decrease > best.impurity_decrease + 1e-15) {
-        best.found = true;
-        best.feature = f;
-        best.threshold = 0.5 * (column[k].first + column[k + 1].first);
-        best.impurity_decrease = decrease;
-      }
-    }
+    std::sort(column.begin(), column.end(), column_less);
+    sweep_column(column, f, total_failures, parent_impurity, config, best);
   }
-  if (best.found && best.impurity_decrease < config.min_impurity_decrease) {
-    best.found = false;
-  }
+  finalize_split(config, best);
   return best;
 }
 
@@ -120,9 +172,408 @@ struct Builder {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Level-synchronous fit
+// ---------------------------------------------------------------------------
+
+/// A fit-lifetime worker pool (engine-style dispatch: publish an epoch +
+/// atomic task cursor, workers and the caller claim tasks until the cursor
+/// runs dry, the caller waits for the finished count). One pool serves all
+/// parallel phases of one train_cart call, so thread spawns are paid once
+/// per fit, not once per level.
+class FitPool {
+ public:
+  explicit FitPool(std::size_t workers) {
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~FitPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  FitPool(const FitPool&) = delete;
+  FitPool& operator=(const FitPool&) = delete;
+
+  /// Runs fn(0..count-1) across the workers and the calling thread, returns
+  /// after all tasks finished, and rethrows the first task exception on the
+  /// caller. `fn` must be safe to call concurrently for distinct indices.
+  template <typename Fn>
+  void run(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    if (workers_.empty()) {  // serial context: no pool round-trip
+      for (std::size_t t = 0; t < count; ++t) fn(t);
+      return;
+    }
+    // The batch state is shared_ptr-owned (engine-style): a worker that
+    // wakes after all tasks finished still holds a live Batch and drains an
+    // exhausted cursor harmlessly, instead of dereferencing a dead stack
+    // frame. fn itself is only invoked for claimed tasks, all of which
+    // complete before run() returns, so the reference capture is safe.
+    auto batch = std::make_shared<Batch>();
+    batch->count = count;
+    batch->fn = [&fn](std::size_t t) { fn(t); };
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = batch;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    drain(*batch);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return batch->finished == batch->count; });
+    batch_.reset();
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+
+ private:
+  struct Batch {
+    std::size_t count = 0;
+    std::function<void(std::size_t)> fn;
+    std::atomic<std::size_t> cursor{0};
+    std::size_t finished = 0;          // guarded by mutex_
+    std::exception_ptr error;          // first failure, guarded by mutex_
+  };
+
+  void drain(Batch& batch) {
+    std::size_t done = 0;
+    std::exception_ptr error;
+    for (;;) {
+      const std::size_t t =
+          batch.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (t >= batch.count) break;
+      if (error == nullptr) {
+        try {
+          batch.fn(t);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      ++done;  // a failed task still counts as finished
+    }
+    if (done == 0 && error == nullptr) return;
+    bool all_done = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch.finished += done;
+      if (batch.error == nullptr && error != nullptr) batch.error = error;
+      all_done = batch.finished == batch.count;
+    }
+    if (all_done) done_cv_.notify_all();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        batch = batch_;
+      }
+      if (batch != nullptr) drain(*batch);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Batch> batch_;  // guarded by mutex_
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+/// One node of the breadth-first build (ids are build order; the finished
+/// topology is renumbered into recursive preorder at the end).
+struct BuildNode {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  std::int64_t left = -1;  ///< build id, -1 = leaf
+  std::int64_t right = -1;
+  std::size_t train_count = 0;
+  std::size_t train_failures = 0;
+  double uncertainty = 0.0;
+};
+
+/// A frontier entry: an open node and the training rows that reached it.
+struct OpenNode {
+  std::size_t build_id = 0;
+  std::vector<std::size_t> indices;
+  std::size_t total_failures = 0;
+  double parent_impurity = 0.0;
+  bool splittable = false;   ///< passes the depth / min_samples_split gates
+  SplitChoice split;
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void check_cancel(const FitContext& ctx) {
+  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed)) {
+    throw FitCancelled();
+  }
+}
+
+DecisionTree train_cart_level_synchronous(const TreeDataset& data,
+                                          const CartConfig& config,
+                                          const FitContext& ctx) {
+  const std::size_t num_features = data.num_features;
+  const std::size_t threads = std::max<std::size_t>(1, ctx.num_threads);
+  FitPool pool(threads - 1);
+  FitStats stats;
+
+  std::vector<BuildNode> build;
+  std::vector<OpenNode> frontier;
+  {
+    std::vector<std::size_t> all(data.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    std::size_t failures = 0;
+    for (const std::size_t i : all) failures += data.failures[i];
+    BuildNode root;
+    root.train_count = all.size();
+    root.train_failures = failures;
+    root.uncertainty =
+        static_cast<double>(failures) / static_cast<double>(all.size());
+    build.push_back(root);
+    OpenNode open;
+    open.build_id = 0;
+    open.indices = std::move(all);
+    open.total_failures = failures;
+    frontier.push_back(std::move(open));
+  }
+
+  // Per-level scratch, reused across levels.
+  std::vector<Column> columns;
+  std::vector<SplitChoice> feature_choices;  // non-deterministic mode only
+  std::vector<std::size_t> candidates;       // frontier slots being scanned
+
+  for (std::size_t level = 0; !frontier.empty(); ++level) {
+    check_cancel(ctx);
+    ++stats.levels;
+
+    // ---- split-candidate scan (parallel over node x feature) ------------
+    const auto split_start = std::chrono::steady_clock::now();
+    candidates.clear();
+    for (std::size_t s = 0; s < frontier.size(); ++s) {
+      OpenNode& open = frontier[s];
+      open.splittable = level < config.max_depth &&
+                        open.indices.size() >= config.min_samples_split;
+      if (!open.splittable) continue;
+      open.parent_impurity =
+          gini_impurity(open.total_failures, open.indices.size());
+      if (open.parent_impurity == 0.0) {  // already pure
+        open.splittable = false;
+        continue;
+      }
+      candidates.push_back(s);
+    }
+
+    columns.resize(candidates.size() * num_features);
+    if (!ctx.deterministic) {
+      feature_choices.assign(candidates.size() * num_features, SplitChoice{});
+    }
+    pool.run(candidates.size() * num_features, [&](std::size_t t) {
+      check_cancel(ctx);
+      const OpenNode& open = frontier[candidates[t / num_features]];
+      const std::size_t f = t % num_features;
+      Column& column = columns[t];
+      column.resize(open.indices.size());
+      for (std::size_t k = 0; k < open.indices.size(); ++k) {
+        const std::size_t i = open.indices[k];
+        column[k] = {data.row(i)[f], data.failures[i]};
+      }
+      std::sort(column.begin(), column.end(), column_less);
+      if (!ctx.deterministic) {
+        // Fused per-feature sweep: each feature's chain starts from zero
+        // and the winners are reduced per node below.
+        sweep_column(column, f, open.total_failures, open.parent_impurity,
+                     config, feature_choices[t]);
+      }
+    });
+
+    // Cross-feature reduction (parallel over nodes; one thread per node, so
+    // the chained epsilon rule is replayed without races). Deterministic
+    // mode re-runs the exact serial sweep sequence over the sorted columns;
+    // non-deterministic mode reduces the per-feature winners in feature
+    // order with the same epsilon rule.
+    pool.run(candidates.size(), [&](std::size_t c) {
+      OpenNode& open = frontier[candidates[c]];
+      SplitChoice best;
+      for (std::size_t f = 0; f < num_features; ++f) {
+        if (ctx.deterministic) {
+          sweep_column(columns[c * num_features + f], f, open.total_failures,
+                       open.parent_impurity, config, best);
+        } else {
+          const SplitChoice& choice = feature_choices[c * num_features + f];
+          if (choice.found &&
+              choice.impurity_decrease > best.impurity_decrease + 1e-15) {
+            best = choice;
+          }
+        }
+      }
+      finalize_split(config, best);
+      open.split = best;
+    });
+    stats.split_ms += ms_since(split_start);
+    check_cancel(ctx);
+
+    // ---- partition (parallel over split nodes) --------------------------
+    const auto partition_start = std::chrono::steady_clock::now();
+    // Child build ids and frontier slots are assigned sequentially in
+    // frontier order BEFORE the parallel phase, so the build-id layout (and
+    // therefore the final preorder numbering) never depends on task timing.
+    struct PartitionTask {
+      std::vector<std::size_t> parent_indices;
+      std::size_t parent_failures = 0;
+      std::size_t feature = 0;
+      double threshold = 0.0;
+      std::size_t out_slot = 0;  ///< `next` slot of the left child (+1 right)
+    };
+    std::vector<PartitionTask> tasks;
+    std::vector<OpenNode> next;
+    for (OpenNode& open : frontier) {
+      if (!open.splittable || !open.split.found) continue;
+      // Child ids are captured before the emplace_backs: growing `build`
+      // invalidates any reference into it (the TSan suite caught exactly
+      // that), so the parent node is written first and never touched again.
+      const std::size_t left_id = build.size();
+      const std::size_t right_id = build.size() + 1;
+      BuildNode& parent = build[open.build_id];
+      parent.feature = open.split.feature;
+      parent.threshold = open.split.threshold;
+      parent.left = static_cast<std::int64_t>(left_id);
+      parent.right = static_cast<std::int64_t>(right_id);
+      build.emplace_back();
+      build.emplace_back();
+      PartitionTask task;
+      task.parent_indices = std::move(open.indices);
+      task.parent_failures = open.total_failures;
+      task.feature = open.split.feature;
+      task.threshold = open.split.threshold;
+      task.out_slot = next.size();
+      OpenNode left_open;
+      left_open.build_id = left_id;
+      OpenNode right_open;
+      right_open.build_id = right_id;
+      next.push_back(std::move(left_open));
+      next.push_back(std::move(right_open));
+      tasks.push_back(std::move(task));
+    }
+    pool.run(tasks.size(), [&](std::size_t t) {
+      check_cancel(ctx);
+      PartitionTask& task = tasks[t];
+      OpenNode& left_open = next[task.out_slot];
+      OpenNode& right_open = next[task.out_slot + 1];
+      // Stable partition (relative order preserved) exactly like the
+      // recursive fit; NaN values fail `<=` and go right.
+      left_open.indices.reserve(task.parent_indices.size());
+      right_open.indices.reserve(task.parent_indices.size());
+      std::size_t left_failures = 0;
+      for (const std::size_t i : task.parent_indices) {
+        if (data.row(i)[task.feature] <= task.threshold) {
+          left_open.indices.push_back(i);
+          left_failures += data.failures[i];
+        } else {
+          right_open.indices.push_back(i);
+        }
+      }
+      left_open.total_failures = left_failures;
+      right_open.total_failures = task.parent_failures - left_failures;
+      for (OpenNode* child : {&left_open, &right_open}) {
+        BuildNode& b = build[child->build_id];
+        b.train_count = child->indices.size();
+        b.train_failures = child->total_failures;
+        b.uncertainty = child->indices.empty()
+                            ? 0.0
+                            : static_cast<double>(child->total_failures) /
+                                  static_cast<double>(child->indices.size());
+      }
+      task.parent_indices.clear();
+      task.parent_indices.shrink_to_fit();
+    });
+    stats.partition_ms += ms_since(partition_start);
+
+    frontier = std::move(next);
+    if (ctx.progress) {
+      FitProgress progress;
+      progress.level = level;
+      progress.open_nodes = frontier.size();
+      progress.total_nodes = build.size();
+      for (const OpenNode& open : frontier) {
+        progress.rows_in_frontier += open.indices.size();
+      }
+      ctx.progress(progress);
+    }
+  }
+
+  if (ctx.stats != nullptr) {
+    ctx.stats->split_ms += stats.split_ms;
+    ctx.stats->partition_ms += stats.partition_ms;
+    ctx.stats->levels += stats.levels;
+  }
+
+  // ---- renumber into recursive preorder --------------------------------
+  std::vector<Node> nodes(build.size());
+  std::vector<std::size_t> final_index(build.size(), 0);
+  {
+    std::vector<std::size_t> stack{0};
+    std::size_t next_index = 0;
+    while (!stack.empty()) {
+      const std::size_t id = stack.back();
+      stack.pop_back();
+      final_index[id] = next_index++;
+      const BuildNode& b = build[id];
+      if (b.left >= 0) {
+        stack.push_back(static_cast<std::size_t>(b.right));
+        stack.push_back(static_cast<std::size_t>(b.left));
+      }
+    }
+  }
+  for (std::size_t id = 0; id < build.size(); ++id) {
+    const BuildNode& b = build[id];
+    Node& n = nodes[final_index[id]];
+    n.train_count = b.train_count;
+    n.train_failures = b.train_failures;
+    n.uncertainty = b.uncertainty;
+    if (b.left >= 0) {
+      n.feature = b.feature;
+      n.threshold = b.threshold;
+      n.left = final_index[static_cast<std::size_t>(b.left)];
+      n.right = final_index[static_cast<std::size_t>(b.right)];
+    }
+  }
+  return DecisionTree(std::move(nodes), num_features);
+}
+
 }  // namespace
 
+DecisionTree train_cart(const TreeDataset& data, const CartConfig& config,
+                        const FitContext& ctx) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("train_cart: empty dataset");
+  }
+  return train_cart_level_synchronous(data, config, ctx);
+}
+
 DecisionTree train_cart(const TreeDataset& data, const CartConfig& config) {
+  return train_cart(data, config, FitContext::serial());
+}
+
+DecisionTree train_cart_reference(const TreeDataset& data,
+                                  const CartConfig& config) {
   if (data.size() == 0) {
     throw std::invalid_argument("train_cart: empty dataset");
   }

@@ -4,9 +4,32 @@
 // Matches the paper's setup (Section IV.C.2): Gini impurity as the split
 // criterion, growth up to a maximum depth of 8 without pruning; pruning and
 // calibration happen in a separate pass (see calibrate.hpp).
+//
+// Two implementations of one fit:
+//
+//   * train_cart (the production path) grows the tree breadth-first and
+//     level-synchronously: each level keeps a frontier of open nodes, the
+//     per-node split scans (feature-column sort + Gini sweep) run as
+//     (node x feature) tasks on FitContext::num_threads workers, and the
+//     instance partition of every split node runs as per-node tasks. The
+//     cross-feature reduction replays the exact serial comparison chain
+//     (per-feature sorted columns are order-independent inputs, and the
+//     chained epsilon tie rule is evaluated on one thread per node), and
+//     the finished topology is renumbered into recursive preorder - so the
+//     result is bit-identical to the recursive fit for every thread count.
+//   * train_cart_reference is the original depth-first recursive fit, kept
+//     verbatim as the executable oracle the parallel fit is tested against.
+//
+// NaN policy during growth (shared by both implementations): a NaN feature
+// value sorts after every finite value (ties broken by the failure flag, so
+// the column order is fully deterministic), candidate thresholds are never
+// taken between or beyond NaN values, and the partition comparison
+// `x <= threshold` sends NaN rows right - the same side serving's routing
+// would take at a fresh split, whose children initially tie on uncertainty.
 
 #include <cstddef>
 
+#include "dtree/fit_context.hpp"
 #include "dtree/tree.hpp"
 
 namespace tauw::dtree {
@@ -18,9 +41,26 @@ struct CartConfig {
   double min_impurity_decrease = 1e-7;
 };
 
-/// Grows a CART tree on `data`. The resulting leaves carry training counts
-/// and a raw (uncalibrated) failure-rate estimate in `uncertainty`.
+/// Grows a CART tree on `data` with the level-synchronous fit described in
+/// the file header, on `ctx.num_threads` threads (1 = serial, no pool).
+/// The resulting leaves carry training counts and a raw (uncalibrated)
+/// failure-rate estimate in `uncertainty`. Bit-identical to
+/// train_cart_reference for every (threads, dataset, config). Throws
+/// std::invalid_argument on an empty dataset and FitCancelled when
+/// `ctx.cancel` fires mid-fit.
+DecisionTree train_cart(const TreeDataset& data, const CartConfig& config,
+                        const FitContext& ctx);
+
+/// DEPRECATED two-argument shim (serial FitContext), kept so pre-FitContext
+/// callers compile unchanged. New code should pass a FitContext explicitly;
+/// see README "Training & recalibration performance" for the migration.
 DecisionTree train_cart(const TreeDataset& data, const CartConfig& config);
+
+/// The original depth-first recursive fit, retained as the bit-identity
+/// oracle for the level-synchronous implementation (and for A/B latency
+/// comparisons in bench_recalibration). Always serial.
+DecisionTree train_cart_reference(const TreeDataset& data,
+                                  const CartConfig& config);
 
 /// Gini impurity of a binary sample with `failures` positives among `count`.
 double gini_impurity(std::size_t failures, std::size_t count);

@@ -7,6 +7,8 @@
 #include <string>
 #include <type_traits>
 
+#include "dtree/simd_route.hpp"
+
 namespace tauw::dtree {
 
 CompiledTree CompiledTree::compile(const DecisionTree& tree) {
@@ -108,10 +110,28 @@ CompiledTree CompiledTree::compile(const DecisionTree& tree) {
 
 void CompiledTree::build_children() {
   children_.resize(2 * left_.size());
+  feature_nan_.resize(left_.size());
+  packed_.resize(left_.size());
   for (std::size_t i = 0; i < left_.size(); ++i) {
     children_[2 * i] = right_[i];      // go_left == 0
     children_[2 * i + 1] = left_[i];   // go_left == 1
+    feature_nan_[i] = static_cast<std::int32_t>(feature_[i]) |
+                      (nan_left_[i] != 0
+                           ? std::numeric_limits<std::int32_t>::min()
+                           : 0);
+    packed_[i] = PackedNode{threshold_[i],
+                            {right_[i], left_[i]},
+                            feature_nan_[i]};
   }
+}
+
+bool CompiledTree::simd_available() noexcept {
+  return simd::runtime_has_avx2();
+}
+
+BatchKernel CompiledTree::resolve_kernel(BatchKernel kernel) noexcept {
+  if (kernel != BatchKernel::kAuto) return kernel;
+  return simd::runtime_has_avx2() ? BatchKernel::kSimd : BatchKernel::kScalar;
 }
 
 // Branchless split decision: `v <= t` is false for NaN, so NaN falls
@@ -173,35 +193,61 @@ CompiledTree::MarginRoute CompiledTree::route_with_margin(
 // store.) `Emit` receives (global sample index, final cursor).
 template <typename Emit>
 void CompiledTree::route_blocks(std::span<const double> samples,
-                                std::size_t n, Emit&& emit) const {
+                                std::size_t n, BatchKernel kernel,
+                                Emit&& emit) const {
   constexpr std::size_t kBlock = 64;
   std::int32_t cursor[kBlock];
   const std::uint16_t* feature = feature_.data();
   const double* threshold = threshold_.data();
   const std::int32_t* children = children_.data();
   const std::uint8_t* nan_left = nan_left_.data();
+  const PackedNode* packed = packed_.data();
+  kernel = resolve_kernel(kernel);
   // `len` is a template parameter for full blocks so the inner loop has a
   // compile-time trip count (the unroller does measurably better), with
   // the same code instantiated once more for the runtime-length tail.
   const auto run_block = [&](std::size_t base, auto len_c) {
     const std::size_t len = len_c;
-    std::fill(cursor, cursor + len, 0);
-    for (std::size_t level = 0; level < max_depth_; ++level) {
-      const double* row = samples.data() + base * num_features_;
-      for (std::size_t k = 0; k < len; ++k, row += num_features_) {
-        const std::int32_t i = cursor[k];
-        // Fully branchless level step: split outcomes on fresh inputs are
-        // near coin flips, so any data-dependent branch here mispredicts
-        // about every other sample. `done` masks finished samples (their
-        // cursor already encodes a leaf): they re-evaluate the root
-        // harmlessly and keep their value via the blend, and the child is
-        // selected by indexed load rather than a conditional.
-        const std::int32_t done = i >> 31;  // all ones once at a leaf
-        const auto at = static_cast<std::size_t>(i & ~done);
-        const double v = row[feature[at]];
-        const std::int32_t next =
-            children[2 * at + split_left(v, threshold[at], nan_left[at])];
-        cursor[k] = (next & ~done) | (i & done);
+    const double* block_rows = samples.data() + base * num_features_;
+    if (kernel == BatchKernel::kSimd) {
+      simd::route_block_avx2(block_rows, len, num_features_, max_depth_,
+                             feature_nan_.data(), threshold, children,
+                             cursor);
+    } else if (kernel == BatchKernel::kPacked) {
+      std::fill(cursor, cursor + len, 0);
+      for (std::size_t level = 0; level < max_depth_; ++level) {
+        const double* row = block_rows;
+        for (std::size_t k = 0; k < len; ++k, row += num_features_) {
+          // Same branchless step as the SoA kernel below, but all four
+          // per-node loads come from one 24-byte record.
+          const std::int32_t i = cursor[k];
+          const std::int32_t done = i >> 31;
+          const PackedNode& nd = packed[i & ~done];
+          const double v = row[nd.feature_nan & 0x7fffffff];
+          const auto go_left = static_cast<std::size_t>(
+              (v <= nd.threshold) | ((v != v) & (nd.feature_nan < 0)));
+          cursor[k] = (nd.children[go_left] & ~done) | (i & done);
+        }
+      }
+    } else {
+      std::fill(cursor, cursor + len, 0);
+      for (std::size_t level = 0; level < max_depth_; ++level) {
+        const double* row = block_rows;
+        for (std::size_t k = 0; k < len; ++k, row += num_features_) {
+          const std::int32_t i = cursor[k];
+          // Fully branchless level step: split outcomes on fresh inputs are
+          // near coin flips, so any data-dependent branch here mispredicts
+          // about every other sample. `done` masks finished samples (their
+          // cursor already encodes a leaf): they re-evaluate the root
+          // harmlessly and keep their value via the blend, and the child is
+          // selected by indexed load rather than a conditional.
+          const std::int32_t done = i >> 31;  // all ones once at a leaf
+          const auto at = static_cast<std::size_t>(i & ~done);
+          const double v = row[feature[at]];
+          const std::int32_t next =
+              children[2 * at + split_left(v, threshold[at], nan_left[at])];
+          cursor[k] = (next & ~done) | (i & done);
+        }
       }
     }
     for (std::size_t k = 0; k < len; ++k) emit(base + k, cursor[k]);
@@ -214,7 +260,8 @@ void CompiledTree::route_blocks(std::span<const double> samples,
 }
 
 void CompiledTree::route_batch(std::span<const double> samples,
-                               std::span<std::uint32_t> out_leaves) const {
+                               std::span<std::uint32_t> out_leaves,
+                               BatchKernel kernel) const {
   const std::size_t n = out_leaves.size();
   if (samples.size() != n * num_features_) {
     throw std::invalid_argument(
@@ -225,13 +272,14 @@ void CompiledTree::route_batch(std::span<const double> samples,
     std::fill(out_leaves.begin(), out_leaves.end(), 0U);
     return;
   }
-  route_blocks(samples, n, [&](std::size_t s, std::int32_t cursor) {
+  route_blocks(samples, n, kernel, [&](std::size_t s, std::int32_t cursor) {
     out_leaves[s] = static_cast<std::uint32_t>(~cursor);
   });
 }
 
 void CompiledTree::predict_batch(std::span<const double> samples,
-                                 std::span<double> out) const {
+                                 std::span<double> out,
+                                 BatchKernel kernel) const {
   const std::size_t n = out.size();
   if (samples.size() != n * num_features_) {
     throw std::invalid_argument(
@@ -243,7 +291,7 @@ void CompiledTree::predict_batch(std::span<const double> samples,
     return;
   }
   const double* leaf_uncertainty = leaf_uncertainty_.data();
-  route_blocks(samples, n, [&](std::size_t s, std::int32_t cursor) {
+  route_blocks(samples, n, kernel, [&](std::size_t s, std::int32_t cursor) {
     out[s] = leaf_uncertainty[~cursor];
   });
 }

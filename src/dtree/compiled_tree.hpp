@@ -16,7 +16,12 @@
 //     num_features), so traversal is branch-light and unchecked,
 //   * a level-synchronous route_batch advances a whole batch of samples one
 //     level per pass - the per-sample dependency chains interleave, hiding
-//     the latency that serializes the pointer tree's walk.
+//     the latency that serializes the pointer tree's walk,
+//   * the batched entry points take a BatchKernel selector: the default
+//     kAuto resolves once per call to the AVX2 gather kernel when the
+//     running CPU supports it (see simd_route.hpp) and to the scalar block
+//     kernel otherwise. All kernels - scalar SoA, AVX2, and the packed-node
+//     AoS variant - produce bit-identical leaf assignments.
 //
 // NaN policy (shared with DecisionTree::route): a NaN feature routes to the
 // child whose subtree guarantees the higher maximum uncertainty, ties going
@@ -41,6 +46,14 @@
 #include "dtree/tree.hpp"
 
 namespace tauw::dtree {
+
+/// Kernel selector for the batched routing entry points.
+enum class BatchKernel {
+  kAuto,    ///< kSimd when the CPU has AVX2, else kScalar (the default)
+  kScalar,  ///< the branchless scalar block kernel over the SoA arrays
+  kSimd,    ///< AVX2 4-lane gather kernel (scalar-equivalent off-x86)
+  kPacked,  ///< scalar kernel over the 24-byte AoS packed-node array
+};
 
 class CompiledTree {
  public:
@@ -78,15 +91,20 @@ class CompiledTree {
 
   /// Level-synchronous batched routing: `samples` is a row-major
   /// n x num_features matrix, `out_leaves` (size n) receives the leaf slot
-  /// per row. Bit-identical to calling route() per row.
+  /// per row. Bit-identical to calling route() per row, for every kernel.
   void route_batch(std::span<const double> samples,
-                   std::span<std::uint32_t> out_leaves) const;
+                   std::span<std::uint32_t> out_leaves,
+                   BatchKernel kernel = BatchKernel::kAuto) const;
 
   /// Batched routing with the leaf-uncertainty gather fused into the block
   /// epilogue (no intermediate leaf-index pass). Bit-identical to predict()
-  /// per row.
-  void predict_batch(std::span<const double> samples,
-                     std::span<double> out) const;
+  /// per row, for every kernel.
+  void predict_batch(std::span<const double> samples, std::span<double> out,
+                     BatchKernel kernel = BatchKernel::kAuto) const;
+
+  /// True when BatchKernel::kAuto resolves to the AVX2 kernel on this
+  /// machine (i.e. simd::runtime_has_avx2()).
+  static bool simd_available() noexcept;
 
   /// Calibrated uncertainty of a leaf slot.
   double leaf_uncertainty(std::size_t slot) const {
@@ -132,14 +150,29 @@ class CompiledTree {
                                   std::vector<std::uint32_t> leaf_node_indices);
 
  private:
-  /// Rebuilds the interleaved child-pair array from left_/right_.
+  /// One split in array-of-structs form: threshold + interleaved child pair
+  /// + packed feature/nan word in a single 24-byte record, so a level step
+  /// touches one cache line per node instead of gathering from four
+  /// parallel arrays. Revives the PR 4 layout experiment as a selectable
+  /// kernel (BatchKernel::kPacked).
+  struct PackedNode {
+    double threshold;
+    std::int32_t children[2];     ///< [right, left]: children[go_left]
+    std::int32_t feature_nan;     ///< feature | (nan_left << 31)
+  };
+
+  /// Rebuilds the interleaved child-pair array, the packed feature+nan
+  /// words, and the AoS node records from the SoA arrays.
   void build_children();
+
+  /// Resolves kAuto against the runtime CPU probe.
+  static BatchKernel resolve_kernel(BatchKernel kernel) noexcept;
 
   /// The level-synchronous block kernel shared by route_batch and
   /// predict_batch; calls `emit(sample_index, final_cursor)` per sample.
   template <typename Emit>
   void route_blocks(std::span<const double> samples, std::size_t n,
-                    Emit&& emit) const;
+                    BatchKernel kernel, Emit&& emit) const;
 
   std::size_t num_features_ = 0;
   std::size_t max_depth_ = 0;
@@ -154,6 +187,10 @@ class CompiledTree {
   /// outcomes on fresh quality factors are close to coin flips, and a
   /// mispredict per level costs more than the whole level.
   std::vector<std::int32_t> children_;
+  /// feature | (nan_left << 31) per node: one int32 gather feeds both the
+  /// sample-value index and the NaN route in the AVX2 kernel.
+  std::vector<std::int32_t> feature_nan_;
+  std::vector<PackedNode> packed_;  ///< AoS mirror for BatchKernel::kPacked
   // Leaves, in breadth-first discovery order.
   std::vector<double> leaf_uncertainty_;
   std::vector<std::uint32_t> leaf_node_index_;

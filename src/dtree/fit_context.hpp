@@ -1,0 +1,95 @@
+#pragma once
+// FitContext: the one execution-context surface every tree-fit entry point
+// accepts.
+//
+// Before this header existed, train_cart(data, config) was a free function
+// with no way to carry a thread count, a determinism mode, cancellation, or
+// progress reporting from the callers that need them (QualityImpactModel::
+// fit -> Recalibrator::regrown_model -> Study) down into the fit. Every fit
+// path now takes a FitContext:
+//
+//   dtree::FitContext ctx;
+//   ctx.num_threads = 4;                    // level-synchronous parallel fit
+//   DecisionTree t = train_cart(data, config, ctx);
+//
+// The context is observational plumbing, never a correctness knob: for any
+// num_threads and either determinism mode the level-synchronous fit
+// produces trees bit-identical to the serial recursive reference
+// (train_cart_reference) - see cart.hpp for how that is guaranteed. The
+// deterministic flag only selects HOW the per-feature split scan is
+// reduced; the default replays the exact serial comparison chain.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+namespace tauw::dtree {
+
+/// Thrown by train_cart when FitContext::cancel was set mid-fit. The fit
+/// leaves no partial state behind (the tree under construction is local to
+/// the call), so a cancelled fit can simply be retried later.
+class FitCancelled : public std::runtime_error {
+ public:
+  FitCancelled() : std::runtime_error("dtree fit cancelled") {}
+};
+
+/// Per-level progress snapshot, passed to FitContext::progress from the
+/// fitting thread after each level of the breadth-first build completes.
+struct FitProgress {
+  std::size_t level = 0;       ///< depth of the level just finished
+  std::size_t open_nodes = 0;  ///< frontier nodes still eligible to split
+  std::size_t total_nodes = 0; ///< nodes materialized so far
+  std::size_t rows_in_frontier = 0;  ///< training rows in the open frontier
+};
+
+/// Wall-clock phase breakdown of a fit, accumulated (+=) into
+/// FitContext::stats when set - one context can aggregate several fits
+/// (e.g. the recalibrator's QIM + taQIM regrow). train_cart fills
+/// split_ms/partition_ms; QualityImpactModel::fit adds calibrate_ms (the
+/// prune + Clopper-Pearson pass) and compile_ms (CompiledTree::compile).
+struct FitStats {
+  double split_ms = 0.0;      ///< split-candidate scans (sort + sweep)
+  double partition_ms = 0.0;  ///< per-level instance partitioning
+  double calibrate_ms = 0.0;  ///< prune_and_calibrate / calibrate_leaves
+  double compile_ms = 0.0;    ///< CompiledTree::compile
+  std::size_t levels = 0;     ///< levels the breadth-first build ran
+};
+
+/// Execution context for tree fits. Default-constructed = the serial fit
+/// with no observers, which is what the deprecated two-argument train_cart
+/// shim passes.
+struct FitContext {
+  /// Worker threads for the level-synchronous fit (the calling thread
+  /// participates, so `num_threads - 1` workers are spawned). 0 is treated
+  /// as 1; 1 runs everything on the caller's thread with no pool.
+  std::size_t num_threads = 1;
+
+  /// true (default): the per-node split scan sorts feature columns in
+  /// parallel but replays the cross-feature reduction as the exact serial
+  /// comparison chain - bit-identical to the recursive fit by construction.
+  /// false: each feature's sweep also runs in parallel and the per-feature
+  /// winners are reduced in feature order with the same epsilon rule; this
+  /// overlaps more work and is bit-identical in every case we have managed
+  /// to construct, but the chained-epsilon tie rule is replayed per feature
+  /// rather than globally, so equality is empirical, not structural.
+  bool deterministic = true;
+
+  /// Optional cancellation token: checked between levels and inside the
+  /// per-level task loops. When it becomes true the fit throws
+  /// FitCancelled from the calling thread.
+  std::shared_ptr<std::atomic<bool>> cancel{};
+
+  /// Optional per-level progress callback, invoked on the calling thread
+  /// after each level (never concurrently). Must not throw.
+  std::function<void(const FitProgress&)> progress{};
+
+  /// Optional phase-timing sink; fits ACCUMULATE into it (see FitStats).
+  FitStats* stats = nullptr;
+
+  /// The context the deprecated two-argument train_cart shim uses.
+  static FitContext serial() { return FitContext{}; }
+};
+
+}  // namespace tauw::dtree

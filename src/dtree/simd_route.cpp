@@ -1,0 +1,152 @@
+#include "dtree/simd_route.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TAUW_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace tauw::dtree::simd {
+
+namespace {
+
+// The scalar level step shared with CompiledTree's block kernel (see
+// split_left in compiled_tree.cpp): `v <= t` is false for NaN, which falls
+// through to the precomputed NaN-routes-left bit; the child is selected by
+// indexed load and finished lanes keep their cursor via the done blend.
+inline std::int32_t scalar_step(std::int32_t cursor, const double* row,
+                                const std::int32_t* feature_nan,
+                                const double* thresholds,
+                                const std::int32_t* children) {
+  const std::int32_t done = cursor >> 31;
+  const auto at = static_cast<std::size_t>(cursor & ~done);
+  const std::int32_t fe = feature_nan[at];
+  const double v = row[fe & 0x7fffffff];
+  const std::size_t go_left = static_cast<std::size_t>(
+      (v <= thresholds[at]) | ((v != v) & (fe < 0)));
+  const std::int32_t next = children[2 * at + go_left];
+  return (next & ~done) | (cursor & done);
+}
+
+void route_block_scalar(const double* block_rows, std::size_t len,
+                        std::size_t num_features, std::size_t max_depth,
+                        const std::int32_t* feature_nan,
+                        const double* thresholds,
+                        const std::int32_t* children,
+                        std::int32_t* out_cursors) {
+  for (std::size_t k = 0; k < len; ++k) out_cursors[k] = 0;
+  for (std::size_t level = 0; level < max_depth; ++level) {
+    const double* row = block_rows;
+    for (std::size_t k = 0; k < len; ++k, row += num_features) {
+      out_cursors[k] =
+          scalar_step(out_cursors[k], row, feature_nan, thresholds, children);
+    }
+  }
+}
+
+#if TAUW_X86_SIMD
+
+// GCC's plain gather intrinsics expand to the masked-gather builtin with an
+// undefined pass-through source, which -O3 -Wmaybe-uninitialized flags
+// inside avx2intrin.h (GCC bug 105593). Every gathered lane here is fully
+// selected by an all-ones mask, so the undefined source is never read.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx2"))) void route_block_avx2_impl(
+    const double* block_rows, std::size_t len, std::size_t num_features,
+    std::size_t max_depth, const std::int32_t* feature_nan,
+    const double* thresholds, const std::int32_t* children,
+    std::int32_t* out_cursors) {
+  // Per-lane row offsets within the block (lane k reads row k). len <= 64
+  // and num_features <= 65535, so the offsets fit int32 comfortably.
+  alignas(32) std::int32_t row_offset[64];
+  const auto nf = static_cast<std::int32_t>(num_features);
+  for (std::size_t k = 0; k < len; ++k) {
+    row_offset[k] = static_cast<std::int32_t>(k) * nf;
+  }
+  for (std::size_t k = 0; k < len; ++k) out_cursors[k] = 0;
+
+  const std::size_t vec_len = len & ~std::size_t{3};
+  const __m128i feature_mask = _mm_set1_epi32(0x7fffffff);
+  // Picks the even (low) dword of each 64-bit comparison mask, narrowing
+  // four 64-bit lane masks into four 32-bit ones.
+  const __m256i pick_even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+
+  for (std::size_t level = 0; level < max_depth; ++level) {
+    for (std::size_t k = 0; k < vec_len; k += 4) {
+      const __m128i c = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(out_cursors + k));
+      const __m128i done = _mm_srai_epi32(c, 31);  // all ones once at a leaf
+      const __m128i at = _mm_andnot_si128(done, c);
+      // One gather per array: packed feature+nan word, threshold, then the
+      // sample value at (row base + feature).
+      const __m128i fe = _mm_i32gather_epi32(feature_nan, at, 4);
+      const __m128i feat = _mm_and_si128(fe, feature_mask);
+      const __m256d t = _mm256_i32gather_pd(thresholds, at, 8);
+      const __m128i vidx = _mm_add_epi32(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(row_offset + k)),
+          feat);
+      const __m256d v = _mm256_i32gather_pd(block_rows, vidx, 8);
+      // go_left = (v <= t) | (isnan(v) & nan_left): LE_OQ is false on NaN,
+      // UNORD is the vectorized isnan, and the nan_left sign bit broadcast
+      // to a 64-bit lane mask supplies the precomputed NaN route.
+      const __m256d le = _mm256_cmp_pd(v, t, _CMP_LE_OQ);
+      const __m256d unord = _mm256_cmp_pd(v, v, _CMP_UNORD_Q);
+      const __m256d nan_left =
+          _mm256_castsi256_pd(_mm256_cvtepi32_epi64(_mm_srai_epi32(fe, 31)));
+      const __m256d go_left =
+          _mm256_or_pd(le, _mm256_and_pd(unord, nan_left));
+      const __m128i gl = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+          _mm256_castpd_si256(go_left), pick_even));
+      // children[2*at + go] with go in {0,1}: gl is 0 or -1 per lane, so
+      // 2*at - gl is the child-pair index.
+      const __m128i ci = _mm_sub_epi32(_mm_slli_epi32(at, 1), gl);
+      const __m128i next = _mm_i32gather_epi32(children, ci, 4);
+      const __m128i blended = _mm_or_si128(_mm_andnot_si128(done, next),
+                                           _mm_and_si128(done, c));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out_cursors + k), blended);
+    }
+    // Sub-vector tail lanes advance with the scalar step (bit-identical).
+    const double* row = block_rows + vec_len * num_features;
+    for (std::size_t k = vec_len; k < len; ++k, row += num_features) {
+      out_cursors[k] =
+          scalar_step(out_cursors[k], row, feature_nan, thresholds, children);
+    }
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // TAUW_X86_SIMD
+
+}  // namespace
+
+bool runtime_has_avx2() noexcept {
+#if TAUW_X86_SIMD
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void route_block_avx2(const double* block_rows, std::size_t len,
+                      std::size_t num_features, std::size_t max_depth,
+                      const std::int32_t* feature_nan,
+                      const double* thresholds, const std::int32_t* children,
+                      std::int32_t* out_cursors) {
+#if TAUW_X86_SIMD
+  if (runtime_has_avx2()) {
+    route_block_avx2_impl(block_rows, len, num_features, max_depth,
+                          feature_nan, thresholds, children, out_cursors);
+    return;
+  }
+#endif
+  route_block_scalar(block_rows, len, num_features, max_depth, feature_nan,
+                     thresholds, children, out_cursors);
+}
+
+}  // namespace tauw::dtree::simd

@@ -1,0 +1,48 @@
+#pragma once
+// Runtime-dispatched SIMD routing kernel for CompiledTree.
+//
+// The compiled plane's batched router is branchless but scalar: each level
+// step does four scattered array loads (feature, threshold, nan bit, child
+// pair) per sample. On AVX2 hardware the same level step vectorizes four
+// samples per iteration with hardware gathers - the split comparison, NaN
+// check, child select, and done-lane blend all become lane-parallel - while
+// producing BIT-IDENTICAL cursors to the scalar kernel (same `v <= t`
+// comparison, same precomputed NaN route, same indexed child load; exactness
+// is fuzz-tested in dtree_compiled_test).
+//
+// Dispatch policy: nothing in this header requires AVX2 at compile time.
+// The kernel is compiled with a function-level target attribute in
+// simd_route.cpp, and callers gate on runtime_has_avx2() (CPUID probe); on
+// non-x86 builds the entry point falls back to a scalar loop with identical
+// semantics, so calling it is always safe, just not always fast.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tauw::dtree::simd {
+
+/// True when the running CPU supports AVX2 (always false on non-x86
+/// builds). Cheap after the first call (compiler-runtime cached CPUID).
+bool runtime_has_avx2() noexcept;
+
+/// Routes one block of `len` samples (row-major `len x num_features`,
+/// `block_rows` = first row of the block) through the compiled tree arrays,
+/// writing the final negative-encoded leaf cursor (~slot) per sample into
+/// `out_cursors`.
+///
+///   * `feature_nan[i]` packs split i's feature index in the low 31 bits and
+///     its NaN-routes-left bit in bit 31 (CompiledTree::feature_nan()).
+///   * `thresholds`/`children` are CompiledTree's threshold and interleaved
+///     [right, left] child-pair arrays.
+///   * `len` is capped by the caller's block size (<= 64); `max_depth` >= 1
+///     and the tree must have at least one split.
+///
+/// AVX2 path when compiled for x86 (caller gates on runtime_has_avx2());
+/// scalar fallback otherwise. Outputs are bit-identical either way.
+void route_block_avx2(const double* block_rows, std::size_t len,
+                      std::size_t num_features, std::size_t max_depth,
+                      const std::int32_t* feature_nan,
+                      const double* thresholds, const std::int32_t* children,
+                      std::int32_t* out_cursors);
+
+}  // namespace tauw::dtree::simd

@@ -17,6 +17,12 @@ void TreeDataset::push_back(std::span<const double> row, bool failure) {
   failures.push_back(failure ? 1 : 0);
 }
 
+void TreeDataset::push_back(std::span<const double> row, bool failure,
+                            std::uint64_t series_id) {
+  push_back(row, failure);
+  series_ids.push_back(series_id);
+}
+
 std::size_t validate_tree_structure(std::span<const Node> nodes,
                                     std::size_t num_features) {
   if (nodes.empty()) {

@@ -21,6 +21,12 @@ struct TreeDataset {
   std::size_t num_features = 0;
   std::vector<double> features;     ///< num_features * failures.size()
   std::vector<std::uint8_t> failures;
+  /// Optional provenance: the timeseries/session each row came from. Either
+  /// empty (no provenance) or size() entries. Train/calibration splitting
+  /// keys on this so one series never straddles both halves (rows of a
+  /// series are autocorrelated; splitting them row-wise leaks calibration
+  /// information into training).
+  std::vector<std::uint64_t> series_ids;
   std::vector<std::string> feature_names;  ///< optional, for serialization
 
   std::size_t size() const noexcept { return failures.size(); }
@@ -28,6 +34,13 @@ struct TreeDataset {
     return {features.data() + i * num_features, num_features};
   }
   void push_back(std::span<const double> row, bool failure);
+  /// Appends a row with series provenance. Mixing the two overloads leaves
+  /// series_ids shorter than size(); has_series_ids() guards against that.
+  void push_back(std::span<const double> row, bool failure,
+                 std::uint64_t series_id);
+  bool has_series_ids() const noexcept {
+    return !series_ids.empty() && series_ids.size() == failures.size();
+  }
 };
 
 /// One tree node. Children are indices into the node vector; leaves have

@@ -8,6 +8,7 @@
 // recalibrate-and-swap under concurrent step_batch traffic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -632,6 +633,194 @@ TEST(RecalibrationStress, SwapsUnderConcurrentStepBatchAndTruthReports) {
   engine.step(7, make_frame(0.9F, 0.0F, 0.0F));
   engine.report_truth(7, 1);
   EXPECT_GT(store->total_recorded(), 0u);
+}
+
+// -- series-aware regrow split ------------------------------------------------
+
+TEST(EvidenceStore, DatasetsCarrySeriesIdsFromReportingSessions) {
+  Engine engine(world().components(), {});
+  auto store = Recalibrator::make_store(engine);
+  engine.set_evidence_sink(store);
+  stream_with_truth(engine, 6, 8, 0.0, 77);
+  const dtree::TreeDataset stateless = store->snapshot().stateless_dataset();
+  ASSERT_GT(stateless.size(), 0u);
+  ASSERT_TRUE(stateless.has_series_ids());
+  // The rows came from the 6 sessions stream_with_truth opened (ids
+  // 2000..2005), several rows each.
+  std::vector<std::uint64_t> distinct;
+  for (const std::uint64_t id : stateless.series_ids) {
+    EXPECT_GE(id, 2000u);
+    EXPECT_LT(id, 2006u);
+    if (std::find(distinct.begin(), distinct.end(), id) == distinct.end()) {
+      distinct.push_back(id);
+    }
+  }
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(Recalibrator, RegrowSplitNeverPlacesOneSeriesInBothHalves) {
+  stats::Rng rng(4242);
+  dtree::TreeDataset data;
+  for (std::uint64_t series = 0; series < 40; ++series) {
+    // Rows within a series are near-duplicates - the autocorrelation that
+    // makes a row-parity split leak.
+    const double base = rng.uniform();
+    for (int t = 0; t < 10; ++t) {
+      data.push_back(std::vector<double>{base + 0.001 * t},
+                     rng.bernoulli(0.2), series);
+    }
+  }
+  dtree::TreeDataset train;
+  dtree::TreeDataset calibration;
+  Recalibrator::split_for_regrow(data, train, calibration);
+  ASSERT_GT(train.size(), 0u);
+  ASSERT_GT(calibration.size(), 0u);
+  EXPECT_EQ(train.size() + calibration.size(), data.size());
+  ASSERT_TRUE(train.has_series_ids());
+  ASSERT_TRUE(calibration.has_series_ids());
+  for (const std::uint64_t train_id : train.series_ids) {
+    for (const std::uint64_t calib_id : calibration.series_ids) {
+      EXPECT_NE(train_id, calib_id);
+    }
+  }
+  // Each series moved wholesale: all 10 rows of a series share one half.
+  for (const auto* half : {&train, &calibration}) {
+    std::vector<std::size_t> per_series(40, 0);
+    for (const std::uint64_t id : half->series_ids) ++per_series[id];
+    for (const std::size_t count : per_series) {
+      EXPECT_TRUE(count == 0 || count == 10) << "series split across halves";
+    }
+  }
+}
+
+TEST(Recalibrator, SplitFallsBackToRowParityForASingleSeries) {
+  stats::Rng rng(11);
+  dtree::TreeDataset data;
+  for (int t = 0; t < 20; ++t) {
+    data.push_back(std::vector<double>{rng.uniform()}, rng.bernoulli(0.5),
+                   std::uint64_t{7});  // every row from one series
+  }
+  dtree::TreeDataset train;
+  dtree::TreeDataset calibration;
+  Recalibrator::split_for_regrow(data, train, calibration);
+  // Hash parity would leave one half empty; row parity keeps both usable.
+  EXPECT_EQ(train.size(), 10u);
+  EXPECT_EQ(calibration.size(), 10u);
+}
+
+TEST(Recalibrator, RegrowReportsPhaseTimings) {
+  Engine engine(world().components(), {});
+  auto store = Recalibrator::make_store(engine);
+  RecalibratorConfig cfg;
+  cfg.policy = test_policy();
+  cfg.qim.cart.max_depth = 4;
+  cfg.qim.calibration.min_leaf_samples = 40;
+  cfg.mode = RecalibrationMode::kRegrow;
+  cfg.regrow_threads = 2;
+  Recalibrator recalibrator(engine, store, cfg);
+
+  stream_with_truth(engine, 60, 8, 0.5, 604);
+  const RecalibrationOutcome outcome = recalibrator.run_once(true);
+  ASSERT_TRUE(outcome.refit);
+  EXPECT_GT(outcome.stats.split_ms, 0.0);
+  EXPECT_GT(outcome.stats.partition_ms, 0.0);
+  EXPECT_GT(outcome.stats.calibrate_ms, 0.0);
+  EXPECT_GT(outcome.stats.compile_ms, 0.0);
+
+  // A pass that does not refit reports zeroed timings.
+  const RecalibrationOutcome quiet = recalibrator.run_once(true);
+  if (!quiet.refit) {
+    EXPECT_EQ(quiet.stats.split_ms, 0.0);
+    EXPECT_EQ(quiet.stats.calibrate_ms, 0.0);
+  }
+}
+
+TEST(Recalibrator, ParallelRegrowPublishesIdenticalModelToSerial) {
+  // Two engines, same streamed evidence, one regrow each - the only
+  // difference is regrow_threads. The published trees must match exactly.
+  auto run = [](std::size_t threads) {
+    Engine engine(world().components(), {});
+    auto store = Recalibrator::make_store(engine);
+    RecalibratorConfig cfg;
+    cfg.policy = test_policy();
+    cfg.qim.cart.max_depth = 4;
+    cfg.qim.calibration.min_leaf_samples = 40;
+    cfg.mode = RecalibrationMode::kRegrow;
+    cfg.regrow_threads = threads;
+    Recalibrator recalibrator(engine, store, cfg);
+    stream_with_truth(engine, 60, 8, 0.5, 605);
+    const RecalibrationOutcome outcome = recalibrator.run_once(true);
+    EXPECT_TRUE(outcome.published);
+    return engine.current_models().qim->to_text();
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// -- the second TSan target: parallel regrow under live traffic ---------------
+
+TEST(RecalibrationStress, ParallelRegrowUnderConcurrentStepBatch) {
+  EngineConfig config;
+  config.num_shards = 4;
+  config.num_threads = 2;
+  config.max_sessions = 0;
+  Engine engine(world().components(), config);
+
+  auto store = Recalibrator::make_store(engine);
+  RecalibratorConfig cfg;
+  cfg.policy.min_evidence = 32;
+  cfg.policy.min_leaf_evidence = 8;
+  cfg.policy.max_bound_violations = 1;
+  cfg.policy.ece_threshold = 1.0;
+  cfg.qim.cart.max_depth = 4;
+  cfg.qim.calibration.min_leaf_samples = 0;
+  cfg.mode = RecalibrationMode::kRegrow;
+  cfg.regrow_threads = 4;  // the fit pool races against serving threads
+  Recalibrator recalibrator(engine, store, cfg);
+
+  constexpr std::size_t kStepThreads = 2;
+  constexpr std::size_t kBatches = 20;
+  constexpr std::size_t kSessionsPerThread = 12;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> steppers;
+  for (std::size_t thread = 0; thread < kStepThreads; ++thread) {
+    steppers.emplace_back([&, thread] {
+      while (!go.load()) std::this_thread::yield();
+      stats::Rng rng(20'000 + thread);
+      std::vector<data::FrameRecord> frames(kSessionsPerThread);
+      std::vector<SessionFrame> batch(kSessionsPerThread);
+      std::vector<EngineStepResult> results;
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+          const SessionId id = 1000 * (thread + 1) + s;
+          const bool degraded = rng.bernoulli(0.5);
+          frames[s] = make_frame((id + b) % 2 == 0 ? 0.9F : 0.1F,
+                                 degraded ? 0.9F : 0.0F, 0.0F);
+          batch[s] = SessionFrame{id, &frames[s], nullptr};
+        }
+        engine.step_batch(batch, results);
+        for (const EngineStepResult& r : results) {
+          engine.report_truth(r.session, (r.session + b) % 2 == 0 ? 1 : 0);
+        }
+      }
+    });
+  }
+
+  std::thread regrower([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (std::size_t pass = 0; pass < 6; ++pass) {
+      recalibrator.run_once(true);
+      std::this_thread::yield();
+    }
+  });
+
+  go.store(true);
+  for (auto& thread : steppers) thread.join();
+  regrower.join();
+
+  EXPECT_GE(recalibrator.recalibrations_published(), 1u);
+  const core::EngineModels models = engine.current_models();
+  EXPECT_TRUE(models.qim->fitted());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -409,6 +410,96 @@ TEST(CompiledSerialization, RejectsDuplicatedLeafSlots) {
           std::move(left), std::move(right), std::vector<std::uint8_t>(1, 0),
           std::vector<double>(2, 0.1), std::vector<std::uint32_t>(2, 0)),
       std::invalid_argument);
+}
+
+// -- batch-kernel equivalence (SIMD / packed AoS vs scalar SoA) -------------
+//
+// Every kernel promises bit-identical leaf assignments. The fuzz covers
+// depths 1-8, quantized (duplicate-threshold) trees, probe batches with
+// exact threshold hits and NaN injections, and batch sizes that exercise
+// the 64-sample block boundary, the 4-lane vector boundary inside a block,
+// and both tails at once.
+
+class BatchKernelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchKernelTest, AllKernelsMatchScalarBitExactly) {
+  const std::size_t depth = GetParam();
+  if (!CompiledTree::simd_available()) {
+    GTEST_LOG_(INFO) << "no AVX2 at runtime: kSimd runs its scalar fallback";
+  }
+  for (const bool quantize : {false, true}) {
+    const TreeDataset data = make_data(3000, 10 + depth, 17, quantize);
+    const DecisionTree tree = train(data, depth);
+    const CompiledTree compiled = CompiledTree::compile(tree);
+
+    const auto probes = make_probes(tree, 331, 400 + depth);
+    std::vector<double> flat;
+    for (const auto& row : probes) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    // 331 = 5 full blocks + a 11-row tail (2 vectors + 3 scalar lanes).
+    for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                                std::size_t{4}, std::size_t{63},
+                                std::size_t{64}, std::size_t{65},
+                                probes.size()}) {
+      const std::span<const double> samples(flat.data(),
+                                            n * compiled.num_features());
+      std::vector<std::uint32_t> scalar_leaves(n);
+      compiled.route_batch(samples, scalar_leaves, BatchKernel::kScalar);
+      for (const BatchKernel kernel :
+           {BatchKernel::kSimd, BatchKernel::kPacked, BatchKernel::kAuto}) {
+        std::vector<std::uint32_t> leaves(n);
+        compiled.route_batch(samples, leaves, kernel);
+        EXPECT_EQ(leaves, scalar_leaves)
+            << "kernel " << static_cast<int>(kernel) << " n " << n
+            << " depth " << depth << " quantize " << quantize;
+      }
+      std::vector<double> scalar_pred(n);
+      compiled.predict_batch(samples, scalar_pred, BatchKernel::kScalar);
+      std::vector<double> simd_pred(n);
+      compiled.predict_batch(samples, simd_pred, BatchKernel::kSimd);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(scalar_pred[i]),
+                  std::bit_cast<std::uint64_t>(simd_pred[i]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BatchKernelTest,
+                         ::testing::Values(1, 2, 4, 6, 8));
+
+TEST(BatchKernelTest, KernelsSurviveSerializationRoundTrip) {
+  // from_arrays must rebuild the derived kernel arrays (feature_nan,
+  // packed nodes) too - a deserialized tree routes identically under every
+  // kernel.
+  const TreeDataset data = make_data(2000, 12, 23, true);
+  const DecisionTree tree = train(data, 6);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  const CompiledTree rebuilt = CompiledTree::from_arrays(
+      compiled.num_features(),
+      {compiled.features().begin(), compiled.features().end()},
+      {compiled.thresholds().begin(), compiled.thresholds().end()},
+      {compiled.left_children().begin(), compiled.left_children().end()},
+      {compiled.right_children().begin(), compiled.right_children().end()},
+      {compiled.nan_left().begin(), compiled.nan_left().end()},
+      {compiled.leaf_uncertainties().begin(),
+       compiled.leaf_uncertainties().end()},
+      {compiled.leaf_node_indices().begin(),
+       compiled.leaf_node_indices().end()});
+  const auto probes = make_probes(tree, 200, 31);
+  std::vector<double> flat;
+  for (const auto& row : probes) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  for (const BatchKernel kernel :
+       {BatchKernel::kScalar, BatchKernel::kSimd, BatchKernel::kPacked}) {
+    std::vector<std::uint32_t> a(probes.size());
+    std::vector<std::uint32_t> b(probes.size());
+    compiled.route_batch(flat, a, kernel);
+    rebuilt.route_batch(flat, b, kernel);
+    EXPECT_EQ(a, b) << "kernel " << static_cast<int>(kernel);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+// Tests for the level-synchronous parallel CART fit: randomized
+// bit-identity against the recursive reference oracle (duplicate feature
+// values, NaN quality factors, every thread count, both reduction modes),
+// the deprecated two-argument shim, cancellation, progress reporting, and
+// the FitStats sink.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "dtree/cart.hpp"
+#include "dtree/fit_context.hpp"
+#include "dtree/tree.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::dtree {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Random dataset; `quantize` snaps features to a coarse grid so many rows
+// share values (duplicate-threshold stress), `nan_fraction` injects missing
+// quality factors.
+TreeDataset make_data(std::size_t n, std::size_t num_features,
+                      std::uint64_t seed, bool quantize,
+                      double nan_fraction) {
+  stats::Rng rng(seed);
+  TreeDataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(num_features);
+    for (auto& v : row) {
+      v = rng.uniform();
+      if (quantize) v = std::floor(v * 8.0) / 8.0;
+      if (nan_fraction > 0.0 && rng.uniform() < nan_fraction) v = kNaN;
+    }
+    const double p = std::isnan(row[0]) ? 0.4 : (row[0] > 0.5 ? 0.7 : 0.05);
+    data.push_back(row, rng.bernoulli(p));
+  }
+  return data;
+}
+
+// Bit-exact node equality: thresholds and uncertainties are compared as bit
+// patterns - "close" is not good enough for a fit that promises identity.
+void expect_trees_identical(const DecisionTree& a, const DecisionTree& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_features(), b.num_features());
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    const Node& na = a.node(i);
+    const Node& nb = b.node(i);
+    EXPECT_EQ(na.feature, nb.feature) << "node " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(na.threshold),
+              std::bit_cast<std::uint64_t>(nb.threshold))
+        << "node " << i;
+    EXPECT_EQ(na.left, nb.left) << "node " << i;
+    EXPECT_EQ(na.right, nb.right) << "node " << i;
+    EXPECT_EQ(na.train_count, nb.train_count) << "node " << i;
+    EXPECT_EQ(na.train_failures, nb.train_failures) << "node " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(na.uncertainty),
+              std::bit_cast<std::uint64_t>(nb.uncertainty))
+        << "node " << i;
+  }
+}
+
+TEST(ParallelCartTest, BitIdenticalToReferenceAcrossThreadsAndModes) {
+  stats::Rng meta(2024);
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    const std::size_t num_features = 1 + meta.uniform_index(6);
+    const std::size_t rows = 50 + meta.uniform_index(2000);
+    const bool quantize = trial % 3 == 0;
+    const double nan_fraction = trial % 5 == 0 ? 0.05 : 0.0;
+    const TreeDataset data =
+        make_data(rows, num_features, 7000 + trial, quantize, nan_fraction);
+    CartConfig config;
+    config.max_depth = 1 + meta.uniform_index(8);
+    const DecisionTree reference = train_cart_reference(data, config);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+      for (const bool deterministic : {true, false}) {
+        FitContext ctx;
+        ctx.num_threads = threads;
+        ctx.deterministic = deterministic;
+        const DecisionTree parallel = train_cart(data, config, ctx);
+        SCOPED_TRACE("trial " + std::to_string(trial) + " threads " +
+                     std::to_string(threads) + " det " +
+                     std::to_string(deterministic));
+        expect_trees_identical(reference, parallel);
+      }
+    }
+  }
+}
+
+TEST(ParallelCartTest, DeprecatedShimMatchesExplicitSerialContext) {
+  const TreeDataset data = make_data(500, 3, 11, false, 0.0);
+  const CartConfig config;
+  const DecisionTree shim = train_cart(data, config);
+  const DecisionTree explicit_serial =
+      train_cart(data, config, FitContext::serial());
+  expect_trees_identical(shim, explicit_serial);
+}
+
+TEST(ParallelCartTest, AllNaNFeatureColumnNeverSplits) {
+  // A column that is entirely NaN offers no finite threshold; the fit must
+  // ignore it rather than split on a NaN boundary.
+  TreeDataset data;
+  stats::Rng rng(5);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double x = rng.uniform();
+    data.push_back(std::vector<double>{x, kNaN}, rng.bernoulli(x > 0.5 ? 0.8 : 0.1));
+  }
+  const CartConfig config;
+  const DecisionTree reference = train_cart_reference(data, config);
+  FitContext ctx;
+  ctx.num_threads = 4;
+  const DecisionTree parallel = train_cart(data, config, ctx);
+  expect_trees_identical(reference, parallel);
+  for (std::size_t i = 0; i < parallel.num_nodes(); ++i) {
+    if (!parallel.node(i).is_leaf()) {
+      EXPECT_EQ(parallel.node(i).feature, 0U);
+      EXPECT_FALSE(std::isnan(parallel.node(i).threshold));
+    }
+  }
+}
+
+TEST(ParallelCartTest, PreSetCancelThrowsFitCancelled) {
+  const TreeDataset data = make_data(2000, 4, 21, false, 0.0);
+  FitContext ctx;
+  ctx.num_threads = 2;
+  ctx.cancel = std::make_shared<std::atomic<bool>>(true);
+  EXPECT_THROW(train_cart(data, CartConfig{}, ctx), FitCancelled);
+}
+
+TEST(ParallelCartTest, CancelFromProgressCallbackStopsTheFit) {
+  const TreeDataset data = make_data(4000, 4, 22, false, 0.0);
+  FitContext ctx;
+  ctx.num_threads = 2;
+  ctx.cancel = std::make_shared<std::atomic<bool>>(false);
+  std::size_t levels_seen = 0;
+  ctx.progress = [&](const FitProgress&) {
+    if (++levels_seen == 2) ctx.cancel->store(true);
+  };
+  EXPECT_THROW(train_cart(data, CartConfig{}, ctx), FitCancelled);
+  EXPECT_EQ(levels_seen, 2U);
+}
+
+TEST(ParallelCartTest, ProgressReportsMonotonicLevels) {
+  const TreeDataset data = make_data(3000, 3, 23, false, 0.0);
+  FitContext ctx;
+  ctx.num_threads = 4;
+  std::vector<FitProgress> reports;
+  ctx.progress = [&](const FitProgress& p) { reports.push_back(p); };
+  CartConfig config;
+  const DecisionTree tree = train_cart(data, config, ctx);
+  ASSERT_FALSE(reports.empty());
+  // The frontier at depth max_depth gets one (non-splitting) pass too.
+  EXPECT_LE(reports.size(), config.max_depth + 1);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].level, i);  // depth of the level just finished
+    EXPECT_GE(reports[i].total_nodes, 1U);
+    EXPECT_LE(reports[i].total_nodes, tree.num_nodes());
+  }
+  EXPECT_EQ(reports.back().total_nodes, tree.num_nodes());
+}
+
+TEST(ParallelCartTest, StatsAccumulateAcrossFits) {
+  const TreeDataset data = make_data(3000, 3, 24, false, 0.0);
+  FitStats stats;
+  FitContext ctx;
+  ctx.num_threads = 2;
+  ctx.stats = &stats;
+  (void)train_cart(data, CartConfig{}, ctx);
+  const std::size_t levels_one_fit = stats.levels;
+  EXPECT_GT(levels_one_fit, 0U);
+  EXPECT_GE(stats.split_ms, 0.0);
+  EXPECT_GE(stats.partition_ms, 0.0);
+  (void)train_cart(data, CartConfig{}, ctx);
+  EXPECT_EQ(stats.levels, 2 * levels_one_fit);  // accumulates, not replaces
+}
+
+TEST(ParallelCartTest, EmptyDatasetThrows) {
+  FitContext ctx;
+  ctx.num_threads = 4;
+  EXPECT_THROW(train_cart(TreeDataset{}, CartConfig{}, ctx),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tauw::dtree
