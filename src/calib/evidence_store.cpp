@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/mutex.hpp"
+
 namespace tauw::calib {
 
 namespace {
@@ -84,7 +86,7 @@ void EvidenceStore::record(std::size_t shard,
     return;
   }
   Lane& lane = *lanes_[shard];
-  std::lock_guard<std::mutex> lock(lane.mutex);
+  MutexLock lock(lane.mutex);
   if (lane.open == nullptr) lane.open = make_chunk();
   EvidenceChunk& chunk = *lane.open;
   const std::size_t row = chunk.size;
@@ -114,7 +116,7 @@ void EvidenceStore::record(std::size_t shard,
 std::size_t EvidenceStore::retained() const {
   std::size_t n = 0;
   for (const auto& lane : lanes_) {
-    std::lock_guard<std::mutex> lock(lane->mutex);
+    MutexLock lock(lane->mutex);
     for (const auto& chunk : lane->sealed) n += chunk->size;
     if (lane->open != nullptr) n += lane->open->size;
   }
@@ -126,7 +128,7 @@ EvidenceSnapshot EvidenceStore::snapshot() const {
   snap.qf_dim = qf_dim_;
   snap.ta_dim = ta_dim_;
   for (const auto& lane : lanes_) {
-    std::lock_guard<std::mutex> lock(lane->mutex);
+    MutexLock lock(lane->mutex);
     for (const auto& chunk : lane->sealed) snap.chunks.push_back(chunk);
     if (lane->open != nullptr && lane->open->size > 0) {
       // The open chunk is still mutable: copy its filled prefix (at most
@@ -140,7 +142,7 @@ EvidenceSnapshot EvidenceStore::snapshot() const {
 
 void EvidenceStore::clear() {
   for (const auto& lane : lanes_) {
-    std::lock_guard<std::mutex> lock(lane->mutex);
+    MutexLock lock(lane->mutex);
     lane->sealed.clear();
     lane->open = nullptr;
   }

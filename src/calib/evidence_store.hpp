@@ -24,11 +24,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/evidence_sink.hpp"
 #include "dtree/tree.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tauw::calib {
 
@@ -127,9 +128,13 @@ class EvidenceStore final : public core::EvidenceSink {
     /// Guards the lane against snapshot()/clear() readers. Engine appends
     /// already hold the engine shard's mutex, which serializes record()
     /// per lane; this mutex additionally excludes cross-thread readers.
-    mutable std::mutex mutex;
-    std::vector<std::shared_ptr<const EvidenceChunk>> sealed;
-    std::shared_ptr<EvidenceChunk> open;
+    /// Lock order: always the innermost lock - record() runs with the
+    /// engine shard mutex held, and nothing is ever acquired under a lane
+    /// mutex.
+    mutable Mutex mutex;
+    std::vector<std::shared_ptr<const EvidenceChunk>> sealed
+        TAUW_GUARDED_BY(mutex);
+    std::shared_ptr<EvidenceChunk> open TAUW_GUARDED_BY(mutex);
   };
 
   std::shared_ptr<EvidenceChunk> make_chunk() const;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "support/mutex.hpp"
+
 namespace tauw::calib {
 
 namespace {
@@ -111,7 +113,7 @@ RecalibrationOutcome Recalibrator::run_once(bool force) {
 
 RecalibrationOutcome Recalibrator::run_once(bool force,
                                             RecalibrationMode mode) {
-  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  MutexLock run_lock(run_mutex_);
   RecalibrationOutcome outcome;
   outcome.mode = mode;
 
@@ -193,13 +195,13 @@ RecalibrationOutcome Recalibrator::run_once(bool force,
 }
 
 RecalibrationOutcome Recalibrator::last_outcome() const {
-  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  MutexLock run_lock(run_mutex_);
   return last_outcome_;
 }
 
 void Recalibrator::start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
-  std::lock_guard<std::mutex> lock(worker_mutex_);
+  MutexLock lifecycle(lifecycle_mutex_);
+  MutexLock lock(worker_mutex_);
   if (worker_.joinable()) return;
   worker_stop_ = false;
   worker_nudged_ = false;
@@ -210,38 +212,46 @@ void Recalibrator::stop() {
   // lifecycle_mutex_ stays held across the join: a concurrent start()
   // waits for the old worker to be fully gone instead of seeing the
   // moved-from thread and spawning a second one.
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  MutexLock lifecycle(lifecycle_mutex_);
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lock(worker_mutex_);
+    MutexLock lock(worker_mutex_);
     if (!worker_.joinable()) return;
     worker_stop_ = true;
     worker = std::move(worker_);
   }
   worker_cv_.notify_all();
   worker.join();
-  std::lock_guard<std::mutex> lock(worker_mutex_);
+  MutexLock lock(worker_mutex_);
   worker_stop_ = false;
 }
 
 bool Recalibrator::running() const {
-  std::lock_guard<std::mutex> lock(worker_mutex_);
+  MutexLock lock(worker_mutex_);
   return worker_.joinable();
 }
 
 void Recalibrator::notify() {
   {
-    std::lock_guard<std::mutex> lock(worker_mutex_);
+    MutexLock lock(worker_mutex_);
     worker_nudged_ = true;
   }
   worker_cv_.notify_all();
 }
 
 void Recalibrator::worker_loop() {
-  std::unique_lock<std::mutex> lock(worker_mutex_);
+  MutexLock lock(worker_mutex_);
   while (!worker_stop_) {
-    worker_cv_.wait_for(lock, config_.poll_interval,
-                        [&] { return worker_stop_ || worker_nudged_; });
+    // Explicit deadline loop (not wait_for(lock, interval, pred)): the
+    // thread-safety analysis cannot see into a wait predicate lambda, and
+    // a bare wait_for would reset its timeout on every spurious wakeup.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          config_.poll_interval;
+    while (!worker_stop_ && !worker_nudged_) {
+      if (worker_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
     if (worker_stop_) break;
     worker_nudged_ = false;
     lock.unlock();

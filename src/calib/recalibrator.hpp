@@ -35,10 +35,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +45,8 @@
 #include "calib/evidence_store.hpp"
 #include "core/engine.hpp"
 #include "core/quality_impact_model.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tauw::calib {
 
@@ -177,9 +177,14 @@ class Recalibrator {
   RecalibratorConfig config_;
   CalibrationMonitor monitor_;
 
-  /// Serializes run_once passes (worker vs synchronous callers).
-  mutable std::mutex run_mutex_;
-  RecalibrationOutcome last_outcome_{};
+  /// Serializes run_once passes (worker vs synchronous callers). Lock
+  /// order: never held while worker_mutex_ is held - the worker drops
+  /// worker_mutex_ before calling run_once.
+  mutable Mutex run_mutex_;
+  RecalibrationOutcome last_outcome_ TAUW_GUARDED_BY(run_mutex_){};
+  /// Touched only by the (single) worker thread between its lock scopes -
+  /// protocol-guarded, not lock-guarded: start()/stop() join the worker
+  /// before another can exist.
   std::uint64_t last_checked_total_ = 0;
   std::atomic<std::uint64_t> published_{0};
 
@@ -187,12 +192,12 @@ class Recalibrator {
   // (including the join) so a start() racing a stop() cannot observe the
   // moved-from thread and spawn a second worker; the worker loop itself
   // never takes it, so holding it across join() cannot deadlock.
-  mutable std::mutex lifecycle_mutex_;
-  mutable std::mutex worker_mutex_;
-  std::condition_variable worker_cv_;
-  bool worker_stop_ = false;
-  bool worker_nudged_ = false;
-  std::thread worker_;
+  mutable Mutex lifecycle_mutex_ TAUW_ACQUIRED_BEFORE(worker_mutex_);
+  mutable Mutex worker_mutex_;
+  CondVar worker_cv_;
+  bool worker_stop_ TAUW_GUARDED_BY(worker_mutex_) = false;
+  bool worker_nudged_ TAUW_GUARDED_BY(worker_mutex_) = false;
+  std::thread worker_ TAUW_GUARDED_BY(worker_mutex_);
 };
 
 }  // namespace tauw::calib

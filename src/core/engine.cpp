@@ -72,7 +72,7 @@ Engine::Engine(EngineComponents components, EngineConfig config)
     // constructor unwinds, and destroying a joinable std::thread
     // terminates the process.
     {
-      std::lock_guard<std::mutex> lock(pool_mutex_);
+      MutexLock lock(pool_mutex_);
       shutdown_ = true;
     }
     work_cv_.notify_all();
@@ -83,7 +83,7 @@ Engine::Engine(EngineComponents components, EngineConfig config)
 
 Engine::~Engine() {
   {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -95,18 +95,32 @@ std::size_t Engine::shard_of(SessionId id) const noexcept {
   return static_cast<std::size_t>(mix64(id) % shards_.size());
 }
 
+std::size_t Engine::num_estimators() const {
+  const Shard& shard = *shards_.front();
+  MutexLock lock(shard.mutex);
+  return shard.estimators.size();
+}
+
+// The registry readers lock shard 0 (the registries of all shards are
+// index-aligned): the annotations surfaced that these used to read
+// shard 0's estimator vector with no lock, racing both add_estimator's
+// push_back and swap_models' rebind under the shard mutexes.
 std::vector<std::string> Engine::estimator_names() const {
-  const auto& estimators = shards_.front()->estimators;
+  const Shard& shard = *shards_.front();
+  MutexLock lock(shard.mutex);
   std::vector<std::string> names;
-  names.reserve(estimators.size());
-  for (const auto& estimator : estimators) names.push_back(estimator->name());
+  names.reserve(shard.estimators.size());
+  for (const auto& estimator : shard.estimators) {
+    names.push_back(estimator->name());
+  }
   return names;
 }
 
 std::size_t Engine::estimator_index(std::string_view name) const {
-  const auto& estimators = shards_.front()->estimators;
-  for (std::size_t i = 0; i < estimators.size(); ++i) {
-    if (estimators[i]->name() == name) return i;
+  const Shard& shard = *shards_.front();
+  MutexLock lock(shard.mutex);
+  for (std::size_t i = 0; i < shard.estimators.size(); ++i) {
+    if (shard.estimators[i]->name() == name) return i;
   }
   throw std::invalid_argument("Engine: unknown estimator \"" +
                               std::string(name) + "\"");
@@ -138,22 +152,33 @@ void Engine::add_estimator(std::shared_ptr<UncertaintyEstimator> estimator) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     std::shared_ptr<const ModelSet> models;
     {
-      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      MutexLock lock(shards_[s]->mutex);
       models = shards_[s]->models;
     }
     UncertaintyEstimator& instance = s == 0 ? *estimator : *clones[s - 1];
     instance.rebind_models(models->qim, models->taqim);
   }
-  shards_.front()->estimators.push_back(std::move(estimator));
+  // Install under the shard mutexes: the registries are read by stepping
+  // threads (step_common/flush_run) and rebound by swap_models under the
+  // same locks, so an unlocked push_back here would race both. (This was
+  // the annotations' first concrete find - see the regression test in
+  // tests/core_engine_registry_race_test.cpp.)
+  {
+    Shard& shard = *shards_.front();
+    MutexLock lock(shard.mutex);
+    shard.estimators.push_back(std::move(estimator));
+  }
   for (std::size_t s = 1; s < shards_.size(); ++s) {
-    shards_[s]->estimators.push_back(std::move(clones[s - 1]));
+    Shard& shard = *shards_[s];
+    MutexLock lock(shard.mutex);
+    shard.estimators.push_back(std::move(clones[s - 1]));
   }
 }
 
 SessionId Engine::open_session() {
   const SessionId id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   create_session(shard, id);  // fresh by construction: ids are never re-issued
   return id;
 }
@@ -172,7 +197,7 @@ void Engine::validate_external_id(SessionId id) const {
 void Engine::open_session(SessionId id) {
   validate_external_id(id);
   Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.sessions.find(id);
   if (it != shard.sessions.end()) {
     // Re-opening restarts the series: buffer, UF aggregates, and the
@@ -240,14 +265,14 @@ void Engine::evict_lru(Shard& shard, SessionId keep) {
 
 bool Engine::has_session(SessionId id) const {
   const Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.sessions.find(id) != shard.sessions.end();
 }
 
 std::size_t Engine::session_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->sessions.size();
   }
   return total;
@@ -271,7 +296,7 @@ void Engine::close_session_locked(Shard& shard, SessionId id) {
 
 void Engine::close_session(SessionId id) {
   Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   close_session_locked(shard, id);
 }
 
@@ -287,13 +312,13 @@ const Engine::Session& Engine::session_at(const Shard& shard,
 
 const RuntimeMonitor& Engine::session_monitor(SessionId id) const {
   const Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return session_at(shard, id).monitor;
 }
 
 const TimeseriesBuffer& Engine::session_buffer(SessionId id) const {
   const Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return session_at(shard, id).buffer;
 }
 
@@ -490,7 +515,7 @@ void Engine::step_into(SessionId id, const data::FrameRecord& frame,
                        const sim::SignLocation* location,
                        EngineStepResult& result) {
   Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   step_frame_locked(shard, id, frame, location, result);
 }
 
@@ -514,7 +539,7 @@ void Engine::step_precomputed_into(SessionId id,
         "QF extractor");
   }
   Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   bool created = false;
   Session& session = touch(shard, id, created);
   result.new_session = created;
@@ -546,7 +571,7 @@ void Engine::step_batch(std::span<const SessionFrame> frames,
 
   // One batch owns the pool (and the group scratch) at a time; concurrent
   // step_batch callers queue here.
-  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  MutexLock batch_lock(batch_mutex_);
 
   // Group batch indices by shard, preserving input order within each group
   // - per-session step order is what makes results bit-exact across every
@@ -578,14 +603,16 @@ void Engine::step_batch(std::span<const SessionFrame> frames,
   }
 
   {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     current_batch_ = state;
     ++epoch_;
   }
   work_cv_.notify_all();
   drain_tasks(*state);  // the calling thread is worker number num_threads
-  std::unique_lock<std::mutex> lock(pool_mutex_);
-  done_cv_.wait(lock, [&] { return state->remaining == 0; });
+  MutexLock lock(pool_mutex_);
+  // Explicit predicate loop (not wait(lock, pred)): the thread-safety
+  // analysis cannot see into a wait predicate lambda.
+  while (state->remaining != 0) done_cv_.wait(lock);
   if (state->error != nullptr) {
     lock.unlock();
     std::rethrow_exception(state->error);
@@ -594,7 +621,7 @@ void Engine::step_batch(std::span<const SessionFrame> frames,
 
 void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
   Shard& shard = *task.shard;
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   run_group_locked(shard, state.frames, *task.indices, *state.results);
 }
 
@@ -623,7 +650,7 @@ void Engine::step_shard_batch(std::size_t shard_index,
   results.resize(frames.size());
   if (frames.empty()) return;
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   // A contiguous group is "indices 0..n-1"; the iota scratch lives in the
   // shard (used under its mutex), so concurrent drainers of different
   // shards never share it.
@@ -720,10 +747,10 @@ void Engine::drain_tasks(BatchState& state) {
       // A throwing DDM/QIM aborts this shard's remaining group entries;
       // other shards still complete. The first error is rethrown to the
       // step_batch caller.
-      std::lock_guard<std::mutex> lock(pool_mutex_);
+      MutexLock lock(pool_mutex_);
       if (state.error == nullptr) state.error = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     if (--state.remaining == 0) done_cv_.notify_all();
   }
 }
@@ -733,8 +760,8 @@ void Engine::worker_loop() {
   for (;;) {
     std::shared_ptr<BatchState> state;
     {
-      std::unique_lock<std::mutex> lock(pool_mutex_);
-      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lock(pool_mutex_);
+      while (!shutdown_ && epoch_ == seen_epoch) work_cv_.wait(lock);
       if (shutdown_) return;
       seen_epoch = epoch_;
       state = current_batch_;
@@ -748,7 +775,7 @@ void Engine::worker_loop() {
 void Engine::report_outcome(SessionId id, MonitorDecision decision,
                             bool failure) {
   Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.sessions.find(id);
   if (it == shard.sessions.end()) {
     // The session may have been closed or evicted between the decision and
@@ -764,7 +791,7 @@ void Engine::report_outcome(SessionId id, MonitorDecision decision,
 void Engine::report_truth(SessionId id, std::size_t true_label) {
   const std::size_t shard_index = shard_of(id);
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.sessions.find(id);
   if (it == shard.sessions.end()) return;  // closed/evicted: evidence lost
   Session& session = it->second;
@@ -801,21 +828,21 @@ void Engine::report_truth(SessionId id, std::size_t true_label) {
 
 void Engine::set_evidence_sink(std::shared_ptr<EvidenceSink> sink) {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     shard->sink = sink;
   }
 }
 
 void Engine::detach_evidence_sink(const EvidenceSink* sink) {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     if (shard->sink.get() == sink) shard->sink = nullptr;
   }
 }
 
 EngineModels Engine::current_models() const {
   const Shard& shard = *shards_.front();
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return EngineModels{shard.models->qim, shard.models->taqim,
                       shard.models->generation};
 }
@@ -854,7 +881,7 @@ void Engine::swap_models(std::shared_ptr<const QualityImpactModel> qim,
         "estimator registry cannot grow mid-flight");
   }
 
-  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  MutexLock swap_lock(swap_mutex_);
   // The generation number is consumed up front: if a custom estimator's
   // rebind_models throws mid-swap (possible only for estimators the
   // pre-checks above cannot see), earlier shards already serve the new set,
@@ -864,7 +891,7 @@ void Engine::swap_models(std::shared_ptr<const QualityImpactModel> qim,
   const auto models = std::make_shared<const ModelSet>(
       ModelSet{std::move(qim), std::move(taqim), generation});
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     // Rebind the estimators before publishing the model set, so a throwing
     // rebind leaves THIS shard entirely on its old generation
     // (already-rebound estimators are restored best-effort). Shards
@@ -908,12 +935,12 @@ EngineStats Engine::stats() const {
   // counters were read (no torn mid-swap view). Each shard's live map,
   // retired aggregate, and borrow count are then taken together under that
   // shard's mutex in one pass.
-  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  MutexLock swap_lock(swap_mutex_);
   EngineStats out;
   out.model_swaps = model_swaps_.load(std::memory_order_relaxed);
   out.model_generation = published_generation_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     out.live_sessions += shard->sessions.size();
     out.borrowed_sessions += shard->borrowed;
     out.monitor += shard->retired;

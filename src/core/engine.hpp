@@ -79,22 +79,37 @@
 // evicted before the (possibly delayed) truth arrived is dropped - the
 // calibration loop is statistical, not transactional.
 //
-// What is NOT thread-safe: `add_estimator` and the references returned by
-// `session_monitor` / `session_buffer` / `estimators` require that no other
-// thread mutates the engine (respectively that session) concurrently.
+// What is NOT thread-safe: the references returned by `session_monitor` /
+// `session_buffer` require that no other thread mutates that session
+// concurrently (steps it, closes it, or evicts it by opening others).
+//
+// -- Static enforcement ------------------------------------------------------
+//
+// Every rule above is machine-checked: the shard mutexes, the swap lock,
+// and the pool handshake are tauw::Mutex capabilities
+// (support/mutex.hpp), guarded members carry TAUW_GUARDED_BY, and every
+// *_locked helper declares TAUW_REQUIRES(shard.mutex). Clang's
+// -Wthread-safety pass (CI job `clang-thread-safety`) rejects any access
+// to guarded state without its mutex at compile time. Lock order:
+// swap_mutex_ -> shard.mutex (stats() and swap_models hold the swap lock
+// across the shard walk); batch_mutex_ -> pool_mutex_; shard mutexes are
+// leaf locks (nothing else is acquired under them - the evidence sink's
+// lane mutex is the one documented exception, and it is always the
+// innermost lock).
 //
 // Sessions map 1:1 to tracked physical objects; see
 // tracking/engine_bridge.hpp for the tracker integration that opens and
 // closes sessions automatically.
 
 #include <atomic>
-#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
@@ -105,11 +120,14 @@
 #include "core/fusion.hpp"
 #include "core/monitor.hpp"
 #include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
 #include "core/scope_model.hpp"
 #include "core/ta_quality_factors.hpp"
 #include "core/wrapper.hpp"
 #include "data/timeseries.hpp"
 #include "ml/classifier.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tauw::core {
 
@@ -228,7 +246,8 @@ struct EngineStepResult {
   /// Evidence steps in the session's buffer: i + 1 for unbounded sessions,
   /// saturating at EngineConfig::buffer_capacity for bounded ones.
   std::size_t series_length = 0;
-  /// One estimate per Engine::estimators(), in registry order.
+  /// One estimate per registered estimator (Engine::num_estimators()),
+  /// in registry order.
   std::vector<double> estimates;
   /// The session monitor's verdict on the primary estimate.
   MonitorDecision decision = MonitorDecision::kAccept;
@@ -265,14 +284,12 @@ class Engine {
   std::size_t shard_of(SessionId id) const noexcept;
 
   // -- estimator registry -------------------------------------------------
-  /// Shard 0's estimator instances (every shard holds clones with the same
-  /// names, in the same order). Do not call estimate() on these while other
-  /// threads step the engine or swap models (swap_models rebinds the
-  /// instances' fitted models under the shard locks).
-  std::span<const std::shared_ptr<UncertaintyEstimator>> estimators()
-      const noexcept {
-    return shards_.front()->estimators;
-  }
+  /// Number of registered estimators (= EngineStepResult::estimates size).
+  /// Thread-safe. (The old `estimators()` span accessor leaked shard 0's
+  /// registry past its mutex - the thread-safety analysis cannot prove
+  /// anything about an escaped span, so it was replaced by this counter;
+  /// per-estimator metadata goes through estimator_names().)
+  std::size_t num_estimators() const;
   std::vector<std::string> estimator_names() const;
   /// Index into EngineStepResult::estimates; throws if unknown.
   std::size_t estimator_index(std::string_view name) const;
@@ -282,8 +299,11 @@ class Engine {
   /// Registers an additional estimator (evaluated after the defaults). Its
   /// estimate() must not throw - see UncertaintyEstimator's contract. On a
   /// sharded engine the estimator must support clone() (each shard gets its
-  /// own instance); shard 0 keeps the passed instance. Not thread-safe
-  /// against concurrent stepping - register estimators before serving.
+  /// own instance); shard 0 keeps the passed instance. The registries are
+  /// mutated under the shard mutexes, so registering while other threads
+  /// step or swap is memory-safe; steps of the same batch may still observe
+  /// different estimate counts, so registering before serving remains the
+  /// sensible deployment order.
   void add_estimator(std::shared_ptr<UncertaintyEstimator> estimator);
 
   // -- session management (thread-safe) -----------------------------------
@@ -471,24 +491,28 @@ class Engine {
   /// it once per shard group). Heap-allocated (unique_ptr) so shards never
   /// share a cache line and the mutex never moves.
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<SessionId, Session> sessions;
-    std::list<SessionId> lru;  ///< front = most recently used
-    MonitorStats retired;      ///< folded stats of closed/evicted sessions
-    std::size_t max_sessions = 0;  ///< per-shard LRU budget (0 = unbounded)
+    mutable Mutex mutex;
+    std::unordered_map<SessionId, Session> sessions TAUW_GUARDED_BY(mutex);
+    /// front = most recently used
+    std::list<SessionId> lru TAUW_GUARDED_BY(mutex);
+    /// folded stats of closed/evicted sessions
+    MonitorStats retired TAUW_GUARDED_BY(mutex);
+    std::size_t max_sessions = 0;  ///< per-shard LRU budget (0 = unbounded;
+                                   ///< const after construction)
     /// Sessions currently held beyond max_sessions via cross-shard budget
     /// borrowing; invariant (borrowing enabled): exactly
-    /// max(0, sessions.size() - max_sessions). Guarded by `mutex`.
-    std::size_t borrowed = 0;
+    /// max(0, sessions.size() - max_sessions).
+    std::size_t borrowed TAUW_GUARDED_BY(mutex) = 0;
     /// Per-shard estimator clones - estimators may keep scratch buffers,
     /// so sharing instances across concurrently stepping shards would race.
-    std::vector<std::shared_ptr<UncertaintyEstimator>> estimators;
-    std::vector<double> qf_scratch;
+    std::vector<std::shared_ptr<UncertaintyEstimator>> estimators
+        TAUW_GUARDED_BY(mutex);
+    std::vector<double> qf_scratch TAUW_GUARDED_BY(mutex);
     /// The model generation this shard currently serves (see swap_models).
-    std::shared_ptr<const ModelSet> models;
+    std::shared_ptr<const ModelSet> models TAUW_GUARDED_BY(mutex);
     /// Evidence sink of the online calibration plane (null: capture off).
-    std::shared_ptr<EvidenceSink> sink;
-    BatchScratch batch;
+    std::shared_ptr<EvidenceSink> sink TAUW_GUARDED_BY(mutex);
+    BatchScratch batch TAUW_GUARDED_BY(mutex);
   };
 
   /// One step_batch work item: a shard plus the batch indices routed to it.
@@ -501,7 +525,10 @@ class Engine {
   /// own state object so a worker that wakes late simply drains an already
   /// exhausted cursor instead of racing the next batch's bookkeeping. The
   /// task list is immutable once published; `remaining` and `error` are
-  /// guarded by pool_mutex_.
+  /// guarded by pool_mutex_ (comment-only: guarded_by cannot name an outer
+  /// class's member from a nested struct, and BatchState objects outlive
+  /// no lock - the handshake in engine.cpp touches them only under
+  /// pool_mutex_, which the analysis checks at those sites).
   struct BatchState {
     std::vector<ShardTask> tasks;
     std::span<const SessionFrame> frames;
@@ -520,17 +547,23 @@ class Engine {
     return *shards_[shard_of(id)];
   }
 
-  // Per-shard session bookkeeping; callers hold shard.mutex.
-  Session& touch(Shard& shard, SessionId id, bool& created);
+  // Per-shard session bookkeeping; callers hold shard.mutex (the
+  // TAUW_REQUIRES contracts below make "callers hold shard.mutex"
+  // compile-checked rather than aspirational).
+  Session& touch(Shard& shard, SessionId id, bool& created)
+      TAUW_REQUIRES(shard.mutex);
   /// touch() with the map lookup already done (`it` from shard.sessions;
   /// must still be current - no insert/erase since the find).
   Session& touch_at(Shard& shard, SessionId id, SessionMap::iterator it,
-                    bool& created);
-  Session& create_session(Shard& shard, SessionId id);
+                    bool& created) TAUW_REQUIRES(shard.mutex);
+  Session& create_session(Shard& shard, SessionId id)
+      TAUW_REQUIRES(shard.mutex);
   void validate_external_id(SessionId id) const;
-  void evict_lru(Shard& shard, SessionId keep);
-  void close_session_locked(Shard& shard, SessionId id);
-  const Session& session_at(const Shard& shard, SessionId id) const;
+  void evict_lru(Shard& shard, SessionId keep) TAUW_REQUIRES(shard.mutex);
+  void close_session_locked(Shard& shard, SessionId id)
+      TAUW_REQUIRES(shard.mutex);
+  const Session& session_at(const Shard& shard, SessionId id) const
+      TAUW_REQUIRES(shard.mutex);
 
   // Step internals; callers hold shard.mutex.
   /// Commits the step's evidence (buffer + UF push, fusion) and fills every
@@ -538,15 +571,16 @@ class Engine {
   EstimationContext commit_step(Shard& shard, SessionId id, Session& session,
                                 std::span<const double> stateless_qfs,
                                 std::size_t outcome, double ddm_confidence,
-                                double uncertainty, EngineStepResult& result);
+                                double uncertainty, EngineStepResult& result)
+      TAUW_REQUIRES(shard.mutex);
   void step_common(Shard& shard, SessionId id, Session& session,
                    std::span<const double> stateless_qfs, std::size_t outcome,
                    double ddm_confidence, double uncertainty,
-                   EngineStepResult& result);
+                   EngineStepResult& result) TAUW_REQUIRES(shard.mutex);
   void step_frame_locked(Shard& shard, SessionId id,
                          const data::FrameRecord& frame,
                          const sim::SignLocation* location,
-                         EngineStepResult& result);
+                         EngineStepResult& result) TAUW_REQUIRES(shard.mutex);
   /// Columnar batch internals: run_shard_task first evaluates every
   /// session-independent stage for the whole group (QF extraction, DDM,
   /// one batched stateless-QIM pass); stage then commits one step into the
@@ -559,14 +593,15 @@ class Engine {
                          SessionMap::iterator it,
                          const data::FrameRecord& frame,
                          const sim::SignLocation* location,
-                         EngineStepResult& result);
-  void flush_run(Shard& shard);
+                         EngineStepResult& result) TAUW_REQUIRES(shard.mutex);
+  void flush_run(Shard& shard) TAUW_REQUIRES(shard.mutex);
   /// The shared columnar group runner behind step_batch's per-shard tasks
   /// and step_shard_batch: steps frames[indices...] (in index order, all
   /// mapping to `shard`) into results[indices...]. Caller holds shard.mutex.
   void run_group_locked(Shard& shard, std::span<const SessionFrame> frames,
                         std::span<const std::size_t> indices,
-                        std::vector<EngineStepResult>& results);
+                        std::vector<EngineStepResult>& results)
+      TAUW_REQUIRES(shard.mutex);
 
   // Worker pool (see engine.cpp for the dispatch protocol).
   void worker_loop();
@@ -595,30 +630,37 @@ class Engine {
 
   /// Serializes swap_models callers so generations publish monotonically;
   /// stats() holds it too, pinning the published generation for the whole
-  /// snapshot (mutable: snapshotting is logically const).
-  mutable std::mutex swap_mutex_;
-  /// Highest generation number ever handed out (guarded by swap_mutex_).
-  /// A failed swap still consumes its number, so two different model sets
-  /// can never share a generation.
-  std::uint64_t next_generation_ = 1;
+  /// snapshot (mutable: snapshotting is logically const). Lock order:
+  /// acquired before the shard mutexes; never the other way around. (The
+  /// shard mutexes live behind a dynamic unique_ptr vector, so the ordering
+  /// is not expressible as a TAUW_ACQUIRED_BEFORE list; it is enforced by
+  /// the REQUIRES-free shard walk in swap_models/stats.)
+  mutable Mutex swap_mutex_;
+  /// Highest generation number ever handed out. A failed swap still
+  /// consumes its number, so two different model sets can never share a
+  /// generation.
+  std::uint64_t next_generation_ TAUW_GUARDED_BY(swap_mutex_) = 1;
   /// The last fully published generation (what stats report).
   std::atomic<std::uint64_t> published_generation_{1};
   std::atomic<std::uint64_t> model_swaps_{0};
 
   // -- step_batch dispatch state -------------------------------------------
   /// Serializes step_batch callers (the pool handles one batch at a time);
-  /// also guards group_scratch_.
-  std::mutex batch_mutex_;
-  std::vector<std::vector<std::size_t>> group_scratch_;
+  /// also guards group_scratch_. Acquired before pool_mutex_ (the
+  /// publish/wait handshake runs under both) - machine-checked under
+  /// -Wthread-safety-beta.
+  Mutex batch_mutex_ TAUW_ACQUIRED_BEFORE(pool_mutex_);
+  std::vector<std::vector<std::size_t>> group_scratch_
+      TAUW_GUARDED_BY(batch_mutex_);
   /// Pool handshake: a new BatchState is published under pool_mutex_ by
   /// bumping epoch_; workers snapshot the shared_ptr, claim tasks via the
   /// state's atomic cursor, and report completion under pool_mutex_.
-  std::mutex pool_mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t epoch_ = 0;
-  bool shutdown_ = false;
-  std::shared_ptr<BatchState> current_batch_;
+  Mutex pool_mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::uint64_t epoch_ TAUW_GUARDED_BY(pool_mutex_) = 0;
+  bool shutdown_ TAUW_GUARDED_BY(pool_mutex_) = false;
+  std::shared_ptr<BatchState> current_batch_ TAUW_GUARDED_BY(pool_mutex_);
   std::vector<std::thread> workers_;
 };
 

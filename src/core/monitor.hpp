@@ -9,6 +9,12 @@
 // before outcomes are accepted again. The monitor also keeps the statistics
 // a safety case needs: coverage, fallback rate, and the observed failure
 // rate among accepted outcomes (when ground truth is fed back).
+//
+// Concurrency: a RuntimeMonitor is NOT internally synchronized. The engine
+// keeps one per session inside Shard::sessions (guarded by that shard's
+// mutex — see the capability map in README "Concurrency model & static
+// enforcement"), and the traffic plane's degrade monitor is guarded by its
+// lane mutex. Standalone users must provide their own exclusion.
 
 #include <cstddef>
 

@@ -4,17 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tauw::dtree {
 
@@ -181,9 +182,18 @@ struct Builder {
 /// runs dry, the caller waits for the finished count). One pool serves all
 /// parallel phases of one train_cart call, so thread spawns are paid once
 /// per fit, not once per level.
+///
+/// A serial pool (workers == 0) allocates NO synchronization state at all:
+/// sync_ stays null and run() executes inline, so a serial train_cart is
+/// provably free of locks - the same capability-free guarantee the
+/// analysis gives train_cart_reference and the compiled-tree readers.
+/// (This removed the defensive mutex + condvars every serial fit used to
+/// construct and never contend.)
 class FitPool {
  public:
   explicit FitPool(std::size_t workers) {
+    if (workers == 0) return;
+    sync_ = std::make_unique<Sync>();
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -191,11 +201,12 @@ class FitPool {
   }
 
   ~FitPool() {
+    if (sync_ == nullptr) return;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
+      MutexLock lock(sync_->mutex);
+      sync_->stop = true;
     }
-    cv_.notify_all();
+    sync_->cv.notify_all();
     for (std::thread& t : workers_) t.join();
   }
 
@@ -221,15 +232,17 @@ class FitPool {
     batch->count = count;
     batch->fn = [&fn](std::size_t t) { fn(t); };
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      batch_ = batch;
-      ++epoch_;
+      MutexLock lock(sync_->mutex);
+      sync_->batch = batch;
+      ++sync_->epoch;
     }
-    cv_.notify_all();
+    sync_->cv.notify_all();
     drain(*batch);
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return batch->finished == batch->count; });
-    batch_.reset();
+    MutexLock lock(sync_->mutex);
+    // Explicit predicate loop - the thread-safety analysis cannot see into
+    // a wait(lock, pred) lambda.
+    while (batch->finished != batch->count) sync_->done_cv.wait(lock);
+    sync_->batch.reset();
     if (batch->error) std::rethrow_exception(batch->error);
   }
 
@@ -238,8 +251,24 @@ class FitPool {
     std::size_t count = 0;
     std::function<void(std::size_t)> fn;
     std::atomic<std::size_t> cursor{0};
-    std::size_t finished = 0;          // guarded by mutex_
-    std::exception_ptr error;          // first failure, guarded by mutex_
+    // finished/error are guarded by the pool's sync_->mutex (comment-only:
+    // guarded_by cannot name the owning pool's member from this nested
+    // struct; every touch in run()/drain() happens under that mutex, which
+    // the analysis checks at those sites).
+    std::size_t finished = 0;
+    std::exception_ptr error;  // first failure
+  };
+
+  /// The pool's synchronization block, allocated only when there are
+  /// workers to hand tasks to. Guarded members are sibling-relative, so
+  /// the annotations survive the indirection.
+  struct Sync {
+    Mutex mutex;
+    CondVar cv;
+    CondVar done_cv;
+    std::shared_ptr<Batch> batch TAUW_GUARDED_BY(mutex);
+    std::uint64_t epoch TAUW_GUARDED_BY(mutex) = 0;
+    bool stop TAUW_GUARDED_BY(mutex) = false;
   };
 
   void drain(Batch& batch) {
@@ -261,12 +290,12 @@ class FitPool {
     if (done == 0 && error == nullptr) return;
     bool all_done = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(sync_->mutex);
       batch.finished += done;
       if (batch.error == nullptr && error != nullptr) batch.error = error;
       all_done = batch.finished == batch.count;
     }
-    if (all_done) done_cv_.notify_all();
+    if (all_done) sync_->done_cv.notify_all();
   }
 
   void worker_loop() {
@@ -274,23 +303,20 @@ class FitPool {
     for (;;) {
       std::shared_ptr<Batch> batch;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-        if (stop_) return;
-        seen_epoch = epoch_;
-        batch = batch_;
+        MutexLock lock(sync_->mutex);
+        while (!sync_->stop && sync_->epoch == seen_epoch) {
+          sync_->cv.wait(lock);
+        }
+        if (sync_->stop) return;
+        seen_epoch = sync_->epoch;
+        batch = sync_->batch;
       }
       if (batch != nullptr) drain(*batch);
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
+  std::unique_ptr<Sync> sync_;  ///< null: serial pool, no locks exist
   std::vector<std::thread> workers_;
-  std::shared_ptr<Batch> batch_;  // guarded by mutex_
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
 };
 
 /// One node of the breadth-first build (ids are build order; the finished

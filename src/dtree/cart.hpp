@@ -42,7 +42,10 @@ struct CartConfig {
 };
 
 /// Grows a CART tree on `data` with the level-synchronous fit described in
-/// the file header, on `ctx.num_threads` threads (1 = serial, no pool).
+/// the file header, on `ctx.num_threads` threads (1 = serial, no pool: the
+/// worker pool allocates its mutex/condvar sync state only when workers are
+/// actually spawned, so a serial fit constructs no locks at all — it is
+/// capability-free under the thread-safety analysis, not just unlocked).
 /// The resulting leaves carry training counts and a raw (uncalibrated)
 /// failure-rate estimate in `uncertainty`. Bit-identical to
 /// train_cart_reference for every (threads, dataset, config). Throws

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/mutex.hpp"
+
 namespace tauw::serve {
 
 namespace {
@@ -58,7 +60,7 @@ bool TrafficPlane::admit(Submission&& submission) {
   Lane& lane = *lanes_[engine_->shard_of(submission.session)];
   const bool is_close = submission.kind == Submission::Kind::kClose;
   {
-    std::unique_lock<std::mutex> lock(lane.mutex);
+    MutexLock lock(lane.mutex);
     if (stopping_.load(std::memory_order_relaxed)) {
       ++lane.shed;
       lock.unlock();
@@ -72,10 +74,12 @@ bool TrafficPlane::admit(Submission&& submission) {
       switch (config_.policy) {
         case OverflowPolicy::kBlock:
           ++lane.blocked_submits;
-          lane.not_full.wait(lock, [&] {
-            return lane.queue.size() < config_.queue_capacity ||
-                   stopping_.load(std::memory_order_relaxed);
-          });
+          // Explicit predicate loop - the thread-safety analysis cannot
+          // see into a wait(lock, pred) lambda.
+          while (lane.queue.size() >= config_.queue_capacity &&
+                 !stopping_.load(std::memory_order_relaxed)) {
+            lane.not_full.wait(lock);
+          }
           if (stopping_.load(std::memory_order_relaxed)) {
             ++lane.shed;
             lock.unlock();
@@ -204,7 +208,7 @@ void TrafficPlane::run_staged(Lane& lane, std::size_t shard_index,
   // exceptionally, possibly into a receiver-less callback submission), so
   // the submitted == completed + closes + queue_depth identity stays exact.
   {
-    std::lock_guard<std::mutex> telemetry(lane.completion_mutex);
+    MutexLock telemetry(lane.completion_mutex);
     ++lane.batches;
     lane.coalesced_frames += lane.frames.size();
     lane.max_coalesced = std::max(lane.max_coalesced, lane.frames.size());
@@ -234,7 +238,7 @@ void TrafficPlane::run_staged(Lane& lane, std::size_t shard_index,
 
 std::size_t TrafficPlane::drain_pass(Lane& lane, std::size_t shard_index) {
   {
-    std::lock_guard<std::mutex> lock(lane.mutex);
+    MutexLock lock(lane.mutex);
     if (lane.queue.empty() || lane.draining) return 0;
     lane.draining = true;
     const std::size_t take =
@@ -273,7 +277,7 @@ std::size_t TrafficPlane::drain_pass(Lane& lane, std::size_t shard_index) {
   }
   run_staged(lane, shard_index, now);
   if (closes > 0) {
-    std::lock_guard<std::mutex> telemetry(lane.completion_mutex);
+    MutexLock telemetry(lane.completion_mutex);
     lane.closes += closes;
   }
 
@@ -281,7 +285,7 @@ std::size_t TrafficPlane::drain_pass(Lane& lane, std::size_t shard_index) {
   lane.taken.clear();
   bool empty_now = false;
   {
-    std::lock_guard<std::mutex> lock(lane.mutex);
+    MutexLock lock(lane.mutex);
     lane.draining = false;
     empty_now = lane.queue.empty();
   }
@@ -293,11 +297,11 @@ void TrafficPlane::drainer_loop(std::size_t lane_index) {
   Lane& lane = *lanes_[lane_index];
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(lane.mutex);
-      lane.not_empty.wait(lock, [&] {
-        return !lane.queue.empty() ||
-               stopping_.load(std::memory_order_relaxed);
-      });
+      MutexLock lock(lane.mutex);
+      while (lane.queue.empty() &&
+             !stopping_.load(std::memory_order_relaxed)) {
+        lane.not_empty.wait(lock);
+      }
       if (lane.queue.empty() &&
           stopping_.load(std::memory_order_relaxed)) {
         return;  // admission is off and the lane is drained: done
@@ -324,9 +328,8 @@ void TrafficPlane::flush() {
     return;
   }
   for (const auto& lane : lanes_) {
-    std::unique_lock<std::mutex> lock(lane->mutex);
-    lane->idle.wait(lock,
-                    [&] { return lane->queue.empty() && !lane->draining; });
+    MutexLock lock(lane->mutex);
+    while (!lane->queue.empty() || lane->draining) lane->idle.wait(lock);
   }
 }
 
@@ -336,7 +339,7 @@ void TrafficPlane::stop() {
     // Touch the mutex so a drainer between predicate and wait cannot miss
     // the flag, then wake everyone: blocked producers shed, drainers finish
     // the backlog and exit.
-    { std::lock_guard<std::mutex> lock(lane->mutex); }
+    { MutexLock lock(lane->mutex); }
     lane->not_empty.notify_all();
     lane->not_full.notify_all();
   }
@@ -358,7 +361,7 @@ ServeStats TrafficPlane::stats() const {
       config_.latency_lo_us, config_.latency_hi_us, config_.latency_bins);
   for (const auto& lane : lanes_) {
     {
-      std::lock_guard<std::mutex> lock(lane->mutex);
+      MutexLock lock(lane->mutex);
       out.submitted += lane->submitted;
       out.shed += lane->shed;
       out.degraded += lane->degraded;
@@ -368,7 +371,7 @@ ServeStats TrafficPlane::stats() const {
       out.degrade_monitor += lane->degrade_monitor.stats();
     }
     {
-      std::lock_guard<std::mutex> lock(lane->completion_mutex);
+      MutexLock lock(lane->completion_mutex);
       out.completed += lane->completed;
       out.closes += lane->closes;
       out.batches += lane->batches;

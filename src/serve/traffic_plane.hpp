@@ -49,13 +49,14 @@
 // them); sessions driven through both paths concurrently see some valid
 // interleaving, as with any two concurrent synchronous callers.
 
-#include <condition_variable>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -63,6 +64,8 @@
 #include "core/engine.hpp"
 #include "serve/policy.hpp"
 #include "serve/telemetry.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tauw::serve {
 
@@ -161,28 +164,31 @@ class TrafficPlane {
   /// stalls producers. Drain scratch is only ever touched by the lane's
   /// single active drain pass (`draining` excludes a second one).
   struct Lane {
-    mutable std::mutex mutex;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::condition_variable idle;  ///< flush(): empty and not draining
-    std::deque<Submission> queue;
-    bool draining = false;
-    // -- admission counters (guarded by `mutex`) --------------------------
-    std::uint64_t submitted = 0;
-    std::uint64_t shed = 0;
-    std::uint64_t degraded = 0;
-    std::uint64_t blocked_submits = 0;
-    std::size_t peak_depth = 0;
-    core::RuntimeMonitor degrade_monitor;
-    // -- completion telemetry (guarded by `completion_mutex`) -------------
-    mutable std::mutex completion_mutex;
-    std::uint64_t completed = 0;
-    std::uint64_t closes = 0;
-    std::uint64_t batches = 0;
-    std::uint64_t coalesced_frames = 0;
-    std::size_t max_coalesced = 0;
-    stats::LogHistogram latency_us;
-    // -- drain-pass scratch (single drainer at a time) --------------------
+    mutable tauw::Mutex mutex;
+    CondVar not_empty;
+    CondVar not_full;
+    CondVar idle;  ///< flush(): empty and not draining
+    std::deque<Submission> queue TAUW_GUARDED_BY(mutex);
+    bool draining TAUW_GUARDED_BY(mutex) = false;
+    // -- admission counters -----------------------------------------------
+    std::uint64_t submitted TAUW_GUARDED_BY(mutex) = 0;
+    std::uint64_t shed TAUW_GUARDED_BY(mutex) = 0;
+    std::uint64_t degraded TAUW_GUARDED_BY(mutex) = 0;
+    std::uint64_t blocked_submits TAUW_GUARDED_BY(mutex) = 0;
+    std::size_t peak_depth TAUW_GUARDED_BY(mutex) = 0;
+    core::RuntimeMonitor degrade_monitor TAUW_GUARDED_BY(mutex);
+    // -- completion telemetry ---------------------------------------------
+    mutable tauw::Mutex completion_mutex;
+    std::uint64_t completed TAUW_GUARDED_BY(completion_mutex) = 0;
+    std::uint64_t closes TAUW_GUARDED_BY(completion_mutex) = 0;
+    std::uint64_t batches TAUW_GUARDED_BY(completion_mutex) = 0;
+    std::uint64_t coalesced_frames TAUW_GUARDED_BY(completion_mutex) = 0;
+    std::size_t max_coalesced TAUW_GUARDED_BY(completion_mutex) = 0;
+    stats::LogHistogram latency_us TAUW_GUARDED_BY(completion_mutex);
+    // -- drain-pass scratch (protocol-guarded, not lock-guarded: only the
+    // lane's single active drain pass touches it - `draining`, set and
+    // cleared under `mutex`, excludes a second pass - so no mutex is held
+    // while the engine steps the staged frames) ---------------------------
     std::vector<Submission> taken;
     std::vector<core::SessionFrame> frames;
     std::vector<core::EngineStepResult> results;

@@ -1,0 +1,108 @@
+#pragma once
+// Annotated synchronization primitives: thin, zero-overhead wrappers around
+// std::mutex / std::unique_lock / std::condition_variable that carry Clang
+// Thread Safety capability attributes (support/thread_annotations.hpp).
+//
+// Every mutex in the concurrent planes (core::Engine shards, the
+// serve::TrafficPlane lanes, the calib evidence/recalibration loop, the
+// tracking bridge namespace allocator, the dtree fit pool) is a
+// tauw::Mutex, every scope lock a tauw::MutexLock, and every condition
+// variable a tauw::CondVar - so -Wthread-safety can prove the lock
+// discipline at compile time. All methods are inline forwards; Release
+// codegen is identical to using the std types directly.
+//
+// Condition-variable idiom under the analysis: CondVar::wait() is NOT
+// annotated as releasing the mutex (the analysis would otherwise lose the
+// capability mid-scope even though wait() reacquires before returning).
+// Predicates therefore must be written as explicit loops in the annotated
+// caller - `while (!cond) cv.wait(lock);` - never as wait(lock, pred)
+// lambdas, which the analysis cannot see into. All waiting code in this
+// repo follows that idiom.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace tauw {
+
+class CondVar;
+class MutexLock;
+
+/// An annotated std::mutex. Non-recursive, non-movable (like std::mutex);
+/// declare members `mutable tauw::Mutex` where logically-const readers
+/// (stats, snapshots) need to lock.
+class TAUW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TAUW_ACQUIRE() { mutex_.lock(); }
+  void unlock() TAUW_RELEASE() { mutex_.unlock(); }
+  bool try_lock() TAUW_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII scope lock over a tauw::Mutex (the annotated lock_guard /
+/// unique_lock). Locks on construction, unlocks on destruction; unlock() /
+/// lock() allow the handful of cold paths that drop the mutex mid-scope
+/// (delivering a shed outcome, running a refit) to keep the analysis exact.
+class TAUW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) TAUW_ACQUIRE(mutex)
+      : lock_(mutex.mutex_) {}
+  ~MutexLock() TAUW_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release / re-acquire (std::unique_lock enforces correct pairing
+  /// at runtime; the analysis enforces it at compile time).
+  void unlock() TAUW_RELEASE() { lock_.unlock(); }
+  void lock() TAUW_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// An annotated std::condition_variable, waitable only through a
+/// tauw::MutexLock. See the file comment for the explicit-predicate-loop
+/// idiom the analysis requires.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases the lock, waits, and reacquires before returning.
+  /// (Deliberately not annotated as releasing: the capability is held again
+  /// whenever control is back in the caller.)
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& when) {
+    return cv_.wait_until(lock.lock_, when);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tauw

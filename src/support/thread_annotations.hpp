@@ -1,0 +1,93 @@
+#pragma once
+// Clang Thread Safety Analysis annotation macros - the compile-time half of
+// the concurrency story.
+//
+// The locking rules of the serving stack (sharded core::Engine, the
+// serve::TrafficPlane queues, the calib evidence/recalibration loop, the
+// parallel CART fit pool) used to live in comments and were checked only
+// dynamically, by whatever interleavings the TSan suites happened to
+// execute. These macros turn the comments into machine-checked contracts:
+// Clang's -Wthread-safety pass proves, per call site and at zero runtime
+// cost, that every TAUW_GUARDED_BY member is only touched with its mutex
+// held and that every TAUW_REQUIRES function is only entered locked.
+//
+// The macros expand to Clang's capability attributes under Clang and to
+// nothing elsewhere, so GCC builds are unaffected. CI builds the whole tree
+// with -Wthread-safety -Wthread-safety-beta -Werror under Clang; the
+// negative compile tests in tests/static/ keep the macro layer itself from
+// rotting.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// (the macro set below is the documented standard set, TAUW_-prefixed).
+
+#if defined(__clang__)
+#define TAUW_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define TAUW_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (a lockable resource). The string names
+/// the capability kind in diagnostics ("mutex").
+#define TAUW_CAPABILITY(x) TAUW_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (tauw::MutexLock).
+#define TAUW_SCOPED_CAPABILITY \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The member may only be read or written while holding `x`.
+#define TAUW_GUARDED_BY(x) TAUW_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The pointee (not the pointer itself) is protected by `x`.
+#define TAUW_PT_GUARDED_BY(x) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering contracts: this mutex must be acquired before/after the
+/// listed ones. Checked under -Wthread-safety-beta.
+#define TAUW_ACQUIRED_BEFORE(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define TAUW_ACQUIRED_AFTER(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the listed capabilities (exclusively / shared) on
+/// entry; the function neither acquires nor releases them.
+#define TAUW_REQUIRES(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define TAUW_REQUIRES_SHARED(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (must not be held on entry) /
+/// releases it (must be held on entry). With no argument, applies to the
+/// enclosing capability object (tauw::Mutex::lock / unlock).
+#define TAUW_ACQUIRE(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define TAUW_ACQUIRE_SHARED(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define TAUW_RELEASE(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define TAUW_RELEASE_SHARED(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define TAUW_TRY_ACQUIRE(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock prevention:
+/// the function acquires them itself).
+#define TAUW_EXCLUDES(...) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow, e.g. a lock taken by a caller across a type-erased hop).
+#define TAUW_ASSERT_CAPABILITY(x) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define TAUW_RETURN_CAPABILITY(x) \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opt a function out of the analysis entirely. Policy: NOT used in the
+/// concurrent planes (engine/serve/calib/tracking/dtree) - the CI gate
+/// builds those TUs suppression-free; reserve this for test scaffolding.
+#define TAUW_NO_THREAD_SAFETY_ANALYSIS \
+  TAUW_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,11 +1,12 @@
 #include "tracking/engine_bridge.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 #include "calib/recalibrator.hpp"
 #include "serve/traffic_plane.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tauw::tracking {
 
@@ -16,12 +17,15 @@ namespace {
 // above typical caller-chosen ids). Destroyed bridges return theirs to the
 // free list. Mutex-guarded: bridges are routinely constructed and destroyed
 // from different threads (one bridge per camera thread on a shared engine).
-std::mutex bridge_namespace_mutex;
-std::uint64_t next_bridge_namespace = 0;
-std::vector<std::uint64_t> freed_bridge_namespaces;
+// A leaf lock: nothing is ever acquired under it.
+Mutex bridge_namespace_mutex;
+std::uint64_t next_bridge_namespace TAUW_GUARDED_BY(bridge_namespace_mutex) =
+    0;
+std::vector<std::uint64_t> freed_bridge_namespaces
+    TAUW_GUARDED_BY(bridge_namespace_mutex);
 
 std::uint64_t claim_bridge_namespace() {
-  std::lock_guard<std::mutex> lock(bridge_namespace_mutex);
+  MutexLock lock(bridge_namespace_mutex);
   if (!freed_bridge_namespaces.empty()) {
     const std::uint64_t ns = freed_bridge_namespaces.back();
     freed_bridge_namespaces.pop_back();
@@ -37,7 +41,7 @@ std::uint64_t claim_bridge_namespace() {
 }
 
 void release_bridge_namespace(std::uint64_t ns) {
-  std::lock_guard<std::mutex> lock(bridge_namespace_mutex);
+  MutexLock lock(bridge_namespace_mutex);
   freed_bridge_namespaces.push_back(ns);
 }
 

@@ -594,7 +594,7 @@ TEST(RecalibrationStress, SwapsUnderConcurrentStepBatchAndTruthReports) {
             ASSERT_GE(r.model_generation, previous);
             previous = r.model_generation;
           }
-          ASSERT_EQ(r.estimates.size(), engine.estimators().size());
+          ASSERT_EQ(r.estimates.size(), engine.num_estimators());
           for (const double estimate : r.estimates) {
             ASSERT_GE(estimate, 0.0);
             ASSERT_LE(estimate, 1.0);

@@ -1,0 +1,237 @@
+// Regression tests for the estimator-registry race the thread-safety
+// annotations surfaced during the Clang -Wthread-safety burn-down (PR 8):
+// Engine::estimator_names() / estimator_index() (and the old estimators()
+// span accessor, since removed) read shard 0's estimator vector with NO
+// lock, racing both add_estimator's push_back (vector reallocation =
+// use-after-free for a concurrent reader) and swap_models' rebind, both of
+// which mutate the registries under the shard mutexes. The registry
+// readers now lock shard 0, add_estimator installs under every shard's
+// mutex, and the leaked-span accessor is gone (replaced by
+// num_estimators()).
+//
+// The Stress test is the TSan target: readers + adders + steppers + a
+// swapper all running against one sharded engine. Without the fix, TSan
+// flags the unlocked reads (and ASan the reallocation UAF) deterministically
+// within a few add_estimator reallocation cycles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/estimator.hpp"
+#include "core/fusion.hpp"
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+class ToyDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    const bool base = f[0] > 0.5F;
+    const bool flip = f[1] > 0.5F;
+    p.label = (base != flip) ? 1 : 0;
+    p.confidence = 0.99F;
+    return p;
+  }
+};
+
+data::FrameRecord make_frame(float signal, float deficit) {
+  data::FrameRecord rec;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+struct ToyWorld {
+  std::shared_ptr<ToyDdm> ddm = std::make_shared<ToyDdm>();
+  QualityFactorExtractor qf{28.0};
+  std::shared_ptr<QualityImpactModel> qim =
+      std::make_shared<QualityImpactModel>();
+  std::shared_ptr<QualityImpactModel> taqim =
+      std::make_shared<QualityImpactModel>();
+
+  ToyWorld() {
+    stats::Rng rng(3);
+    dtree::TreeDataset train;
+    dtree::TreeDataset calib;
+    for (std::size_t i = 0; i < 2000; ++i) {
+      const float signal = rng.bernoulli(0.5) ? 0.9F : 0.1F;
+      const float deficit = rng.bernoulli(0.3) ? 0.9F : 0.0F;
+      const std::size_t label = signal > 0.5F ? 1 : 0;
+      const data::FrameRecord rec = make_frame(signal, deficit);
+      const bool fail = ddm->predict(rec.features).label != label;
+      (i % 2 == 0 ? train : calib).push_back(qf.extract(rec), fail);
+    }
+    QimConfig cfg;
+    cfg.cart.max_depth = 4;
+    cfg.calibration.min_leaf_samples = 40;
+    qim->fit(train, calib, cfg, qf.names());
+
+    const TaFeatureBuilder builder(qf.num_factors(), TaqfSet::all());
+    const MajorityVoteFusion fusion;
+    stats::Rng srng(11);
+    dtree::TreeDataset ta_train;
+    dtree::TreeDataset ta_calib;
+    std::vector<double> features(builder.dim());
+    for (int series = 0; series < 400; ++series) {
+      const std::size_t label = srng.bernoulli(0.5) ? 1 : 0;
+      const float signal = label == 1 ? 0.9F : 0.1F;
+      const bool bad_quality = srng.bernoulli(0.3);
+      TimeseriesBuffer buffer;
+      for (int t = 0; t < 5; ++t) {
+        const float deficit = bad_quality && srng.bernoulli(0.8) ? 0.9F : 0.0F;
+        const data::FrameRecord rec = make_frame(signal, deficit);
+        const auto pred = ddm->predict(rec.features);
+        buffer.push(pred.label, qim->predict(qf.extract(rec)));
+        const std::size_t fused = fusion.fuse(buffer);
+        builder.build_into(qf.extract(rec), buffer, fused, features);
+        (series % 2 == 0 ? ta_train : ta_calib)
+            .push_back(features, fused != label);
+      }
+    }
+    taqim->fit(ta_train, ta_calib, cfg, builder.names(qf.names()));
+  }
+
+  EngineComponents components() const {
+    EngineComponents c;
+    c.ddm = ddm;
+    c.qf_extractor = qf;
+    c.qim = qim;
+    c.taqim = taqim;
+    return c;
+  }
+};
+
+ToyWorld& world() {
+  static ToyWorld w;
+  return w;
+}
+
+data::FrameRecord frame_for(SessionId id, std::size_t t) {
+  const std::uint64_t h = (id * 31 + t * 7) % 10;
+  return make_frame(h < 5 ? 0.9F : 0.1F, (h % 3 == 0) ? 0.9F : 0.0F);
+}
+
+std::shared_ptr<TauwEstimator> extra_estimator() {
+  return std::make_shared<TauwEstimator>(
+      world().taqim, world().qf.num_factors(), TaqfSet::all());
+}
+
+// The functional contract around the fix: readers and add_estimator agree
+// on one registry, and the surviving accessors answer consistently.
+TEST(EngineRegistryRace, RegistryAccessorsStayConsistentAcrossAdds) {
+  EngineConfig config;
+  config.num_shards = 4;
+  Engine engine(world().components(), config);
+
+  const std::size_t before = engine.num_estimators();
+  EXPECT_EQ(engine.estimator_names().size(), before);
+
+  engine.add_estimator(extra_estimator());
+  EXPECT_EQ(engine.num_estimators(), before + 1);
+  const std::vector<std::string> names = engine.estimator_names();
+  ASSERT_EQ(names.size(), before + 1);
+  // The registered name resolves, and the index round-trips through the
+  // names list.
+  const std::size_t index = engine.estimator_index(names.back());
+  EXPECT_LT(index, names.size());
+  EXPECT_EQ(names[index], names.back());
+
+  // Steps after the add serve the grown registry on every shard.
+  for (SessionId id = 1; id <= 8; ++id) {
+    const EngineStepResult r = engine.step(id, frame_for(id, 0));
+    EXPECT_EQ(r.estimates.size(), before + 1);
+  }
+}
+
+// The TSan/ASan target. Pre-fix, the unlocked registry reads race
+// add_estimator's push_back (reallocation) and swap_models' rebind; with
+// the fix every path agrees on the shard mutexes and the test is clean
+// under both sanitizers.
+TEST(EngineRegistryRace, ConcurrentReadersAddersSteppersAndSwapsAreClean) {
+  EngineConfig config;
+  config.num_shards = 4;
+  config.num_threads = 2;
+  Engine engine(world().components(), config);
+  const std::size_t before = engine.num_estimators();
+  constexpr std::size_t kAdds = 8;
+  constexpr std::size_t kSteppers = 2;
+  constexpr std::size_t kReaders = 2;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  // Adder: grows the registry (forcing vector reallocations) while
+  // everyone else reads it.
+  threads.emplace_back([&] {
+    for (std::size_t i = 0; i < kAdds; ++i) {
+      engine.add_estimator(extra_estimator());
+      std::this_thread::yield();
+    }
+  });
+
+  // Readers: hammer the locked accessors.
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t n = engine.num_estimators();
+        const std::vector<std::string> names = engine.estimator_names();
+        // The two reads are separate critical sections, so the count may
+        // grow in between - but never past the final registry size.
+        ASSERT_GE(names.size(), n >= before ? before : n);
+        ASSERT_LE(names.size(), before + kAdds);
+        ASSERT_LT(engine.estimator_index(names.front()), names.size());
+      }
+    });
+  }
+
+  // Steppers: serve disjoint sessions; each step's estimate vector must
+  // match SOME registry size between the initial and final one (steps of
+  // one batch may straddle an add).
+  for (std::size_t s = 0; s < kSteppers; ++s) {
+    threads.emplace_back([&, s] {
+      for (std::size_t t = 0; t < 60; ++t) {
+        for (SessionId id = 1; id <= 16; ++id) {
+          const SessionId session =
+              static_cast<SessionId>(s * 1000 + id);
+          const EngineStepResult r = engine.step(session, frame_for(id, t));
+          ASSERT_GE(r.estimates.size(), before);
+          ASSERT_LE(r.estimates.size(), before + kAdds);
+        }
+      }
+    });
+  }
+
+  // Swapper: republishes the same models, rebinding every registry
+  // instance under the shard mutexes while the registry grows.
+  threads.emplace_back([&] {
+    for (std::size_t i = 0; i < 16; ++i) {
+      engine.swap_models(world().qim, world().taqim);
+      std::this_thread::yield();
+    }
+  });
+
+  threads[0].join();  // adder
+  threads.back().join();  // swapper
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 1; i + 1 < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(engine.num_estimators(), before + kAdds);
+  EXPECT_EQ(engine.estimator_names().size(), before + kAdds);
+}
+
+}  // namespace
+}  // namespace tauw::core

@@ -403,10 +403,10 @@ TEST(EngineShard, AddEstimatorRejectsNonCloneableOnShardedEngines) {
   EngineConfig config;
   config.num_shards = 4;
   Engine sharded(world().components(), config);
-  const std::size_t before = sharded.estimators().size();
+  const std::size_t before = sharded.num_estimators();
   EXPECT_THROW(sharded.add_estimator(std::make_shared<NonCloneable>()),
                std::invalid_argument);
-  EXPECT_EQ(sharded.estimators().size(), before);
+  EXPECT_EQ(sharded.num_estimators(), before);
   const EngineStepResult r = sharded.step(1, frame_for(1, 0));
   EXPECT_EQ(r.estimates.size(), before);
 }

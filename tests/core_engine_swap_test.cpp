@@ -302,7 +302,7 @@ TEST(EngineSwap, BatchedStepsUnderLruPressureStayAttributable) {
   ASSERT_EQ(results.size(), batch.size());
   for (const EngineStepResult& r : results) {
     EXPECT_EQ(r.model_generation, 1u);
-    EXPECT_EQ(r.estimates.size(), engine.estimators().size());
+    EXPECT_EQ(r.estimates.size(), engine.num_estimators());
   }
 }
 
@@ -317,7 +317,7 @@ TEST(EngineSwap, AddEstimatorAfterSwapServesThePublishedGeneration) {
 
   engine.add_estimator(std::make_shared<TauwEstimator>(
       world().gen1.taqim, world().qf.num_factors(), TaqfSet::all()));
-  const std::size_t added = engine.estimators().size() - 1;
+  const std::size_t added = engine.num_estimators() - 1;
 
   const EngineStepResult result = engine.step(5, frame_for(5, 0));
   EXPECT_EQ(result.model_generation, 2u);
@@ -369,7 +369,7 @@ TEST(EngineSwap, ConcurrentSwapsUnderStepBatchAreCleanAndAttributable) {
             ASSERT_GE(r.model_generation, previous);
             previous = r.model_generation;
           }
-          ASSERT_EQ(r.estimates.size(), engine.estimators().size());
+          ASSERT_EQ(r.estimates.size(), engine.num_estimators());
           for (const double estimate : r.estimates) {
             ASSERT_GE(estimate, 0.0);
             ASSERT_LE(estimate, 1.0);

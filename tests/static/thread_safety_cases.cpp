@@ -1,0 +1,119 @@
+// Negative compile tests for the thread-safety annotation layer
+// (support/thread_annotations.hpp + support/mutex.hpp).
+//
+// This TU is NOT part of any runtime binary. CMake registers one ctest
+// entry per case (Clang builds only): the baseline compile (no case macro)
+// must SUCCEED under -Wthread-safety -Wthread-safety-beta -Werror, and
+// every TAUW_TSA_CASE_* compile must FAIL (WILL_FAIL in ctest). That keeps
+// the macro layer itself from rotting: if the macros ever silently expand
+// to nothing under Clang (a broken guard, a renamed attribute), the
+// negative cases start compiling and the harness goes red - the same way
+// the annotations would go silent in the real concurrent planes.
+//
+// Each case is the minimal violation of one contract the concurrent planes
+// rely on:
+//   GUARDED_ACCESS_UNLOCKED  - reading a TAUW_GUARDED_BY member lock-free
+//   GUARDED_WRITE_WRONG_MUTEX - writing it under the WRONG mutex
+//   REQUIRES_CALL_UNLOCKED   - calling a TAUW_REQUIRES function unlocked
+//   DOUBLE_ACQUIRE           - re-locking a held (non-reentrant) mutex
+//   EXCLUDES_HELD            - calling a TAUW_EXCLUDES function locked
+
+#include <cstdint>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // Correctly annotated surface (mirrors the engine-shard idiom).
+  void deposit(std::uint64_t amount) TAUW_EXCLUDES(mutex_) {
+    tauw::MutexLock lock(mutex_);
+    deposit_locked(amount);
+  }
+
+  std::uint64_t balance() const TAUW_EXCLUDES(mutex_) {
+    tauw::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  void deposit_locked(std::uint64_t amount) TAUW_REQUIRES(mutex_) {
+    balance_ += amount;
+  }
+
+  mutable tauw::Mutex mutex_;
+  tauw::Mutex other_mutex_;
+  std::uint64_t balance_ TAUW_GUARDED_BY(mutex_) = 0;
+
+ public:
+#if defined(TAUW_TSA_CASE_GUARDED_ACCESS_UNLOCKED)
+  std::uint64_t broken_read() const {
+    return balance_;  // no lock held: must not compile
+  }
+#endif
+
+#if defined(TAUW_TSA_CASE_GUARDED_WRITE_WRONG_MUTEX)
+  void broken_write() {
+    tauw::MutexLock lock(other_mutex_);
+    balance_ = 0;  // holds the wrong mutex: must not compile
+  }
+#endif
+
+#if defined(TAUW_TSA_CASE_REQUIRES_CALL_UNLOCKED)
+  void broken_requires(std::uint64_t amount) {
+    deposit_locked(amount);  // REQUIRES(mutex_) but unlocked: must not compile
+  }
+#endif
+
+#if defined(TAUW_TSA_CASE_DOUBLE_ACQUIRE)
+  void broken_double_lock() {
+    tauw::MutexLock outer(mutex_);
+    tauw::MutexLock inner(mutex_);  // non-reentrant: must not compile
+    balance_ = 0;
+  }
+#endif
+
+#if defined(TAUW_TSA_CASE_EXCLUDES_HELD)
+  void broken_excludes() {
+    tauw::MutexLock lock(mutex_);
+    deposit(1);  // EXCLUDES(mutex_) while holding it: must not compile
+  }
+#endif
+};
+
+// Correct condition-variable idiom (the explicit predicate loop the repo
+// standardizes on) - part of the positive baseline so the CondVar wrapper
+// stays waitable under the analysis.
+class Gate {
+ public:
+  void open() TAUW_EXCLUDES(mutex_) {
+    {
+      tauw::MutexLock lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void await() TAUW_EXCLUDES(mutex_) {
+    tauw::MutexLock lock(mutex_);
+    while (!open_) cv_.wait(lock);
+  }
+
+ private:
+  tauw::Mutex mutex_;
+  tauw::CondVar cv_;
+  bool open_ TAUW_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  Gate gate;
+  gate.open();
+  gate.await();
+  return static_cast<int>(account.balance());
+}

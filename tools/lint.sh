@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One-shot static-analysis runner: configures a Clang build tree (so the
+# thread-safety annotations are live and compile_commands.json carries the
+# right flags), builds it, then runs clang-tidy over every TU via
+# run-clang-tidy. Zero warnings required - .clang-tidy sets
+# WarningsAsErrors '*', so any finding is a non-zero exit.
+#
+# This is the same sequence the clang-thread-safety CI job runs; use it to
+# reproduce a CI failure locally before pushing.
+#
+# Usage:
+#   tools/lint.sh                 # configure + build + tidy in build-tidy/
+#   BUILD_DIR=out tools/lint.sh   # use a different build tree
+#   tools/lint.sh src/core        # tidy only files under src/core
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-tidy}"
+
+find_tool() {
+  # Prefer the unsuffixed name, fall back to versioned installs.
+  for candidate in "$1" "$1"-2{1,0} "$1"-1{9,8,7,6,5,4}; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      command -v "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+CLANGXX="$(find_tool clang++)" || {
+  echo "tools/lint.sh: clang++ not found on PATH." >&2
+  echo "The thread-safety analysis and clang-tidy gate need Clang;" >&2
+  echo "install clang + clang-tidy (any recent version) and re-run." >&2
+  exit 2
+}
+CLANG="$(find_tool clang)" || CLANG="${CLANGXX}"
+CLANG_TIDY="$(find_tool clang-tidy)" || {
+  echo "tools/lint.sh: clang-tidy not found on PATH (clang++ is ${CLANGXX})." >&2
+  exit 2
+}
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
+  -DCMAKE_C_COMPILER="${CLANG}" \
+  -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+  -DTAUW_WERROR=ON
+
+# The build itself is the -Wthread-safety -Wthread-safety-beta -Werror gate
+# (the flags ride on every tauw target under Clang; see CMakeLists.txt).
+cmake --build "${BUILD_DIR}" -j
+
+# run-clang-tidy ships next to clang-tidy; fall back to serial clang-tidy
+# over compile_commands.json if the wrapper is missing.
+if RUN_CLANG_TIDY="$(find_tool run-clang-tidy)"; then
+  "${RUN_CLANG_TIDY}" -clang-tidy-binary "${CLANG_TIDY}" \
+    -p "${BUILD_DIR}" -quiet "${@:-${REPO_ROOT}/(src|tests|bench|examples)/}"
+else
+  echo "tools/lint.sh: run-clang-tidy missing; running clang-tidy serially" >&2
+  python3 - "$BUILD_DIR" "${@:-}" <<'EOF'
+import json, subprocess, sys
+build_dir = sys.argv[1]
+filters = [f for f in sys.argv[2:] if f]
+entries = json.load(open(f"{build_dir}/compile_commands.json"))
+files = sorted({e["file"] for e in entries
+                if not filters or any(f in e["file"] for f in filters)})
+sys.exit(subprocess.run(["clang-tidy", "-p", build_dir, "--quiet", *files]).returncode)
+EOF
+fi
