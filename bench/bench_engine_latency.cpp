@@ -35,6 +35,7 @@
 #include "core/engine.hpp"
 #include "serve/traffic_plane.hpp"
 #include "stats/rng.hpp"
+#include "support/alloc_hooks.hpp"
 
 namespace {
 
@@ -140,7 +141,7 @@ PhaseResult run_phase(core::Engine& engine, serve::TrafficPlaneConfig config,
         std::this_thread::sleep_until(start + (i + 1) * period);
         const core::SessionId session = base + (i % span) + 1;
         plane.submit_frame(session, pool[i % pool.size()], nullptr,
-                           [&](serve::StepOutcome outcome) {
+                           [&](const serve::StepOutcome& outcome) {
                              if (outcome.status == serve::SubmitStatus::kOk) {
                                ok.fetch_add(1, std::memory_order_relaxed);
                              } else {
@@ -186,6 +187,63 @@ void print_phase(const char* name, const PhaseResult& r) {
       static_cast<unsigned long long>(r.delivered_ok),
       static_cast<unsigned long long>(r.delivered_shed), r.p50_us, r.p99_us,
       r.p999_us, r.mean_coalesced);
+}
+
+/// Zero-allocation steady-state gate over the plane's callback path:
+/// manual-drain mode so burst-submit-then-drain is deterministic, constant
+/// burst size in warmup and measurement, callback submissions only (the
+/// future API inherently allocates its shared state per submission). Warms
+/// the queue rings, result pools, and engine scratch to their high-water
+/// capacity, then counts heap allocations across `steady_steps` further
+/// submissions end to end (submit -> ring -> coalesced drain -> delivery).
+std::uint64_t run_alloc_gate(const core::EngineComponents& components,
+                             std::size_t steady_steps) {
+  core::EngineConfig engine_config;
+  engine_config.max_sessions = 0;
+  engine_config.buffer_capacity = 10;
+  engine_config.num_shards = 4;
+  core::Engine engine(components, engine_config);
+  serve::TrafficPlaneConfig plane_config;
+  plane_config.manual_drain = true;
+  plane_config.queue_capacity = 1024;
+  serve::TrafficPlane plane(engine, plane_config);
+
+  constexpr std::size_t kSessions = 64;
+  constexpr std::size_t kBurst = 256;
+  for (std::size_t s = 0; s < kSessions; ++s) engine.open_session(s + 1);
+  stats::Rng rng(7);
+  std::vector<data::FrameRecord> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(make_frame(rng.bernoulli(0.5) ? 0.9F : 0.1F,
+                              rng.bernoulli(0.3) ? 0.9F : 0.05F));
+  }
+
+  std::uint64_t delivered = 0;
+  std::uint64_t cursor = 0;
+  const auto burst = [&](std::size_t count) {
+    for (std::uint64_t i = 0; i < count; ++i, ++cursor) {
+      // The capture is one pointer: it fits std::function's inline buffer,
+      // so constructing the completion never touches the heap.
+      plane.submit_frame(cursor % kSessions + 1, pool[cursor % pool.size()],
+                         nullptr,
+                         [&delivered](const serve::StepOutcome& outcome) {
+                           if (outcome.status == serve::SubmitStatus::kOk) {
+                             ++delivered;
+                           }
+                         });
+    }
+    for (std::size_t s = 0; s < plane.num_shards(); ++s) {
+      while (plane.drain(s) > 0) {
+      }
+    }
+  };
+  for (int w = 0; w < 50; ++w) burst(kBurst);  // warmup to high water
+  const support::AllocScope scope;
+  for (std::uint64_t done = 0; done < steady_steps; done += kBurst) {
+    burst(kBurst);
+  }
+  if (delivered == 0) std::abort();  // the callbacks must actually run
+  return scope.allocations();
 }
 
 bool read_json_number(const char* path, const char* key, double* out) {
@@ -241,6 +299,9 @@ int main(int argc, char** argv) {
   serve::TrafficPlaneConfig nominal_config;
   nominal_config.queue_capacity = 4096;
   nominal_config.policy = serve::OverflowPolicy::kBlock;
+  // Pinned drainers: the production placement (drainer s -> cpus[s % n]),
+  // so the gated p99 covers the pinning path. No-op where unsupported.
+  nominal_config.pin_drainers = true;
   const PhaseResult nominal = run_phase(nominal_engine, nominal_config,
                                         kProducers, kSessions, arrivals,
                                         rate_hz);
@@ -280,6 +341,19 @@ int main(int argc, char** argv) {
     hard_fail = true;
   }
 
+  // -- zero-allocation steady-state gate -----------------------------------
+  constexpr std::size_t kSteadySteps = 10240;
+  const bool alloc_tracking = support::alloc_tracking_enabled();
+  std::uint64_t steady_allocs = 0;
+  if (alloc_tracking) {
+    steady_allocs = run_alloc_gate(components, kSteadySteps);
+    std::printf("alloc gate: %llu heap allocations across %zu steady-state "
+                "callback submissions (manual drain, 4 shards)\n",
+                static_cast<unsigned long long>(steady_allocs), kSteadySteps);
+  } else {
+    std::printf("alloc gate: skipped (build without TAUW_COUNT_ALLOCS)\n");
+  }
+
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "wb");
     if (out == nullptr) {
@@ -299,7 +373,9 @@ int main(int argc, char** argv) {
         "  \"overload_shed\": %llu,\n"
         "  \"overload_p99_us\": %.2f,\n"
         "  \"lost_completions\": %llu,\n"
-        "  \"lost_sessions\": %zu\n"
+        "  \"lost_sessions\": %zu,\n"
+        "  \"alloc_tracking\": %s,\n"
+        "  \"steady_state_allocs\": %llu\n"
         "}\n",
         static_cast<unsigned long long>(nominal.arrivals), rate_hz,
         nominal.p50_us, nominal.p99_us, nominal.p999_us,
@@ -308,7 +384,9 @@ int main(int argc, char** argv) {
         overload.p99_us,
         static_cast<unsigned long long>(nominal.lost_completions +
                                         overload.lost_completions),
-        nominal.lost_sessions + overload.lost_sessions);
+        nominal.lost_sessions + overload.lost_sessions,
+        alloc_tracking ? "true" : "false",
+        static_cast<unsigned long long>(steady_allocs));
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }
@@ -331,6 +409,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("baseline gate: PASS\n");
+  }
+  if (alloc_tracking && steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations in the steady state - the "
+                 "warmed callback path must not touch the heap\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    hard_fail = true;
+  }
+  if (alloc_tracking && steady_allocs == 0) {
+    std::printf("alloc gate: PASS (0 allocations)\n");
   }
   return hard_fail ? 1 : 0;
 }

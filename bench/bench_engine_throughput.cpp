@@ -17,6 +17,7 @@
 // throughput against a committed baseline and exits non-zero on a >20%
 // regression.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "core/quality_impact_model.hpp"
 #include "core/ta_quality_factors.hpp"
 #include "stats/rng.hpp"
+#include "support/alloc_hooks.hpp"
 
 namespace {
 
@@ -156,6 +158,51 @@ double run_case(const core::EngineComponents& components,
   return static_cast<double>(total_steps) / elapsed;
 }
 
+/// Zero-allocation steady-state gate: warms a pinned multi-shard engine
+/// until every arena/pool/scratch reached its high-water capacity, then
+/// counts heap allocations across `steady_steps` further steps. Returns the
+/// count (0 in a healthy TAUW_COUNT_ALLOCS build; always 0 when tracking is
+/// off - the caller reports the gate as skipped then).
+std::uint64_t run_alloc_gate(const core::EngineComponents& components,
+                             std::size_t steady_steps) {
+  core::EngineConfig config;
+  config.max_sessions = 0;
+  config.buffer_capacity = 10;
+  config.num_shards = 4;
+  config.num_threads = 2;
+  config.pin_worker_threads = true;
+  core::Engine engine(components, config);
+  constexpr std::size_t kSessions = 256;
+  constexpr std::size_t kBatch = 256;
+  for (std::size_t s = 0; s < kSessions; ++s) engine.open_session(s + 1);
+
+  stats::Rng rng(7);
+  std::vector<data::FrameRecord> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(make_frame(rng.bernoulli(0.5) ? 0.9F : 0.1F,
+                              rng.bernoulli(0.3) ? 0.9F : 0.05F));
+  }
+  std::vector<core::SessionFrame> batch(kBatch);
+  std::vector<core::EngineStepResult> results;
+  std::size_t next_session = 0;
+  std::size_t frame_cursor = 0;
+  const auto run_batches = [&](std::size_t count) {
+    for (std::size_t b = 0; b < count; ++b) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        batch[i].session = next_session + 1;
+        batch[i].frame = &pool[frame_cursor++ % pool.size()];
+        batch[i].location = nullptr;
+        next_session = (next_session + 1) % kSessions;
+      }
+      engine.step_batch(batch, results);
+    }
+  };
+  run_batches(50);  // warmup: every arena/pool/scratch reaches high water
+  const support::AllocScope scope;
+  run_batches((steady_steps + kBatch - 1) / kBatch);
+  return scope.allocations();
+}
+
 /// Minimal extractor for `"key": <number>` from a small JSON file; good
 /// enough for the bench's own baseline format (no external deps).
 bool read_json_number(const char* path, const char* key, double* out) {
@@ -234,6 +281,19 @@ int main(int argc, char** argv) {
       "the same session count. Thread counts beyond the machine's cores\n"
       "cannot speed up further; expect the 8-thread row to flatten there.\n");
 
+  // -- zero-allocation steady-state gate -----------------------------------
+  constexpr std::size_t kSteadySteps = 10240;
+  const bool alloc_tracking = support::alloc_tracking_enabled();
+  std::uint64_t steady_allocs = 0;
+  if (alloc_tracking) {
+    steady_allocs = run_alloc_gate(components, kSteadySteps);
+    std::printf("alloc gate: %llu heap allocations across %zu steady-state "
+                "steps (4 shards, 2 pinned threads)\n",
+                static_cast<unsigned long long>(steady_allocs), kSteadySteps);
+  } else {
+    std::printf("alloc gate: skipped (build without TAUW_COUNT_ALLOCS)\n");
+  }
+
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "wb");
     if (out == nullptr) {
@@ -248,11 +308,15 @@ int main(int argc, char** argv) {
                  "  \"serial_steps_per_sec\": %.0f,\n"
                  "  \"threads\": {\"1\": %.0f, \"2\": %.0f, \"4\": %.0f, "
                  "\"8\": %.0f},\n"
-                 "  \"speedup_4_threads\": %.3f\n"
+                 "  \"speedup_4_threads\": %.3f,\n"
+                 "  \"alloc_tracking\": %s,\n"
+                 "  \"steady_state_allocs\": %llu\n"
                  "}\n",
                  total_steps, kSweepSessions, serial_rate, sweep_rates[0],
                  sweep_rates[1], sweep_rates[2], sweep_rates[3],
-                 sweep_rates[2] / serial_rate);
+                 sweep_rates[2] / serial_rate,
+                 alloc_tracking ? "true" : "false",
+                 static_cast<unsigned long long>(steady_allocs));
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }
@@ -276,5 +340,13 @@ int main(int argc, char** argv) {
     }
     std::printf("baseline gate: PASS\n");
   }
+  if (alloc_tracking && steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations in the steady state - the "
+                 "warmed hot path must not touch the heap\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    return 1;
+  }
+  if (alloc_tracking) std::printf("alloc gate: PASS (0 allocations)\n");
   return 0;
 }

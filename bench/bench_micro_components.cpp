@@ -16,6 +16,8 @@
 #include "ml/mlp.hpp"
 #include "stats/binomial.hpp"
 #include "stats/rng.hpp"
+#include "support/arena.hpp"
+#include "support/pool.hpp"
 #include "tracking/kalman.hpp"
 
 namespace {
@@ -220,6 +222,57 @@ void BM_ClopperPearsonBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClopperPearsonBound);
+
+void BM_ArenaBatchCycle(benchmark::State& state) {
+  // One engine shard-batch scratch cycle: carve the QF matrix and the
+  // stateless-uncertainty array for a group of `n` steps, then reset. After
+  // the first iteration the arena is at its high-water shape, so the cycle
+  // is a pointer rewind plus default-init - the zero-allocation floor the
+  // steady-state gates assert on.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::MonotonicArena arena;
+  for (auto _ : state) {
+    arena.reset();
+    std::span<double> qf = arena.alloc_span<double>(n * 10);
+    std::span<double> u = arena.alloc_span<double>(n);
+    benchmark::DoNotOptimize(qf.data());
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ArenaBatchCycle)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_FreeListPoolTakePut(benchmark::State& state) {
+  // Recycling one warmed EngineStepResult-sized payload (an estimates
+  // vector with live capacity) through the pool: the steady-state cost of
+  // "allocating" per-submission state on the serve path.
+  support::FreeListPool<std::vector<double>> pool;
+  std::vector<double> warm(16);
+  pool.put(std::move(warm));
+  for (auto _ : state) {
+    std::vector<double> v = pool.take();
+    benchmark::DoNotOptimize(v.data());
+    pool.put(std::move(v));
+  }
+}
+BENCHMARK(BM_FreeListPoolTakePut);
+
+void BM_RingQueuePushPop(benchmark::State& state) {
+  // The traffic-plane submission queue's enqueue/dequeue pair on a warmed
+  // ring (capacity reserved up front, so no regrow ever happens) - the
+  // replacement for std::deque's chunked allocation per block.
+  support::RingQueue<std::size_t> queue;
+  queue.reserve(1024);
+  // Keep a standing backlog so head/tail wrap the ring continuously.
+  for (std::size_t i = 0; i < 512; ++i) queue.push_back(std::size_t{i});
+  std::size_t next = 512;
+  for (auto _ : state) {
+    queue.push_back(std::size_t{next++});
+    benchmark::DoNotOptimize(queue.front());
+    queue.pop_front();
+  }
+}
+BENCHMARK(BM_RingQueuePushPop);
 
 void BM_CartTraining(benchmark::State& state) {
   stats::Rng rng(6);

@@ -244,18 +244,25 @@ int main(int argc, char** argv) {
   double snapshot_ms = 0.0;
   double refit_ms = 0.0;
   double swap_ms = 0.0;
+  dtree::FitStats refresh_stats;  // calibrate/compile split across all reps
   constexpr int kLatencyReps = 5;
   for (int rep = 0; rep < kLatencyReps; ++rep) {
     auto t0 = std::chrono::steady_clock::now();
     const calib::EvidenceSnapshot snapshot = store->snapshot();
     auto t1 = std::chrono::steady_clock::now();
     // Leaf refresh + compile for both models (refreshed_copy recompiles).
+    // The FitStats sink splits the refresh into its calibrate phase (batched
+    // leaf routing + Clopper-Pearson on the cached serving compile) and the
+    // publishing compile.
+    dtree::FitContext refresh_ctx;
+    refresh_ctx.stats = &refresh_stats;
     const auto models = engine.current_models();
     const auto qim = calib::Recalibrator::refreshed_copy(
         *models.qim, snapshot.stateless_dataset(),
-        recal_cfg.qim.calibration);
+        recal_cfg.qim.calibration, refresh_ctx);
     const auto taqim = calib::Recalibrator::refreshed_copy(
-        *models.taqim, snapshot.ta_dataset(), recal_cfg.qim.calibration);
+        *models.taqim, snapshot.ta_dataset(), recal_cfg.qim.calibration,
+        refresh_ctx);
     auto t2 = std::chrono::steady_clock::now();
     engine.swap_models(qim, taqim);
     auto t3 = std::chrono::steady_clock::now();
@@ -266,11 +273,15 @@ int main(int argc, char** argv) {
   snapshot_ms /= kLatencyReps;
   refit_ms /= kLatencyReps;
   swap_ms /= kLatencyReps;
+  const double refresh_calibrate_ms = refresh_stats.calibrate_ms / kLatencyReps;
+  const double refresh_compile_ms = refresh_stats.compile_ms / kLatencyReps;
   const double total_ms = snapshot_ms + refit_ms + swap_ms;
   std::printf(
       "recalibration latency (avg of %d): snapshot %.3f ms, "
-      "refit+compile %.3f ms, swap %.3f ms, total %.3f ms\n",
-      kLatencyReps, snapshot_ms, refit_ms, swap_ms, total_ms);
+      "refit+compile %.3f ms (calibrate %.3f ms, compile %.3f ms), "
+      "swap %.3f ms, total %.3f ms\n",
+      kLatencyReps, snapshot_ms, refit_ms, refresh_calibrate_ms,
+      refresh_compile_ms, swap_ms, total_ms);
 
   // ---- 2. regrow latency: serial vs parallel CART refit ------------------
   // The full regrow path the kRegrow trigger takes: series-aware
@@ -402,6 +413,8 @@ int main(int argc, char** argv) {
                  "  \"evidence_rows\": %zu,\n"
                  "  \"snapshot_ms\": %.3f,\n"
                  "  \"refit_compile_ms\": %.3f,\n"
+                 "  \"refresh_calibrate_ms\": %.3f,\n"
+                 "  \"refresh_compile_ms\": %.3f,\n"
                  "  \"swap_ms\": %.3f,\n"
                  "  \"total_latency_ms\": %.3f,\n"
                  "  \"regrow_rows\": %zu,\n"
@@ -418,7 +431,8 @@ int main(int argc, char** argv) {
                  "  \"during_steps_per_sec\": %.1f,\n"
                  "  \"interference_pct\": %.2f\n"
                  "}\n",
-                 store->retained(), snapshot_ms, refit_ms, swap_ms, total_ms,
+                 store->retained(), snapshot_ms, refit_ms,
+                 refresh_calibrate_ms, refresh_compile_ms, swap_ms, total_ms,
                  regrow_evidence.size(), regrow_serial_ms, regrow_parallel_ms,
                  kRegrowThreads, regrow_speedup, regrow_stats.partition_ms,
                  regrow_stats.split_ms, regrow_stats.calibrate_ms,

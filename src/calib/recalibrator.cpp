@@ -85,9 +85,9 @@ std::shared_ptr<EvidenceStore> Recalibrator::make_store(
 
 std::shared_ptr<core::QualityImpactModel> Recalibrator::refreshed_copy(
     const core::QualityImpactModel& base, const dtree::TreeDataset& calibration,
-    const dtree::CalibrationConfig& config) {
+    const dtree::CalibrationConfig& config, const dtree::FitContext& ctx) {
   auto model = std::make_shared<core::QualityImpactModel>(base);
-  model->recalibrate_leaves(calibration, config);
+  model->recalibrate_leaves(calibration, config, ctx);
   return model;
 }
 
@@ -150,16 +150,21 @@ RecalibrationOutcome Recalibrator::run_once(bool force,
   std::shared_ptr<core::QualityImpactModel> qim;
   std::shared_ptr<core::QualityImpactModel> taqim;
   if (mode == RecalibrationMode::kLeafRefresh) {
-    const auto refresh_start = std::chrono::steady_clock::now();
-    qim = refreshed_copy(*models.qim, stateless, config_.qim.calibration);
+    // Phase-split timing via the shared FitStats sink: the refresh is one
+    // calibrate (batched leaf routing + Clopper-Pearson) plus one compile
+    // (publishing the new bounds), aggregated across the QIM + taQIM
+    // refreshes like the regrow path below.
+    dtree::FitStats refresh_stats;
+    dtree::FitContext refresh_ctx;
+    refresh_ctx.stats = &refresh_stats;
+    qim = refreshed_copy(*models.qim, stateless, config_.qim.calibration,
+                         refresh_ctx);
     if (models.taqim != nullptr) {
-      taqim = refreshed_copy(*models.taqim, ta, config_.qim.calibration);
+      taqim = refreshed_copy(*models.taqim, ta, config_.qim.calibration,
+                             refresh_ctx);
     }
-    // The refresh is one calibrate + compile; report it under calibrate_ms.
-    outcome.stats.calibrate_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - refresh_start)
-            .count();
+    outcome.stats.calibrate_ms = refresh_stats.calibrate_ms;
+    outcome.stats.compile_ms = refresh_stats.compile_ms;
   } else {
     dtree::FitStats fit_stats;
     dtree::FitContext ctx;

@@ -116,11 +116,14 @@ class Recalibrator {
 
   // -- the one calibration implementation (shared offline/online) ---------
   /// Structure-preserving refresh: a copy of `base` with every leaf bound
-  /// recalibrated on `calibration` and recompiled.
+  /// recalibrated on `calibration` and recompiled. When `ctx.stats` is set
+  /// the refresh accumulates its calibrate/compile phase timings into it
+  /// (the other FitContext fields are unused - the refresh has no fit).
   static std::shared_ptr<core::QualityImpactModel> refreshed_copy(
       const core::QualityImpactModel& base,
       const dtree::TreeDataset& calibration,
-      const dtree::CalibrationConfig& config);
+      const dtree::CalibrationConfig& config,
+      const dtree::FitContext& ctx = {});
   /// Full fit (grow + prune + calibrate + compile) - exactly what the
   /// offline Study runs; exposed so there is one fit path in the codebase.
   /// `ctx` is the fit execution context (threads, cancellation, stats -

@@ -4,9 +4,17 @@
 #include <string>
 #include <utility>
 
+#include "support/affinity.hpp"
+
 namespace tauw::core {
 
 namespace {
+
+/// Per-shard cap on pooled session/LRU nodes and on pooled BatchStates: a
+/// one-off spike beyond steady state frees its excess instead of pinning
+/// peak memory forever.
+constexpr std::size_t kSessionSpareCap = 1024;
+constexpr std::size_t kBatchPoolCap = 16;
 
 // splitmix64 finalizer: session ids are often sequential (tracker series,
 // auto-assigned ids), so shard selection needs a real mixer - `id %
@@ -62,9 +70,21 @@ Engine::Engine(EngineComponents components, EngineConfig config)
                                           : estimator_index("worst_case");
 
   group_scratch_.resize(config_.num_shards);
+  const std::vector<int> pin_cpus = config_.pin_worker_threads
+                                        ? support::available_cpus()
+                                        : std::vector<int>{};
   try {
     for (std::size_t t = 1; t < config_.num_threads; ++t) {
       workers_.emplace_back([this] { worker_loop(); });
+      if (!pin_cpus.empty()) {
+        // Worker t -> cpus[t % n]: deterministic, and the same placement
+        // rule the traffic plane uses for drainers, so a shard's worker and
+        // its drainer share a core set (cache residency survives the hop).
+        const int cpu = pin_cpus[(t - 1) % pin_cpus.size()];
+        if (support::pin_thread(workers_.back(), cpu)) {
+          worker_cpus_.push_back(cpu);
+        }
+      }
     }
   } catch (...) {
     // A failed spawn (e.g. EAGAIN under thread pressure) must join the
@@ -218,14 +238,52 @@ void Engine::open_session(SessionId id) {
   create_session(shard, id);
 }
 
+void Engine::reset_session(Session& session) const {
+  // Everything a fresh Session{} would zero, minus the heap buffers: the
+  // buffer ring/outcome counts and the last_qfs/last_ta rows keep their
+  // capacity (this is what makes open/close churn allocation-free).
+  session.buffer.clear();
+  session.uf.reset();
+  // Fresh statistics: close_session_locked already folded the previous
+  // owner's stats into the retired aggregate.
+  session.monitor = RuntimeMonitor(config_.monitor);
+  session.staged_mark = 0;
+  session.last_isolated_label = 0;
+  session.last_fused_label = 0;
+  session.last_decision = MonitorDecision::kAccept;
+  session.last_generation = 0;
+  session.has_last_step = false;
+  session.last_evidence_valid = false;
+}
+
 Engine::Session& Engine::create_session(Shard& shard, SessionId id) {
-  shard.lru.push_front(id);
+  // LRU node first, recycled from the spare list when possible (splice
+  // moves the node, so steady-state churn never touches the heap).
+  if (!shard.lru_spares.empty()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru_spares,
+                     shard.lru_spares.begin());
+    shard.lru.front() = id;
+  } else {
+    shard.lru.push_front(id);
+  }
   try {
-    Session session;
-    session.buffer = TimeseriesBuffer(config_.buffer_capacity);
-    session.monitor = RuntimeMonitor(config_.monitor);
-    session.lru_it = shard.lru.begin();
-    const auto [it, inserted] = shard.sessions.emplace(id, std::move(session));
+    SessionMap::iterator it;
+    if (!shard.session_spares.empty()) {
+      // Recycled map node: rekey, reset the Session's logical state, and
+      // re-insert - no allocation (the bucket array only grows when the
+      // live count exceeds its previous high water).
+      auto node = std::move(shard.session_spares.back());
+      shard.session_spares.pop_back();
+      node.key() = id;
+      reset_session(node.mapped());
+      it = shard.sessions.insert(std::move(node)).position;
+    } else {
+      Session session;
+      session.buffer = TimeseriesBuffer(config_.buffer_capacity);
+      session.monitor = RuntimeMonitor(config_.monitor);
+      it = shard.sessions.emplace(id, std::move(session)).first;
+    }
+    it->second.lru_it = shard.lru.begin();
     const std::size_t live_after =
         global_live_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (shard.max_sessions > 0 &&
@@ -282,8 +340,18 @@ void Engine::close_session_locked(Shard& shard, SessionId id) {
   const auto it = shard.sessions.find(id);
   if (it == shard.sessions.end()) return;
   shard.retired += it->second.monitor.stats();
-  shard.lru.erase(it->second.lru_it);
-  shard.sessions.erase(it);
+  // Park the LRU node and the map node (Session capacities intact) for
+  // create_session to reuse; beyond the spare cap they are freed as before.
+  if (shard.lru_spares.size() < kSessionSpareCap) {
+    shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru,
+                            it->second.lru_it);
+  } else {
+    shard.lru.erase(it->second.lru_it);
+  }
+  auto node = shard.sessions.extract(it);
+  if (shard.session_spares.size() < kSessionSpareCap) {
+    shard.session_spares.push_back(std::move(node));
+  }
   global_live_.fetch_sub(1, std::memory_order_relaxed);
   // Return borrowed budget as soon as the shard shrinks back: borrowed is
   // exactly the over-budget excess, so cold shards' capacity flows back the
@@ -581,7 +649,7 @@ void Engine::step_batch(std::span<const SessionFrame> frames,
     group_scratch_[shard_of(frames[i].session)].push_back(i);
   }
 
-  auto state = std::make_shared<BatchState>();
+  auto state = take_batch_state();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (!group_scratch_[s].empty()) {
       // The index vectors stay valid for the whole batch: group_scratch_ is
@@ -613,10 +681,40 @@ void Engine::step_batch(std::span<const SessionFrame> frames,
   // Explicit predicate loop (not wait(lock, pred)): the thread-safety
   // analysis cannot see into a wait predicate lambda.
   while (state->remaining != 0) done_cv_.wait(lock);
+  // Drop the published reference: once straggler workers release their
+  // snapshots too, take_batch_state() can recycle this state.
+  if (current_batch_ == state) current_batch_ = nullptr;
   if (state->error != nullptr) {
     lock.unlock();
     std::rethrow_exception(state->error);
   }
+}
+
+std::shared_ptr<Engine::BatchState> Engine::take_batch_state() {
+  std::shared_ptr<BatchState> state;
+  for (const auto& spare : batch_pool_) {
+    // use_count() == 1 means the pool holds the only reference: the state
+    // was unpublished by its batch, and every worker snapshot is gone. No
+    // new reference can appear concurrently - workers only copy from
+    // current_batch_, which no longer points here.
+    if (spare.use_count() == 1) {
+      state = spare;
+      break;
+    }
+  }
+  if (state == nullptr) {
+    state = std::make_shared<BatchState>();
+    if (batch_pool_.size() < kBatchPoolCap) batch_pool_.push_back(state);
+  }
+  state->tasks.clear();  // capacity retained
+  state->frames = {};
+  state->results = nullptr;
+  state->cursor.store(0, std::memory_order_relaxed);
+  // remaining/error are pool_mutex_-guarded by protocol, but this state is
+  // not published yet - no worker can observe these writes early.
+  state->remaining = 0;
+  state->error = nullptr;
+  return state;
 }
 
 void Engine::run_shard_task(const BatchState& state, const ShardTask& task) {
@@ -680,11 +778,16 @@ void Engine::run_group_locked(Shard& shard,
   BatchScratch& batch = shard.batch;
   const std::size_t group_size = indices.size();
   const std::size_t num_factors = components_.qf_extractor.num_factors();
-  // Size the QF staging matrix for the whole group before staging anything:
-  // contexts hold spans into it, so it must never reallocate mid-run.
-  batch.qf_matrix.resize(group_size * num_factors);
+  // Per-group scratch is carved from the shard's monotonic arena. reset()
+  // is a pointer rewind once the arena has seen the high-water group shape,
+  // so steady-state groups allocate nothing; sizing happens before staging
+  // because contexts hold spans into qf_matrix (it must never move
+  // mid-run). Every element is written before it is read (extract_into /
+  // predict / predict_batch fill the full group), so default-init suffices.
+  batch.arena.reset();
+  batch.qf_matrix = batch.arena.alloc_span<double>(group_size * num_factors);
   batch.predictions.resize(group_size);
-  batch.stateless_u.resize(group_size);
+  batch.stateless_u = batch.arena.alloc_span<double>(group_size);
   // Evaluate every fallible, session-independent stage for the whole group
   // before any session is touched: QF extraction, the DDM, and ONE batched
   // stateless-QIM pass through the compiled tree (level-synchronous
@@ -939,6 +1042,7 @@ EngineStats Engine::stats() const {
   EngineStats out;
   out.model_swaps = model_swaps_.load(std::memory_order_relaxed);
   out.model_generation = published_generation_.load(std::memory_order_relaxed);
+  out.worker_cpus = worker_cpus_;  // written once in the constructor
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mutex);
     out.live_sessions += shard->sessions.size();

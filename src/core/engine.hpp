@@ -126,6 +126,7 @@
 #include "core/wrapper.hpp"
 #include "data/timeseries.hpp"
 #include "ml/classifier.hpp"
+#include "support/arena.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -197,6 +198,13 @@ struct EngineConfig {
   /// The calling thread always participates, so `num_threads - 1` workers
   /// are spawned.
   std::size_t num_threads = 1;
+  /// Pin each spawned worker thread to one CPU (worker t -> cpus[t % n]
+  /// over the process affinity mask, see support/affinity.hpp) so shard
+  /// groups keep their cache residency instead of migrating across cores.
+  /// The calling thread is never pinned (the engine does not own it). A
+  /// no-op on platforms without affinity support; EngineStats::worker_cpus
+  /// reports what actually got pinned.
+  bool pin_worker_threads = false;
 };
 
 /// One (session, frame) pair of a batched step.
@@ -236,6 +244,10 @@ struct EngineStats {
   /// borrowing (see EngineConfig::max_borrowed_sessions).
   std::size_t borrowed_sessions = 0;
   MonitorStats monitor;  ///< aggregate over live, closed, evicted sessions
+  /// CPU each spawned worker thread is pinned to, in worker order. Empty
+  /// when EngineConfig::pin_worker_threads is off, the platform has no
+  /// affinity support, or the engine runs without a pool (num_threads <= 1).
+  std::vector<int> worker_cpus;
 };
 
 /// Everything the engine produces for one step of one session.
@@ -465,13 +477,25 @@ class Engine {
   /// Per-shard scratch for the columnar step_batch path: staged QF rows,
   /// estimation contexts, and the estimator-major estimate matrix of the
   /// current run. Lives in the shard (used under its mutex only).
+  ///
+  /// The per-group arrays (qf_matrix, predictions, stateless_u) are carved
+  /// from a monotonic arena reset at the start of each group run: after the
+  /// first group of the high-water shape, every later reset is a pointer
+  /// rewind and the group setup performs zero heap allocations. The
+  /// run-scoped vectors below (contexts, estimate_matrix, ...) retain their
+  /// capacity across runs instead - they are appended to across flushes
+  /// within one group, which a monotonic arena cannot model.
   struct BatchScratch {
-    std::vector<double> qf_matrix;  ///< group_size x num_factors, row-stable
+    support::MonotonicArena arena;  ///< backs the per-group spans below
+    std::span<double> qf_matrix;  ///< group_size x num_factors, row-stable
     /// Per-group DDM predictions and batched stateless-QIM uncertainties,
     /// evaluated for the whole shard group up front (one predict_batch pass
     /// through the compiled tree instead of one route per step).
+    /// predictions stays a capacity-retaining vector - ml::Prediction owns
+    /// a class_probs vector, which the arena (trivial types only) cannot
+    /// hold.
     std::vector<ml::Prediction> predictions;
-    std::vector<double> stateless_u;
+    std::span<double> stateless_u;
     std::size_t next_row = 0;
     std::vector<EstimationContext> contexts;
     std::vector<Session*> run_sessions;
@@ -513,6 +537,15 @@ class Engine {
     /// Evidence sink of the online calibration plane (null: capture off).
     std::shared_ptr<EvidenceSink> sink TAUW_GUARDED_BY(mutex);
     BatchScratch batch TAUW_GUARDED_BY(mutex);
+    /// Session-churn pools: closed/evicted sessions park their map node
+    /// (with the Session's buffer ring, QF rows, and taQF scratch capacity
+    /// intact) and their LRU list node here, and create_session() reuses
+    /// them - steady-state open/close churn performs zero heap allocations
+    /// once the pools are warm. Bounded so a one-off session spike cannot
+    /// pin its peak memory forever.
+    std::vector<std::unordered_map<SessionId, Session>::node_type>
+        session_spares TAUW_GUARDED_BY(mutex);
+    std::list<SessionId> lru_spares TAUW_GUARDED_BY(mutex);
   };
 
   /// One step_batch work item: a shard plus the batch indices routed to it.
@@ -558,6 +591,9 @@ class Engine {
                     bool& created) TAUW_REQUIRES(shard.mutex);
   Session& create_session(Shard& shard, SessionId id)
       TAUW_REQUIRES(shard.mutex);
+  /// Returns a pooled Session (node) to its fresh-session state while
+  /// keeping every heap capacity it accumulated (buffer ring, QF rows).
+  void reset_session(Session& session) const;
   void validate_external_id(SessionId id) const;
   void evict_lru(Shard& shard, SessionId keep) TAUW_REQUIRES(shard.mutex);
   void close_session_locked(Shard& shard, SessionId id)
@@ -607,6 +643,11 @@ class Engine {
   void worker_loop();
   void drain_tasks(BatchState& state);
   void run_shard_task(const BatchState& state, const ShardTask& task);
+  /// Recycles a BatchState whose workers have all dropped their references
+  /// (use_count() == 1: only the pool holds it), or grows the pool. The
+  /// task list's capacity survives recycling, so steady-state step_batch
+  /// calls allocate nothing here.
+  std::shared_ptr<BatchState> take_batch_state() TAUW_REQUIRES(batch_mutex_);
 
   EngineComponents components_;
   EngineConfig config_;
@@ -652,6 +693,10 @@ class Engine {
   Mutex batch_mutex_ TAUW_ACQUIRED_BEFORE(pool_mutex_);
   std::vector<std::vector<std::size_t>> group_scratch_
       TAUW_GUARDED_BY(batch_mutex_);
+  /// BatchState pool (see take_batch_state). Stabilizes at one state once
+  /// the workers of the previous batch have quiesced.
+  std::vector<std::shared_ptr<BatchState>> batch_pool_
+      TAUW_GUARDED_BY(batch_mutex_);
   /// Pool handshake: a new BatchState is published under pool_mutex_ by
   /// bumping epoch_; workers snapshot the shared_ptr, claim tasks via the
   /// state's atomic cursor, and report completion under pool_mutex_.
@@ -662,6 +707,9 @@ class Engine {
   bool shutdown_ TAUW_GUARDED_BY(pool_mutex_) = false;
   std::shared_ptr<BatchState> current_batch_ TAUW_GUARDED_BY(pool_mutex_);
   std::vector<std::thread> workers_;
+  /// CPU each worker was pinned to (EngineConfig::pin_worker_threads);
+  /// written once in the constructor, read-only afterwards.
+  std::vector<int> worker_cpus_;
 };
 
 }  // namespace tauw::core

@@ -1,8 +1,10 @@
 #include "core/fusion.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
 #include <stdexcept>
-#include <unordered_map>
+#include <vector>
 
 namespace tauw::core {
 
@@ -14,21 +16,72 @@ void require_non_empty(const TimeseriesBuffer& buffer) {
   }
 }
 
+/// Flat vote accumulator. fuse() runs once per engine step, so it must not
+/// touch the heap: distinct outcome labels live in a small inline array and
+/// only spill to a vector beyond kInlineLabels distinct labels, which a
+/// DDM's class count never reaches in practice. Per-label accumulation
+/// order, the max over labels, and the tie-break comparison are identical
+/// to the previous unordered_map implementation, so fused outcomes are
+/// bit-identical.
+class VoteAccumulator {
+ public:
+  void add(std::size_t label, double weight) {
+    if (double* v = find(label)) {
+      *v += weight;
+    } else if (inline_count_ < kInlineLabels) {
+      inline_[inline_count_++] = {label, weight};
+    } else {
+      overflow_.emplace_back(label, weight);
+    }
+  }
+
+  /// Accumulated weight for `label` (callers only query voted labels).
+  double votes(std::size_t label) const {
+    const double* v = const_cast<VoteAccumulator*>(this)->find(label);
+    return v ? *v : 0.0;
+  }
+
+  double max_votes() const {
+    double best = -1.0;
+    for (std::size_t i = 0; i < inline_count_; ++i) {
+      best = std::max(best, inline_[i].second);
+    }
+    for (const auto& [label, v] : overflow_) best = std::max(best, v);
+    return best;
+  }
+
+ private:
+  static constexpr std::size_t kInlineLabels = 64;
+
+  double* find(std::size_t label) {
+    for (std::size_t i = 0; i < inline_count_; ++i) {
+      if (inline_[i].first == label) return &inline_[i].second;
+    }
+    for (auto& [l, v] : overflow_) {
+      if (l == label) return &v;
+    }
+    return nullptr;
+  }
+
+  std::array<std::pair<std::size_t, double>, kInlineLabels> inline_;
+  std::size_t inline_count_ = 0;
+  std::vector<std::pair<std::size_t, double>> overflow_;
+};
+
 // Shared weighted-vote core: accumulates `weight(j)` per outcome and applies
 // the paper's tie-break (most recent among argmax classes).
 template <typename WeightFn>
 std::size_t weighted_vote(const TimeseriesBuffer& buffer, WeightFn weight) {
-  std::unordered_map<std::size_t, double> votes;
+  VoteAccumulator votes;
   for (std::size_t j = 0; j < buffer.length(); ++j) {
-    votes[buffer.entry(j).outcome] += weight(j);
+    votes.add(buffer.entry(j).outcome, weight(j));
   }
-  double best = -1.0;
-  for (const auto& [label, v] : votes) best = std::max(best, v);
+  const double best = votes.max_votes();
   // Most recent momentaneous prediction among the tied classes.
   constexpr double kTieEps = 1e-12;
   for (std::size_t j = buffer.length(); j-- > 0;) {
     const std::size_t label = buffer.entry(j).outcome;
-    if (votes[label] >= best - kTieEps) return label;
+    if (votes.votes(label) >= best - kTieEps) return label;
   }
   return buffer.latest().outcome;  // unreachable for non-empty buffers
 }
@@ -56,14 +109,26 @@ RecencyWeightedFusion::RecencyWeightedFusion(double lambda) : lambda_(lambda) {
 
 std::size_t RecencyWeightedFusion::fuse(const TimeseriesBuffer& buffer) const {
   require_non_empty(buffer);
-  const std::size_t last = buffer.length() - 1;
+  const std::size_t length = buffer.length();
+  // Weight entry j by lambda^(age of j), computed newest-to-oldest by
+  // repeated multiplication exactly as before (pow() would not be
+  // bit-identical). Stack buffer for bounded buffers; heap only for series
+  // longer than kInlineWeights.
+  constexpr std::size_t kInlineWeights = 128;
+  std::array<double, kInlineWeights> inline_weights;
+  std::vector<double> heap_weights;
+  double* weights = inline_weights.data();
+  if (length > kInlineWeights) {
+    heap_weights.resize(length);
+    weights = heap_weights.data();
+  }
   double w = 1.0;
-  std::vector<double> weights(buffer.length());
-  for (std::size_t age = 0; age <= last; ++age) {
-    weights[last - age] = w;
+  for (std::size_t age = 0; age < length; ++age) {
+    weights[length - 1 - age] = w;
     w *= lambda_;
   }
-  return weighted_vote(buffer, [&weights](std::size_t j) { return weights[j]; });
+  return weighted_vote(buffer,
+                       [weights](std::size_t j) { return weights[j]; });
 }
 
 std::size_t LatestOutcomeFusion::fuse(const TimeseriesBuffer& buffer) const {

@@ -36,14 +36,22 @@ void QualityImpactModel::fit(const dtree::TreeDataset& train,
 
 void QualityImpactModel::recalibrate_leaves(
     const dtree::TreeDataset& calibration,
-    const dtree::CalibrationConfig& config) {
+    const dtree::CalibrationConfig& config, const dtree::FitContext& ctx) {
   if (!fitted()) throw std::logic_error("QIM::recalibrate_leaves before fit");
   if (calibration.num_features != num_features()) {
     throw std::invalid_argument(
         "QIM::recalibrate_leaves: calibration feature mismatch");
   }
-  calibration_result_ = dtree::calibrate_leaves(tree_, calibration, config);
+  // Assembled-outside-fit models may not have compiled yet; routing below
+  // needs the pre-refresh compile.
+  if (compiled_.empty()) compile();
+  const auto calibrate_start = std::chrono::steady_clock::now();
+  calibration_result_ =
+      dtree::calibrate_leaves(tree_, compiled_, calibration, config);
+  if (ctx.stats != nullptr) ctx.stats->calibrate_ms += ms_since(calibrate_start);
+  const auto compile_start = std::chrono::steady_clock::now();
   compile();
+  if (ctx.stats != nullptr) ctx.stats->compile_ms += ms_since(compile_start);
 }
 
 const dtree::CompiledTree& QualityImpactModel::compile() {

@@ -44,12 +44,17 @@ class QualityImpactModel {
   /// Clopper-Pearson bound on `calibration` (dtree::calibrate_leaves - the
   /// exact calibration phase of fit()) and recompiles. The tree structure,
   /// feature names, and training importances are kept, so the transparent
-  /// model an expert reviewed stays reviewable across refreshes. This is the
-  /// online calibration plane's fast path; distribution shifts that demand a
+  /// model an expert reviewed stays reviewable across refreshes. Routing
+  /// reuses the cached serving compile (valid for the pre-refresh bounds
+  /// the routing must follow), so the only compile paid is the one that
+  /// publishes the new bounds; when `ctx.stats` is set the two phases land
+  /// in calibrate_ms and compile_ms respectively. This is the online
+  /// calibration plane's fast path; distribution shifts that demand a
   /// different structure need a fresh fit(). Throws when unfitted or when
   /// `calibration` disagrees with num_features().
   void recalibrate_leaves(const dtree::TreeDataset& calibration,
-                          const dtree::CalibrationConfig& config);
+                          const dtree::CalibrationConfig& config,
+                          const dtree::FitContext& ctx = {});
 
   bool fitted() const noexcept { return !tree_.empty(); }
   std::size_t num_features() const noexcept { return tree_.num_features(); }

@@ -9,6 +9,36 @@
 
 namespace tauw::dtree {
 
+LeafCounts route_leaf_counts(const CompiledTree& compiled,
+                             const TreeDataset& data, BatchKernel kernel) {
+  if (data.num_features != compiled.num_features()) {
+    throw std::invalid_argument("route_leaf_counts: feature count mismatch");
+  }
+  LeafCounts counts;
+  counts.samples.assign(compiled.num_leaves(), 0);
+  counts.failures.assign(compiled.num_leaves(), 0);
+  if (data.size() == 0) return counts;
+
+  // Route in chunks through the compiled batched kernel and histogram per
+  // leaf slot. The chunk bounds the scratch leaf buffer, not the batch
+  // semantics - results are identical for any chunk size.
+  constexpr std::size_t kChunk = 4096;
+  const std::size_t n = data.size();
+  const std::size_t nf = data.num_features;
+  std::vector<std::uint32_t> leaves(std::min(kChunk, n));
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t len = std::min(kChunk, n - base);
+    compiled.route_batch(
+        std::span<const double>(data.features.data() + base * nf, len * nf),
+        std::span<std::uint32_t>(leaves.data(), len), kernel);
+    for (std::size_t k = 0; k < len; ++k) {
+      ++counts.samples[leaves[k]];
+      counts.failures[leaves[k]] += data.failures[base + k];
+    }
+  }
+  return counts;
+}
+
 NodeCounts route_counts(const CompiledTree& compiled, const DecisionTree& tree,
                         const TreeDataset& data) {
   if (data.num_features != tree.num_features()) {
@@ -19,29 +49,11 @@ NodeCounts route_counts(const CompiledTree& compiled, const DecisionTree& tree,
   counts.failures.assign(tree.num_nodes(), 0);
   if (data.size() == 0) return counts;
 
-  // Route in chunks through the compiled batched kernel and histogram per
-  // leaf slot. The chunk bounds the scratch leaf buffer, not the batch
-  // semantics - results are identical for any chunk size.
-  constexpr std::size_t kChunk = 4096;
-  const std::size_t n = data.size();
-  const std::size_t nf = data.num_features;
-  std::vector<std::uint32_t> leaves(std::min(kChunk, n));
-  std::vector<std::size_t> leaf_samples(compiled.num_leaves(), 0);
-  std::vector<std::size_t> leaf_failures(compiled.num_leaves(), 0);
-  for (std::size_t base = 0; base < n; base += kChunk) {
-    const std::size_t len = std::min(kChunk, n - base);
-    compiled.route_batch(
-        std::span<const double>(data.features.data() + base * nf, len * nf),
-        std::span<std::uint32_t>(leaves.data(), len));
-    for (std::size_t k = 0; k < len; ++k) {
-      ++leaf_samples[leaves[k]];
-      leaf_failures[leaves[k]] += data.failures[base + k];
-    }
-  }
+  const LeafCounts leaf_counts = route_leaf_counts(compiled, data);
   for (std::size_t slot = 0; slot < compiled.num_leaves(); ++slot) {
     const std::size_t node = compiled.leaf_node_index(slot);
-    counts.samples[node] = leaf_samples[slot];
-    counts.failures[node] = leaf_failures[slot];
+    counts.samples[node] = leaf_counts.samples[slot];
+    counts.failures[node] = leaf_counts.failures[slot];
   }
 
   // Aggregate leaf counts up to internal nodes: a node is visited by
@@ -128,15 +140,34 @@ CalibrationResult prune_and_calibrate(DecisionTree& tree,
 CalibrationResult calibrate_leaves(DecisionTree& tree,
                                    const TreeDataset& calibration_data,
                                    const CalibrationConfig& config) {
+  return calibrate_leaves(tree, CompiledTree::compile(tree), calibration_data,
+                          config);
+}
+
+CalibrationResult calibrate_leaves(DecisionTree& tree,
+                                   const CompiledTree& compiled,
+                                   const TreeDataset& calibration_data,
+                                   const CalibrationConfig& config) {
   if (calibration_data.size() == 0) {
     throw std::invalid_argument("calibrate_leaves: empty calibration set");
   }
+  // Leaf-only routing: the internal-node aggregation route_counts performs
+  // is dead weight here (only leaves get new bounds). Scatter the per-slot
+  // histogram back to node indices so the loop below visits leaves in
+  // tree.leaf_indices() order, exactly as before.
+  const LeafCounts leaf_counts = route_leaf_counts(compiled, calibration_data);
+  std::vector<std::size_t> node_samples(tree.num_nodes(), 0);
+  std::vector<std::size_t> node_failures(tree.num_nodes(), 0);
+  for (std::size_t slot = 0; slot < compiled.num_leaves(); ++slot) {
+    const std::size_t node = compiled.leaf_node_index(slot);
+    node_samples[node] = leaf_counts.samples[slot];
+    node_failures[node] = leaf_counts.failures[slot];
+  }
   CalibrationResult result;
-  const NodeCounts counts = route_counts(tree, calibration_data);
   for (const std::size_t leaf : tree.leaf_indices()) {
     Node& n = tree.node(leaf);
-    const std::size_t samples = counts.samples[leaf];
-    const std::size_t failures = counts.failures[leaf];
+    const std::size_t samples = node_samples[leaf];
+    const std::size_t failures = node_failures[leaf];
     if (samples == 0) {
       // Unreachable on the calibration distribution: maximally uncertain.
       n.uncertainty = 1.0;

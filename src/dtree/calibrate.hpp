@@ -56,6 +56,21 @@ NodeCounts route_counts(const DecisionTree& tree, const TreeDataset& data);
 NodeCounts route_counts(const CompiledTree& compiled, const DecisionTree& tree,
                         const TreeDataset& data);
 
+/// Per-leaf-slot (samples, failures) of `data` routed through `compiled`,
+/// indexed by compiled leaf slot (0..num_leaves-1). This is the leaf phase
+/// of route_counts without the bottom-up internal-node aggregation - all
+/// leaf-only consumers (calibrate_leaves) need. Rows go through the batched
+/// router in chunks; `kernel` selects the block kernel (kAuto: AVX2 when
+/// available). Counts are integer histograms, so they are identical for
+/// every kernel and chunk size.
+struct LeafCounts {
+  std::vector<std::size_t> samples;
+  std::vector<std::size_t> failures;
+};
+LeafCounts route_leaf_counts(const CompiledTree& compiled,
+                             const TreeDataset& data,
+                             BatchKernel kernel = BatchKernel::kAuto);
+
 /// Prunes `tree` in place: repeatedly collapses split nodes whose children
 /// would receive fewer than `min_leaf_samples` calibration rows, then sets
 /// each remaining leaf's `uncertainty` to the Clopper-Pearson upper bound of
@@ -75,6 +90,18 @@ CalibrationResult prune_and_calibrate(DecisionTree& tree,
 /// enforced here (structure-preserving refresh cannot collapse thin leaves -
 /// callers wanting the guarantee regrow via prune_and_calibrate instead).
 CalibrationResult calibrate_leaves(DecisionTree& tree,
+                                   const TreeDataset& calibration_data,
+                                   const CalibrationConfig& config);
+
+/// calibrate_leaves against an already-compiled `tree`: `compiled` must be
+/// CompiledTree::compile(tree) for the tree's CURRENT (pre-refresh) bounds -
+/// the NaN routing policy is baked from those bounds at compile time, which
+/// is exactly what the dataset-only overload compiles fresh before it
+/// updates any leaf. The online refresh path passes the QIM's cached
+/// serving compile, skipping that redundant recompile; results are
+/// bit-identical to the dataset-only overload by construction.
+CalibrationResult calibrate_leaves(DecisionTree& tree,
+                                   const CompiledTree& compiled,
                                    const TreeDataset& calibration_data,
                                    const CalibrationConfig& config);
 

@@ -75,6 +75,13 @@ struct TrafficPlaneConfig {
   /// explicitly via TrafficPlane::drain(shard). Deterministic single-
   /// threaded mode for tests and embedded schedulers.
   bool manual_drain = false;
+  /// Pin the drainer of shard s to available_cpus()[s % n], mirroring the
+  /// engine's worker placement, so a shard's drainer stays on one core and
+  /// its compiled-tree/session cache residency survives the queue hop.
+  /// Best-effort: unsupported platforms or rejected requests leave the
+  /// drainer unpinned (see ServeStats::drainer_cpus). Ignored under
+  /// manual_drain (there are no drainer threads to pin).
+  bool pin_drainers = false;
   /// Decides degraded (uncertainty 1.0) responses under kDegrade; with the
   /// default threshold every degraded outcome is a kFallback, and the
   /// plane-level monitor statistics record how often overload forced the

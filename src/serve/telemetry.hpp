@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/monitor.hpp"
@@ -79,6 +80,12 @@ struct ServeStats {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double p999_us = 0.0;
+
+  // -- placement ----------------------------------------------------------
+  /// CPU each drainer thread was pinned to, in shard order. Empty when
+  /// pin_drainers is off, manual_drain is on, or pinning failed/is
+  /// unsupported on this platform.
+  std::vector<int> drainer_cpus;
 
   // -- overload countermeasure accounting ---------------------------------
   /// The plane-level degrade monitor's statistics (kDegrade answers).

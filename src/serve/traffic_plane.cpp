@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/affinity.hpp"
 #include "support/mutex.hpp"
 
 namespace tauw::serve {
@@ -43,16 +44,28 @@ TrafficPlane::TrafficPlane(core::Engine& engine, TrafficPlaneConfig config)
       for (std::thread& drainer : drainers_) drainer.join();
       throw;
     }
+    if (config_.pin_drainers) {
+      const std::vector<int> cpus = support::available_cpus();
+      if (!cpus.empty()) {
+        drainer_cpus_.reserve(drainers_.size());
+        for (std::size_t s = 0; s < drainers_.size(); ++s) {
+          const int cpu = cpus[s % cpus.size()];
+          if (support::pin_thread(drainers_[s], cpu)) {
+            drainer_cpus_.push_back(cpu);
+          }
+        }
+      }
+    }
   }
 }
 
 TrafficPlane::~TrafficPlane() { stop(); }
 
 void TrafficPlane::deliver(Submission& submission, StepOutcome&& outcome) {
-  if (submission.has_promise) {
-    submission.promise.set_value(std::move(outcome));
+  if (submission.promise.has_value()) {
+    submission.promise->set_value(std::move(outcome));
   } else if (submission.callback) {
-    submission.callback(std::move(outcome));
+    submission.callback(outcome);
   }
 }
 
@@ -130,8 +143,8 @@ std::future<StepOutcome> TrafficPlane::submit_frame(
   submission.session = session;
   submission.frame = &frame;
   submission.location = location;
-  submission.has_promise = true;
-  std::future<StepOutcome> future = submission.promise.get_future();
+  submission.promise.emplace();
+  std::future<StepOutcome> future = submission.promise->get_future();
   admit(std::move(submission));
   return future;
 }
@@ -171,6 +184,18 @@ void TrafficPlane::submit_close(core::SessionId session) {
 void TrafficPlane::run_staged(Lane& lane, std::size_t shard_index,
                               Clock::time_point now) {
   if (lane.frames.empty()) return;
+  // Pre-size `results` to exactly this run's length from the spare pool, so
+  // the engine's resize() is a no-op in both directions: growing would
+  // default-construct fresh results (allocating estimates buffers anew) and
+  // shrinking would destroy warmed ones. Trimmed results park in the pool
+  // with their capacity intact for the next larger run.
+  while (lane.results.size() > lane.frames.size()) {
+    lane.result_spares.put(std::move(lane.results.back()));
+    lane.results.pop_back();
+  }
+  while (lane.results.size() < lane.frames.size()) {
+    lane.results.push_back(lane.result_spares.take());
+  }
   bool batch_ok = true;
   try {
     engine_->step_shard_batch(shard_index, lane.frames, lane.results);
@@ -183,7 +208,8 @@ void TrafficPlane::run_staged(Lane& lane, std::size_t shard_index,
     batch_ok = false;
   }
   if (!batch_ok) {
-    lane.results.resize(lane.frames.size());
+    // results was pre-sized above and step_shard_batch keeps it at the
+    // group length even when it throws, so the slots are ready for reuse.
     for (std::size_t i = 0; i < lane.frames.size(); ++i) {
       Submission& submission = lane.taken[lane.slots[i]];
       const core::SessionFrame& sf = lane.frames[i];
@@ -191,8 +217,8 @@ void TrafficPlane::run_staged(Lane& lane, std::size_t shard_index,
         engine_->step_into(sf.session, *sf.frame, sf.location,
                            lane.results[i]);
       } catch (...) {
-        if (submission.has_promise) {
-          submission.promise.set_exception(std::current_exception());
+        if (submission.promise.has_value()) {
+          submission.promise->set_exception(std::current_exception());
         } else {
           StepOutcome outcome;
           outcome.status = SubmitStatus::kShed;
@@ -230,7 +256,18 @@ void TrafficPlane::run_staged(Lane& lane, std::size_t shard_index,
                               : outcome.step.estimates[primary_];
     outcome.decision = outcome.step.decision;
     outcome.latency = now - submission.enqueued;
-    deliver(submission, std::move(outcome));
+    if (submission.promise.has_value()) {
+      // The promise's shared state hands the outcome (and its buffers) to
+      // the consumer; nothing comes back. The future API inherently pays
+      // one shared-state allocation per submission - the callback API below
+      // is the allocation-free path.
+      submission.promise->set_value(std::move(outcome));
+    } else {
+      if (submission.callback) submission.callback(outcome);
+      // The callback borrowed the outcome; move the step's buffers back
+      // into the results slot so the next drain reuses their capacity.
+      lane.results[i] = std::move(outcome.step);
+    }
   }
   lane.frames.clear();
   lane.slots.clear();
@@ -383,6 +420,7 @@ ServeStats TrafficPlane::stats() const {
   out.p50_us = out.latency_us.quantile(0.50);
   out.p99_us = out.latency_us.quantile(0.99);
   out.p999_us = out.latency_us.quantile(0.999);
+  out.drainer_cpus = drainer_cpus_;
   out.engine = engine_->stats();
   return out;
 }

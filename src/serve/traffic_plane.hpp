@@ -53,10 +53,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -65,13 +65,18 @@
 #include "serve/policy.hpp"
 #include "serve/telemetry.hpp"
 #include "support/mutex.hpp"
+#include "support/pool.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace tauw::serve {
 
 /// Completion hook of the callback API. Invoked exactly once per
-/// submission, on the drainer thread (see threading notes above).
-using Completion = std::function<void(StepOutcome)>;
+/// submission, on the drainer thread (see threading notes above). The
+/// outcome is BORROWED for the duration of the call: the plane reclaims its
+/// buffers afterwards (that reclamation is what keeps the callback path
+/// allocation-free), so callbacks that need the data beyond the call must
+/// copy what they keep.
+using Completion = std::function<void(const StepOutcome&)>;
 
 class TrafficPlane {
  public:
@@ -150,11 +155,14 @@ class TrafficPlane {
     const data::FrameRecord* frame = nullptr;
     const sim::SignLocation* location = nullptr;
     std::chrono::steady_clock::time_point enqueued{};
-    bool has_promise = false;
     /// Completion already delivered out of band (per-item engine-error
     /// fallback); the normal delivery/telemetry pass must skip it.
     bool dead = false;
-    std::promise<StepOutcome> promise;
+    /// Engaged only for future-based submissions. std::promise eagerly
+    /// allocates its shared state on default construction, so an
+    /// always-present member would charge the callback path (the
+    /// zero-allocation one) for a future nobody asked for.
+    std::optional<std::promise<StepOutcome>> promise;
     Completion callback;
   };
 
@@ -168,7 +176,7 @@ class TrafficPlane {
     CondVar not_empty;
     CondVar not_full;
     CondVar idle;  ///< flush(): empty and not draining
-    std::deque<Submission> queue TAUW_GUARDED_BY(mutex);
+    support::RingQueue<Submission> queue TAUW_GUARDED_BY(mutex);
     bool draining TAUW_GUARDED_BY(mutex) = false;
     // -- admission counters -----------------------------------------------
     std::uint64_t submitted TAUW_GUARDED_BY(mutex) = 0;
@@ -193,11 +201,21 @@ class TrafficPlane {
     std::vector<core::SessionFrame> frames;
     std::vector<core::EngineStepResult> results;
     std::vector<std::size_t> slots;  ///< taken[] index per staged frame
+    /// Parks EngineStepResult capacity (estimates vectors) trimmed off
+    /// `results` when a drain shrinks, so the next larger drain refills
+    /// from recycled objects instead of allocating fresh ones.
+    support::FreeListPool<core::EngineStepResult> result_spares;
 
     Lane(const TrafficPlaneConfig& config)
         : degrade_monitor(config.degrade_monitor),
           latency_us(config.latency_lo_us, config.latency_hi_us,
-                     config.latency_bins) {}
+                     config.latency_bins) {
+      // Close submissions are exempt from the capacity bound, so the ring
+      // can transiently exceed queue_capacity; headroom keeps that case off
+      // the heap too.
+      queue.reserve(config.queue_capacity + 64);
+      result_spares.reserve(config.max_coalesce);
+    }
   };
 
   /// Admits one submission to its lane under the overflow policy; delivers
@@ -219,6 +237,9 @@ class TrafficPlane {
   /// lane's mutex inside the wait predicates, so no wakeup can be missed.
   std::atomic<bool> stopping_{false};
   std::vector<std::thread> drainers_;
+  /// CPU each drainer was pinned to (pin_drainers; empty when pinning is
+  /// off, unsupported, or rejected). Surfaced via ServeStats::drainer_cpus.
+  std::vector<int> drainer_cpus_;
 };
 
 }  // namespace tauw::serve

@@ -1,0 +1,49 @@
+#include "support/affinity.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace tauw::support {
+
+#if defined(__linux__)
+
+std::vector<int> available_cpus() {
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) != 0) return {};
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &mask)) cpus.push_back(cpu);
+  }
+  return cpus;
+}
+
+namespace {
+
+bool pin_handle(pthread_t handle, int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  return pthread_setaffinity_np(handle, sizeof(mask), &mask) == 0;
+}
+
+}  // namespace
+
+bool pin_thread(std::thread& thread, int cpu) {
+  return pin_handle(thread.native_handle(), cpu);
+}
+
+bool pin_current_thread(int cpu) { return pin_handle(pthread_self(), cpu); }
+
+#else  // portable no-op fallback
+
+std::vector<int> available_cpus() { return {}; }
+bool pin_thread(std::thread&, int) { return false; }
+bool pin_current_thread(int) { return false; }
+
+#endif
+
+}  // namespace tauw::support

@@ -1,0 +1,32 @@
+#pragma once
+// Thin portability layer over Linux thread-affinity APIs.
+//
+// available_cpus() reports the CPU indices this process is allowed to run
+// on (its sched_getaffinity mask) and pin_thread()/pin_current_thread()
+// bind a thread to one of them. On non-Linux platforms every call degrades
+// to a no-op that reports failure, so callers can wire pinning
+// unconditionally and surface "not pinned" in stats instead of branching
+// per platform.
+//
+// Pinning policy lives with the callers: the engine pins worker t to
+// cpus[t % n] and the traffic plane pins the drainer of shard s to
+// cpus[s % n], so a shard's worker and its drainer land on the same core
+// set and compiled-tree cache residency survives the queue hop.
+
+#include <thread>
+#include <vector>
+
+namespace tauw::support {
+
+/// CPU indices the calling process may run on, ascending. Empty when
+/// affinity discovery is unavailable (non-Linux, or the syscall failed).
+std::vector<int> available_cpus();
+
+/// Pins `thread` to `cpu`. Returns false when pinning is unsupported on
+/// this platform or the kernel rejected the request (e.g. cpu offline).
+bool pin_thread(std::thread& thread, int cpu);
+
+/// Pins the calling thread to `cpu`; same contract as pin_thread().
+bool pin_current_thread(int cpu);
+
+}  // namespace tauw::support

@@ -1,0 +1,139 @@
+#include "support/alloc_hooks.hpp"
+
+#ifdef TAUW_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Constant-initialized: the replaced operator new runs before any dynamic
+// initializer, so the counters must not rely on construction order.
+constinit std::atomic<std::uint64_t> g_allocations{0};
+constinit std::atomic<std::uint64_t> g_deallocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    if (std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc{};
+    }
+  }
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align, size) == 0) return p;
+    if (std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc{};
+    }
+  }
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_deallocations.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+namespace tauw::support {
+
+bool alloc_tracking_enabled() noexcept { return true; }
+std::uint64_t total_allocations() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+std::uint64_t total_deallocations() noexcept {
+  return g_deallocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace tauw::support
+
+#else  // !TAUW_COUNT_ALLOCS - hooks compile away
+
+namespace tauw::support {
+
+bool alloc_tracking_enabled() noexcept { return false; }
+std::uint64_t total_allocations() noexcept { return 0; }
+std::uint64_t total_deallocations() noexcept { return 0; }
+
+}  // namespace tauw::support
+
+#endif

@@ -1,0 +1,52 @@
+#pragma once
+// Heap-allocation counting for the zero-allocation steady-state gates.
+//
+// When the build is configured with -DTAUW_COUNT_ALLOCS=ON, alloc_hooks.cpp
+// replaces the global operator new/delete family with forwarding versions
+// that bump process-wide counters. AllocScope then measures exactly how many
+// allocations happened between two points:
+//
+//   tauw::support::AllocScope scope;
+//   ... N steady-state steps ...
+//   // scope.allocations() == 0, or the gate fails
+//
+// The counters are process-global (relaxed atomics), deliberately not
+// thread-local: the serving hot path spans threads (a submission enqueued on
+// one thread is drained and delivered on another), so a counter local to the
+// measuring thread would miss drainer- and worker-side allocations entirely.
+// Scoped measurements must therefore quiesce unrelated threads, which the
+// gates do by construction (they own every thread in the process).
+//
+// Without TAUW_COUNT_ALLOCS nothing is replaced: alloc_tracking_enabled()
+// returns false and AllocScope reports zero, so gates and tests skip
+// themselves. Do not combine TAUW_COUNT_ALLOCS with sanitizer builds - the
+// sanitizer runtimes interpose the same symbols.
+
+#include <cstdint>
+
+namespace tauw::support {
+
+/// True when this build counts heap allocations (TAUW_COUNT_ALLOCS).
+bool alloc_tracking_enabled() noexcept;
+
+/// Process-wide operator-new count since start; 0 when tracking is off.
+std::uint64_t total_allocations() noexcept;
+
+/// Process-wide operator-delete count since start; 0 when tracking is off.
+std::uint64_t total_deallocations() noexcept;
+
+/// Counts allocations from construction onward.
+class AllocScope {
+ public:
+  AllocScope() noexcept : start_(total_allocations()) {}
+
+  /// Allocations (process-wide) since this scope was constructed.
+  std::uint64_t allocations() const noexcept {
+    return total_allocations() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace tauw::support

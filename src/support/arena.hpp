@@ -1,0 +1,121 @@
+#pragma once
+// Monotonic bump arena for batch-scoped scratch memory.
+//
+// A MonotonicArena hands out raw byte ranges from a growing chunk and
+// releases them all at once via reset(). The intended cycle is one arena per
+// shard batch run: reset() at the start of the run, alloc_span<T>() for each
+// scratch array, nothing freed in between. Capacity is high-water-marked:
+// reset() coalesces a multi-chunk cycle into one chunk sized for the whole
+// cycle, so once the arena has seen the largest run shape, reset() is a
+// pointer rewind and later runs perform zero heap allocations.
+//
+// Only trivially-destructible element types are supported (alloc_span never
+// runs destructors), elements are default-initialized (callers must write
+// before reading), and reset() invalidates every span handed out before it.
+// Not thread-safe: each arena belongs to exactly one shard's batch scratch
+// and is only touched under that shard's mutex.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace tauw::support {
+
+class MonotonicArena {
+ public:
+  MonotonicArena() = default;
+  /// Pre-sizes the first chunk so warmup can be skipped when the cycle
+  /// footprint is known up front.
+  explicit MonotonicArena(std::size_t initial_bytes) {
+    if (initial_bytes > 0) grow(initial_bytes);
+  }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+  MonotonicArena(MonotonicArena&&) noexcept = default;
+  MonotonicArena& operator=(MonotonicArena&&) noexcept = default;
+
+  /// Raw allocation; `align` must be a power of two. Never returns nullptr.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    std::size_t at = chunks_.empty() ? 0 : align_up(offset_, align);
+    if (chunks_.empty() || at + bytes > chunks_.back().size) {
+      grow(bytes + align);
+      at = align_up(offset_, align);
+    }
+    void* out = chunks_.back().bytes.get() + at;
+    offset_ = at + bytes;
+    // Pessimistic footprint (worst-case padding included) so one chunk of
+    // high_water() bytes is guaranteed to fit a repeat of this cycle.
+    used_ += bytes + align;
+    return out;
+  }
+
+  /// Typed array carved from the arena. Elements are default-initialized
+  /// (a no-op for trivial types); the span dies at the next reset().
+  template <typename T>
+  std::span<T> alloc_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is released without running destructors");
+    if (count == 0) return {};
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) ::new (static_cast<void*>(data + i)) T;
+    return {data, count};
+  }
+
+  /// Discards every allocation since the previous reset(). If the cycle
+  /// overflowed into extra chunks, coalesces into one chunk sized to the
+  /// high-water footprint; otherwise just rewinds (no heap traffic).
+  void reset() {
+    if (used_ > high_water_) high_water_ = used_;
+    if (chunks_.size() > 1) {
+      chunks_.clear();
+      grow(high_water_);
+    }
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Largest per-cycle footprint seen so far (pessimistic, padding included).
+  std::size_t high_water() const noexcept { return high_water_; }
+  /// Number of live chunks; 1 once the arena has stabilized.
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+  /// Total bytes currently reserved across chunks.
+  std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> bytes;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t kMinChunkBytes = 4096;
+
+  static std::size_t align_up(std::size_t offset, std::size_t align) noexcept {
+    return (offset + align - 1) & ~(align - 1);
+  }
+
+  void grow(std::size_t min_bytes) {
+    std::size_t size = kMinChunkBytes;
+    if (!chunks_.empty() && chunks_.back().size * 2 > size) {
+      size = chunks_.back().size * 2;
+    }
+    if (min_bytes > size) size = min_bytes;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    offset_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t offset_ = 0;      // bump position within chunks_.back()
+  std::size_t used_ = 0;        // pessimistic bytes handed out this cycle
+  std::size_t high_water_ = 0;  // max used_ across completed cycles
+};
+
+}  // namespace tauw::support

@@ -1,0 +1,113 @@
+#pragma once
+// Typed freelist pool and flat ring queue: capacity-retaining building
+// blocks for the zero-allocation serving hot path.
+//
+// FreeListPool<T> parks retired objects together with whatever heap capacity
+// they accumulated (vector buffers, ring storage) and hands them back on
+// take(), so per-item state like EngineStepResult is recycled instead of
+// reallocated. RingQueue<T> is a contiguous power-of-two ring used for the
+// traffic-plane submission queues: unlike std::deque it touches the heap
+// only when it grows past its reserved capacity, so a warmed queue
+// enqueues/dequeues with zero heap traffic.
+//
+// Neither type is internally synchronized; each instance is owned by a
+// single lane/shard and guarded by its mutex.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tauw::support {
+
+template <typename T>
+class FreeListPool {
+ public:
+  explicit FreeListPool(std::size_t max_spares = 1024)
+      : max_spares_(max_spares) {}
+
+  /// Pops a recycled object (capacity intact) or default-constructs one.
+  T take() {
+    if (spares_.empty()) return T{};
+    T out = std::move(spares_.back());
+    spares_.pop_back();
+    return out;
+  }
+
+  /// Parks `value` for reuse; drops it when the pool is at capacity.
+  void put(T&& value) {
+    if (spares_.size() < max_spares_) spares_.push_back(std::move(value));
+  }
+
+  /// Pre-sizes the spare list itself so put() never grows it mid-flight.
+  void reserve(std::size_t count) {
+    spares_.reserve(count < max_spares_ ? count : max_spares_);
+  }
+
+  std::size_t size() const noexcept { return spares_.size(); }
+  std::size_t max_spares() const noexcept { return max_spares_; }
+
+ private:
+  std::size_t max_spares_;
+  std::vector<T> spares_;
+};
+
+/// FIFO over a contiguous power-of-two ring. pop_front() leaves a moved-from
+/// value in the vacated slot (overwritten by a later push), so element types
+/// should be cheap to hold in a moved-from state.
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  /// Ensures room for at least `count` elements with no further allocation.
+  void reserve(std::size_t count) {
+    if (count > slots_.size()) regrow(ceil_pow2(count));
+  }
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Oldest element; undefined when empty().
+  T& front() noexcept { return slots_[head_]; }
+  const T& front() const noexcept { return slots_[head_]; }
+
+  void push_back(T&& value) {
+    if (count_ == slots_.size()) {
+      regrow(slots_.empty() ? kMinSlots : slots_.size() * 2);
+    }
+    slots_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 8;
+
+  static std::size_t ceil_pow2(std::size_t n) noexcept {
+    std::size_t p = kMinSlots;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void regrow(std::size_t new_cap) {
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace tauw::support

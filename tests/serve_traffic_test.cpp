@@ -598,5 +598,76 @@ TEST(TrafficPlane, StressProducersRecalibratorHotSwap) {
   EXPECT_GE(stats.engine.model_generation, 1u);
 }
 
+// TSan coverage for the CPU-placement layer: pinned engine workers and
+// pinned drainers race producers, ordered closes, and a model hot-swapper.
+// Pinning must only change where threads run, never what they compute or
+// which synchronization they rely on.
+TEST(TrafficPlane, StressPinnedWorkersAndDrainers) {
+  core::EngineConfig engine_config;
+  engine_config.num_shards = 4;
+  engine_config.num_threads = 2;
+  engine_config.pin_worker_threads = true;
+  core::Engine engine(make_components(), engine_config);
+
+  TrafficPlaneConfig config;
+  config.queue_capacity = 64;
+  config.pin_drainers = true;
+  TrafficPlane plane(engine, config);
+
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kSessionsPerProducer = 4;
+  constexpr std::size_t kSteps = 50;
+  std::vector<std::vector<data::FrameRecord>> frames(kProducers *
+                                                     kSessionsPerProducer);
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      frames[s].push_back(frame_for(s + 1, t));
+    }
+  }
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    const auto models = engine.current_models();
+    while (!stop_swapping.load()) {
+      engine.swap_models(models.qim, models.taqim);
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<std::uint64_t> delivered{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        for (std::size_t i = 0; i < kSessionsPerProducer; ++i) {
+          const std::size_t s = p * kSessionsPerProducer + i;
+          plane.submit_frame(
+              s + 1, frames[s][t], nullptr,
+              [&delivered](const StepOutcome&) { delivered.fetch_add(1); });
+        }
+        // Ordered closes interleave with live traffic; the session restarts
+        // on its next frame, exercising the node pools under the pinned
+        // drainers.
+        if (t % 10 == 9) plane.submit_close(p * kSessionsPerProducer + 1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  plane.flush();
+  stop_swapping.store(true);
+  swapper.join();
+
+  const ServeStats stats = plane.stats();
+  EXPECT_TRUE(stats.accounting_consistent());
+  EXPECT_EQ(delivered.load() + stats.shed,
+            kProducers * kSessionsPerProducer * kSteps);
+#if defined(__linux__)
+  // One pin per drainer (4 shards) and one per spawned worker; both land
+  // inside the process affinity mask.
+  EXPECT_EQ(stats.drainer_cpus.size(), engine.num_shards());
+  EXPECT_EQ(stats.engine.worker_cpus.size(), engine_config.num_threads - 1);
+#endif
+}
+
 }  // namespace
 }  // namespace tauw::serve
