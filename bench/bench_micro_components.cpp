@@ -190,6 +190,56 @@ void BM_BufferCappedStepReads(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferCappedStepReads)->Arg(10)->Arg(256);
 
+void BM_BufferPushAggregates(benchmark::State& state) {
+  // The full streaming-aggregate push on a warmed bounded window: outcome
+  // stats, UF window state, and the monotonic wedges all update in one
+  // amortized-O(1) call (epoch re-anchors included in the average).
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  core::TimeseriesBuffer buffer(capacity);
+  stats::Rng rng(21);
+  for (std::size_t i = 0; i < 2 * capacity; ++i) {
+    buffer.push(rng.uniform_index(4), rng.uniform());
+  }
+  std::size_t outcome = 0;
+  double u = 0.05;
+  for (auto _ : state) {
+    buffer.push(outcome, u);
+    outcome = outcome == 3 ? 0 : outcome + 1;
+    u = u < 0.9 ? u + 1e-3 : 0.05;
+    benchmark::DoNotOptimize(buffer.uf_aggregates());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BufferPushAggregates)->Arg(16)->Arg(256)->Arg(4096)->Complexity();
+
+void BM_ComputeTaqfIncremental(benchmark::State& state) {
+  // Streaming taQF: an O(log k) stat lookup regardless of window length.
+  const auto window = static_cast<std::size_t>(state.range(0));
+  core::TimeseriesBuffer buffer(window);
+  stats::Rng rng(22);
+  for (std::size_t i = 0; i < window; ++i) {
+    buffer.push(rng.uniform_index(4), rng.uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_taqf(buffer, 1));
+  }
+}
+BENCHMARK(BM_ComputeTaqfIncremental)->Arg(256)->Arg(4096);
+
+void BM_ComputeTaqfReference(benchmark::State& state) {
+  // The rescan oracle the streaming form replaced: O(window) per call.
+  const auto window = static_cast<std::size_t>(state.range(0));
+  core::TimeseriesBuffer buffer(window);
+  stats::Rng rng(22);
+  for (std::size_t i = 0; i < window; ++i) {
+    buffer.push(rng.uniform_index(4), rng.uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_taqf_reference(buffer, 1));
+  }
+}
+BENCHMARK(BM_ComputeTaqfReference)->Arg(256)->Arg(4096);
+
 void BM_UfAccumulatorPush(benchmark::State& state) {
   core::UncertaintyFusionAccumulator acc;
   double u = 0.01;

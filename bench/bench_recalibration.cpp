@@ -215,12 +215,29 @@ int main(int argc, char** argv) {
   config.num_shards = 8;
   config.num_threads = 2;
   config.max_sessions = 0;
-  // Bounded per-session windows: the workload reuses its sessions for the
-  // whole run, and an unbounded series would make every step's taQF scan
-  // grow without limit - the bench would measure series length, not the
-  // calibration plane.
-  config.buffer_capacity = 32;
+  // Unbounded per-session windows: the buffer's streaming aggregates make
+  // per-step cost independent of series length (taQF/UF/fusion are O(1)
+  // lookups), so the sessions can accumulate evidence for the whole run
+  // without the bench degenerating into measuring series length. A short
+  // bounded-window phase below keeps the ring-evict + re-anchor path under
+  // the same serving stack as a regression sentinel.
+  config.buffer_capacity = 0;
   core::Engine engine(world.components(), config);
+
+  // ---- 0. bounded-window sentinel ---------------------------------------
+  // A bounded engine wraps its 32-entry rings hundreds of times in a short
+  // workload, exercising retire/re-anchor under step_batch + report_truth.
+  // The historical workaround pinned the WHOLE bench to capacity 32 because
+  // unbounded windows made taQF scans O(series); this phase is kept small
+  // and unjudged - it exists so the eviction path stays covered here.
+  {
+    core::EngineConfig bounded_cfg = config;
+    bounded_cfg.buffer_capacity = 32;
+    core::Engine bounded(world.components(), bounded_cfg);
+    const double bounded_steps = run_workload(bounded, 400, 11);
+    std::printf("bounded sentinel (capacity 32): %.0f steps/s\n",
+                bounded_steps);
+  }
 
   // A bounded evidence window (~20k rows at 8 lanes) keeps each refit
   // cycle in the low-millisecond range - the serving-sized configuration;

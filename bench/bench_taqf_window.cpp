@@ -1,0 +1,347 @@
+// Flat-cost gate for the streaming session-aggregate plane: per-step cost
+// of the full aggregate read path (push + information fusion + taQF + all
+// three UF baselines) swept over window lengths {16, 256, 4096, 65536}.
+//
+// Before the streaming plane, every step rescanned the window (taQF scan,
+// fused-outcome vote scan, bounded-UF rebuild), so per-step cost grew
+// linearly with the window. The buffer now maintains the aggregates
+// incrementally with amortized-O(1) epoch re-anchoring, so the sweep must
+// be FLAT: the gate fails if the per-step cost at 65536 exceeds 1.2x the
+// cost at 256, or if the streaming path is not >= 10x faster than the
+// rescan oracles at 65536.
+//
+// Equivalence rides along: every measured phase spot-checks streaming
+// outputs against the rescan oracles (bit-exact when drift_ops() == 0,
+// drift-bounded between anchors), so the bench cannot pass on a fast-but-
+// wrong plane. With TAUW_COUNT_ALLOCS the steady-state measured phase also
+// asserts ZERO heap allocations on the long-window step path.
+//
+// Build & run:  ./bench/bench_taqf_window [--json OUT.json]
+//                 [--baseline BASELINE.json]
+//
+// --json writes the summary for CI artifacts; --baseline additionally gates
+// the 65536-window per-step cost against a committed conservative baseline
+// (>20% slower fails).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/ta_quality_factors.hpp"
+#include "core/timeseries_buffer.hpp"
+#include "core/uncertainty_fusion.hpp"
+#include "stats/rng.hpp"
+#include "support/alloc_hooks.hpp"
+
+namespace {
+
+using namespace tauw;
+
+constexpr std::size_t kWindows[] = {16, 256, 4096, 65536};
+constexpr std::size_t kNumWindows = sizeof(kWindows) / sizeof(kWindows[0]);
+constexpr std::size_t kNumLabels = 4;
+constexpr int kReps = 7;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The per-step aggregate read the serving path performs after the push:
+/// fused outcome + taQF row + the three UF baselines. Returns a checksum so
+/// the optimizer cannot discard the reads.
+double read_aggregates(const core::TimeseriesBuffer& buffer,
+                       const core::MajorityVoteFusion& fusion) {
+  const std::size_t fused = fusion.fuse(buffer);
+  const core::TaqfValues taqf = core::compute_taqf(buffer, fused);
+  double sum = taqf.ratio + taqf.length + taqf.size + taqf.certainty;
+  sum += core::fuse_uncertainties_streaming(
+      buffer, core::UncertaintyFusionRule::kNaive);
+  sum += core::fuse_uncertainties_streaming(
+      buffer, core::UncertaintyFusionRule::kOpportune);
+  sum += core::fuse_uncertainties_streaming(
+      buffer, core::UncertaintyFusionRule::kWorstCase);
+  return sum;
+}
+
+/// Rescan-oracle equivalent of read_aggregates (the pre-streaming per-step
+/// work): vote scan + taQF scan + UF rebuild over the whole window.
+double read_aggregates_oracle(const core::TimeseriesBuffer& buffer,
+                              const core::MajorityVoteFusion& fusion) {
+  const std::size_t fused = fusion.fuse_reference(buffer);
+  const core::TaqfValues taqf = core::compute_taqf_reference(buffer, fused);
+  double sum = taqf.ratio + taqf.length + taqf.size + taqf.certainty;
+  sum += core::fuse_uncertainties(buffer, core::UncertaintyFusionRule::kNaive);
+  sum += core::fuse_uncertainties(buffer,
+                                  core::UncertaintyFusionRule::kOpportune);
+  sum += core::fuse_uncertainties(buffer,
+                                  core::UncertaintyFusionRule::kWorstCase);
+  return sum;
+}
+
+/// Asserts streaming == oracle for the current buffer state. Exits non-zero
+/// on a violation: a fast-but-wrong aggregate plane must not pass the gate.
+void check_equivalence(const core::TimeseriesBuffer& buffer,
+                       const core::MajorityVoteFusion& fusion) {
+  const std::size_t fused_s = fusion.fuse(buffer);
+  const std::size_t fused_r = fusion.fuse_reference(buffer);
+  if (fused_s != fused_r) {
+    std::fprintf(stderr, "FAIL: streaming fused label %zu != oracle %zu\n",
+                 fused_s, fused_r);
+    std::exit(1);
+  }
+  const core::TaqfValues s = core::compute_taqf(buffer, fused_s);
+  const core::TaqfValues r = core::compute_taqf_reference(buffer, fused_r);
+  const bool anchored = buffer.drift_ops() == 0;
+  const double drift = static_cast<double>(buffer.drift_ops());
+  const double certainty_tol =
+      anchored ? 0.0
+               : (drift + 2.0) * 1e-13 *
+                     (static_cast<double>(buffer.length()) + 1.0);
+  if (s.ratio != r.ratio || s.length != r.length || s.size != r.size ||
+      std::fabs(s.certainty - r.certainty) > certainty_tol) {
+    std::fprintf(stderr,
+                 "FAIL: streaming taQF diverged from the rescan oracle "
+                 "(drift_ops=%llu)\n",
+                 static_cast<unsigned long long>(buffer.drift_ops()));
+    std::exit(1);
+  }
+  for (const core::UncertaintyFusionRule rule :
+       {core::UncertaintyFusionRule::kNaive,
+        core::UncertaintyFusionRule::kOpportune,
+        core::UncertaintyFusionRule::kWorstCase}) {
+    const double su = core::fuse_uncertainties_streaming(buffer, rule);
+    const double ru = core::fuse_uncertainties(buffer, rule);
+    double tol = 0.0;
+    if (rule == core::UncertaintyFusionRule::kNaive && !anchored &&
+        ru > 0.0) {
+      tol = ru * (drift + 4.0) * (std::fabs(std::log(ru)) + 1.0) * 1e-14 +
+            1e-300;
+    }
+    if (std::fabs(su - ru) > tol) {
+      std::fprintf(stderr,
+                   "FAIL: streaming UF %s %.17g != oracle %.17g "
+                   "(drift_ops=%llu)\n",
+                   core::uf_rule_name(rule), su, ru,
+                   static_cast<unsigned long long>(buffer.drift_ops()));
+      std::exit(1);
+    }
+  }
+}
+
+struct SweepPoint {
+  double ns_per_step = std::numeric_limits<double>::infinity();
+  std::uint64_t steady_allocs = 0;
+};
+
+/// One timed rep at one window length: `steps` push+read cycles against a
+/// pre-warmed buffer, folding the result into the best-of point. Equivalence
+/// is spot-checked after the timed phase.
+void measure_rep(core::TimeseriesBuffer& buffer,
+                 const core::MajorityVoteFusion& fusion, std::size_t steps,
+                 SweepPoint* point, double* sink) {
+  const std::uint64_t allocs_before = support::total_allocations();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < steps; ++i) {
+    buffer.push(i % kNumLabels,
+                0.05 + 0.9 * static_cast<double>(i % 64) / 64.0);
+    *sink += read_aggregates(buffer, fusion);
+  }
+  const double elapsed = seconds_since(start);
+  point->steady_allocs += support::total_allocations() - allocs_before;
+  point->ns_per_step = std::min(point->ns_per_step,
+                                1e9 * elapsed / static_cast<double>(steps));
+  check_equivalence(buffer, fusion);
+}
+
+/// Sweeps all window lengths with the reps INTERLEAVED round-robin: rep r of
+/// every window runs before rep r+1 of any window. The gated flat-cost
+/// number is a ratio of two windows' measurements, so a transient busy
+/// phase on a shared runner must degrade both sides roughly equally rather
+/// than landing entirely inside one window's back-to-back rep block —
+/// otherwise the ratio gate flakes on noise that has nothing to do with
+/// per-step scaling. Buffers are warmed across two full epochs up front.
+void measure_sweep(std::size_t steps, SweepPoint (&sweep)[kNumWindows]) {
+  const core::MajorityVoteFusion fusion;
+  std::vector<core::TimeseriesBuffer> buffers;
+  buffers.reserve(kNumWindows);
+  for (std::size_t w = 0; w < kNumWindows; ++w) {
+    buffers.emplace_back(kWindows[w]);
+    stats::Rng rng(17);
+    for (std::size_t i = 0; i < 2 * kWindows[w] + 1; ++i) {
+      buffers[w].push(rng.uniform_index(kNumLabels), rng.uniform());
+    }
+    check_equivalence(buffers[w], fusion);
+  }
+  double sink = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t w = 0; w < kNumWindows; ++w) {
+      measure_rep(buffers[w], fusion, steps, &sweep[w], &sink);
+    }
+  }
+  if (sink == 42.0) std::printf("%f\n", sink);  // defeat dead-code elim
+}
+
+/// Per-step cost of the rescan oracles at one window length (few steps -
+/// each one is O(window)).
+double measure_oracle(std::size_t window, std::size_t steps) {
+  const core::MajorityVoteFusion fusion;
+  core::TimeseriesBuffer buffer(window);
+  stats::Rng rng(17);
+  for (std::size_t i = 0; i < window + 1; ++i) {
+    buffer.push(rng.uniform_index(kNumLabels), rng.uniform());
+  }
+  double best = std::numeric_limits<double>::infinity();
+  double sink = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < steps; ++i) {
+      buffer.push(i % kNumLabels, 0.05 + 0.9 * static_cast<double>(i % 64) / 64.0);
+      sink += read_aggregates_oracle(buffer, fusion);
+    }
+    best = std::min(best,
+                    1e9 * seconds_since(start) / static_cast<double>(steps));
+  }
+  if (sink == 42.0) std::printf("%f\n", sink);
+  return best;
+}
+
+/// Minimal extractor for `"key": <number>` from a small JSON file (same
+/// no-dependency reader as the other benches).
+bool read_json_number(const char* path, const char* key, double* out) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  std::string text;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t steps = 200000;
+  const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--steps") == 0) {
+      steps = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    }
+  }
+
+  SweepPoint sweep[kNumWindows];
+  measure_sweep(steps, sweep);
+  for (std::size_t w = 0; w < kNumWindows; ++w) {
+    std::printf("window %6zu: %8.1f ns/step (best of %d interleaved reps, "
+                "%llu steady-state allocations)\n",
+                kWindows[w], sweep[w].ns_per_step, kReps,
+                static_cast<unsigned long long>(sweep[w].steady_allocs));
+  }
+  const double ns_256 = sweep[1].ns_per_step;
+  const double ns_65536 = sweep[3].ns_per_step;
+  const double flat_ratio = ns_65536 / ns_256;
+
+  // Oracle per-step cost at the largest window: each step rescans 65536
+  // entries several times, so a handful of steps is plenty.
+  const double oracle_ns = measure_oracle(65536, 64);
+  const double speedup = oracle_ns / ns_65536;
+  std::printf("rescan oracle at 65536: %.1f ns/step -> streaming speedup "
+              "%.1fx\n",
+              oracle_ns, speedup);
+  std::printf("flat-cost ratio 65536/256: %.3fx\n", flat_ratio);
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"bench_taqf_window\",\n"
+                 "  \"ns_per_step_16\": %.2f,\n"
+                 "  \"ns_per_step_256\": %.2f,\n"
+                 "  \"ns_per_step_4096\": %.2f,\n"
+                 "  \"ns_per_step_65536\": %.2f,\n"
+                 "  \"flat_ratio_65536_vs_256\": %.4f,\n"
+                 "  \"oracle_ns_per_step_65536\": %.2f,\n"
+                 "  \"oracle_speedup_65536\": %.2f,\n"
+                 "  \"steady_state_allocations\": %llu,\n"
+                 "  \"alloc_tracking\": %s\n"
+                 "}\n",
+                 sweep[0].ns_per_step, sweep[1].ns_per_step,
+                 sweep[2].ns_per_step, sweep[3].ns_per_step, flat_ratio,
+                 oracle_ns, speedup,
+                 static_cast<unsigned long long>(sweep[3].steady_allocs),
+                 support::alloc_tracking_enabled() ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  bool failed = false;
+  if (flat_ratio > 1.2) {
+    std::fprintf(stderr,
+                 "FAIL: per-step cost at window 65536 is %.3fx the cost at "
+                 "256 (flat-cost ceiling: 1.2x) - per-step work is scaling "
+                 "with the window again\n",
+                 flat_ratio);
+    failed = true;
+  }
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: streaming aggregates are only %.1fx faster than the "
+                 "rescan oracle at window 65536 (floor: 10x)\n",
+                 speedup);
+    failed = true;
+  }
+  if (support::alloc_tracking_enabled() && sweep[3].steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations during steady-state "
+                 "long-window stepping (must be exactly 0)\n",
+                 static_cast<unsigned long long>(sweep[3].steady_allocs));
+    failed = true;
+  }
+  if (baseline_path != nullptr) {
+    double committed = 0.0;
+    if (!read_json_number(baseline_path, "ns_per_step_65536", &committed) ||
+        committed <= 0.0) {
+      std::fprintf(stderr, "cannot read ns_per_step_65536 from %s\n",
+                   baseline_path);
+      return 1;
+    }
+    const double ceiling = 1.2 * committed;
+    std::printf(
+        "baseline gate: measured %.1f ns/step at 65536 vs committed %.1f "
+        "(ceiling %.1f)\n",
+        ns_65536, committed, ceiling);
+    if (ns_65536 > ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: 65536-window per-step cost regressed >20%% versus "
+                   "the committed baseline\n");
+      failed = true;
+    }
+    if (!failed) std::printf("baseline gate: PASS\n");
+  }
+  return failed ? 1 : 0;
+}

@@ -228,7 +228,6 @@ void Engine::open_session(SessionId id) {
     // after the restart must not pair with the new series' state (and the
     // taQF rebuild in report_truth needs the buffer the step actually saw).
     it->second.buffer.clear();
-    it->second.uf.reset();
     it->second.monitor.reset_hysteresis();
     it->second.has_last_step = false;
     it->second.last_evidence_valid = false;
@@ -243,7 +242,6 @@ void Engine::reset_session(Session& session) const {
   // buffer ring/outcome counts and the last_qfs/last_ta rows keep their
   // capacity (this is what makes open/close churn allocation-free).
   session.buffer.clear();
-  session.uf.reset();
   // Fresh statistics: close_session_locked already folded the previous
   // owner's stats into the retired aggregate.
   session.monitor = RuntimeMonitor(config_.monitor);
@@ -279,7 +277,8 @@ Engine::Session& Engine::create_session(Shard& shard, SessionId id) {
       it = shard.sessions.insert(std::move(node)).position;
     } else {
       Session session;
-      session.buffer = TimeseriesBuffer(config_.buffer_capacity);
+      session.buffer = TimeseriesBuffer(
+          config_.buffer_capacity, components_.fusion->streaming_decay());
       session.monitor = RuntimeMonitor(config_.monitor);
       it = shard.sessions.emplace(id, std::move(session)).first;
     }
@@ -413,20 +412,10 @@ EstimationContext Engine::commit_step(Shard& shard, SessionId id,
                                       double ddm_confidence,
                                       double uncertainty,
                                       EngineStepResult& result) {
+  // One O(1) amortized push: the buffer maintains the windowed UF state and
+  // the per-outcome stats incrementally (bounded windows re-anchor at ring
+  // wraps), so estimators and fusion read aggregates without any rescan.
   session.buffer.push(outcome, uncertainty);
-  if (config_.buffer_capacity > 0 &&
-      session.buffer.length() == config_.buffer_capacity) {
-    // Bounded sessions window the UF aggregates to the buffer contents so
-    // every estimator and the fused outcome cover the same evidence (min/
-    // max cannot be decremented incrementally; the O(capacity) rebuild
-    // keeps per-step cost constant).
-    session.uf.reset();
-    for (const BufferEntry& entry : session.buffer.entries()) {
-      session.uf.push(entry.uncertainty);
-    }
-  } else {
-    session.uf.push(uncertainty);
-  }
 
   result.session = id;
   result.isolated.label = outcome;
@@ -456,7 +445,6 @@ EstimationContext Engine::commit_step(Shard& shard, SessionId id,
   EstimationContext context;
   context.stateless_qfs = stateless_qfs;
   context.buffer = &session.buffer;
-  context.uf = &session.uf;
   context.isolated_label = outcome;
   context.isolated_uncertainty = uncertainty;
   context.fused_label = result.fused_label;

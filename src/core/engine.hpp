@@ -442,8 +442,10 @@ class Engine {
 
  private:
   struct Session {
+    /// The session's evidence window. Carries the streaming aggregates
+    /// (per-outcome stats, UF window state) every estimator and the fusion
+    /// rule read in O(1) - there is no separate accumulator to rebuild.
     TimeseriesBuffer buffer;
-    UncertaintyFusionAccumulator uf;
     RuntimeMonitor monitor;
     std::list<SessionId>::iterator lru_it;  ///< position in Shard::lru
     /// The BatchScratch::run_id this session was last staged under -

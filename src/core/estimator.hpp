@@ -25,14 +25,14 @@ namespace tauw::core {
 
 /// Read-only view of one step's interim results, assembled by the Engine
 /// after the stateless evaluation and information fusion have run. The
-/// buffer and accumulator already include the current step.
+/// buffer already includes the current step; it carries the streaming
+/// window aggregates (UF state, per-outcome stats) every estimator reads,
+/// so there is no separate accumulator to keep in sync.
 struct EstimationContext {
   /// Stateless quality factors of the current frame.
   std::span<const double> stateless_qfs;
   /// Timeseries buffer of the current session (non-empty).
   const TimeseriesBuffer* buffer = nullptr;
-  /// Incremental UF aggregates over the session's uncertainties.
-  const UncertaintyFusionAccumulator* uf = nullptr;
   std::size_t isolated_label = 0;     ///< o_i
   double isolated_uncertainty = 0.0;  ///< stateless u_i
   std::size_t fused_label = 0;        ///< o_i^(if)
@@ -120,8 +120,10 @@ class StatelessEstimator final : public UncertaintyEstimator {
   std::string name_ = "stateless";
 };
 
-/// One of the three UF baselines (Eqs. 1-3) read from the session's
-/// incremental accumulator.
+/// One of the three UF baselines (Eqs. 1-3) read in O(1) from the session
+/// buffer's streaming window aggregates. Bounded sessions are thereby
+/// windowed to the buffer contents automatically - the evidence every
+/// estimate covers is exactly what the buffer holds.
 class UfBaselineEstimator final : public UncertaintyEstimator {
  public:
   explicit UfBaselineEstimator(UncertaintyFusionRule rule)
@@ -130,12 +132,12 @@ class UfBaselineEstimator final : public UncertaintyEstimator {
   UncertaintyFusionRule rule() const noexcept { return rule_; }
   const std::string& name() const noexcept override { return name_; }
   double estimate(const EstimationContext& context) override {
-    return context.uf->get(rule_);
+    return fuse_uncertainties_streaming(*context.buffer, rule_);
   }
   void estimate_batch(std::span<const EstimationContext> contexts,
                       std::span<double> out) override {
     for (std::size_t i = 0; i < contexts.size(); ++i) {
-      out[i] = contexts[i].uf->get(rule_);
+      out[i] = fuse_uncertainties_streaming(*contexts[i].buffer, rule_);
     }
   }
   std::shared_ptr<UncertaintyEstimator> clone() const override {

@@ -10,19 +10,48 @@ namespace tauw::core {
 
 namespace {
 
+/// The scan-vs-streaming tie band: the reference scan accepts any label
+/// whose votes are within kTieEps of the maximum, then picks the most
+/// recent. The streaming form reproduces both halves from the aggregates.
+constexpr double kTieEps = 1e-12;
+
 void require_non_empty(const TimeseriesBuffer& buffer) {
   if (buffer.empty()) {
     throw std::invalid_argument("fusion requires a non-empty buffer");
   }
 }
 
-/// Flat vote accumulator. fuse() runs once per engine step, so it must not
-/// touch the heap: distinct outcome labels live in a small inline array and
-/// only spill to a vector beyond kInlineLabels distinct labels, which a
-/// DDM's class count never reaches in practice. Per-label accumulation
-/// order, the max over labels, and the tie-break comparison are identical
-/// to the previous unordered_map implementation, so fused outcomes are
-/// bit-identical.
+// -- streaming core ----------------------------------------------------------
+
+/// O(k) argmax over the buffer's per-outcome stats with the paper's
+/// most-recent tie-break. Equivalence to the scan: the scan walks entries
+/// newest-to-oldest and returns the FIRST label whose votes reach
+/// best - kTieEps; that label is exactly the one with the greatest
+/// last_seen among the labels inside the tie band (a label's first hit in
+/// a newest-to-oldest walk is its most recent occurrence).
+template <typename VoteFn>
+std::size_t stats_vote(const TimeseriesBuffer& buffer, VoteFn votes) {
+  const std::span<const OutcomeStat> stats = buffer.outcome_stats();
+  double best = -1.0;
+  for (const OutcomeStat& s : stats) best = std::max(best, votes(s));
+  const OutcomeStat* pick = nullptr;
+  for (const OutcomeStat& s : stats) {
+    if (votes(s) >= best - kTieEps &&
+        (pick == nullptr || s.last_seen > pick->last_seen)) {
+      pick = &s;
+    }
+  }
+  return pick->outcome;  // stats are non-empty for non-empty buffers
+}
+
+// -- reference (rescan) core -------------------------------------------------
+
+/// Flat vote accumulator for the reference scans. Distinct outcome labels
+/// live in a small inline array and only spill to a vector beyond
+/// kInlineLabels distinct labels, which a DDM's class count never reaches
+/// in practice. Per-label accumulation order, the max over labels, and the
+/// tie-break comparison are identical to the original unordered_map
+/// implementation, so reference fused outcomes are bit-identical to it.
 class VoteAccumulator {
  public:
   void add(std::size_t label, double weight) {
@@ -78,7 +107,6 @@ std::size_t weighted_vote(const TimeseriesBuffer& buffer, WeightFn weight) {
   }
   const double best = votes.max_votes();
   // Most recent momentaneous prediction among the tied classes.
-  constexpr double kTieEps = 1e-12;
   for (std::size_t j = buffer.length(); j-- > 0;) {
     const std::size_t label = buffer.entry(j).outcome;
     if (votes.votes(label) >= best - kTieEps) return label;
@@ -90,10 +118,26 @@ std::size_t weighted_vote(const TimeseriesBuffer& buffer, WeightFn weight) {
 
 std::size_t MajorityVoteFusion::fuse(const TimeseriesBuffer& buffer) const {
   require_non_empty(buffer);
+  // Integer counts: exact, so streaming == reference in all cases.
+  return stats_vote(buffer, [](const OutcomeStat& s) {
+    return static_cast<double>(s.count);
+  });
+}
+
+std::size_t MajorityVoteFusion::fuse_reference(
+    const TimeseriesBuffer& buffer) const {
+  require_non_empty(buffer);
   return weighted_vote(buffer, [](std::size_t) { return 1.0; });
 }
 
 std::size_t CertaintyWeightedFusion::fuse(
+    const TimeseriesBuffer& buffer) const {
+  require_non_empty(buffer);
+  return stats_vote(buffer,
+                    [](const OutcomeStat& s) { return s.certainty_sum; });
+}
+
+std::size_t CertaintyWeightedFusion::fuse_reference(
     const TimeseriesBuffer& buffer) const {
   require_non_empty(buffer);
   return weighted_vote(buffer, [&buffer](std::size_t j) {
@@ -108,6 +152,20 @@ RecencyWeightedFusion::RecencyWeightedFusion(double lambda) : lambda_(lambda) {
 }
 
 std::size_t RecencyWeightedFusion::fuse(const TimeseriesBuffer& buffer) const {
+  require_non_empty(buffer);
+  if (buffer.decay_lambda() == lambda_) {
+    // The buffer maintains decayed votes for exactly this lambda.
+    return stats_vote(buffer,
+                      [](const OutcomeStat& s) { return s.decayed_votes; });
+  }
+  // Foreign buffer (no decay plane, or a different rule's lambda): the
+  // aggregates cannot answer, so scan. Session buffers the engine
+  // configures via streaming_decay() never take this path.
+  return fuse_reference(buffer);
+}
+
+std::size_t RecencyWeightedFusion::fuse_reference(
+    const TimeseriesBuffer& buffer) const {
   require_non_empty(buffer);
   const std::size_t length = buffer.length();
   // Weight entry j by lambda^(age of j), computed newest-to-oldest by

@@ -5,6 +5,15 @@
 // voting; ties are resolved toward the most recent momentaneous prediction
 // (Section IV.C.3). Additional transparent rules are provided for ablation
 // benches: certainty-weighted voting and recency-weighted voting.
+//
+// fuse() is STREAMING: it reads the buffer's per-outcome aggregates
+// (TimeseriesBuffer::outcome_stats) in O(k) for k distinct outcomes instead
+// of rescanning the window - the last O(window) cost on the serving hot
+// path. Every rule keeps its original full-window scan as fuse_reference(),
+// the executable oracle the fuzz suite checks the streaming form against
+// (same discipline as train_cart_reference). Majority voting and - on
+// add-only windows - certainty weighting are exactly equivalent to the
+// scan; see the equivalence notes on each rule.
 
 #include <cstddef>
 #include <memory>
@@ -19,31 +28,58 @@ namespace tauw::core {
 class InformationFusion {
  public:
   virtual ~InformationFusion() = default;
+  /// Streaming fusion from the buffer's incremental aggregates.
   virtual std::size_t fuse(const TimeseriesBuffer& buffer) const = 0;
+  /// Full-window rescan oracle; defaults to fuse() for rules whose fuse()
+  /// already scans (e.g. the Dempster-Shafer combiner).
+  virtual std::size_t fuse_reference(const TimeseriesBuffer& buffer) const {
+    return fuse(buffer);
+  }
+  /// The decay lambda a session buffer must maintain for this rule's
+  /// streaming form (TimeseriesBuffer's decayed_votes plane); 0 when the
+  /// rule needs none. The engine configures session buffers with this
+  /// value; fuse() on a buffer without matching decay state falls back to
+  /// the reference scan.
+  virtual double streaming_decay() const noexcept { return 0.0; }
   virtual std::string name() const = 0;
 };
 
 /// Majority voting; ties go to the most recent prediction among the tied
-/// classes (the paper's rule).
+/// classes (the paper's rule). Streaming form is EXACTLY equivalent to the
+/// scan in all cases: votes are integer counts, and "first label with
+/// maximal votes scanning newest-to-oldest" is "maximal last_seen among the
+/// argmax labels".
 class MajorityVoteFusion final : public InformationFusion {
  public:
   std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::size_t fuse_reference(const TimeseriesBuffer& buffer) const override;
   std::string name() const override { return "majority_vote"; }
 };
 
 /// Votes weighted by the per-step certainty 1 - u_j; ties to most recent.
+/// Streaming form reads the per-outcome certainty_sum: bit-identical to the
+/// scan on add-only windows and at re-anchor epochs; between anchors of an
+/// evicting window the sums drift by O(window) ulps, so a label may flip
+/// only within the scan's own 1e-12 tie band.
 class CertaintyWeightedFusion final : public InformationFusion {
  public:
   std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::size_t fuse_reference(const TimeseriesBuffer& buffer) const override;
   std::string name() const override { return "certainty_weighted"; }
 };
 
 /// Votes with exponential recency decay: weight lambda^(age); ties to most
 /// recent. lambda in (0, 1]; lambda = 1 reduces to majority voting.
+/// Streaming form reads the buffer's decayed_votes plane (Horner rescale
+/// per push, exact resummation at epochs) when the buffer was configured
+/// with this rule's lambda (see streaming_decay); otherwise it falls back
+/// to the reference scan.
 class RecencyWeightedFusion final : public InformationFusion {
  public:
   explicit RecencyWeightedFusion(double lambda = 0.85);
   std::size_t fuse(const TimeseriesBuffer& buffer) const override;
+  std::size_t fuse_reference(const TimeseriesBuffer& buffer) const override;
+  double streaming_decay() const noexcept override { return lambda_; }
   std::string name() const override { return "recency_weighted"; }
 
  private:

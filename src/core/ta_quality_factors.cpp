@@ -36,6 +36,24 @@ TaqfValues compute_taqf(const TimeseriesBuffer& buffer,
   if (buffer.empty()) {
     throw std::invalid_argument("compute_taqf requires a non-empty buffer");
   }
+  // Streaming lookup: the buffer maintains the agreeing count and the
+  // agreeing certainty sum per outcome incrementally, so no window scan.
+  TaqfValues v;
+  const auto n = static_cast<double>(buffer.length());
+  const OutcomeStat* stat = buffer.outcome_stat(fused_outcome);
+  v.ratio =
+      stat == nullptr ? 0.0 : static_cast<double>(stat->count) / n;
+  v.length = n;
+  v.size = static_cast<double>(buffer.unique_outcomes());
+  v.certainty = stat == nullptr ? 0.0 : stat->certainty_sum;
+  return v;
+}
+
+TaqfValues compute_taqf_reference(const TimeseriesBuffer& buffer,
+                                  std::size_t fused_outcome) {
+  if (buffer.empty()) {
+    throw std::invalid_argument("compute_taqf requires a non-empty buffer");
+  }
   TaqfValues v;
   const auto n = static_cast<double>(buffer.length());
   std::size_t agreeing = 0;

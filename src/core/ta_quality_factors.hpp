@@ -55,8 +55,20 @@ struct TaqfValues {
   double size = 0.0;
   double certainty = 0.0;
 };
+
+/// Streaming form: O(log k) from the buffer's per-outcome aggregates
+/// (agreeing count + certainty_sum are a stat lookup; length and size are
+/// O(1) counters). ratio/length/size are exact always (integer counts);
+/// certainty is bit-identical to the rescan on add-only windows and at the
+/// buffer's re-anchor epochs, and within O(window) ulps between anchors of
+/// an evicting window.
 TaqfValues compute_taqf(const TimeseriesBuffer& buffer,
                         std::size_t fused_outcome);
+
+/// Full-window rescan - kept as the executable oracle the streaming form
+/// is fuzz-checked against (see tests/core_streaming_aggregate_test.cpp).
+TaqfValues compute_taqf_reference(const TimeseriesBuffer& buffer,
+                                  std::size_t fused_outcome);
 
 /// Assembles the taQIM feature vector: the stateless quality factors of the
 /// current input followed by the enabled taQFs (in ratio/length/size/

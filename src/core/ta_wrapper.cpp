@@ -12,6 +12,7 @@ TimeseriesAwareWrapper::TimeseriesAwareWrapper(const UncertaintyWrapper& base,
       taqim_(&taqim),
       fusion_(&fusion),
       features_(base.qf_extractor().num_factors(), taqfs),
+      buffer_(0, fusion.streaming_decay()),
       stateless_scratch_(base.qf_extractor().num_factors()),
       feature_scratch_(features_.dim()) {
   if (!taqim.fitted()) {
@@ -23,23 +24,22 @@ TimeseriesAwareWrapper::TimeseriesAwareWrapper(const UncertaintyWrapper& base,
   }
 }
 
-void TimeseriesAwareWrapper::start_series() {
-  buffer_.clear();
-  uf_.reset();
-}
+void TimeseriesAwareWrapper::start_series() { buffer_.clear(); }
 
 TaStepResult TimeseriesAwareWrapper::step(const data::FrameRecord& frame) {
   TaStepResult result;
   result.isolated = base_->evaluate(frame);
 
   buffer_.push(result.isolated.label, result.isolated.uncertainty);
-  uf_.push(result.isolated.uncertainty);
   result.series_length = buffer_.length();
 
   result.fused_label = fusion_->fuse(buffer_);
-  result.naive_uncertainty = uf_.naive();
-  result.opportune_uncertainty = uf_.opportune();
-  result.worst_case_uncertainty = uf_.worst_case();
+  result.naive_uncertainty =
+      fuse_uncertainties_streaming(buffer_, UncertaintyFusionRule::kNaive);
+  result.opportune_uncertainty =
+      fuse_uncertainties_streaming(buffer_, UncertaintyFusionRule::kOpportune);
+  result.worst_case_uncertainty =
+      fuse_uncertainties_streaming(buffer_, UncertaintyFusionRule::kWorstCase);
 
   base_->qf_extractor().extract_into(frame, stateless_scratch_);
   features_.build_into(stateless_scratch_, buffer_, result.fused_label,

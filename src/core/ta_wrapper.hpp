@@ -63,8 +63,9 @@ class TimeseriesAwareWrapper {
   const QualityImpactModel* taqim_;
   const InformationFusion* fusion_;
   TaFeatureBuilder features_;
+  // Unbounded buffer carrying the streaming window aggregates; the UF
+  // baselines are read from it in O(1), no separate accumulator.
   TimeseriesBuffer buffer_;
-  UncertaintyFusionAccumulator uf_;
   // Preallocated scratch to keep step() allocation-light.
   std::vector<double> stateless_scratch_;
   std::vector<double> feature_scratch_;

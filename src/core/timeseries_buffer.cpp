@@ -1,66 +1,285 @@
 #include "core/timeseries_buffer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace tauw::core {
 
 namespace {
 
-/// Locates `outcome` in the sorted count vector.
-auto find_outcome(std::vector<std::pair<std::size_t, std::size_t>>& counts,
-                  std::size_t outcome) noexcept {
-  return std::lower_bound(
-      counts.begin(), counts.end(), outcome,
-      [](const auto& entry, std::size_t key) { return entry.first < key; });
+/// Geometric growth for the aggregate vectors, optionally clamped (a
+/// bounded buffer's storage never needs to exceed its window).
+std::size_t grown(std::size_t current, std::size_t clamp) noexcept {
+  std::size_t next = current == 0 ? 4 : current * 2;
+  if (clamp > 0 && next > clamp) next = clamp < current + 1 ? current + 1 : clamp;
+  return next;
 }
 
 }  // namespace
 
-void TimeseriesBuffer::add_outcome(std::size_t outcome) {
-  const auto it = find_outcome(outcome_counts_, outcome);
-  if (it != outcome_counts_.end() && it->first == outcome) {
-    ++it->second;
-  } else {
-    outcome_counts_.insert(it, {outcome, 1});
+TimeseriesBuffer::TimeseriesBuffer(std::size_t capacity, double decay_lambda)
+    : capacity_(capacity), decay_lambda_(decay_lambda) {
+  if (decay_lambda_ != 0.0 &&
+      (!(decay_lambda_ > 0.0) || !(decay_lambda_ <= 1.0))) {
+    throw std::invalid_argument("decay lambda must be 0 (off) or in (0,1]");
+  }
+  if (capacity_ > 0 && decay_lambda_ > 0.0) {
+    // lambda^capacity by repeated multiplication: exactly the factor the
+    // Horner rescale applies to an entry over its `capacity`-push lifetime.
+    double w = 1.0;
+    for (std::size_t i = 0; i < capacity_; ++i) w *= decay_lambda_;
+    decay_pow_capacity_ = w;
+  }
+  // Bounded buffers re-anchor on a logical-push cadence (every `capacity_`
+  // pushes once eviction can have started), NOT on head_ returning to 0:
+  // entries() compaction rewinds head_, and tying epochs to it would let a
+  // caller that compacts between pushes defer re-anchoring forever.
+  if (capacity_ > 0) next_anchor_ = 2 * capacity_;
+}
+
+void TimeseriesBuffer::clear() noexcept {
+  entries_.clear();
+  head_ = 0;
+  stats_.clear();
+  total_pushed_ = 0;
+  drift_ops_ = 0;
+  next_anchor_ = capacity_ > 0 ? 2 * capacity_ : kFirstUnboundedAnchor;
+  zero_count_ = 0;
+  log_sum_ = 0.0;
+  min_scalar_ = 1.0;
+  max_scalar_ = 0.0;
+  min_wedge_.clear();
+  max_wedge_.clear();
+}
+
+OutcomeStat* TimeseriesBuffer::find_stat(std::size_t outcome) noexcept {
+  const auto it = std::lower_bound(
+      stats_.begin(), stats_.end(), outcome,
+      [](const OutcomeStat& s, std::size_t key) { return s.outcome < key; });
+  if (it != stats_.end() && it->outcome == outcome) return &*it;
+  return nullptr;
+}
+
+const OutcomeStat* TimeseriesBuffer::outcome_stat(
+    std::size_t label) const noexcept {
+  return const_cast<TimeseriesBuffer*>(this)->find_stat(label);
+}
+
+void TimeseriesBuffer::reserve_for_push() {
+  // Ring growth (bounded buffers stop growing at capacity_).
+  if (!(capacity_ > 0 && entries_.size() == capacity_) &&
+      entries_.size() == entries_.capacity()) {
+    entries_.reserve(grown(entries_.capacity(), capacity_));
+  }
+  // One headroom slot for a possibly-new outcome stat.
+  if (stats_.size() == stats_.capacity()) {
+    stats_.reserve(grown(stats_.capacity(), 0));
+  }
+  if (capacity_ > 0) {
+    if (entries_.size() + 1 >= capacity_) {
+      // This push fills (or the ring is already at) capacity: front-load
+      // the lifetime high-water of everything eviction and re-anchoring
+      // will ever need, so steady state - which begins no later than "ring
+      // full" - never touches the heap again. A wedge holds at most
+      // 2*capacity live pairs: <= capacity from the epoch's rebuild plus
+      // one append per push until the next anchor (every capacity pushes).
+      const std::size_t wedge_cap = 2 * capacity_;
+      if (min_wedge_.q.capacity() < wedge_cap) min_wedge_.q.reserve(wedge_cap);
+      if (max_wedge_.q.capacity() < wedge_cap) max_wedge_.q.reserve(wedge_cap);
+      if (decay_lambda_ > 0.0 && anchor_scratch_.capacity() < capacity_) {
+        anchor_scratch_.reserve(capacity_);
+      }
+    } else {
+      // Partially filled ring: one headroom slot per wedge for this push.
+      if (min_wedge_.q.size() == min_wedge_.q.capacity()) {
+        min_wedge_.q.reserve(grown(min_wedge_.q.capacity(), 0));
+      }
+      if (max_wedge_.q.size() == max_wedge_.q.capacity()) {
+        max_wedge_.q.reserve(grown(max_wedge_.q.capacity(), 0));
+      }
+    }
+  }
+  // An unbounded decayed buffer's geometric anchor resums the whole series -
+  // reserve the weight scratch now so reanchor() stays noexcept.
+  if (capacity_ == 0 && decay_lambda_ > 0.0 &&
+      total_pushed_ + 1 >= next_anchor_) {
+    const std::size_t anchor_len = entries_.size() + 1;
+    if (anchor_scratch_.capacity() < anchor_len) {
+      anchor_scratch_.reserve(anchor_len);
+    }
   }
 }
 
-void TimeseriesBuffer::remove_outcome(std::size_t outcome) noexcept {
-  const auto it = find_outcome(outcome_counts_, outcome);
-  if (it != outcome_counts_.end() && it->first == outcome) {
-    if (--it->second == 0) outcome_counts_.erase(it);
+void TimeseriesBuffer::retire_oldest(const BufferEntry& slot) noexcept {
+  OutcomeStat* stat = find_stat(slot.outcome);
+  if (--stat->count == 0) {
+    // Erasing the emptied row also discards its residual certainty/decay
+    // drift - a free partial re-anchor.
+    stats_.erase(stats_.begin() + (stat - stats_.data()));
+  } else {
+    stat->certainty_sum -= 1.0 - slot.uncertainty;
+    if (decay_lambda_ > 0.0) stat->decayed_votes -= decay_pow_capacity_;
   }
+  if (slot.uncertainty == 0.0) {
+    --zero_count_;
+  } else {
+    log_sum_ -= std::log(slot.uncertainty);
+  }
+  // The window advances past logical index total_pushed_ - capacity_.
+  const std::uint64_t window_start = total_pushed_ - capacity_ + 1;
+  min_wedge_.evict_before(window_start);
+  max_wedge_.evict_before(window_start);
+}
+
+void TimeseriesBuffer::admit(std::size_t outcome, double uncertainty,
+                             std::uint64_t logical) noexcept {
+  OutcomeStat* stat = find_stat(outcome);
+  if (stat == nullptr) {
+    const auto it = std::lower_bound(
+        stats_.begin(), stats_.end(), outcome,
+        [](const OutcomeStat& s, std::size_t key) { return s.outcome < key; });
+    // Capacity was reserved up front, so the insert cannot reallocate.
+    stat = &*stats_.insert(it, OutcomeStat{outcome, 0, 0.0, 0.0, 0});
+  }
+  ++stat->count;
+  stat->certainty_sum += 1.0 - uncertainty;
+  if (decay_lambda_ > 0.0) stat->decayed_votes += 1.0;
+  stat->last_seen = logical;
+  if (uncertainty == 0.0) {
+    ++zero_count_;
+  } else {
+    log_sum_ += std::log(uncertainty);
+  }
+  if (capacity_ > 0) {
+    // Monotonic wedge pushes: pop dominated tails, append. Capacity for the
+    // append was reserved up front.
+    auto& minq = min_wedge_.q;
+    while (minq.size() > min_wedge_.begin && minq.back().second >= uncertainty) {
+      minq.pop_back();
+    }
+    minq.push_back({logical, uncertainty});
+    auto& maxq = max_wedge_.q;
+    while (maxq.size() > max_wedge_.begin && maxq.back().second <= uncertainty) {
+      maxq.pop_back();
+    }
+    maxq.push_back({logical, uncertainty});
+  } else {
+    min_scalar_ = std::min(min_scalar_, uncertainty);
+    max_scalar_ = std::max(max_scalar_, uncertainty);
+  }
+}
+
+void TimeseriesBuffer::reanchor() noexcept {
+  const std::size_t n = entries_.size();
+  for (OutcomeStat& s : stats_) {
+    s.certainty_sum = 0.0;
+    s.decayed_votes = 0.0;
+  }
+  zero_count_ = 0;
+  log_sum_ = 0.0;
+  const double* weights = nullptr;
+  if (decay_lambda_ > 0.0) {
+    // lambda^age by repeated multiplication from the newest entry - the
+    // exact operation order RecencyWeightedFusion's reference scan uses,
+    // so the resummed decayed_votes match it bit for bit.
+    anchor_scratch_.resize(n);  // capacity pre-reserved; cannot reallocate
+    double w = 1.0;
+    for (std::size_t age = 0; age < n; ++age) {
+      anchor_scratch_[n - 1 - age] = w;
+      w *= decay_lambda_;
+    }
+    weights = anchor_scratch_.data();
+  }
+  if (capacity_ > 0) {
+    min_wedge_.clear();
+    max_wedge_.clear();
+  } else {
+    min_scalar_ = 1.0;
+    max_scalar_ = 0.0;
+  }
+  const std::uint64_t window_start = total_pushed_ - n;
+  for (std::size_t j = 0; j < n; ++j) {
+    const BufferEntry& e = entry_at(j);
+    OutcomeStat* stat = find_stat(e.outcome);  // counts were kept exact
+    stat->certainty_sum += 1.0 - e.uncertainty;
+    if (weights != nullptr) stat->decayed_votes += weights[j];
+    if (e.uncertainty == 0.0) {
+      ++zero_count_;
+    } else {
+      log_sum_ += std::log(e.uncertainty);
+    }
+    if (capacity_ > 0) {
+      const std::uint64_t logical = window_start + j;
+      auto& minq = min_wedge_.q;
+      while (minq.size() > min_wedge_.begin &&
+             minq.back().second >= e.uncertainty) {
+        minq.pop_back();
+      }
+      minq.push_back({logical, e.uncertainty});
+      auto& maxq = max_wedge_.q;
+      while (maxq.size() > max_wedge_.begin &&
+             maxq.back().second <= e.uncertainty) {
+        maxq.pop_back();
+      }
+      maxq.push_back({logical, e.uncertainty});
+    } else {
+      min_scalar_ = std::min(min_scalar_, e.uncertainty);
+      max_scalar_ = std::max(max_scalar_, e.uncertainty);
+    }
+  }
+  drift_ops_ = 0;
 }
 
 void TimeseriesBuffer::push(std::size_t outcome, double uncertainty) {
   if (!(uncertainty >= 0.0) || !(uncertainty <= 1.0)) {
     throw std::invalid_argument("uncertainty must be in [0,1]");
   }
-  add_outcome(outcome);  // strong guarantee: throws before mutating counts
+  reserve_for_push();  // the only fallible step; nothing has mutated yet
+  const std::uint64_t logical = total_pushed_;
+  bool drifted = false;
+
+  // Decay plane: every buffered vote ages one step (Horner rescale).
+  if (decay_lambda_ > 0.0 && !entries_.empty()) {
+    for (OutcomeStat& s : stats_) s.decayed_votes *= decay_lambda_;
+    drifted = true;
+  }
+
   if (capacity_ > 0 && entries_.size() == capacity_) {
     // Full ring: the slot at head_ holds the oldest entry; overwrite it and
-    // advance. O(1) instead of erasing the vector front. All noexcept from
-    // here, so counts and entries cannot diverge.
+    // advance. O(1) instead of erasing the vector front.
     BufferEntry& slot = entries_[head_];
-    remove_outcome(slot.outcome);
+    retire_oldest(slot);
     slot = BufferEntry{outcome, uncertainty};
     head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
-    return;
+    drifted = true;
+  } else {
+    entries_.push_back(BufferEntry{outcome, uncertainty});  // pre-reserved
   }
-  try {
-    entries_.push_back(BufferEntry{outcome, uncertainty});
-  } catch (...) {
-    remove_outcome(outcome);  // keep counts consistent with entries
-    throw;
+  admit(outcome, uncertainty, logical);
+  ++total_pushed_;
+  if (drifted) ++drift_ops_;
+
+  if (capacity_ > 0) {
+    if (total_pushed_ >= next_anchor_) {
+      // Epoch boundary, every `capacity_` pushes by logical count (NOT by
+      // head_ position - entries() compaction rewinds head_): exact
+      // resummation bounds the subtract/rescale drift to one window's worth
+      // of pushes, amortized O(1) per push.
+      reanchor();
+      next_anchor_ = total_pushed_ + capacity_;
+    }
+  } else if (decay_lambda_ > 0.0 && total_pushed_ >= next_anchor_) {
+    // Unbounded decayed buffers have no eviction; re-anchor geometrically
+    // (every doubling of the series) for the same amortized O(1) bound.
+    reanchor();
+    next_anchor_ = total_pushed_ * 2;
   }
 }
 
 const BufferEntry& TimeseriesBuffer::entry(std::size_t j) const {
   if (j >= entries_.size()) throw std::out_of_range("entry() index");
-  std::size_t at = head_ + j;
-  if (at >= entries_.size()) at -= entries_.size();
-  return entries_[at];
+  return entry_at(j);
 }
 
 std::span<const BufferEntry> TimeseriesBuffer::entries() const noexcept {
@@ -82,11 +301,24 @@ const BufferEntry& TimeseriesBuffer::latest() const {
 }
 
 std::size_t TimeseriesBuffer::count_outcome(std::size_t label) const noexcept {
-  const auto it = std::lower_bound(
-      outcome_counts_.begin(), outcome_counts_.end(), label,
-      [](const auto& entry, std::size_t key) { return entry.first < key; });
-  if (it != outcome_counts_.end() && it->first == label) return it->second;
-  return 0;
+  const OutcomeStat* stat = outcome_stat(label);
+  return stat == nullptr ? 0 : stat->count;
+}
+
+WindowUfAggregates TimeseriesBuffer::uf_aggregates() const noexcept {
+  WindowUfAggregates agg;
+  agg.count = entries_.size();
+  if (agg.count == 0) return agg;  // vacuous defaults
+  agg.zero_count = zero_count_;
+  agg.log_sum = log_sum_;
+  if (capacity_ > 0) {
+    agg.min_u = min_wedge_.front_value();
+    agg.max_u = max_wedge_.front_value();
+  } else {
+    agg.min_u = min_scalar_;
+    agg.max_u = max_scalar_;
+  }
+  return agg;
 }
 
 }  // namespace tauw::core

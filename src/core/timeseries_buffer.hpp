@@ -15,12 +15,44 @@
 // push-then-read cycle does amortized O(1) extra work per step and readers
 // see one contiguous, oldest-to-newest span either way.
 //
-// A small sorted (outcome -> count) multiset is maintained incrementally on
-// push/evict, making unique_outcomes() O(1) and count_outcome() O(log k)
-// for k distinct outcomes - both were O(n) (or worse) linear scans called
-// per step.
+// -- Streaming aggregates ----------------------------------------------------
+//
+// Beyond the raw entries, the buffer maintains every aggregate the serving
+// hot path derives from a window, incrementally on push/evict/clear, so the
+// per-step cost of fusion, the UF baselines, and the taQFs is O(1) in the
+// window length (O(k) for k distinct outcomes, which a DDM's class count
+// bounds):
+//
+//   * per-outcome OutcomeStat: count, certainty_sum (taQF1/taQF4 and
+//     certainty-weighted voting), decayed_votes (recency-weighted voting,
+//     Horner form V <- V*lambda + 1), and last_seen (the paper's
+//     most-recent tie-break without a window scan),
+//   * window-wide UF state: zero_count + log_sum (naive rule) and exact
+//     sliding min/max (opportune / worst-case rules) - scalars for
+//     unbounded buffers (no eviction), monotonic wedges for bounded ones.
+//
+// Exactness contract: integer aggregates (counts, last_seen, zero_count,
+// min/max picks) are exact always. Floating-point sums are bit-identical to
+// the from-scratch rescan oracles while updates are add-only (unbounded
+// buffers without decay, bounded buffers before the first eviction) because
+// they replay the oracle's chronological accumulation order. Subtract-on-
+// evict and decay rescaling drift by O(ops) ulps, so the buffer RE-ANCHORS
+// with an exact chronological resummation every `capacity` pushes by
+// logical count (geometrically for unbounded decayed buffers):
+// immediately after a re-anchor every aggregate is again bit-identical to
+// its oracle, and drift_ops() exposes the inexact-update count since the
+// last anchor so tests can scale tolerances principally. Amortized anchor
+// cost is O(1) per push.
+//
+// Allocation discipline: push() front-loads every possible allocation
+// (reserve_for_push) before mutating any state - the strong exception
+// guarantee of the old two-phase update, without rollback code - and all
+// aggregate storage stabilizes at a window-bounded high-water mark, so
+// steady-state pushes on a warmed bounded buffer are allocation-free (the
+// TAUW_COUNT_ALLOCS gates cover the long-window path end to end).
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -33,6 +65,31 @@ struct BufferEntry {
   double uncertainty = 0.0;   ///< stateless wrapper estimate u_j
 };
 
+/// Streaming per-outcome aggregates over the buffered window (sorted by
+/// outcome; see TimeseriesBuffer::outcome_stats).
+struct OutcomeStat {
+  std::size_t outcome = 0;
+  std::size_t count = 0;        ///< window entries with this outcome (exact)
+  double certainty_sum = 0.0;   ///< sum of (1 - u_j) over those entries
+  /// Sum of lambda^age_j over those entries; maintained only when the
+  /// buffer was constructed with a decay lambda, 0 otherwise.
+  double decayed_votes = 0.0;
+  /// Logical push index (see total_pushed) of the newest such entry - the
+  /// paper's most-recent tie-break in O(1).
+  std::uint64_t last_seen = 0;
+};
+
+/// Window-wide uncertainty-fusion aggregates (see uncertainty_fusion.hpp
+/// for the rules they feed). Empty windows carry the vacuous defaults the
+/// UncertaintyFusionAccumulator uses: min 1.0, max 0.0, log_sum 0.0.
+struct WindowUfAggregates {
+  std::size_t count = 0;       ///< buffered entries
+  std::size_t zero_count = 0;  ///< entries with u_j == 0 (naive fuses to 0)
+  double log_sum = 0.0;        ///< sum of log(u_j) over entries with u_j > 0
+  double min_u = 1.0;          ///< exact window minimum
+  double max_u = 0.0;          ///< exact window maximum
+};
+
 class TimeseriesBuffer {
  public:
   /// Unbounded buffer (the paper's setting: series end via the tracker).
@@ -41,20 +98,21 @@ class TimeseriesBuffer {
   /// Bounded buffer keeping only the most recent `capacity` timesteps -
   /// a deployment option for very long series (paper's future work discusses
   /// longer timeseries; memory must stay bounded at runtime). capacity == 0
-  /// means unbounded.
-  explicit TimeseriesBuffer(std::size_t capacity) : capacity_(capacity) {}
+  /// means unbounded. `decay_lambda` in (0, 1] additionally maintains the
+  /// per-outcome decayed_votes plane for a recency-weighted fusion rule
+  /// with that lambda; 0 (the default) leaves the decay plane off.
+  explicit TimeseriesBuffer(std::size_t capacity, double decay_lambda = 0.0);
 
   std::size_t capacity() const noexcept { return capacity_; }
+  /// The decay lambda the decayed_votes plane is maintained for (0 = off).
+  double decay_lambda() const noexcept { return decay_lambda_; }
 
   /// Clears the buffer at the onset of a new timeseries.
-  void clear() noexcept {
-    entries_.clear();
-    head_ = 0;
-    outcome_counts_.clear();
-  }
+  void clear() noexcept;
 
   /// Appends the current timestep's interim results; evicts the oldest
-  /// entry when a capacity is set and reached.
+  /// entry when a capacity is set and reached. All aggregates are updated
+  /// incrementally (amortized O(1) in the window length per push).
   void push(std::size_t outcome, double uncertainty);
 
   bool empty() const noexcept { return entries_.empty(); }
@@ -75,25 +133,111 @@ class TimeseriesBuffer {
 
   const BufferEntry& latest() const;
 
-  /// Number of buffered outcomes equal to `label`.
+  /// Number of buffered outcomes equal to `label`. O(log k).
   std::size_t count_outcome(std::size_t label) const noexcept;
 
-  /// Number of distinct outcomes in the buffer.
-  std::size_t unique_outcomes() const noexcept { return outcome_counts_.size(); }
+  /// Number of distinct outcomes in the buffer. O(1).
+  std::size_t unique_outcomes() const noexcept { return stats_.size(); }
+
+  // -- streaming aggregates (all O(1)/O(log k) reads) -----------------------
+
+  /// Per-outcome aggregates, sorted by outcome. The span is invalidated by
+  /// push()/clear() (never by entries() compaction - the stats live apart
+  /// from the ring).
+  std::span<const OutcomeStat> outcome_stats() const noexcept {
+    return stats_;
+  }
+  /// The stat row for `label`, or nullptr when no buffered entry has it.
+  const OutcomeStat* outcome_stat(std::size_t label) const noexcept;
+
+  /// Window-wide UF aggregates (count/zero_count/log_sum/min/max).
+  WindowUfAggregates uf_aggregates() const noexcept;
+
+  /// Monotonic logical clock: total pushes since construction or the last
+  /// clear(). The j-th buffered entry carries logical index
+  /// total_pushed() - length() + j; OutcomeStat::last_seen indexes into the
+  /// same clock. Rotation-safe: lazy ring compaction never changes it.
+  std::uint64_t total_pushed() const noexcept { return total_pushed_; }
+
+  /// Pushes that updated a floating-point aggregate inexactly (an evict
+  /// subtract or a decay rescale) since the last exact resummation. 0 means
+  /// every aggregate is currently bit-identical to its rescan oracle; tests
+  /// scale their between-anchor tolerances by this count.
+  std::uint64_t drift_ops() const noexcept { return drift_ops_; }
 
  private:
-  void add_outcome(std::size_t outcome);
-  void remove_outcome(std::size_t outcome) noexcept;
+  /// Monotonic wedge for exact sliding-window min/max on bounded buffers:
+  /// (logical index, value) pairs whose values are monotone front-to-back,
+  /// so the front is the window extremum. Front pops advance begin (no
+  /// erase); the prefix is reclaimed wholesale when the epoch re-anchor
+  /// rebuilds the wedge, bounding the backing vector at ~2x the window.
+  struct MonotonicWedge {
+    std::vector<std::pair<std::uint64_t, double>> q;
+    std::size_t begin = 0;
 
-  std::size_t capacity_ = 0;  // 0 = unbounded
+    void clear() noexcept {
+      q.clear();
+      begin = 0;
+    }
+    double front_value() const noexcept { return q[begin].second; }
+    void evict_before(std::uint64_t window_start) noexcept {
+      while (begin < q.size() && q[begin].first < window_start) ++begin;
+    }
+  };
+
+  const BufferEntry& entry_at(std::size_t j) const noexcept {
+    std::size_t at = head_ + j;
+    if (at >= entries_.size()) at -= entries_.size();
+    return entries_[at];
+  }
+
+  OutcomeStat* find_stat(std::size_t outcome) noexcept;
+  /// Front-loads every allocation this push could need; the only fallible
+  /// step of push() (strong exception guarantee without rollback code).
+  void reserve_for_push();
+  /// Removes the oldest entry (the ring slot about to be overwritten) from
+  /// every aggregate.
+  void retire_oldest(const BufferEntry& slot) noexcept;
+  /// Adds the new entry to every aggregate.
+  void admit(std::size_t outcome, double uncertainty,
+             std::uint64_t logical) noexcept;
+  /// Exact chronological resummation of every floating-point aggregate -
+  /// replays the rescan oracles' operation order, so aggregates leave this
+  /// function bit-identical to a from-scratch recomputation. noexcept: all
+  /// storage was pre-reserved by reserve_for_push.
+  void reanchor() noexcept;
+
+  std::size_t capacity_ = 0;    // 0 = unbounded
+  double decay_lambda_ = 0.0;   // 0 = decay plane off
+  double decay_pow_capacity_ = 0.0;  // lambda^capacity (evict subtract)
   // Ring storage: once a bounded buffer is full, head_ is the index of the
   // oldest entry and push() overwrites it. entries() rotates the ring back
   // to head_ == 0, so the members are mutable (compaction is logically
   // const: the sequence of timesteps is unchanged).
   mutable std::vector<BufferEntry> entries_;
   mutable std::size_t head_ = 0;
-  /// Sorted (outcome, multiplicity) pairs for the buffered entries.
-  std::vector<std::pair<std::size_t, std::size_t>> outcome_counts_;
+  /// Sorted per-outcome aggregates (supersedes the old (outcome, count)
+  /// multiset; counts ride along in OutcomeStat).
+  std::vector<OutcomeStat> stats_;
+  std::uint64_t total_pushed_ = 0;
+  std::uint64_t drift_ops_ = 0;
+  /// Next total_pushed_ that triggers a re-anchor: every `capacity_` pushes
+  /// for bounded buffers (by logical count, deliberately independent of the
+  /// head_ position entries() compaction rewinds), geometric doubling for
+  /// unbounded decayed buffers.
+  std::uint64_t next_anchor_ = kFirstUnboundedAnchor;
+  // Window UF state.
+  std::size_t zero_count_ = 0;
+  double log_sum_ = 0.0;
+  double min_scalar_ = 1.0;  // unbounded buffers (add-only, exact)
+  double max_scalar_ = 0.0;
+  MonotonicWedge min_wedge_;  // bounded buffers (exact under eviction)
+  MonotonicWedge max_wedge_;
+  /// Decay weights scratch for reanchor(); high-water sized, reserved
+  /// before the anchor push mutates anything.
+  std::vector<double> anchor_scratch_;
+
+  static constexpr std::uint64_t kFirstUnboundedAnchor = 64;
 };
 
 }  // namespace tauw::core

@@ -31,6 +31,23 @@ double fuse_uncertainties(const TimeseriesBuffer& buffer,
   return acc.get(rule);
 }
 
+double fuse_uncertainties_streaming(const TimeseriesBuffer& buffer,
+                                    UncertaintyFusionRule rule) {
+  const WindowUfAggregates agg = buffer.uf_aggregates();
+  if (agg.count == 0) return 1.0;  // vacuous bound, like the oracle
+  switch (rule) {
+    case UncertaintyFusionRule::kNaive:
+      // Any zero certainty collapses the product exactly (the oracle's
+      // log-sum holds -inf then; exp(-inf) == 0.0 bit for bit).
+      return agg.zero_count > 0 ? 0.0 : std::exp(agg.log_sum);
+    case UncertaintyFusionRule::kOpportune:
+      return agg.min_u;
+    case UncertaintyFusionRule::kWorstCase:
+      return agg.max_u;
+  }
+  throw std::invalid_argument("unknown UF rule");
+}
+
 void UncertaintyFusionAccumulator::reset() noexcept {
   count_ = 0;
   log_product_ = 0.0;

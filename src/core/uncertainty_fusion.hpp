@@ -34,8 +34,20 @@ double fuse_uncertainties(std::span<const double> uncertainties,
                           UncertaintyFusionRule rule);
 
 /// Convenience overload reading the uncertainties from a timeseries buffer.
+/// This is a full-window rescan - kept as the executable oracle the
+/// streaming form is fuzz-checked against.
 double fuse_uncertainties(const TimeseriesBuffer& buffer,
                           UncertaintyFusionRule rule);
+
+/// Streaming form: O(1) from the buffer's incremental window aggregates
+/// (TimeseriesBuffer::uf_aggregates). Equivalence to the rescan oracle:
+/// opportune/worst_case are exact always (sliding min/max wedges); naive is
+/// bit-identical on add-only windows and at re-anchor epochs (identical
+/// chronological log-sum), exact 0.0 whenever any buffered u_j == 0, and
+/// within O(window) ulps between anchors of an evicting window. Empty
+/// buffers fuse to the vacuous bound 1.0, like the oracle.
+double fuse_uncertainties_streaming(const TimeseriesBuffer& buffer,
+                                    UncertaintyFusionRule rule);
 
 /// Incremental aggregator maintaining all three fused values in O(1) per
 /// step - what a runtime monitor would actually deploy.

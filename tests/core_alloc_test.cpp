@@ -298,9 +298,13 @@ TEST(EngineAlloc, SessionChurnRecyclesNodesWithoutAllocating) {
 TEST(TrafficPlaneAlloc, DrainTwiceKeepsLaneCapacityStable) {
   core::EngineConfig engine_config;
   engine_config.num_shards = 2;
-  // Bounded ring buffers: an unbounded session's evidence vector doubles
-  // forever, which is amortized growth, not a drain-path leak - bound it so
-  // the scope below isolates the lane scratch.
+  // Bounded ring buffers: an unbounded session's evidence vector still
+  // doubles forever (amortized growth, not a drain-path leak), so bound it
+  // to isolate the lane scratch. Per-step aggregate COST no longer depends
+  // on this choice - the buffer streams its window aggregates either way -
+  // only the entries storage does. The bounded ring's wedge scratch hits
+  // its high-water (~2x capacity) within the first two re-anchor epochs,
+  // i.e. during the warmup bursts below.
   engine_config.buffer_capacity = 8;
   core::Engine engine(make_components(), engine_config);
   serve::TrafficPlaneConfig config;

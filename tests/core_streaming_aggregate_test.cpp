@@ -1,0 +1,392 @@
+// Fuzz suite for the streaming session-aggregate plane: randomized
+// push/evict/clear/reopen/compaction sequences asserting that every
+// incremental aggregate the buffer maintains agrees with its executable
+// rescan oracle -
+//
+//   * taQF:   compute_taqf          vs compute_taqf_reference
+//   * UF:     fuse_uncertainties_streaming vs fuse_uncertainties(buffer)
+//   * fusion: InformationFusion::fuse      vs fuse_reference
+//
+// Exactness contract under test (see timeseries_buffer.hpp): integer-derived
+// aggregates (counts, min/max picks, majority/latest labels) are exact
+// always; floating-point sums are BIT-exact whenever drift_ops() == 0 (add-
+// only regimes and immediately after an epoch re-anchor) and drift by
+// O(drift_ops) ulps between anchors of an evicting/decaying window. The
+// checks therefore assert EXPECT_EQ when drift_ops() == 0 and scale their
+// tolerance by drift_ops() otherwise.
+//
+// A TSan stress at the bottom drives long-window sessions through
+// step_batch + report_truth concurrently (the columnar serving path over
+// the same aggregates).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/fusion.hpp"
+#include "core/quality_factors.hpp"
+#include "core/quality_impact_model.hpp"
+#include "core/ta_quality_factors.hpp"
+#include "core/timeseries_buffer.hpp"
+#include "core/uncertainty_fusion.hpp"
+#include "core/wrapper.hpp"
+#include "stats/rng.hpp"
+
+namespace tauw::core {
+namespace {
+
+constexpr std::size_t kNumLabels = 4;
+
+/// Per-label recency-weighted reference votes: the exact weight-array
+/// construction RecencyWeightedFusion::fuse_reference uses (repeated
+/// multiplication newest-to-oldest, per-label accumulation in chronological
+/// order), so a drift-free buffer's decayed_votes must match bit for bit.
+std::array<double, kNumLabels> recency_reference_votes(
+    const TimeseriesBuffer& buffer, double lambda) {
+  const std::size_t n = buffer.length();
+  std::vector<double> weights(n);
+  double w = 1.0;
+  for (std::size_t age = 0; age < n; ++age) {
+    weights[n - 1 - age] = w;
+    w *= lambda;
+  }
+  std::array<double, kNumLabels> votes{};
+  for (std::size_t j = 0; j < n; ++j) {
+    votes[buffer.entry(j).outcome] += weights[j];
+  }
+  return votes;
+}
+
+/// Asserts every streaming aggregate against its rescan oracle. `dyadic`
+/// marks runs whose uncertainties are all exact multiples of 1/8: their
+/// certainty sums are exactly representable, so subtract-on-evict cannot
+/// drift them and certainty stays bit-exact even between anchors.
+void check_against_oracles(const TimeseriesBuffer& buffer, bool dyadic,
+                           double lambda) {
+  if (buffer.empty()) return;
+  const bool anchored = buffer.drift_ops() == 0;
+  const double drift = static_cast<double>(buffer.drift_ops());
+
+  // ---- taQF ----------------------------------------------------------
+  for (std::size_t label = 0; label <= kNumLabels; ++label) {  // incl. absent
+    const TaqfValues s = compute_taqf(buffer, label);
+    const TaqfValues r = compute_taqf_reference(buffer, label);
+    EXPECT_EQ(s.ratio, r.ratio);    // exact: integer count / integer length
+    EXPECT_EQ(s.length, r.length);  // exact
+    EXPECT_EQ(s.size, r.size);      // exact
+    if (anchored || dyadic) {
+      EXPECT_EQ(s.certainty, r.certainty)
+          << "taQF certainty must be bit-exact when drift_ops()==0 or all "
+             "uncertainties are dyadic";
+    } else {
+      const double tol =
+          (drift + 2.0) * 1e-13 * (static_cast<double>(buffer.length()) + 1.0);
+      EXPECT_NEAR(s.certainty, r.certainty, tol);
+    }
+  }
+
+  // ---- UF ------------------------------------------------------------
+  for (const UncertaintyFusionRule rule :
+       {UncertaintyFusionRule::kNaive, UncertaintyFusionRule::kOpportune,
+        UncertaintyFusionRule::kWorstCase}) {
+    const double s = fuse_uncertainties_streaming(buffer, rule);
+    const double r = fuse_uncertainties(buffer, rule);
+    if (rule != UncertaintyFusionRule::kNaive || anchored) {
+      // min/max are wedge-exact always; naive is exp of a log-sum replayed
+      // in oracle order whenever the buffer is drift-free.
+      EXPECT_EQ(s, r) << "rule " << uf_rule_name(rule);
+    } else {
+      // Between anchors the log-sum carries subtract-on-evict drift; the
+      // relative error of exp() scales with the log-sum magnitude.
+      double rel = 0.0;
+      if (r > 0.0) rel = (drift + 4.0) * (std::fabs(std::log(r)) + 1.0) * 1e-14;
+      EXPECT_NEAR(s, r, r * rel + 1e-300) << "naive UF drifted past bound";
+    }
+  }
+
+  // ---- fusion rules --------------------------------------------------
+  const MajorityVoteFusion majority;
+  EXPECT_EQ(majority.fuse(buffer), majority.fuse_reference(buffer))
+      << "majority voting is integer-exact: streaming must always agree";
+
+  const LatestOutcomeFusion latest;
+  EXPECT_EQ(latest.fuse(buffer), buffer.latest().outcome);
+
+  const CertaintyWeightedFusion certainty;
+  if (anchored || dyadic) {
+    EXPECT_EQ(certainty.fuse(buffer), certainty.fuse_reference(buffer))
+        << "certainty votes are bit-exact here, so the labels must match";
+  }
+  // Between anchors with continuous uncertainties the votes differ by ulps,
+  // which can legitimately flip a within-band tie - covered by the vote
+  // comparison in the taQF certainty check above.
+
+  if (lambda > 0.0 && buffer.decay_lambda() == lambda) {
+    const RecencyWeightedFusion recency(lambda);
+    const std::array<double, kNumLabels> ref =
+        recency_reference_votes(buffer, lambda);
+    double best = -1.0;
+    double second = -1.0;
+    for (const double v : ref) {
+      if (v > best) {
+        second = best;
+        best = v;
+      } else {
+        second = std::max(second, v);
+      }
+    }
+    const double tol = (drift + 4.0) * 1e-13 * (best + 1.0);
+    for (const OutcomeStat& stat : buffer.outcome_stats()) {
+      ASSERT_LT(stat.outcome, kNumLabels);
+      if (anchored) {
+        EXPECT_EQ(stat.decayed_votes, ref[stat.outcome])
+            << "re-anchored decayed votes must replay the reference order";
+      } else {
+        EXPECT_NEAR(stat.decayed_votes, ref[stat.outcome], tol);
+      }
+    }
+    if (anchored) {
+      EXPECT_EQ(recency.fuse(buffer), recency.fuse_reference(buffer));
+    } else if (best - second > 16.0 * tol) {
+      // Away from ties the drifted votes cannot change the argmax.
+      EXPECT_EQ(recency.fuse(buffer), recency.fuse_reference(buffer));
+    }
+  }
+}
+
+/// One fuzz run: `ops` random operations against one buffer configuration,
+/// oracle-checked after every operation for small windows and on a sampled
+/// schedule (plus every drift-free step, to pin the bit-exact contract at
+/// anchors) for large ones.
+void fuzz_run(std::size_t capacity, double lambda, bool dyadic,
+              std::uint64_t seed) {
+  stats::Rng rng(seed);
+  TimeseriesBuffer buffer(capacity, lambda);
+  EXPECT_EQ(buffer.capacity(), capacity);
+  EXPECT_EQ(buffer.decay_lambda(), lambda);
+
+  const std::size_t window = capacity == 0 ? 512 : capacity;
+  const std::size_t ops = 4 * window + 256;
+  const std::size_t check_every = window <= 8 ? 1 : window / 64 + 1;
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const double r = rng.uniform();
+    if (r < 0.01) {
+      buffer.clear();  // series restart: all aggregates back to vacuous
+      EXPECT_EQ(buffer.length(), 0u);
+      EXPECT_EQ(buffer.total_pushed(), 0u);
+      EXPECT_EQ(buffer.unique_outcomes(), 0u);
+      EXPECT_EQ(fuse_uncertainties_streaming(buffer,
+                                             UncertaintyFusionRule::kNaive),
+                1.0);
+    } else if (r < 0.08) {
+      // Lazy ring compaction: rotates storage chronological and rewinds
+      // head_, which must NOT defer the logical-count anchor cadence.
+      const std::span<const BufferEntry> chrono = buffer.entries();
+      for (std::size_t j = 1; j < chrono.size(); ++j) {
+        EXPECT_EQ(&buffer.entry(j), &chrono[j]);
+      }
+    } else {
+      const double u =
+          dyadic ? static_cast<double>(rng.uniform_index(9)) / 8.0
+                 : rng.uniform();
+      buffer.push(rng.uniform_index(kNumLabels), u);
+      if (capacity > 0) {
+        EXPECT_LE(buffer.length(), capacity);
+      }
+    }
+    if (op % check_every == 0 || buffer.drift_ops() == 0) {
+      check_against_oracles(buffer, dyadic, lambda);
+    }
+  }
+}
+
+class StreamingAggregateFuzz
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamingAggregateFuzz, NoDecayDyadicUncertainties) {
+  fuzz_run(GetParam(), 0.0, /*dyadic=*/true, 0xA0 + GetParam());
+}
+
+TEST_P(StreamingAggregateFuzz, NoDecayContinuousUncertainties) {
+  fuzz_run(GetParam(), 0.0, /*dyadic=*/false, 0xB0 + GetParam());
+}
+
+TEST_P(StreamingAggregateFuzz, RecencyDecayContinuousUncertainties) {
+  fuzz_run(GetParam(), 0.9, /*dyadic=*/false, 0xC0 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, StreamingAggregateFuzz,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}, std::size_t{256},
+                                           std::size_t{4096}),
+                         ::testing::PrintToStringParamName());
+
+TEST(StreamingAggregateFuzzUnbounded, NoDecay) {
+  fuzz_run(0, 0.0, /*dyadic=*/false, 0xD1);
+}
+
+TEST(StreamingAggregateFuzzUnbounded, GeometricDecayAnchors) {
+  // Unbounded decayed buffers re-anchor geometrically (at 64, then every
+  // doubling); the run crosses several of those boundaries.
+  fuzz_run(0, 0.9, /*dyadic=*/false, 0xD2);
+}
+
+// ---- epoch boundaries, deterministically -----------------------------------
+
+TEST(StreamingAggregateEpochs, BoundedAnchorsEveryCapacityPushes) {
+  constexpr std::size_t kCapacity = 32;
+  TimeseriesBuffer buffer(kCapacity, 0.9);
+  stats::Rng rng(7);
+  for (std::size_t i = 1; i <= 8 * kCapacity; ++i) {
+    buffer.push(rng.uniform_index(kNumLabels), rng.uniform());
+    if (i >= 2 * kCapacity && i % kCapacity == 0) {
+      // Anchor pushes end drift-free: every FP aggregate is bit-identical
+      // to its oracle here.
+      EXPECT_EQ(buffer.drift_ops(), 0u) << "push " << i;
+      check_against_oracles(buffer, /*dyadic=*/false, 0.9);
+    } else if (i > 2 * kCapacity) {
+      EXPECT_GT(buffer.drift_ops(), 0u) << "push " << i;
+    }
+  }
+}
+
+TEST(StreamingAggregateEpochs, CompactionDoesNotDeferAnchors) {
+  // Regression: anchors fire on the logical push count. A caller that
+  // compacts (entries()) between pushes rewinds head_, and a head_-based
+  // wrap test would then never re-anchor - drift and wedge storage would
+  // grow without bound.
+  constexpr std::size_t kCapacity = 16;
+  TimeseriesBuffer buffer(kCapacity);
+  stats::Rng rng(9);
+  for (std::size_t i = 1; i <= 16 * kCapacity; ++i) {
+    buffer.push(rng.uniform_index(kNumLabels), rng.uniform());
+    (void)buffer.entries();  // compact after every push
+    if (i >= 2 * kCapacity && i % kCapacity == 0) {
+      EXPECT_EQ(buffer.drift_ops(), 0u) << "push " << i;
+      check_against_oracles(buffer, /*dyadic=*/false, 0.0);
+    }
+  }
+}
+
+TEST(StreamingAggregateEpochs, ClearReopensDriftFree) {
+  TimeseriesBuffer buffer(8);
+  stats::Rng rng(13);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      buffer.push(rng.uniform_index(kNumLabels), rng.uniform());
+    }
+    EXPECT_GT(buffer.drift_ops(), 0u);
+    buffer.clear();
+    EXPECT_EQ(buffer.drift_ops(), 0u);
+    EXPECT_EQ(buffer.total_pushed(), 0u);
+    // The first post-clear pushes are add-only again: bit-exact regime.
+    buffer.push(1, 0.25);
+    check_against_oracles(buffer, /*dyadic=*/true, 0.0);
+  }
+}
+
+// ---- TSan stress: the serving path over long windows ------------------------
+
+// A trivial DDM thresholding feature[0], with feature[1] as quality deficit.
+class StressDdm final : public ml::Classifier {
+ public:
+  std::size_t input_dim() const noexcept override { return 2; }
+  std::size_t num_classes() const noexcept override { return 2; }
+  ml::Prediction predict(std::span<const float> f) const override {
+    ml::Prediction p;
+    p.label = ((f[0] > 0.5F) != (f[1] > 0.5F)) ? 1 : 0;
+    p.confidence = 0.99F;
+    return p;
+  }
+};
+
+data::FrameRecord stress_frame(float signal, float deficit) {
+  data::FrameRecord rec;
+  rec.features = {signal, deficit};
+  rec.observed_intensities[0] = deficit;
+  rec.apparent_px = 20.0;
+  rec.observed_apparent_px = 20.0;
+  return rec;
+}
+
+TEST(StreamingAggregateStress, ConcurrentLongWindowStepBatchAndTruth) {
+  // Long-window sessions (capacity 2048, so thousands of steps stay inside
+  // one window and cross several re-anchor epochs) stepped from two threads
+  // while two more threads feed ground truth into report_truth. TSan runs
+  // this test in CI; the assertions are liveness + invariants, the data-race
+  // coverage is the point.
+  EngineComponents components;
+  components.ddm = std::make_shared<StressDdm>();
+  components.qf_extractor = QualityFactorExtractor{28.0};
+  {
+    // Minimal fitted stateless QIM (the engine requires one to step).
+    dtree::TreeDataset train;
+    dtree::TreeDataset calib;
+    stats::Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+      const data::FrameRecord rec = stress_frame(
+          i % 2 == 0 ? 0.9F : 0.1F, rng.bernoulli(0.3) ? 0.9F : 0.0F);
+      (i % 2 == 0 ? train : calib)
+          .push_back(components.qf_extractor.extract(rec), rng.bernoulli(0.1));
+    }
+    QimConfig cfg;
+    cfg.cart.max_depth = 3;
+    cfg.calibration.min_leaf_samples = 20;
+    auto qim = std::make_shared<QualityImpactModel>();
+    qim->fit(train, calib, cfg, components.qf_extractor.names());
+    components.qim = std::move(qim);
+  }
+  EngineConfig config;
+  config.num_shards = 4;
+  config.buffer_capacity = 2048;
+  Engine engine(components, config);
+
+  static constexpr std::size_t kSessionsPerThread = 8;
+  static constexpr std::size_t kBatches = 600;
+  const auto stepper = [&engine](std::uint64_t base, std::uint64_t seed) {
+    stats::Rng rng(seed);
+    std::vector<data::FrameRecord> frames(kSessionsPerThread);
+    std::vector<SessionFrame> batch(kSessionsPerThread);
+    std::vector<EngineStepResult> results;
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+        frames[s] = stress_frame(s % 2 == 0 ? 0.9F : 0.1F,
+                                 rng.bernoulli(0.3) ? 0.9F : 0.0F);
+        batch[s] = SessionFrame{base + s, &frames[s], nullptr};
+      }
+      engine.step_batch(batch, results);
+      ASSERT_EQ(results.size(), kSessionsPerThread);
+      for (const EngineStepResult& r : results) {
+        ASSERT_LE(r.series_length, 2048u);
+      }
+    }
+  };
+  const auto truther = [&engine](std::uint64_t base, std::uint64_t seed) {
+    stats::Rng rng(seed);
+    for (std::size_t i = 0; i < kBatches * kSessionsPerThread; ++i) {
+      engine.report_truth(base + rng.uniform_index(kSessionsPerThread),
+                          rng.uniform_index(2));
+    }
+  };
+
+  std::thread s1(stepper, 100, 21);
+  std::thread s2(stepper, 200, 22);
+  std::thread t1(truther, 100, 23);
+  std::thread t2(truther, 200, 24);
+  s1.join();
+  s2.join();
+  t1.join();
+  t2.join();
+  EXPECT_EQ(engine.session_count(), 2 * kSessionsPerThread);
+}
+
+}  // namespace
+}  // namespace tauw::core
